@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration: calibration and report printing."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import reporting  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    output = reporting.render_all()
+    if output:
+        terminalreporter.ensure_newline()
+        terminalreporter.section("paper-style experiment report")
+        terminalreporter.write_line(output)
+
+
+@pytest.fixture
+def bench_us(benchmark):
+    """Run a callable under pytest-benchmark and return its mean in µs."""
+    def runner(fn, *args, rounds: int = 30, iterations: int = 20):
+        benchmark.pedantic(fn, args=args, rounds=rounds,
+                           iterations=iterations)
+        return benchmark.stats.stats.mean * 1e6
+    return runner

@@ -1,0 +1,64 @@
+"""Shared result collection for the paper-style tables.
+
+Benchmark tests record measurements here; the conftest terminal-summary
+hook prints one block per experiment, formatted like the paper's tables
+and figure series, with the paper's reported shape alongside for
+comparison. This is what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_REGISTRY: "OrderedDict[str, Experiment]" = OrderedDict()
+
+
+@dataclass
+class Row:
+    label: str
+    value: float
+    unit: str
+    note: str = ""
+
+
+@dataclass
+class Experiment:
+    name: str
+    title: str
+    paper_expectation: str
+    rows: List[Row] = field(default_factory=list)
+
+
+def experiment(name: str, title: str, paper_expectation: str) -> Experiment:
+    if name not in _REGISTRY:
+        _REGISTRY[name] = Experiment(name=name, title=title,
+                                     paper_expectation=paper_expectation)
+    return _REGISTRY[name]
+
+
+def record(name: str, label: str, value: float, unit: str,
+           note: str = "") -> None:
+    exp = _REGISTRY.get(name)
+    if exp is None:
+        exp = experiment(name, name, "")
+    exp.rows.append(Row(label=label, value=value, unit=unit, note=note))
+
+
+def render_all() -> str:
+    blocks = []
+    for exp in _REGISTRY.values():
+        lines = [f"== {exp.name}: {exp.title} ==",
+                 f"paper: {exp.paper_expectation}"]
+        width = max((len(r.label) for r in exp.rows), default=10)
+        for row in exp.rows:
+            note = f"   {row.note}" if row.note else ""
+            lines.append(f"  {row.label:<{width}}  "
+                         f"{row.value:>14,.3f} {row.unit}{note}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def reset() -> None:
+    _REGISTRY.clear()

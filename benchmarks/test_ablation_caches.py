@@ -1,0 +1,116 @@
+"""Ablations of the caching design choices (§2.8–2.9).
+
+Not a paper table — these quantify the trade-offs the paper *describes*:
+
+* decision-cache subregion count trades goal-invalidation cost against
+  collision rate ("Subregion size is a configurable parameter that
+  trades-off invalidation cost to collision rate");
+* the guard cache amortizes proof checking;
+* per-root quotas bound a hostile principal's cache footprint.
+"""
+
+import time
+
+import pytest
+
+import reporting
+from repro.kernel.decision_cache import DecisionCache
+from repro.kernel.guard import GuardCache
+from repro.kernel.kernel import NexusKernel
+from repro.nal.checker import check
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, ProofBundle
+
+EXP = "ablation"
+reporting.experiment(
+    EXP, "Cache design ablations",
+    "more subregions => cheaper setgoal invalidation, more collateral "
+    "loss when goals collide; guard cache amortizes proof checks; quotas "
+    "isolate principals")
+
+SUBREGION_COUNTS = (1, 4, 64, 1024)
+
+
+@pytest.mark.parametrize("subregions", SUBREGION_COUNTS)
+def test_subregion_collateral_damage(benchmark, subregions):
+    """Fill the cache with many (op, obj) pairs, invalidate one goal, and
+    count how many *unrelated* entries died with it."""
+    def run():
+        cache = DecisionCache(subregions=subregions)
+        objects = list(range(200))
+        for obj in objects:
+            cache.insert(1, "read", obj, True)
+        before = len(cache)
+        cache.invalidate_goal("read", objects[0])
+        return before - len(cache) - 1  # entries lost beyond the target
+
+    collateral = run()
+    benchmark(run)
+    reporting.record(EXP, f"collateral loss @ {subregions} subregions",
+                     collateral, "entries")
+
+
+@pytest.mark.parametrize("subregions", SUBREGION_COUNTS)
+def test_subregion_invalidation_cost(benchmark, subregions):
+    cache = DecisionCache(subregions=subregions)
+    for obj in range(200):
+        cache.insert(1, "read", obj, True)
+    mean = benchmark(cache.invalidate_goal, "read", 0)
+    reporting.record(EXP, f"invalidate_goal @ {subregions} subregions",
+                     benchmark.stats.stats.mean * 1e6, "us")
+
+
+def test_guard_cache_amortizes_proof_checking(benchmark):
+    """Steady-state authorize with the guard cache vs re-checking."""
+    kernel = NexusKernel()
+    kernel.decision_cache.enabled = False  # isolate the guard cache
+    owner = kernel.create_process("owner")
+    client = kernel.create_process("client")
+    resource = kernel.resources.create("/abl/obj", "file", owner.principal)
+    kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                       f"{owner.path} says ok(?Subject)")
+    cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+    bundle = ProofBundle(Assume(cred), credentials=(cred,))
+
+    def authorize():
+        return kernel.authorize(client.pid, "read", resource.resource_id,
+                                bundle)
+    authorize()
+
+    def measure(n=400):
+        start = time.perf_counter()
+        for _ in range(n):
+            authorize()
+        return (time.perf_counter() - start) / n * 1e6
+
+    with_cache = measure()
+    kernel.default_guard.cache.capacity = 0
+    kernel.default_guard.cache.invalidate_all()
+    without_cache = measure()
+    reporting.record(EXP, "guard authorize w/ proof cache", with_cache, "us")
+    reporting.record(EXP, "guard authorize w/o proof cache", without_cache,
+                     "us")
+    benchmark(authorize)
+    assert without_cache > with_cache
+
+
+def test_quota_bounds_hostile_principal(benchmark):
+    """A principal spamming distinct proofs cannot evict beyond its
+    quota: the victim's entries survive."""
+    from repro.nal.checker import CheckResult
+
+    def run():
+        cache = GuardCache(capacity=1000, per_root_quota=8)
+        result = CheckResult(conclusion=parse("p"), assumptions=(),
+                             authority_queries=(), rule_count=0,
+                             dynamic=False)
+        cache.insert("victim-entry", "victim", result)
+        for i in range(500):
+            cache.insert(f"spam-{i}", "attacker", result)
+        return cache.lookup("victim-entry") is not None
+
+    survived = run()
+    benchmark(run)
+    reporting.record(EXP, "victim entry survives 500-proof spam",
+                     1.0 if survived else 0.0, "bool")
+    assert survived

@@ -1,0 +1,72 @@
+"""Ablation: transitive integrity verification (§4, Java Object Store).
+
+"If the downloader can be assured that the entity producing that database
+was another Java virtual machine satisfying the same typesafety
+invariants, then the slow parts of sanity checking every byte of data can
+be skipped when reinstating an object."
+
+Measures deserialization with and without the producer's typesafety
+credential, across store sizes — the speedup is the payoff the paper
+claims for attestation-gated fast paths.
+"""
+
+import pytest
+
+import reporting
+from repro.apps.objectstore import Schema, TypedObjectStore
+from repro.core.credentials import CredentialSet
+
+EXP = "ablation-objectstore"
+reporting.experiment(
+    EXP, "Typed object store: attested fast path vs validating slow path",
+    "credential for the producer lets import skip per-record validation")
+
+SCHEMA = Schema.of(user="str", score="int", active="bool", ratio="float")
+SIZES = (10, 100, 1000)
+
+
+def _image(records):
+    store = TypedObjectStore(SCHEMA, producer="jvm-7")
+    for i in range(records):
+        store.put({"user": f"user-{i}", "score": i * 3, "active": True,
+                   "ratio": i / 7.0})
+    return store.export()
+
+
+@pytest.mark.parametrize("records", SIZES)
+def test_slow_path(benchmark, records):
+    image = _image(records)
+    restored = benchmark(TypedObjectStore.import_image, image, SCHEMA)
+    assert restored.validations == records
+    reporting.record(EXP, f"slow path, {records} records",
+                     benchmark.stats.stats.mean * 1e6, "us/import")
+
+
+@pytest.mark.parametrize("records", SIZES)
+def test_fast_path(benchmark, records):
+    image = _image(records)
+    wallet = CredentialSet(["TypeCertifier says typesafe(jvm-7)"])
+    restored = benchmark(TypedObjectStore.import_image, image, SCHEMA,
+                         wallet)
+    assert restored.validations == 0
+    reporting.record(EXP, f"fast path, {records} records",
+                     benchmark.stats.stats.mean * 1e6, "us/import")
+
+
+def test_fast_path_wins_at_scale(benchmark):
+    import time
+    image = _image(1000)
+    wallet = CredentialSet(["TypeCertifier says typesafe(jvm-7)"])
+
+    def timed(fn, n=20):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n
+
+    slow = timed(lambda: TypedObjectStore.import_image(image, SCHEMA))
+    fast = timed(lambda: TypedObjectStore.import_image(image, SCHEMA,
+                                                       wallet))
+    reporting.record(EXP, "slow/fast ratio @1000 records", slow / fast, "x")
+    benchmark(TypedObjectStore.import_image, image, SCHEMA, wallet)
+    assert fast < slow

@@ -1,0 +1,123 @@
+"""Figure 4 — authorization cost, µs/call, eight scenarios × cache on/off.
+
+Paper: (a) bare system call, (b) default ALLOW goal, (c) no proof
+supplied, (d) unsound proof, (e) passing proof, (f) missing credential,
+(g) embedded authority, (h) external authority. Cached decisions cost a
+few hundred cycles; a guard upcall is 16–20×; credential matching and
+authority consultation cannot be cached — the jump between (e) and (f)
+delineates the cacheable set, and the external authority roughly doubles
+cost again.
+"""
+
+import pytest
+
+import reporting
+from repro.kernel.authority import CallableAuthority
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, AuthorityQuery, ProofBundle, Rule
+
+EXP = "fig4"
+reporting.experiment(
+    EXP, "Authorization cost (µs/call)",
+    "cached (a-e) fast; guard upcall 16-20x; (f) no-cred and (g,h) "
+    "authorities never cached; external authority costliest")
+
+
+def _world():
+    kernel = NexusKernel()
+    owner = kernel.create_process("owner")
+    client = kernel.create_process("client")
+    resource = kernel.resources.create("/fig4/obj", "file", owner.principal)
+    return kernel, owner, client, resource
+
+
+def _scenario(name):
+    kernel, owner, client, resource = _world()
+    rid = resource.resource_id
+
+    if name == "system call":
+        return kernel, lambda: kernel.syscall(client.pid, "null")
+    if name == "no goal":
+        kernel.sys_setgoal(owner.pid, rid, "read", "true")
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid)
+
+    goal = f"{owner.path} says ok(?Subject)"
+    kernel.sys_setgoal(owner.pid, rid, "read", goal)
+    concrete = parse(f"{owner.path} says ok({client.path})")
+
+    if name == "no proof":
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid)
+    if name == "not sound":
+        bad = ProofBundle(Rule("and_elim_l", (Assume(concrete),), concrete))
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid, bad)
+    if name == "pass":
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid,
+                                                bundle)
+    if name == "no cred":
+        # Sound proof over a label that was never deposited.
+        bundle = ProofBundle(Assume(concrete), credentials=(concrete,))
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid,
+                                                bundle)
+    if name == "embed auth":
+        kernel.register_authority("embedded",
+                                  CallableAuthority(lambda f: True))
+        bundle = ProofBundle(AuthorityQuery(concrete, "embedded"))
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid,
+                                                bundle)
+    if name == "auth":
+        # External authority: the query crosses an IPC hop into a
+        # separate authority process before answering.
+        authority_proc = kernel.create_process("authority")
+        port = kernel.create_port(authority_proc.pid, "authority",
+                                  handler=lambda f: True)
+
+        def external(formula):
+            return kernel.ipc_call(authority_proc.pid, port.port_id, formula)
+        kernel.register_authority("external", CallableAuthority(external))
+        bundle = ProofBundle(AuthorityQuery(concrete, "external"))
+        return kernel, lambda: kernel.authorize(client.pid, "read", rid,
+                                                bundle)
+    raise ValueError(name)
+
+
+SCENARIOS = ("system call", "no goal", "no proof", "not sound", "pass",
+             "no cred", "embed auth", "auth")
+
+
+@pytest.mark.parametrize("cache", ["cache", "no-cache"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_authorization_cost(bench_us, scenario, cache):
+    kernel, call = _scenario(scenario)
+    kernel.decision_cache.enabled = (cache == "cache")
+    call()  # warm: fills caches where the scenario allows it
+    mean = bench_us(call)
+    reporting.record(EXP, f"{scenario} [{cache}]", mean, "us/call")
+
+
+def test_cached_pass_is_much_cheaper_than_uncached(benchmark):
+    """The headline claim: decision caching collapses authorization cost.
+    Paper: a guard upcall is 16–20× a cached kernel decision."""
+    import time
+
+    def measure(call, n):
+        call()
+        start = time.perf_counter()
+        for _ in range(n):
+            call()
+        return (time.perf_counter() - start) / n * 1e6
+
+    kernel, call = _scenario("pass")
+    kernel.decision_cache.enabled = True
+    cached = measure(call, 2000)
+    kernel2, call2 = _scenario("pass")
+    kernel2.decision_cache.enabled = False
+    kernel2.default_guard.cache.capacity = 0
+    uncached = measure(call2, 500)
+    reporting.record(EXP, "pass cached vs uncached ratio",
+                     uncached / cached, "x",
+                     note="paper: 16-20x for the guard upcall")
+    benchmark(call)
+    assert uncached > cached * 4

@@ -1,0 +1,115 @@
+"""Figure 5 — proof evaluation cost versus proof size.
+
+Paper: checking time grows linearly with the number of inference rules
+applied, for three rule families — speaksfor delegation, double-negation
+introduction, and disjunction elimination ("boolean"). Solid lines (E) are
+checker-only; dashed lines (F) add label authenticity checks and authority
+lookups. All practical proofs (<15 steps) check in under 1 ms on the
+paper's hardware.
+"""
+
+import pytest
+
+import reporting
+from repro.kernel.kernel import NexusKernel
+from repro.nal.checker import check
+from repro.nal.formula import Implies, Not, Or, Pred, Says, Speaksfor
+from repro.nal.proof import Assume, AuthorityQuery, Rule
+from repro.nal.terms import Name
+
+EXP = "fig5"
+reporting.experiment(
+    EXP, "Proof evaluation cost (µs/check vs #rules)",
+    "linear in rule count; full check (F) a constant above eval-only (E); "
+    "<15-step proofs well under 1 ms")
+
+RULE_COUNTS = (1, 5, 10, 15, 20)
+
+
+def _delegation_proof(k):
+    """speaksfor_trans chained k times: A0 sf A1 sf ... sf A(k+1)."""
+    proof = Assume(Speaksfor(Name("A0"), Name("A1")))
+    for i in range(1, k + 1):
+        step = Assume(Speaksfor(Name(f"A{i}"), Name(f"A{i+1}")))
+        proof = Rule("speaksfor_trans", (proof, step),
+                     Speaksfor(Name("A0"), Name(f"A{i+1}")))
+    return proof
+
+
+def _negation_proof(k):
+    """dneg_intro applied k times to an atom."""
+    p = Pred("p")
+    proof = Assume(p)
+    goal = p
+    for _ in range(k):
+        goal = Not(Not(goal))
+        proof = Rule("dneg_intro", (proof,), goal)
+    return proof
+
+
+def _boolean_proof(k):
+    """k rounds of or-introduction + disjunction elimination."""
+    p = Pred("p")
+    imp = Assume(Implies(p, p))
+    proof = Assume(p)
+    for _ in range(k):
+        disj = Rule("or_intro_l", (proof,), Or(p, p))
+        proof = Rule("or_elim", (disj, imp, imp), p)
+    return proof
+
+
+_BUILDERS = {"delegate": _delegation_proof, "negate": _negation_proof,
+             "boolean": _boolean_proof}
+
+
+def _full_check(kernel, proof):
+    """The F series: checker + label authenticity + authority lookups,
+    exactly the non-cached guard work."""
+    result = check(proof)
+    for assumption in result.assumptions:
+        kernel.labels.holds(assumption)
+    for port, formula in result.authority_queries:
+        kernel.authorities.query(port, formula)
+    return result
+
+
+@pytest.mark.parametrize("rules", RULE_COUNTS)
+@pytest.mark.parametrize("family", sorted(_BUILDERS))
+def test_eval_only(bench_us, family, rules):
+    proof = _BUILDERS[family](rules)
+    mean = bench_us(check, proof)
+    reporting.record(EXP, f"{family} E k={rules}", mean, "us/check")
+
+
+@pytest.mark.parametrize("rules", RULE_COUNTS)
+@pytest.mark.parametrize("family", sorted(_BUILDERS))
+def test_full_check(bench_us, family, rules):
+    kernel = NexusKernel()
+    speaker = kernel.create_process("prover")
+    proof = _BUILDERS[family](rules)
+    # Deposit every assumption so `holds` does real (successful) work.
+    store = kernel.default_labelstore(speaker.pid)
+    for leaf in proof.leaves():
+        if isinstance(leaf, Assume):
+            if isinstance(leaf.conclusion, Says):
+                store.insert(leaf.conclusion.speaker, leaf.conclusion.body)
+    mean = bench_us(_full_check, kernel, proof)
+    reporting.record(EXP, f"{family} F k={rules}", mean, "us/check")
+
+
+def test_linearity_shape(benchmark):
+    """Checking cost must scale roughly linearly: 20 rules should take
+    nowhere near 20x-squared of 1 rule (allow generous constant factors)."""
+    import time
+    times = {}
+    for k in (1, 20):
+        proof = _negation_proof(k)
+        start = time.perf_counter()
+        for _ in range(300):
+            check(proof)
+        times[k] = time.perf_counter() - start
+    ratio = times[20] / times[1]
+    reporting.record(EXP, "negate 20-rule/1-rule time ratio", ratio, "x",
+                     note="linear scaling => ratio well under 40x")
+    benchmark(check, _negation_proof(15))
+    assert ratio < 40

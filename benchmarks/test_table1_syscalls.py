@@ -1,0 +1,101 @@
+"""Table 1 — system call overhead.
+
+Paper: cycles for null/getppid/gettimeofday/yield/open/close/read/write,
+comparing Nexus without interpositioning ("bare"), standard Nexus, and
+Linux. Expected shape: interposition adds a small constant (~456 cycles on
+a 2.13 GHz part, i.e. ~0.2 µs) to the null call; low-level calls are
+comparable to the monolithic baseline; file operations cost 2–3× because
+they traverse the user-level file server.
+"""
+
+import pytest
+
+import reporting
+from workloads import MonolithicBaseline, nexus_with_fs
+
+EXP = "table1"
+reporting.experiment(
+    EXP, "System call overhead (µs/call; paper reports cycles)",
+    "interposition ≈ constant adder on null; low-level ops ≈ baseline; "
+    "file ops 2-3x baseline (user-level fs server)")
+
+_SIMPLE = ("null", "getppid", "gettimeofday", "yield")
+
+
+def _nexus_rig(interpose):
+    kernel, fs, pid = nexus_with_fs(interpose)
+    fd = kernel.syscall(pid, "open", "/bench/file")
+    kernel.syscall(pid, "write", fd, b"x" * 512)
+    return kernel, pid, fd
+
+
+@pytest.mark.parametrize("name", _SIMPLE)
+def test_simple_syscall_bare(bench_us, name):
+    kernel, pid, _fd = _nexus_rig(interpose=False)
+    mean = bench_us(lambda: kernel.syscall(pid, name))
+    reporting.record(EXP, f"{name} (nexus bare)", mean, "us/call")
+
+
+@pytest.mark.parametrize("name", _SIMPLE)
+def test_simple_syscall_interposed(bench_us, name):
+    kernel, pid, _fd = _nexus_rig(interpose=True)
+    mean = bench_us(lambda: kernel.syscall(pid, name))
+    reporting.record(EXP, f"{name} (nexus)", mean, "us/call")
+
+
+@pytest.mark.parametrize("name", _SIMPLE)
+def test_simple_syscall_baseline(bench_us, name):
+    linux = MonolithicBaseline()
+    table = {"null": linux.null, "getppid": linux.getppid,
+             "gettimeofday": linux.gettimeofday, "yield": linux.sched_yield}
+    mean = bench_us(lambda: table[name](2))
+    reporting.record(EXP, f"{name} (baseline)", mean, "us/call")
+
+
+def test_null_blocked_returns_early(bench_us):
+    """The paper's `null (block)` row: a denied interposed call exits the
+    path before the handler runs, so it is cheaper than a full call."""
+    from repro.errors import AccessDenied
+    from repro.kernel.interposition import SyscallWhitelistMonitor
+    kernel, pid, _fd = _nexus_rig(interpose=True)
+    kernel.interpose_syscall_channel(pid, SyscallWhitelistMonitor(set()))
+
+    def blocked():
+        try:
+            kernel.syscall(pid, "null")
+        except AccessDenied:
+            pass
+    mean = bench_us(blocked)
+    reporting.record(EXP, "null block (nexus)", mean, "us/call")
+
+
+_FILE_OPS = ("open", "close", "read", "write")
+
+
+@pytest.mark.parametrize("name", _FILE_OPS)
+def test_file_syscall_nexus(bench_us, name):
+    kernel, pid, fd = _nexus_rig(interpose=True)
+    ops = {
+        "open": lambda: kernel.syscall(pid, "open", "/bench/file"),
+        "close": lambda: kernel.syscall(
+            pid, "close", kernel.syscall(pid, "open", "/bench/file")),
+        "read": lambda: kernel.syscall(pid, "read", fd, 64),
+        "write": lambda: kernel.syscall(pid, "write", fd, b"y" * 64),
+    }
+    mean = bench_us(ops[name])
+    reporting.record(EXP, f"{name} (nexus)", mean, "us/call")
+
+
+@pytest.mark.parametrize("name", _FILE_OPS)
+def test_file_syscall_baseline(bench_us, name):
+    linux = MonolithicBaseline()
+    fd = linux.open(2, "/bench/file")
+    linux.write(2, fd, b"x" * 512)
+    ops = {
+        "open": lambda: linux.open(2, "/bench/file"),
+        "close": lambda: linux.close(2, linux.open(2, "/bench/file")),
+        "read": lambda: linux.read(2, fd, 64),
+        "write": lambda: linux.write(2, fd, b"y" * 64),
+    }
+    mean = bench_us(ops[name])
+    reporting.record(EXP, f"{name} (baseline)", mean, "us/call")

@@ -1,0 +1,91 @@
+"""Shared workload builders for the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.fs.ramfs import FileServer
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, AuthorityQuery, ProofBundle
+from repro.nal.prover import prove
+
+
+class MonolithicBaseline:
+    """The "Linux" column of Table 1: the same operations implemented as
+    direct, in-kernel function calls — no IPC hop, no interposition, no
+    user-level servers. The comparison target, not part of the Nexus."""
+
+    def __init__(self):
+        self._files = {}
+        self._fds = {}
+        self._next_fd = 3
+        self._time = 0
+        self._parent = {2: 1}
+
+    def null(self, pid):
+        return None
+
+    def getppid(self, pid):
+        return self._parent.get(pid)
+
+    def gettimeofday(self, pid):
+        self._time += 1
+        return self._time
+
+    def sched_yield(self, pid):
+        return None
+
+    def open(self, pid, path):
+        self._files.setdefault(path, bytearray())
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = [path, 0]
+        return fd
+
+    def close(self, pid, fd):
+        self._fds.pop(fd, None)
+
+    def read(self, pid, fd, length):
+        path, offset = self._fds[fd]
+        data = self._files[path]
+        chunk = bytes(data[offset:offset + length])
+        self._fds[fd][1] += len(chunk)
+        return chunk
+
+    def write(self, pid, fd, payload):
+        path, offset = self._fds[fd]
+        data = self._files[path]
+        end = offset + len(payload)
+        if end > len(data):
+            data.extend(b"\x00" * (end - len(data)))
+        data[offset:end] = payload
+        self._fds[fd][1] = end
+        return len(payload)
+
+
+def nexus_with_fs(interpose: bool) -> Tuple[NexusKernel, FileServer, int]:
+    kernel = NexusKernel(interpose_syscalls=interpose)
+    fs = FileServer(kernel)
+    proc = kernel.create_process("bench-proc",
+                                 parent_pid=fs.process.pid)
+    return kernel, fs, proc.pid
+
+
+def guarded_resource(kernel: NexusKernel, goal: Optional[str] = None):
+    """A resource owned by a separate process, optionally goal-protected,
+    plus a client pid and a valid proof bundle for the standard goal."""
+    owner = kernel.create_process("bench-owner")
+    client = kernel.create_process("bench-client")
+    resource = kernel.resources.create("/bench/obj", "file", owner.principal)
+    bundle = None
+    if goal is not None:
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read", goal)
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        target = parse(f"{owner.path} says ok({client.path})")
+        try:
+            proof = prove(target, [cred])
+            bundle = ProofBundle(proof, credentials=(cred,))
+        except Exception:
+            bundle = None
+    return owner, client, resource, bundle

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""BGP external security monitors (§4): synthetic trust for routing.
+
+Three ASes exchange routes. AS 300's legacy speaker is straddled by a
+verifier proxy that blocks route fabrication and false origination and
+issues a conformance label while the speaker behaves.
+
+Run:  python examples/bgp_monitor.py
+"""
+
+from repro.apps.bgp import Advertisement, BGPSpeaker, BGPVerifier
+from repro.errors import PolicyViolation
+from repro.kernel import NexusKernel
+
+OWNERSHIP = {"10.0.0.0/8": 100, "172.16.0.0/12": 200}
+
+
+def main() -> None:
+    kernel = NexusKernel()
+    speaker = BGPSpeaker(300)
+    verifier = BGPVerifier(speaker, OWNERSHIP, kernel=kernel)
+
+    # Routes arrive from peers (the monitor observes the inbound side).
+    verifier.deliver_inbound(Advertisement("10.0.0.0/8", (150, 120, 100)),
+                             from_as=150)
+    verifier.deliver_inbound(Advertisement("10.0.0.0/8", (160, 100)),
+                             from_as=160)
+
+    adv = verifier.emit("10.0.0.0/8")
+    print(f"honest re-advertisement passed: AS-path {adv.as_path}")
+    label = verifier.conformance_label()
+    print(f"conformance label: {label}")
+
+    print("\nnow the speaker turns malicious...")
+    speaker.lie_shorten_paths = True
+    try:
+        verifier.emit("10.0.0.0/8")
+    except PolicyViolation as exc:
+        print(f"  fabricated short route blocked: {exc}")
+
+    speaker.lie_shorten_paths = False
+    speaker.lie_originate.add("172.16.0.0/12")
+    try:
+        verifier.emit("172.16.0.0/12")
+    except PolicyViolation as exc:
+        print(f"  false origination blocked: {exc}")
+
+    print(f"\nviolations recorded: "
+          f"{[(v.rule, v.advertisement.prefix) for v in verifier.violations]}")
+    print(f"conformance label after violations: "
+          f"{verifier.conformance_label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CertiPics + TruDocs: certified document handling (§4).
+
+CertiPics edits an image while emitting a hash-chained, signed log of
+every transformation; a verifier replays the log and rejects forbidden
+edits. TruDocs certifies that a quoted excerpt is derivable from its
+source under a use policy.
+
+Run:  python examples/certipics_demo.py
+"""
+
+from repro.apps.certipics import CertiPics, Image, verify_log
+from repro.apps.trudocs import Document, TruDocs, UsePolicy
+from repro.crypto.rsa import generate_keypair
+from repro.errors import IntegrityError, PolicyViolation
+from repro.kernel import NexusKernel
+
+
+def certipics_demo() -> None:
+    print("== CertiPics: certified image edits ==")
+    key = generate_keypair(512, seed=5150)
+    source = Image.from_rows([[(x * 7 + y * 13) % 256 for x in range(16)]
+                              for y in range(12)])
+
+    session = CertiPics(source, key)
+    session.apply("crop", 2, 2, 12, 8)
+    session.apply("grayscale")
+    session.apply("resize", 24, 16)
+    log = session.finalize()
+    verify_log(source, session.current, log, key.public)
+    print(f"  legitimate pipeline: {len(log.entries)} ops, log verifies")
+
+    doctored = CertiPics(source, key)
+    doctored.apply("clone", (0, 0, 4, 4), (8, 8))  # the scandal edit
+    bad_log = doctored.finalize()
+    try:
+        verify_log(source, doctored.current, bad_log, key.public)
+    except PolicyViolation as exc:
+        print(f"  doctored pipeline: {exc}")
+
+    log.entries.pop(0)  # try to hide the crop
+    try:
+        verify_log(source, session.current, log, key.public)
+    except IntegrityError as exc:
+        print(f"  tampered log: {exc}")
+
+
+def trudocs_demo() -> None:
+    print("\n== TruDocs: excerpts that speak for their documents ==")
+    kernel = NexusKernel()
+    trudocs = TruDocs(kernel)
+    report = Document(
+        name="inspector-report",
+        text=("The inspector found the facility compliant in general. "
+              "However, the cooling system requires immediate repair "
+              "before the next operating cycle."),
+        policy=UsePolicy(max_excerpt_words=20))
+
+    fair = ("The inspector found the facility compliant ... the cooling "
+            "system requires immediate repair")
+    label = trudocs.certify(report, fair)
+    print(f"  fair excerpt certified: {label}")
+
+    misleading = "the facility compliant ... The inspector found"
+    try:
+        trudocs.certify(report, misleading)
+    except PolicyViolation as exc:
+        print(f"  out-of-order splice refused: {exc}")
+
+    fabricated = "the facility requires immediate closure"
+    try:
+        trudocs.certify(report, fabricated)
+    except PolicyViolation as exc:
+        print(f"  fabrication refused: {exc}")
+
+
+if __name__ == "__main__":
+    certipics_demo()
+    trudocs_demo()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Group signatures and revocation, built from goal formulas (§3.3, §2.7).
+
+A release-signing key that any admitted team member may use, but only the
+designated key manager may export — two different goal formulas on two
+operations of one VKEY. Plus the revocation pattern: membership is
+granted as a revocable credential, so offboarding is one authority update.
+
+Run:  python examples/group_signing.py
+"""
+
+from repro.core import GroupKeyService, RevocationService
+from repro.errors import AccessDenied
+from repro.kernel import NexusKernel
+from repro.nal import parse
+
+
+def main() -> None:
+    kernel = NexusKernel()
+    groups = GroupKeyService(kernel)
+    owner = kernel.create_process("team-lead")
+    dev = kernel.create_process("developer")
+    ops = kernel.create_process("ops-engineer")
+    intern = kernel.create_process("intern")
+
+    groups.create_group_key(owner, "release", seed=404)
+    print("created group key 'release' with separate sign/externalize goals")
+
+    dev_wallet = groups.admit_member(owner, "release", dev)
+    ops_wallet = groups.appoint_manager(owner, "release", ops)
+
+    signature = groups.sign(dev, "release", b"release-2.4.tar.gz",
+                            dev_wallet)
+    groups.public_key("release").verify(b"release-2.4.tar.gz", signature)
+    print("developer (member) signed the release; signature verifies")
+
+    for subject, wallet, action in (
+            (intern, dev_wallet, "sign"),      # not a member
+            (dev, dev_wallet, "externalize"),  # member but not manager
+            (ops, ops_wallet, "sign")):        # manager but not member
+        try:
+            if action == "sign":
+                groups.sign(subject, "release", b"x", wallet)
+            else:
+                groups.externalize(subject, "release", wallet)
+        except AccessDenied:
+            print(f"{subject.name}: {action} denied (as the policy demands)")
+
+    blob = groups.externalize(ops, "release", ops_wallet)
+    print(f"ops (key manager) externalized the key: {len(blob)} bytes, "
+          "wrapped under the TPM-rooted kernel key")
+
+    # --- revocable access to a service, §2.7-style -----------------------
+    print("\nrevocable credentials:")
+    revocation = RevocationService(kernel)
+    issuer = kernel.create_process("hr-system")
+    resource = kernel.resources.create("/svc/payroll", "service",
+                                       owner.principal)
+    kernel.sys_setgoal(owner.pid, resource.resource_id, "use",
+                       f"{issuer.path} says employed(dev-42)")
+    wallet = revocation.issue(issuer, "employed(dev-42)")
+    bundle = wallet.bundle_for(parse(f"{issuer.path} says employed(dev-42)"))
+    print("  while employed:",
+          kernel.authorize(dev.pid, "use", resource.resource_id,
+                           bundle).allow)
+    revocation.revoke(issuer, "employed(dev-42)")
+    print("  after offboarding:",
+          kernel.authorize(dev.pid, "use", resource.resource_id,
+                           bundle).allow,
+          "(same credentials, authority now refuses)")
+
+
+if __name__ == "__main__":
+    main()

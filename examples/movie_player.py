@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Time-sensitive content without platform lock-down (§2 + §4).
+
+A content owner streams a movie to any player that *provably* lacks IPC
+channels to the disk and network — the analytic basis for trust — instead
+of whitelisting player hashes. Also demonstrates the time-sensitive file
+from §2: a deadline enforced by an authority, not by revocable
+credentials.
+
+Run:  python examples/movie_player.py
+"""
+
+from repro.analysis import IPCConnectivityAnalyzer
+from repro.apps.movieplayer import ContentServer, MoviePlayer
+from repro.core.credentials import CredentialSet
+from repro.errors import AccessDenied
+from repro.kernel import ClockAuthority, NexusKernel
+from repro.nal import parse
+from repro.nal.proof import ProofBundle
+from repro.nal.prover import Prover
+
+
+def isolation_demo(kernel, analyzer, fs_port) -> None:
+    print("== choice of player, no whitelists ==")
+    server = ContentServer(kernel, analyzer, movie=b"8K-HDR-FRAMES" * 4)
+
+    for name in ("vlc-clone", "homebrew-player"):
+        player = MoviePlayer(kernel, name=name,
+                             image=f"binary-of-{name}".encode())
+        frames = player.request_stream(server, analyzer)
+        print(f"  {name}: streamed {len(frames)} bytes "
+              "(hash never disclosed)")
+
+    leaky = MoviePlayer(kernel, name="screen-ripper")
+    kernel.ipc_call(leaky.process.pid, fs_port.port_id)  # touches the disk
+    try:
+        leaky.request_stream(server, analyzer)
+    except AccessDenied as exc:
+        print(f"  screen-ripper: refused ({exc})")
+
+
+def deadline_demo(kernel) -> None:
+    print("\n== the time-sensitive file (§2) ==")
+    clock = {"now": 20110301}
+    kernel.register_authority("ntp", ClockAuthority(lambda: clock["now"]))
+    owner = kernel.create_process("file-owner")
+    reader = kernel.create_process("reader")
+    secret = kernel.resources.create("/files/embargoed", "file",
+                                     owner.principal)
+    kernel.sys_setgoal(owner.pid, secret.resource_id, "read",
+                       f"{owner.path} says TimeNow < 20110319")
+    delegation = kernel.sys_say(
+        owner.pid, f"NTP speaksfor {owner.path} on TimeNow").formula
+
+    goal = parse(f"{owner.path} says TimeNow < 20110319")
+    ntp_claim = parse("NTP says TimeNow < 20110319")
+    prover = Prover([delegation], authorities={ntp_claim: "ntp"})
+    bundle = ProofBundle(prover.prove(goal), credentials=(delegation,))
+
+    decision = kernel.authorize(reader.pid, "read", secret.resource_id,
+                                bundle)
+    print(f"  on 2011-03-01: allowed={decision.allow} "
+          f"(cacheable={decision.cacheable} — time is dynamic state)")
+    clock["now"] = 20110320
+    decision = kernel.authorize(reader.pid, "read", secret.resource_id,
+                                bundle)
+    print(f"  on 2011-03-20: allowed={decision.allow} "
+          "(same credentials, the authority now says no)")
+
+
+def main() -> None:
+    kernel = NexusKernel()
+    fs = kernel.create_process("fs-server")
+    fs_port = kernel.create_port(fs.pid, "fs", handler=lambda *a: None)
+    net = kernel.create_process("net-driver")
+    kernel.create_port(net.pid, "net", handler=lambda *a: None)
+    analyzer = IPCConnectivityAnalyzer(kernel)
+    isolation_demo(kernel, analyzer, fs_port)
+    deadline_demo(kernel)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Not-a-Bot: human-presence certificates against spam (§4).
+
+The keyboard driver attests keypress counts; mail carries the TPM-rooted
+certificate; the receiving classifier uses it as a feature.
+
+Run:  python examples/notabot_demo.py
+"""
+
+from repro.apps.notabot import KeyboardDriver, MailClient, SpamClassifier
+from repro.kernel import NexusKernel
+
+
+def main() -> None:
+    kernel = NexusKernel()
+    driver = KeyboardDriver(kernel)
+    alice = MailClient(kernel, driver, sender="alice@cornell.edu")
+    classifier = SpamClassifier(root_key=kernel.tpm.ek_public)
+
+    human = alice.compose("Hey Bob — lunch at the statler at noon?",
+                          typed=True)
+    bot = alice.compose("FREE MONEY click http://totally.legit.example now",
+                        typed=False)
+
+    for label, email in (("typed by a human", human),
+                         ("injected by a bot", bot)):
+        score = classifier.presence_score(email)
+        verdict = classifier.classify(email)
+        chain = email.presence_chain
+        print(f"{label}:")
+        print(f"  presence chain: {' -> '.join(chain.speaker_path())}")
+        print(f"  attested statement: {chain.leaf().statement}")
+        print(f"  presence score {score:.2f} -> {verdict}")
+
+    # A certificate from a different platform does not transfer.
+    other = NexusKernel(key_seed=4242)
+    other_mail = MailClient(other, KeyboardDriver(other), sender="eve")
+    forged = other_mail.compose("trust me", typed=True)
+    stolen = human
+    stolen.presence_chain = forged.presence_chain
+    print(f"\nforeign-platform certificate: presence score "
+          f"{classifier.presence_score(stolen):.2f} (rejected — wrong EK)")
+
+
+if __name__ == "__main__":
+    main()

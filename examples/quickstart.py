@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: labels, goals, proofs, and guarded access in 60 lines.
+
+Walks the paper's core loop (Figure 1): an owner protects a resource with
+a goal formula, issues a credential via the ``say`` system call, and a
+client constructs a proof that the guard checks — first a miss (guard
+upcall), then decision-cache hits.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CredentialSet, Nexus
+
+
+def main() -> None:
+    nexus = Nexus()
+    kernel = nexus.kernel
+
+    # Two isolated protection domains (processes).
+    owner = nexus.launch("report-owner")
+    client = nexus.launch("report-reader")
+    print(f"launched {owner.path} and {client.path}")
+
+    # A kernel resource: an expense report.
+    report = kernel.resources.create("/files/expense-report", "file",
+                                     owner.principal,
+                                     payload=b"Q2 travel: $1,942.17")
+
+    # Default policy first: only the owner may touch a goal-less resource.
+    denied = nexus.authorize(client, "read", report)
+    print(f"before any goal: client read allowed? {denied.allow}  "
+          f"({denied.reason})")
+
+    # The owner attaches the paper-style goal: access for anyone the
+    # owner says completed accounting training (§2: the CBA example).
+    nexus.set_goal(owner, report, "read",
+                   f"{owner.path} says completedTraining(?Subject)")
+
+    # The owner issues the credential through the say syscall: a label,
+    # unforgeable without any cryptography.
+    label = nexus.say(owner, f"completedTraining({client.path})")
+    print(f"label issued: {label.formula}")
+
+    # The client builds the proof from its wallet and asks again.
+    wallet = CredentialSet([label])
+    decision = nexus.request(client, "read", report, wallet)
+    print(f"with proof: allowed? {decision.allow}  cacheable? "
+          f"{decision.cacheable}")
+
+    # Subsequent requests hit the kernel decision cache — no guard upcall.
+    upcalls_before = kernel.default_guard.upcalls
+    for _ in range(1000):
+        nexus.request(client, "read", report, wallet)
+    print(f"1000 repeat requests took "
+          f"{kernel.default_guard.upcalls - upcalls_before} guard upcalls "
+          f"(decision cache hits: {kernel.decision_cache.stats.hits})")
+
+    # The label can leave the machine as a TPM-rooted certificate chain.
+    chain = nexus.kernel.externalize_label(label)
+    chain.verify()
+    print("externalized chain:", " -> ".join(chain.speaker_path()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The §2 credentials-based-authorization example: "a user whose identity
+is vetted by any two of: a stored password service, a retinal scan
+service, and an identity certificate stored on a USB dongle".
+
+CBA's flexibility means the *client* picks which two factors to
+discharge; the policy owner never enumerates the combinations.
+
+Run:  python examples/two_of_three_auth.py
+"""
+
+from repro import CredentialSet, Nexus
+from repro.errors import ProofError
+
+FACTORS = ("PasswordSvc", "RetinaSvc", "DongleSvc")
+
+
+def two_of_three_goal(owner_path: str, subject: str) -> str:
+    """The goal formula: any two distinct factor services vouch."""
+    pairs = []
+    for i, a in enumerate(FACTORS):
+        for b in FACTORS[i + 1:]:
+            pairs.append(f"({a} says vetted({subject}) and "
+                         f"{b} says vetted({subject}))")
+    return " or ".join(pairs)
+
+
+def main() -> None:
+    nexus = Nexus()
+    kernel = nexus.kernel
+    owner = nexus.launch("account-owner")
+    user = nexus.launch("login-session")
+    account = kernel.resources.create("/accounts/alice", "account",
+                                      owner.principal)
+
+    goal = two_of_three_goal(owner.path, user.path)
+    nexus.set_goal(owner, account, "login", goal)
+    print("goal formula:")
+    print(f"  {goal}\n")
+
+    # Each factor service is its own process issuing its own label.
+    services = {name: nexus.launch(name.lower()) for name in FACTORS}
+    handoffs = []
+    for name, process in services.items():
+        # The well-known service names delegate to the actual processes
+        # (in a real deployment: hash attestation of the service binary).
+        handoffs.append(kernel.say_as(
+            name, f"{process.path} speaksfor {name}",
+            store=kernel.default_labelstore(user.pid)).formula)
+
+    def attempt(factors):
+        wallet = CredentialSet(handoffs)
+        for factor in factors:
+            label = nexus.say(services[factor], f"vetted({user.path})")
+            wallet.add(label)
+        decision = nexus.request(user, "login", account, wallet)
+        print(f"  factors {factors}: allowed={decision.allow}")
+
+    print("the user picks whichever two factors are convenient:")
+    attempt(["PasswordSvc", "DongleSvc"])
+    attempt(["RetinaSvc", "PasswordSvc"])
+    print("one factor is not enough:")
+    attempt(["PasswordSvc"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a reproduction of *Logical Attestation: An Authorization
+Architecture for Trustworthy Computing* (Sirer et al., SOSP 2011).
+
+The package implements the Nexus authorization stack in simulation: the
+NAL logic and proof checker, labelstores, guards, the kernel decision
+cache, authorities, interpositioning, introspection, TPM-rooted attested
+storage, and the paper's applications (Fauxbook and friends).
+
+Quickstart::
+
+    from repro import Nexus, CredentialSet
+
+    nexus = Nexus()
+    owner = nexus.launch("owner")
+    client = nexus.launch("client")
+    resource = nexus.kernel.resources.create("/obj/report", "file",
+                                             owner.principal)
+    nexus.set_goal(owner, resource, "read",
+                   f"{owner.path} says mayRead(?Subject)")
+    label = nexus.say(owner, f"mayRead({client.path})")
+    wallet = CredentialSet([label])
+    decision = nexus.request(client, "read", resource, wallet)
+    assert decision.allow
+"""
+
+from repro.core import CredentialSet, Nexus
+from repro.nal import parse, parse_principal
+
+__version__ = "1.0.0"
+
+__all__ = ["CredentialSet", "Nexus", "parse", "parse_principal",
+           "__version__"]

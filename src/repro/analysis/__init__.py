@@ -1,0 +1,22 @@
+"""Analysis substrates: the analytic and synthetic labeling functions."""
+
+from repro.analysis.ipc_analyzer import IPCConnectivityAnalyzer
+from repro.analysis.pysandbox import (
+    AnalysisReport,
+    DEFAULT_ALLOWED_IMPORTS,
+    PythonSandboxAnalyzer,
+)
+from repro.analysis.rewriter import ReflectionRewriter
+from repro.analysis.sloc import (
+    component_inventory,
+    count_file,
+    count_source_lines,
+    count_tree,
+)
+
+__all__ = [
+    "IPCConnectivityAnalyzer",
+    "AnalysisReport", "DEFAULT_ALLOWED_IMPORTS", "PythonSandboxAnalyzer",
+    "ReflectionRewriter",
+    "component_inventory", "count_file", "count_source_lines", "count_tree",
+]

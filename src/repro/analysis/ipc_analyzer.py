@@ -1,0 +1,107 @@
+"""The IPC connectivity analyzer (§2.2): the analytic basis for trust.
+
+Disk and network drivers in the Nexus live in user space and are reachable
+only over IPC, so a process whose *transitive* IPC connection graph has no
+path to those drivers demonstrably has no channel to the disk or network.
+The analyzer enumerates that graph through the kernel's introspection
+interface and issues ``¬hasPath`` labels — the exact labels the paper's
+time-sensitive-file example and movie-player application consume.
+
+The analyzer runs as an ordinary process; its authority comes from a
+kernel label binding its process to the well-known ``IPCAnalyzer``
+principal (axiomatic trust in the analyzer binary's hash), after which
+its *statements* carry analytic weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+
+
+class IPCConnectivityAnalyzer:
+    """Enumerates the transitive IPC connection graph of the system."""
+
+    def __init__(self, kernel: NexusKernel):
+        self.kernel = kernel
+        self.process = kernel.create_process("ipc-analyzer",
+                                             image=b"ipc-analyzer-image")
+        # The kernel vouches that this process *is* the analyzer, based on
+        # its launch-time hash — the one axiomatic link in the chain.
+        kernel.say_as(
+            "Nexus", f"{self.process.path} speaksfor IPCAnalyzer",
+            store=kernel.default_labelstore(self.process.pid))
+
+    # -- graph construction ----------------------------------------------------
+
+    def snapshot_graph(self) -> nx.DiGraph:
+        """Build the caller→owner digraph from kernel introspection.
+
+        An edge p → q means p has invoked (or holds a connection to) a
+        port owned by q, i.e. data can flow from p to q.
+        """
+        graph = nx.DiGraph()
+        for process in self.kernel.processes:
+            if process.alive:
+                graph.add_node(process.pid)
+        raw = self.kernel.introspection.read("/proc/kernel/ipc_connections",
+                                             reader=self.process.path)
+        if raw:
+            for item in raw.split(";"):
+                caller, _, port_id = item.partition("->")
+                port = self.kernel.ports.get(int(port_id))
+                graph.add_edge(int(caller), port.owner_pid)
+        return graph
+
+    def has_path(self, src_pid: int, dst_pid: int) -> bool:
+        graph = self.snapshot_graph()
+        if src_pid not in graph or dst_pid not in graph:
+            return False
+        return nx.has_path(graph, src_pid, dst_pid)
+
+    def reachable_from(self, pid: int) -> Set[int]:
+        graph = self.snapshot_graph()
+        if pid not in graph:
+            return set()
+        return set(nx.descendants(graph, pid))
+
+    # -- label generation ----------------------------------------------------------
+
+    def certify_no_path(self, subject_pid: int,
+                        target_name: str) -> Optional[Formula]:
+        """Issue ``analyzer says ¬hasPath(subject, target)`` if true.
+
+        ``target_name`` is a process name (e.g. "fs-server"); the label
+        names it symbolically, as the paper does with "Filesystem".
+        Returns None — and issues nothing — when a path exists: the
+        analyzer never utters statements it cannot witness.
+        """
+        target_pid = self._pid_of(target_name)
+        if target_pid is not None and self.has_path(subject_pid, target_pid):
+            return None
+        subject = f"/proc/ipd/{subject_pid}"
+        label = self.kernel.sys_say(
+            self.process.pid, f"not hasPath({subject}, {target_name})")
+        return label.formula
+
+    def certify_isolation(self, subject_pid: int,
+                          targets: List[str]) -> Optional[List[Formula]]:
+        """¬hasPath labels for every target, or None if any path exists."""
+        labels = []
+        for target in targets:
+            label = self.certify_no_path(subject_pid, target)
+            if label is None:
+                return None
+            labels.append(label)
+        return labels
+
+    def _pid_of(self, name: str) -> Optional[int]:
+        for process in self.kernel.processes:
+            if process.alive and process.name == name:
+                return process.pid
+        return None

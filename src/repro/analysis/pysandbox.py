@@ -1,0 +1,118 @@
+"""Static analysis of Python tenant code (§4.1, Safety Guarantees).
+
+Fauxbook's first labeling function "performs static analysis to ensure
+that tenant applications are legal Python and that tenants import only a
+limited set of Python libraries". This module is that labeling function:
+an ``ast``-based analyzer that rejects
+
+* imports outside the whitelist (including ``__import__``/importlib),
+* dynamic code execution (``eval``/``exec``/``compile``),
+* raw I/O (``open``),
+* dunder-attribute reflection (``__dict__``, ``__globals__``,
+  ``__class__``, ...) — the escape hatches the paper's second labeling
+  function must close.
+
+Analysis alone is *not* sufficient (the paper says so explicitly): the
+reflection rewriter in :mod:`repro.analysis.rewriter` provides the
+synthetic half.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set
+
+from repro.errors import SandboxViolation
+
+#: The default library whitelist offered to Fauxbook tenants.
+DEFAULT_ALLOWED_IMPORTS: FrozenSet[str] = frozenset({"math", "json", "re"})
+
+_FORBIDDEN_CALLS = {"eval", "exec", "compile", "__import__", "open",
+                    "globals", "locals", "breakpoint", "input"}
+
+_REFLECTION_CALLS = {"getattr", "setattr", "delattr", "vars", "dir",
+                     "type", "super"}
+
+_FORBIDDEN_DUNDER_ATTRS = {
+    "__dict__", "__globals__", "__class__", "__subclasses__", "__bases__",
+    "__mro__", "__code__", "__closure__", "__builtins__", "__import__",
+    "__getattribute__", "__reduce__", "__init_subclass__",
+}
+
+
+@dataclass
+class AnalysisReport:
+    """What the analyzer observed; empty violation list means legal."""
+
+    imports: List[str] = field(default_factory=list)
+    reflection_calls: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def legal(self) -> bool:
+        return not self.violations
+
+
+class PythonSandboxAnalyzer:
+    """The analytic labeling function for tenant code."""
+
+    def __init__(self, allowed_imports: FrozenSet[str]
+                 = DEFAULT_ALLOWED_IMPORTS):
+        self.allowed_imports = frozenset(allowed_imports)
+
+    def analyze(self, source: str) -> AnalysisReport:
+        """Return a report; syntactically illegal code is a violation."""
+        report = AnalysisReport()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            report.violations.append(f"not legal Python: {exc}")
+            return report
+        for node in ast.walk(tree):
+            self._inspect(node, report)
+        return report
+
+    def require_legal(self, source: str) -> AnalysisReport:
+        """Analyze and raise :class:`SandboxViolation` on any finding."""
+        report = self.analyze(source)
+        if not report.legal:
+            raise SandboxViolation("; ".join(report.violations))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _inspect(self, node: ast.AST, report: AnalysisReport) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self._check_import(alias.name, report)
+        elif isinstance(node, ast.ImportFrom):
+            self._check_import(node.module or "", report)
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _FORBIDDEN_CALLS:
+                report.violations.append(f"forbidden call: {name}")
+            elif name in _REFLECTION_CALLS:
+                report.reflection_calls.append(name)
+        elif isinstance(node, ast.Attribute):
+            if node.attr in _FORBIDDEN_DUNDER_ATTRS:
+                report.violations.append(
+                    f"reflection attribute access: {node.attr}")
+        elif isinstance(node, ast.Name):
+            if node.id in _FORBIDDEN_CALLS:
+                report.violations.append(
+                    f"reference to forbidden builtin: {node.id}")
+
+    def _check_import(self, module: str, report: AnalysisReport) -> None:
+        top = module.split(".")[0]
+        report.imports.append(module)
+        if top not in self.allowed_imports:
+            report.violations.append(f"import outside whitelist: {module}")
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""

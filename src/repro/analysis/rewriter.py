@@ -1,0 +1,144 @@
+"""The reflection rewriter: Fauxbook's synthetic labeling function (§4.1).
+
+Static analysis cannot close Python's reflection loopholes, so "a second
+labeling function rewrites every reflection-related call such that it will
+not invoke the import function". We implement it as an AST transformation:
+``getattr``/``setattr``/``delattr``/``vars``/``dir`` calls are rewritten
+to guarded stubs that refuse dunder names, and the transformed module is
+executed under a minimal builtin environment. Analyzer + rewriter together
+yield code that "can only invoke a constrained set of legal Python
+instructions and libraries".
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import json
+import re as re_module
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.analysis.pysandbox import (
+    DEFAULT_ALLOWED_IMPORTS,
+    PythonSandboxAnalyzer,
+)
+from repro.errors import SandboxViolation
+
+_REWRITE_MAP = {
+    "getattr": "__guarded_getattr__",
+    "setattr": "__guarded_setattr__",
+    "delattr": "__guarded_delattr__",
+    "vars": "__guarded_vars__",
+    "dir": "__guarded_dir__",
+}
+
+_SAFE_BUILTINS = {
+    "abs": abs, "all": all, "any": any, "bool": bool, "bytes": bytes,
+    "dict": dict, "enumerate": enumerate, "filter": filter, "float": float,
+    "frozenset": frozenset, "int": int, "isinstance": isinstance,
+    "len": len, "list": list, "map": map, "max": max, "min": min,
+    "print": print, "range": range, "repr": repr, "reversed": reversed,
+    "round": round, "set": set, "sorted": sorted, "str": str, "sum": sum,
+    "tuple": tuple, "zip": zip, "Exception": Exception,
+    "ValueError": ValueError, "KeyError": KeyError, "TypeError": TypeError,
+    "StopIteration": StopIteration, "True": True, "False": False,
+    "None": None,
+}
+
+_IMPORTABLE = {"math": math, "json": json, "re": re_module}
+
+
+def _reject_dunder(name: str) -> None:
+    if name.startswith("__") and name.endswith("__"):
+        raise SandboxViolation(
+            f"reflection on dunder attribute {name!r} rejected by rewriter")
+
+
+def _guarded_getattr(obj: Any, name: str, *default: Any) -> Any:
+    _reject_dunder(name)
+    return getattr(obj, name, *default)
+
+
+def _guarded_setattr(obj: Any, name: str, value: Any) -> None:
+    _reject_dunder(name)
+    setattr(obj, name, value)
+
+
+def _guarded_delattr(obj: Any, name: str) -> None:
+    _reject_dunder(name)
+    delattr(obj, name)
+
+
+def _guarded_vars(obj: Any = None) -> Dict[str, Any]:
+    if obj is None:
+        raise SandboxViolation("vars() without arguments rejected")
+    return {k: v for k, v in vars(obj).items() if not k.startswith("__")}
+
+
+def _guarded_dir(obj: Any = None) -> list:
+    if obj is None:
+        raise SandboxViolation("dir() without arguments rejected")
+    return [n for n in dir(obj) if not n.startswith("__")]
+
+
+class _ReflectionTransformer(ast.NodeTransformer):
+    """Rewrites reflection call *names*; call sites keep their shape."""
+
+    def __init__(self):
+        self.rewrites = 0
+
+    def visit_Name(self, node: ast.Name):
+        if node.id in _REWRITE_MAP and isinstance(node.ctx, ast.Load):
+            self.rewrites += 1
+            return ast.copy_location(
+                ast.Name(id=_REWRITE_MAP[node.id], ctx=ast.Load()), node)
+        return node
+
+
+class ReflectionRewriter:
+    """Produces the transformed artifact and loads it safely."""
+
+    def __init__(self, allowed_imports: FrozenSet[str]
+                 = DEFAULT_ALLOWED_IMPORTS):
+        self.allowed_imports = frozenset(allowed_imports)
+        self.analyzer = PythonSandboxAnalyzer(self.allowed_imports)
+
+    def rewrite(self, source: str) -> tuple[str, int]:
+        """Return (rewritten source, number of rewritten call names)."""
+        tree = ast.parse(source)
+        transformer = _ReflectionTransformer()
+        tree = ast.fix_missing_locations(transformer.visit(tree))
+        return ast.unparse(tree), transformer.rewrites
+
+    def load_tenant(self, source: str,
+                    extra_globals: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+        """Analyze, rewrite, and execute tenant code in a sandbox.
+
+        Returns the module namespace (the tenant's exported functions).
+        Raises :class:`SandboxViolation` when analysis fails — the
+        analytic gate runs *before* any tenant code does.
+        """
+        self.analyzer.require_legal(source)
+        rewritten, _count = self.rewrite(source)
+        builtins: Dict[str, Any] = dict(_SAFE_BUILTINS)
+        builtins["__import__"] = self._guarded_import
+        namespace: Dict[str, Any] = {
+            "__builtins__": builtins,
+            "__guarded_getattr__": _guarded_getattr,
+            "__guarded_setattr__": _guarded_setattr,
+            "__guarded_delattr__": _guarded_delattr,
+            "__guarded_vars__": _guarded_vars,
+            "__guarded_dir__": _guarded_dir,
+        }
+        if extra_globals:
+            namespace.update(extra_globals)
+        code = compile(rewritten, filename="<tenant>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - the sandbox is the point
+        return namespace
+
+    def _guarded_import(self, name: str, *args, **kwargs):
+        top = name.split(".")[0]
+        if top not in self.allowed_imports or top not in _IMPORTABLE:
+            raise SandboxViolation(f"import of {name!r} rejected at runtime")
+        return _IMPORTABLE[top]

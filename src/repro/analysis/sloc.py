@@ -1,0 +1,87 @@
+"""Source-lines-of-code counting (Table 2 methodology).
+
+The paper sizes the Nexus TCB with David Wheeler's ``sloccount``. This is
+a small reimplementation sufficient for Python sources: physical lines
+that are neither blank nor pure comments, with docstrings excluded (they
+are documentation, not executable surface). The Table 2 benchmark uses it
+to produce the same component inventory over *this* repository.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def count_source_lines(source: str) -> int:
+    """Count logical source lines in Python text.
+
+    Lines holding only comments, blank lines, and docstring-only lines are
+    excluded; everything else counts once.
+    """
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Fall back to a crude count for unparsable text.
+        return sum(1 for line in source.splitlines()
+                   if line.strip() and not line.strip().startswith("#"))
+    docstring_candidate = True
+    prev_significant = None
+    for token in tokens:
+        kind, text, start, end = token.type, token.string, token.start, token.end
+        if kind in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                    tokenize.INDENT, tokenize.DEDENT, tokenize.ENCODING,
+                    tokenize.ENDMARKER):
+            continue
+        if kind == tokenize.STRING and _is_docstring_position(
+                prev_significant):
+            prev_significant = kind
+            continue
+        for line in range(start[0], end[0] + 1):
+            code_lines.add(line)
+        prev_significant = kind
+    return len(code_lines)
+
+
+def _is_docstring_position(prev_kind) -> bool:
+    # A string token is a docstring when it is the first significant token
+    # of the module or directly follows a NEWLINE after def/class — we
+    # approximate with "previous significant token was not an operator or
+    # name", which catches module/class/function docstrings in practice.
+    return prev_kind in (None, tokenize.STRING)
+
+
+def count_file(path: PathLike) -> int:
+    return count_source_lines(Path(path).read_text(encoding="utf-8"))
+
+
+def count_tree(root: PathLike, suffix: str = ".py") -> int:
+    total = 0
+    for path in sorted(Path(root).rglob(f"*{suffix}")):
+        total += count_file(path)
+    return total
+
+
+def component_inventory(components: Mapping[str, Iterable[PathLike]]
+                        ) -> Dict[str, int]:
+    """Count a component → paths mapping into component → sloc.
+
+    Paths may be files or directories; directories are counted
+    recursively.
+    """
+    inventory: Dict[str, int] = {}
+    for component, paths in components.items():
+        total = 0
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                total += count_tree(path)
+            elif path.exists():
+                total += count_file(path)
+        inventory[component] = total
+    return inventory

@@ -1,0 +1,19 @@
+"""The paper's applications (§4), built on logical attestation."""
+
+from repro.apps.fauxbook import FauxbookStack, WebFramework
+from repro.apps.movieplayer import ContentServer, MoviePlayer
+from repro.apps.objectstore import Schema, StoreImage, TypedObjectStore
+from repro.apps.notabot import Email, KeyboardDriver, MailClient, SpamClassifier
+from repro.apps.trudocs import Document, TruDocs, UsePolicy
+from repro.apps.certipics import CertiPics, Image, TransformLog, verify_log
+from repro.apps.bgp import BGPSpeaker, BGPVerifier
+
+__all__ = [
+    "FauxbookStack", "WebFramework",
+    "ContentServer", "MoviePlayer",
+    "Schema", "StoreImage", "TypedObjectStore",
+    "Email", "KeyboardDriver", "MailClient", "SpamClassifier",
+    "Document", "TruDocs", "UsePolicy",
+    "CertiPics", "Image", "TransformLog", "verify_log",
+    "BGPSpeaker", "BGPVerifier",
+]

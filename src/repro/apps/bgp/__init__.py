@@ -1,0 +1,8 @@
+"""BGP speakers and the external-security-monitor verifier (§4)."""
+
+from repro.apps.bgp.messages import Advertisement, RibEntry, Withdrawal
+from repro.apps.bgp.speaker import BGPSpeaker
+from repro.apps.bgp.verifier import BGPVerifier, Violation
+
+__all__ = ["Advertisement", "RibEntry", "Withdrawal", "BGPSpeaker",
+           "BGPVerifier", "Violation"]

@@ -1,0 +1,56 @@
+"""BGP message and route types for the protocol verifier (§4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A BGP UPDATE announcing reachability of ``prefix`` via ``as_path``.
+
+    ``as_path[0]`` is the advertising (most recent) AS; the last element
+    is the originating AS.
+    """
+
+    prefix: str
+    as_path: Tuple[int, ...]
+
+    @property
+    def advertiser(self) -> int:
+        return self.as_path[0]
+
+    @property
+    def origin(self) -> int:
+        return self.as_path[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.as_path)
+
+    def prepend(self, asn: int) -> "Advertisement":
+        return Advertisement(self.prefix, (asn,) + self.as_path)
+
+    def has_loop(self) -> bool:
+        return len(set(self.as_path)) != len(self.as_path)
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A BGP UPDATE withdrawing a previously announced prefix."""
+
+    prefix: str
+    speaker: int
+
+
+@dataclass
+class RibEntry:
+    """One candidate route in the routing information base."""
+
+    advertisement: Advertisement
+    learned_from: int
+
+    @property
+    def length(self) -> int:
+        return self.advertisement.length

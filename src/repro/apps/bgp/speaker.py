@@ -1,0 +1,86 @@
+"""A legacy BGP speaker: RIB, best-path selection, re-advertisement.
+
+This is the *unmodified, untrusted* component the external security
+monitor straddles. It can be instantiated honest or with injected
+misbehaviours (route fabrication, false origination) so the verifier has
+something to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.apps.bgp.messages import Advertisement, RibEntry, Withdrawal
+from repro.errors import AppError
+
+
+class BGPSpeaker:
+    """One autonomous system's BGP daemon."""
+
+    def __init__(self, asn: int, owned_prefixes: Set[str] = frozenset()):
+        self.asn = asn
+        self.owned_prefixes = set(owned_prefixes)
+        #: prefix → candidate routes, keyed by the neighbor we heard from.
+        self.rib: Dict[str, Dict[int, RibEntry]] = {}
+        self.peers: Set[int] = set()
+        #: Misbehaviour knobs (for the verifier's benefit).
+        self.lie_shorten_paths = False
+        self.lie_originate: Set[str] = set()
+
+    # -- session management ----------------------------------------------------
+
+    def add_peer(self, asn: int) -> None:
+        self.peers.add(asn)
+
+    # -- receiving updates --------------------------------------------------------
+
+    def receive(self, advertisement: Advertisement, from_as: int) -> None:
+        if advertisement.has_loop():
+            return  # standard loop suppression
+        if self.asn in advertisement.as_path:
+            return
+        entries = self.rib.setdefault(advertisement.prefix, {})
+        entries[from_as] = RibEntry(advertisement=advertisement,
+                                    learned_from=from_as)
+
+    def receive_withdrawal(self, withdrawal: Withdrawal,
+                           from_as: int) -> None:
+        entries = self.rib.get(withdrawal.prefix)
+        if entries:
+            entries.pop(from_as, None)
+
+    # -- best path selection -----------------------------------------------------------
+
+    def best_route(self, prefix: str) -> Optional[RibEntry]:
+        entries = self.rib.get(prefix)
+        if not entries:
+            return None
+        return min(entries.values(),
+                   key=lambda e: (e.length, e.learned_from))
+
+    def shortest_received_length(self, prefix: str) -> Optional[int]:
+        best = self.best_route(prefix)
+        return best.length if best else None
+
+    # -- emitting updates -----------------------------------------------------------------
+
+    def advertise(self, prefix: str) -> Advertisement:
+        """Produce the advertisement this AS would send its peers."""
+        if prefix in self.owned_prefixes:
+            return Advertisement(prefix, (self.asn,))
+        if prefix in self.lie_originate:
+            # False origination: claim ownership of someone else's prefix.
+            return Advertisement(prefix, (self.asn,))
+        best = self.best_route(prefix)
+        if best is None:
+            raise AppError(f"AS{self.asn} has no route to {prefix}")
+        adv = best.advertisement.prepend(self.asn)
+        if self.lie_shorten_paths and len(adv.as_path) > 2:
+            # Route fabrication: advertise an n-hop route where the
+            # shortest received was m, with n < m.
+            adv = Advertisement(prefix, (self.asn, adv.as_path[-1]))
+        return adv
+
+    def withdraw(self, prefix: str) -> Withdrawal:
+        return Withdrawal(prefix=prefix, speaker=self.asn)

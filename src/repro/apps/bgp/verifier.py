@@ -1,0 +1,122 @@
+"""The BGP protocol verifier (§4): synthetic trust for legacy routers.
+
+Instead of TPM-equipping every router and certifying BGP implementations
+(axiomatic trust, hopeless at Internet scale), the verifier straddles a
+legacy speaker as a proxy, monitoring its inputs and outputs and blocking
+any outgoing update that violates minimal BGP safety rules:
+
+* **no route fabrication** — a speaker must not advertise an ``n``-hop
+  route to a destination for which the shortest advertisement it received
+  is ``m`` hops, for ``n < m`` (allowing for its own prepended AS);
+* **no false origination** — a speaker must not originate a prefix it
+  does not own;
+* path hygiene — the speaker's own AS must head the path, and paths must
+  be loop-free.
+
+Conforming speakers earn labels; violations are blocked and logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.apps.bgp.messages import Advertisement, Withdrawal
+from repro.apps.bgp.speaker import BGPSpeaker
+from repro.errors import PolicyViolation
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula
+
+
+@dataclass
+class Violation:
+    rule: str
+    advertisement: Advertisement
+    detail: str
+
+
+class BGPVerifier:
+    """An external security monitor proxying one legacy speaker."""
+
+    def __init__(self, speaker: BGPSpeaker,
+                 prefix_ownership: dict,
+                 kernel: Optional[NexusKernel] = None):
+        self.speaker = speaker
+        self.prefix_ownership = dict(prefix_ownership)  # prefix → owner AS
+        self.kernel = kernel
+        self.process = (kernel.create_process(f"bgp-verifier-as{speaker.asn}",
+                                              image=b"bgp-verifier")
+                        if kernel is not None else None)
+        self.violations: List[Violation] = []
+        #: Shortest path length seen *inbound* per prefix — the monitor
+        #: watches both directions, so it knows what the speaker knows.
+        self._shortest_in: dict = {}
+
+    # -- inbound path (observe) ------------------------------------------------
+
+    def deliver_inbound(self, advertisement: Advertisement,
+                        from_as: int) -> None:
+        best = self._shortest_in.get(advertisement.prefix)
+        if best is None or advertisement.length < best:
+            self._shortest_in[advertisement.prefix] = advertisement.length
+        self.speaker.receive(advertisement, from_as)
+
+    def deliver_withdrawal(self, withdrawal: Withdrawal,
+                           from_as: int) -> None:
+        self.speaker.receive_withdrawal(withdrawal, from_as)
+
+    # -- outbound path (enforce) -----------------------------------------------------
+
+    def emit(self, prefix: str) -> Advertisement:
+        """Ask the speaker to advertise; verify before letting it out.
+
+        Raises :class:`PolicyViolation` (and records it) when blocked.
+        """
+        advertisement = self.speaker.advertise(prefix)
+        self._check(advertisement)
+        return advertisement
+
+    def _check(self, advertisement: Advertisement) -> None:
+        prefix = advertisement.prefix
+        if advertisement.advertiser != self.speaker.asn:
+            self._blocked("path-hygiene", advertisement,
+                          "path does not start with the speaker's AS")
+        if advertisement.has_loop():
+            self._blocked("path-hygiene", advertisement, "AS path loop")
+        if advertisement.length == 1:
+            owner = self.prefix_ownership.get(prefix)
+            if owner != self.speaker.asn:
+                self._blocked(
+                    "false-origination", advertisement,
+                    f"AS{self.speaker.asn} originated {prefix} owned by "
+                    f"AS{owner}")
+            return
+        shortest = self._shortest_in.get(prefix)
+        if shortest is None:
+            self._blocked("route-fabrication", advertisement,
+                          "advertised a transit route never received")
+        elif advertisement.length < shortest + 1:
+            self._blocked(
+                "route-fabrication", advertisement,
+                f"advertised {advertisement.length} hops; shortest "
+                f"received was {shortest} (+1 for own AS)")
+
+    def _blocked(self, rule: str, advertisement: Advertisement,
+                 detail: str) -> None:
+        violation = Violation(rule=rule, advertisement=advertisement,
+                              detail=detail)
+        self.violations.append(violation)
+        raise PolicyViolation(f"BGP safety: {rule}: {detail}")
+
+    # -- labels -------------------------------------------------------------------------
+
+    def conformance_label(self) -> Optional[Formula]:
+        """``verifier says conformsToBGPSafety(ASn)`` — issued only while
+        no violation has been observed."""
+        if self.kernel is None or self.process is None:
+            return None
+        if self.violations:
+            return None
+        label = self.kernel.sys_say(
+            self.process.pid, f"conformsToBGPSafety(AS{self.speaker.asn})")
+        return label.formula

@@ -1,0 +1,184 @@
+"""CertiPics (§4): certified image editing.
+
+An image-processing suite that, alongside every derived image, emits a
+hash-chained, signed log of the transformations applied. Given source,
+result, and log, an analyzer can check that no disallowed operation (e.g.
+cloning) produced the published picture. The processing elements are the
+portable-bitmap-style basics: crop, resize, grayscale/invert transforms,
+and region cloning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import AppError, IntegrityError, PolicyViolation
+
+
+@dataclass(frozen=True)
+class Image:
+    """A tiny raster: tuple of rows, each a tuple of 0-255 ints."""
+
+    pixels: Tuple[Tuple[int, ...], ...]
+
+    @staticmethod
+    def from_rows(rows: Sequence[Sequence[int]]) -> "Image":
+        widths = {len(r) for r in rows}
+        if len(widths) > 1:
+            raise AppError("ragged image rows")
+        return Image(tuple(tuple(int(v) & 0xFF for v in row)
+                           for row in rows))
+
+    @property
+    def height(self) -> int:
+        return len(self.pixels)
+
+    @property
+    def width(self) -> int:
+        return len(self.pixels[0]) if self.pixels else 0
+
+    def digest(self) -> bytes:
+        return sha256(json.dumps(self.pixels).encode())
+
+
+# -- processing elements ------------------------------------------------------
+
+def crop(image: Image, x: int, y: int, w: int, h: int) -> Image:
+    if x < 0 or y < 0 or x + w > image.width or y + h > image.height:
+        raise AppError("crop out of bounds")
+    return Image(tuple(row[x:x + w] for row in image.pixels[y:y + h]))
+
+
+def resize(image: Image, w: int, h: int) -> Image:
+    """Nearest-neighbour resample."""
+    if w < 1 or h < 1:
+        raise AppError("resize to empty image")
+    rows = []
+    for j in range(h):
+        src_row = image.pixels[j * image.height // h]
+        rows.append(tuple(src_row[i * image.width // w] for i in range(w)))
+    return Image(tuple(rows))
+
+
+def grayscale(image: Image) -> Image:
+    # Single-channel model: grayscale is a smoothing transform here.
+    return Image(tuple(
+        tuple(((row[max(0, i - 1)] + v + row[min(len(row) - 1, i + 1)]) // 3)
+              for i, v in enumerate(row))
+        for row in image.pixels))
+
+
+def invert(image: Image) -> Image:
+    return Image(tuple(tuple(255 - v for v in row) for row in image.pixels))
+
+
+def clone_region(image: Image, src: Tuple[int, int, int, int],
+                 dst: Tuple[int, int]) -> Image:
+    """Copy a rectangle over another area — the op news scandals are made
+    of, and the one CertiPics policies typically forbid."""
+    x, y, w, h = src
+    dx, dy = dst
+    if dx + w > image.width or dy + h > image.height:
+        raise AppError("clone destination out of bounds")
+    rows = [list(row) for row in image.pixels]
+    patch = [row[x:x + w] for row in image.pixels[y:y + h]]
+    for j in range(h):
+        rows[dy + j][dx:dx + w] = patch[j]
+    return Image(tuple(tuple(row) for row in rows))
+
+
+_OPERATIONS = {
+    "crop": crop,
+    "resize": resize,
+    "grayscale": grayscale,
+    "invert": invert,
+    "clone": clone_region,
+}
+
+
+# -- the certified log -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class LogEntry:
+    operation: str
+    params: tuple
+    input_digest: bytes
+    output_digest: bytes
+    prev_hash: bytes
+
+    def entry_hash(self) -> bytes:
+        body = json.dumps(
+            [self.operation, list(map(str, self.params)),
+             self.input_digest.hex(), self.output_digest.hex(),
+             self.prev_hash.hex()]).encode()
+        return sha256(body)
+
+
+@dataclass
+class TransformLog:
+    entries: List[LogEntry] = field(default_factory=list)
+    signature: bytes = b""
+
+    def head(self) -> bytes:
+        return self.entries[-1].entry_hash() if self.entries else b"\x00" * 32
+
+
+class CertiPics:
+    """An editing session that produces image + unforgeable log."""
+
+    def __init__(self, source: Image, signing_key: RSAKeyPair):
+        self.source = source
+        self.current = source
+        self._key = signing_key
+        self.log = TransformLog()
+
+    def apply(self, operation: str, *params) -> Image:
+        fn = _OPERATIONS.get(operation)
+        if fn is None:
+            raise AppError(f"unknown operation {operation!r}")
+        before = self.current
+        after = fn(before, *params)
+        self.log.entries.append(LogEntry(
+            operation=operation, params=params,
+            input_digest=before.digest(), output_digest=after.digest(),
+            prev_hash=self.log.head()))
+        self.current = after
+        return after
+
+    def finalize(self) -> TransformLog:
+        self.log.signature = self._key.sign(self.log.head())
+        return self.log
+
+
+# -- verification ------------------------------------------------------------------
+
+def verify_log(source: Image, result: Image, log: TransformLog,
+               signer: RSAPublicKey,
+               forbidden_ops: Sequence[str] = ("clone",)) -> None:
+    """Check the certified log end to end.
+
+    Raises :class:`IntegrityError` for forged/reordered logs and
+    :class:`PolicyViolation` when a forbidden operation appears.
+    """
+    signer.verify(log.head(), log.signature)
+    prev = b"\x00" * 32
+    expected_input = source.digest()
+    for entry in log.entries:
+        if entry.prev_hash != prev:
+            raise IntegrityError("log chain broken: entries reordered or "
+                                 "removed")
+        if entry.input_digest != expected_input:
+            raise IntegrityError("log chain broken: input does not match "
+                                 "previous output")
+        prev = entry.entry_hash()
+        expected_input = entry.output_digest
+    if expected_input != result.digest():
+        raise IntegrityError("published image is not the log's final output")
+    for entry in log.entries:
+        if entry.operation in forbidden_ops:
+            raise PolicyViolation(
+                f"disallowed modification applied: {entry.operation}")

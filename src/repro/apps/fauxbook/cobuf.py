@@ -1,0 +1,154 @@
+"""Cobufs — constrained buffers (§4.1, Confidentiality Guarantees).
+
+A cobuf is an attributed byte buffer: data plus the principal that owns
+it. Tenant code may **store, retrieve, concatenate, and slice** cobufs but
+can never inspect their contents; contents may only be *collated into* a
+cobuf whose owner speaks for the source's owner (per the social graph).
+The interface deliberately omits data-dependent branching, so it is not
+Turing-complete — which is precisely the confinement argument: Fauxbook's
+functionality is data-independent, so opaque blobs suffice.
+
+Revealing bytes (to render a page to their owner) requires the framework's
+declassification capability, which tenant code never receives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CobufError
+
+#: Signature of the delegation test: may ``dest_owner`` see data owned by
+#: ``src_owner``? Fauxbook wires this to the social graph.
+SpeaksForFn = Callable[[str, str], bool]
+
+
+class DeclassifyToken:
+    """An unforgeable capability for reading cobuf contents.
+
+    Only the web framework holds one; tenant namespaces never see it.
+    """
+
+    __slots__ = ()
+
+
+class Cobuf:
+    """One constrained buffer. Construct through :class:`CobufSpace`."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, data: bytes, owner: str, space: "CobufSpace"):
+        self._data = bytes(data)
+        self.owner = owner
+        self._space = space
+        self.cobuf_id = next(Cobuf._ids)
+
+    # -- permitted, content-oblivious operations -------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def slice(self, start: int, stop: int) -> "Cobuf":
+        """A sub-range, same owner. No content is revealed."""
+        return Cobuf(self._data[start:stop], self.owner, self._space)
+
+    def concat(self, other: "Cobuf") -> "Cobuf":
+        """Concatenate two buffers *of the same owner*."""
+        if other.owner != self.owner:
+            raise CobufError(
+                "concat across owners requires collate() and a "
+                "speaksfor relationship")
+        return Cobuf(self._data + other._data, self.owner, self._space)
+
+    # -- forbidden accesses ------------------------------------------------------
+
+    @property
+    def data(self) -> bytes:
+        raise CobufError("cobuf contents are not inspectable by tenants")
+
+    def __bytes__(self):
+        raise CobufError("cobuf contents are not inspectable by tenants")
+
+    def __iter__(self):
+        raise CobufError("cobuf contents are not iterable by tenants")
+
+    def __getitem__(self, item):
+        raise CobufError("cobuf contents are not indexable by tenants")
+
+    def __eq__(self, other):
+        # Content comparison would leak data one bit at a time.
+        return self is other
+
+    def __hash__(self):
+        return hash(self.cobuf_id)
+
+    # -- privileged access --------------------------------------------------------
+
+    def reveal(self, token: DeclassifyToken) -> bytes:
+        """Framework-only: declassify for rendering to the owner."""
+        if not isinstance(token, DeclassifyToken):
+            raise CobufError("invalid declassification capability")
+        return self._data
+
+
+class CobufSpace:
+    """The framework's cobuf service: creation, storage, collation.
+
+    The owner identifier is attached at the web-server layer on a session
+    basis (§4.1), so tenant code "cannot forge cobufs on behalf of a
+    user": tenants receive already-tagged cobufs and can only combine them
+    under the speaksfor rule.
+    """
+
+    def __init__(self, speaks_for: SpeaksForFn):
+        self._speaks_for = speaks_for
+        self._store: Dict[str, Cobuf] = {}
+        self.collations = 0
+
+    # -- creation (framework-level; tenants never call this directly) -----------
+
+    def tag(self, data: bytes, owner: str) -> Cobuf:
+        return Cobuf(data, owner, self)
+
+    # -- storage ---------------------------------------------------------------------
+
+    def store(self, key: str, cobuf: Cobuf) -> None:
+        if not isinstance(cobuf, Cobuf):
+            raise CobufError("only cobufs may be stored in the cobuf space")
+        self._store[key] = cobuf
+
+    def retrieve(self, key: str) -> Cobuf:
+        cobuf = self._store.get(key)
+        if cobuf is None:
+            raise CobufError(f"no cobuf stored under {key!r}")
+        return cobuf
+
+    def exists(self, key: str) -> bool:
+        return key in self._store
+
+    def keys_under(self, prefix: str) -> List[str]:
+        return sorted(k for k in self._store if k.startswith(prefix))
+
+    # -- collation ---------------------------------------------------------------------
+
+    def collate(self, dest_owner: str, parts: List[Cobuf],
+                separator: bytes = b"") -> Cobuf:
+        """Merge buffers into a cobuf owned by ``dest_owner``.
+
+        Permitted only when the destination owner speaks for every source
+        owner — i.e. the social graph authorizes each flow (§4.1: "cobuf
+        contents may only be collated if the recipient cobuf's owner
+        speaks for the owner of the cobuf from which the data is
+        copied").
+        """
+        for part in parts:
+            if not isinstance(part, Cobuf):
+                raise CobufError("collate takes cobufs only")
+            if not self._speaks_for(dest_owner, part.owner):
+                raise CobufError(
+                    f"flow from {part.owner} to {dest_owner} is not "
+                    "authorized by the social graph")
+        self.collations += 1
+        merged = separator.join(part._data for part in parts)
+        return Cobuf(merged, dest_owner, self)

@@ -1,0 +1,263 @@
+"""The Fauxbook web framework (§4.1).
+
+The framework is cloud-provider infrastructure, generic across tenants. It
+guarantees (1) user management and session authentication, (2) exclusive
+custody of authentication state, (3) correct dispatch to tenant handlers,
+and (4) that tenant code cannot leak user data except as users authorize.
+(1)–(3) are framework code below; (4) is the combination of the sandbox
+loader (analysis + rewriting) and the cobuf interface.
+
+Embedded authorities expose the current session user
+(``name.webserver says user = alice``) and friend edges
+(``name.python says alice in bob.friends``) so that file goal formulas
+can reference live framework state without revocable credentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.rewriter import ReflectionRewriter
+from repro.apps.fauxbook.cobuf import Cobuf, CobufSpace, DeclassifyToken
+from repro.crypto.hashes import sha256
+from repro.errors import AppError, SandboxViolation
+from repro.kernel.authority import Authority
+from repro.nal.formula import Compare, Formula, Pred, Says
+from repro.nal.terms import Const, Name
+
+
+class SocialGraph:
+    """Users and friend edges. Edges are created only by authenticated
+    user action (guarantee 1 of the §4.1 graph properties)."""
+
+    def __init__(self):
+        self._users: Set[str] = set()
+        self._edges: Set[frozenset] = set()
+
+    def add_user(self, user: str) -> None:
+        self._users.add(user)
+
+    def has_user(self, user: str) -> bool:
+        return user in self._users
+
+    def add_edge(self, a: str, b: str) -> None:
+        if a not in self._users or b not in self._users:
+            raise AppError("both endpoints must be registered users")
+        if a == b:
+            raise AppError("self-edges are meaningless")
+        self._edges.add(frozenset((a, b)))
+
+    def friends(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._edges
+
+    def friends_of(self, user: str) -> List[str]:
+        out = []
+        for edge in self._edges:
+            if user in edge:
+                out.extend(u for u in edge if u != user)
+        return sorted(out)
+
+    def speaks_for(self, dest: str, src: str) -> bool:
+        """May data owned by ``src`` flow to ``dest``?"""
+        return dest == src or self.friends(dest, src)
+
+
+class SessionAuthority(Authority):
+    """The web-server-embedded authority: attests the current session
+    user. ``name.webserver says user = alice`` (§4.1).
+
+    "Only the web framework can update the value of the current user":
+    when a request context is active, the statement holds exactly for
+    that request's user; outside a request it falls back to any live
+    session (useful for coarse policies and benchmarks).
+    """
+
+    def __init__(self, framework: "WebFramework"):
+        self.framework = framework
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        if not isinstance(formula, Says):
+            return None
+        if str(formula.speaker) != "name.webserver":
+            return None
+        body = formula.body
+        if (isinstance(body, Compare) and body.op == "=="
+                and isinstance(body.left, Name) and body.left.name == "user"):
+            user = _term_text(body.right)
+            current = self.framework.current_request_user
+            if current is not None:
+                return user == current
+            return user in self.framework.active_users()
+        return None
+
+
+class FriendAuthority(Authority):
+    """The Python-embedded authority: attests friend edges by
+    introspecting the (publicly readable) friend file.
+    ``name.python says alice in bob.friends`` (§4.1). The special reader
+    ``CurrentUser`` resolves through the framework's request context."""
+
+    def __init__(self, graph: SocialGraph,
+                 framework: Optional["WebFramework"] = None):
+        self.graph = graph
+        self.framework = framework
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        if not isinstance(formula, Says):
+            return None
+        if str(formula.speaker) != "name.python":
+            return None
+        body = formula.body
+        if isinstance(body, Pred) and body.name == "in" and len(body.args) == 2:
+            reader = _term_text(body.args[0])
+            if reader == "CurrentUser":
+                if (self.framework is None
+                        or self.framework.current_request_user is None):
+                    return False
+                reader = self.framework.current_request_user
+            target = str(body.args[1])
+            if target.endswith(".friends"):
+                owner = target[:-len(".friends")]
+                return self.graph.friends(reader, owner)
+        return None
+
+
+def _term_text(term) -> str:
+    if isinstance(term, Const):
+        return str(term.value)
+    return str(term)
+
+
+@dataclass
+class Session:
+    token: str
+    user: str
+
+
+class _RequestContext:
+    """Scopes ``current_request_user``; nested requests are not a thing
+    in this single-threaded simulation, so plain save/restore suffices."""
+
+    def __init__(self, framework: "WebFramework", user: str):
+        self._framework = framework
+        self._user = user
+        self._saved: Optional[str] = None
+
+    def __enter__(self):
+        self._saved = self._framework.current_request_user
+        self._framework.current_request_user = self._user
+        return self._user
+
+    def __exit__(self, *exc_info):
+        self._framework.current_request_user = self._saved
+        return False
+
+
+class WebFramework:
+    """The generic application server tier."""
+
+    def __init__(self, tenant_source: Optional[str] = None):
+        self.graph = SocialGraph()
+        self.cobufs = CobufSpace(speaks_for=self.graph.speaks_for)
+        self._declassify = DeclassifyToken()
+        self._passwords: Dict[str, bytes] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._session_counter = 0
+        #: The user of the request being served; settable only here.
+        self.current_request_user: Optional[str] = None
+        self.session_authority = SessionAuthority(self)
+        self.friend_authority = FriendAuthority(self.graph, framework=self)
+        self._tenant_ns: Optional[dict] = None
+        if tenant_source is not None:
+            self.load_tenant(tenant_source)
+
+    def request_context(self, token: str) -> "_RequestContext":
+        """Bind the current-request user for the duration of a request."""
+        return _RequestContext(self, self.session_user(token))
+
+    # -- guarantee (1): user management -------------------------------------
+
+    def create_user(self, user: str, password: str) -> None:
+        if user in self._passwords:
+            raise AppError(f"user {user!r} already exists")
+        self._passwords[user] = sha256(f"{user}:{password}")
+        self.graph.add_user(user)
+
+    def login(self, user: str, password: str) -> str:
+        expected = self._passwords.get(user)
+        if expected is None or expected != sha256(f"{user}:{password}"):
+            raise AppError("authentication failed")
+        self._session_counter += 1
+        token = sha256(f"session:{user}:{self._session_counter}").hex()[:24]
+        self._sessions[token] = Session(token=token, user=user)
+        return token
+
+    def logout(self, token: str) -> None:
+        self._sessions.pop(token, None)
+
+    def session_user(self, token: str) -> str:
+        session = self._sessions.get(token)
+        if session is None:
+            raise AppError("invalid session")
+        return session.user
+
+    def active_users(self) -> Set[str]:
+        return {s.user for s in self._sessions.values()}
+
+    # -- friend management (user-initiated, never tenant-initiated) -----------
+
+    def add_friend(self, token: str, other: str) -> None:
+        """A legitimate friend addition: invoked by the *user* through the
+        authentication library, which creates the speaksfor edge."""
+        user = self.session_user(token)
+        if not self.graph.has_user(other):
+            raise AppError(f"no such user {other!r}")
+        self.graph.add_edge(user, other)
+
+    # -- tenant code -----------------------------------------------------------
+
+    def load_tenant(self, source: str) -> None:
+        """Run tenant code through the two labeling functions (analysis +
+        rewriting) and bind it to the constrained API surface."""
+        rewriter = ReflectionRewriter()
+        api = {
+            "cobuf_store": self.cobufs.store,
+            "cobuf_retrieve": self.cobufs.retrieve,
+            "cobuf_collate": self.cobufs.collate,
+            "cobuf_keys": self.cobufs.keys_under,
+            "cobuf_exists": self.cobufs.exists,
+        }
+        self._tenant_ns = rewriter.load_tenant(source, extra_globals=api)
+
+    def tenant_call(self, function: str, *args):
+        if self._tenant_ns is None or function not in self._tenant_ns:
+            raise AppError(f"tenant does not export {function!r}")
+        return self._tenant_ns[function](*args)
+
+    # -- request dispatch (guarantee 3) ---------------------------------------------
+
+    def post_status(self, token: str, body: bytes) -> str:
+        """Ingest a status update: the *framework* tags the cobuf with the
+        session owner — the owner identifier is attached at this layer, so
+        tenants cannot forge ownership (§4.1)."""
+        user = self.session_user(token)
+        tagged = self.cobufs.tag(body, owner=user)
+        key = self.tenant_call("handle_post", user, tagged)
+        return key
+
+    def read_feed(self, token: str, wall_owner: str) -> bytes:
+        """Render a user's wall for the requesting session.
+
+        The tenant assembles the page as a cobuf collated *to the
+        requesting user*; collation succeeds only along social-graph
+        edges. Declassification for rendering happens here, with the
+        framework capability, to the authenticated session only.
+        """
+        reader = self.session_user(token)
+        page = self.tenant_call("render_wall", reader, wall_owner)
+        if not isinstance(page, Cobuf):
+            raise AppError("tenant must return a cobuf")
+        if page.owner != reader:
+            raise AppError("tenant returned a page not owned by the reader")
+        return page.reveal(self._declassify)

@@ -1,0 +1,253 @@
+"""The assembled Fauxbook multi-tier stack (Figure 3) with the Figure 8
+configuration knobs.
+
+Request flow: (simulated) wire bytes → web server (HTTP parse, lockdown)
+→ web framework (sessions, tenants, cobufs) → filesystem / SSR. The three
+evaluation dimensions of Figure 8 are constructor options:
+
+* ``access_control`` — "none" | "static" (cacheable proof) | "dynamic"
+  (embedded-authority query per request);
+* ``ref_monitor``    — None | "kernel" | "user", with ``monitor_cache``
+  mapping to the paper's min/max bars;
+* ``storage``        — "none" (RAM fs) | "hash" (integrity-protected SSR)
+  | "decrypt" (encrypted SSR).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.apps.fauxbook.app import FAUXBOOK_TENANT_SOURCE
+from repro.apps.fauxbook.framework import WebFramework
+from repro.errors import AccessDenied, AppError, NoSuchResource
+from repro.fs.ramfs import FileServer
+from repro.kernel.interposition import SyscallWhitelistMonitor
+from repro.kernel.kernel import NexusKernel
+from repro.nal.proof import Assume, ProofBundle
+from repro.net.http import HTTPRequest, HTTPResponse, parse_request
+from repro.net.udp import PolicyCheckMonitor
+from repro.storage.ssr import SecureStorageRegion
+from repro.storage.vkey import VKeyManager
+
+ACCESS_MODES = ("none", "static", "dynamic")
+STORAGE_MODES = ("none", "hash", "decrypt")
+MONITOR_MODES = (None, "kernel", "user")
+
+
+class FauxbookStack:
+    """One configured deployment of the Fauxbook pipeline."""
+
+    def __init__(self, access_control: str = "none",
+                 ref_monitor: Optional[str] = None,
+                 monitor_cache: bool = True,
+                 storage: str = "none",
+                 tenant_source: str = FAUXBOOK_TENANT_SOURCE):
+        if access_control not in ACCESS_MODES:
+            raise ValueError(f"unknown access control {access_control!r}")
+        if storage not in STORAGE_MODES:
+            raise ValueError(f"unknown storage mode {storage!r}")
+        if ref_monitor not in MONITOR_MODES:
+            raise ValueError(f"unknown monitor mode {ref_monitor!r}")
+        self.access_control = access_control
+        self.storage_mode = storage
+
+        self.kernel = NexusKernel()
+        self.kernel.decision_cache.enabled = monitor_cache
+        self.fs = FileServer(self.kernel)
+        self.framework = WebFramework(tenant_source=tenant_source)
+        self.kernel.register_authority("webserver-user",
+                                       self.framework.session_authority)
+        self.kernel.register_authority("python-friends",
+                                       self.framework.friend_authority)
+
+        self.server = self.kernel.create_process("www", image=b"lighttpd")
+        self.server_port = self.kernel.create_port(
+            self.server.pid, "http", handler=self._handle_raw)
+        self._client = self.kernel.create_process("http-client")
+        self._ssrs: Dict[str, SecureStorageRegion] = {}
+        self._ssr_lengths: Dict[str, int] = {}
+        self._vkeys = VKeyManager(tpm=self.kernel.tpm)
+        self._static_resource_ids: Dict[str, int] = {}
+        self._lockdown()
+        if ref_monitor is not None:
+            self._install_monitor(ref_monitor)
+
+    # -- construction helpers ------------------------------------------------
+
+    def _lockdown(self) -> None:
+        """After initialization the web server relinquishes all system
+        calls except IPC-ish ones (§4.1: "the web server relinquishes the
+        right to execute all other system calls after initialization")."""
+        self.lockdown_monitor = SyscallWhitelistMonitor(
+            allowed={"null", "gettimeofday", "yield"})
+        self.kernel.interpose_syscall_channel(self.server.pid,
+                                              self.lockdown_monitor)
+
+    def _install_monitor(self, kind: str) -> None:
+        kernel = self.kernel
+        policy = kernel.resources.create("/policy/www", "policy",
+                                         self.server.principal)
+        kernel.sys_setgoal(self.server.pid, policy.resource_id, "drv_policy",
+                           "Certifier says compliant(?Subject)")
+        cred = kernel.say_as(
+            "Certifier", f"compliant({self.server.path})",
+            store=kernel.default_labelstore(self.server.pid)).formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        monitor_port_id = None
+        if kind == "user":
+            monitor_proc = kernel.create_process("www-monitor",
+                                                 image=b"uref")
+            port = kernel.create_port(
+                monitor_proc.pid, "www-monitor",
+                handler=lambda op: kernel.authorize(
+                    self.server.pid, "drv_policy", policy.resource_id,
+                    bundle))
+            monitor_port_id = port.port_id
+        self.policy_monitor = PolicyCheckMonitor(
+            kernel, self.server.pid, policy.resource_id, bundle,
+            monitor_port_id=monitor_port_id)
+        self.kernel.redirector.interpose(("ipc", self.server_port.port_id),
+                                         self.policy_monitor)
+
+    # -- static content management ------------------------------------------------
+
+    def put_file(self, path: str, data: bytes) -> None:
+        """Install a static file under the configured storage mode and,
+        per the access-control mode, attach its goal formula."""
+        if self.storage_mode == "none":
+            self.fs.raw_write(path, data, owner_pid=self.server.pid)
+        else:
+            self._put_ssr(path, data)
+        resource = self.kernel.resources.find(f"/fs{path}")
+        if resource is None:
+            resource = self.kernel.resources.create(
+                f"/fs{path}", "file", self.server.principal, payload=path)
+        self._static_resource_ids[path] = resource.resource_id
+        self._configure_access(path, resource.resource_id)
+
+    def _put_ssr(self, path: str, data: bytes) -> None:
+        block_size = 1024  # the paper's Fauxbook blocksize
+        blocks = max(1, math.ceil(len(data) / block_size))
+        vkey = (self._vkeys.create("symmetric")
+                if self.storage_mode == "decrypt" else None)
+        ssr = SecureStorageRegion(
+            name=f"www{path.replace('/', '_')}", disk=self.kernel.disk,
+            vdirs=self.kernel.vdirs, size_blocks=blocks,
+            block_size=block_size, vkey=vkey)
+        ssr.create()
+        ssr.write(0, data)
+        self._ssrs[path] = ssr
+        self._ssr_lengths[path] = len(data)
+
+    def _configure_access(self, path: str, resource_id: int) -> None:
+        kernel = self.kernel
+        if self.access_control == "none":
+            kernel.sys_setgoal(self.server.pid, resource_id, "serve", "true")
+            return
+        if self.access_control == "static":
+            kernel.sys_setgoal(self.server.pid, resource_id, "serve",
+                               "WWWOwner says mayServe(?Subject)")
+            cred = kernel.say_as(
+                "WWWOwner", f"mayServe({self._client.path})",
+                store=kernel.default_labelstore(self.server.pid)).formula
+            bundle = ProofBundle(Assume(cred), credentials=(cred,))
+            kernel.sys_set_proof(self._client.pid, "serve", resource_id,
+                                 bundle)
+            return
+        # dynamic: every request consults the embedded session authority.
+        kernel.sys_setgoal(self.server.pid, resource_id, "serve",
+                           "name.webserver says user = visitor")
+        from repro.nal.parser import parse
+        from repro.nal.proof import AuthorityQuery
+        statement = parse("name.webserver says user = visitor")
+        bundle = ProofBundle(AuthorityQuery(statement, "webserver-user"))
+        kernel.sys_set_proof(self._client.pid, "serve", resource_id, bundle)
+        if not self.framework.graph.has_user("visitor"):
+            self.framework.create_user("visitor", "pw")
+        self._visitor_token = self.framework.login("visitor", "pw")
+
+    def _read_static(self, path: str) -> bytes:
+        if self.storage_mode == "none":
+            return self.fs.raw_read(path)
+        ssr = self._ssrs.get(path)
+        if ssr is None:
+            raise NoSuchResource(f"no such static file {path}")
+        return ssr.read(0, self._ssr_lengths[path])
+
+    # -- request handling ---------------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                headers: Optional[Dict[str, str]] = None,
+                body: bytes = b"") -> HTTPResponse:
+        """Drive one request through the pipeline as wire bytes."""
+        raw = HTTPRequest(method, path, headers or {}, body).to_bytes()
+        raw_response = self.kernel.ipc_call(self._client.pid,
+                                            self.server_port.port_id, raw)
+        from repro.net.http import parse_response
+        return parse_response(raw_response)
+
+    def _handle_raw(self, raw: bytes) -> bytes:
+        request = parse_request(raw)
+        try:
+            response = self._route(request)
+        except AccessDenied as exc:
+            response = HTTPResponse(403, str(exc).encode())
+        except AppError as exc:
+            response = HTTPResponse(400, str(exc).encode())
+        except NoSuchResource:
+            response = HTTPResponse(404, b"not found")
+        return response.to_bytes()
+
+    def _route(self, request: HTTPRequest) -> HTTPResponse:
+        path = request.path
+        if path.startswith("/static/"):
+            return self._serve_static(path[len("/static"):])
+        if path.startswith("/python/"):
+            return self._serve_dynamic(path[len("/python"):])
+        if path == "/signup" and request.method == "POST":
+            user, _, password = request.body.decode().partition(":")
+            self.framework.create_user(user, password)
+            return HTTPResponse(201, b"created")
+        if path == "/login" and request.method == "POST":
+            user, _, password = request.body.decode().partition(":")
+            token = self.framework.login(user, password)
+            return HTTPResponse(200, token.encode())
+        if path == "/friend" and request.method == "POST":
+            token = request.headers.get("X-Session", "")
+            self.framework.add_friend(token, request.body.decode())
+            return HTTPResponse(200, b"friended")
+        if path == "/status" and request.method == "POST":
+            token = request.headers.get("X-Session", "")
+            key = self.framework.post_status(token, request.body)
+            return HTTPResponse(201, key.encode())
+        if path.startswith("/wall/") and request.method == "GET":
+            token = request.headers.get("X-Session", "")
+            wall_owner = path[len("/wall/"):]
+            try:
+                page = self.framework.read_feed(token, wall_owner)
+            except Exception as exc:
+                return HTTPResponse(403, str(exc).encode())
+            return HTTPResponse(200, page)
+        return HTTPResponse(404, b"not found")
+
+    def _authorize_static(self, path: str) -> None:
+        resource_id = self._static_resource_ids.get(path)
+        if resource_id is None:
+            raise NoSuchResource(f"no such static file {path}")
+        decision = self.kernel.authorize(self._client.pid, "serve",
+                                         resource_id)
+        if not decision.allow:
+            raise AccessDenied(f"serve {path} denied: {decision.reason}")
+
+    def _serve_static(self, path: str) -> HTTPResponse:
+        self._authorize_static(path)
+        return HTTPResponse(200, self._read_static(path))
+
+    def _serve_dynamic(self, path: str) -> HTTPResponse:
+        """The Python row of Figure 8: content flows through the tenant
+        runtime (template work around the same file read)."""
+        self._authorize_static(path)
+        content = self._read_static(path)
+        page = (b"<html><body>" + content + b"</body></html>")
+        return HTTPResponse(200, page)

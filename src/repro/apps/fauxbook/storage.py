@@ -1,0 +1,118 @@
+"""Fauxbook's file-level policies (§4.1, final paragraphs).
+
+"Fauxbook stores user data in the Nexus filesystem. Goal formulas
+associated with each file constrain user access in accordance with the
+social graph. ... each operation on each file in this directory has a
+policy: private, public, or friends. Private data of user Alice is only
+accessible if an authority embedded in the web server attests to the
+label ``name.webserver says user = alice``. Alice can only read the files
+of her friend Bob if an embedded authority attests to the label
+``name.python says alice in bob.friends``."
+
+This module attaches exactly those goals to
+:class:`~repro.fs.FileServer` files. Proofs are built from
+:class:`~repro.nal.proof.AuthorityQuery` leaves over the framework's
+embedded authorities, resolved against the *current request's* user —
+dynamic state, so none of these decisions is ever cached.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.apps.fauxbook.framework import WebFramework
+from repro.errors import AccessDenied, AppError
+from repro.fs.ramfs import FileServer
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula, Or, TrueFormula
+from repro.nal.parser import parse
+from repro.nal.proof import AuthorityQuery, Proof, ProofBundle, Rule
+
+Policy = Literal["private", "public", "friends"]
+
+SESSION_PORT = "webserver-user"
+FRIENDS_PORT = "python-friends"
+
+
+class FauxbookStorage:
+    """Per-user files in the Nexus filesystem under social policies."""
+
+    def __init__(self, kernel: NexusKernel, fs: FileServer,
+                 framework: WebFramework):
+        self.kernel = kernel
+        self.fs = fs
+        self.framework = framework
+        kernel.register_authority(SESSION_PORT, framework.session_authority)
+        kernel.register_authority(FRIENDS_PORT, framework.friend_authority)
+        self.process = kernel.create_process("fauxbook-storage",
+                                             image=b"fauxbook-storage")
+
+    # -- paths -----------------------------------------------------------------
+
+    @staticmethod
+    def _path(owner: str, name: str) -> str:
+        return f"/fauxbook/{owner}/{name}"
+
+    # -- writing (always via an authenticated session) ---------------------------
+
+    def store(self, token: str, name: str, data: bytes,
+              policy: Policy = "private") -> str:
+        owner = self.framework.session_user(token)
+        path = self._path(owner, name)
+        self.fs.raw_write(path, data, owner_pid=self.process.pid)
+        resource_id = self.fs.resource_id(path)
+        self.kernel.sys_setgoal(self.process.pid, resource_id, "read",
+                                self._goal_for(policy, owner))
+        return path
+
+    @staticmethod
+    def _goal_for(policy: Policy, owner: str) -> str:
+        session = f'name.webserver says user = "{owner}"'
+        friend = f"name.python says CurrentUser in {owner}.friends"
+        if policy == "public":
+            return "true"
+        if policy == "private":
+            return session
+        if policy == "friends":
+            return f"({session}) or ({friend})"
+        raise AppError(f"unknown policy {policy!r}")
+
+    # -- reading ------------------------------------------------------------------
+
+    def read(self, token: str, owner: str, name: str) -> bytes:
+        """Read on behalf of a session, assembling the authority-backed
+        proof the policy demands, inside the request context."""
+        reader = self.framework.session_user(token)
+        path = self._path(owner, name)
+        resource_id = self.fs.resource_id(path)
+        entry = self.kernel.default_guard.goals.get(resource_id, "read")
+        with self.framework.request_context(token):
+            bundle = None
+            if entry is not None:
+                proof = self._prove(entry.formula, reader, owner)
+                if proof is not None:
+                    bundle = ProofBundle(proof)
+            decision = self.kernel.authorize(self.process.pid, "read",
+                                             resource_id, bundle)
+        if not decision.allow:
+            raise AccessDenied(
+                f"{reader} may not read {path}: {decision.reason}")
+        return self.fs.raw_read(path)
+
+    def _prove(self, goal: Formula, reader: str,
+               owner: str) -> Proof | None:
+        """Build the proof for each policy shape."""
+        if isinstance(goal, TrueFormula):
+            return None  # public: the guard allows without a proof
+        session = parse(f'name.webserver says user = "{owner}"')
+        if goal == session:
+            return AuthorityQuery(session, SESSION_PORT)
+        if isinstance(goal, Or):
+            if reader == owner:
+                return Rule("or_intro_l",
+                            (AuthorityQuery(goal.left, SESSION_PORT),),
+                            goal)
+            return Rule("or_intro_r",
+                        (AuthorityQuery(goal.right, FRIENDS_PORT),),
+                        goal)
+        return None

@@ -1,0 +1,79 @@
+"""The movie-player application (§4, Other Applications).
+
+The anti-lock-down demo: a content owner streams high-value content to
+*any* player that can demonstrate — via the IPC connectivity analyzer —
+that it lacks channels to the disk and the network. No whitelist of player
+hashes; the player's hash need not even be divulged. Users keep their
+choice of binaries, the owner keeps their leak-freedom property.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.ipc_analyzer import IPCConnectivityAnalyzer
+from repro.core.credentials import CredentialSet
+from repro.errors import AccessDenied
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.process import Process
+from repro.nal.parser import parse
+from repro.nal.proof import ProofBundle
+
+#: The services a conforming player must provably not reach.
+LEAK_TARGETS = ("fs-server", "net-driver")
+
+
+class ContentServer:
+    """The content owner's distribution point."""
+
+    def __init__(self, kernel: NexusKernel,
+                 analyzer: IPCConnectivityAnalyzer,
+                 movie: bytes = b"FRAME" * 64):
+        self.kernel = kernel
+        self.analyzer = analyzer
+        self.movie = movie
+        self.process = kernel.create_process("content-server",
+                                             image=b"content-server")
+        self.resource = kernel.resources.create(
+            "/content/movie", "stream", self.process.principal,
+            payload=movie)
+        goal = (f"{self.analyzer.process.path} says "
+                f"(not hasPath(?Subject, {LEAK_TARGETS[0]}) and "
+                f"not hasPath(?Subject, {LEAK_TARGETS[1]}))")
+        kernel.sys_setgoal(self.process.pid, self.resource.resource_id,
+                           "stream", goal)
+
+    def stream_to(self, player: Process,
+                  bundle: Optional[ProofBundle]) -> bytes:
+        """Stream iff the player's proof discharges the isolation goal."""
+        return self.kernel.guarded_call(
+            player.pid, "stream", self.resource.resource_id,
+            lambda: self.movie, bundle=bundle)
+
+
+class MoviePlayer:
+    """A user's player of choice; any binary will do if it analyzes clean."""
+
+    def __init__(self, kernel: NexusKernel, name: str = "my-player",
+                 image: bytes = b"vlc-like-player"):
+        self.kernel = kernel
+        self.process = kernel.create_process(name, image=image)
+        self.received: Optional[bytes] = None
+
+    def request_stream(self, server: ContentServer,
+                       analyzer: IPCConnectivityAnalyzer) -> bytes:
+        """Acquire isolation labels and present them with a proof."""
+        labels = analyzer.certify_isolation(self.process.pid,
+                                            list(LEAK_TARGETS))
+        if labels is None:
+            raise AccessDenied(
+                "the analyzer found a channel to the disk or network; "
+                "no label can be produced")
+        wallet = CredentialSet(labels)
+        goal = parse(
+            f"{analyzer.process.path} says "
+            f"(not hasPath({self.process.path}, {LEAK_TARGETS[0]}) and "
+            f"not hasPath({self.process.path}, {LEAK_TARGETS[1]}))")
+        bundle = wallet.bundle_for(goal)
+        self.received = server.stream_to(self.process, bundle)
+        return self.received

@@ -1,0 +1,108 @@
+"""Not-a-Bot (§4): human-presence attestation against spam.
+
+The keyboard driver counts physical keypresses and, on request, issues a
+TPM-backed certificate attesting the count over a window. A mail client
+attaches that certificate to outgoing messages; the receiving spam
+classifier uses it as a feature — mail composed with zero keypresses from
+an attested driver is almost certainly a bot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.certs import CertificateChain
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.labelstore import Label
+from repro.nal.parser import parse
+
+
+class KeyboardDriver:
+    """A user-level keyboard driver that witnesses physical keypresses."""
+
+    def __init__(self, kernel: NexusKernel):
+        self.kernel = kernel
+        self.process = kernel.create_process("kbd-driver",
+                                             image=b"kbd-driver")
+        self._window_presses = 0
+        self._window = 0
+
+    def physical_keypress(self, count: int = 1) -> None:
+        """Called from the (simulated) interrupt path: real keys only."""
+        self._window_presses += count
+
+    def new_window(self) -> int:
+        """Start a new attestation window (e.g. one mail composition)."""
+        self._window += 1
+        self._window_presses = 0
+        return self._window
+
+    def attest_presence(self) -> Label:
+        """Issue ``kbd says keypresses(window, n)`` for the current window.
+
+        The driver speaks only about what it witnessed; the label enters
+        the labelstore over the secure syscall channel.
+        """
+        return self.kernel.sys_say(
+            self.process.pid,
+            f"keypresses({self._window}, {self._window_presses})")
+
+
+@dataclass
+class Email:
+    sender: str
+    body: str
+    presence_chain: Optional[CertificateChain] = None
+
+
+class MailClient:
+    """Composes mail; keystrokes flow through the attested driver."""
+
+    def __init__(self, kernel: NexusKernel, driver: KeyboardDriver,
+                 sender: str):
+        self.kernel = kernel
+        self.driver = driver
+        self.sender = sender
+
+    def compose(self, body: str, typed: bool = True) -> Email:
+        """Compose a message; ``typed=False`` models a bot injecting text
+        without touching the keyboard."""
+        self.driver.new_window()
+        if typed:
+            self.driver.physical_keypress(len(body))
+        label = self.driver.attest_presence()
+        chain = self.kernel.externalize_label(label)
+        return Email(sender=self.sender, body=body, presence_chain=chain)
+
+
+class SpamClassifier:
+    """A receiving MTA's classifier with the presence feature."""
+
+    def __init__(self, root_key, base_threshold: float = 0.5):
+        self.root_key = root_key
+        self.base_threshold = base_threshold
+
+    def presence_score(self, email: Email) -> float:
+        """0.0 = definitely automated; 1.0 = strongly human."""
+        if email.presence_chain is None:
+            return 0.0
+        try:
+            chain = CertificateChain(root_key=self.root_key,
+                                     certs=email.presence_chain.certs)
+            chain.verify()
+        except Exception:
+            return 0.0
+        statement = parse(chain.leaf().statement)
+        # kbd says keypresses(window, n)
+        body = statement.body
+        presses = int(body.args[1].value)
+        if presses == 0:
+            return 0.0
+        return min(1.0, presses / max(1, len(email.body)))
+
+    def classify(self, email: Email) -> str:
+        score = self.presence_score(email)
+        content_penalty = 0.4 if "FREE MONEY" in email.body.upper() else 0.0
+        spamminess = (1.0 - score) * 0.7 + content_penalty
+        return "spam" if spamminess >= self.base_threshold else "ham"

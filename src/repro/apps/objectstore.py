@@ -1,0 +1,123 @@
+"""The typed object store (§4): transitive integrity verification.
+
+The paper's Java object store: deserialization is slow because type
+invariants must be re-checked on every byte of untrusted input — unless
+the downloader can be assured the producer was another typesafe runtime
+upholding the same invariants, in which case sanity checking can be
+skipped. We model a record store with a schema; the fast path engages only
+when a credential ``TypeCertifier says typesafe(producer)`` verifies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.credentials import CredentialSet
+from repro.crypto.hashes import sha256
+from repro.errors import AppError, IntegrityError
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+
+_TYPE_TABLE = {"int": int, "str": str, "bool": bool, "float": float}
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Field name → type name; the invariant both runtimes enforce."""
+
+    fields: Tuple[Tuple[str, str], ...]
+
+    @staticmethod
+    def of(**fields: str) -> "Schema":
+        for type_name in fields.values():
+            if type_name not in _TYPE_TABLE:
+                raise AppError(f"unknown schema type {type_name!r}")
+        return Schema(tuple(sorted(fields.items())))
+
+    def validate(self, record: Dict[str, Any]) -> None:
+        """The slow path: check every field of every record."""
+        expected = dict(self.fields)
+        if set(record) != set(expected):
+            raise IntegrityError(
+                f"record fields {sorted(record)} != schema "
+                f"{sorted(expected)}")
+        for name, type_name in expected.items():
+            value = record[name]
+            if type(value) is not _TYPE_TABLE[type_name]:
+                raise IntegrityError(
+                    f"field {name!r} has {type(value).__name__}, schema "
+                    f"says {type_name}")
+
+
+@dataclass
+class StoreImage:
+    """A serialized store: what travels between machines."""
+
+    producer: str
+    schema: Schema
+    payload: bytes
+    digest: bytes
+
+    def verify_digest(self) -> None:
+        if sha256(self.payload) != self.digest:
+            raise IntegrityError("store image corrupted in transit")
+
+
+class TypedObjectStore:
+    """A store of schema-conforming records with an attested fast path."""
+
+    def __init__(self, schema: Schema, producer: str = "local"):
+        self.schema = schema
+        self.producer = producer
+        self._records: List[Dict[str, Any]] = []
+        self.validations = 0  # slow-path work counter (benchmarks read it)
+
+    def put(self, record: Dict[str, Any]) -> None:
+        self.schema.validate(record)
+        self.validations += 1
+        self._records.append(dict(record))
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._records]
+
+    def __len__(self):
+        return len(self._records)
+
+    # -- serialization ------------------------------------------------------
+
+    def export(self) -> StoreImage:
+        payload = json.dumps(
+            {"schema": list(self.schema.fields),
+             "records": self._records},
+            sort_keys=True).encode()
+        return StoreImage(producer=self.producer, schema=self.schema,
+                          payload=payload, digest=sha256(payload))
+
+    @staticmethod
+    def import_image(image: StoreImage, schema: Schema,
+                     credentials: Optional[CredentialSet] = None,
+                     certifier: str = "TypeCertifier") -> "TypedObjectStore":
+        """Deserialize, choosing the fast or slow path.
+
+        Fast path: the wallet proves ``certifier says
+        typesafe(<producer>)`` — the producer upheld the schema, so
+        per-record validation is skipped (transitive integrity, §4).
+        Slow path: validate every record of untrusted input.
+        """
+        image.verify_digest()
+        body = json.loads(image.payload.decode())
+        if tuple(map(tuple, body["schema"])) != schema.fields:
+            raise IntegrityError("schema mismatch on import")
+        store = TypedObjectStore(schema, producer=image.producer)
+        fast = False
+        if credentials is not None:
+            goal = parse(f"{certifier} says typesafe({image.producer})")
+            fast = credentials.try_bundle_for(goal) is not None
+        if fast:
+            store._records = [dict(r) for r in body["records"]]
+        else:
+            for record in body["records"]:
+                store.put(record)
+        return store

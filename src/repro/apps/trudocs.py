@@ -1,0 +1,115 @@
+"""TruDocs (§4): policy-checked document excerpting.
+
+TruDocs ensures a quoted excerpt "conveys the beliefs intended in the
+original document": it certifies ``excerpt speaksfor document`` only when
+the excerpt is derivable from the source under a use policy. Supported
+derivations mirror the paper: changing typecase, replacing elided text
+with ellipses, and inserting editorial comments in square brackets;
+policies bound excerpt length and count.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashes import sha256
+from repro.errors import PolicyViolation
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula
+
+ELLIPSIS = "..."
+_EDITORIAL_RE = re.compile(r"\[[^\[\]]*\]")
+
+
+@dataclass(frozen=True)
+class UsePolicy:
+    """What the document owner permits."""
+
+    max_excerpt_words: int = 50
+    max_excerpts: int = 10
+    allow_case_change: bool = True
+    allow_ellipsis: bool = True
+    allow_editorial: bool = True
+
+
+@dataclass
+class Document:
+    name: str
+    text: str
+    policy: UsePolicy = field(default_factory=UsePolicy)
+
+    def digest(self) -> str:
+        return sha256(self.text).hex()[:16]
+
+
+def _strip_editorial(excerpt: str) -> str:
+    return _EDITORIAL_RE.sub(" ", excerpt)
+
+
+def _segments(excerpt: str) -> List[str]:
+    """Split an excerpt into the literal segments between ellipses."""
+    return [seg.strip() for seg in excerpt.split(ELLIPSIS) if seg.strip()]
+
+
+class TruDocs:
+    """The certifier. Runs as a process; its labels carry its authority."""
+
+    def __init__(self, kernel: NexusKernel):
+        self.kernel = kernel
+        self.process = kernel.create_process("trudocs",
+                                             image=b"trudocs-extension")
+        self._issued: dict = {}
+
+    # -- derivation check ----------------------------------------------------
+
+    def check_excerpt(self, document: Document, excerpt: str) -> None:
+        """Raise :class:`PolicyViolation` unless the excerpt is derivable
+        from the document under its policy."""
+        policy = document.policy
+        working = excerpt
+        if _EDITORIAL_RE.search(working):
+            if not policy.allow_editorial:
+                raise PolicyViolation("editorial insertions not permitted")
+            working = _strip_editorial(working)
+        if ELLIPSIS in working and not policy.allow_ellipsis:
+            raise PolicyViolation("ellipsis substitution not permitted")
+        word_count = len(working.replace(ELLIPSIS, " ").split())
+        if word_count > policy.max_excerpt_words:
+            raise PolicyViolation(
+                f"excerpt has {word_count} words; policy allows "
+                f"{policy.max_excerpt_words}")
+        segments = _segments(working)
+        if not segments:
+            raise PolicyViolation("empty excerpt")
+        haystack = document.text
+        if policy.allow_case_change:
+            haystack = haystack.lower()
+        position = 0
+        for segment in segments:
+            needle = segment.lower() if policy.allow_case_change else segment
+            found = haystack.find(needle, position)
+            if found < 0:
+                raise PolicyViolation(
+                    f"segment not found in source (or out of order): "
+                    f"{segment!r}")
+            position = found + len(needle)
+
+    # -- certification -----------------------------------------------------------
+
+    def certify(self, document: Document, excerpt: str) -> Formula:
+        """Check the excerpt and issue
+        ``TruDocs says excerpt-<h> speaksfor doc-<h>``."""
+        already = self._issued.get(document.name, 0)
+        if already >= document.policy.max_excerpts:
+            raise PolicyViolation(
+                f"policy allows at most {document.policy.max_excerpts} "
+                "excerpts from this document")
+        self.check_excerpt(document, excerpt)
+        self._issued[document.name] = already + 1
+        excerpt_id = f"excerpt-{sha256(excerpt).hex()[:16]}"
+        doc_id = f"doc-{document.digest()}"
+        label = self.kernel.sys_say(
+            self.process.pid, f"{excerpt_id} speaksfor {doc_id}")
+        return label.formula

@@ -1,0 +1,10 @@
+"""The paper's primary contribution, packaged: the logical-attestation
+engine and its client-side credential machinery."""
+
+from repro.core.attestation import Nexus
+from repro.core.credentials import CredentialSet
+from repro.core.groupkeys import GroupKeyService
+from repro.core.revocation import RevocationService
+
+__all__ = ["Nexus", "CredentialSet", "GroupKeyService",
+           "RevocationService"]

@@ -1,0 +1,137 @@
+"""The public facade of the logical-attestation system.
+
+:class:`Nexus` bundles a booted kernel, the user-level file server, and
+the convenience plumbing a downstream application wants: launch processes,
+create labels, set goals by resource *name*, fetch the goal a resource
+demands (so clients can construct proofs), and make guarded requests with
+a :class:`~repro.core.credentials.CredentialSet`.
+
+Everything here delegates to the kernel — the facade adds no authority.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.errors import AccessDenied, ProofError
+from repro.fs.ramfs import FileServer
+from repro.kernel.authority import Authority, ClockAuthority
+from repro.kernel.guard import GuardDecision
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.labelstore import Label
+from repro.kernel.process import Process
+from repro.kernel.resources import Resource
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+from repro.nal.proof import ProofBundle
+from repro.core.credentials import CredentialSet
+
+
+class Nexus:
+    """One logical-attestation system instance."""
+
+    def __init__(self, with_fs: bool = True, **kernel_kwargs):
+        self.kernel = NexusKernel(**kernel_kwargs)
+        self.fs: Optional[FileServer] = (
+            FileServer(self.kernel) if with_fs else None)
+
+    # -- processes ------------------------------------------------------------
+
+    def launch(self, name: str, image: bytes = b"",
+               parent: Optional[Process] = None) -> Process:
+        parent_pid = parent.pid if parent is not None else None
+        return self.kernel.create_process(name, image, parent_pid)
+
+    # -- labels ------------------------------------------------------------------
+
+    def say(self, process: Process, statement: Union[str, Formula]) -> Label:
+        return self.kernel.sys_say(process.pid, statement)
+
+    def credentials_of(self, process: Process) -> CredentialSet:
+        """A wallet seeded with every label in the process's store."""
+        store = self.kernel.default_labelstore(process.pid)
+        return CredentialSet(store.formulas())
+
+    # -- resources and goals ---------------------------------------------------------
+
+    def resource(self, name_or_id: Union[str, int]) -> Resource:
+        if isinstance(name_or_id, int):
+            return self.kernel.resources.get(name_or_id)
+        return self.kernel.resources.lookup(name_or_id)
+
+    def set_goal(self, owner: Process, resource: Union[str, int, Resource],
+                 operation: str, goal: Union[str, Formula],
+                 bundle: Optional[ProofBundle] = None) -> None:
+        resource = self._coerce(resource)
+        self.kernel.sys_setgoal(owner.pid, resource.resource_id, operation,
+                                goal, bundle=bundle)
+
+    def goal_for(self, resource: Union[str, int, Resource],
+                 operation: str) -> Optional[Formula]:
+        """The goal a client must discharge (None → default owner policy)."""
+        resource = self._coerce(resource)
+        entry = self.kernel.default_guard.goals.get(resource.resource_id,
+                                                    operation)
+        return entry.formula if entry else None
+
+    def _coerce(self, resource: Union[str, int, Resource]) -> Resource:
+        if isinstance(resource, Resource):
+            return resource
+        return self.resource(resource)
+
+    # -- authorization -----------------------------------------------------------------
+
+    def authorize(self, subject: Process, operation: str,
+                  resource: Union[str, int, Resource],
+                  bundle: Optional[ProofBundle] = None) -> GuardDecision:
+        resource = self._coerce(resource)
+        return self.kernel.authorize(subject.pid, operation,
+                                     resource.resource_id, bundle)
+
+    def request(self, subject: Process, operation: str,
+                resource: Union[str, int, Resource],
+                credentials: Optional[CredentialSet] = None,
+                invoke: Optional[Callable[..., Any]] = None,
+                *args) -> Any:
+        """High-level guarded request.
+
+        If the resource carries a goal and a wallet is given, the wallet
+        constructs the proof: the client-side flow of Figure 1 in one
+        call. Raises :class:`AccessDenied` (or returns the decision when
+        no ``invoke`` is supplied).
+        """
+        resource = self._coerce(resource)
+        bundle = None
+        goal = self.goal_for(resource, operation)
+        if goal is not None and credentials is not None:
+            from repro.kernel.guard import RESOURCE_VAR, SUBJECT_VAR
+            concrete = goal.substitute({
+                SUBJECT_VAR: self.kernel.processes.get(subject.pid).principal,
+                RESOURCE_VAR: parse_resource_term(resource),
+            })
+            try:
+                bundle = credentials.bundle_for(concrete)
+            except ProofError:
+                bundle = None  # present nothing; the guard will say why
+        if invoke is None:
+            return self.authorize(subject, operation, resource, bundle)
+        return self.kernel.guarded_call(subject.pid, operation,
+                                        resource.resource_id, invoke, *args,
+                                        bundle=bundle)
+
+    # -- authorities ----------------------------------------------------------------------
+
+    def register_authority(self, port: str, authority: Authority) -> None:
+        self.kernel.register_authority(port, authority)
+
+    def register_clock_authority(self, port: str = "ntp",
+                                 clock: Optional[Callable[[], int]] = None,
+                                 ) -> ClockAuthority:
+        authority = ClockAuthority(clock if clock else self.kernel.now)
+        self.kernel.register_authority(port, authority)
+        return authority
+
+
+def parse_resource_term(resource: Resource):
+    from repro.nal.terms import Name
+    return Name(resource.name)

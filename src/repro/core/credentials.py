@@ -1,0 +1,86 @@
+"""Credential management for clients of logical attestation.
+
+A :class:`CredentialSet` is the client-side wallet: the labels a process
+has collected (its own ``say`` output, labels transferred to it, imported
+certificate chains) plus the authorities it knows can vouch for dynamic
+statements. From the wallet and a goal formula it constructs the
+:class:`~repro.nal.proof.ProofBundle` a guard wants to see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+from repro.errors import ProofError
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+from repro.nal.proof import ProofBundle
+from repro.nal.prover import Prover
+from repro.kernel.labelstore import Label
+
+
+class CredentialSet:
+    """A mutable collection of credentials and authority hints."""
+
+    def __init__(self, credentials: Iterable[Union[Formula, Label, str]] = (),
+                 authorities: Optional[Dict[Union[Formula, str], str]] = None):
+        self._formulas: list[Formula] = []
+        self._authorities: Dict[Formula, str] = {}
+        for item in credentials:
+            self.add(item)
+        for statement, port in (authorities or {}).items():
+            self.add_authority(statement, port)
+
+    # -- building ----------------------------------------------------------
+
+    def add(self, credential: Union[Formula, Label, str]) -> "CredentialSet":
+        if isinstance(credential, Label):
+            formula = credential.formula
+        else:
+            formula = parse(credential)
+        if formula not in self._formulas:
+            self._formulas.append(formula)
+        return self
+
+    def add_authority(self, statement: Union[Formula, str],
+                      port: str) -> "CredentialSet":
+        self._authorities[parse(statement)] = port
+        return self
+
+    def extend(self, other: "CredentialSet") -> "CredentialSet":
+        for formula in other._formulas:
+            self.add(formula)
+        self._authorities.update(other._authorities)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def formulas(self) -> tuple:
+        return tuple(self._formulas)
+
+    @property
+    def authorities(self) -> Dict[Formula, str]:
+        return dict(self._authorities)
+
+    def __len__(self):
+        return len(self._formulas)
+
+    def __contains__(self, formula) -> bool:
+        return parse(formula) in self._formulas
+
+    # -- proof construction -----------------------------------------------------
+
+    def bundle_for(self, goal: Union[Formula, str]) -> ProofBundle:
+        """Prove ``goal`` from this wallet; raises ProofError if unable."""
+        goal = parse(goal)
+        prover = Prover(self._formulas, authorities=self._authorities)
+        proof = prover.prove(goal)
+        return ProofBundle(proof, credentials=tuple(self._formulas))
+
+    def try_bundle_for(self, goal: Union[Formula, str]
+                       ) -> Optional[ProofBundle]:
+        try:
+            return self.bundle_for(goal)
+        except ProofError:
+            return None

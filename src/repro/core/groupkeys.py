@@ -1,0 +1,109 @@
+"""Group signatures via VKEY goal formulas (§3.3).
+
+"Group signatures, for instance, can be implemented by creating a VKEY
+and setting an appropriate goal formula on the sign operation that can be
+discharged by members of the group. Further, by associating a different
+goal formula with the externalize operation, an application can separate
+the group of programs that can sign for the group from those that perform
+key management."
+
+This module is that construction: a signing VKEY registered as a kernel
+resource, with ``sign`` gated on group membership and ``externalize``
+gated on a distinct key-manager goal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.credentials import CredentialSet
+from repro.errors import AccessDenied
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.process import Process
+from repro.nal.parser import parse
+from repro.nal.terms import Group
+from repro.storage.vkey import VKeyManager
+
+
+class GroupKeyService:
+    """Manages group signing keys under logical-attestation policies."""
+
+    def __init__(self, kernel: NexusKernel,
+                 vkeys: Optional[VKeyManager] = None):
+        self.kernel = kernel
+        self.vkeys = vkeys if vkeys is not None else kernel.vkeys
+
+    def create_group_key(self, owner: Process, group_name: str,
+                         key_bits: int = 512,
+                         seed: Optional[int] = None):
+        """Create the VKEY and attach the two §3.3 goal formulas.
+
+        * ``sign``: dischargeable by any principal the owner admits to the
+          group (``owner says member(group, ?Subject)``);
+        * ``externalize``: dischargeable only by principals the owner
+          designates as key managers.
+        """
+        vkey = self.vkeys.create("signing", key_bits=key_bits, seed=seed)
+        resource = self.kernel.resources.create(
+            name=f"/vkey/{group_name}", kind="vkey",
+            owner=owner.principal, payload=vkey)
+        self.kernel.sys_setgoal(
+            owner.pid, resource.resource_id, "sign",
+            f"{owner.path} says member(group:{group_name}, ?Subject)")
+        self.kernel.sys_setgoal(
+            owner.pid, resource.resource_id, "externalize",
+            f"{owner.path} says keyManager(group:{group_name}, ?Subject)")
+        return resource
+
+    # -- membership management (labels, not ACLs) ------------------------------
+
+    def admit_member(self, owner: Process, group_name: str,
+                     member: Process) -> CredentialSet:
+        label = self.kernel.sys_say(
+            owner.pid, f"member(group:{group_name}, {member.path})")
+        return CredentialSet([label])
+
+    def appoint_manager(self, owner: Process, group_name: str,
+                        manager: Process) -> CredentialSet:
+        label = self.kernel.sys_say(
+            owner.pid, f"keyManager(group:{group_name}, {manager.path})")
+        return CredentialSet([label])
+
+    # -- guarded operations --------------------------------------------------------
+
+    def sign(self, subject: Process, group_name: str, message: bytes,
+             credentials: CredentialSet) -> bytes:
+        resource = self.kernel.resources.lookup(f"/vkey/{group_name}")
+        goal = self._concrete_goal(resource, "sign", subject)
+        bundle = credentials.try_bundle_for(goal)
+        return self.kernel.guarded_call(
+            subject.pid, "sign", resource.resource_id,
+            resource.payload.sign, message, bundle=bundle)
+
+    def externalize(self, subject: Process, group_name: str,
+                    credentials: CredentialSet,
+                    wrap_with: int = 0) -> bytes:
+        resource = self.kernel.resources.lookup(f"/vkey/{group_name}")
+        goal = self._concrete_goal(resource, "externalize", subject)
+        bundle = credentials.try_bundle_for(goal)
+        return self.kernel.guarded_call(
+            subject.pid, "externalize", resource.resource_id,
+            self.vkeys.externalize, resource.payload.vkey_id, wrap_with,
+            bundle=bundle)
+
+    def public_key(self, group_name: str):
+        """The verification key is public — no goal needed."""
+        resource = self.kernel.resources.lookup(f"/vkey/{group_name}")
+        return resource.payload.public_key()
+
+    def _concrete_goal(self, resource, operation, subject: Process):
+        from repro.kernel.guard import RESOURCE_VAR, SUBJECT_VAR
+        from repro.nal.terms import Name
+        entry = self.kernel.default_guard.goals.get(resource.resource_id,
+                                                    operation)
+        if entry is None:
+            return parse("true")
+        return entry.formula.substitute({
+            SUBJECT_VAR: self.kernel.processes.get(subject.pid).principal,
+            RESOURCE_VAR: Name(resource.name),
+        })

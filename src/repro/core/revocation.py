@@ -1,0 +1,86 @@
+"""A revocation service built from the §2.7 primitives.
+
+"A software developer A wishing to implement her own revocation check for
+a statement S can, instead of issuing the label ``A says S``, issue
+``A says Valid(S) ⇒ S``. This design enables third-parties to implement
+the revocation service as an authority to the statement
+``A says Valid(S)``."
+
+The Nexus itself ships *no* revocation infrastructure — this class is the
+third-party service the design makes possible, packaged for reuse. It
+combines :func:`repro.nal.policy.revocable` credentials with a
+:class:`~repro.kernel.authority.StatementSetAuthority` answering validity
+queries, and exposes issue/revoke/reinstate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from repro.core.credentials import CredentialSet
+from repro.errors import NoSuchResource
+from repro.kernel.authority import StatementSetAuthority
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.process import Process
+from repro.nal.formula import Formula, Says
+from repro.nal.parser import parse
+from repro.nal.policy import revocable, validity_claim
+
+
+class RevocationService:
+    """Third-party revocation for labels, with no kernel support needed."""
+
+    def __init__(self, kernel: NexusKernel, port: str = "revocation"):
+        self.kernel = kernel
+        self.port = port
+        self.authority = StatementSetAuthority()
+        kernel.register_authority(port, self.authority)
+        #: (issuer path, statement) → the validity claim currently held.
+        self._issued: Dict[Tuple[str, Formula], Says] = {}
+
+    # -- issuing ------------------------------------------------------------
+
+    def issue(self, issuer: Process,
+              statement: Union[str, Formula]) -> CredentialSet:
+        """Issue a revocable credential on behalf of ``issuer``.
+
+        The issuer's labelstore receives ``issuer says (Valid(S) ⇒ S)``;
+        the validity claim is asserted with the authority; the returned
+        wallet carries both the credential and the authority hint, ready
+        for ``bundle_for(issuer says S)``.
+        """
+        statement = parse(statement)
+        conditional = revocable(issuer.principal, statement)
+        label = self.kernel.sys_say(issuer.pid, conditional.body)
+        claim = validity_claim(issuer.principal, statement)
+        self.authority.assert_statement(claim)
+        self._issued[(issuer.path, statement)] = claim
+        wallet = CredentialSet([label])
+        wallet.add_authority(claim, self.port)
+        return wallet
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def revoke(self, issuer: Process,
+               statement: Union[str, Formula]) -> None:
+        claim = self._lookup(issuer, statement)
+        self.authority.retract_statement(claim)
+
+    def reinstate(self, issuer: Process,
+                  statement: Union[str, Formula]) -> None:
+        claim = self._lookup(issuer, statement)
+        self.authority.assert_statement(claim)
+
+    def is_valid(self, issuer: Process,
+                 statement: Union[str, Formula]) -> bool:
+        claim = self._lookup(issuer, statement)
+        return self.kernel.authorities.query(self.port, claim)
+
+    def _lookup(self, issuer: Process,
+                statement: Union[str, Formula]) -> Says:
+        claim = self._issued.get((issuer.path, parse(statement)))
+        if claim is None:
+            raise NoSuchResource(
+                f"no revocable credential issued by {issuer.path} for "
+                f"{statement}")
+        return claim

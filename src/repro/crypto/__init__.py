@@ -1,0 +1,40 @@
+"""Cryptographic substrate for the logical-attestation stack.
+
+The original Nexus relied on TPM hardware and OpenSSL. This package provides
+pure-Python stand-ins with the same interfaces and — critically for the
+paper's evaluation — the same *relative* cost structure: hashing is cheap,
+asymmetric signatures are orders of magnitude more expensive than
+system-backed label operations.
+
+Modules
+-------
+hashes   SHA-1/SHA-256 helpers used throughout (PCRs, Merkle trees, certs).
+rsa      Pure-Python RSA keygen/sign/verify (real modular exponentiation).
+ctr      Counter-mode stream cipher with a SHA-256 keystream, standing in
+         for AES-CTR: per-block independence and random access preserved.
+certs    A structured certificate format standing in for X.509.
+"""
+
+from repro.crypto.hashes import (
+    sha1,
+    sha256,
+    hash_chain_extend,
+    constant_time_eq,
+)
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from repro.crypto.ctr import CTRCipher, keystream_block
+from repro.crypto.certs import Certificate, CertificateChain
+
+__all__ = [
+    "sha1",
+    "sha256",
+    "hash_chain_extend",
+    "constant_time_eq",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "generate_keypair",
+    "CTRCipher",
+    "keystream_block",
+    "Certificate",
+    "CertificateChain",
+]

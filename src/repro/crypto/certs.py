@@ -1,0 +1,152 @@
+"""Structured certificates, standing in for the X.509 externalization (§2.4).
+
+When a Nexus label leaves the machine it is externalized as a signed
+certificate: informally "TPM says kernel says labelstore says processid says
+S", with one certificate per link in that chain. We keep the chain structure
+but encode each certificate as a canonical, sorted JSON document instead of
+DER — the byte format is irrelevant to every claim the paper makes, while
+the chain-of-custody semantics (who signed what, which key binds which
+principal) are load-bearing and implemented fully.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import SignatureError
+
+
+def _canonical(payload: dict) -> bytes:
+    """Deterministic encoding: the signature input must be reproducible."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding: ``issuer`` asserts ``statement`` about ``subject``.
+
+    ``subject`` and ``issuer`` are principal names (strings in the NAL
+    term syntax); ``statement`` is a NAL formula rendered to text;
+    ``subject_key`` optionally binds a public key to the subject so the
+    next certificate in a chain can be verified.
+    """
+
+    issuer: str
+    subject: str
+    statement: str
+    issuer_key: RSAPublicKey
+    subject_key: RSAPublicKey | None = None
+    signature: bytes = b""
+    extensions: dict = field(default_factory=dict)
+
+    def payload(self) -> dict:
+        body = {
+            "issuer": self.issuer,
+            "subject": self.subject,
+            "statement": self.statement,
+            "issuer_key": self.issuer_key.to_dict(),
+            "extensions": self.extensions,
+        }
+        if self.subject_key is not None:
+            body["subject_key"] = self.subject_key.to_dict()
+        return body
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding."""
+        return _canonical(self.payload())
+
+    def verify(self) -> None:
+        """Check the signature with the embedded issuer key.
+
+        Trust in the issuer key itself comes from the rest of the chain
+        (or from a caller-held root), exactly as with X.509.
+        """
+        self.issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    @staticmethod
+    def issue(issuer: str, subject: str, statement: str,
+              issuer_keypair: RSAKeyPair,
+              subject_key: RSAPublicKey | None = None,
+              extensions: dict | None = None) -> "Certificate":
+        cert = Certificate(
+            issuer=issuer,
+            subject=subject,
+            statement=statement,
+            issuer_key=issuer_keypair.public,
+            subject_key=subject_key,
+            extensions=extensions or {},
+        )
+        signature = issuer_keypair.sign(cert.tbs_bytes())
+        return Certificate(
+            issuer=cert.issuer,
+            subject=cert.subject,
+            statement=cert.statement,
+            issuer_key=cert.issuer_key,
+            subject_key=cert.subject_key,
+            signature=signature,
+            extensions=cert.extensions,
+        )
+
+    def to_json(self) -> str:
+        body = self.payload()
+        body["signature"] = self.signature.hex()
+        return json.dumps(body, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "Certificate":
+        body = json.loads(text)
+        subject_key = None
+        if "subject_key" in body:
+            subject_key = RSAPublicKey.from_dict(body["subject_key"])
+        return Certificate(
+            issuer=body["issuer"],
+            subject=body["subject"],
+            statement=body["statement"],
+            issuer_key=RSAPublicKey.from_dict(body["issuer_key"]),
+            subject_key=subject_key,
+            signature=bytes.fromhex(body["signature"]),
+            extensions=body.get("extensions", {}),
+        )
+
+
+@dataclass
+class CertificateChain:
+    """An ordered chain rooted at a trusted key.
+
+    ``certs[0]`` must be signed by ``root_key`` (the TPM endorsement key or
+    a key the verifier already trusts); each later certificate must be
+    signed by the subject key bound in its predecessor. This mirrors the
+    "TPM says kernel says labelstore says process says S" chain of §2.4.
+    """
+
+    root_key: RSAPublicKey
+    certs: list[Certificate] = field(default_factory=list)
+
+    def verify(self) -> None:
+        if not self.certs:
+            raise SignatureError("empty certificate chain")
+        expected_key = self.root_key
+        for index, cert in enumerate(self.certs):
+            if cert.issuer_key != expected_key:
+                raise SignatureError(
+                    f"chain link {index}: issuer key does not match "
+                    f"the key delegated by the previous link")
+            cert.verify()
+            if index + 1 < len(self.certs):
+                if cert.subject_key is None:
+                    raise SignatureError(
+                        f"chain link {index}: no subject key to delegate to")
+                expected_key = cert.subject_key
+
+    def leaf(self) -> Certificate:
+        if not self.certs:
+            raise SignatureError("empty certificate chain")
+        return self.certs[-1]
+
+    def speaker_path(self) -> list[str]:
+        """The says-chain of principals, root first."""
+        names = [cert.issuer for cert in self.certs]
+        names.append(self.certs[-1].subject)
+        return names

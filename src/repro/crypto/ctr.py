@@ -1,0 +1,74 @@
+"""Counter-mode stream cipher, standing in for AES-CTR in SSRs (§3.3).
+
+The paper chose counter mode because a ciphertext block does not depend on
+its predecessor: regions of a file can be encrypted/decrypted independently,
+enabling demand paging and cheap in-place updates. Those are properties of
+the *mode*, not of AES itself, so we keep the mode and substitute the block
+primitive: keystream block ``i`` is ``SHA-256(key || nonce || i)``. XORing a
+SHA-256-derived keystream preserves every property the SSR layer relies on:
+
+* block independence — flipping plaintext block *i* changes only
+  ciphertext block *i*;
+* random access — any block can be decrypted alone;
+* symmetric cost — encrypt and decrypt are the same operation.
+
+(Like every primitive in :mod:`repro.crypto`, this is simulation-grade, not
+production cryptography.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256
+from repro.errors import CryptoError
+
+BLOCK_SIZE = 32  # bytes of keystream per counter value (SHA-256 width)
+
+
+def keystream_block(key: bytes, nonce: bytes, counter: int) -> bytes:
+    """The keystream for one counter value."""
+    return sha256(key + nonce + counter.to_bytes(8, "big"))
+
+
+@dataclass(frozen=True)
+class CTRCipher:
+    """A key+nonce bound counter-mode cipher.
+
+    The nonce plays the role of the per-file IV; callers (the SSR layer)
+    must never reuse a (key, nonce) pair for different plaintexts.
+    """
+
+    key: bytes
+    nonce: bytes = field(default=b"\x00" * 8)
+
+    def __post_init__(self):
+        if len(self.key) < 16:
+            raise CryptoError("CTR key must be at least 16 bytes")
+
+    def _xor_range(self, data: bytes, first_block: int) -> bytes:
+        if not data:
+            return b""
+        block_count = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+        keystream = b"".join(
+            keystream_block(self.key, self.nonce, first_block + i)
+            for i in range(block_count))[:len(data)]
+        # XOR as one big integer: identical output, far fewer Python ops.
+        xored = int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+        return xored.to_bytes(len(data), "big")
+
+    def encrypt(self, plaintext: bytes, first_block: int = 0) -> bytes:
+        """Encrypt data whose first byte sits at block ``first_block``."""
+        return self._xor_range(plaintext, first_block)
+
+    def decrypt(self, ciphertext: bytes, first_block: int = 0) -> bytes:
+        """Decrypt; identical to :meth:`encrypt` as in any CTR mode."""
+        return self._xor_range(ciphertext, first_block)
+
+    def encrypt_block(self, block_index: int, plaintext: bytes) -> bytes:
+        """Encrypt exactly one cipher block (used by SSR random access)."""
+        if len(plaintext) > BLOCK_SIZE:
+            raise CryptoError("block larger than cipher block size")
+        return self._xor_range(plaintext, block_index)
+
+    decrypt_block = encrypt_block

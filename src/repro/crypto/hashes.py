@@ -1,0 +1,52 @@
+"""Hash helpers shared by the TPM model, Merkle trees, and certificates.
+
+The TPM v1.1 spec is SHA-1 based (20-byte PCRs and DIRs); everything else in
+this reproduction uses SHA-256. Both are exposed here so the register widths
+in :mod:`repro.tpm` match the hardware the paper used.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+SHA1_LEN = 20
+SHA256_LEN = 32
+
+
+def _as_bytes(data: bytes | str) -> bytes:
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    return bytes(data)
+
+
+def sha1(data: bytes | str) -> bytes:
+    """SHA-1 digest (20 bytes) — the TPM v1.1 register width."""
+    return hashlib.sha1(_as_bytes(data)).digest()
+
+
+def sha256(data: bytes | str) -> bytes:
+    """SHA-256 digest (32 bytes) — used for Merkle trees and signatures."""
+    return hashlib.sha256(_as_bytes(data)).digest()
+
+
+def hash_chain_extend(register: bytes, measurement: bytes) -> bytes:
+    """TPM-style PCR extend: ``new = H(old || measurement)``.
+
+    The register width decides the hash: 20 bytes selects SHA-1 (TPM v1.1),
+    anything else SHA-256. The measurement is hashed first if it is not
+    already a digest of the right width, mirroring how the TPM hashes the
+    data it is asked to extend with.
+    """
+    if len(register) == SHA1_LEN:
+        digest, width = sha1, SHA1_LEN
+    else:
+        digest, width = sha256, SHA256_LEN
+    if len(measurement) != width:
+        measurement = digest(measurement)
+    return digest(register + measurement)
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison, as a real verifier would use."""
+    return hmac.compare_digest(a, b)

@@ -1,0 +1,168 @@
+"""Pure-Python RSA, standing in for the TPM/OpenSSL signing paths.
+
+The paper's Figure 6 hinges on a real physical fact: verifying an RSA
+signature costs three orders of magnitude more than inserting a
+system-backed label. We reproduce that fact rather than fake it — keys are
+generated with Miller–Rabin, and sign/verify perform genuine modular
+exponentiation, so the benchmark gap emerges from arithmetic, not from
+``time.sleep``.
+
+Signatures are "hash-then-pad-then-exponentiate" in the PKCS#1 v1.5 spirit
+(deterministic padding, SHA-256 digest). This is *not* a hardened
+implementation — no blinding, no constant-time bigint ops — and must never
+be used outside this simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256
+from repro.errors import CryptoError, SignatureError
+
+# Small primes for quick trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+_PUBLIC_EXPONENT = 65537
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    # Miller-Rabin
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # full width, odd
+        if candidate % _PUBLIC_EXPONENT == 1:
+            continue  # would make e non-invertible
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """The verification half of a keypair; safe to externalize."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 over the canonical encoding; used to name key principals."""
+        return sha256(f"rsa:{self.n:x}:{self.e:x}")
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.n:
+            raise SignatureError("signature out of range for modulus")
+        recovered = pow(sig_int, self.e, self.n)
+        expected = _encode_digest(message, self.n)
+        if recovered != expected:
+            raise SignatureError("RSA signature mismatch")
+
+    def is_valid(self, message: bytes, signature: bytes) -> bool:
+        try:
+            self.verify(message, signature)
+        except SignatureError:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {"n": f"{self.n:x}", "e": self.e}
+
+    @staticmethod
+    def from_dict(data: dict) -> "RSAPublicKey":
+        return RSAPublicKey(n=int(data["n"], 16), e=int(data["e"]))
+
+
+def _encode_digest(message: bytes, modulus: int) -> int:
+    """Deterministic full-domain-ish encoding of SHA-256(message).
+
+    Pads the digest with a fixed 0x01 0xFF... prefix up to one byte short of
+    the modulus, in the shape of PKCS#1 v1.5 type-1 blocks.
+    """
+    digest = sha256(message)
+    k = (modulus.bit_length() + 7) // 8
+    pad_len = k - len(digest) - 3
+    if pad_len < 0:
+        raise CryptoError("modulus too small for SHA-256 signatures")
+    block = b"\x00\x01" + b"\xff" * pad_len + b"\x00" + digest
+    return int.from_bytes(block, "big")
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """A signing keypair. The private exponent never leaves this object."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        encoded = _encode_digest(message, self.n)
+        sig_int = pow(encoded, self.d, self.n)
+        k = (self.n.bit_length() + 7) // 8
+        return sig_int.to_bytes(k, "big")
+
+
+def generate_keypair(bits: int = 1024, seed: int | None = None) -> RSAKeyPair:
+    """Generate an RSA keypair.
+
+    ``seed`` makes generation deterministic, which keeps tests fast and
+    reproducible; benchmarks use larger unseeded keys. 1024-bit keys match
+    the era of the Atmel v1.1 TPM the paper's testbed used.
+    """
+    if bits < 512:
+        raise CryptoError("refusing to generate keys below 512 bits")
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(_PUBLIC_EXPONENT, -1, phi)
+        except ValueError:
+            continue
+        return RSAKeyPair(n=n, e=_PUBLIC_EXPONENT, d=d)

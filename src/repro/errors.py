@@ -1,0 +1,143 @@
+"""Exception hierarchy for the logical-attestation stack.
+
+Every layer of the simulated Nexus raises exceptions derived from
+:class:`ReproError` so callers can catch at whatever granularity they need:
+a guard that wants to deny on any internal failure catches ``ReproError``;
+a test asserting a specific misbehaviour catches the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# NAL logic errors
+# --------------------------------------------------------------------------
+
+class NALError(ReproError):
+    """Base class for logic-layer errors."""
+
+
+class ParseError(NALError):
+    """The NAL text could not be parsed into a formula or principal."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+
+class ProofError(NALError):
+    """A proof object is structurally invalid or does not check."""
+
+
+class UnificationError(NALError):
+    """A goal pattern could not be matched against a concrete formula."""
+
+
+# --------------------------------------------------------------------------
+# Crypto / TPM errors
+# --------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class SealError(CryptoError):
+    """TPM seal/unseal failed (usually a PCR mismatch)."""
+
+
+class TPMError(ReproError):
+    """TPM device misuse (bad register index, not owned, etc.)."""
+
+
+# --------------------------------------------------------------------------
+# Storage errors
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for attested-storage failures."""
+
+
+class IntegrityError(StorageError):
+    """Stored data failed an integrity (hash) check: tampering or replay."""
+
+
+class ReplayError(IntegrityError):
+    """Stored data is authentic but stale: a replay of an old version."""
+
+
+class CrashError(StorageError):
+    """Raised by the fault-injecting block device to simulate power loss."""
+
+
+class BootError(ReproError):
+    """The simulated Nexus boot was aborted (e.g. DIR/state-file mismatch)."""
+
+
+# --------------------------------------------------------------------------
+# Kernel errors
+# --------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel failures."""
+
+
+class NoSuchProcess(KernelError):
+    """Referenced IPD does not exist."""
+
+
+class NoSuchPort(KernelError):
+    """Referenced IPC port does not exist."""
+
+
+class NoSuchResource(KernelError):
+    """Referenced kernel resource (file, port, vdir, ...) does not exist."""
+
+
+class AccessDenied(KernelError):
+    """The guard denied the operation."""
+
+    def __init__(self, message: str = "access denied", *,
+                 subject=None, operation=None, resource=None, reason=""):
+        super().__init__(message)
+        self.subject = subject
+        self.operation = operation
+        self.resource = resource
+        self.reason = reason
+
+
+class InterpositionError(KernelError):
+    """Reference-monitor installation or invocation failed."""
+
+
+class QuotaExceeded(KernelError):
+    """A per-principal quota (e.g. guard-cache entries) was exhausted."""
+
+
+# --------------------------------------------------------------------------
+# Application-layer errors
+# --------------------------------------------------------------------------
+
+class AppError(ReproError):
+    """Base class for application-layer failures."""
+
+
+class CobufError(AppError):
+    """Illegal operation on a constrained buffer (content inspection, bad
+    collation)."""
+
+
+class SandboxViolation(AppError):
+    """Tenant code failed the Python-sandbox analysis or tried to escape."""
+
+
+class PolicyViolation(AppError):
+    """A document/image/BGP-message violated its use policy."""

@@ -1,0 +1,5 @@
+"""User-level filesystem services for the simulated Nexus."""
+
+from repro.fs.ramfs import FS_PRINCIPAL, FileServer
+
+__all__ = ["FS_PRINCIPAL", "FileServer"]

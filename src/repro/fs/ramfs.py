@@ -1,0 +1,188 @@
+"""The user-level RAM filesystem server.
+
+Nexus implements filesystems outside the kernel: basic namespace services
+in the kernel core, transient data storage in a user-level server (Table 2
+lists it as optional, 1810 lines). That architecture is why Table 1 shows
+``open``/``read``/``write`` costing 2–3× Linux — every file operation pays
+an IPC hop to the server process. We reproduce the same structure: the
+:class:`FileServer` is a kernel *process* reachable over an IPC port, and
+the file syscalls it registers route through that port.
+
+Every file is a kernel resource, so goal formulas attach to any operation
+on any file (§2.5). On creation the server deposits the §2.6 ownership
+label ``FS says creator speaksfor FS.<path>`` in the creator's labelstore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AccessDenied, KernelError, NoSuchResource
+from repro.nal.proof import ProofBundle
+from repro.nal.terms import Name
+from repro.kernel.kernel import NexusKernel
+
+FS_PRINCIPAL = Name("FS")
+
+
+@dataclass
+class _OpenFile:
+    path: str
+    offset: int = 0
+
+
+class FileServer:
+    """A user-level filesystem server process ("FS")."""
+
+    def __init__(self, kernel: NexusKernel, name: str = "fs-server"):
+        self.kernel = kernel
+        self.process = kernel.create_process(name, image=b"fs-server-image")
+        self.port = kernel.create_port(self.process.pid, "fs",
+                                       handler=self._handle)
+        self._data: Dict[str, bytearray] = {}
+        self._fds: Dict[Tuple[int, int], _OpenFile] = {}
+        self._next_fd = 3  # 0-2 are taken, as tradition demands
+        self._register_syscalls()
+
+    # -- syscall plumbing -----------------------------------------------------
+
+    def _register_syscalls(self) -> None:
+        for name in ("open", "close", "read", "write", "unlink"):
+            def handler(kernel, pid, *args, _op=name):
+                # The IPC hop to the user-level server: the cost Table 1
+                # attributes to the client-server architecture.
+                return kernel.ipc_call(pid, self.port.port_id, _op, pid,
+                                       *args)
+            self.kernel.register_syscall(name, handler)
+
+    def _handle(self, op: str, pid: int, *args):
+        method = getattr(self, f"_op_{op}")
+        return method(pid, *args)
+
+    # -- resource helpers ---------------------------------------------------------
+
+    def _resource_name(self, path: str) -> str:
+        return f"/fs{path}"
+
+    def _resource_for(self, path: str):
+        resource = self.kernel.resources.find(self._resource_name(path))
+        if resource is None:
+            raise NoSuchResource(f"no such file {path}")
+        return resource
+
+    def resource_id(self, path: str) -> int:
+        return self._resource_for(path).resource_id
+
+    # -- operations ------------------------------------------------------------------
+
+    def _op_open(self, pid: int, path: str,
+                 bundle: Optional[ProofBundle] = None) -> int:
+        if path not in self._data:
+            return self._create(pid, path)
+        resource = self._resource_for(path)
+        decision = self.kernel.authorize(pid, "open", resource.resource_id,
+                                         bundle)
+        if not decision.allow:
+            raise AccessDenied(f"open {path} denied: {decision.reason}",
+                               subject=pid, operation="open",
+                               resource=resource.resource_id,
+                               reason=decision.reason)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[(pid, fd)] = _OpenFile(path=path)
+        return fd
+
+    def _create(self, pid: int, path: str) -> int:
+        creator = self.kernel.processes.get(pid)
+        self._data[path] = bytearray()
+        # The file resource is owned by FS; the creator receives the
+        # delegation label of §2.6 and the default goals below grant it
+        # access through that label's existence.
+        self.kernel.resources.create(
+            name=self._resource_name(path), kind="file",
+            owner=creator.principal, payload=path)
+        self.kernel.say_as(
+            FS_PRINCIPAL,
+            f"{creator.path} speaksfor FS.{path}",
+            store=self.kernel.default_labelstore(pid))
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[(pid, fd)] = _OpenFile(path=path)
+        return fd
+
+    def _op_close(self, pid: int, fd: int) -> None:
+        if (pid, fd) not in self._fds:
+            raise KernelError(f"bad file descriptor {fd}")
+        del self._fds[(pid, fd)]
+
+    def _file_for(self, pid: int, fd: int) -> _OpenFile:
+        open_file = self._fds.get((pid, fd))
+        if open_file is None:
+            raise KernelError(f"bad file descriptor {fd}")
+        return open_file
+
+    def _op_read(self, pid: int, fd: int, length: int,
+                 bundle: Optional[ProofBundle] = None) -> bytes:
+        open_file = self._file_for(pid, fd)
+        resource = self._resource_for(open_file.path)
+        return self.kernel.guarded_call(
+            pid, "read", resource.resource_id,
+            self._do_read, open_file, length, bundle=bundle)
+
+    def _do_read(self, open_file: _OpenFile, length: int) -> bytes:
+        data = self._data[open_file.path]
+        chunk = bytes(data[open_file.offset:open_file.offset + length])
+        open_file.offset += len(chunk)
+        return chunk
+
+    def _op_write(self, pid: int, fd: int, payload: bytes,
+                  bundle: Optional[ProofBundle] = None) -> int:
+        open_file = self._file_for(pid, fd)
+        resource = self._resource_for(open_file.path)
+        return self.kernel.guarded_call(
+            pid, "write", resource.resource_id,
+            self._do_write, open_file, payload, bundle=bundle)
+
+    def _do_write(self, open_file: _OpenFile, payload: bytes) -> int:
+        data = self._data[open_file.path]
+        end = open_file.offset + len(payload)
+        if end > len(data):
+            data.extend(b"\x00" * (end - len(data)))
+        data[open_file.offset:end] = payload
+        open_file.offset = end
+        return len(payload)
+
+    def _op_unlink(self, pid: int, path: str,
+                   bundle: Optional[ProofBundle] = None) -> None:
+        resource = self._resource_for(path)
+        self.kernel.guarded_call(pid, "unlink", resource.resource_id,
+                                 self._do_unlink, path, bundle=bundle)
+
+    def _do_unlink(self, path: str) -> None:
+        del self._data[path]
+        resource = self._resource_for(path)
+        self.kernel.resources.destroy(resource.resource_id)
+
+    # -- direct (trusted) access for in-server components --------------------------------
+
+    def raw_read(self, path: str) -> bytes:
+        if path not in self._data:
+            raise NoSuchResource(f"no such file {path}")
+        return bytes(self._data[path])
+
+    def raw_write(self, path: str, data: bytes,
+                  owner_pid: Optional[int] = None) -> None:
+        if path not in self._data:
+            if owner_pid is None:
+                owner_pid = self.process.pid
+            self._create(owner_pid, path)
+            # drop the fd the create opened; raw access keeps none
+            self._fds.pop((owner_pid, self._next_fd - 1), None)
+        self._data[path] = bytearray(data)
+
+    def exists(self, path: str) -> bool:
+        return path in self._data
+
+    def paths(self):
+        return sorted(self._data)

@@ -1,0 +1,57 @@
+"""The simulated Nexus microkernel: processes, IPC, labels, guards, caches,
+authorities, interposition, introspection, and the proportional-share
+scheduler."""
+
+from repro.kernel.automata import (
+    AutomatonMonitor,
+    SecurityAutomaton,
+    count_limited,
+)
+from repro.kernel.authority import (
+    Authority,
+    AuthorityRegistry,
+    CallableAuthority,
+    ClockAuthority,
+    StatementSetAuthority,
+)
+from repro.kernel.decision_cache import CacheStats, DecisionCache
+from repro.kernel.guard import (
+    Guard,
+    GuardCache,
+    GuardDecision,
+    GoalStore,
+    RESOURCE_VAR,
+    SUBJECT_VAR,
+)
+from repro.kernel.interposition import (
+    CallDecision,
+    Redirector,
+    ReferenceMonitor,
+    SyscallWhitelistMonitor,
+    Verdict,
+)
+from repro.kernel.introspection import IntrospectionFS
+from repro.kernel.ipc import Port, PortTable
+from repro.kernel.kernel import DEFAULT_STACK, KERNEL_PRINCIPAL, NexusKernel
+from repro.kernel.labelstore import Label, LabelRegistry, LabelStore
+from repro.kernel.process import Process, ProcessTable, hash_image
+from repro.kernel.resources import Resource, ResourceTable
+from repro.kernel.scheduler import ProportionalShareScheduler
+
+__all__ = [
+    "Authority", "AuthorityRegistry", "CallableAuthority", "ClockAuthority",
+    "StatementSetAuthority",
+    "CacheStats", "DecisionCache",
+    "Guard", "GuardCache", "GuardDecision", "GoalStore", "RESOURCE_VAR",
+    "SUBJECT_VAR",
+    "CallDecision", "Redirector", "ReferenceMonitor",
+    "SyscallWhitelistMonitor", "Verdict",
+    "IntrospectionFS",
+    "Port", "PortTable",
+    "DEFAULT_STACK", "KERNEL_PRINCIPAL", "NexusKernel",
+    "Label", "LabelRegistry", "LabelStore",
+    "Process", "ProcessTable", "hash_image",
+    "Resource", "ResourceTable",
+    "ProportionalShareScheduler",
+    "AutomatonMonitor", "SecurityAutomaton", "count_limited",
+]

@@ -1,0 +1,113 @@
+"""Authorities: yes/no oracles over attested IPC (§2.7).
+
+A trustworthy principal must not emit transferable statements that can
+later become invalid. Authorities square that circle for dynamic state:
+they answer, over an attested IPC channel, whether they *currently*
+believe a statement — and the answer can be observed only by the asking
+guard, never stored or forwarded. Partitioning trust into indefinitely
+cacheable labels plus untransferable authority answers is what lets the
+Nexus drop a revocation infrastructure entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import NoSuchPort
+from repro.nal.formula import Compare, Formula, Not, Pred, Says
+from repro.nal.terms import Name, Principal
+
+
+class Authority:
+    """Base class: subclasses answer queries about their own statements."""
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        """Return True/False for statements this authority understands,
+        or None to decline (treated as a denial by guards)."""
+        raise NotImplementedError
+
+
+class CallableAuthority(Authority):
+    """Wraps a plain predicate function."""
+
+    def __init__(self, fn: Callable[[Formula], Optional[bool]]):
+        self._fn = fn
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        return self._fn(formula)
+
+
+class ClockAuthority(Authority):
+    """The system clock service from the paper's running example.
+
+    It refuses to *sign* anything; it merely confirms arithmetic
+    statements about ``TimeNow`` — e.g. ``NTP says TimeNow < 20110319`` —
+    at the instant of the query.
+    """
+
+    def __init__(self, clock: Callable[[], int],
+                 speaker: Principal = Name("NTP")):
+        self._clock = clock
+        self.speaker = speaker
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        body = formula
+        if isinstance(formula, Says):
+            if formula.speaker != self.speaker:
+                return None
+            body = formula.body
+        if isinstance(body, Compare):
+            return body.evaluate({"TimeNow": self._clock()})
+        return None
+
+
+class StatementSetAuthority(Authority):
+    """Confirms membership in a mutable statement set.
+
+    Used for e.g. revocation services (``A says Valid(S)``) and the
+    Fauxbook embedded authorities (current session user, friend edges).
+    """
+
+    def __init__(self):
+        self._held: set[Formula] = set()
+
+    def assert_statement(self, formula: Formula) -> None:
+        self._held.add(formula)
+
+    def retract_statement(self, formula: Formula) -> None:
+        self._held.discard(formula)
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        return formula in self._held
+
+
+class AuthorityRegistry:
+    """Kernel table mapping attested IPC ports to authority processes."""
+
+    def __init__(self):
+        self._authorities: Dict[str, Authority] = {}
+        self.query_count = 0
+
+    def register(self, port: str, authority: Authority) -> None:
+        self._authorities[port] = authority
+
+    def unregister(self, port: str) -> None:
+        self._authorities.pop(port, None)
+
+    def query(self, port: str, formula: Formula) -> bool:
+        """Ask the authority on ``port``; unknown ports, declined
+        statements, and *crashing authorities* are all denials — the
+        authorization path must fail closed no matter how an authority
+        process misbehaves."""
+        self.query_count += 1
+        authority = self._authorities.get(port)
+        if authority is None:
+            return False
+        try:
+            answer = authority.decides(formula)
+        except Exception:
+            return False
+        return bool(answer)
+
+    def __contains__(self, port: str) -> bool:
+        return port in self._authorities

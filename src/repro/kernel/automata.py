@@ -1,0 +1,125 @@
+"""Security automata with TPM-backed persistent state (§3.3).
+
+"Guards can use SSRs to store the state of security automata, which may
+include counters, expiration dates, and summary of past behaviors."
+(citing Schneider's *Enforceable Security Policies* [44]).
+
+A :class:`SecurityAutomaton` is a deterministic automaton over operation
+events; an event with no transition from the current state is a policy
+violation. State persists through a Secure Storage Region, so the history
+a policy depends on — how many times a key was used, whether a document
+was already released — survives reboots and resists rollback: replaying
+an old SSR image to reset a counter is exactly the attack VDIR anchoring
+detects.
+
+:class:`AutomatonMonitor` adapts an automaton into a reference monitor,
+and :class:`count_limited` builds the classic count-limited-object policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PolicyViolation, StorageError
+from repro.kernel.interposition import CallDecision, ReferenceMonitor
+from repro.storage.ssr import SecureStorageRegion
+
+#: transitions[(state, event)] = next_state
+Transitions = Dict[Tuple[str, str], str]
+
+
+class SecurityAutomaton:
+    """A deterministic security automaton with optional SSR persistence."""
+
+    def __init__(self, name: str, transitions: Transitions, initial: str,
+                 ssr: Optional[SecureStorageRegion] = None):
+        self.name = name
+        self.transitions = dict(transitions)
+        self.state = initial
+        self._ssr = ssr
+        if ssr is not None:
+            persisted = self._load()
+            if persisted is not None:
+                self.state = persisted
+            else:
+                self._persist()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self) -> None:
+        if self._ssr is None:
+            return
+        blob = json.dumps({"name": self.name, "state": self.state}).encode()
+        if len(blob) > self._ssr.block_size:
+            raise StorageError("automaton state exceeds one SSR block")
+        self._ssr.write_block(0, blob.ljust(self._ssr.block_size, b"\x00"))
+
+    def _load(self) -> Optional[str]:
+        if self._ssr is None:
+            return None
+        raw = self._ssr.read_block(0).rstrip(b"\x00")
+        if not raw:
+            return None
+        body = json.loads(raw.decode())
+        if body.get("name") != self.name:
+            raise StorageError(
+                f"SSR holds state for automaton {body.get('name')!r}, "
+                f"not {self.name!r}")
+        return body["state"]
+
+    # -- stepping -----------------------------------------------------------------
+
+    def permits(self, event: str) -> bool:
+        return (self.state, event) in self.transitions
+
+    def step(self, event: str) -> str:
+        """Advance on ``event``; raise :class:`PolicyViolation` when the
+        policy has no transition (and leave the state unchanged)."""
+        next_state = self.transitions.get((self.state, event))
+        if next_state is None:
+            raise PolicyViolation(
+                f"automaton {self.name}: event {event!r} not permitted in "
+                f"state {self.state!r}")
+        self.state = next_state
+        self._persist()
+        return next_state
+
+
+def count_limited(name: str, event: str, limit: int,
+                  ssr: Optional[SecureStorageRegion] = None
+                  ) -> SecurityAutomaton:
+    """An automaton allowing ``event`` at most ``limit`` times.
+
+    The TPM-era classic (count-limited objects [43]): e.g. a key that may
+    sign only N messages, ever, across reboots.
+    """
+    transitions = {
+        (f"used-{i}", event): f"used-{i + 1}" for i in range(limit)
+    }
+    return SecurityAutomaton(name, transitions, initial="used-0", ssr=ssr)
+
+
+class AutomatonMonitor(ReferenceMonitor):
+    """Interpose an automaton on a channel: each call is an event.
+
+    Operations without a transition are denied (and the automaton does
+    not advance — denial is not history).
+    """
+
+    name = "security-automaton"
+
+    def __init__(self, automaton: SecurityAutomaton,
+                 event_of_operation=lambda operation: operation):
+        self.automaton = automaton
+        self.event_of_operation = event_of_operation
+        self.denials = 0
+
+    def on_call(self, subject, operation, obj, args) -> CallDecision:
+        event = self.event_of_operation(operation)
+        if not self.automaton.permits(event):
+            self.denials += 1
+            return CallDecision.deny()
+        self.automaton.step(event)
+        return CallDecision.allow()

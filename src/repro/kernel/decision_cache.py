@@ -1,0 +1,111 @@
+"""The kernel decision cache (§2.8).
+
+Guard upcalls cost 16–20× a cached kernel decision, so the kernel caches
+previously observed guard decisions, indexed by the access-control tuple
+(subject, operation, object). Two invalidation granularities exist:
+
+* a *proof update* clears exactly one entry;
+* a *setgoal* may affect many entries, so the hash function is designed to
+  map all entries with the same (operation, object) into the same
+  **subregion** — invalidating a goal clears one subregion instead of the
+  whole cache. Subregion count is configurable, trading invalidation cost
+  against collision rate (more subregions → cheaper goal invalidation,
+  higher chance two goals collide into one subregion).
+
+Only decisions the guard marked cacheable are inserted (proofs free of
+authority queries and dynamic state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+Key = Tuple[Hashable, Hashable, Hashable]  # (subject, operation, object)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    entry_invalidations: int = 0
+    subregion_invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DecisionCache:
+    """A subregioned hashtable of (subject, op, object) → allow/deny."""
+
+    def __init__(self, subregions: int = 64, enabled: bool = True):
+        if subregions < 1:
+            raise ValueError("need at least one subregion")
+        self._subregions: List[Dict[Key, bool]] = [
+            {} for _ in range(subregions)
+        ]
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    @property
+    def subregion_count(self) -> int:
+        return len(self._subregions)
+
+    def _region_for(self, operation: Hashable, obj: Hashable) -> Dict:
+        # All entries sharing (operation, object) land in one subregion so
+        # a setgoal invalidation touches contiguous state.
+        index = hash((operation, obj)) % len(self._subregions)
+        return self._subregions[index]
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup(self, subject: Hashable, operation: Hashable,
+               obj: Hashable) -> Optional[bool]:
+        if not self.enabled:
+            return None
+        region = self._region_for(operation, obj)
+        decision = region.get((subject, operation, obj))
+        if decision is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return decision
+
+    def insert(self, subject: Hashable, operation: Hashable, obj: Hashable,
+               decision: bool) -> None:
+        if not self.enabled:
+            return
+        region = self._region_for(operation, obj)
+        region[(subject, operation, obj)] = decision
+        self.stats.insertions += 1
+
+    # -- invalidation -----------------------------------------------------------
+
+    def invalidate_entry(self, subject: Hashable, operation: Hashable,
+                         obj: Hashable) -> None:
+        """Proof update: clear the single affected entry."""
+        region = self._region_for(operation, obj)
+        if region.pop((subject, operation, obj), None) is not None:
+            self.stats.entry_invalidations += 1
+
+    def invalidate_goal(self, operation: Hashable, obj: Hashable) -> None:
+        """setgoal: clear the subregion holding every entry for the goal."""
+        index = hash((operation, obj)) % len(self._subregions)
+        self._subregions[index] = {}
+        self.stats.subregion_invalidations += 1
+
+    def clear(self) -> None:
+        for index in range(len(self._subregions)):
+            self._subregions[index] = {}
+
+    def resize(self, subregions: int) -> None:
+        """Runtime resize; contents are discarded (it is only a cache)."""
+        if subregions < 1:
+            raise ValueError("need at least one subregion")
+        self._subregions = [{} for _ in range(subregions)]
+
+    def __len__(self):
+        return sum(len(region) for region in self._subregions)

@@ -1,0 +1,256 @@
+"""Guards: proof-checking reference monitors (§2.5–2.6, §2.9).
+
+A guard owns a *goalstore* mapping (resource, operation) to goal formulas
+and evaluates client-supplied :class:`~repro.nal.proof.ProofBundle`s
+against them. The guard never derives proofs — derivation is undecidable —
+it only (1) checks the proof, (2) verifies the authenticity of every
+credential the proof assumes, and (3) consults authorities for dynamic
+leaves. Steps (1) and (2) are cached in the **guard cache**; step (3) is
+re-executed on every request by construction.
+
+Default policy (§2.6): a resource with no goal formula is governed by
+``resource-manager.object says operation`` — satisfiable only by the
+object's owner or the owner's superprincipal, which protects nascent
+objects before their creator has called ``setgoal``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.errors import ProofError, UnificationError
+from repro.nal.checker import CheckResult, check
+from repro.nal.formula import Formula, TrueFormula
+from repro.nal.proof import ProofBundle
+from repro.nal.terms import Principal, Var
+from repro.nal.unify import match
+from repro.kernel.authority import AuthorityRegistry
+from repro.kernel.labelstore import LabelRegistry
+from repro.kernel.resources import Resource
+
+#: Goal variables every guard instantiates before matching.
+SUBJECT_VAR = Var("Subject")
+RESOURCE_VAR = Var("Resource")
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    """What the guard reports back to the kernel (Figure 1: allow + cache)."""
+
+    allow: bool
+    cacheable: bool
+    reason: str = ""
+
+    def __bool__(self):
+        return self.allow
+
+
+@dataclass
+class GoalEntry:
+    formula: Formula
+    guard_port: Optional[str] = None  # a designated non-default guard
+
+
+class GoalStore:
+    """Per-guard table of (resource_id, operation) → goal formula."""
+
+    def __init__(self):
+        self._goals: Dict[Tuple[int, str], GoalEntry] = {}
+
+    def set_goal(self, resource_id: int, operation: str, formula: Formula,
+                 guard_port: Optional[str] = None) -> None:
+        self._goals[(resource_id, operation)] = GoalEntry(formula, guard_port)
+
+    def clear_goal(self, resource_id: int, operation: str) -> None:
+        self._goals.pop((resource_id, operation), None)
+
+    def get(self, resource_id: int, operation: str) -> Optional[GoalEntry]:
+        return self._goals.get((resource_id, operation))
+
+    def __len__(self):
+        return len(self._goals)
+
+
+class GuardCache:
+    """The guard-internal proof cache (§2.9).
+
+    Caches successful proof checks keyed by (proof, goal). All contents are
+    soft state: eviction can never change a decision, only its cost. To
+    isolate principals, eviction preferentially removes entries belonging
+    to the same principal (actually: the same process-tree root, to which
+    quotas are attached, so spawning fresh principals cannot launder
+    exhaustion attacks).
+    """
+
+    def __init__(self, capacity: int = 1024, per_root_quota: int = 256):
+        self.capacity = capacity
+        self.per_root_quota = per_root_quota
+        self._entries: "OrderedDict[Hashable, CheckResult]" = OrderedDict()
+        self._owner_of: Dict[Hashable, Hashable] = {}
+        self._count_by_root: Dict[Hashable, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable) -> Optional[CheckResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return result
+
+    def insert(self, key: Hashable, root: Hashable,
+               result: CheckResult) -> None:
+        if self.capacity <= 0:
+            return  # caching disabled entirely
+        if key in self._entries:
+            return
+        if self._count_by_root.get(root, 0) >= self.per_root_quota:
+            self._evict_one(prefer_root=root)
+        elif len(self._entries) >= self.capacity:
+            self._evict_one(prefer_root=root)
+        self._entries[key] = result
+        self._owner_of[key] = root
+        self._count_by_root[root] = self._count_by_root.get(root, 0) + 1
+
+    def _evict_one(self, prefer_root: Hashable) -> None:
+        # Prefer evicting the requesting principal's own oldest entry.
+        victim = next(
+            (k for k in self._entries if self._owner_of[k] == prefer_root),
+            None)
+        if victim is None and self._entries:
+            victim = next(iter(self._entries))
+        if victim is not None:
+            del self._entries[victim]
+            root = self._owner_of.pop(victim)
+            self._count_by_root[root] -= 1
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+        self._owner_of.clear()
+        self._count_by_root.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class Guard:
+    """A guard process. The kernel-designated default guard uses exactly
+    this logic; applications may instantiate their own with a different
+    goalstore."""
+
+    def __init__(self, labels: LabelRegistry, authorities: AuthorityRegistry,
+                 cache: Optional[GuardCache] = None):
+        self.goals = GoalStore()
+        self.labels = labels
+        self.authorities = authorities
+        self.cache = cache if cache is not None else GuardCache()
+        self.upcalls = 0
+
+    # ------------------------------------------------------------------
+
+    def check(self, subject: Principal, operation: str, resource: Resource,
+              bundle: Optional[ProofBundle],
+              subject_root: Hashable = None) -> GuardDecision:
+        """Figure 1 step (2): evaluate proof and labels against the goal."""
+        self.upcalls += 1
+        entry = self.goals.get(resource.resource_id, operation)
+        if entry is None:
+            return self._default_policy(subject, resource)
+
+        goal = entry.formula
+        if isinstance(goal, TrueFormula):
+            # An explicit ALLOW goal: no proof needed.
+            return GuardDecision(allow=True, cacheable=True, reason="allow")
+
+        if bundle is None:
+            # Deny, cacheably: the entry is invalidated when the subject
+            # registers a proof (sys_set_proof), so caching is sound.
+            return GuardDecision(allow=False, cacheable=True,
+                                 reason="no proof supplied")
+
+        # Instantiate the guard-evaluation variables (§2.5).
+        instantiated = goal.substitute({
+            SUBJECT_VAR: subject,
+            RESOURCE_VAR: _resource_term(resource),
+        })
+
+        result = self._check_proof(bundle, instantiated, subject_root)
+        if result is None:
+            # Unsound proofs deny cacheably: only a proof update can
+            # change the outcome, and that invalidates the entry (§2.8).
+            return GuardDecision(allow=False, cacheable=True,
+                                 reason="proof is not sound or does not "
+                                        "discharge the goal")
+
+        missing = self._verify_credentials(result, bundle)
+        if missing is not None:
+            # Credential matching is never cached (§5.2): a label may be
+            # deposited at any time, which no cache invalidation observes.
+            return GuardDecision(allow=False, cacheable=False,
+                                 reason=f"credential not available: {missing}")
+
+        for port, formula in result.authority_queries:
+            if not self.authorities.query(port, formula):
+                return GuardDecision(
+                    allow=False, cacheable=False,
+                    reason=f"authority {port} denied {formula}")
+
+        return GuardDecision(allow=True, cacheable=result.cacheable,
+                             reason="proof discharges goal")
+
+    # ------------------------------------------------------------------
+
+    def _default_policy(self, subject: Principal,
+                        resource: Resource) -> GuardDecision:
+        owner = resource.owner
+        if subject == owner or subject.is_ancestor_of(owner):
+            return GuardDecision(allow=True, cacheable=True,
+                                 reason="default policy: owner")
+        return GuardDecision(allow=False, cacheable=True,
+                             reason="default policy: not the owner or its "
+                                    "resource manager")
+
+    def _check_proof(self, bundle: ProofBundle, goal: Formula,
+                     subject_root: Hashable) -> Optional[CheckResult]:
+        key = (bundle.proof, goal)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            return cached
+        try:
+            result = check(bundle.proof)
+            if goal.is_ground():
+                if result.conclusion != goal:
+                    raise ProofError("conclusion does not match goal")
+            else:
+                # Leftover goal variables bind against the conclusion.
+                match(goal, result.conclusion)
+        except (ProofError, UnificationError):
+            return None
+        self.cache.insert(key, subject_root, result)
+        return result
+
+    def _verify_credentials(self, result: CheckResult,
+                            bundle: ProofBundle) -> Optional[Formula]:
+        """Every assumption must be presented *and* authentic.
+
+        Returns the first missing credential, or None when all discharge.
+        Authenticity means the exact label exists in some labelstore —
+        labels enter stores only via the attributed `say` syscall or via a
+        verified certificate import, so membership is authenticity.
+        """
+        supplied = set(bundle.credentials)
+        for assumption in result.assumptions:
+            if assumption not in supplied:
+                return assumption
+            if not self.labels.holds(assumption):
+                return assumption
+        return None
+
+
+def _resource_term(resource: Resource):
+    from repro.nal.terms import Name
+    return Name(resource.name)

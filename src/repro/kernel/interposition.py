@@ -1,0 +1,127 @@
+"""Interpositioning: composable reference monitors on IPC (§3.2).
+
+Not every property is analyzable before execution, but many are trivial to
+*enforce* dynamically. The ``interpose`` system call binds a reference
+monitor to an IPC channel; from then on the kernel's redirector reroutes
+every invocation through the monitor, which may inspect and modify
+arguments, block the call, and post-process the result. Interposition is
+composable: multiple monitors stack on one channel (outermost first), and
+the interpose operation itself can be monitored.
+
+This mechanism is the *synthetic* basis for trust: an untrusted process
+plus a monitor is a new, trustworthy artifact — and the monitor can issue
+labels describing exactly what it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InterpositionError
+
+
+class Verdict(Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass
+class CallDecision:
+    """What a monitor returns from :meth:`ReferenceMonitor.on_call`."""
+
+    verdict: Verdict = Verdict.ALLOW
+    #: Replacement positional args; None keeps the originals.
+    args: Optional[tuple] = None
+
+    @staticmethod
+    def allow(args: Optional[tuple] = None) -> "CallDecision":
+        return CallDecision(Verdict.ALLOW, args)
+
+    @staticmethod
+    def deny() -> "CallDecision":
+        return CallDecision(Verdict.DENY)
+
+
+class ReferenceMonitor:
+    """Base class for interposed monitors.
+
+    Subclasses override :meth:`on_call` (and optionally :meth:`on_return`).
+    The default passes everything through unchanged, so a monitor only
+    states what it cares about.
+    """
+
+    name = "monitor"
+
+    def on_call(self, subject: int, operation: str, obj: Any,
+                args: tuple) -> CallDecision:
+        return CallDecision.allow()
+
+    def on_return(self, subject: int, operation: str, obj: Any,
+                  result: Any) -> Any:
+        return result
+
+
+class SyscallWhitelistMonitor(ReferenceMonitor):
+    """Deny-all-but: the building block of DDRMs and the Fauxbook web
+    server's post-initialization lockdown (§4.1)."""
+
+    name = "syscall-whitelist"
+
+    def __init__(self, allowed: set[str]):
+        self.allowed = set(allowed)
+        self.denied_calls: List[str] = []
+
+    def on_call(self, subject, operation, obj, args) -> CallDecision:
+        if operation in self.allowed:
+            return CallDecision.allow()
+        self.denied_calls.append(operation)
+        return CallDecision.deny()
+
+
+class Redirector:
+    """The kernel's redirector table: channel → monitor chain."""
+
+    def __init__(self):
+        self._chains: Dict[Any, List[ReferenceMonitor]] = {}
+        self.interposed_calls = 0
+
+    def interpose(self, channel: Any, monitor: ReferenceMonitor) -> None:
+        self._chains.setdefault(channel, []).append(monitor)
+
+    def remove(self, channel: Any, monitor: ReferenceMonitor) -> None:
+        chain = self._chains.get(channel, [])
+        if monitor not in chain:
+            raise InterpositionError("monitor is not interposed on channel")
+        chain.remove(monitor)
+
+    def monitors_on(self, channel: Any) -> Tuple[ReferenceMonitor, ...]:
+        return tuple(self._chains.get(channel, ()))
+
+    def has_monitors(self, channel: Any) -> bool:
+        return bool(self._chains.get(channel))
+
+    def dispatch(self, channel: Any, subject: int, operation: str, obj: Any,
+                 args: tuple, invoke: Callable[..., Any]) -> Tuple[bool, Any]:
+        """Run the monitor chain around ``invoke``.
+
+        Returns (permitted, result). Monitors run outermost-first on the
+        call path and innermost-first on the return path, like nested
+        function calls.
+        """
+        chain = self._chains.get(channel, ())
+        if not chain:
+            return True, invoke(*args)
+        self.interposed_calls += 1
+        current_args = args
+        for monitor in chain:
+            decision = monitor.on_call(subject, operation, obj, current_args)
+            if decision.verdict is Verdict.DENY:
+                return False, None
+            if decision.args is not None:
+                current_args = decision.args
+        result = invoke(*current_args)
+        for monitor in reversed(chain):
+            result = monitor.on_return(subject, operation, obj, result)
+        return True, result

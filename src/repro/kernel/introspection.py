@@ -1,0 +1,85 @@
+"""The introspection namespace (§3.1): a /proc-like grey-box service.
+
+Components publish ``key=value`` bindings under paths; logically each node
+is the label ``process.i says key = value``. The kernel publishes a *live*
+view of its own mutable state — process table, IPC ports, goal bindings,
+scheduler weights — by registering callables that render the current value
+at read time. Labeling functions use this interface for the analytic basis
+of trust (IPC connectivity, scheduler reservations, driver confinement),
+and access to sensitive nodes can itself be protected by goal formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.errors import NoSuchResource
+from repro.nal.formula import Compare, Says
+from repro.nal.parser import parse
+from repro.nal.terms import Name
+
+Value = Union[str, Callable[[], str]]
+
+
+class IntrospectionFS:
+    """A flat-namespace virtual filesystem of introspection nodes."""
+
+    def __init__(self):
+        self._nodes: Dict[str, Value] = {}
+        #: Optional access hook: (reader_principal_str, path) -> bool.
+        self.access_hook: Optional[Callable[[str, str], bool]] = None
+        self.reads = 0
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, path: str, value: Value) -> None:
+        """Register a node; callables are re-evaluated on every read,
+        which is what makes the view *live*."""
+        if not path.startswith("/"):
+            raise ValueError("introspection paths are absolute")
+        self._nodes[path] = value
+
+    def unpublish(self, path: str) -> None:
+        self._nodes.pop(path, None)
+
+    # -- reading -------------------------------------------------------------
+
+    def read(self, path: str, reader: str = "kernel") -> str:
+        self.reads += 1
+        if self.access_hook is not None and not self.access_hook(reader, path):
+            from repro.errors import AccessDenied
+            raise AccessDenied(f"introspection read of {path} denied")
+        value = self._nodes.get(path)
+        if value is None:
+            raise NoSuchResource(f"no introspection node {path}")
+        return value() if callable(value) else value
+
+    def exists(self, path: str) -> bool:
+        return path in self._nodes
+
+    def listdir(self, prefix: str):
+        """Immediate children of a path prefix."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        children = set()
+        for path in self._nodes:
+            if path.startswith(prefix):
+                rest = path[len(prefix):]
+                children.add(rest.split("/")[0])
+        return sorted(children)
+
+    def walk(self, prefix: str = "/"):
+        """All node paths under a prefix."""
+        return sorted(p for p in self._nodes if p.startswith(prefix))
+
+    # -- logical view -----------------------------------------------------------
+
+    def as_label(self, path: str, reader: str = "kernel") -> Says:
+        """The node rendered as its logical reading:
+        ``publisher says key = "value"`` (§3.1)."""
+        from repro.nal.terms import Const
+        value = self.read(path, reader=reader)
+        parts = path.rstrip("/").rsplit("/", 1)
+        publisher = Name(parts[0] if parts[0] else "/")
+        key = parts[1]
+        return Says(publisher, Compare("==", Name(key), Const(str(value))))

@@ -1,0 +1,88 @@
+"""IPC ports and channels.
+
+All interaction between Nexus processes flows over kernel-mediated IPC,
+which gives the kernel two leverage points the paper exploits:
+
+* the kernel *authoritatively binds* each port to its owning process and
+  issues the label ``Nexus says IPC.x speaksfor /proc/ipd/y`` (§2.4), so a
+  statement received on an attested channel is attributable without
+  cryptography;
+* every call can be *interposed* by reference monitors (§3.2) — the
+  redirector in :mod:`repro.kernel.interposition` hooks this path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import NoSuchPort
+from repro.nal.formula import Says, Speaksfor
+from repro.nal.terms import Name
+
+Handler = Callable[..., Any]
+
+
+@dataclass
+class Port:
+    """A kernel IPC port, bound to its owner at creation time."""
+
+    port_id: int
+    owner_pid: int
+    name: str
+    handler: Optional[Handler] = None
+    #: Messages delivered when no handler is registered (polling style).
+    mailbox: list = field(default_factory=list)
+
+    @property
+    def principal(self):
+        # A subprincipal of the well-known IPC namespace: IPC.<id>.
+        return Name("IPC").sub(str(self.port_id))
+
+
+class PortTable:
+    """The kernel's port registry and transfer machinery."""
+
+    def __init__(self):
+        self._ports: Dict[int, Port] = {}
+        self._next_id = 1
+        #: (caller_pid, port_id) pairs observed; the IPC connectivity
+        #: analyzer (§2.2) reads this through introspection.
+        self.connections: set[Tuple[int, int]] = set()
+
+    def create(self, owner_pid: int, name: str = "",
+               handler: Optional[Handler] = None) -> Port:
+        port = Port(port_id=self._next_id, owner_pid=owner_pid,
+                    name=name or f"port-{self._next_id}", handler=handler)
+        self._next_id += 1
+        self._ports[port.port_id] = port
+        return port
+
+    def get(self, port_id: int) -> Port:
+        port = self._ports.get(port_id)
+        if port is None:
+            raise NoSuchPort(f"no such IPC port {port_id}")
+        return port
+
+    def destroy(self, port_id: int) -> None:
+        self._ports.pop(port_id, None)
+        self.connections = {
+            (pid, pt) for (pid, pt) in self.connections if pt != port_id
+        }
+
+    def binding_label(self, port_id: int) -> Says:
+        """The kernel's attested binding: ``Nexus says IPC.x speaksfor
+        /proc/ipd/y``."""
+        port = self.get(port_id)
+        return Says(Name("Nexus"),
+                    Speaksfor(port.principal,
+                              Name(f"/proc/ipd/{port.owner_pid}")))
+
+    def record_connection(self, caller_pid: int, port_id: int) -> None:
+        self.connections.add((caller_pid, port_id))
+
+    def ports_owned_by(self, pid: int):
+        return [p for p in self._ports.values() if p.owner_pid == pid]
+
+    def __iter__(self):
+        return iter(sorted(self._ports.values(), key=lambda p: p.port_id))

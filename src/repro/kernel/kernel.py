@@ -1,0 +1,538 @@
+"""The simulated Nexus kernel.
+
+Ties the substrates together and implements the system calls the paper
+describes: ``say`` (label creation, §2.2), ``setgoal`` (§2.5), guarded
+object invocation with the decision cache (Figure 1, §2.6–2.8),
+``interpose`` (§3.2), introspection publishing (§3.1), and the
+boot-integrated attested-storage stack (§3.3–3.4).
+
+The authorization fast path is the paper's Figure 1:
+
+1. a subject invokes an operation on an object, passing a proof + labels;
+2. the kernel consults the **decision cache**; on a hit the answer is
+   immediate;
+3. on a miss it upcalls the **guard**, which checks the proof, verifies
+   label authenticity, and consults **authorities** for dynamic leaves;
+4. cacheable decisions are inserted into the decision cache; the call
+   proceeds if allowed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple, Union
+
+from repro.crypto.certs import Certificate, CertificateChain
+from repro.errors import AccessDenied, InterpositionError, KernelError
+from repro.nal.formula import Formula, Says
+from repro.nal.parser import parse, parse_principal
+from repro.nal.proof import ProofBundle
+from repro.nal.terms import Name, Principal
+from repro.kernel.authority import Authority, AuthorityRegistry
+from repro.kernel.decision_cache import DecisionCache
+from repro.kernel.guard import Guard, GuardCache, GuardDecision
+from repro.kernel.interposition import Redirector, ReferenceMonitor
+from repro.kernel.introspection import IntrospectionFS
+from repro.kernel.ipc import Port, PortTable
+from repro.kernel.labelstore import Label, LabelRegistry, LabelStore
+from repro.kernel.process import Process, ProcessTable
+from repro.kernel.resources import Resource, ResourceTable
+from repro.kernel.scheduler import ProportionalShareScheduler
+from repro.storage.blockdev import Disk
+from repro.storage.vdir import VDIRRegistry
+from repro.storage.vkey import VKeyManager
+from repro.tpm.boot import BootContext, Machine, SoftwareStack, boot_nexus
+from repro.tpm.device import TPM
+
+KERNEL_PRINCIPAL = Name("Nexus")
+
+DEFAULT_STACK = SoftwareStack(firmware=b"repro-bios",
+                              bootloader=b"repro-loader",
+                              kernel_image=b"repro-nexus-kernel")
+
+
+class NexusKernel:
+    """One booted Nexus instance."""
+
+    def __init__(self, machine: Optional[Machine] = None,
+                 stack: SoftwareStack = DEFAULT_STACK,
+                 disk: Optional[Disk] = None,
+                 decision_cache_subregions: int = 64,
+                 interpose_syscalls: bool = True,
+                 clock: Optional[Callable[[], int]] = None,
+                 key_seed: Optional[int] = 1001,
+                 key_bits: int = 512):
+        if machine is None:
+            machine = Machine(tpm=TPM(key_bits=key_bits, seed=key_seed))
+        self.machine = machine
+        self.boot: BootContext = boot_nexus(machine, stack, seed=key_seed,
+                                            key_bits=key_bits)
+        self.tpm = machine.tpm
+
+        self.disk = disk if disk is not None else Disk()
+        self.vdirs = VDIRRegistry(self.disk, self.tpm)
+        self.vdirs.format()
+        self.vkeys = VKeyManager(tpm=self.tpm)
+
+        self.processes = ProcessTable()
+        self.ports = PortTable()
+        self.labels = LabelRegistry()
+        self.authorities = AuthorityRegistry()
+        self.redirector = Redirector()
+        self.introspection = IntrospectionFS()
+        self.resources = ResourceTable()
+        self.scheduler = ProportionalShareScheduler()
+        self.decision_cache = DecisionCache(
+            subregions=decision_cache_subregions)
+        self.default_guard = Guard(self.labels, self.authorities,
+                                   cache=GuardCache())
+        self._guards: Dict[str, Guard] = {"default": self.default_guard}
+        self.interpose_syscalls = interpose_syscalls
+
+        self._default_store: Dict[int, LabelStore] = {}
+        self._syscalls: Dict[str, Callable] = dict(self._SYSCALLS)
+        self._proofs: Dict[Tuple[int, str, int], ProofBundle] = {}
+        self._last_bundle: Dict[Tuple[int, str, int],
+                                Optional[ProofBundle]] = {}
+        self._guarded_proc_prefixes: Dict[str, int] = {}
+        self._clock_value = itertools.count(1)
+        self._clock = clock if clock is not None else self._virtual_clock
+        self.syscall_count = 0
+
+        # The NK certificate that roots all externalized labels (§2.4).
+        self._nk_cert: Certificate = self.tpm.certify_key(
+            subject_name=f"NK-{self.boot.nk.public.fingerprint().hex()[:16]}",
+            subject_key=self.boot.nk.public,
+            statement="NK speaksfor TPM.nexus",
+        )
+        self._publish_kernel_state()
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+
+    def _virtual_clock(self) -> int:
+        return next(self._clock_value)
+
+    def now(self) -> int:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+
+    def create_process(self, name: str, image: bytes = b"",
+                       parent_pid: Optional[int] = None) -> Process:
+        process = self.processes.create(name, image, parent_pid)
+        store = self.labels.create_store(process.pid)
+        self._default_store[process.pid] = store
+        owner = (self.processes.get(parent_pid).principal
+                 if parent_pid is not None else KERNEL_PRINCIPAL)
+        self.resources.create(name=process.path, kind="process",
+                              owner=owner, payload=process)
+        self.introspection.publish(f"{process.path}/name", process.name)
+        self.introspection.publish(f"{process.path}/hash",
+                                   process.image_hash.hex())
+        return process
+
+    def exit_process(self, pid: int) -> None:
+        """Tear down an IPD: ports close, its resources are released, and
+        its introspection nodes disappear from the live view."""
+        process = self.processes.get(pid)
+        self.processes.exit(pid)
+        for port in self.ports.ports_owned_by(pid):
+            port_resource = self.resources.find(f"/ipc/{port.port_id}")
+            if port_resource is not None:
+                self.resources.destroy(port_resource.resource_id)
+            self.ports.destroy(port.port_id)
+        process_resource = self.resources.find(process.path)
+        if process_resource is not None:
+            self.resources.destroy(process_resource.resource_id)
+        self.introspection.unpublish(f"{process.path}/name")
+        self.introspection.unpublish(f"{process.path}/hash")
+
+    def default_labelstore(self, pid: int) -> LabelStore:
+        store = self._default_store.get(pid)
+        if store is None:
+            raise KernelError(f"process {pid} has no labelstore")
+        return store
+
+    # ------------------------------------------------------------------
+    # the say syscall (§2.2–2.3)
+    # ------------------------------------------------------------------
+
+    def sys_say(self, pid: int, statement: Union[str, Formula],
+                store_id: Optional[int] = None) -> Label:
+        """Create a label attributed to the calling process.
+
+        The secure syscall channel makes the attribution unforgeable
+        without cryptography: the kernel, not the caller, decides the
+        speaker.
+        """
+        process = self.processes.get(pid)
+        store = (self.labels.get_store(store_id) if store_id is not None
+                 else self.default_labelstore(pid))
+        return store.insert(process.principal, parse(statement))
+
+    def say_as(self, speaker: Union[str, Principal],
+               statement: Union[str, Formula],
+               store: Optional[LabelStore] = None) -> Label:
+        """Kernel-issued label with an arbitrary speaker.
+
+        Only kernel subsystems (drivers, guards, the kernel itself) use
+        this; user processes go through :meth:`sys_say`.
+        """
+        if store is None:
+            store = self._kernel_store()
+        return store.insert(parse_principal(speaker), parse(statement))
+
+    def _kernel_store(self) -> LabelStore:
+        if 0 not in self._default_store:
+            self._default_store[0] = self.labels.create_store(0)
+        return self._default_store[0]
+
+    # ------------------------------------------------------------------
+    # label externalization (§2.4)
+    # ------------------------------------------------------------------
+
+    def externalize_label(self, label: Label) -> CertificateChain:
+        return LabelRegistry.externalize(label, self.boot.nk, self._nk_cert,
+                                         self.boot.boot_id())
+
+    def import_label_chain(self, chain: CertificateChain,
+                           pid: int) -> Label:
+        return LabelRegistry.import_chain(chain, self.default_labelstore(pid))
+
+    # ------------------------------------------------------------------
+    # IPC (§2.4, §3.2)
+    # ------------------------------------------------------------------
+
+    def create_port(self, pid: int, name: str = "",
+                    handler: Optional[Callable] = None) -> Port:
+        process = self.processes.get(pid)
+        port = self.ports.create(process.pid, name, handler)
+        self.resources.create(name=f"/ipc/{port.port_id}", kind="port",
+                              owner=process.principal, payload=port)
+        # The kernel deposits the attested binding label (§2.4).
+        self.say_as(KERNEL_PRINCIPAL,
+                    self.ports.binding_label(port.port_id).body,
+                    store=self.default_labelstore(pid))
+        return port
+
+    def ipc_call(self, caller_pid: int, port_id: int, *args) -> Any:
+        """Invoke the handler bound to a port, through the redirector."""
+        self.processes.get(caller_pid)
+        port = self.ports.get(port_id)
+        if port.handler is None:
+            raise KernelError(f"port {port_id} has no handler")
+        self.ports.record_connection(caller_pid, port_id)
+        permitted, result = self.redirector.dispatch(
+            channel=("ipc", port_id), subject=caller_pid,
+            operation="ipc_call", obj=port_id, args=args,
+            invoke=port.handler)
+        if not permitted:
+            raise AccessDenied(f"IPC call to port {port_id} blocked by "
+                               "reference monitor",
+                               subject=caller_pid, operation="ipc_call",
+                               resource=port_id)
+        return result
+
+    def ipc_send(self, caller_pid: int, port_id: int, message: Any) -> bool:
+        """Asynchronous delivery into a port mailbox (monitored)."""
+        self.processes.get(caller_pid)
+        port = self.ports.get(port_id)
+        self.ports.record_connection(caller_pid, port_id)
+        permitted, _ = self.redirector.dispatch(
+            channel=("ipc", port_id), subject=caller_pid,
+            operation="ipc_send", obj=port_id, args=(message,),
+            invoke=port.mailbox.append)
+        return permitted
+
+    # ------------------------------------------------------------------
+    # goals and proofs (§2.5)
+    # ------------------------------------------------------------------
+
+    def _guard_for(self, resource_id: int, operation: str) -> Guard:
+        entry = self.default_guard.goals.get(resource_id, operation)
+        if entry is not None and entry.guard_port:
+            guard = self._guards.get(entry.guard_port)
+            if guard is not None:
+                return guard
+        return self.default_guard
+
+    def register_guard(self, port_name: str, guard: Guard) -> None:
+        self._guards[port_name] = guard
+
+    def sys_setgoal(self, pid: int, resource_id: int, operation: str,
+                    goal: Union[str, Formula],
+                    guard_port: Optional[str] = None,
+                    bundle: Optional[ProofBundle] = None) -> None:
+        """Associate a goal formula with (resource, operation).
+
+        Setting a goal is itself an authorized operation (§2.5), vetted
+        against the resource's ``setgoal`` goal (or the default owner
+        policy); afterwards the affected decision-cache subregion is
+        invalidated.
+        """
+        resource = self.resources.get(resource_id)
+        decision = self.authorize(pid, "setgoal", resource_id, bundle)
+        if not decision.allow:
+            raise AccessDenied(f"setgoal on {resource.name} denied: "
+                               f"{decision.reason}",
+                               subject=pid, operation="setgoal",
+                               resource=resource_id, reason=decision.reason)
+        self.default_guard.goals.set_goal(resource_id, operation,
+                                          parse(goal), guard_port)
+        self.decision_cache.invalidate_goal(operation, resource_id)
+
+    def sys_cleargoal(self, pid: int, resource_id: int,
+                      operation: str,
+                      bundle: Optional[ProofBundle] = None) -> None:
+        resource = self.resources.get(resource_id)
+        decision = self.authorize(pid, "setgoal", resource_id, bundle)
+        if not decision.allow:
+            raise AccessDenied(f"cleargoal on {resource.name} denied",
+                               subject=pid, operation="setgoal",
+                               resource=resource_id)
+        self.default_guard.goals.clear_goal(resource_id, operation)
+        self.decision_cache.invalidate_goal(operation, resource_id)
+
+    def sys_set_proof(self, pid: int, operation: str, resource_id: int,
+                      bundle: ProofBundle) -> None:
+        """Pre-register the proof used for subsequent invocations.
+
+        A proof update invalidates exactly one decision-cache entry
+        (§2.8), unlike setgoal which clears a whole subregion.
+        """
+        self._proofs[(pid, operation, resource_id)] = bundle
+        self.decision_cache.invalidate_entry(pid, operation, resource_id)
+
+    def sys_clear_proof(self, pid: int, operation: str,
+                        resource_id: int) -> None:
+        self._proofs.pop((pid, operation, resource_id), None)
+        self.decision_cache.invalidate_entry(pid, operation, resource_id)
+
+    def registered_proof(self, pid: int, operation: str,
+                         resource_id: int) -> Optional[ProofBundle]:
+        return self._proofs.get((pid, operation, resource_id))
+
+    # ------------------------------------------------------------------
+    # the authorization path (Figure 1)
+    # ------------------------------------------------------------------
+
+    def authorize(self, subject_pid: int, operation: str, resource_id: int,
+                  bundle: Optional[ProofBundle] = None) -> GuardDecision:
+        process = self.processes.get(subject_pid)
+        if bundle is None:
+            bundle = self.registered_proof(subject_pid, operation,
+                                           resource_id)
+        # A change of presented proof is a proof update: the kernel
+        # monitors it and clears the single affected cache entry (§2.8).
+        # Comparison is structural: re-presenting an equal proof is not
+        # an update.
+        key = (subject_pid, operation, resource_id)
+        if self._last_bundle.get(key) != bundle:
+            self.decision_cache.invalidate_entry(subject_pid, operation,
+                                                 resource_id)
+            self._last_bundle[key] = bundle
+        cached = self.decision_cache.lookup(subject_pid, operation,
+                                            resource_id)
+        if cached is not None:
+            return GuardDecision(allow=cached, cacheable=True,
+                                 reason="decision cache")
+        resource = self.resources.get(resource_id)
+        guard = self._guard_for(resource_id, operation)
+        decision = guard.check(process.principal, operation, resource,
+                               bundle,
+                               subject_root=self.processes.tree_root(
+                                   subject_pid))
+        if decision.cacheable:
+            self.decision_cache.insert(subject_pid, operation, resource_id,
+                                       decision.allow)
+        return decision
+
+    def guarded_call(self, subject_pid: int, operation: str,
+                     resource_id: int, invoke: Callable[..., Any], *args,
+                     bundle: Optional[ProofBundle] = None) -> Any:
+        """Authorize, then perform: the complete Figure 1 sequence."""
+        decision = self.authorize(subject_pid, operation, resource_id, bundle)
+        if not decision.allow:
+            resource = self.resources.get(resource_id)
+            raise AccessDenied(
+                f"{operation} on {resource.name} denied: {decision.reason}",
+                subject=subject_pid, operation=operation,
+                resource=resource_id, reason=decision.reason)
+        return invoke(*args)
+
+    # ------------------------------------------------------------------
+    # interposition (§3.2)
+    # ------------------------------------------------------------------
+
+    def sys_interpose(self, pid: int, port_id: int,
+                      monitor: ReferenceMonitor,
+                      bundle: Optional[ProofBundle] = None) -> None:
+        """Install a reference monitor on an IPC channel.
+
+        Subject to consent: authorized against the port resource's
+        ``interpose`` goal (default: only the port's owner may consent).
+        """
+        self.processes.get(pid)
+        resource = self.resources.lookup(f"/ipc/{port_id}")
+        decision = self.authorize(pid, "interpose", resource.resource_id,
+                                  bundle)
+        if not decision.allow:
+            raise AccessDenied(f"interpose on port {port_id} denied",
+                               subject=pid, operation="interpose",
+                               resource=resource.resource_id,
+                               reason=decision.reason)
+        self.redirector.interpose(("ipc", port_id), monitor)
+
+    def interpose_syscall_channel(self, pid: int,
+                                  monitor: ReferenceMonitor) -> None:
+        """Bind a monitor to a process's syscall channel (used by DDRMs
+        and the Fauxbook lockdown)."""
+        self.redirector.interpose(("syscall", pid), monitor)
+
+    # ------------------------------------------------------------------
+    # authorities (§2.7)
+    # ------------------------------------------------------------------
+
+    def register_authority(self, port_name: str,
+                           authority: Authority) -> None:
+        self.authorities.register(port_name, authority)
+
+    # ------------------------------------------------------------------
+    # basic syscalls (Table 1 microbenchmarks)
+    # ------------------------------------------------------------------
+
+    def syscall(self, pid: int, name: str, *args) -> Any:
+        """The syscall trampoline.
+
+        With ``interpose_syscalls`` enabled every call is marshalled and
+        offered to the redirector (the paper's per-call interpositioning,
+        +456 cycles on a null call); disabled, it is a direct dispatch
+        (the "Nexus bare" column of Table 1).
+        """
+        self.syscall_count += 1
+        handler = self._syscalls.get(name)
+        if handler is None:
+            raise KernelError(f"unknown syscall {name!r}")
+        if not self.interpose_syscalls:
+            return handler(self, pid, *args)
+        marshalled = self._marshal(args)
+        permitted, result = self.redirector.dispatch(
+            channel=("syscall", pid), subject=pid, operation=name,
+            obj=None, args=marshalled,
+            invoke=lambda *a: handler(self, pid, *a))
+        if not permitted:
+            raise AccessDenied(f"syscall {name} blocked by reference monitor",
+                               subject=pid, operation=name)
+        return result
+
+    @staticmethod
+    def _marshal(args: tuple) -> tuple:
+        # Models the parameter-marshalling copy at the kernel boundary.
+        return tuple(
+            bytes(a) if isinstance(a, (bytes, bytearray))
+            else a for a in args)
+
+    def _sys_null(self, pid: int) -> None:
+        return None
+
+    def _sys_getppid(self, pid: int) -> Optional[int]:
+        return self.processes.get(pid).parent_pid
+
+    def _sys_gettimeofday(self, pid: int) -> int:
+        return self.now()
+
+    def _sys_yield(self, pid: int) -> Optional[str]:
+        return self.scheduler.tick()
+
+    _SYSCALLS: Dict[str, Callable] = {
+        "null": _sys_null,
+        "getppid": _sys_getppid,
+        "gettimeofday": _sys_gettimeofday,
+        "yield": _sys_yield,
+    }
+
+    def register_syscall(self, name: str, handler: Callable) -> None:
+        """Subsystems (e.g. the filesystem server) add syscalls here.
+
+        ``handler`` receives ``(kernel, pid, *args)`` like the built-ins.
+        """
+        self._syscalls[name] = handler
+
+    # ------------------------------------------------------------------
+    # introspection access control (§3.1)
+    # ------------------------------------------------------------------
+
+    def guard_introspection(self, path_prefix: str, operation: str = "read",
+                            goal: Union[str, Formula, None] = None,
+                            owner: Optional[Principal] = None) -> Resource:
+        """Impose access control on sensitive kernel data in /proc.
+
+        "Associating goal formulas to information exported through the
+        /proc filesystem enables the kernel to impose access control on
+        sensitive kernel data." Creates a resource for the subtree and
+        installs an access hook that authorizes every read under it.
+        Readers are matched by their introspection-path principal name
+        (``/proc/ipd/<pid>``); the kernel itself always passes.
+        """
+        resource = self.resources.find(f"/introspect{path_prefix}")
+        if resource is None:
+            resource = self.resources.create(
+                name=f"/introspect{path_prefix}", kind="introspection",
+                owner=owner if owner is not None else KERNEL_PRINCIPAL)
+        if goal is not None:
+            self.default_guard.goals.set_goal(resource.resource_id,
+                                              operation, parse(goal))
+            self.decision_cache.invalidate_goal(operation,
+                                                resource.resource_id)
+        self._guarded_proc_prefixes[path_prefix] = resource.resource_id
+        if self.introspection.access_hook is None:
+            self.introspection.access_hook = self._introspection_hook
+        return resource
+
+    def _introspection_hook(self, reader: str, path: str) -> bool:
+        for prefix, resource_id in self._guarded_proc_prefixes.items():
+            if path.startswith(prefix):
+                if reader == "kernel":
+                    return True
+                pid = self._pid_from_reader(reader)
+                if pid is None:
+                    return False
+                return self.authorize(pid, "read", resource_id).allow
+        return True
+
+    def _pid_from_reader(self, reader: str) -> Optional[int]:
+        if reader.startswith("/proc/ipd/"):
+            try:
+                pid = int(reader.rsplit("/", 1)[1])
+            except ValueError:
+                return None
+            if pid in self.processes:
+                return pid
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection publishing (§3.1)
+    # ------------------------------------------------------------------
+
+    def _publish_kernel_state(self) -> None:
+        fs = self.introspection
+        fs.publish("/proc/kernel/boot_id", self.boot.boot_id())
+        fs.publish("/proc/kernel/processes",
+                   lambda: ",".join(str(p) for p in
+                                    self.processes.alive_pids()))
+        fs.publish("/proc/kernel/ports",
+                   lambda: ",".join(str(p.port_id) for p in self.ports))
+        fs.publish("/proc/kernel/ipc_connections",
+                   lambda: ";".join(
+                       f"{pid}->{port}" for pid, port in
+                       sorted(self.ports.connections)))
+        fs.publish("/proc/kernel/goals",
+                   lambda: str(len(self.default_guard.goals)))
+        fs.publish("/proc/sched/clients",
+                   lambda: ",".join(
+                       f"{c.name}={c.tickets}"
+                       for c in self.scheduler.clients()))

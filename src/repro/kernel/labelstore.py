@@ -1,0 +1,159 @@
+"""Labelstores (§2.3) and label externalization (§2.4).
+
+A label is an attributed statement ``P says S``. Because labels enter the
+store over the secure syscall channel (the ``say`` system call), no
+cryptography is involved on the fast path — the kernel *knows* who the
+caller is. Labels can be transferred between stores, externalized into a
+signed certificate chain rooted at the TPM, imported back, and deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.certs import Certificate, CertificateChain
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import KernelError, NoSuchResource, SignatureError
+from repro.nal.formula import Formula, Says
+from repro.nal.parser import parse
+from repro.nal.terms import Principal, principal as make_principal
+
+
+@dataclass(frozen=True)
+class Label:
+    """An entry in a labelstore: handle + the attributed formula."""
+
+    handle: int
+    speaker: Principal
+    statement: Formula
+
+    @property
+    def formula(self) -> Says:
+        """The full label as a logic formula: ``speaker says statement``."""
+        return Says(self.speaker, self.statement)
+
+
+class LabelStore:
+    """One labelstore; processes may own several."""
+
+    def __init__(self, store_id: int, owner_pid: int):
+        self.store_id = store_id
+        self.owner_pid = owner_pid
+        self._labels: Dict[int, Label] = {}
+        self._next_handle = 1
+
+    def insert(self, speaker: Principal, statement) -> Label:
+        """Store ``speaker says statement``; statement may be NAL text."""
+        formula = parse(statement)
+        label = Label(handle=self._next_handle, speaker=speaker,
+                      statement=formula)
+        self._next_handle += 1
+        self._labels[label.handle] = label
+        return label
+
+    def get(self, handle: int) -> Label:
+        label = self._labels.get(handle)
+        if label is None:
+            raise NoSuchResource(f"no label with handle {handle}")
+        return label
+
+    def delete(self, handle: int) -> None:
+        if handle not in self._labels:
+            raise NoSuchResource(f"no label with handle {handle}")
+        del self._labels[handle]
+
+    def transfer(self, handle: int, target: "LabelStore") -> Label:
+        """Move a label to another store (it keeps its attribution)."""
+        label = self.get(handle)
+        del self._labels[handle]
+        moved = Label(handle=target._next_handle, speaker=label.speaker,
+                      statement=label.statement)
+        target._next_handle += 1
+        target._labels[moved.handle] = moved
+        return moved
+
+    def formulas(self) -> Iterable[Says]:
+        return [label.formula for label in self._labels.values()]
+
+    def find(self, formula: Says) -> Optional[Label]:
+        for label in self._labels.values():
+            if label.formula == formula:
+                return label
+        return None
+
+    def __len__(self):
+        return len(self._labels)
+
+    def __iter__(self):
+        return iter(sorted(self._labels.values(), key=lambda l: l.handle))
+
+
+class LabelRegistry:
+    """All labelstores in the system, plus externalization.
+
+    Externalized labels are certificate chains of the §2.4 shape:
+    "TPM says kernel says labelstore says processid says S". The kernel's
+    NK signs the leaf; the TPM's EK certifies NK.
+    """
+
+    def __init__(self):
+        self._stores: Dict[int, LabelStore] = {}
+        self._next_store = 1
+
+    def create_store(self, owner_pid: int) -> LabelStore:
+        store = LabelStore(self._next_store, owner_pid)
+        self._next_store += 1
+        self._stores[store.store_id] = store
+        return store
+
+    def get_store(self, store_id: int) -> LabelStore:
+        store = self._stores.get(store_id)
+        if store is None:
+            raise NoSuchResource(f"no labelstore {store_id}")
+        return store
+
+    def stores_owned_by(self, pid: int):
+        return [s for s in self._stores.values() if s.owner_pid == pid]
+
+    def holds(self, formula: Says) -> bool:
+        """Is this exact label present in any store? (Credential check.)"""
+        return any(store.find(formula) is not None
+                   for store in self._stores.values())
+
+    # -- externalization ------------------------------------------------------
+
+    @staticmethod
+    def externalize(label: Label, nk: RSAKeyPair, nk_cert: Certificate,
+                    boot_id: str) -> CertificateChain:
+        """Export a label as an X.509-style chain rooted at the TPM EK."""
+        leaf = Certificate.issue(
+            issuer=f"{nk_cert.subject}.{boot_id}",
+            subject=str(label.speaker),
+            statement=str(label.formula),
+            issuer_keypair=nk,
+        )
+        return CertificateChain(root_key=nk_cert.issuer_key,
+                                certs=[nk_cert, leaf])
+
+    @staticmethod
+    def import_chain(chain: CertificateChain,
+                     target: LabelStore) -> Label:
+        """Verify an externalized chain and re-admit the label.
+
+        The resulting label is attributed to the *fully qualified* remote
+        principal — prefixed by the attesting platform — so local
+        statements and imported statements can never be confused.
+        """
+        chain.verify()
+        leaf = chain.leaf()
+        formula = parse(leaf.statement)
+        if not isinstance(formula, Says):
+            raise SignatureError("externalized label must be a says formula")
+        # Fully qualify the speaker under the attesting platform:
+        # TPM.NK.<boot>.<process> — local and imported statements can
+        # never be confused.
+        qualified = make_principal(chain.certs[0].issuer)
+        for cert in chain.certs:
+            qualified = qualified.sub(cert.subject)
+        return target.insert(qualified, formula.body)

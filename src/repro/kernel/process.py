@@ -1,0 +1,95 @@
+"""Processes — *isolated protection domains* (IPDs) in Nexus terminology.
+
+A process is named ``/proc/ipd/<pid>`` in the introspection namespace and
+acts in the logic as the principal of that name, itself a subprincipal of
+the kernel (which is a subprincipal of the platform, §2.1). The kernel
+records the launch-time hash of the process image so hash-based
+(axiomatic) attestation remains available alongside the analytic and
+synthetic bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.hashes import sha256
+from repro.nal.terms import Name, Principal
+
+
+@dataclass
+class Process:
+    """One IPD. Created only through :meth:`NexusKernel.create_process`."""
+
+    pid: int
+    name: str
+    image_hash: bytes
+    parent_pid: Optional[int] = None
+    alive: bool = True
+    #: Arbitrary per-process state published via introspection.
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        """The introspection path, which doubles as the principal name."""
+        return f"/proc/ipd/{self.pid}"
+
+    @property
+    def principal(self) -> Principal:
+        return Name(self.path)
+
+    def __hash__(self):
+        return hash(self.pid)
+
+
+def hash_image(image: bytes) -> bytes:
+    """The launch-time hash the kernel records for a process image."""
+    return sha256(image)
+
+
+class ProcessTable:
+    """The kernel's table of IPDs."""
+
+    def __init__(self):
+        self._processes: Dict[int, Process] = {}
+        self._next_pid = 1
+
+    def create(self, name: str, image: bytes,
+               parent_pid: Optional[int] = None) -> Process:
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(pid=pid, name=name, image_hash=hash_image(image),
+                          parent_pid=parent_pid)
+        self._processes[pid] = process
+        return process
+
+    def get(self, pid: int) -> Process:
+        from repro.errors import NoSuchProcess
+        process = self._processes.get(pid)
+        if process is None or not process.alive:
+            raise NoSuchProcess(f"no such process {pid}")
+        return process
+
+    def exit(self, pid: int) -> None:
+        process = self.get(pid)
+        process.alive = False
+
+    def alive_pids(self):
+        return sorted(p.pid for p in self._processes.values() if p.alive)
+
+    def tree_root(self, pid: int) -> int:
+        """Walk to the root of a process tree (for guard-cache quotas §2.9)."""
+        process = self.get(pid)
+        while process.parent_pid is not None:
+            parent = self._processes.get(process.parent_pid)
+            if parent is None:
+                break
+            process = parent
+        return process.pid
+
+    def __contains__(self, pid: int) -> bool:
+        process = self._processes.get(pid)
+        return process is not None and process.alive
+
+    def __iter__(self):
+        return iter(sorted(self._processes.values(), key=lambda p: p.pid))

@@ -1,0 +1,78 @@
+"""Kernel resources: anything a goal formula can be attached to.
+
+Threads, IPDs, IPC ports, files, directories, VDIRs, VKEYs — the paper
+lets ``setgoal`` target any operation on any of them. We model them
+uniformly: a resource has a kind, a name, an owner principal, and an
+arbitrary payload that the owning subsystem interprets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import NoSuchResource
+from repro.nal.terms import Principal
+
+
+@dataclass
+class Resource:
+    resource_id: int
+    name: str
+    kind: str
+    owner: Principal
+    payload: Any = None
+    #: Optional per-resource metadata (e.g. file length, port number).
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __hash__(self):
+        return hash(self.resource_id)
+
+
+class ResourceTable:
+    """The kernel's registry of guardable objects."""
+
+    def __init__(self):
+        self._resources: Dict[int, Resource] = {}
+        self._by_name: Dict[str, int] = {}
+        self._next_id = 1
+
+    def create(self, name: str, kind: str, owner: Principal,
+               payload: Any = None) -> Resource:
+        resource = Resource(resource_id=self._next_id, name=name, kind=kind,
+                            owner=owner, payload=payload)
+        self._next_id += 1
+        self._resources[resource.resource_id] = resource
+        self._by_name[name] = resource.resource_id
+        return resource
+
+    def get(self, resource_id: int) -> Resource:
+        resource = self._resources.get(resource_id)
+        if resource is None:
+            raise NoSuchResource(f"no such resource {resource_id}")
+        return resource
+
+    def lookup(self, name: str) -> Resource:
+        resource_id = self._by_name.get(name)
+        if resource_id is None:
+            raise NoSuchResource(f"no resource named {name!r}")
+        return self.get(resource_id)
+
+    def find(self, name: str) -> Optional[Resource]:
+        resource_id = self._by_name.get(name)
+        return self._resources.get(resource_id) if resource_id else None
+
+    def destroy(self, resource_id: int) -> None:
+        resource = self.get(resource_id)
+        del self._resources[resource_id]
+        self._by_name.pop(resource.name, None)
+
+    def transfer_ownership(self, resource_id: int, new_owner: Principal):
+        self.get(resource_id).owner = new_owner
+
+    def owned_by(self, owner: Principal):
+        return [r for r in self._resources.values() if r.owner == owner]
+
+    def __iter__(self):
+        return iter(sorted(self._resources.values(),
+                           key=lambda r: r.resource_id))

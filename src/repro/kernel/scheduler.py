@@ -1,0 +1,113 @@
+"""A proportional-share CPU scheduler (stride scheduling).
+
+§4.1 (Resource Attestation): the Nexus runs a proportional-share scheduler
+whose internal state — the list of active clients and their weights — is
+exported through the introspection interface. A labeling function examines
+those reservations and issues labels vouching that a tenant receives an
+agreed-upon fraction of the CPU, turning SLAs into attestable facts
+instead of externally measured hopes.
+
+Stride scheduling: each client holds *tickets* (its weight); its stride is
+``STRIDE1 / tickets``; on every tick the client with the minimum pass runs
+and its pass advances by its stride. Allocation converges to the ticket
+ratio with bounded error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import KernelError
+
+STRIDE1 = 1 << 20
+
+
+@dataclass
+class SchedulerClient:
+    name: str
+    tickets: int
+    stride: int
+    pass_value: int = 0
+    ticks_received: int = 0
+
+
+class ProportionalShareScheduler:
+    """Stride scheduler with live, introspectable accounting."""
+
+    def __init__(self):
+        self._clients: Dict[str, SchedulerClient] = {}
+        self.total_ticks = 0
+
+    # -- client management ----------------------------------------------------
+
+    def add_client(self, name: str, tickets: int) -> None:
+        if tickets < 1:
+            raise KernelError("tickets must be positive")
+        if name in self._clients:
+            raise KernelError(f"scheduler client {name!r} already exists")
+        base_pass = self._min_pass()
+        self._clients[name] = SchedulerClient(
+            name=name, tickets=tickets, stride=STRIDE1 // tickets,
+            pass_value=base_pass)
+
+    def remove_client(self, name: str) -> None:
+        if name not in self._clients:
+            raise KernelError(f"no scheduler client {name!r}")
+        del self._clients[name]
+
+    def set_tickets(self, name: str, tickets: int) -> None:
+        if tickets < 1:
+            raise KernelError("tickets must be positive")
+        client = self._require(name)
+        client.tickets = tickets
+        client.stride = STRIDE1 // tickets
+
+    def _require(self, name: str) -> SchedulerClient:
+        client = self._clients.get(name)
+        if client is None:
+            raise KernelError(f"no scheduler client {name!r}")
+        return client
+
+    def _min_pass(self) -> int:
+        if not self._clients:
+            return 0
+        return min(c.pass_value for c in self._clients.values())
+
+    # -- scheduling --------------------------------------------------------------
+
+    def tick(self) -> Optional[str]:
+        """Run one quantum; returns the chosen client's name."""
+        if not self._clients:
+            return None
+        chosen = min(self._clients.values(),
+                     key=lambda c: (c.pass_value, c.name))
+        chosen.pass_value += chosen.stride
+        chosen.ticks_received += 1
+        self.total_ticks += 1
+        return chosen.name
+
+    def run(self, ticks: int) -> None:
+        for _ in range(ticks):
+            self.tick()
+
+    # -- accounting ----------------------------------------------------------------
+
+    def share_of(self, name: str) -> float:
+        """Measured CPU fraction delivered to a client so far."""
+        client = self._require(name)
+        if self.total_ticks == 0:
+            return 0.0
+        return client.ticks_received / self.total_ticks
+
+    def reserved_fraction(self, name: str) -> float:
+        """The contractual fraction implied by current ticket holdings."""
+        client = self._require(name)
+        total = sum(c.tickets for c in self._clients.values())
+        return client.tickets / total if total else 0.0
+
+    def clients(self):
+        return sorted(self._clients.values(), key=lambda c: c.name)
+
+    def weights(self) -> Dict[str, int]:
+        return {c.name: c.tickets for c in self._clients.values()}

@@ -1,0 +1,83 @@
+"""Nexus Authorization Logic (NAL): formulas, proofs, checking, proving.
+
+This package is the logic substrate of logical attestation (§2 of the
+paper): a constructive logic of belief with ``says``, scoped ``speaksfor``,
+subprincipals, and goal variables, plus a linear-time proof checker (the
+trusted piece) and an untrusted backward-chaining prover (the convenience
+piece).
+"""
+
+from repro.nal.terms import (
+    Const,
+    Group,
+    KeyPrincipal,
+    Name,
+    Principal,
+    SubPrincipal,
+    Term,
+    Var,
+    principal,
+)
+from repro.nal.formula import (
+    And,
+    Compare,
+    FALSE,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    TRUE,
+    TrueFormula,
+    conjoin,
+    conjuncts,
+    mentions,
+)
+from repro.nal.parser import parse, parse_principal
+from repro.nal.proof import (
+    Assume,
+    AuthorityQuery,
+    Axiom,
+    Proof,
+    ProofBundle,
+    Rule,
+)
+from repro.nal.checker import CheckResult, DEFAULT_DYNAMIC_TERMS, check
+from repro.nal.prover import Prover, prove
+from repro.nal.unify import match, matches
+from repro.nal.worldview import WorldviewStore
+from repro.nal.policy import (
+    all_of,
+    any_of,
+    before,
+    delegation_preamble,
+    k_of,
+    revocable,
+    says,
+    speaks_for,
+    validity_claim,
+    vouched_by,
+)
+
+__all__ = [
+    # terms
+    "Const", "Group", "KeyPrincipal", "Name", "Principal", "SubPrincipal",
+    "Term", "Var", "principal",
+    # formulas
+    "And", "Compare", "FALSE", "FalseFormula", "Formula", "Implies", "Not",
+    "Or", "Pred", "Says", "Speaksfor", "TRUE", "TrueFormula", "conjoin",
+    "conjuncts", "mentions",
+    # parsing
+    "parse", "parse_principal",
+    # proofs
+    "Assume", "AuthorityQuery", "Axiom", "Proof", "ProofBundle", "Rule",
+    "CheckResult", "DEFAULT_DYNAMIC_TERMS", "check",
+    "Prover", "prove",
+    "match", "matches",
+    "WorldviewStore",
+    "all_of", "any_of", "before", "delegation_preamble", "k_of",
+    "revocable", "says", "speaks_for", "validity_claim", "vouched_by",
+]

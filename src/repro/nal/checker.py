@@ -1,0 +1,365 @@
+"""The NAL proof checker — the only trusted component of the logic layer.
+
+Guards call :func:`check` with a client-constructed proof. Checking is
+linear in proof size and entirely mechanical; the result records everything
+a guard needs to finish authorization:
+
+* which credentials must be presented (Assume leaves),
+* which authorities must be consulted (AuthorityQuery leaves),
+* whether the decision is *cacheable* — true exactly when the proof has no
+  authority leaves and never references dynamic system state (§2.8: "NAL's
+  structure makes it easy to mechanically and conservatively determine
+  those proofs that do not have references to dynamic system state").
+
+NAL is constructive: the rule table below deliberately contains double-
+negation *introduction* but not elimination, and no excluded middle. An
+unknown rule name is a :class:`ProofError`, so classical shortcuts cannot
+be smuggled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ProofError
+from repro.nal.formula import (
+    And,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Says,
+    Speaksfor,
+    TrueFormula,
+    mentions,
+)
+from repro.nal.proof import (
+    Assume,
+    AuthorityQuery,
+    Axiom,
+    Proof,
+    Rule,
+    says_wrap,
+)
+from repro.nal.terms import Name, Principal, SubPrincipal
+
+#: Term names that denote dynamic system state. Proofs mentioning any of
+#: these are conservatively non-cacheable even without authority leaves.
+DEFAULT_DYNAMIC_TERMS: FrozenSet[str] = frozenset(
+    {"TimeNow", "ResourceAvail", "QuotaUsed", "KeypressCount"})
+
+MAX_PROOF_DEPTH = 200
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of a successful proof check."""
+
+    conclusion: Formula
+    assumptions: Tuple[Formula, ...]
+    authority_queries: Tuple[Tuple[str, Formula], ...]
+    rule_count: int
+    dynamic: bool
+
+    @property
+    def cacheable(self) -> bool:
+        """Safe to enter in the kernel decision cache?"""
+        return not self.authority_queries and not self.dynamic
+
+
+@dataclass
+class _Walk:
+    assumptions: list = field(default_factory=list)
+    authority_queries: list = field(default_factory=list)
+    rule_count: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Propositional rules (applicable at top level or inside a says context)
+# ---------------------------------------------------------------------------
+
+def _rule_and_intro(premises, conclusion):
+    if len(premises) != 2 or not isinstance(conclusion, And):
+        raise ProofError("and_intro expects two premises and an And conclusion")
+    if conclusion.left != premises[0] or conclusion.right != premises[1]:
+        raise ProofError("and_intro premises do not form the conclusion")
+
+
+def _rule_and_elim_l(premises, conclusion):
+    if len(premises) != 1 or not isinstance(premises[0], And):
+        raise ProofError("and_elim_l expects one And premise")
+    if premises[0].left != conclusion:
+        raise ProofError("and_elim_l conclusion is not the left conjunct")
+
+
+def _rule_and_elim_r(premises, conclusion):
+    if len(premises) != 1 or not isinstance(premises[0], And):
+        raise ProofError("and_elim_r expects one And premise")
+    if premises[0].right != conclusion:
+        raise ProofError("and_elim_r conclusion is not the right conjunct")
+
+
+def _rule_or_intro_l(premises, conclusion):
+    if len(premises) != 1 or not isinstance(conclusion, Or):
+        raise ProofError("or_intro_l expects one premise and an Or conclusion")
+    if conclusion.left != premises[0]:
+        raise ProofError("or_intro_l premise is not the left disjunct")
+
+
+def _rule_or_intro_r(premises, conclusion):
+    if len(premises) != 1 or not isinstance(conclusion, Or):
+        raise ProofError("or_intro_r expects one premise and an Or conclusion")
+    if conclusion.right != premises[0]:
+        raise ProofError("or_intro_r premise is not the right disjunct")
+
+
+def _rule_or_elim(premises, conclusion):
+    # From A∨B, A⇒C, B⇒C conclude C.
+    if len(premises) != 3:
+        raise ProofError("or_elim expects three premises")
+    disjunction, left_imp, right_imp = premises
+    if not isinstance(disjunction, Or):
+        raise ProofError("or_elim first premise must be a disjunction")
+    if (not isinstance(left_imp, Implies)
+            or left_imp.antecedent != disjunction.left
+            or left_imp.consequent != conclusion):
+        raise ProofError("or_elim second premise must be left-disjunct ⇒ goal")
+    if (not isinstance(right_imp, Implies)
+            or right_imp.antecedent != disjunction.right
+            or right_imp.consequent != conclusion):
+        raise ProofError("or_elim third premise must be right-disjunct ⇒ goal")
+
+
+def _rule_imp_elim(premises, conclusion):
+    # Modus ponens: from A and A⇒B conclude B.
+    if len(premises) != 2:
+        raise ProofError("imp_elim expects two premises")
+    antecedent, implication = premises
+    if not isinstance(implication, Implies):
+        raise ProofError("imp_elim second premise must be an implication")
+    if implication.antecedent != antecedent:
+        raise ProofError("imp_elim antecedent mismatch")
+    if implication.consequent != conclusion:
+        raise ProofError("imp_elim conclusion mismatch")
+
+
+def _rule_dneg_intro(premises, conclusion):
+    # Constructively valid: from A conclude ¬¬A.
+    if len(premises) != 1 or not isinstance(conclusion, Not):
+        raise ProofError("dneg_intro expects one premise, ¬¬A conclusion")
+    inner = conclusion.body
+    if not isinstance(inner, Not) or inner.body != premises[0]:
+        raise ProofError("dneg_intro conclusion is not ¬¬premise")
+
+
+def _rule_false_elim(premises, conclusion):
+    # Ex falso quodlibet — constructively valid. Crucially, inside a says
+    # context this derives only `P says G` from `P says false`, never
+    # statements by other principals (§2.1's local-inference property).
+    if len(premises) != 1 or not isinstance(premises[0], FalseFormula):
+        raise ProofError("false_elim expects a single false premise")
+
+
+_PROPOSITIONAL_RULES: Dict[str, Callable] = {
+    "and_intro": _rule_and_intro,
+    "and_elim_l": _rule_and_elim_l,
+    "and_elim_r": _rule_and_elim_r,
+    "or_intro_l": _rule_or_intro_l,
+    "or_intro_r": _rule_or_intro_r,
+    "or_elim": _rule_or_elim,
+    "imp_elim": _rule_imp_elim,
+    "dneg_intro": _rule_dneg_intro,
+    "false_elim": _rule_false_elim,
+}
+
+
+# ---------------------------------------------------------------------------
+# Structural rules (speaksfor/says; only valid at top level)
+# ---------------------------------------------------------------------------
+
+def _rule_speaksfor_elim(premises, conclusion):
+    # From `A speaksfor B` and `A says S` conclude `B says S`.
+    if len(premises) != 2:
+        raise ProofError("speaksfor_elim expects two premises")
+    delegation, utterance = premises
+    if not isinstance(delegation, Speaksfor) or delegation.scope is not None:
+        raise ProofError("speaksfor_elim first premise must be an "
+                         "unscoped speaksfor")
+    if not isinstance(utterance, Says):
+        raise ProofError("speaksfor_elim second premise must be a says")
+    if utterance.speaker != delegation.left:
+        raise ProofError("speaksfor_elim speaker is not the delegating "
+                         "principal")
+    expected = Says(delegation.right, utterance.body)
+    if conclusion != expected:
+        raise ProofError(f"speaksfor_elim conclusion must be {expected}")
+
+
+def _rule_speaksfor_on_elim(premises, conclusion):
+    # Scoped delegation: statement must mention the scope term.
+    if len(premises) != 2:
+        raise ProofError("speaksfor_on_elim expects two premises")
+    delegation, utterance = premises
+    if not isinstance(delegation, Speaksfor) or delegation.scope is None:
+        raise ProofError("speaksfor_on_elim first premise must be a scoped "
+                         "speaksfor")
+    if not isinstance(utterance, Says):
+        raise ProofError("speaksfor_on_elim second premise must be a says")
+    if utterance.speaker != delegation.left:
+        raise ProofError("speaksfor_on_elim speaker mismatch")
+    if not mentions(utterance.body, delegation.scope):
+        raise ProofError(
+            f"statement {utterance.body} is outside the delegation scope "
+            f"{delegation.scope}")
+    expected = Says(delegation.right, utterance.body)
+    if conclusion != expected:
+        raise ProofError(f"speaksfor_on_elim conclusion must be {expected}")
+
+
+def _rule_handoff(premises, conclusion):
+    # From `B says (A speaksfor B [on T])` conclude `A speaksfor B [on T]`:
+    # a principal is the authority on its own worldview.
+    if len(premises) != 1 or not isinstance(premises[0], Says):
+        raise ProofError("handoff expects one says premise")
+    speaker, body = premises[0].speaker, premises[0].body
+    if not isinstance(body, Speaksfor):
+        raise ProofError("handoff premise body must be a speaksfor")
+    if body.right != speaker:
+        raise ProofError("handoff must be uttered by the delegating target")
+    if conclusion != body:
+        raise ProofError("handoff conclusion must be the uttered speaksfor")
+
+
+def _rule_speaksfor_trans(premises, conclusion):
+    # From `A speaksfor B` and `B speaksfor C` conclude `A speaksfor C`.
+    if len(premises) != 2:
+        raise ProofError("speaksfor_trans expects two premises")
+    first, second = premises
+    if (not isinstance(first, Speaksfor) or not isinstance(second, Speaksfor)
+            or first.scope is not None or second.scope is not None):
+        raise ProofError("speaksfor_trans needs two unscoped speaksfor")
+    if first.right != second.left:
+        raise ProofError("speaksfor_trans chain mismatch")
+    if conclusion != Speaksfor(first.left, second.right):
+        raise ProofError("speaksfor_trans conclusion mismatch")
+
+
+_STRUCTURAL_RULES: Dict[str, Callable] = {
+    "speaksfor_elim": _rule_speaksfor_elim,
+    "speaksfor_on_elim": _rule_speaksfor_on_elim,
+    "handoff": _rule_handoff,
+    "speaksfor_trans": _rule_speaksfor_trans,
+}
+
+
+# ---------------------------------------------------------------------------
+# Axiom schemas
+# ---------------------------------------------------------------------------
+
+def _axiom_ok(formula: Formula) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, Speaksfor) and formula.scope is None:
+        # Subprincipal axiom: A speaksfor A.tau (transitively), and the
+        # degenerate reflexive case A speaksfor A.
+        if isinstance(formula.left, Principal):
+            return formula.left.is_ancestor_of(formula.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+def _strip_context(formula: Formula, context: Optional[Principal],
+                   role: str) -> Formula:
+    if context is None:
+        return formula
+    if not isinstance(formula, Says) or formula.speaker != context:
+        raise ProofError(
+            f"{role} {formula} is not inside the says-context {context}")
+    return formula.body
+
+
+def _check_node(node: Proof, walk: _Walk, depth: int) -> Formula:
+    if depth > MAX_PROOF_DEPTH:
+        raise ProofError("proof exceeds maximum depth")
+    if isinstance(node, Assume):
+        walk.assumptions.append(node.conclusion)
+        return node.conclusion
+    if isinstance(node, Axiom):
+        if not _axiom_ok(node.conclusion):
+            raise ProofError(f"{node.conclusion} is not an axiom instance")
+        return node.conclusion
+    if isinstance(node, AuthorityQuery):
+        walk.authority_queries.append((node.port, node.conclusion))
+        return node.conclusion
+    if isinstance(node, Rule):
+        walk.rule_count += 1
+        premise_conclusions = tuple(
+            _check_node(premise, walk, depth + 1) for premise in node.premises)
+        if node.name in _PROPOSITIONAL_RULES:
+            validator = _PROPOSITIONAL_RULES[node.name]
+            bodies = tuple(
+                _strip_context(concl, node.context, "premise")
+                for concl in premise_conclusions)
+            goal_body = _strip_context(node.conclusion, node.context,
+                                       "conclusion")
+            validator(bodies, goal_body)
+            return node.conclusion
+        if node.name in _STRUCTURAL_RULES:
+            if node.context is not None:
+                raise ProofError(
+                    f"rule {node.name} cannot run inside a says-context")
+            _STRUCTURAL_RULES[node.name](premise_conclusions, node.conclusion)
+            return node.conclusion
+        raise ProofError(f"unknown inference rule {node.name!r}")
+    raise ProofError(f"unknown proof node {node!r}")
+
+
+def _formula_is_dynamic(formula: Formula,
+                        dynamic_terms: FrozenSet[str]) -> bool:
+    for term in formula.subterms():
+        if isinstance(term, Name) and term.name in dynamic_terms:
+            return True
+        if isinstance(term, SubPrincipal) and term.tag in dynamic_terms:
+            return True
+    if isinstance(formula, Says):
+        return _formula_is_dynamic(formula.body, dynamic_terms)
+    return False
+
+
+def check(proof: Proof, goal: Optional[Formula] = None,
+          dynamic_terms: FrozenSet[str] = DEFAULT_DYNAMIC_TERMS) -> CheckResult:
+    """Check a proof; optionally require that it concludes ``goal``.
+
+    Raises :class:`ProofError` on any structural defect. The caller (a
+    guard) is responsible for discharging the returned assumptions against
+    presented credentials and for consulting the returned authorities.
+    """
+    walk = _Walk()
+    conclusion = _check_node(proof, walk, 0)
+    if goal is not None and conclusion != goal:
+        raise ProofError(
+            f"proof concludes {conclusion}, goal requires {goal}")
+    dynamic = any(
+        _formula_is_dynamic(formula, dynamic_terms)
+        for formula in [conclusion, *walk.assumptions])
+    return CheckResult(
+        conclusion=conclusion,
+        assumptions=tuple(walk.assumptions),
+        authority_queries=tuple(walk.authority_queries),
+        rule_count=walk.rule_count,
+        dynamic=dynamic,
+    )
+
+
+__all__ = [
+    "CheckResult",
+    "check",
+    "DEFAULT_DYNAMIC_TERMS",
+    "MAX_PROOF_DEPTH",
+    "says_wrap",
+]

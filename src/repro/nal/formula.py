@@ -1,0 +1,369 @@
+"""Formula AST for the Nexus Authorization Logic.
+
+The connectives follow §2.1 of the paper:
+
+* ``P says S`` — statement ``S`` is in the worldview of principal ``P``;
+* ``A speaksfor B [on T]`` — delegation, optionally scoped by the ``on``
+  modifier to statements mentioning term ``T``;
+* the constructive propositional connectives ``and``, ``or``, ``implies``,
+  ``not``, with ``true`` and ``false``;
+* atomic predicates (``isTypeSafe(PGM)``, ``hasPath(a, b)``) and arithmetic
+  comparisons (``TimeNow < 20110319``) over terms.
+
+Formulas are immutable; equality and hashing are structural, which is what
+lets labelstores, caches, and worldviews key on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Tuple
+
+from repro.nal.terms import Const, Principal, Term, Var
+
+COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Formula:
+    """Base class for NAL formulas."""
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Formula":
+        raise NotImplementedError
+
+    def variables(self) -> Iterator[Var]:
+        """All goal variables occurring in the formula."""
+        raise NotImplementedError
+
+    def subterms(self) -> Iterator[Term]:
+        """All terms occurring anywhere in the formula."""
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        return next(self.variables(), None) is None
+
+    # -- sugar ------------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def implies(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+    def substitute(self, mapping):
+        return self
+
+    def variables(self):
+        return iter(())
+
+    def subterms(self):
+        return iter(())
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+    def substitute(self, mapping):
+        return self
+
+    def variables(self):
+        return iter(())
+
+    def subterms(self):
+        return iter(())
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Pred(Formula):
+    """An application of an uninterpreted predicate to terms.
+
+    The Nexus imposes no semantic restriction on predicate names (§2.2):
+    meaning is assigned by whichever principals import the statement.
+    A zero-argument predicate doubles as a propositional atom.
+    """
+
+    name: str
+    args: Tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def substitute(self, mapping):
+        return Pred(self.name, tuple(a.substitute(mapping) for a in self.args))
+
+    def variables(self):
+        for arg in self.args:
+            yield from arg.variables()
+
+    def subterms(self):
+        yield from self.args
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """An arithmetic comparison between two terms, e.g. ``TimeNow < N``.
+
+    Bare identifiers on either side (like ``TimeNow``) parse as
+    zero-argument predicates' names lifted to terms — we represent them as
+    :class:`Const` with a string value, and authorities give them meaning.
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{_term_str(self.left)} {self.op} {_term_str(self.right)}"
+
+    def substitute(self, mapping):
+        return Compare(self.op, self.left.substitute(mapping),
+                       self.right.substitute(mapping))
+
+    def variables(self):
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def subterms(self):
+        yield self.left
+        yield self.right
+
+    def evaluate(self, bindings: Mapping[str, int]) -> Optional[bool]:
+        """Evaluate under an environment mapping symbol names to ints.
+
+        Returns ``None`` when a side cannot be resolved to an integer —
+        authorities use this to decline statements they do not understand.
+        """
+        left = _resolve_int(self.left, bindings)
+        right = _resolve_int(self.right, bindings)
+        if left is None or right is None:
+            return None
+        table = {
+            "<": left < right, "<=": left <= right,
+            ">": left > right, ">=": left >= right,
+            "==": left == right, "!=": left != right,
+        }
+        return table[self.op]
+
+
+def _resolve_int(term: Term, bindings: Mapping[str, int]) -> Optional[int]:
+    from repro.nal.terms import Name  # local import to avoid cycle at load
+    if isinstance(term, Const):
+        if isinstance(term.value, int):
+            return term.value
+        return bindings.get(term.value)
+    if isinstance(term, Name):
+        # Bare symbols like TimeNow parse as atomic names; authorities
+        # resolve them against their environment.
+        return bindings.get(term.name)
+    return None
+
+
+def _term_str(term: Term) -> str:
+    # Terms print via their own __str__ (string constants stay quoted so
+    # parse(str(f)) == f holds exactly); bare symbols like TimeNow are
+    # Name principals and print unquoted.
+    return str(term)
+
+
+@dataclass(frozen=True)
+class Says(Formula):
+    """``speaker says body`` — body is in the speaker's worldview."""
+
+    speaker: Principal
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"{self.speaker} says {_wrap(self.body)}"
+
+    def substitute(self, mapping):
+        speaker = self.speaker.substitute(mapping)
+        return Says(speaker, self.body.substitute(mapping))
+
+    def variables(self):
+        yield from self.speaker.variables()
+        yield from self.body.variables()
+
+    def subterms(self):
+        yield self.speaker
+        yield from self.body.subterms()
+
+
+@dataclass(frozen=True)
+class Speaksfor(Formula):
+    """``left speaksfor right [on scope]``.
+
+    Semantically the worldview of ``left`` is a subset of the worldview of
+    ``right``; the optional ``on`` modifier restricts the delegation to
+    statements that mention the scope term (§2.1's
+    ``NTP speaksfor Server on TimeNow`` example).
+    """
+
+    left: Principal
+    right: Principal
+    scope: Optional[Term] = None
+
+    def __str__(self) -> str:
+        base = f"{self.left} speaksfor {self.right}"
+        if self.scope is not None:
+            return f"{base} on {_term_str(self.scope)}"
+        return base
+
+    def substitute(self, mapping):
+        left = self.left.substitute(mapping)
+        right = self.right.substitute(mapping)
+        scope = self.scope.substitute(mapping) if self.scope else None
+        return Speaksfor(left, right, scope)
+
+    def variables(self):
+        yield from self.left.variables()
+        yield from self.right.variables()
+        if self.scope is not None:
+            yield from self.scope.variables()
+
+    def subterms(self):
+        yield self.left
+        yield self.right
+        if self.scope is not None:
+            yield self.scope
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} and {_wrap(self.right)}"
+
+    def substitute(self, mapping):
+        return And(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def variables(self):
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def subterms(self):
+        yield from self.left.subterms()
+        yield from self.right.subterms()
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} or {_wrap(self.right)}"
+
+    def substitute(self, mapping):
+        return Or(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def variables(self):
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def subterms(self):
+        yield from self.left.subterms()
+        yield from self.right.subterms()
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.antecedent)} implies {_wrap(self.consequent)}"
+
+    def substitute(self, mapping):
+        return Implies(self.antecedent.substitute(mapping),
+                       self.consequent.substitute(mapping))
+
+    def variables(self):
+        yield from self.antecedent.variables()
+        yield from self.consequent.variables()
+
+    def subterms(self):
+        yield from self.antecedent.subterms()
+        yield from self.consequent.subterms()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"not {_wrap(self.body)}"
+
+    def substitute(self, mapping):
+        return Not(self.body.substitute(mapping))
+
+    def variables(self):
+        yield from self.body.variables()
+
+    def subterms(self):
+        yield from self.body.subterms()
+
+
+_ATOMIC = (Pred, TrueFormula, FalseFormula, Compare, Not)
+
+
+def _wrap(formula: Formula) -> str:
+    """Parenthesize non-atomic subformulas so printing round-trips."""
+    if isinstance(formula, _ATOMIC):
+        return str(formula)
+    return f"({formula})"
+
+
+def conjoin(formulas) -> Formula:
+    """Fold a sequence of formulas into a conjunction.
+
+    Left-associated, matching the parser, so
+    ``conjoin(conjuncts(parse(text))) == parse(text)``.
+    """
+    items = list(formulas)
+    if not items:
+        return TRUE
+    result = items[0]
+    for item in items[1:]:
+        result = And(result, item)
+    return result
+
+
+def conjuncts(formula: Formula) -> Iterator[Formula]:
+    """Flatten nested conjunctions into their leaves."""
+    if isinstance(formula, And):
+        yield from conjuncts(formula.left)
+        yield from conjuncts(formula.right)
+    else:
+        yield formula
+
+
+def mentions(formula: Formula, term: Term) -> bool:
+    """True when ``term`` occurs anywhere in ``formula``.
+
+    This is the scope test used by restricted delegation
+    (``speaksfor ... on T``): a delegated statement must mention T.
+    """
+    return any(sub == term for sub in formula.subterms())

@@ -1,0 +1,316 @@
+"""Parser for the NAL surface syntax.
+
+The `say` system call (§2.2) takes a *string* encoding of a NAL statement,
+so the parser is part of the kernel's attack surface: it must reject
+garbage loudly and round-trip everything the printer produces.
+
+Grammar (precedence loosest to tightest)::
+
+    formula   := orexpr [ ('implies' | '->') formula ]        # right assoc
+    orexpr    := andexpr { ('or'  | '\\/') andexpr }
+    andexpr   := unary   { ('and' | '/\\') unary }
+    unary     := ('not' | '!') unary | statement
+    statement := 'true' | 'false'
+    / '(' formula ')'
+    / term 'says' unary
+    / term 'speaksfor' term [ 'on' term ]
+    / term CMP term
+    / term 'in' term                      # sugar: in(a, b)
+    / IDENT '(' [ term {',' term} ] ')'   # predicate
+    / term                                # propositional atom
+
+    term      := NUMBER | STRING | VARIABLE | name { '.' IDENT }
+
+Names may contain ``/`` and ``:`` so introspection paths
+(``/proc/ipd/12``) and key principals (``key:ab12``) are single tokens.
+``A says B says S`` nests to the right: ``A says (B says S)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import ParseError
+from repro.nal.formula import (
+    And,
+    Compare,
+    FALSE,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    TRUE,
+)
+from repro.nal.terms import (
+    Const,
+    Group,
+    KeyPrincipal,
+    Name,
+    Principal,
+    SubPrincipal,
+    Term,
+    Var,
+)
+
+_KEYWORDS = {"says", "speaksfor", "on", "and", "or", "implies", "not",
+             "true", "false", "in"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<wedge>/\\)
+  | (?P<vee>\\/)
+  | (?P<cmp><=|>=|==|!=|<|>|=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<bang>!)
+  | (?P<number>-?\d+)
+  | (?P<string>"[^"]*")
+  | (?P<variable>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_/][A-Za-z0-9_/:\-]*)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}",
+                             position=position, text=text)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input",
+                             position=len(self.text), text=self.text)
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self.index += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.text == word:
+            self.index += 1
+            return True
+        return False
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            got = token.text if token else "end of input"
+            pos = token.position if token else len(self.text)
+            raise ParseError(f"expected {kind}, got {got!r}",
+                             position=pos, text=self.text)
+        self.index += 1
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        left = self.parse_or()
+        if self._accept("arrow") or self._accept_keyword("implies"):
+            right = self.parse_formula()  # right-associative
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self._accept("vee") or self._accept_keyword("or"):
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_unary()
+        while self._accept("wedge") or self._accept_keyword("and"):
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Formula:
+        if self._accept("bang") or self._accept_keyword("not"):
+            return Not(self.parse_unary())
+        return self.parse_statement()
+
+    def parse_statement(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input",
+                             position=len(self.text), text=self.text)
+        if token.kind == "ident" and token.text == "true":
+            self._next()
+            return TRUE
+        if token.kind == "ident" and token.text == "false":
+            self._next()
+            return FALSE
+        if token.kind == "lparen":
+            self._next()
+            inner = self.parse_formula()
+            self._expect("rparen")
+            return inner
+
+        # Predicate application: IDENT '(' — but not a keyword.
+        if (token.kind == "ident" and token.text not in _KEYWORDS
+                and self._lookahead_is_lparen()):
+            return self._parse_predicate()
+
+        term = self.parse_term()
+        return self._parse_statement_tail(term)
+
+    def _lookahead_is_lparen(self) -> bool:
+        nxt = self.index + 1
+        return nxt < len(self.tokens) and self.tokens[nxt].kind == "lparen"
+
+    def _parse_predicate(self) -> Pred:
+        name = self._expect("ident").text
+        self._expect("lparen")
+        args: List[Term] = []
+        if not self._accept("rparen"):
+            args.append(self.parse_term())
+            while self._accept("comma"):
+                args.append(self.parse_term())
+            self._expect("rparen")
+        return Pred(name, tuple(args))
+
+    def _parse_statement_tail(self, term: Term) -> Formula:
+        if self._accept_keyword("says"):
+            speaker = self._require_principal(term, "says")
+            return Says(speaker, self.parse_unary())
+        if self._accept_keyword("speaksfor"):
+            left = self._require_principal(term, "speaksfor")
+            right_term = self.parse_term()
+            right = self._require_principal(right_term, "speaksfor")
+            scope: Optional[Term] = None
+            if self._accept_keyword("on"):
+                scope = self.parse_term()
+            return Speaksfor(left, right, scope)
+        cmp_token = self._accept("cmp")
+        if cmp_token is not None:
+            op = "==" if cmp_token.text == "=" else cmp_token.text
+            return Compare(op, term, self.parse_term())
+        if self._accept_keyword("in"):
+            return Pred("in", (term, self.parse_term()))
+        # A bare term used as a propositional atom.
+        if isinstance(term, Name):
+            return Pred(term.name, ())
+        if isinstance(term, Const) and isinstance(term.value, str):
+            return Pred(term.value, ())
+        raise ParseError(f"cannot use {term} as a formula",
+                         position=self._position(), text=self.text)
+
+    def _require_principal(self, term: Term, context: str) -> Principal:
+        if isinstance(term, Principal):
+            return term
+        raise ParseError(f"{context} requires a principal, got {term}",
+                         position=self._position(), text=self.text)
+
+    def _position(self) -> int:
+        token = self._peek()
+        return token.position if token else len(self.text)
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "number":
+            return Const(int(token.text))
+        if token.kind == "string":
+            return Const(token.text[1:-1])
+        if token.kind == "variable":
+            return self._with_subprincipals(Var(token.text[1:]))
+        if token.kind == "ident":
+            if token.text in _KEYWORDS:
+                raise ParseError(f"keyword {token.text!r} used as a term",
+                                 position=token.position, text=self.text)
+            return self._with_subprincipals(
+                self._make_principal(token.text))
+        raise ParseError(f"unexpected token {token.text!r}",
+                         position=token.position, text=self.text)
+
+    def _with_subprincipals(self, base: Principal) -> Principal:
+        """Chain ``.tag`` suffixes onto a principal (names or variables);
+        tags may be identifiers or numbers (``IPC.42``)."""
+        while self._accept("dot"):
+            tag_token = self._peek()
+            if tag_token is not None and tag_token.kind in ("ident",
+                                                            "number"):
+                self.index += 1
+            else:
+                tag_token = self._expect("ident")  # raises with context
+            base = SubPrincipal(base, tag_token.text)
+        return base
+
+    @staticmethod
+    def _make_principal(text: str) -> Principal:
+        if text.startswith("key:"):
+            return KeyPrincipal(text[len("key:"):])
+        if text.startswith("group:"):
+            return Group(text[len("group:"):])
+        return Name(text)
+
+    def finish(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"trailing input at {token.text!r}",
+                             position=token.position, text=self.text)
+
+
+def parse(text: Union[str, Formula]) -> Formula:
+    """Parse NAL text into a formula (idempotent on formulas)."""
+    if isinstance(text, Formula):
+        return text
+    parser = _Parser(text)
+    formula = parser.parse_formula()
+    parser.finish()
+    return formula
+
+
+def parse_principal(text: Union[str, Principal]) -> Principal:
+    """Parse NAL text denoting a principal (idempotent on principals)."""
+    if isinstance(text, Principal):
+        return text
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser.finish()
+    if not isinstance(term, Principal):
+        raise ParseError(f"{text!r} is not a principal", text=text)
+    return term

@@ -1,0 +1,126 @@
+"""Policy combinators: building goal formulas without writing NAL text.
+
+The paper's policies repeat a handful of shapes — "any two of three
+authentication services" (§2), deadline gates, conjunction of analyzer
+verdicts, delegation preambles. These builders construct them as formula
+objects, which keeps application code free of string templating and
+parse-time surprises (`says` precedence being the classic one).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence, Union
+
+from repro.errors import NALError
+from repro.nal.formula import (
+    And,
+    Compare,
+    Formula,
+    Implies,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    conjoin,
+)
+from repro.nal.parser import parse, parse_principal
+from repro.nal.terms import Const, Name, Principal, Term, Var
+
+Principalish = Union[str, Principal]
+Formulaish = Union[str, Formula]
+
+
+def says(speaker: Principalish, body: Formulaish) -> Says:
+    """``speaker says body`` with explicit grouping — no precedence traps."""
+    return Says(parse_principal(speaker), parse(body))
+
+
+def speaks_for(delegate: Principalish, target: Principalish,
+               on: Union[str, Term, None] = None) -> Speaksfor:
+    scope: Union[Term, None]
+    if on is None:
+        scope = None
+    elif isinstance(on, Term):
+        scope = on
+    else:
+        scope = Name(on)
+    return Speaksfor(parse_principal(delegate), parse_principal(target),
+                     scope)
+
+
+def delegation_preamble(target: Principalish,
+                        delegates: Iterable[Principalish],
+                        on: Union[str, None] = None) -> List[Says]:
+    """The §2.5 goal-formula preamble: the target documents its trust
+    assumptions by uttering speaksfor relationships."""
+    target = parse_principal(target)
+    return [Says(target, speaks_for(d, target, on)) for d in delegates]
+
+
+def all_of(*formulas: Formulaish) -> Formula:
+    """Conjunction of every condition."""
+    return conjoin([parse(f) for f in formulas])
+
+
+def any_of(*formulas: Formulaish) -> Formula:
+    """Disjunction: the client picks whichever branch it can discharge."""
+    parsed = [parse(f) for f in formulas]
+    if not parsed:
+        raise NALError("any_of needs at least one alternative")
+    result = parsed[0]
+    for formula in parsed[1:]:
+        result = Or(result, formula)
+    return result
+
+
+def k_of(k: int, formulas: Sequence[Formulaish]) -> Formula:
+    """Threshold policy: any ``k`` of the given conditions.
+
+    Expands to a disjunction of conjunctions (the §2 "any two of: a
+    stored password service, a retinal scan, a USB dongle" policy is
+    ``k_of(2, [...])``). Exponential in general — thresholds in
+    authorization policies are small.
+    """
+    parsed = [parse(f) for f in formulas]
+    if not 1 <= k <= len(parsed):
+        raise NALError(f"k_of: k={k} out of range for {len(parsed)} options")
+    alternatives = [conjoin(combo) for combo in combinations(parsed, k)]
+    return any_of(*alternatives)
+
+
+def vouched_by(k: int, services: Sequence[Principalish],
+               statement: Formulaish) -> Formula:
+    """``k`` distinct services each say the same statement."""
+    body = parse(statement)
+    return k_of(k, [Says(parse_principal(s), body) for s in services])
+
+
+def before(owner: Principalish, deadline: int,
+           clock_term: str = "TimeNow") -> Says:
+    """The time-sensitive-content gate: ``owner says TimeNow < deadline``.
+
+    Discharged through a clock authority plus an ``on``-scoped delegation
+    — see :func:`delegation_preamble` and §2.7.
+    """
+    return Says(parse_principal(owner),
+                Compare("<", Name(clock_term), Const(deadline)))
+
+
+def revocable(issuer: Principalish, statement: Formulaish) -> Says:
+    """The §2.7 revocation pattern: instead of ``issuer says S``, issue
+    ``issuer says (Valid(S) implies S)`` and let an authority answer
+    ``issuer says Valid(S)``."""
+    body = parse(statement)
+    return Says(parse_principal(issuer), Implies(_valid(body), body))
+
+
+def validity_claim(issuer: Principalish, statement: Formulaish) -> Says:
+    """The matching authority-confirmable statement for :func:`revocable`."""
+    return Says(parse_principal(issuer), _valid(parse(statement)))
+
+
+def _valid(body: Formula) -> Pred:
+    # Valid(S) names the statement by its canonical rendering; authorities
+    # and provers compare structurally, so the naming is stable.
+    return Pred("Valid", (Const(str(body)),))

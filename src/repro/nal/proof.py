@@ -1,0 +1,152 @@
+"""Proof objects — the artifacts clients hand to guards (§2.6).
+
+Since proof *derivation* in NAL is undecidable, the Nexus places the onus on
+the client to construct a proof; the guard only *checks* it. A proof is a
+tree whose leaves must be discharged by one of:
+
+* :class:`Assume` — a presented credential (label) carries the formula;
+* :class:`Axiom` — a schema the checker validates intrinsically (the
+  subprincipal axiom, ``true``-introduction);
+* :class:`AuthorityQuery` — an authority process confirms the statement at
+  check time; such confirmations are never transferable and poison the
+  proof's cacheability (§2.7–2.8).
+
+Interior nodes apply a named inference rule. A node may carry a *says
+context*: beliefs are closed under each principal's own deduction, so any
+propositional rule may equally be applied inside ``P says …`` — this is
+exactly NAL's "all deduction is local" discipline, and it is what keeps
+``A says false`` from contaminating an unrelated principal B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.nal.formula import Formula, Says
+from repro.nal.terms import Principal
+
+
+class Proof:
+    """Base class for proof-tree nodes. Each node proves ``conclusion``."""
+
+    conclusion: Formula
+
+    def leaves(self):
+        """Depth-first iterator over leaf nodes."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of rule applications (interior nodes) in the proof."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Assume(Proof):
+    """A leaf discharged by a credential presented alongside the proof."""
+
+    conclusion: Formula
+
+    def leaves(self):
+        yield self
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"[assume {self.conclusion}]"
+
+
+@dataclass(frozen=True)
+class Axiom(Proof):
+    """A leaf the checker validates against its axiom schemas."""
+
+    conclusion: Formula
+
+    def leaves(self):
+        yield self
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"[axiom {self.conclusion}]"
+
+
+@dataclass(frozen=True)
+class AuthorityQuery(Proof):
+    """A leaf confirmed at check time by the authority listening on ``port``.
+
+    The answer is authoritative by virtue of the attested IPC channel but is
+    observable only by the querying guard — it cannot be stored or
+    communicated (§2.7), so proofs containing these leaves are not cacheable.
+    """
+
+    conclusion: Formula
+    port: str
+
+    def leaves(self):
+        yield self
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"[authority {self.port}: {self.conclusion}]"
+
+
+@dataclass(frozen=True)
+class Rule(Proof):
+    """An application of inference rule ``name`` to ``premises``.
+
+    When ``context`` is set, the rule is applied inside that principal's
+    worldview: every premise conclusion and the node's conclusion must be
+    ``context says …`` and the rule relates the bodies.
+    """
+
+    name: str
+    premises: Tuple[Proof, ...]
+    conclusion: Formula
+    context: Optional[Principal] = None
+
+    def leaves(self):
+        for premise in self.premises:
+            yield from premise.leaves()
+
+    def size(self) -> int:
+        return 1 + sum(premise.size() for premise in self.premises)
+
+    def __str__(self) -> str:
+        where = f" in {self.context}" if self.context else ""
+        return f"({self.name}{where} => {self.conclusion})"
+
+
+@dataclass
+class ProofBundle:
+    """What a subject actually submits: a proof plus supporting credentials.
+
+    ``credentials`` are the labels (or externalized certificates, already
+    validated back into labels) that discharge the proof's Assume leaves.
+    """
+
+    proof: Proof
+    credentials: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def required_assumptions(self):
+        for leaf in self.proof.leaves():
+            if isinstance(leaf, Assume):
+                yield leaf.conclusion
+
+    def missing_credentials(self):
+        """Assumptions not covered by the supplied credentials."""
+        supplied = set(self.credentials)
+        for formula in self.required_assumptions():
+            if formula not in supplied:
+                yield formula
+
+
+def says_wrap(context: Optional[Principal], formula: Formula) -> Formula:
+    """Wrap a formula in the given says-context (identity when none)."""
+    if context is None:
+        return formula
+    return Says(context, formula)

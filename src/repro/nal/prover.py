@@ -1,0 +1,270 @@
+"""A backward-chaining proof constructor for clients.
+
+The guard only checks proofs; *somebody* still has to build them. This
+prover is the convenience library a Nexus client links against: given the
+credentials it holds (and the authorities it knows about), it searches for
+a proof of a goal. It is deliberately incomplete — NAL derivability is
+undecidable — but covers the fragment every application in the paper uses:
+conjunction/disjunction shuffling, modus ponens, delegation chains,
+handoff, subprincipals, and says-local reasoning.
+
+The prover is untrusted: a wrong proof is simply rejected by the checker,
+so nothing here is part of the TCB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence
+
+from repro.errors import ProofError
+from repro.nal.formula import (
+    And,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Says,
+    Speaksfor,
+    TrueFormula,
+    mentions,
+)
+from repro.nal.proof import Assume, AuthorityQuery, Axiom, Proof, Rule
+from repro.nal.terms import Principal
+
+MAX_SEARCH_DEPTH = 24
+
+
+class Prover:
+    """Searches for a proof of a goal from a set of credentials.
+
+    Parameters
+    ----------
+    credentials:
+        Formulas the client can present as labels (Assume leaves).
+    authorities:
+        Mapping from statements to the authority port that will confirm
+        them at check time; matching goals become AuthorityQuery leaves.
+    """
+
+    def __init__(self, credentials: Iterable[Formula],
+                 authorities: Optional[Dict[Formula, str]] = None):
+        self.credentials = list(dict.fromkeys(credentials))
+        self.authorities = dict(authorities or {})
+
+    def add_credential(self, formula: Formula) -> None:
+        if formula not in self.credentials:
+            self.credentials.append(formula)
+
+    def prove(self, goal: Formula) -> Proof:
+        """Return a proof of ``goal`` or raise :class:`ProofError`."""
+        proof = self._search(goal, frozenset(), 0)
+        if proof is None:
+            raise ProofError(f"no proof found for {goal}")
+        return proof
+
+    # ------------------------------------------------------------------
+
+    def _search(self, goal: Formula, pending: FrozenSet[Formula],
+                depth: int) -> Optional[Proof]:
+        if depth > MAX_SEARCH_DEPTH or goal in pending:
+            return None
+        pending = pending | {goal}
+
+        # 1. A credential proves it outright.
+        if goal in self.credentials:
+            return Assume(goal)
+
+        # 2. An axiom schema covers it (subprincipals, true).
+        if isinstance(goal, TrueFormula):
+            return Axiom(goal)
+        if (isinstance(goal, Speaksfor) and goal.scope is None
+                and goal.left.is_ancestor_of(goal.right)):
+            return Axiom(goal)
+
+        # 3. An authority will vouch for it.
+        if goal in self.authorities:
+            return AuthorityQuery(goal, self.authorities[goal])
+
+        # 4. Decompose by the goal's main connective.
+        finder = None
+        if isinstance(goal, And):
+            finder = self._prove_and
+        elif isinstance(goal, Or):
+            finder = self._prove_or
+        elif isinstance(goal, Not):
+            finder = self._prove_not
+        elif isinstance(goal, Says):
+            finder = self._prove_says
+        elif isinstance(goal, Speaksfor):
+            finder = self._prove_speaksfor
+        if finder is not None:
+            proof = finder(goal, pending, depth)
+            if proof is not None:
+                return proof
+
+        # 5. Modus ponens from an implication credential.
+        return self._prove_by_implication(goal, pending, depth)
+
+    def _prove_and(self, goal: And, pending, depth) -> Optional[Proof]:
+        left = self._search(goal.left, pending, depth + 1)
+        if left is None:
+            return None
+        right = self._search(goal.right, pending, depth + 1)
+        if right is None:
+            return None
+        return Rule("and_intro", (left, right), goal)
+
+    def _prove_or(self, goal: Or, pending, depth) -> Optional[Proof]:
+        left = self._search(goal.left, pending, depth + 1)
+        if left is not None:
+            return Rule("or_intro_l", (left,), goal)
+        right = self._search(goal.right, pending, depth + 1)
+        if right is not None:
+            return Rule("or_intro_r", (right,), goal)
+        return None
+
+    def _prove_not(self, goal: Not, pending, depth) -> Optional[Proof]:
+        if isinstance(goal.body, Not):
+            inner = self._search(goal.body.body, pending, depth + 1)
+            if inner is not None:
+                return Rule("dneg_intro", (inner,), goal)
+        return None
+
+    def _prove_says(self, goal: Says, pending, depth) -> Optional[Proof]:
+        speaker, body = goal.speaker, goal.body
+
+        # 4a. Delegation: find `A says body` (as a credential or as an
+        # authority-confirmable statement) and a route A speaksfor speaker.
+        sources = [(cred, Assume(cred)) for cred in self.credentials
+                   if isinstance(cred, Says)]
+        sources.extend(
+            (stmt, AuthorityQuery(stmt, port))
+            for stmt, port in self.authorities.items()
+            if isinstance(stmt, Says))
+        for cred, leaf in sources:
+            if cred.body == body:
+                route = self._search(Speaksfor(cred.speaker, speaker),
+                                     pending, depth + 1)
+                if route is not None:
+                    return Rule("speaksfor_elim", (route, leaf), goal)
+                scoped = self._find_scoped_delegation(
+                    cred.speaker, speaker, body, pending, depth)
+                if scoped is not None:
+                    return Rule("speaksfor_on_elim", (scoped, leaf), goal)
+
+        # 4b. Reason inside the speaker's worldview.
+        context_proof = self._prove_in_context(speaker, body, pending, depth)
+        if context_proof is not None:
+            return context_proof
+        return None
+
+    def _find_scoped_delegation(self, source: Principal, target: Principal,
+                                body: Formula, pending, depth):
+        for cred in self.credentials:
+            if (isinstance(cred, Speaksfor) and cred.scope is not None
+                    and cred.left == source and cred.right == target
+                    and mentions(body, cred.scope)):
+                return Assume(cred)
+            # Handoff of a scoped delegation uttered by the target.
+            if (isinstance(cred, Says) and cred.speaker == target
+                    and isinstance(cred.body, Speaksfor)
+                    and cred.body.scope is not None
+                    and cred.body.left == source
+                    and cred.body.right == target
+                    and mentions(body, cred.body.scope)):
+                return Rule("handoff", (Assume(cred),), cred.body)
+        return None
+
+    def _prove_in_context(self, speaker: Principal, body: Formula,
+                          pending, depth) -> Optional[Proof]:
+        wrap = lambda formula: Says(speaker, formula)
+
+        if isinstance(body, And):
+            left = self._search(wrap(body.left), pending, depth + 1)
+            right = self._search(wrap(body.right), pending, depth + 1)
+            if left is not None and right is not None:
+                return Rule("and_intro", (left, right), wrap(body),
+                            context=speaker)
+        if isinstance(body, Or):
+            left = self._search(wrap(body.left), pending, depth + 1)
+            if left is not None:
+                return Rule("or_intro_l", (left,), wrap(body), context=speaker)
+            right = self._search(wrap(body.right), pending, depth + 1)
+            if right is not None:
+                return Rule("or_intro_r", (right,), wrap(body),
+                            context=speaker)
+        if isinstance(body, Not) and isinstance(body.body, Not):
+            inner = self._search(wrap(body.body.body), pending, depth + 1)
+            if inner is not None:
+                return Rule("dneg_intro", (inner,), wrap(body),
+                            context=speaker)
+
+        # Projection out of a conjunction the speaker uttered whole.
+        for cred in self.credentials:
+            if isinstance(cred, Says) and cred.speaker == speaker:
+                if isinstance(cred.body, And):
+                    side = self._project_conjunct(cred, body, speaker)
+                    if side is not None:
+                        return side
+                # Modus ponens inside the worldview.
+                if (isinstance(cred.body, Implies)
+                        and cred.body.consequent == body):
+                    antecedent = self._search(wrap(cred.body.antecedent),
+                                              pending, depth + 1)
+                    if antecedent is not None:
+                        return Rule("imp_elim", (antecedent, Assume(cred)),
+                                    wrap(body), context=speaker)
+
+        # Ex falso inside the worldview: P says false lets P say anything.
+        false_cred = Says(speaker, FalseFormula())
+        if false_cred in self.credentials:
+            return Rule("false_elim", (Assume(false_cred),), wrap(body),
+                        context=speaker)
+        return None
+
+    @staticmethod
+    def _project_conjunct(cred: Says, body: Formula,
+                          speaker: Principal) -> Optional[Proof]:
+        conj = cred.body
+        if conj.left == body:
+            return Rule("and_elim_l", (Assume(cred),), Says(speaker, body),
+                        context=speaker)
+        if conj.right == body:
+            return Rule("and_elim_r", (Assume(cred),), Says(speaker, body),
+                        context=speaker)
+        return None
+
+    def _prove_speaksfor(self, goal: Speaksfor, pending, depth):
+        # Handoff: the target itself uttered the delegation.
+        handoff_cred = Says(goal.right, goal)
+        if handoff_cred in self.credentials:
+            return Rule("handoff", (Assume(handoff_cred),), goal)
+        proof = self._search(handoff_cred, pending, depth + 1)
+        if proof is not None:
+            return Rule("handoff", (proof,), goal)
+        # Transitivity through an intermediate delegation credential.
+        if goal.scope is None:
+            for cred in self.credentials:
+                if (isinstance(cred, Speaksfor) and cred.scope is None
+                        and cred.left == goal.left and cred.right != goal.right):
+                    rest = self._search(Speaksfor(cred.right, goal.right),
+                                        pending, depth + 1)
+                    if rest is not None:
+                        return Rule("speaksfor_trans",
+                                    (Assume(cred), rest), goal)
+        return None
+
+    def _prove_by_implication(self, goal: Formula, pending, depth):
+        for cred in self.credentials:
+            if isinstance(cred, Implies) and cred.consequent == goal:
+                antecedent = self._search(cred.antecedent, pending, depth + 1)
+                if antecedent is not None:
+                    return Rule("imp_elim", (antecedent, Assume(cred)), goal)
+        return None
+
+
+def prove(goal: Formula, credentials: Sequence[Formula],
+          authorities: Optional[Dict[Formula, str]] = None) -> Proof:
+    """One-shot convenience wrapper around :class:`Prover`."""
+    return Prover(credentials, authorities).prove(goal)

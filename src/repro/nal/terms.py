@@ -1,0 +1,155 @@
+"""Principals and terms of the Nexus Authorization Logic (NAL).
+
+NAL principals (§2.1):
+
+* **Names** — atomic principals such as ``NTP`` or ``/proc/ipd/12``. The
+  Nexus names processes by introspection paths, so slashes are legal name
+  characters.
+* **Subprincipals** — ``A.tau`` satisfies ``A speaksfor A.tau`` by
+  definition. They express dependency: processes are subprincipals of the
+  kernel, the kernel of the hardware platform.
+* **Key principals** — ``key:<hex>``, a principal identified by the
+  fingerprint of a public key; whoever controls the key speaks for it.
+* **Groups** — ``group:name``; members are related to the group with
+  ordinary ``speaksfor`` credentials.
+
+Terms are the arguments of predicates: constants (strings, integers),
+principals, and goal *variables* (``?X``) that guards instantiate when
+matching a client's proof against a goal formula (§2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+
+class Term:
+    """Base class for anything that may appear inside a predicate."""
+
+    def substitute(self, mapping: Mapping["Var", "Term"]) -> "Term":
+        return self
+
+    def variables(self) -> Iterator["Var"]:
+        return iter(())
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant: a string or an integer."""
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int):
+            return str(self.value)
+        return f'"{self.value}"'
+
+
+class Principal(Term):
+    """Base class for NAL principals. Principals are also terms."""
+
+    def sub(self, tag: str) -> "SubPrincipal":
+        """Construct the subprincipal ``self.tag``."""
+        return SubPrincipal(self, tag)
+
+    def is_ancestor_of(self, other: "Principal") -> bool:
+        """True when ``other`` is ``self`` or a (transitive) subprincipal.
+
+        By the subprincipal axiom this is exactly when
+        ``self speaksfor other`` holds with no further credentials.
+        """
+        while isinstance(other, SubPrincipal):
+            if other == self:
+                return True
+            other = other.parent
+        return other == self
+
+
+@dataclass(frozen=True)
+class Var(Principal):
+    """A goal variable, written ``?X``; instantiated at guard-check time.
+
+    Variables subclass :class:`Principal` so goal formulas can quantify
+    over speakers (``?X says openFile(f)``) as well as predicate arguments.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def substitute(self, mapping: Mapping["Var", Term]) -> Term:
+        return mapping.get(self, self)
+
+    def variables(self) -> Iterator["Var"]:
+        yield self
+
+
+@dataclass(frozen=True)
+class Name(Principal):
+    """An atomic principal name, e.g. ``NTP`` or ``/proc/ipd/12``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SubPrincipal(Principal):
+    """``parent.tag`` — speaks-for flows from parent to subprincipal."""
+
+    parent: Principal
+    tag: str
+
+    def __str__(self) -> str:
+        return f"{self.parent}.{self.tag}"
+
+    def substitute(self, mapping: Mapping["Var", Term]) -> Term:
+        parent = self.parent.substitute(mapping)
+        return SubPrincipal(parent, self.tag)
+
+    def variables(self) -> Iterator["Var"]:
+        yield from self.parent.variables()
+
+
+@dataclass(frozen=True)
+class KeyPrincipal(Principal):
+    """A principal named by a public-key fingerprint (hex)."""
+
+    fingerprint: str
+
+    def __str__(self) -> str:
+        return f"key:{self.fingerprint}"
+
+
+@dataclass(frozen=True)
+class Group(Principal):
+    """A group principal; members speak for the group via credentials."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"group:{self.name}"
+
+
+def principal(spec: Union[str, Principal]) -> Principal:
+    """Coerce a dotted name string into a principal.
+
+    ``principal("kernel.proc.12")`` builds nested subprincipals;
+    ``principal("key:ab12")`` builds a key principal;
+    ``principal("group:admins")`` a group. Path-style names
+    (``/proc/ipd/12``) stay atomic: slashes do not split.
+    """
+    if isinstance(spec, Principal):
+        return spec
+    if spec.startswith("key:"):
+        return KeyPrincipal(spec[len("key:"):])
+    if spec.startswith("group:"):
+        return Group(spec[len("group:"):])
+    parts = spec.split(".")
+    base: Principal = Name(parts[0])
+    for tag in parts[1:]:
+        base = SubPrincipal(base, tag)
+    return base

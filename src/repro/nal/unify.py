@@ -1,0 +1,125 @@
+"""Pattern matching of goal formulas against concrete formulas.
+
+Goal formulas (§2.5) use calligraphic identifiers — here ``?X`` variables —
+that are "instantiated for guard evaluation": the guard matches the client's
+proof conclusion against the goal pattern and extracts bindings, then checks
+side conditions (e.g. that ``?X`` really is the requesting subject).
+
+Matching is one-way (pattern may contain variables, subject may not), which
+keeps it linear-time and decidable — the guard must stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import UnificationError
+from repro.nal.formula import (
+    And,
+    Compare,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    TrueFormula,
+)
+from repro.nal.terms import Const, Group, KeyPrincipal, Name, SubPrincipal, Term, Var
+
+Bindings = Dict[Var, Term]
+
+
+def match_term(pattern: Term, subject: Term,
+               bindings: Optional[Bindings] = None) -> Bindings:
+    """Match a term pattern; extends and returns ``bindings``."""
+    if bindings is None:
+        bindings = {}
+    if isinstance(pattern, Var):
+        bound = bindings.get(pattern)
+        if bound is None:
+            bindings[pattern] = subject
+            return bindings
+        if bound != subject:
+            raise UnificationError(
+                f"variable ?{pattern.name} bound to both {bound} and {subject}")
+        return bindings
+    if isinstance(pattern, SubPrincipal) and isinstance(subject, SubPrincipal):
+        if pattern.tag != subject.tag:
+            raise UnificationError(
+                f"subprincipal tags differ: {pattern.tag} vs {subject.tag}")
+        return match_term(pattern.parent, subject.parent, bindings)
+    if isinstance(pattern, (Name, KeyPrincipal, Group, Const)):
+        if pattern != subject:
+            raise UnificationError(f"term mismatch: {pattern} vs {subject}")
+        return bindings
+    raise UnificationError(f"cannot match pattern term {pattern}")
+
+
+def match(pattern: Formula, subject: Formula,
+          bindings: Optional[Bindings] = None) -> Bindings:
+    """Match a goal pattern against a ground formula.
+
+    Returns the variable bindings on success; raises
+    :class:`UnificationError` on any mismatch.
+    """
+    if bindings is None:
+        bindings = {}
+    if isinstance(pattern, (TrueFormula, FalseFormula)):
+        if type(pattern) is not type(subject):
+            raise UnificationError(f"mismatch: {pattern} vs {subject}")
+        return bindings
+    if isinstance(pattern, Pred):
+        if (not isinstance(subject, Pred) or pattern.name != subject.name
+                or len(pattern.args) != len(subject.args)):
+            raise UnificationError(f"predicate mismatch: {pattern} vs {subject}")
+        for p_arg, s_arg in zip(pattern.args, subject.args):
+            match_term(p_arg, s_arg, bindings)
+        return bindings
+    if isinstance(pattern, Compare):
+        if not isinstance(subject, Compare) or pattern.op != subject.op:
+            raise UnificationError(f"comparison mismatch: {pattern} vs {subject}")
+        match_term(pattern.left, subject.left, bindings)
+        match_term(pattern.right, subject.right, bindings)
+        return bindings
+    if isinstance(pattern, Says):
+        if not isinstance(subject, Says):
+            raise UnificationError(f"says mismatch: {pattern} vs {subject}")
+        match_term(pattern.speaker, subject.speaker, bindings)
+        return match(pattern.body, subject.body, bindings)
+    if isinstance(pattern, Speaksfor):
+        if not isinstance(subject, Speaksfor):
+            raise UnificationError(f"speaksfor mismatch: {pattern} vs {subject}")
+        match_term(pattern.left, subject.left, bindings)
+        match_term(pattern.right, subject.right, bindings)
+        if (pattern.scope is None) != (subject.scope is None):
+            raise UnificationError("speaksfor scope arity mismatch")
+        if pattern.scope is not None:
+            match_term(pattern.scope, subject.scope, bindings)
+        return bindings
+    if isinstance(pattern, Not):
+        if not isinstance(subject, Not):
+            raise UnificationError(f"negation mismatch: {pattern} vs {subject}")
+        return match(pattern.body, subject.body, bindings)
+    for klass, fields in ((And, ("left", "right")),
+                          (Or, ("left", "right")),
+                          (Implies, ("antecedent", "consequent"))):
+        if isinstance(pattern, klass):
+            if not isinstance(subject, klass):
+                raise UnificationError(f"connective mismatch: "
+                                       f"{pattern} vs {subject}")
+            for field in fields:
+                match(getattr(pattern, field), getattr(subject, field), bindings)
+            return bindings
+    raise UnificationError(f"unsupported pattern {pattern!r}")
+
+
+def matches(pattern: Formula, subject: Formula) -> bool:
+    """Boolean convenience wrapper around :func:`match`."""
+    try:
+        match(pattern, subject)
+    except UnificationError:
+        return False
+    return True

@@ -1,0 +1,96 @@
+"""Worldviews: per-principal belief sets (§2.1).
+
+"Each NAL principal has a worldview, a set of formulas that principal
+believes to hold. The NAL formula ``P says S`` is interpreted to mean: S
+is in the worldview of P. ... if ``A speaksfor B`` holds, then the
+worldview of A is a subset of the worldview of B."
+
+This module gives that model an executable form, useful for reasoning
+about policies outside the kernel fast path (the guard itself never
+materializes worldviews — it only checks proofs). ``believes`` is
+deliberately conservative: it asks the (incomplete, untrusted) prover
+whether the belief is derivable, so a True answer is always sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Union
+
+from repro.errors import ProofError
+from repro.nal.formula import Formula, Says, Speaksfor
+from repro.nal.parser import parse, parse_principal
+from repro.nal.prover import Prover
+from repro.nal.terms import Principal
+
+
+class WorldviewStore:
+    """A universe of principals' stated beliefs and delegations."""
+
+    def __init__(self, statements: Iterable[Union[str, Formula]] = ()):
+        self._statements: List[Formula] = []
+        for statement in statements:
+            self.add(statement)
+
+    def add(self, statement: Union[str, Formula]) -> Formula:
+        formula = parse(statement)
+        if formula not in self._statements:
+            self._statements.append(formula)
+        return formula
+
+    def statements(self) -> tuple:
+        return tuple(self._statements)
+
+    # -- queries ----------------------------------------------------------------
+
+    def believes(self, principal: Union[str, Principal],
+                 belief: Union[str, Formula]) -> bool:
+        """Is ``belief`` derivably in the principal's worldview?
+
+        Equivalent to asking whether ``principal says belief`` is
+        provable from the stated universe.
+        """
+        principal = parse_principal(principal)
+        belief = parse(belief)
+        goal = Says(principal, belief)
+        try:
+            Prover(self._statements).prove(goal)
+        except ProofError:
+            return False
+        return True
+
+    def speaks_for(self, speaker: Union[str, Principal],
+                   target: Union[str, Principal]) -> bool:
+        """Is the delegation derivable (axioms, handoff, transitivity)?"""
+        speaker = parse_principal(speaker)
+        target = parse_principal(target)
+        try:
+            Prover(self._statements).prove(Speaksfor(speaker, target))
+        except ProofError:
+            return False
+        return True
+
+    def worldview_of(self, principal: Union[str, Principal],
+                     candidates: Optional[Iterable[Formula]] = None
+                     ) -> Set[Formula]:
+        """The subset of candidate beliefs this principal holds.
+
+        Worldviews are infinite (beliefs are closed under deduction), so
+        the query is always relative to a finite candidate set; by
+        default, every body of every stated ``says``.
+        """
+        if candidates is None:
+            candidates = {
+                statement.body for statement in self._statements
+                if isinstance(statement, Says)
+            }
+        principal = parse_principal(principal)
+        return {belief for belief in candidates
+                if self.believes(principal, belief)}
+
+    def subset_check(self, speaker, target,
+                     candidates: Optional[Iterable[Formula]] = None) -> bool:
+        """Verify the semantic reading of speaksfor: the speaker's
+        (candidate-relative) worldview is a subset of the target's."""
+        speaker_view = self.worldview_of(speaker, candidates)
+        target_view = self.worldview_of(target, candidates)
+        return speaker_view <= target_view

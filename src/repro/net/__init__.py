@@ -1,0 +1,23 @@
+"""Network substrate: simulated NIC, DDRM-confined driver, UDP echo rig,
+and a minimal HTTP layer."""
+
+from repro.net.nic import NIC, Packet, PageTable
+from repro.net.ddrm import DDRM, DRIVER_ALLOWED_OPS, DRIVER_FORBIDDEN_OPS
+from repro.net.driver import NetDriver
+from repro.net.udp import CONFIGS, PolicyCheckMonitor, UDPEchoRig
+from repro.net.http import (
+    HTTPRequest,
+    HTTPResponse,
+    Router,
+    parse_request,
+    parse_response,
+)
+
+__all__ = [
+    "NIC", "Packet", "PageTable",
+    "DDRM", "DRIVER_ALLOWED_OPS", "DRIVER_FORBIDDEN_OPS",
+    "NetDriver",
+    "CONFIGS", "PolicyCheckMonitor", "UDPEchoRig",
+    "HTTPRequest", "HTTPResponse", "Router", "parse_request",
+    "parse_response",
+]

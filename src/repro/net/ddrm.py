@@ -1,0 +1,82 @@
+"""Device Driver Reference Monitors (§4.1, citing Williams et al. [56]).
+
+A DDRM constrains a user-level driver to a *device driver safety policy*:
+only device-management operations (page allocation, granting, DMA setup,
+interrupt handling) and IPC to a designated channel are permitted; reading
+or writing page contents is not. Under a DDRM even a malicious driver
+cannot exfiltrate packet data — and the monitor can issue the labels that
+Fauxbook's privacy argument rests on: "the reference monitor only forwards
+unmodified data between network device and the web server".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.kernel.interposition import CallDecision, ReferenceMonitor
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+
+#: The device-driver safety policy: everything a NIC driver needs, and
+#: nothing that touches data.
+DRIVER_ALLOWED_OPS: Set[str] = {
+    "drv_alloc_page",
+    "drv_grant_page",
+    "drv_dma_setup",
+    "drv_wait_interrupt",
+    "drv_transmit",
+    "ipc_send",
+    "ipc_recv",
+}
+
+#: Operations the policy exists to forbid.
+DRIVER_FORBIDDEN_OPS: Set[str] = {"page_read", "page_write", "open", "read",
+                                  "write", "unlink"}
+
+
+class DDRM(ReferenceMonitor):
+    """The reference monitor enforcing the driver safety policy."""
+
+    name = "ddrm"
+
+    def __init__(self, driver_pid: int, allowed_ipc_ports: Set[int],
+                 allowed: Optional[Set[str]] = None):
+        self.driver_pid = driver_pid
+        self.allowed = set(allowed if allowed is not None
+                           else DRIVER_ALLOWED_OPS)
+        self.allowed_ipc_ports = set(allowed_ipc_ports)
+        self.denials = 0
+
+    def on_call(self, subject, operation, obj, args) -> CallDecision:
+        if operation not in self.allowed:
+            self.denials += 1
+            return CallDecision.deny()
+        if operation in ("ipc_send", "ipc_recv"):
+            port_id = args[0] if args else obj
+            if port_id not in self.allowed_ipc_ports:
+                self.denials += 1
+                return CallDecision.deny()
+        return CallDecision.allow()
+
+    # -- the synthetic-basis labels (§4.1) -------------------------------------
+
+    def confinement_labels(self, kernel: NexusKernel) -> list[Formula]:
+        """Labels the DDRM issues about the driver it confines.
+
+        These become credentials other parties (the web server, remote
+        Fauxbook users) use to conclude the driver cannot leak data.
+        """
+        driver = f"/proc/ipd/{self.driver_pid}"
+        statements = [
+            f"noPageAccess({driver})",
+            f"forwardsUnmodified({driver})",
+        ]
+        statements.extend(
+            f"ipcRestrictedTo({driver}, IPC.{port})"
+            for port in sorted(self.allowed_ipc_ports))
+        labels = []
+        for statement in statements:
+            label = kernel.say_as("DDRM", statement)
+            labels.append(label.formula)
+        return labels

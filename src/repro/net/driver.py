@@ -1,0 +1,106 @@
+"""The user-level network driver, confined by a DDRM.
+
+The driver's job per packet: take an interrupt, learn which DMA page the
+device filled, and hand a *page reference* (never the bytes) to the
+application over its one permitted IPC channel; on the way out, point the
+device at the page to transmit. Every operation is a syscall routed
+through the driver's syscall channel, which is where the DDRM interposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.errors import AccessDenied
+from repro.kernel.kernel import NexusKernel
+from repro.net.ddrm import DDRM
+from repro.net.nic import NIC, PageTable
+
+
+class NetDriver:
+    """A user-level NIC driver process."""
+
+    def __init__(self, kernel: NexusKernel, nic: NIC, pages: PageTable,
+                 app_port_id: int, confined: bool = True):
+        self.kernel = kernel
+        self.nic = nic
+        self.pages = pages
+        self.app_port_id = app_port_id
+        self.process = kernel.create_process("net-driver",
+                                             image=b"e1000-driver")
+        self.ddrm: Optional[DDRM] = None
+        self._register_syscalls()
+        if confined:
+            self.ddrm = DDRM(self.process.pid,
+                             allowed_ipc_ports={app_port_id})
+            kernel.interpose_syscall_channel(self.process.pid, self.ddrm)
+
+    # -- syscall surface -----------------------------------------------------
+
+    def _register_syscalls(self) -> None:
+        kernel = self.kernel
+
+        def alloc_page(k, pid):
+            # Pages are allocated *without* driver access rights: the
+            # driver manages them but cannot look inside.
+            return self.pages.alloc(owner=f"pid:{pid}",
+                                    grant_owner_access=False)
+
+        def grant_page(k, pid, page_id, subject):
+            self.pages.grant(page_id, subject, {"read", "write"})
+
+        def dma_setup(k, pid, page_id):
+            self.nic.dma_setup(page_id)
+
+        def wait_interrupt(k, pid):
+            return self.nic.raise_interrupt()
+
+        def transmit(k, pid, page_id, length):
+            self.nic.transmit_page(page_id, length)
+
+        kernel.register_syscall("drv_alloc_page", alloc_page)
+        kernel.register_syscall("drv_grant_page", grant_page)
+        kernel.register_syscall("drv_dma_setup", dma_setup)
+        kernel.register_syscall("drv_wait_interrupt", wait_interrupt)
+        kernel.register_syscall("drv_transmit", transmit)
+
+    def _sys(self, name: str, *args):
+        return self.kernel.syscall(self.process.pid, name, *args)
+
+    # -- per-packet work --------------------------------------------------------
+
+    def prepare_rx_page(self) -> int:
+        page_id = self._sys("drv_alloc_page")
+        self._sys("drv_grant_page", page_id, NIC.DMA_SUBJECT)
+        self._sys("drv_dma_setup", page_id)
+        return page_id
+
+    def rearm(self, page_id: int) -> None:
+        """Recycle a drained page back into the RX ring (real drivers
+        never allocate per packet)."""
+        self._sys("drv_dma_setup", page_id)
+
+    def pump_one(self) -> Optional[Tuple[int, int]]:
+        """Service one interrupt: deliver a (page, length) reference to
+        the application and return it, or None when idle."""
+        event = self._sys("drv_wait_interrupt")
+        if event is None:
+            return None
+        page_id, length = event
+        # Grant the *application* access to the payload page, then hand
+        # over the reference. The driver itself still cannot read it.
+        self._sys("drv_grant_page", page_id, "app")
+        self.kernel.ipc_send(self.process.pid, self.app_port_id,
+                             (page_id, length))
+        return page_id, length
+
+    def transmit(self, page_id: int, length: int) -> None:
+        self._sys("drv_transmit", page_id, length)
+
+    # -- negative capability, for tests and labels --------------------------------
+
+    def try_read_page(self, page_id: int, length: int) -> bytes:
+        """What a malicious driver would attempt; must raise AccessDenied
+        both at the page-rights layer and (if called as a syscall) at the
+        DDRM."""
+        return self.pages.read(f"pid:{self.process.pid}", page_id, length)

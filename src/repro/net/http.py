@@ -1,0 +1,117 @@
+"""A minimal HTTP layer for the Fauxbook stack (§4.1, Figure 3).
+
+Only what the three-tier pipeline needs: request/response objects, a
+wire-format round trip (the web server really parses bytes, since its job
+in the paper is exactly the IP→HTTP→FastCGI translation), and a router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import AppError
+
+STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HTTPRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        headers = dict(self.headers)
+        if self.body:
+            headers["Content-Length"] = str(len(self.body))
+        lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        return head + self.body
+
+
+@dataclass
+class HTTPResponse:
+    status: int
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        text = STATUS_TEXT.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {text}"]
+        headers = dict(self.headers)
+        headers["Content-Length"] = str(len(self.body))
+        lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        return head + self.body
+
+
+def parse_request(raw: bytes) -> HTTPRequest:
+    try:
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip()] = value.strip()
+        return HTTPRequest(method=method, path=path, headers=headers,
+                           body=body)
+    except (ValueError, IndexError) as exc:
+        raise AppError(f"malformed HTTP request: {exc}") from exc
+
+
+def parse_response(raw: bytes) -> HTTPResponse:
+    try:
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        _version, status, *_ = lines[0].split(" ", 2)
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip()] = value.strip()
+        return HTTPResponse(status=int(status), body=body, headers=headers)
+    except (ValueError, IndexError) as exc:
+        raise AppError(f"malformed HTTP response: {exc}") from exc
+
+
+Handler = Callable[[HTTPRequest], HTTPResponse]
+
+
+class Router:
+    """Longest-prefix route table: (method, prefix) → handler."""
+
+    def __init__(self):
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+
+    def add(self, method: str, prefix: str, handler: Handler) -> None:
+        self._routes[(method.upper(), prefix)] = handler
+
+    def dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        best: Optional[Tuple[str, Handler]] = None
+        for (method, prefix), handler in self._routes.items():
+            if method != request.method.upper():
+                continue
+            if request.path.startswith(prefix):
+                if best is None or len(prefix) > len(best[0]):
+                    best = (prefix, handler)
+        if best is None:
+            return HTTPResponse(status=404, body=b"not found")
+        try:
+            return best[1](request)
+        except AppError as exc:
+            return HTTPResponse(status=403, body=str(exc).encode())

@@ -1,0 +1,131 @@
+"""A simulated network interface card with a DMA page model.
+
+The Nexus NIC driver operates by allocating memory pages, granting them to
+the NIC, setting up DMA, and handling interrupts (§4.1). Crucially, the
+driver can do all of that *without read or write access to the page
+contents* — which is exactly the property its DDRM enforces and its labels
+attest. We model pages as kernel-owned buffers with an explicit rights
+table so that "the driver cannot read the page" is a checkable fact, not a
+convention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import AccessDenied, KernelError
+
+
+@dataclass
+class Packet:
+    payload: bytes
+    src: str = "remote"
+    dst: str = "local"
+
+    def __len__(self):
+        return len(self.payload)
+
+
+class PageTable:
+    """Kernel memory pages with per-subject access rights.
+
+    Rights are (subject, page) → {"read", "write"}. The NIC device engine
+    accesses pages as subject ``"dma"``.
+    """
+
+    def __init__(self, page_size: int = 2048):
+        self.page_size = page_size
+        self._pages: Dict[int, bytearray] = {}
+        self._rights: Dict[Tuple[str, int], Set[str]] = {}
+        self._next_id = 1
+
+    def alloc(self, owner: str, grant_owner_access: bool = True) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = bytearray(self.page_size)
+        if grant_owner_access:
+            self._rights[(owner, page_id)] = {"read", "write"}
+        else:
+            self._rights[(owner, page_id)] = set()
+        return page_id
+
+    def grant(self, page_id: int, subject: str, rights: Set[str]) -> None:
+        self._check_page(page_id)
+        self._rights[(subject, page_id)] = set(rights)
+
+    def revoke(self, page_id: int, subject: str) -> None:
+        self._rights.pop((subject, page_id), None)
+
+    def _check_page(self, page_id: int) -> None:
+        if page_id not in self._pages:
+            raise KernelError(f"no such page {page_id}")
+
+    def _check_right(self, subject: str, page_id: int, right: str) -> None:
+        self._check_page(page_id)
+        if right not in self._rights.get((subject, page_id), set()):
+            raise AccessDenied(
+                f"{subject} lacks {right} access to page {page_id}",
+                subject=subject, operation=f"page_{right}",
+                resource=page_id)
+
+    def read(self, subject: str, page_id: int, length: int) -> bytes:
+        self._check_right(subject, page_id, "read")
+        return bytes(self._pages[page_id][:length])
+
+    def write(self, subject: str, page_id: int, data: bytes) -> None:
+        self._check_right(subject, page_id, "write")
+        if len(data) > self.page_size:
+            raise KernelError("data exceeds page size")
+        self._pages[page_id][:len(data)] = data
+
+
+class NIC:
+    """The device: DMA descriptor rings over granted pages."""
+
+    DMA_SUBJECT = "dma"
+
+    def __init__(self, pages: PageTable):
+        self.pages = pages
+        self.rx_queue: Deque[Packet] = deque()
+        self.tx_log: List[Packet] = []
+        self._rx_ring: Deque[int] = deque()  # granted page ids
+        self.interrupts = 0
+
+    # -- wire side ------------------------------------------------------------
+
+    def wire_deliver(self, packet: Packet) -> None:
+        """A packet arrives from the network."""
+        self.rx_queue.append(packet)
+
+    # -- driver side --------------------------------------------------------------
+
+    def dma_setup(self, page_id: int) -> None:
+        """Point a DMA descriptor at a granted page (driver op)."""
+        self.pages._check_page(page_id)
+        self._rx_ring.append(page_id)
+
+    def raise_interrupt(self) -> Optional[Tuple[int, int]]:
+        """Move one received packet into the next DMA page.
+
+        Returns (page_id, length) as the interrupt payload, or None when
+        either queue is empty. The *device* writes the page; the driver
+        never has to.
+        """
+        if not self.rx_queue or not self._rx_ring:
+            return None
+        packet = self.rx_queue.popleft()
+        page_id = self._rx_ring.popleft()
+        self.pages.write(self.DMA_SUBJECT, page_id, packet.payload)
+        self.interrupts += 1
+        return page_id, len(packet.payload)
+
+    def transmit_page(self, page_id: int, length: int) -> None:
+        """Send a page's contents out on the wire (device-side copy)."""
+        payload = self.pages.read(self.DMA_SUBJECT, page_id, length)
+        self.tx_log.append(Packet(payload=payload, src="local", dst="remote"))
+
+    def transmit_bytes(self, payload: bytes) -> None:
+        """Direct transmit used by the in-kernel driver configurations."""
+        self.tx_log.append(Packet(payload=payload, src="local", dst="remote"))

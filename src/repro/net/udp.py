@@ -1,0 +1,191 @@
+"""The UDP echo rig behind Figure 7.
+
+The paper measures a 27-line UDP echo server under progressively more of
+the interpositioning machinery:
+
+* ``kern-int``  — echo directly inside the (kernel) interrupt handler;
+* ``user-int``  — untrusted echo code run from the interrupt context
+  through a marshalling trampoline;
+* ``kern-drv``  — an in-kernel driver delivering to a separate echo
+  process over IPC;
+* ``user-drv``  — the realistic case: user-level driver, DMA pages, IPC;
+* ``kref``      — user-level driver with a *kernel* reference monitor
+  enforcing the device-driver safety policy;
+* ``uref``      — the reference monitor itself is a user-level process,
+  adding an IPC hop per check.
+
+For the monitored configurations, per-operation policy decisions flow
+through the normal authorization path, so the kernel decision cache
+(enabled = the paper's ``min`` bars, disabled = ``max``) determines
+whether each packet pays a guard upcall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.guard import GuardDecision
+from repro.kernel.interposition import CallDecision, ReferenceMonitor
+from repro.kernel.kernel import NexusKernel
+from repro.nal.proof import Assume, ProofBundle
+from repro.nal.parser import parse
+from repro.net.driver import NetDriver
+from repro.net.nic import NIC, PageTable, Packet
+
+CONFIGS = ("kern-int", "user-int", "kern-drv", "user-drv", "kref", "uref")
+
+
+class PolicyCheckMonitor(ReferenceMonitor):
+    """A reference monitor that authorizes every driver operation against
+    the device-driver safety policy through the guard/decision-cache path.
+
+    ``user_level`` adds an IPC round trip to a monitor process before the
+    check, modelling the uref configuration.
+    """
+
+    name = "policy-check"
+
+    def __init__(self, kernel: NexusKernel, driver_pid: int,
+                 policy_resource_id: int, bundle: ProofBundle,
+                 monitor_port_id: Optional[int] = None):
+        self.kernel = kernel
+        self.driver_pid = driver_pid
+        self.policy_resource_id = policy_resource_id
+        self.bundle = bundle
+        self.monitor_port_id = monitor_port_id
+        self.checks = 0
+
+    def on_call(self, subject, operation, obj, args) -> CallDecision:
+        self.checks += 1
+        if self.monitor_port_id is not None:
+            # uref: consult the user-level monitor process first.
+            decision = self.kernel.ipc_call(self.driver_pid,
+                                            self.monitor_port_id, operation)
+        else:
+            decision = self.kernel.authorize(
+                self.driver_pid, "drv_policy", self.policy_resource_id,
+                self.bundle)
+        if isinstance(decision, GuardDecision) and not decision.allow:
+            return CallDecision.deny()
+        if decision is False:
+            return CallDecision.deny()
+        return CallDecision.allow()
+
+
+class UDPEchoRig:
+    """Builds one Figure 7 configuration and echoes packets through it."""
+
+    def __init__(self, config: str, cache_enabled: bool = True):
+        if config not in CONFIGS:
+            raise ValueError(f"unknown configuration {config!r}")
+        self.config = config
+        self.kernel = NexusKernel()
+        self.kernel.decision_cache.enabled = cache_enabled
+        self.pages = PageTable()
+        self.nic = NIC(self.pages)
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        kernel = self.kernel
+        self.app = kernel.create_process("echo-app", image=b"udp-echo")
+        self.app_port = kernel.create_port(self.app.pid, "echo-app",
+                                           handler=self._echo_handler)
+        if self.config in ("kern-int", "user-int", "kern-drv"):
+            self.driver = None
+        else:
+            self.driver = NetDriver(kernel, self.nic, self.pages,
+                                    app_port_id=self.app_port.port_id,
+                                    confined=False)
+            if self.config in ("kref", "uref"):
+                self._install_policy_monitor()
+
+    def _echo_handler(self, payload: bytes) -> bytes:
+        return payload
+
+    def _install_policy_monitor(self) -> None:
+        kernel = self.kernel
+        driver_pid = self.driver.process.pid
+        policy = kernel.resources.create("/policy/ddrm", "policy",
+                                         kernel.processes.get(
+                                             driver_pid).principal)
+        owner_path = f"/proc/ipd/{driver_pid}"
+        kernel.sys_setgoal(driver_pid, policy.resource_id, "drv_policy",
+                           "DDRMCertifier says compliant(?Subject)")
+        cred = kernel.say_as(
+            "DDRMCertifier", f"compliant({owner_path})",
+            store=kernel.default_labelstore(driver_pid)).formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+
+        monitor_port_id = None
+        if self.config == "uref":
+            monitor_proc = kernel.create_process("user-monitor",
+                                                 image=b"uref-monitor")
+            port = kernel.create_port(
+                monitor_proc.pid, "uref",
+                handler=lambda op: kernel.authorize(
+                    driver_pid, "drv_policy", policy.resource_id, bundle))
+            monitor_port_id = port.port_id
+
+        self.monitor = PolicyCheckMonitor(
+            kernel, driver_pid, policy.resource_id, bundle,
+            monitor_port_id=monitor_port_id)
+        kernel.interpose_syscall_channel(driver_pid, self.monitor)
+
+    # -- the echo paths ------------------------------------------------------
+
+    def echo_one(self, payload: bytes) -> bytes:
+        self.nic.wire_deliver(Packet(payload=payload))
+        method = getattr(self, "_echo_" + self.config.replace("-", "_"))
+        method()
+        return self.nic.tx_log.pop().payload
+
+    def _echo_kern_int(self) -> None:
+        # Echo directly within the interrupt handler: no IPC, no copies.
+        packet = self.nic.rx_queue.popleft()
+        self.nic.transmit_bytes(packet.payload)
+
+    def _echo_user_int(self) -> None:
+        # Untrusted code in the interrupt context still pays marshalling.
+        packet = self.nic.rx_queue.popleft()
+        payload = bytes(packet.payload)  # copy in
+        result = self._echo_handler(payload)
+        self.nic.transmit_bytes(bytes(result))  # copy out
+
+    def _echo_kern_drv(self) -> None:
+        # Kernel driver, separate echo server process, one IPC round trip.
+        packet = self.nic.rx_queue.popleft()
+        result = self.kernel.ipc_call(self.app.pid, self.app_port.port_id,
+                                      packet.payload)
+        self.nic.transmit_bytes(result)
+
+    def _echo_user_drv(self) -> None:
+        self._pump_driver()
+
+    _echo_kref = _echo_user_drv
+    _echo_uref = _echo_user_drv
+
+    def _pump_driver(self) -> None:
+        driver = self.driver
+        if not hasattr(self, "_rx_page"):
+            self._rx_page = driver.prepare_rx_page()
+        else:
+            driver.rearm(self._rx_page)
+        event = driver.pump_one()
+        assert event is not None, "driver had no packet to pump"
+        page_id, length = event
+        # The application (which *does* have page access) echoes in place.
+        payload = self.pages.read("app", page_id, length)
+        result = self.kernel.ipc_call(self.app.pid, self.app_port.port_id,
+                                      payload)
+        self.pages.write("app", page_id, result)
+        driver.transmit(page_id, len(result))
+
+    # -- measurement helper ----------------------------------------------------
+
+    def echo_many(self, count: int, size: int) -> int:
+        payload = b"x" * size
+        for _ in range(count):
+            self.echo_one(payload)
+        return count

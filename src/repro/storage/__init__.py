@@ -1,0 +1,15 @@
+"""Attested storage: Merkle trees, VDIRs, VKEYs, SSRs over a faulty disk."""
+
+from repro.storage.blockdev import Disk
+from repro.storage.merkle import MerkleTree
+from repro.storage.vdir import DIR_CUR, DIR_NEW, STATE_CURRENT, STATE_NEW, VDIRRegistry
+from repro.storage.vkey import VKey, VKeyManager
+from repro.storage.ssr import DEFAULT_BLOCK_SIZE, SecureStorageRegion
+
+__all__ = [
+    "Disk",
+    "MerkleTree",
+    "DIR_CUR", "DIR_NEW", "STATE_CURRENT", "STATE_NEW", "VDIRRegistry",
+    "VKey", "VKeyManager",
+    "DEFAULT_BLOCK_SIZE", "SecureStorageRegion",
+]

@@ -1,0 +1,105 @@
+"""A simulated secondary-storage device with fault injection.
+
+The paper's attested-storage protocol (§3.3) is designed around two failure
+models:
+
+* **power loss** between or during non-atomic writes to disk and TPM;
+* **offline attack** — re-imaging or selectively corrupting the disk while
+  the machine is dormant.
+
+This device makes both injectable and deterministic: a scheduled crash
+raises :class:`CrashError` on the N-th write (optionally leaving a torn,
+half-written file), and tamper/replay helpers mutate files directly, the
+way an attacker with the platter would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+from repro.errors import CrashError, NoSuchResource
+
+CrashMode = Literal["before", "torn", "after"]
+
+
+@dataclass
+class _ScheduledCrash:
+    writes_remaining: int
+    mode: CrashMode
+
+
+class Disk:
+    """A named-file block store with crash and tamper injection."""
+
+    def __init__(self):
+        self._files: Dict[str, bytes] = {}
+        self._crash: Optional[_ScheduledCrash] = None
+        self.write_count = 0
+
+    # -- normal operation ---------------------------------------------------
+
+    def write_file(self, name: str, data: bytes) -> None:
+        self._maybe_crash(name, data)
+        self._files[name] = bytes(data)
+        self.write_count += 1
+
+    def read_file(self, name: str) -> bytes:
+        if name not in self._files:
+            raise NoSuchResource(f"no such file on disk: {name}")
+        return self._files[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def list_files(self):
+        return sorted(self._files)
+
+    # -- fault injection -----------------------------------------------------
+
+    def schedule_crash(self, after_writes: int, mode: CrashMode = "before"):
+        """Crash on the (``after_writes`` + 1)-th subsequent write.
+
+        ``mode`` controls what the interrupted write leaves behind:
+        ``before`` — nothing written; ``torn`` — first half written;
+        ``after`` — data fully written, then power dies.
+        """
+        self._crash = _ScheduledCrash(writes_remaining=after_writes, mode=mode)
+
+    def cancel_crash(self) -> None:
+        self._crash = None
+
+    def _maybe_crash(self, name: str, data: bytes) -> None:
+        if self._crash is None:
+            return
+        if self._crash.writes_remaining > 0:
+            self._crash.writes_remaining -= 1
+            return
+        mode = self._crash.mode
+        self._crash = None
+        if mode == "torn":
+            self._files[name] = bytes(data[:max(1, len(data) // 2)])
+        elif mode == "after":
+            self._files[name] = bytes(data)
+        raise CrashError(f"simulated power failure during write to {name}")
+
+    # -- offline attacks ------------------------------------------------------
+
+    def corrupt_file(self, name: str, offset: int = 0) -> None:
+        """Flip a byte, as a sector-level corruption or targeted edit."""
+        data = bytearray(self.read_file(name))
+        if not data:
+            data = bytearray(b"\x00")
+        data[offset % len(data)] ^= 0xFF
+        self._files[name] = bytes(data)
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Image the disk (what a replay attacker copies)."""
+        return dict(self._files)
+
+    def restore(self, image: Dict[str, bytes]) -> None:
+        """Replay an old image over the disk."""
+        self._files = dict(image)

@@ -1,0 +1,121 @@
+"""Merkle hash trees (§3.3).
+
+Two distinct uses in the Nexus, both covered here:
+
+* the kernel-managed tree over all VDIR contents, whose root hash lives in
+  a TPM DIR register;
+* the per-SSR tree over file blocks, which "somewhat decouples the hashing
+  cost from the size of the file" and lets the kernel verify only the
+  blocks it actually reads (demand paging).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashes import constant_time_eq, sha256
+from repro.errors import IntegrityError
+
+_EMPTY_LEAF = sha256(b"merkle-empty-leaf")
+
+
+def _leaf_hash(block: bytes) -> bytes:
+    # Domain separation: leaves and inner nodes must never collide.
+    return sha256(b"\x00" + block)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(b"\x01" + left + right)
+
+
+class MerkleTree:
+    """A binary Merkle tree over a fixed number of leaf slots.
+
+    The tree is stored as a flat array of levels; updates rehash only the
+    path from the touched leaf to the root (O(log n)).
+    """
+
+    def __init__(self, blocks: Sequence[bytes], min_leaves: int = 1):
+        count = max(len(blocks), min_leaves, 1)
+        size = 1
+        while size < count:
+            size *= 2
+        self._leaf_count = size
+        leaves = [
+            _leaf_hash(blocks[i]) if i < len(blocks) else _EMPTY_LEAF
+            for i in range(size)
+        ]
+        self._levels: List[List[bytes]] = [leaves]
+        current = leaves
+        while len(current) > 1:
+            paired = [
+                _node_hash(current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+            self._levels.append(paired)
+            current = paired
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        return self._leaf_count
+
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def leaf(self, index: int) -> bytes:
+        self._check_index(index)
+        return self._levels[0][index]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._leaf_count:
+            raise IntegrityError(f"leaf index {index} out of range")
+
+    # -- updates --------------------------------------------------------------
+
+    def update(self, index: int, block: bytes) -> bytes:
+        """Replace leaf ``index`` and rehash its path; returns new root."""
+        self._check_index(index)
+        self._levels[0][index] = _leaf_hash(block)
+        position = index
+        for level in range(1, len(self._levels)):
+            position //= 2
+            left = self._levels[level - 1][2 * position]
+            right = self._levels[level - 1][2 * position + 1]
+            self._levels[level][position] = _node_hash(left, right)
+        return self.root()
+
+    # -- inclusion proofs --------------------------------------------------------
+
+    def proof(self, index: int) -> List[Tuple[bool, bytes]]:
+        """Siblings from leaf to root; each entry is (sibling_is_left, hash)."""
+        self._check_index(index)
+        path: List[Tuple[bool, bytes]] = []
+        position = index
+        for level in range(len(self._levels) - 1):
+            sibling = position ^ 1
+            sibling_is_left = sibling < position
+            path.append((sibling_is_left, self._levels[level][sibling]))
+            position //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(root: bytes, block: bytes,
+                     proof: List[Tuple[bool, bytes]]) -> None:
+        """Raise :class:`IntegrityError` unless block+proof hash to root."""
+        running = _leaf_hash(block)
+        for sibling_is_left, sibling in proof:
+            if sibling_is_left:
+                running = _node_hash(sibling, running)
+            else:
+                running = _node_hash(running, sibling)
+        if not constant_time_eq(running, root):
+            raise IntegrityError("Merkle proof does not match root hash")
+
+    def verify_block(self, index: int, block: bytes) -> None:
+        """Check a data block against the current tree (demand paging)."""
+        self._check_index(index)
+        if not constant_time_eq(self._levels[0][index], _leaf_hash(block)):
+            raise IntegrityError(
+                f"block {index} hash mismatch: tampered or replayed")

@@ -1,0 +1,190 @@
+"""Secure Storage Regions (§3.3).
+
+An SSR is an integrity-protected, optionally encrypted data store on an
+untrusted secondary storage device, giving the illusion of unlimited
+TPM-backed secure storage:
+
+* data is split into fixed-size blocks (the paper's Fauxbook deployment
+  used 1 kB);
+* each block is (optionally) encrypted with counter mode, so blocks are
+  independent — random access and demand paging work;
+* a per-SSR Merkle tree covers the stored blocks; its root is written to a
+  VDIR, which the kernel checkpoints through the TPM DIRs;
+* reads verify only the touched blocks against the tree; any offline
+  tamper or whole-image replay surfaces as :class:`IntegrityError` /
+  :class:`ReplayError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.hashes import constant_time_eq, sha256
+from repro.errors import IntegrityError, NoSuchResource, ReplayError, StorageError
+from repro.storage.blockdev import Disk
+from repro.storage.merkle import MerkleTree
+from repro.storage.vdir import VDIRRegistry
+from repro.storage.vkey import VKey
+
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class SecureStorageRegion:
+    """One SSR: a block file on disk + Merkle root in a VDIR."""
+
+    def __init__(self, name: str, disk: Disk, vdirs: VDIRRegistry,
+                 size_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                 vkey: Optional[VKey] = None):
+        if size_blocks < 1:
+            raise StorageError("SSR needs at least one block")
+        self.name = name
+        self.block_size = block_size
+        self.size_blocks = size_blocks
+        self._disk = disk
+        self._vdirs = vdirs
+        self._vkey = vkey
+        self._tree: Optional[MerkleTree] = None
+        self.vdir_id: Optional[int] = None
+
+    # -- naming ---------------------------------------------------------------
+
+    def _block_file(self, index: int) -> str:
+        return f"/ssr/{self.name}/{index}"
+
+    @property
+    def encrypted(self) -> bool:
+        return self._vkey is not None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def create(self) -> None:
+        """Allocate zeroed blocks and anchor the region in a fresh VDIR."""
+        empty = b"\x00" * self.block_size
+        stored = self._seal_block(0, empty)
+        blocks = []
+        for index in range(self.size_blocks):
+            data = self._seal_block(index, empty)
+            self._disk.write_file(self._block_file(index), data)
+            blocks.append(data)
+        del stored
+        self._tree = MerkleTree(blocks)
+        self.vdir_id = self._vdirs.create(self._tree.root())
+
+    def open(self, vdir_id: int) -> None:
+        """Re-attach to an existing SSR after reboot.
+
+        Rebuilds the Merkle tree from the on-disk blocks and checks the
+        recomputed root against the VDIR — a whole-image replay of the SSR
+        shows up here as :class:`ReplayError`.
+        """
+        blocks = []
+        for index in range(self.size_blocks):
+            name = self._block_file(index)
+            if not self._disk.exists(name):
+                raise NoSuchResource(f"SSR block file missing: {name}")
+            blocks.append(self._disk.read_file(name))
+        tree = MerkleTree(blocks)
+        expected_root = self._vdirs.read(vdir_id)
+        if not constant_time_eq(tree.root(), expected_root):
+            raise ReplayError(
+                f"SSR {self.name}: stored blocks do not match the VDIR "
+                "root — replayed or tampered image")
+        self._tree = tree
+        self.vdir_id = vdir_id
+
+    def destroy(self) -> None:
+        for index in range(self.size_blocks):
+            self._disk.delete(self._block_file(index))
+        if self.vdir_id is not None:
+            self._vdirs.destroy(self.vdir_id)
+        self.vdir_id = None
+        self._tree = None
+
+    def _require_open(self) -> MerkleTree:
+        if self._tree is None or self.vdir_id is None:
+            raise StorageError(f"SSR {self.name} is not open")
+        return self._tree
+
+    # -- encryption helpers ----------------------------------------------------------
+
+    def _nonce(self) -> bytes:
+        return sha256(b"ssr-nonce" + self.name.encode())[:8]
+
+    def _counter_base(self, index: int) -> int:
+        # Distinct counter range per block keeps the keystream unique
+        # while preserving per-block independence.
+        return index * (self.block_size // 32 + 1)
+
+    def _seal_block(self, index: int, plaintext: bytes) -> bytes:
+        if self._vkey is None:
+            return plaintext
+        cipher = self._vkey.cipher(nonce=self._nonce())
+        return cipher.encrypt(plaintext, first_block=self._counter_base(index))
+
+    def _unseal_block(self, index: int, stored: bytes) -> bytes:
+        if self._vkey is None:
+            return stored
+        cipher = self._vkey.cipher(nonce=self._nonce())
+        return cipher.decrypt(stored, first_block=self._counter_base(index))
+
+    # -- block I/O ----------------------------------------------------------------------
+
+    def read_block(self, index: int) -> bytes:
+        """Read and verify exactly one block (demand paging)."""
+        tree = self._require_open()
+        stored = self._disk.read_file(self._block_file(index))
+        tree.verify_block(index, stored)
+        return self._unseal_block(index, stored)
+
+    def write_block(self, index: int, plaintext: bytes) -> None:
+        tree = self._require_open()
+        if len(plaintext) != self.block_size:
+            raise StorageError(
+                f"block writes must be exactly {self.block_size} bytes")
+        stored = self._seal_block(index, plaintext)
+        self._disk.write_file(self._block_file(index), stored)
+        new_root = tree.update(index, stored)
+        self._vdirs.write(self.vdir_id, new_root)
+
+    # -- byte-granular convenience API -----------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range, verifying only the touched blocks."""
+        if offset < 0 or length < 0:
+            raise StorageError("negative offset or length")
+        if offset + length > self.size_blocks * self.block_size:
+            raise StorageError("read beyond end of SSR")
+        out = bytearray()
+        position = offset
+        remaining = length
+        while remaining > 0:
+            index = position // self.block_size
+            start = position % self.block_size
+            take = min(remaining, self.block_size - start)
+            block = self.read_block(index)
+            out.extend(block[start:start + take])
+            position += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write an arbitrary byte range (read-modify-write at the edges)."""
+        if offset < 0:
+            raise StorageError("negative offset")
+        if offset + len(data) > self.size_blocks * self.block_size:
+            raise StorageError("write beyond end of SSR")
+        position = offset
+        cursor = 0
+        while cursor < len(data):
+            index = position // self.block_size
+            start = position % self.block_size
+            take = min(len(data) - cursor, self.block_size - start)
+            if take == self.block_size:
+                block = data[cursor:cursor + take]
+            else:
+                block = bytearray(self.read_block(index))
+                block[start:start + take] = data[cursor:cursor + take]
+                block = bytes(block)
+            self.write_block(index, block)
+            position += take
+            cursor += take

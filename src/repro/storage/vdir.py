@@ -1,0 +1,161 @@
+"""Virtual Data Integrity Registers and the crash-consistent flush (§3.3).
+
+The TPM offers only two 20-byte DIRs; the Nexus multiplexes them into an
+arbitrary number of VDIRs by keeping a kernel Merkle tree of all VDIR
+values, persisting that tree to two on-disk state files, and anchoring it
+in the DIRs. The update protocol is implemented exactly as the paper gives
+it; writes go through the fault-injecting :class:`~repro.storage.blockdev.Disk`
+so every crash point is testable:
+
+1. write the new kernel hash tree to ``/proc/state/new``;
+2. write the new root hash into DIRnew;
+3. write the new root hash into DIRcur;
+4. write the kernel hash tree to ``/proc/state/current``.
+
+Recovery on boot reads both files, hashes them, and compares against the
+DIRs: one match → use that file; both match → ``new`` is latest; neither →
+the disk was modified while dormant and **boot aborts**.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.crypto.hashes import constant_time_eq, sha1
+from repro.errors import BootError, NoSuchResource
+from repro.storage.blockdev import Disk
+from repro.storage.merkle import MerkleTree
+from repro.tpm.device import TPM
+
+STATE_CURRENT = "/proc/state/current"
+STATE_NEW = "/proc/state/new"
+DIR_CUR = 0
+DIR_NEW = 1
+
+_INITIAL_LEAVES = 16
+
+
+class VDIRRegistry:
+    """The kernel-side table of VDIRs, checkpointed through the TPM.
+
+    Each VDIR holds one hash value (clients store e.g. an SSR root there).
+    Every mutation runs the four-step flush; reads are served from memory,
+    which recovery has already authenticated against the DIRs.
+    """
+
+    def __init__(self, disk: Disk, tpm: TPM):
+        self._disk = disk
+        self._tpm = tpm
+        self._vdirs: Dict[int, bytes] = {}
+        self._next_id = 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def format(self) -> None:
+        """First boot: write an empty, consistent state to disk and DIRs."""
+        self._vdirs = {}
+        self._next_id = 1
+        self._flush()
+
+    @staticmethod
+    def recover(disk: Disk, tpm: TPM) -> "VDIRRegistry":
+        """Boot-time recovery per §3.3; raises :class:`BootError` on attack."""
+        registry = VDIRRegistry(disk, tpm)
+        current = registry._try_read_state(STATE_CURRENT)
+        new = registry._try_read_state(STATE_NEW)
+        dir_cur = tpm.dir_read(DIR_CUR)
+        dir_new = tpm.dir_read(DIR_NEW)
+
+        cur_matches = (current is not None
+                       and constant_time_eq(sha1(current), dir_cur))
+        new_matches = (new is not None
+                       and constant_time_eq(sha1(new), dir_new))
+
+        if new_matches and cur_matches:
+            chosen = new  # both consistent: new is the latest state
+        elif new_matches:
+            chosen = new
+        elif cur_matches:
+            chosen = current
+        else:
+            raise BootError(
+                "VDIR state files match neither DIR register: on-disk "
+                "storage was modified while the kernel was dormant")
+        registry._load_state(chosen)
+        # Re-establish the invariant that both file/DIR pairs agree.
+        registry._flush()
+        return registry
+
+    # -- VDIR operations ----------------------------------------------------------
+
+    def create(self, initial: bytes = b"\x00" * 32) -> int:
+        vdir_id = self._next_id
+        self._next_id += 1
+        self._vdirs[vdir_id] = bytes(initial)
+        self._flush()
+        return vdir_id
+
+    def write(self, vdir_id: int, value: bytes) -> None:
+        if vdir_id not in self._vdirs:
+            raise NoSuchResource(f"no such VDIR {vdir_id}")
+        self._vdirs[vdir_id] = bytes(value)
+        self._flush()
+
+    def read(self, vdir_id: int) -> bytes:
+        if vdir_id not in self._vdirs:
+            raise NoSuchResource(f"no such VDIR {vdir_id}")
+        return self._vdirs[vdir_id]
+
+    def destroy(self, vdir_id: int) -> None:
+        if vdir_id not in self._vdirs:
+            raise NoSuchResource(f"no such VDIR {vdir_id}")
+        del self._vdirs[vdir_id]
+        self._flush()
+
+    def ids(self):
+        return sorted(self._vdirs)
+
+    def __contains__(self, vdir_id: int) -> bool:
+        return vdir_id in self._vdirs
+
+    # -- serialization ----------------------------------------------------------------
+
+    def _serialize(self) -> bytes:
+        body = {
+            "next_id": self._next_id,
+            "vdirs": {str(k): v.hex() for k, v in self._vdirs.items()},
+            "root": self._merkle_root().hex(),
+        }
+        return json.dumps(body, sort_keys=True).encode()
+
+    def _load_state(self, blob: bytes) -> None:
+        body = json.loads(blob.decode())
+        self._next_id = int(body["next_id"])
+        self._vdirs = {
+            int(k): bytes.fromhex(v) for k, v in body["vdirs"].items()
+        }
+
+    def _merkle_root(self) -> bytes:
+        blocks = [
+            key.to_bytes(8, "big") + value
+            for key, value in sorted(self._vdirs.items())
+        ]
+        return MerkleTree(blocks, min_leaves=_INITIAL_LEAVES).root()
+
+    def _try_read_state(self, name: str) -> Optional[bytes]:
+        if not self._disk.exists(name):
+            return None
+        return self._disk.read_file(name)
+
+    # -- the four-step protocol -------------------------------------------------------
+
+    def _flush(self) -> None:
+        """§3.3 steps (1)–(4). A crash at any point leaves a recoverable
+        disk: recovery lands on either the old or the new state."""
+        blob = self._serialize()
+        root = sha1(blob)
+        self._disk.write_file(STATE_NEW, blob)      # (1)
+        self._tpm.dir_write(DIR_NEW, root)          # (2)
+        self._tpm.dir_write(DIR_CUR, root)          # (3)
+        self._disk.write_file(STATE_CURRENT, blob)  # (4)

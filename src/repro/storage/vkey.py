@@ -1,0 +1,154 @@
+"""Virtual Keys: multiplexing the TPM's limited key storage (§3.3).
+
+VKEYs live in protected kernel memory. The interface provides methods for
+creating, destroying, externalizing, and internalizing key material, plus
+the cryptographic operations suited to each key type. During
+externalization a VKEY can be wrapped (encrypted) under another VKEY; the
+default *Nexus key* is derived through the TPM so that only the measured
+kernel configuration can recover it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional
+
+from repro.crypto.ctr import CTRCipher
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from repro.errors import CryptoError, NoSuchResource
+from repro.tpm.device import TPM
+
+KeyType = Literal["symmetric", "signing"]
+
+
+@dataclass
+class VKey:
+    """One virtual key. ``material`` is secret; never leaves the kernel
+    unencrypted except through :meth:`VKeyManager.externalize`."""
+
+    vkey_id: int
+    key_type: KeyType
+    material: bytes = b""
+    keypair: Optional[RSAKeyPair] = None
+
+    # -- symmetric operations ------------------------------------------------
+
+    def cipher(self, nonce: bytes = b"\x00" * 8) -> CTRCipher:
+        if self.key_type != "symmetric":
+            raise CryptoError("cipher operations need a symmetric VKEY")
+        return CTRCipher(key=self.material, nonce=nonce)
+
+    # -- signing operations ----------------------------------------------------
+
+    def sign(self, message: bytes) -> bytes:
+        if self.key_type != "signing" or self.keypair is None:
+            raise CryptoError("sign needs a signing VKEY")
+        return self.keypair.sign(message)
+
+    def public_key(self) -> RSAPublicKey:
+        if self.key_type != "signing" or self.keypair is None:
+            raise CryptoError("public_key needs a signing VKEY")
+        return self.keypair.public
+
+
+class VKeyManager:
+    """The kernel's VKEY table.
+
+    The manager owns a *root* symmetric key derived from TPM state: on a
+    Nexus machine this is the TPM-generated default key accessible only to
+    the kernel whose PCRs match (§3.3). Externalizations wrapped under the
+    root key therefore survive reboots of the same kernel but are useless
+    to a modified one.
+    """
+
+    def __init__(self, tpm: Optional[TPM] = None,
+                 root_secret: Optional[bytes] = None):
+        self._keys: Dict[int, VKey] = {}
+        self._next_id = 1
+        if root_secret is None:
+            if tpm is not None and tpm.owned:
+                blob = tpm.seal(b"nexus-default-vkey", [0, 1, 2])
+                root_secret = sha256(blob.integrity + blob.composite)
+            else:
+                root_secret = sha256(b"nexus-default-vkey-unsealed")
+        self._root = VKey(vkey_id=0, key_type="symmetric",
+                          material=root_secret)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def root(self) -> VKey:
+        return self._root
+
+    def create(self, key_type: KeyType = "symmetric",
+               key_bits: int = 512, seed: Optional[int] = None) -> VKey:
+        vkey_id = self._next_id
+        self._next_id += 1
+        if key_type == "symmetric":
+            seed_bytes = b"" if seed is None else seed.to_bytes(8, "big")
+            material = sha256(b"vkey" + vkey_id.to_bytes(8, "big") + seed_bytes)
+            vkey = VKey(vkey_id=vkey_id, key_type="symmetric",
+                        material=material)
+        elif key_type == "signing":
+            vkey = VKey(vkey_id=vkey_id, key_type="signing",
+                        keypair=generate_keypair(key_bits, seed=seed))
+        else:
+            raise CryptoError(f"unknown key type {key_type!r}")
+        self._keys[vkey_id] = vkey
+        return vkey
+
+    def get(self, vkey_id: int) -> VKey:
+        if vkey_id == 0:
+            return self._root
+        if vkey_id not in self._keys:
+            raise NoSuchResource(f"no such VKEY {vkey_id}")
+        return self._keys[vkey_id]
+
+    def destroy(self, vkey_id: int) -> None:
+        if vkey_id not in self._keys:
+            raise NoSuchResource(f"no such VKEY {vkey_id}")
+        del self._keys[vkey_id]
+
+    def ids(self):
+        return sorted(self._keys)
+
+    # -- externalization -----------------------------------------------------------
+
+    def externalize(self, vkey_id: int, wrap_with: int = 0) -> bytes:
+        """Export a VKEY encrypted under another VKEY (default: root)."""
+        vkey = self.get(vkey_id)
+        wrapper = self.get(wrap_with)
+        body = {"type": vkey.key_type}
+        if vkey.key_type == "symmetric":
+            body["material"] = vkey.material.hex()
+        else:
+            body["n"] = f"{vkey.keypair.n:x}"
+            body["e"] = vkey.keypair.e
+            body["d"] = f"{vkey.keypair.d:x}"
+        plaintext = json.dumps(body, sort_keys=True).encode()
+        cipher = wrapper.cipher(nonce=b"vkeywrap")
+        mac = sha256(wrapper.material + plaintext)
+        return mac + cipher.encrypt(plaintext)
+
+    def internalize(self, blob: bytes, wrap_with: int = 0) -> VKey:
+        """Import a previously externalized VKEY."""
+        wrapper = self.get(wrap_with)
+        mac, ciphertext = blob[:32], blob[32:]
+        plaintext = wrapper.cipher(nonce=b"vkeywrap").decrypt(ciphertext)
+        if sha256(wrapper.material + plaintext) != mac:
+            raise CryptoError("VKEY internalize failed: wrong wrapping key "
+                              "or corrupted blob")
+        body = json.loads(plaintext.decode())
+        vkey_id = self._next_id
+        self._next_id += 1
+        if body["type"] == "symmetric":
+            vkey = VKey(vkey_id=vkey_id, key_type="symmetric",
+                        material=bytes.fromhex(body["material"]))
+        else:
+            keypair = RSAKeyPair(n=int(body["n"], 16), e=int(body["e"]),
+                                 d=int(body["d"], 16))
+            vkey = VKey(vkey_id=vkey_id, key_type="signing", keypair=keypair)
+        self._keys[vkey_id] = vkey
+        return vkey

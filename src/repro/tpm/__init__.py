@@ -1,0 +1,29 @@
+"""Software TPM and measured boot for the simulated Nexus platform."""
+
+from repro.tpm.device import (
+    DIR_COUNT,
+    DIR_WIDTH,
+    Quote,
+    SealedBlob,
+    TPM,
+)
+from repro.tpm.privacy import (
+    EnrollmentRequest,
+    NexusPrivacyAuthority,
+)
+from repro.tpm.boot import (
+    BootContext,
+    Machine,
+    NEXUS_PCR_MASK,
+    PCR_BOOTLOADER,
+    PCR_FIRMWARE,
+    PCR_KERNEL,
+    SoftwareStack,
+    boot_nexus,
+)
+
+__all__ = [
+    "DIR_COUNT", "DIR_WIDTH", "Quote", "SealedBlob", "TPM",
+    "BootContext", "Machine", "NEXUS_PCR_MASK", "PCR_BOOTLOADER",
+    "PCR_FIRMWARE", "PCR_KERNEL", "SoftwareStack", "boot_nexus", "EnrollmentRequest", "NexusPrivacyAuthority",
+]

@@ -1,0 +1,136 @@
+"""Measured boot of the simulated Nexus platform (§3.4).
+
+Power-up sequence:
+
+1. the TPM resets its PCRs;
+2. the BIOS extends PCR 0 with the firmware hash;
+3. the firmware extends PCR 1 with the boot-loader hash;
+4. the trusted boot loader extends PCR 2 with the Nexus kernel image hash —
+   the static root of trust for the kernel.
+
+On *first* boot the kernel takes ownership of the TPM (generating the SRK)
+and creates the **Nexus key NK**, sealed to the boot-time PCRs: an attacker
+who boots a modified kernel cannot unseal NK because the PCR composite
+differs. Every boot also generates a fresh **Nexus boot key NBK** that
+names the unique boot instantiation; processes are subprincipals of
+``NK.<hash(NBK_pub)>`` (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.hashes import sha1, sha256
+from repro.crypto.rsa import RSAKeyPair, generate_keypair
+from repro.errors import BootError, SealError
+from repro.tpm.device import SealedBlob, TPM
+
+# PCR allocation, mirroring the static-root-of-trust convention.
+PCR_FIRMWARE = 0
+PCR_BOOTLOADER = 1
+PCR_KERNEL = 2
+NEXUS_PCR_MASK = (PCR_FIRMWARE, PCR_BOOTLOADER, PCR_KERNEL)
+
+
+@dataclass(frozen=True)
+class SoftwareStack:
+    """The measured images: what the platform will boot."""
+
+    firmware: bytes
+    bootloader: bytes
+    kernel_image: bytes
+
+    def kernel_hash(self) -> bytes:
+        return sha1(self.kernel_image)
+
+
+@dataclass
+class Machine:
+    """A simulated x86 platform with a TPM socketed on the board.
+
+    Non-volatile facts (the sealed NK, disk contents) live outside this
+    class; the machine only knows how to run the measured boot.
+    """
+
+    tpm: TPM
+
+    def power_on(self, stack: SoftwareStack) -> None:
+        self.tpm.power_cycle()
+        self.tpm.extend(PCR_FIRMWARE, stack.firmware)
+        self.tpm.extend(PCR_BOOTLOADER, stack.bootloader)
+        self.tpm.extend(PCR_KERNEL, stack.kernel_image)
+
+
+@dataclass
+class BootContext:
+    """Everything the freshly booted kernel holds."""
+
+    tpm: TPM
+    nk: RSAKeyPair
+    nbk: RSAKeyPair
+    first_boot: bool
+    nk_blob: SealedBlob = field(repr=False, default=None)
+
+    def boot_id(self) -> str:
+        """Hex name of this boot instantiation: hash of the NBK public."""
+        return sha256(self.nbk.public.fingerprint()).hex()[:16]
+
+    def platform_principal_name(self) -> str:
+        """The fully qualified kernel principal: NK.<boot-id>."""
+        return f"NK-{self.nk.public.fingerprint().hex()[:16]}.{self.boot_id()}"
+
+
+def boot_nexus(machine: Machine, stack: SoftwareStack,
+               nk_blob: Optional[SealedBlob] = None,
+               key_bits: int = 512,
+               seed: Optional[int] = None) -> BootContext:
+    """Run the Nexus boot protocol on a powered machine.
+
+    ``nk_blob`` is the sealed Nexus key from a previous boot (stored on
+    disk); absent, this is a first boot and the protocol takes ownership
+    and creates NK. Raises :class:`BootError` if the sealed NK cannot be
+    recovered — which is exactly what happens when a modified kernel was
+    measured into the PCRs.
+    """
+    machine.power_on(stack)
+    tpm = machine.tpm
+
+    first_boot = nk_blob is None
+    if first_boot:
+        if not tpm.owned:
+            tpm.take_ownership(seed=seed)
+        nk = generate_keypair(key_bits, seed=seed)
+        secret = nk.d.to_bytes((nk.d.bit_length() + 7) // 8, "big")
+        payload = (nk.n.to_bytes((nk.n.bit_length() + 7) // 8, "big")
+                   + b"|" + secret)
+        blob = tpm.seal(_frame(payload), NEXUS_PCR_MASK)
+    else:
+        try:
+            payload = _unframe(tpm.unseal(nk_blob))
+        except SealError as exc:
+            raise BootError(
+                "cannot recover Nexus key: platform measurements do not "
+                "match the kernel that sealed it") from exc
+        modulus_bytes, secret = payload.split(b"|", 1)
+        n = int.from_bytes(modulus_bytes, "big")
+        d = int.from_bytes(secret, "big")
+        nk = RSAKeyPair(n=n, e=65537, d=d)
+        blob = nk_blob
+
+    # DIR access is restricted to this measured configuration from now on.
+    tpm.protect_dirs(NEXUS_PCR_MASK)
+
+    nbk_seed = None if seed is None else seed + 1
+    nbk = generate_keypair(key_bits, seed=nbk_seed)
+    return BootContext(tpm=tpm, nk=nk, nbk=nbk, first_boot=first_boot,
+                       nk_blob=blob)
+
+
+def _frame(payload: bytes) -> bytes:
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def _unframe(data: bytes) -> bytes:
+    length = int.from_bytes(data[:4], "big")
+    return data[4:4 + length]

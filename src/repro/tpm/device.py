@@ -1,0 +1,244 @@
+"""A software Trusted Platform Module.
+
+Models the subset of TPM v1.1/v1.2 behaviour the paper depends on:
+
+* **PCRs** — platform configuration registers extended with SHA-1 hash
+  chains during measured boot; reset on power cycle.
+* **EK** — the endorsement key burned in at manufacture; all Nexus
+  principals are subprincipals of it (§2.4).
+* **Ownership / SRK** — `take_ownership` generates a Storage Root Key
+  bound to the PCR state at the time (§3.4).
+* **Seal / unseal** — data sealed under the SRK can only be unsealed when
+  the selected PCRs match the values captured at seal time; this is what
+  stops a modified kernel from recovering the Nexus key NK.
+* **Quote** — a signature over (PCR composite, nonce), the primitive
+  behind hash attestation.
+* **DIRs** — two 20-byte Data Integrity Registers (v1.1) whose access is
+  gated on a PCR policy; the VDIR crash-consistency protocol (§3.3) stores
+  its two root hashes here.
+* **NVRAM** — small named regions (v1.2 alternative to DIRs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.crypto.ctr import CTRCipher
+from repro.crypto.hashes import constant_time_eq, hash_chain_extend, sha1, sha256
+from repro.crypto.rsa import RSAKeyPair, generate_keypair
+from repro.errors import SealError, TPMError
+
+PCR_COUNT_V11 = 16
+PCR_COUNT_V12 = 24
+DIR_COUNT = 2
+DIR_WIDTH = 20
+NVRAM_CAPACITY = 1280  # bytes; deliberately tiny, like the hardware
+
+
+def _zero_pcrs(count: int):
+    return [b"\x00" * DIR_WIDTH for _ in range(count)]
+
+
+@dataclass
+class SealedBlob:
+    """Opaque output of :meth:`TPM.seal`; only the sealing TPM can open it."""
+
+    pcr_mask: Tuple[int, ...]
+    composite: bytes
+    ciphertext: bytes
+    integrity: bytes
+
+
+@dataclass
+class Quote:
+    """A signed statement of PCR contents."""
+
+    pcr_mask: Tuple[int, ...]
+    composite: bytes
+    nonce: bytes
+    signature: bytes
+
+
+class TPM:
+    """One TPM chip, permanently associated with one simulated machine."""
+
+    def __init__(self, version: str = "1.1", key_bits: int = 512,
+                 seed: Optional[int] = None):
+        if version not in ("1.1", "1.2"):
+            raise TPMError(f"unsupported TPM version {version}")
+        self.version = version
+        self.key_bits = key_bits
+        self.pcr_count = PCR_COUNT_V11 if version == "1.1" else PCR_COUNT_V12
+        # The endorsement key is created at manufacture and never changes.
+        self._ek = generate_keypair(key_bits, seed=seed)
+        self.pcrs = _zero_pcrs(self.pcr_count)
+        self._dirs = [b"\x00" * DIR_WIDTH for _ in range(DIR_COUNT)]
+        self._dir_policy: Optional[Tuple[Tuple[int, ...], bytes]] = None
+        self._nvram: Dict[str, bytes] = {}
+        self._srk: Optional[RSAKeyPair] = None
+        self.owned = False
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def ek_public(self):
+        return self._ek.public
+
+    def ek_fingerprint(self) -> bytes:
+        return self._ek.public.fingerprint()
+
+    # -- PCR operations ------------------------------------------------------
+
+    def power_cycle(self) -> None:
+        """Reset volatile state (PCRs); persistent state survives."""
+        self.pcrs = _zero_pcrs(self.pcr_count)
+
+    def extend(self, index: int, measurement: bytes) -> bytes:
+        self._check_pcr_index(index)
+        self.pcrs[index] = hash_chain_extend(self.pcrs[index], measurement)
+        return self.pcrs[index]
+
+    def read_pcr(self, index: int) -> bytes:
+        self._check_pcr_index(index)
+        return self.pcrs[index]
+
+    def _check_pcr_index(self, index: int) -> None:
+        if not 0 <= index < self.pcr_count:
+            raise TPMError(f"PCR index {index} out of range")
+
+    def pcr_composite(self, mask: Iterable[int]) -> bytes:
+        """SHA-1 over the selected PCR values (the TPM's composite hash)."""
+        mask = tuple(sorted(set(mask)))
+        for index in mask:
+            self._check_pcr_index(index)
+        data = b"".join(self.pcrs[index] for index in mask)
+        return sha1(bytes(mask) + data)
+
+    # -- ownership and sealing -----------------------------------------------
+
+    def take_ownership(self, seed: Optional[int] = None) -> None:
+        """Generate the SRK; §3.4's first-boot step."""
+        if self.owned:
+            raise TPMError("TPM already owned")
+        self._srk = generate_keypair(self.key_bits, seed=seed)
+        self.owned = True
+
+    def clear_ownership(self) -> None:
+        """TPM_ForceClear: drops the SRK, invalidating everything sealed."""
+        self._srk = None
+        self.owned = False
+
+    def _seal_key(self, composite: bytes) -> bytes:
+        if self._srk is None:
+            raise SealError("TPM is not owned; no SRK")
+        secret = self._srk.d.to_bytes(
+            (self._srk.d.bit_length() + 7) // 8, "big")
+        return sha256(secret + composite)
+
+    def seal(self, data: bytes, pcr_mask: Iterable[int]) -> SealedBlob:
+        """Bind ``data`` to the current values of the selected PCRs."""
+        mask = tuple(sorted(set(pcr_mask)))
+        composite = self.pcr_composite(mask)
+        key = self._seal_key(composite)
+        cipher = CTRCipher(key=key, nonce=composite[:8])
+        ciphertext = cipher.encrypt(data)
+        integrity = sha256(key + data)
+        return SealedBlob(pcr_mask=mask, composite=composite,
+                          ciphertext=ciphertext, integrity=integrity)
+
+    def unseal(self, blob: SealedBlob) -> bytes:
+        """Recover sealed data; fails unless the PCRs match seal time."""
+        composite = self.pcr_composite(blob.pcr_mask)
+        if not constant_time_eq(composite, blob.composite):
+            raise SealError("PCR mismatch: platform state differs from "
+                            "seal time")
+        key = self._seal_key(composite)
+        cipher = CTRCipher(key=key, nonce=composite[:8])
+        data = cipher.decrypt(blob.ciphertext)
+        if not constant_time_eq(sha256(key + data), blob.integrity):
+            raise SealError("sealed blob failed integrity check")
+        return data
+
+    # -- attestation -----------------------------------------------------------
+
+    def quote(self, nonce: bytes, pcr_mask: Iterable[int]) -> Quote:
+        """Sign the current PCR composite with the EK."""
+        mask = tuple(sorted(set(pcr_mask)))
+        composite = self.pcr_composite(mask)
+        message = b"TPM_QUOTE" + bytes(mask) + composite + nonce
+        return Quote(pcr_mask=mask, composite=composite, nonce=nonce,
+                     signature=self._ek.sign(message))
+
+    @staticmethod
+    def verify_quote(quote: Quote, ek_public) -> None:
+        message = (b"TPM_QUOTE" + bytes(quote.pcr_mask)
+                   + quote.composite + quote.nonce)
+        ek_public.verify(message, quote.signature)
+
+    def certify_key(self, subject_name: str, subject_key,
+                    statement: str):
+        """Issue an EK-signed certificate binding a key to a principal.
+
+        This is the root link of the "TPM says kernel says … says S"
+        externalization chain (§2.4): the TPM attests that ``subject_key``
+        speaks for ``subject_name`` on this platform.
+        """
+        from repro.crypto.certs import Certificate
+        return Certificate.issue(
+            issuer=f"TPM-{self.ek_fingerprint().hex()[:16]}",
+            subject=subject_name,
+            statement=statement,
+            issuer_keypair=self._ek,
+            subject_key=subject_key,
+        )
+
+    # -- DIRs (v1.1 data integrity registers) -----------------------------------
+
+    def protect_dirs(self, pcr_mask: Iterable[int]) -> None:
+        """Gate DIR access on the *current* values of the selected PCRs.
+
+        After this call, DIR reads and writes succeed only while the
+        platform is in the same measured state — i.e. only the booted
+        Nexus kernel can touch the VDIR root hashes.
+        """
+        mask = tuple(sorted(set(pcr_mask)))
+        self._dir_policy = (mask, self.pcr_composite(mask))
+
+    def _check_dir_access(self) -> None:
+        if self._dir_policy is None:
+            return
+        mask, expected = self._dir_policy
+        if not constant_time_eq(self.pcr_composite(mask), expected):
+            raise TPMError("DIR access denied: PCR policy mismatch")
+
+    def dir_write(self, index: int, value: bytes) -> None:
+        if not 0 <= index < DIR_COUNT:
+            raise TPMError(f"DIR index {index} out of range")
+        if len(value) != DIR_WIDTH:
+            raise TPMError(f"DIR values are {DIR_WIDTH} bytes")
+        self._check_dir_access()
+        self._dirs[index] = bytes(value)
+
+    def dir_read(self, index: int) -> bytes:
+        if not 0 <= index < DIR_COUNT:
+            raise TPMError(f"DIR index {index} out of range")
+        self._check_dir_access()
+        return self._dirs[index]
+
+    # -- NVRAM (v1.2) -------------------------------------------------------------
+
+    def nv_write(self, name: str, value: bytes) -> None:
+        if self.version != "1.2":
+            raise TPMError("NVRAM requires TPM v1.2")
+        projected = sum(len(v) for k, v in self._nvram.items() if k != name)
+        if projected + len(value) > NVRAM_CAPACITY:
+            raise TPMError("NVRAM capacity exhausted")
+        self._nvram[name] = bytes(value)
+
+    def nv_read(self, name: str) -> bytes:
+        if self.version != "1.2":
+            raise TPMError("NVRAM requires TPM v1.2")
+        if name not in self._nvram:
+            raise TPMError(f"no NVRAM region {name!r}")
+        return self._nvram[name]

@@ -1,0 +1,107 @@
+"""The Nexus Privacy Authority (§3.4).
+
+"An early version of the Nexus kernel investigated mechanisms for
+acquiring a privacy-preserving kernel key from a Nexus Privacy Authority
+that can be used in lieu of TPM-based keys, and therefore mask the
+precise identity of the TPM."
+
+The construction (a *trust broker*): the platform proves possession of a
+genuine TPM by quoting its PCRs under its EK; the authority — who keeps
+the EK↔pseudonym mapping secret — issues a certificate binding the
+platform's NK to a fresh pseudonym. Remote verifiers trusting the
+authority accept labels rooted at the pseudonym without ever learning
+which TPM produced them; two enrollments of the same platform are
+unlinkable to everyone but the authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.crypto.certs import Certificate
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from repro.errors import SignatureError, TPMError
+from repro.tpm.device import Quote, TPM
+
+
+@dataclass
+class EnrollmentRequest:
+    """What a platform submits: its EK public key, the NK it wants
+    certified, and a fresh quote binding the two."""
+
+    ek_public: RSAPublicKey
+    nk_public: RSAPublicKey
+    quote: Quote
+
+
+class NexusPrivacyAuthority:
+    """A trust broker issuing pseudonymous platform certificates."""
+
+    def __init__(self, name: str = "privacy-authority",
+                 key_bits: int = 512, seed: Optional[int] = None):
+        self.name = name
+        self._key = generate_keypair(key_bits, seed=seed)
+        #: EKs of TPMs from manufacturers the authority recognizes.
+        self._known_eks: Set[bytes] = set()
+        #: The secret linkage the authority promises to protect.
+        self._linkage: Dict[str, bytes] = {}
+        self._counter = 0
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._key.public
+
+    # -- manufacturer registration ------------------------------------------
+
+    def register_manufacturer_ek(self, ek_public: RSAPublicKey) -> None:
+        self._known_eks.add(ek_public.fingerprint())
+
+    # -- enrollment --------------------------------------------------------------
+
+    @staticmethod
+    def build_request(tpm: TPM, nk: RSAKeyPair,
+                      pcr_mask: Iterable[int]) -> EnrollmentRequest:
+        """Platform side: quote the NK fingerprint as the nonce, binding
+        the NK to this TPM's measured state."""
+        nonce = nk.public.fingerprint()
+        return EnrollmentRequest(ek_public=tpm.ek_public,
+                                 nk_public=nk.public,
+                                 quote=tpm.quote(nonce, pcr_mask))
+
+    def enroll(self, request: EnrollmentRequest) -> Certificate:
+        """Verify the quote and issue a pseudonym certificate for NK.
+
+        Raises :class:`TPMError` for unknown manufacturers and
+        :class:`SignatureError` for bad quotes.
+        """
+        if request.ek_public.fingerprint() not in self._known_eks:
+            raise TPMError(
+                "EK not issued by a recognized TPM manufacturer")
+        if request.quote.nonce != request.nk_public.fingerprint():
+            raise SignatureError("quote nonce does not bind the NK")
+        TPM.verify_quote(request.quote, request.ek_public)
+        self._counter += 1
+        pseudonym = "pseudonym-" + sha256(
+            self._key.public.fingerprint()
+            + self._counter.to_bytes(8, "big")).hex()[:16]
+        self._linkage[pseudonym] = request.ek_public.fingerprint()
+        return Certificate.issue(
+            issuer=self.name,
+            subject=pseudonym,
+            statement=f"{pseudonym} speaksfor genuineNexusPlatform",
+            issuer_keypair=self._key,
+            subject_key=request.nk_public,
+        )
+
+    # -- what the authority must NOT reveal (here for tests/audit) -------------
+
+    def unmask(self, pseudonym: str, audit_warrant: str) -> bytes:
+        """The escrow path, modelling why users must *trust* the broker:
+        only the authority can link a pseudonym back to an EK."""
+        if not audit_warrant:
+            raise PermissionError("unmasking requires an audit warrant")
+        if pseudonym not in self._linkage:
+            raise KeyError(f"unknown pseudonym {pseudonym!r}")
+        return self._linkage[pseudonym]

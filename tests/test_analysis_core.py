@@ -1,0 +1,324 @@
+"""Tests for the analysis substrates and the core facade."""
+
+import pytest
+
+from repro import CredentialSet, Nexus
+from repro.analysis import (
+    IPCConnectivityAnalyzer,
+    PythonSandboxAnalyzer,
+    ReflectionRewriter,
+    component_inventory,
+    count_source_lines,
+)
+from repro.errors import AccessDenied, ProofError, SandboxViolation
+from repro.kernel import NexusKernel
+from repro.nal import parse
+
+
+class TestIPCAnalyzer:
+    def _world(self):
+        kernel = NexusKernel()
+        fs = kernel.create_process("fs-server")
+        fs_port = kernel.create_port(fs.pid, "fs", handler=lambda *a: None)
+        net = kernel.create_process("net-driver")
+        net_port = kernel.create_port(net.pid, "net", handler=lambda *a: None)
+        return kernel, fs, fs_port, net, net_port
+
+    def test_no_connections_no_path(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        isolated = kernel.create_process("isolated")
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert not analyzer.has_path(isolated.pid, fs.pid)
+
+    def test_direct_connection_found(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        app = kernel.create_process("app")
+        kernel.ipc_call(app.pid, fs_port.port_id)
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert analyzer.has_path(app.pid, fs.pid)
+        assert not analyzer.has_path(app.pid, net.pid)
+
+    def test_transitive_connection_found(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        middle = kernel.create_process("middle")
+        middle_port = kernel.create_port(middle.pid, "mid",
+                                         handler=lambda: None)
+        kernel.ipc_call(middle.pid, fs_port.port_id)  # middle → fs
+        app = kernel.create_process("app")
+        kernel.ipc_call(app.pid, middle_port.port_id)  # app → middle
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert analyzer.has_path(app.pid, fs.pid)
+
+    def test_certify_no_path_issues_label(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        player = kernel.create_process("player")
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        label = analyzer.certify_no_path(player.pid, "fs-server")
+        expected = parse(f"{analyzer.process.path} says "
+                         f"not hasPath(/proc/ipd/{player.pid}, fs-server)")
+        assert label == expected
+        assert kernel.labels.holds(expected)
+
+    def test_certify_refuses_when_path_exists(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        app = kernel.create_process("app")
+        kernel.ipc_call(app.pid, fs_port.port_id)
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert analyzer.certify_no_path(app.pid, "fs-server") is None
+
+    def test_certify_isolation_all_or_nothing(self):
+        kernel, fs, fs_port, net, net_port = self._world()
+        app = kernel.create_process("app")
+        kernel.ipc_call(app.pid, net_port.port_id)
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert analyzer.certify_isolation(
+            app.pid, ["fs-server", "net-driver"]) is None
+        clean = kernel.create_process("clean")
+        labels = analyzer.certify_isolation(
+            clean.pid, ["fs-server", "net-driver"])
+        assert labels is not None and len(labels) == 2
+
+    def test_kernel_binds_analyzer_principal(self):
+        kernel, *_ = self._world()
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        assert kernel.labels.holds(parse(
+            f"Nexus says {analyzer.process.path} speaksfor IPCAnalyzer"))
+
+
+class TestPythonSandbox:
+    def test_clean_code_passes(self):
+        analyzer = PythonSandboxAnalyzer()
+        report = analyzer.analyze("import math\n"
+                                  "def f(x):\n"
+                                  "    return math.sqrt(x) + 1\n")
+        assert report.legal
+        assert report.imports == ["math"]
+
+    def test_bad_import_rejected(self):
+        analyzer = PythonSandboxAnalyzer()
+        report = analyzer.analyze("import os\n")
+        assert not report.legal
+        assert "import outside whitelist: os" in report.violations
+
+    def test_from_import_checked(self):
+        analyzer = PythonSandboxAnalyzer()
+        assert not analyzer.analyze("from subprocess import run\n").legal
+
+    @pytest.mark.parametrize("snippet", [
+        "eval('1+1')",
+        "exec('x = 1')",
+        "__import__('os')",
+        "open('/etc/passwd')",
+        "compile('x', 'f', 'exec')",
+    ])
+    def test_forbidden_calls(self, snippet):
+        analyzer = PythonSandboxAnalyzer()
+        assert not analyzer.analyze(snippet).legal
+
+    def test_dunder_attribute_rejected(self):
+        analyzer = PythonSandboxAnalyzer()
+        assert not analyzer.analyze("x = (1).__class__\n").legal
+        assert not analyzer.analyze("f = (lambda: 1).__globals__\n").legal
+
+    def test_syntax_error_is_not_legal_python(self):
+        analyzer = PythonSandboxAnalyzer()
+        report = analyzer.analyze("def broken(:\n")
+        assert not report.legal
+
+    def test_require_legal_raises(self):
+        analyzer = PythonSandboxAnalyzer()
+        with pytest.raises(SandboxViolation):
+            analyzer.require_legal("import socket\n")
+
+    def test_reflection_calls_reported_not_fatal(self):
+        analyzer = PythonSandboxAnalyzer()
+        report = analyzer.analyze("y = getattr(obj, 'field')\n")
+        assert report.legal  # the rewriter, not the analyzer, handles these
+        assert "getattr" in report.reflection_calls
+
+
+class TestReflectionRewriter:
+    def test_rewrites_getattr(self):
+        rewriter = ReflectionRewriter()
+        rewritten, count = rewriter.rewrite("x = getattr(o, 'a')\n")
+        assert "__guarded_getattr__" in rewritten
+        assert count == 1
+
+    def test_loaded_tenant_runs(self):
+        rewriter = ReflectionRewriter()
+        ns = rewriter.load_tenant(
+            "import math\n"
+            "def area(r):\n"
+            "    return math.pi * r * r\n")
+        assert abs(ns["area"](1.0) - 3.14159) < 0.001
+
+    def test_guarded_getattr_blocks_dunder_escape(self):
+        rewriter = ReflectionRewriter()
+        ns = rewriter.load_tenant(
+            "def escape(o):\n"
+            "    return getattr(o, '__class__')\n")
+        with pytest.raises(SandboxViolation):
+            ns["escape"](object())
+
+    def test_guarded_getattr_allows_plain_attrs(self):
+        rewriter = ReflectionRewriter()
+        ns = rewriter.load_tenant(
+            "def get(o, name):\n"
+            "    return getattr(o, name)\n")
+
+        class Thing:
+            field = 42
+        assert ns["get"](Thing(), "field") == 42
+
+    def test_runtime_import_blocked(self):
+        rewriter = ReflectionRewriter()
+        # `import json` is whitelisted; `import os` dies at analysis, and
+        # even a whitelisted name resolves through the guarded importer.
+        ns = rewriter.load_tenant("import json\n"
+                                  "def dump(x):\n"
+                                  "    return json.dumps(x)\n")
+        assert ns["dump"]({"a": 1}) == '{"a": 1}'
+        with pytest.raises(SandboxViolation):
+            rewriter.load_tenant("import os\n")
+
+    def test_no_raw_builtins_leak(self):
+        rewriter = ReflectionRewriter()
+        ns = rewriter.load_tenant("def f():\n    return 1\n")
+        assert "eval" not in ns["__builtins__"]
+        assert "open" not in ns["__builtins__"]
+
+    def test_vars_and_dir_guarded(self):
+        rewriter = ReflectionRewriter()
+        ns = rewriter.load_tenant(
+            "def fields(o):\n"
+            "    return dir(o)\n")
+
+        class Thing:
+            x = 1
+        assert "__class__" not in ns["fields"](Thing())
+
+
+class TestSloc:
+    def test_counts_code_not_comments(self):
+        source = ("# comment\n"
+                  "\n"
+                  "x = 1\n"
+                  "y = 2  # trailing comment still counts\n")
+        assert count_source_lines(source) == 2
+
+    def test_docstrings_excluded(self):
+        source = ('"""Module docstring."""\n'
+                  "def f():\n"
+                  '    """Doc."""\n'
+                  "    return 1\n")
+        assert count_source_lines(source) == 3
+
+    def test_multiline_statement_counts_each_line(self):
+        source = "x = [1,\n     2,\n     3]\n"
+        assert count_source_lines(source) == 3
+
+    def test_component_inventory(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\ny = 2\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("z = 3\n")
+        inventory = component_inventory({
+            "flat": [tmp_path / "a.py"],
+            "tree": [sub],
+            "missing": [tmp_path / "nope.py"],
+        })
+        assert inventory == {"flat": 2, "tree": 1, "missing": 0}
+
+
+class TestNexusFacade:
+    def test_quickstart_flow(self):
+        nexus = Nexus()
+        owner = nexus.launch("owner")
+        client = nexus.launch("client")
+        resource = nexus.kernel.resources.create("/obj/report", "file",
+                                                 owner.principal)
+        nexus.set_goal(owner, resource, "read",
+                       f"{owner.path} says mayRead(?Subject)")
+        label = nexus.say(owner, f"mayRead({client.path})")
+        wallet = CredentialSet([label])
+        decision = nexus.request(client, "read", resource, wallet)
+        assert decision.allow
+
+    def test_request_without_credentials_denied(self):
+        nexus = Nexus()
+        owner = nexus.launch("owner")
+        client = nexus.launch("client")
+        resource = nexus.kernel.resources.create("/obj/x", "file",
+                                                 owner.principal)
+        nexus.set_goal(owner, resource, "read",
+                       f"{owner.path} says never(?Subject)")
+        decision = nexus.request(client, "read", resource)
+        assert not decision.allow
+
+    def test_request_with_invoke(self):
+        nexus = Nexus()
+        owner = nexus.launch("owner")
+        resource = nexus.kernel.resources.create("/obj/y", "file",
+                                                 owner.principal)
+        result = nexus.request(owner, "read", resource, None,
+                               lambda: "payload")
+        assert result == "payload"
+
+    def test_goal_for_none_by_default(self):
+        nexus = Nexus()
+        owner = nexus.launch("owner")
+        resource = nexus.kernel.resources.create("/obj/z", "file",
+                                                 owner.principal)
+        assert nexus.goal_for(resource, "read") is None
+
+    def test_credentials_of_collects_store(self):
+        nexus = Nexus()
+        proc = nexus.launch("speaker")
+        nexus.say(proc, "p")
+        nexus.say(proc, "q")
+        wallet = nexus.credentials_of(proc)
+        assert len(wallet) == 2
+
+    def test_resource_lookup_by_name_and_id(self):
+        nexus = Nexus()
+        owner = nexus.launch("owner")
+        resource = nexus.kernel.resources.create("/named", "file",
+                                                 owner.principal)
+        assert nexus.resource("/named").resource_id == resource.resource_id
+        assert nexus.resource(resource.resource_id).name == "/named"
+
+    def test_clock_authority_registration(self):
+        nexus = Nexus()
+        ticks = iter(range(100, 200))
+        nexus.register_clock_authority("ntp", clock=lambda: next(ticks))
+        assert nexus.kernel.authorities.query(
+            "ntp", parse("NTP says TimeNow < 101"))
+        assert not nexus.kernel.authorities.query(
+            "ntp", parse("NTP says TimeNow < 100"))
+
+
+class TestCredentialSet:
+    def test_accepts_strings_formulas_labels(self):
+        nexus = Nexus()
+        proc = nexus.launch("p")
+        label = nexus.say(proc, "fact")
+        wallet = CredentialSet(["A says p", parse("B says q"), label])
+        assert len(wallet) == 3
+        assert "A says p" in wallet
+
+    def test_dedup(self):
+        wallet = CredentialSet(["A says p", "A says p"])
+        assert len(wallet) == 1
+
+    def test_bundle_for_unprovable(self):
+        wallet = CredentialSet(["A says p"])
+        with pytest.raises(ProofError):
+            wallet.bundle_for("B says q")
+        assert wallet.try_bundle_for("B says q") is None
+
+    def test_extend(self):
+        a = CredentialSet(["A says p"])
+        b = CredentialSet(["B says q"], authorities={"C says r": "port-c"})
+        a.extend(b)
+        assert len(a) == 2
+        assert a.authorities == {parse("C says r"): "port-c"}

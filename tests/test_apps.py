@@ -1,0 +1,414 @@
+"""Tests for the movie player, object store, Not-a-Bot, TruDocs,
+CertiPics, and the BGP verifier (§4, Other Applications)."""
+
+import pytest
+
+from repro.analysis import IPCConnectivityAnalyzer
+from repro.apps.bgp import Advertisement, BGPSpeaker, BGPVerifier, Withdrawal
+from repro.apps.certipics import (
+    CertiPics,
+    Image,
+    crop,
+    invert,
+    resize,
+    verify_log,
+)
+from repro.apps.movieplayer import ContentServer, MoviePlayer
+from repro.apps.notabot import KeyboardDriver, MailClient, SpamClassifier
+from repro.apps.objectstore import Schema, TypedObjectStore
+from repro.apps.trudocs import Document, TruDocs, UsePolicy
+from repro.core.credentials import CredentialSet
+from repro.crypto.rsa import generate_keypair
+from repro.errors import (
+    AccessDenied,
+    AppError,
+    IntegrityError,
+    PolicyViolation,
+)
+from repro.kernel import NexusKernel
+from repro.nal import parse
+
+
+# ---------------------------------------------------------------------------
+# Movie player
+# ---------------------------------------------------------------------------
+
+class TestMoviePlayer:
+    def _world(self):
+        kernel = NexusKernel()
+        fs = kernel.create_process("fs-server")
+        fs_port = kernel.create_port(fs.pid, "fs", handler=lambda *a: None)
+        net = kernel.create_process("net-driver")
+        net_port = kernel.create_port(net.pid, "net", handler=lambda *a: None)
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        server = ContentServer(kernel, analyzer, movie=b"MOVIE-BYTES")
+        return kernel, analyzer, server, fs_port, net_port
+
+    def test_isolated_player_gets_stream(self):
+        kernel, analyzer, server, fs_port, net_port = self._world()
+        player = MoviePlayer(kernel)
+        assert player.request_stream(server, analyzer) == b"MOVIE-BYTES"
+
+    def test_leaky_player_refused(self):
+        kernel, analyzer, server, fs_port, net_port = self._world()
+        player = MoviePlayer(kernel, name="leaky-player")
+        # The player opens a channel to the disk before asking.
+        kernel.ipc_call(player.process.pid, fs_port.port_id)
+        with pytest.raises(AccessDenied):
+            player.request_stream(server, analyzer)
+
+    def test_any_binary_hash_works(self):
+        """The point of the exercise: two different player binaries both
+        stream, because trust rests on analysis, not hashes."""
+        kernel, analyzer, server, fs_port, net_port = self._world()
+        a = MoviePlayer(kernel, name="player-a", image=b"mplayer")
+        b = MoviePlayer(kernel, name="player-b", image=b"totally-different")
+        assert a.request_stream(server, analyzer) == b"MOVIE-BYTES"
+        assert b.request_stream(server, analyzer) == b"MOVIE-BYTES"
+
+    def test_network_path_also_refused(self):
+        kernel, analyzer, server, fs_port, net_port = self._world()
+        player = MoviePlayer(kernel, name="uploader")
+        kernel.ipc_call(player.process.pid, net_port.port_id)
+        with pytest.raises(AccessDenied):
+            player.request_stream(server, analyzer)
+
+
+# ---------------------------------------------------------------------------
+# Typed object store
+# ---------------------------------------------------------------------------
+
+class TestObjectStore:
+    SCHEMA = Schema.of(name="str", age="int", active="bool")
+
+    def _populated(self, n=5):
+        store = TypedObjectStore(self.SCHEMA, producer="jvm-1")
+        for i in range(n):
+            store.put({"name": f"user{i}", "age": 20 + i, "active": True})
+        return store
+
+    def test_put_validates(self):
+        store = TypedObjectStore(self.SCHEMA)
+        with pytest.raises(IntegrityError):
+            store.put({"name": "x", "age": "not-an-int", "active": True})
+        with pytest.raises(IntegrityError):
+            store.put({"name": "x"})
+
+    def test_schema_rejects_unknown_types(self):
+        with pytest.raises(AppError):
+            Schema.of(field="complex128")
+
+    def test_export_import_slow_path_validates(self):
+        image = self._populated().export()
+        restored = TypedObjectStore.import_image(image, self.SCHEMA)
+        assert len(restored) == 5
+        assert restored.validations == 5  # every record checked
+
+    def test_import_fast_path_with_credential(self):
+        image = self._populated().export()
+        wallet = CredentialSet(["TypeCertifier says typesafe(jvm-1)"])
+        restored = TypedObjectStore.import_image(image, self.SCHEMA,
+                                                 credentials=wallet)
+        assert len(restored) == 5
+        assert restored.validations == 0  # sanity checking skipped
+
+    def test_wrong_producer_credential_falls_back_to_slow_path(self):
+        image = self._populated().export()
+        wallet = CredentialSet(["TypeCertifier says typesafe(other-jvm)"])
+        restored = TypedObjectStore.import_image(image, self.SCHEMA,
+                                                 credentials=wallet)
+        assert restored.validations == 5
+
+    def test_corrupted_image_detected(self):
+        image = self._populated().export()
+        image.payload = image.payload[:-1] + b"!"
+        with pytest.raises(IntegrityError):
+            TypedObjectStore.import_image(image, self.SCHEMA)
+
+    def test_schema_mismatch_detected(self):
+        image = self._populated().export()
+        other = Schema.of(name="str")
+        with pytest.raises(IntegrityError):
+            TypedObjectStore.import_image(image, other)
+
+
+# ---------------------------------------------------------------------------
+# Not-a-Bot
+# ---------------------------------------------------------------------------
+
+class TestNotABot:
+    def _world(self):
+        kernel = NexusKernel()
+        driver = KeyboardDriver(kernel)
+        client = MailClient(kernel, driver, sender="alice@example.com")
+        classifier = SpamClassifier(root_key=kernel.tpm.ek_public)
+        return kernel, driver, client, classifier
+
+    def test_typed_mail_is_ham(self):
+        _, _, client, classifier = self._world()
+        email = client.compose("hi bob, lunch tomorrow?", typed=True)
+        assert classifier.classify(email) == "ham"
+
+    def test_bot_mail_is_spam(self):
+        _, _, client, classifier = self._world()
+        email = client.compose("click here for FREE MONEY", typed=False)
+        assert classifier.classify(email) == "spam"
+
+    def test_missing_certificate_scores_zero(self):
+        _, _, client, classifier = self._world()
+        email = client.compose("legit text", typed=True)
+        email.presence_chain = None
+        assert classifier.presence_score(email) == 0.0
+
+    def test_forged_chain_scores_zero(self):
+        kernel, driver, client, classifier = self._world()
+        email = client.compose("hello", typed=True)
+        other = NexusKernel(key_seed=2002)
+        other_driver = KeyboardDriver(other)
+        other_client = MailClient(other, other_driver, sender="eve")
+        forged = other_client.compose("hello", typed=True)
+        # Certificate chain from a different platform key: rejected.
+        email.presence_chain = forged.presence_chain
+        assert classifier.presence_score(email) == 0.0
+
+    def test_windows_reset_counts(self):
+        kernel, driver, *_ = self._world()
+        driver.new_window()
+        driver.physical_keypress(10)
+        label = driver.attest_presence()
+        assert "10" in str(label.formula)
+        driver.new_window()
+        label = driver.attest_presence()
+        assert "(2, 0)" in str(label.formula)
+
+
+# ---------------------------------------------------------------------------
+# TruDocs
+# ---------------------------------------------------------------------------
+
+class TestTruDocs:
+    SOURCE = ("The committee found no evidence of wrongdoing. However, "
+              "the committee notes that procedures were not followed in "
+              "three instances during the review period.")
+
+    def _world(self, **policy):
+        kernel = NexusKernel()
+        trudocs = TruDocs(kernel)
+        document = Document(name="report", text=self.SOURCE,
+                            policy=UsePolicy(**policy))
+        return kernel, trudocs, document
+
+    def test_verbatim_excerpt_certified(self):
+        kernel, trudocs, document = self._world()
+        label = trudocs.certify(document,
+                                "The committee found no evidence of "
+                                "wrongdoing.")
+        assert "speaksfor" in str(label)
+        assert kernel.labels.holds(label)
+
+    def test_ellipsis_excerpt(self):
+        _, trudocs, document = self._world()
+        trudocs.certify(document,
+                        "The committee found ... procedures were not "
+                        "followed")
+
+    def test_out_of_order_segments_rejected(self):
+        _, trudocs, document = self._world()
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document,
+                            "procedures were not followed ... The "
+                            "committee found")
+
+    def test_fabricated_text_rejected(self):
+        _, trudocs, document = self._world()
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document, "The committee found ample evidence "
+                                      "of wrongdoing")
+
+    def test_editorial_brackets(self):
+        _, trudocs, document = self._world()
+        trudocs.certify(document,
+                        "the committee notes that procedures were not "
+                        "followed [in the review period]")
+
+    def test_editorial_disallowed_by_policy(self):
+        _, trudocs, document = self._world(allow_editorial=False)
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document, "no evidence [whatsoever]")
+
+    def test_case_change_policy(self):
+        _, trudocs, document = self._world(allow_case_change=True)
+        trudocs.certify(document, "THE COMMITTEE FOUND NO EVIDENCE")
+        _, trudocs, document = self._world(allow_case_change=False)
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document, "THE COMMITTEE FOUND NO EVIDENCE")
+
+    def test_length_limit(self):
+        _, trudocs, document = self._world(max_excerpt_words=3)
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document, "The committee found no evidence")
+
+    def test_excerpt_count_limit(self):
+        _, trudocs, document = self._world(max_excerpts=2)
+        trudocs.certify(document, "The committee")
+        trudocs.certify(document, "no evidence")
+        with pytest.raises(PolicyViolation):
+            trudocs.certify(document, "the review period")
+
+
+# ---------------------------------------------------------------------------
+# CertiPics
+# ---------------------------------------------------------------------------
+
+def _image(w=8, h=8):
+    return Image.from_rows([[(x + y * w) % 256 for x in range(w)]
+                            for y in range(h)])
+
+
+class TestCertiPics:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_keypair(512, seed=77)
+
+    def test_ops_produce_expected_geometry(self):
+        image = _image(8, 6)
+        assert crop(image, 1, 1, 4, 3).width == 4
+        assert crop(image, 1, 1, 4, 3).height == 3
+        assert resize(image, 16, 12).width == 16
+        assert invert(invert(image)) == image
+
+    def test_crop_bounds(self):
+        with pytest.raises(AppError):
+            crop(_image(4, 4), 2, 2, 4, 4)
+
+    def test_certified_pipeline_verifies(self, key):
+        source = _image()
+        session = CertiPics(source, key)
+        session.apply("crop", 1, 1, 6, 6)
+        session.apply("invert")
+        session.apply("resize", 12, 12)
+        log = session.finalize()
+        verify_log(source, session.current, log, key.public)
+
+    def test_clone_detected_by_policy(self, key):
+        source = _image()
+        session = CertiPics(source, key)
+        session.apply("clone", (0, 0, 2, 2), (4, 4))
+        log = session.finalize()
+        with pytest.raises(PolicyViolation):
+            verify_log(source, session.current, log, key.public)
+
+    def test_tampered_log_detected(self, key):
+        source = _image()
+        session = CertiPics(source, key)
+        session.apply("invert")
+        session.apply("crop", 0, 0, 4, 4)
+        log = session.finalize()
+        log.entries.pop(0)  # hide the first operation
+        with pytest.raises(IntegrityError):
+            verify_log(source, session.current, log, key.public)
+
+    def test_wrong_result_detected(self, key):
+        source = _image()
+        session = CertiPics(source, key)
+        session.apply("invert")
+        log = session.finalize()
+        with pytest.raises(IntegrityError):
+            verify_log(source, _image(), log, key.public)  # not the output
+
+    def test_unsigned_log_rejected(self, key):
+        source = _image()
+        session = CertiPics(source, key)
+        session.apply("invert")
+        log = session.finalize()
+        other = generate_keypair(512, seed=78)
+        from repro.errors import SignatureError
+        with pytest.raises(SignatureError):
+            verify_log(source, session.current, log, other.public)
+
+
+# ---------------------------------------------------------------------------
+# BGP verifier
+# ---------------------------------------------------------------------------
+
+OWNERSHIP = {"10.0.0.0/8": 100, "192.168.0.0/16": 200}
+
+
+class TestBGP:
+    def _monitored(self, asn=300, **speaker_kwargs):
+        speaker = BGPSpeaker(asn, **speaker_kwargs)
+        verifier = BGPVerifier(speaker, OWNERSHIP)
+        return speaker, verifier
+
+    def test_honest_transit_passes(self):
+        speaker, verifier = self._monitored()
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (100,)), from_as=100)
+        adv = verifier.emit("10.0.0.0/8")
+        assert adv.as_path == (300, 100)
+
+    def test_owned_origination_passes(self):
+        speaker, verifier = self._monitored(asn=100,
+                                            owned_prefixes={"10.0.0.0/8"})
+        adv = verifier.emit("10.0.0.0/8")
+        assert adv.as_path == (100,)
+
+    def test_false_origination_blocked(self):
+        speaker, verifier = self._monitored(asn=666)
+        speaker.lie_originate.add("10.0.0.0/8")
+        with pytest.raises(PolicyViolation):
+            verifier.emit("10.0.0.0/8")
+        assert verifier.violations[0].rule == "false-origination"
+
+    def test_route_fabrication_blocked(self):
+        speaker, verifier = self._monitored()
+        speaker.lie_shorten_paths = True
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (150, 120, 100)), from_as=150)
+        with pytest.raises(PolicyViolation):
+            verifier.emit("10.0.0.0/8")
+        assert verifier.violations[0].rule == "route-fabrication"
+
+    def test_best_path_selection_prefers_shorter(self):
+        speaker, verifier = self._monitored()
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (150, 120, 100)), from_as=150)
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (160, 100)), from_as=160)
+        adv = verifier.emit("10.0.0.0/8")
+        assert adv.as_path == (300, 160, 100)
+
+    def test_withdrawal_removes_route(self):
+        speaker, verifier = self._monitored()
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (150, 100)), from_as=150)
+        verifier.deliver_withdrawal(
+            Withdrawal("10.0.0.0/8", speaker=150), from_as=150)
+        with pytest.raises(AppError):
+            verifier.emit("10.0.0.0/8")
+
+    def test_loop_suppression(self):
+        speaker, verifier = self._monitored()
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (150, 300, 100)), from_as=150)
+        assert speaker.best_route("10.0.0.0/8") is None
+
+    def test_conformance_label(self):
+        kernel = NexusKernel()
+        speaker = BGPSpeaker(300)
+        verifier = BGPVerifier(speaker, OWNERSHIP, kernel=kernel)
+        verifier.deliver_inbound(
+            Advertisement("10.0.0.0/8", (100,)), from_as=100)
+        verifier.emit("10.0.0.0/8")
+        label = verifier.conformance_label()
+        assert label == parse(
+            f"{verifier.process.path} says conformsToBGPSafety(AS300)")
+
+    def test_no_label_after_violation(self):
+        kernel = NexusKernel()
+        speaker = BGPSpeaker(666)
+        speaker.lie_originate.add("10.0.0.0/8")
+        verifier = BGPVerifier(speaker, OWNERSHIP, kernel=kernel)
+        with pytest.raises(PolicyViolation):
+            verifier.emit("10.0.0.0/8")
+        assert verifier.conformance_label() is None

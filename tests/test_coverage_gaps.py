@@ -1,0 +1,255 @@
+"""Remaining unit coverage: prover limits, chains, VKEY corners,
+scheduler management, cache stats, file-server semantics, NIC rights."""
+
+import pytest
+
+from repro.crypto import Certificate, CertificateChain, generate_keypair
+from repro.errors import (
+    AccessDenied,
+    KernelError,
+    ProofError,
+    StorageError,
+)
+from repro.fs import FileServer
+from repro.kernel import (
+    CallableAuthority,
+    ClockAuthority,
+    DecisionCache,
+    NexusKernel,
+)
+from repro.kernel.scheduler import ProportionalShareScheduler
+from repro.nal import Implies, Name, Pred, Says, parse
+from repro.nal.prover import MAX_SEARCH_DEPTH, Prover
+from repro.net import NIC, PageTable
+from repro.storage import VKeyManager
+
+
+class TestProverLimits:
+    def test_depth_limit_fails_gracefully(self):
+        # A modus-ponens chain longer than the search depth: the prover
+        # must give up with ProofError, not recurse forever.
+        chain_length = MAX_SEARCH_DEPTH + 5
+        atoms = [Pred(f"p{i}") for i in range(chain_length + 1)]
+        credentials = [atoms[0]]
+        credentials.extend(Implies(atoms[i], atoms[i + 1])
+                           for i in range(chain_length))
+        with pytest.raises(ProofError):
+            Prover(credentials).prove(atoms[-1])
+
+    def test_add_credential_dedupes(self):
+        prover = Prover([parse("A says p")])
+        prover.add_credential(parse("A says p"))
+        assert len(prover.credentials) == 1
+        prover.add_credential(parse("A says q"))
+        assert len(prover.credentials) == 2
+
+    def test_cyclic_delegations_terminate(self):
+        credentials = [parse("A speaksfor B"), parse("B speaksfor A")]
+        with pytest.raises(ProofError):
+            Prover(credentials).prove(parse("C says p"))
+
+    def test_authority_backed_disjunct(self):
+        goal = parse("(A says p) or (A says q)")
+        prover = Prover([], authorities={parse("A says q"): "oracle"})
+        proof = prover.prove(goal)
+        from repro.nal import check
+        result = check(proof, goal)
+        assert result.authority_queries == (("oracle", parse("A says q")),)
+
+
+class TestCertificateChains:
+    def test_three_link_chain(self):
+        root = generate_keypair(512, seed=61)
+        mid = generate_keypair(512, seed=62)
+        leaf = generate_keypair(512, seed=63)
+        c1 = Certificate.issue("TPM", "NK", "link1", root,
+                               subject_key=mid.public)
+        c2 = Certificate.issue("NK", "store", "link2", mid,
+                               subject_key=leaf.public)
+        c3 = Certificate.issue("store", "proc", "proc says S", leaf)
+        chain = CertificateChain(root_key=root.public, certs=[c1, c2, c3])
+        chain.verify()
+        assert chain.speaker_path() == ["TPM", "NK", "store", "proc"]
+
+
+class TestVKeyCorners:
+    def test_manager_without_tpm_still_works(self):
+        manager = VKeyManager()
+        assert manager.root.key_type == "symmetric"
+
+    def test_root_accessible_as_id_zero(self):
+        manager = VKeyManager()
+        assert manager.get(0) is manager.root
+
+    def test_signing_key_wrapped_under_symmetric(self):
+        manager = VKeyManager()
+        wrapper = manager.create("symmetric")
+        signer = manager.create("signing", seed=71)
+        blob = manager.externalize(signer.vkey_id,
+                                   wrap_with=wrapper.vkey_id)
+        restored = manager.internalize(blob, wrap_with=wrapper.vkey_id)
+        sig = restored.sign(b"msg")
+        signer.public_key().verify(b"msg", sig)
+
+    def test_ids_lists_live_keys(self):
+        manager = VKeyManager()
+        a = manager.create()
+        b = manager.create()
+        manager.destroy(a.vkey_id)
+        assert manager.ids() == [b.vkey_id]
+
+
+class TestSchedulerManagement:
+    def test_set_tickets_changes_share(self):
+        scheduler = ProportionalShareScheduler()
+        scheduler.add_client("a", 100)
+        scheduler.add_client("b", 100)
+        scheduler.set_tickets("a", 300)
+        scheduler.run(2000)
+        assert scheduler.share_of("a") > 0.70
+
+    def test_remove_client(self):
+        scheduler = ProportionalShareScheduler()
+        scheduler.add_client("a", 100)
+        scheduler.remove_client("a")
+        with pytest.raises(KernelError):
+            scheduler.share_of("a")
+        assert scheduler.tick() is None
+
+    def test_duplicate_client_rejected(self):
+        scheduler = ProportionalShareScheduler()
+        scheduler.add_client("a", 1)
+        with pytest.raises(KernelError):
+            scheduler.add_client("a", 2)
+
+    def test_nonpositive_tickets_rejected(self):
+        scheduler = ProportionalShareScheduler()
+        with pytest.raises(KernelError):
+            scheduler.add_client("a", 0)
+        scheduler.add_client("b", 1)
+        with pytest.raises(KernelError):
+            scheduler.set_tickets("b", -1)
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        cache = DecisionCache()
+        cache.insert(1, "op", 1, True)
+        cache.lookup(1, "op", 1)  # hit
+        cache.lookup(2, "op", 1)  # miss
+        assert cache.stats.hit_rate == 0.5
+
+    def test_disabled_cache_records_nothing(self):
+        cache = DecisionCache(enabled=False)
+        cache.insert(1, "op", 1, True)
+        assert cache.lookup(1, "op", 1) is None
+        assert len(cache) == 0
+
+    def test_invalid_subregion_counts(self):
+        with pytest.raises(ValueError):
+            DecisionCache(subregions=0)
+        cache = DecisionCache()
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
+
+class TestFileServerSemantics:
+    @pytest.fixture
+    def world(self):
+        kernel = NexusKernel()
+        fs = FileServer(kernel)
+        proc = kernel.create_process("app")
+        return kernel, fs, proc
+
+    def test_read_past_eof_returns_short(self, world):
+        kernel, fs, proc = world
+        fd = kernel.syscall(proc.pid, "open", "/f")
+        kernel.syscall(proc.pid, "write", fd, b"abc")
+        fd2 = kernel.syscall(proc.pid, "open", "/f")
+        assert kernel.syscall(proc.pid, "read", fd2, 100) == b"abc"
+        assert kernel.syscall(proc.pid, "read", fd2, 100) == b""
+
+    def test_fds_are_per_open(self, world):
+        kernel, fs, proc = world
+        fd1 = kernel.syscall(proc.pid, "open", "/f")
+        kernel.syscall(proc.pid, "write", fd1, b"abcdef")
+        fd2 = kernel.syscall(proc.pid, "open", "/f")
+        assert kernel.syscall(proc.pid, "read", fd2, 3) == b"abc"
+        # fd1's offset is untouched by fd2's read.
+        kernel.syscall(proc.pid, "write", fd1, b"XYZ")
+        assert fs.raw_read("/f") == b"abcdefXYZ"
+
+    def test_foreign_fd_rejected(self, world):
+        kernel, fs, proc = world
+        other = kernel.create_process("other")
+        fd = kernel.syscall(proc.pid, "open", "/mine")
+        with pytest.raises(KernelError):
+            kernel.syscall(other.pid, "read", fd, 1)
+
+
+class TestNICRights:
+    def test_transmit_requires_dma_grant(self):
+        pages = PageTable()
+        nic = NIC(pages)
+        page = pages.alloc("app")  # app access only, no DMA grant
+        pages.write("app", page, b"data")
+        with pytest.raises(AccessDenied):
+            nic.transmit_page(page, 4)
+
+    def test_revoke_removes_access(self):
+        pages = PageTable()
+        page = pages.alloc("app")
+        pages.write("app", page, b"x")
+        pages.revoke(page, "app")
+        with pytest.raises(AccessDenied):
+            pages.read("app", page, 1)
+
+    def test_oversized_write_rejected(self):
+        pages = PageTable(page_size=16)
+        page = pages.alloc("app")
+        with pytest.raises(KernelError):
+            pages.write("app", page, b"z" * 17)
+
+
+class TestAuthorityCorners:
+    def test_clock_authority_declines_non_time(self):
+        authority = ClockAuthority(lambda: 5)
+        assert authority.decides(parse("NTP says p")) is None
+        assert authority.decides(parse("Other says TimeNow < 9")) is None
+
+    def test_callable_authority_none_is_denial(self):
+        kernel = NexusKernel()
+        kernel.register_authority("maybe", CallableAuthority(lambda f: None))
+        assert not kernel.authorities.query("maybe", parse("p"))
+
+    def test_crashing_authority_fails_closed(self):
+        kernel = NexusKernel()
+
+        def boom(formula):
+            raise RuntimeError("authority crashed")
+        kernel.register_authority("crashy", CallableAuthority(boom))
+        assert not kernel.authorities.query("crashy", parse("p"))
+
+    def test_unregister(self):
+        kernel = NexusKernel()
+        kernel.register_authority("temp", CallableAuthority(lambda f: True))
+        assert kernel.authorities.query("temp", parse("p"))
+        kernel.authorities.unregister("temp")
+        assert not kernel.authorities.query("temp", parse("p"))
+
+
+class TestErrorMetadata:
+    def test_access_denied_carries_context(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        stranger = kernel.create_process("stranger")
+        resource = kernel.resources.create("/meta/obj", "file",
+                                           owner.principal)
+        with pytest.raises(AccessDenied) as excinfo:
+            kernel.guarded_call(stranger.pid, "read", resource.resource_id,
+                                lambda: None)
+        error = excinfo.value
+        assert error.subject == stranger.pid
+        assert error.operation == "read"
+        assert error.resource == resource.resource_id
+        assert error.reason

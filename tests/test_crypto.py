@@ -1,0 +1,215 @@
+"""Unit and property tests for the crypto substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    CTRCipher,
+    Certificate,
+    CertificateChain,
+    constant_time_eq,
+    generate_keypair,
+    hash_chain_extend,
+    sha1,
+    sha256,
+)
+from repro.crypto.ctr import BLOCK_SIZE
+from repro.crypto.rsa import RSAPublicKey, _is_probable_prime
+import random
+
+from repro.errors import CryptoError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=512, seed=7)
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair(bits=512, seed=11)
+
+
+class TestHashes:
+    def test_sha1_width(self):
+        assert len(sha1(b"abc")) == 20
+
+    def test_sha256_width(self):
+        assert len(sha256(b"abc")) == 32
+
+    def test_string_and_bytes_agree(self):
+        assert sha256("hello") == sha256(b"hello")
+
+    def test_extend_is_order_sensitive(self):
+        start = b"\x00" * 20
+        a_then_b = hash_chain_extend(hash_chain_extend(start, b"a"), b"b")
+        b_then_a = hash_chain_extend(hash_chain_extend(start, b"b"), b"a")
+        assert a_then_b != b_then_a
+
+    def test_extend_keeps_register_width(self):
+        assert len(hash_chain_extend(b"\x00" * 20, b"x")) == 20
+        assert len(hash_chain_extend(b"\x00" * 32, b"x")) == 32
+
+    def test_extend_deterministic(self):
+        start = b"\x11" * 20
+        assert hash_chain_extend(start, b"m") == hash_chain_extend(start, b"m")
+
+    def test_constant_time_eq(self):
+        assert constant_time_eq(b"abc", b"abc")
+        assert not constant_time_eq(b"abc", b"abd")
+
+
+class TestRSA:
+    def test_keygen_deterministic_with_seed(self):
+        assert generate_keypair(512, seed=3).n == generate_keypair(512, seed=3).n
+
+    def test_keygen_rejects_small_keys(self):
+        with pytest.raises(CryptoError):
+            generate_keypair(256)
+
+    def test_sign_verify_roundtrip(self, keypair):
+        sig = keypair.sign(b"message")
+        keypair.public.verify(b"message", sig)  # must not raise
+
+    def test_verify_rejects_wrong_message(self, keypair):
+        sig = keypair.sign(b"message")
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"other", sig)
+
+    def test_verify_rejects_wrong_key(self, keypair, other_keypair):
+        sig = keypair.sign(b"message")
+        with pytest.raises(SignatureError):
+            other_keypair.public.verify(b"message", sig)
+
+    def test_verify_rejects_bitflipped_signature(self, keypair):
+        sig = bytearray(keypair.sign(b"message"))
+        sig[0] ^= 0x01
+        assert not keypair.public.is_valid(b"message", bytes(sig))
+
+    def test_signature_out_of_range(self, keypair):
+        huge = (keypair.n + 1).to_bytes((keypair.n.bit_length() // 8) + 2, "big")
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"m", huge)
+
+    def test_fingerprint_stable_and_distinct(self, keypair, other_keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert keypair.public.fingerprint() != other_keypair.public.fingerprint()
+
+    def test_public_key_dict_roundtrip(self, keypair):
+        restored = RSAPublicKey.from_dict(keypair.public.to_dict())
+        assert restored == keypair.public
+
+    def test_miller_rabin_rejects_composites(self):
+        rng = random.Random(0)
+        for composite in [4, 15, 91, 561, 41041, 25326001]:  # incl. Carmichaels
+            assert not _is_probable_prime(composite, rng)
+
+    def test_miller_rabin_accepts_primes(self):
+        rng = random.Random(0)
+        for prime in [2, 3, 101, 7919, 104729, (1 << 61) - 1]:
+            assert _is_probable_prime(prime, rng)
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_sign_verify_property(self, message):
+        keypair = generate_keypair(512, seed=99)
+        assert keypair.public.is_valid(message, keypair.sign(message))
+
+
+class TestCTR:
+    def test_roundtrip(self):
+        cipher = CTRCipher(key=b"k" * 16, nonce=b"n" * 8)
+        data = b"the quick brown fox jumps over the lazy dog" * 3
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_key_too_short(self):
+        with pytest.raises(CryptoError):
+            CTRCipher(key=b"short")
+
+    def test_block_independence(self):
+        cipher = CTRCipher(key=b"k" * 16)
+        plain = bytearray(BLOCK_SIZE * 4)
+        base = cipher.encrypt(bytes(plain))
+        plain[BLOCK_SIZE * 2] ^= 0xFF  # flip a byte in block 2
+        changed = cipher.encrypt(bytes(plain))
+        for block in range(4):
+            lo, hi = block * BLOCK_SIZE, (block + 1) * BLOCK_SIZE
+            if block == 2:
+                assert base[lo:hi] != changed[lo:hi]
+            else:
+                assert base[lo:hi] == changed[lo:hi]
+
+    def test_random_access_decrypt(self):
+        cipher = CTRCipher(key=b"k" * 16)
+        data = bytes(range(256)) * 2
+        full = cipher.encrypt(data)
+        # decrypt only block 3 using its block index
+        lo, hi = 3 * BLOCK_SIZE, 4 * BLOCK_SIZE
+        assert cipher.decrypt(full[lo:hi], first_block=3) == data[lo:hi]
+
+    def test_different_nonce_different_ciphertext(self):
+        a = CTRCipher(key=b"k" * 16, nonce=b"a" * 8).encrypt(b"data" * 10)
+        b = CTRCipher(key=b"k" * 16, nonce=b"b" * 8).encrypt(b"data" * 10)
+        assert a != b
+
+    @given(st.binary(min_size=0, max_size=500),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data, first_block):
+        cipher = CTRCipher(key=b"key-" * 4, nonce=b"nonce-!!")
+        assert cipher.decrypt(cipher.encrypt(data, first_block), first_block) == data
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, keypair):
+        cert = Certificate.issue("TPM", "kernel", "kernel speaksfor TPM.nexus",
+                                 keypair)
+        cert.verify()
+
+    def test_tampered_statement_fails(self, keypair):
+        cert = Certificate.issue("TPM", "kernel", "S", keypair)
+        forged = Certificate(
+            issuer=cert.issuer, subject=cert.subject, statement="S'",
+            issuer_key=cert.issuer_key, subject_key=cert.subject_key,
+            signature=cert.signature)
+        with pytest.raises(SignatureError):
+            forged.verify()
+
+    def test_json_roundtrip(self, keypair, other_keypair):
+        cert = Certificate.issue("TPM", "kernel", "S", keypair,
+                                 subject_key=other_keypair.public,
+                                 extensions={"boot": 1})
+        restored = Certificate.from_json(cert.to_json())
+        assert restored == cert
+        restored.verify()
+
+    def test_chain_verifies(self, keypair, other_keypair):
+        leaf_key = generate_keypair(512, seed=21)
+        c1 = Certificate.issue("TPM", "NK", "NK speaksfor TPM.nexus",
+                               keypair, subject_key=other_keypair.public)
+        c2 = Certificate.issue("NK", "proc12", "proc12 says S",
+                               other_keypair, subject_key=leaf_key.public)
+        chain = CertificateChain(root_key=keypair.public, certs=[c1, c2])
+        chain.verify()
+        assert chain.speaker_path() == ["TPM", "NK", "proc12"]
+        assert chain.leaf() is c2
+
+    def test_chain_detects_wrong_link_key(self, keypair, other_keypair):
+        c1 = Certificate.issue("TPM", "NK", "S1", keypair,
+                               subject_key=other_keypair.public)
+        # c2 signed by keypair, but the chain delegated to other_keypair
+        c2 = Certificate.issue("NK", "proc", "S2", keypair)
+        chain = CertificateChain(root_key=keypair.public, certs=[c1, c2])
+        with pytest.raises(SignatureError):
+            chain.verify()
+
+    def test_chain_requires_delegation_key(self, keypair):
+        c1 = Certificate.issue("TPM", "NK", "S1", keypair)  # no subject key
+        c2 = Certificate.issue("NK", "proc", "S2", keypair)
+        chain = CertificateChain(root_key=keypair.public, certs=[c1, c2])
+        with pytest.raises(SignatureError):
+            chain.verify()
+
+    def test_empty_chain_rejected(self, keypair):
+        with pytest.raises(SignatureError):
+            CertificateChain(root_key=keypair.public, certs=[]).verify()

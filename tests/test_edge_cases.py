@@ -1,0 +1,293 @@
+"""Edge-case coverage: checker corners, labelstore mechanics, resource
+variables in goals, introspection namespace operations."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    NoSuchResource,
+    ParseError,
+    ProofError,
+    UnificationError,
+)
+from repro.kernel import NexusKernel
+from repro.kernel.guard import RESOURCE_VAR, SUBJECT_VAR
+from repro.nal import (
+    And,
+    Assume,
+    Axiom,
+    Compare,
+    Const,
+    FALSE,
+    Implies,
+    Name,
+    Not,
+    Or,
+    Pred,
+    ProofBundle,
+    Rule,
+    Says,
+    Speaksfor,
+    TRUE,
+    Var,
+    check,
+    match,
+    matches,
+    parse,
+)
+
+A, B = Name("A"), Name("B")
+p, q = Pred("p"), Pred("q")
+
+
+class TestCheckerCorners:
+    def test_or_intro_conclusion_must_be_or(self):
+        with pytest.raises(ProofError):
+            check(Rule("or_intro_l", (Assume(p),), p))
+
+    def test_and_elim_needs_and_premise(self):
+        with pytest.raises(ProofError):
+            check(Rule("and_elim_l", (Assume(p),), p))
+
+    def test_imp_elim_premise_order_enforced(self):
+        # (implication, antecedent) instead of (antecedent, implication)
+        with pytest.raises(ProofError):
+            check(Rule("imp_elim", (Assume(Implies(p, q)), Assume(p)), q))
+
+    def test_dneg_intro_wrong_shape(self):
+        with pytest.raises(ProofError):
+            check(Rule("dneg_intro", (Assume(p),), Not(p)))
+
+    def test_handoff_scoped_delegation(self):
+        scoped = Speaksfor(A, B, Name("TimeNow"))
+        proof = Rule("handoff", (Assume(Says(B, scoped)),), scoped)
+        check(proof, scoped)
+
+    def test_speaksfor_trans_rejects_scoped(self):
+        with pytest.raises(ProofError):
+            check(Rule("speaksfor_trans",
+                       (Assume(Speaksfor(A, B, Name("T"))),
+                        Assume(Speaksfor(B, Name("C")))),
+                       Speaksfor(A, Name("C"))))
+
+    def test_or_elim_inside_says_context(self):
+        disj = Or(p, q)
+        concl = Says(A, p)
+        proof = Rule("or_elim",
+                     (Assume(Says(A, disj)),
+                      Assume(Says(A, Implies(p, p))),
+                      Assume(Says(A, Implies(q, p)))),
+                     concl, context=A)
+        check(proof, concl)
+
+    def test_empty_premise_rule_rejected(self):
+        with pytest.raises(ProofError):
+            check(Rule("and_intro", (), And(p, q)))
+
+    def test_rule_count_reported(self):
+        proof = Rule("and_intro", (Assume(p), Assume(q)), And(p, q))
+        assert check(proof).rule_count == 1
+        assert proof.size() == 1
+
+    def test_axiom_true_only_exact(self):
+        check(Axiom(TRUE))
+        with pytest.raises(ProofError):
+            check(Axiom(FALSE))
+
+
+class TestUnification:
+    def test_match_binds_consistently(self):
+        pattern = parse("?X says p(?Y) and ?X says q(?Y)")
+        subject = parse("A says p(1) and A says q(1)")
+        bindings = match(pattern, subject)
+        assert bindings[Var("X")] == A
+        assert bindings[Var("Y")] == Const(1)
+
+    def test_match_rejects_inconsistent_bindings(self):
+        pattern = parse("?X says p and ?X says q")
+        subject = parse("A says p and B says q")
+        with pytest.raises(UnificationError):
+            match(pattern, subject)
+
+    def test_match_subprincipal_structure(self):
+        pattern = parse("?X.port says p")
+        subject = parse("kernel.port says p")
+        assert match(pattern, subject)[Var("X")] == Name("kernel")
+
+    def test_matches_boolean(self):
+        assert matches(parse("?X says p"), parse("A says p"))
+        assert not matches(parse("?X says p"), parse("A says q"))
+
+    def test_scope_arity_mismatch(self):
+        with pytest.raises(UnificationError):
+            match(parse("?X speaksfor B"), parse("A speaksfor B on T"))
+
+
+class TestResourceVariableGoals:
+    def test_goal_with_resource_var(self):
+        """Goals may quantify over the resource name: the guard binds
+        ?Resource to the object being accessed."""
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/docs/a", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says mayRead(?Subject, ?Resource)")
+        cred = kernel.sys_say(
+            owner.pid, f"mayRead({client.path}, /docs/a)").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        assert kernel.authorize(client.pid, "read", resource.resource_id,
+                                bundle).allow
+
+    def test_wrong_resource_credential_rejected(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        res_a = kernel.resources.create("/docs/a", "file", owner.principal)
+        res_b = kernel.resources.create("/docs/b", "file", owner.principal)
+        goal = f"{owner.path} says mayRead(?Subject, ?Resource)"
+        kernel.sys_setgoal(owner.pid, res_a.resource_id, "read", goal)
+        kernel.sys_setgoal(owner.pid, res_b.resource_id, "read", goal)
+        cred = kernel.sys_say(
+            owner.pid, f"mayRead({client.path}, /docs/a)").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        assert kernel.authorize(client.pid, "read", res_a.resource_id,
+                                bundle).allow
+        assert not kernel.authorize(client.pid, "read", res_b.resource_id,
+                                    bundle).allow
+
+
+class TestLabelstoreMechanics:
+    def test_handles_are_per_store(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("p")
+        first = kernel.sys_say(proc.pid, "a")
+        second = kernel.sys_say(proc.pid, "b")
+        assert first.handle != second.handle
+
+    def test_get_and_delete_by_handle(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("p")
+        label = kernel.sys_say(proc.pid, "a")
+        store = kernel.default_labelstore(proc.pid)
+        assert store.get(label.handle) == label
+        store.delete(label.handle)
+        with pytest.raises(NoSuchResource):
+            store.get(label.handle)
+
+    def test_iteration_ordered_by_handle(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("p")
+        for text in ("a", "b", "c"):
+            kernel.sys_say(proc.pid, text)
+        store = kernel.default_labelstore(proc.pid)
+        handles = [label.handle for label in store]
+        assert handles == sorted(handles)
+        assert len(store) == 3
+
+    def test_secondary_store(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("p")
+        extra = kernel.labels.create_store(proc.pid)
+        label = kernel.sys_say(proc.pid, "x", store_id=extra.store_id)
+        assert extra.find(label.formula) is not None
+        assert kernel.default_labelstore(proc.pid).find(label.formula) is None
+
+    def test_stores_owned_by(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("p")
+        kernel.labels.create_store(proc.pid)
+        assert len(kernel.labels.stores_owned_by(proc.pid)) == 2
+
+
+class TestIntrospectionNamespace:
+    def test_listdir_and_walk(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("svc")
+        children = kernel.introspection.listdir(proc.path)
+        assert "name" in children and "hash" in children
+        walked = kernel.introspection.walk(proc.path)
+        assert f"{proc.path}/name" in walked
+
+    def test_relative_path_rejected(self):
+        kernel = NexusKernel()
+        with pytest.raises(ValueError):
+            kernel.introspection.publish("relative/path", "x")
+
+    def test_unpublish(self):
+        kernel = NexusKernel()
+        kernel.introspection.publish("/tmp/node", "v")
+        kernel.introspection.unpublish("/tmp/node")
+        with pytest.raises(NoSuchResource):
+            kernel.introspection.read("/tmp/node")
+
+    def test_callable_nodes_are_live(self):
+        kernel = NexusKernel()
+        state = {"v": "1"}
+        kernel.introspection.publish("/live/node", lambda: state["v"])
+        assert kernel.introspection.read("/live/node") == "1"
+        state["v"] = "2"
+        assert kernel.introspection.read("/live/node") == "2"
+
+
+class TestResourceTable:
+    def test_lookup_and_find(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("o")
+        resource = kernel.resources.create("/r/x", "file", owner.principal)
+        assert kernel.resources.lookup("/r/x") is resource
+        assert kernel.resources.find("/missing") is None
+        with pytest.raises(NoSuchResource):
+            kernel.resources.lookup("/missing")
+
+    def test_destroy_removes_name(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("o")
+        resource = kernel.resources.create("/r/y", "file", owner.principal)
+        kernel.resources.destroy(resource.resource_id)
+        assert kernel.resources.find("/r/y") is None
+
+    def test_ownership_transfer_changes_default_policy(self):
+        kernel = NexusKernel()
+        alice = kernel.create_process("alice")
+        bob = kernel.create_process("bob")
+        resource = kernel.resources.create("/r/z", "file", alice.principal)
+        assert kernel.authorize(alice.pid, "read",
+                                resource.resource_id).allow
+        kernel.resources.transfer_ownership(resource.resource_id,
+                                            bob.principal)
+        kernel.decision_cache.clear()
+        assert not kernel.authorize(alice.pid, "read",
+                                    resource.resource_id).allow
+        assert kernel.authorize(bob.pid, "read", resource.resource_id).allow
+
+    def test_owned_by(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("o")
+        kernel.resources.create("/r/1", "file", owner.principal)
+        kernel.resources.create("/r/2", "file", owner.principal)
+        owned = kernel.resources.owned_by(owner.principal)
+        assert {r.name for r in owned} >= {"/r/1", "/r/2"}
+
+
+class TestParserCorners:
+    @pytest.mark.parametrize("text,expected", [
+        ("A.1 says p", "A.1 says p"),
+        ("IPC.42 speaksfor /proc/ipd/7", "IPC.42 speaksfor /proc/ipd/7"),
+        ('p("quoted string")', 'p("quoted string")'),
+        ("x != -5", "x != -5"),
+        ("not not p", "not not p"),
+    ])
+    def test_roundtrip_corners(self, text, expected):
+        assert str(parse(text)) == expected
+
+    def test_deeply_nested_parens(self):
+        formula = parse("(((((p)))))")
+        assert formula == Pred("p")
+
+    def test_long_conjunction(self):
+        text = " and ".join(f"p{i}" for i in range(50))
+        formula = parse(text)
+        from repro.nal import conjuncts
+        assert len(list(conjuncts(formula))) == 50

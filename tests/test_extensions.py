@@ -1,0 +1,283 @@
+"""Tests for the paper's optional/extension features: security automata,
+group keys, the privacy authority, and worldviews."""
+
+import pytest
+
+from repro.core.credentials import CredentialSet
+from repro.core.groupkeys import GroupKeyService
+from repro.errors import (
+    AccessDenied,
+    PolicyViolation,
+    SignatureError,
+    StorageError,
+    TPMError,
+)
+from repro.kernel import NexusKernel
+from repro.kernel.automata import (
+    AutomatonMonitor,
+    SecurityAutomaton,
+    count_limited,
+)
+from repro.nal.worldview import WorldviewStore
+from repro.storage import Disk, SecureStorageRegion, VDIRRegistry
+from repro.tpm import TPM, NEXUS_PCR_MASK
+from repro.tpm.privacy import NexusPrivacyAuthority
+
+
+# ---------------------------------------------------------------------------
+# Security automata (§3.3)
+# ---------------------------------------------------------------------------
+
+def _ssr():
+    disk = Disk()
+    tpm = TPM(seed=31)
+    tpm.take_ownership(seed=32)
+    vdirs = VDIRRegistry(disk, tpm)
+    vdirs.format()
+    ssr = SecureStorageRegion("automaton", disk, vdirs, size_blocks=1,
+                              block_size=256)
+    ssr.create()
+    return disk, vdirs, ssr
+
+
+class TestSecurityAutomata:
+    def test_basic_stepping(self):
+        automaton = SecurityAutomaton(
+            "doc-release",
+            transitions={("draft", "review"): "reviewed",
+                         ("reviewed", "release"): "released"},
+            initial="draft")
+        automaton.step("review")
+        automaton.step("release")
+        assert automaton.state == "released"
+
+    def test_violation_leaves_state_unchanged(self):
+        automaton = SecurityAutomaton(
+            "doc-release",
+            transitions={("draft", "review"): "reviewed"},
+            initial="draft")
+        with pytest.raises(PolicyViolation):
+            automaton.step("release")
+        assert automaton.state == "draft"
+
+    def test_count_limited_object(self):
+        automaton = count_limited("sign-3", "sign", limit=3)
+        for _ in range(3):
+            automaton.step("sign")
+        with pytest.raises(PolicyViolation):
+            automaton.step("sign")
+
+    def test_state_persists_across_restart(self):
+        _disk, _vdirs, ssr = _ssr()
+        automaton = count_limited("persist", "use", limit=5, ssr=ssr)
+        automaton.step("use")
+        automaton.step("use")
+        # "Reboot": restore from the same SSR.
+        restored = count_limited("persist", "use", limit=5, ssr=ssr)
+        assert restored.state == "used-2"
+
+    def test_wrong_automaton_name_rejected(self):
+        _disk, _vdirs, ssr = _ssr()
+        count_limited("first", "use", limit=2, ssr=ssr).step("use")
+        with pytest.raises(StorageError):
+            count_limited("second", "use", limit=2, ssr=ssr)
+
+    def test_rollback_attack_detected(self):
+        """Re-imaging the disk to reset a usage counter is caught by the
+        SSR/VDIR anchoring — the whole point of TPM-backed state."""
+        from repro.errors import IntegrityError, ReplayError
+        disk, vdirs, ssr = _ssr()
+        automaton = count_limited("limited", "use", limit=2, ssr=ssr)
+        image = disk.snapshot()
+        automaton.step("use")
+        automaton.step("use")  # exhausted
+        for name, data in image.items():
+            if name.startswith("/ssr/"):
+                disk.write_file(name, data)  # roll the counter back
+        fresh = SecureStorageRegion("automaton", disk, vdirs, size_blocks=1,
+                                    block_size=256)
+        with pytest.raises((IntegrityError, ReplayError)):
+            fresh.open(ssr.vdir_id)
+
+    def test_monitor_adapter(self):
+        kernel = NexusKernel()
+        server = kernel.create_process("server")
+        port = kernel.create_port(server.pid, "svc", handler=lambda: "ok")
+        client = kernel.create_process("client")
+        automaton = count_limited("two-calls", "ipc_call", limit=2)
+        kernel.sys_interpose(server.pid, port.port_id,
+                             AutomatonMonitor(automaton))
+        assert kernel.ipc_call(client.pid, port.port_id) == "ok"
+        assert kernel.ipc_call(client.pid, port.port_id) == "ok"
+        with pytest.raises(AccessDenied):
+            kernel.ipc_call(client.pid, port.port_id)
+
+
+# ---------------------------------------------------------------------------
+# Group keys (§3.3)
+# ---------------------------------------------------------------------------
+
+class TestGroupKeys:
+    def _world(self):
+        kernel = NexusKernel()
+        service = GroupKeyService(kernel)
+        owner = kernel.create_process("group-owner")
+        member = kernel.create_process("member")
+        manager = kernel.create_process("manager")
+        outsider = kernel.create_process("outsider")
+        service.create_group_key(owner, "signers", seed=41)
+        return kernel, service, owner, member, manager, outsider
+
+    def test_member_can_sign(self):
+        kernel, service, owner, member, manager, outsider = self._world()
+        wallet = service.admit_member(owner, "signers", member)
+        signature = service.sign(member, "signers", b"release-1.0", wallet)
+        service.public_key("signers").verify(b"release-1.0", signature)
+
+    def test_outsider_cannot_sign(self):
+        kernel, service, owner, member, manager, outsider = self._world()
+        with pytest.raises(AccessDenied):
+            service.sign(outsider, "signers", b"m", CredentialSet())
+
+    def test_member_cannot_externalize(self):
+        """The §3.3 separation: signing rights do not imply key
+        management rights."""
+        kernel, service, owner, member, manager, outsider = self._world()
+        wallet = service.admit_member(owner, "signers", member)
+        with pytest.raises(AccessDenied):
+            service.externalize(member, "signers", wallet)
+
+    def test_manager_can_externalize_but_not_sign(self):
+        kernel, service, owner, member, manager, outsider = self._world()
+        wallet = service.appoint_manager(owner, "signers", manager)
+        blob = service.externalize(manager, "signers", wallet)
+        assert isinstance(blob, bytes) and blob
+        with pytest.raises(AccessDenied):
+            service.sign(manager, "signers", b"m", wallet)
+
+    def test_membership_revocation_by_goal_change(self):
+        kernel, service, owner, member, manager, outsider = self._world()
+        wallet = service.admit_member(owner, "signers", member)
+        service.sign(member, "signers", b"ok", wallet)
+        resource = kernel.resources.lookup("/vkey/signers")
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "sign",
+                           f"{owner.path} says nobody(?Subject)")
+        with pytest.raises(AccessDenied):
+            service.sign(member, "signers", b"again", wallet)
+
+
+# ---------------------------------------------------------------------------
+# Privacy authority (§3.4)
+# ---------------------------------------------------------------------------
+
+class TestPrivacyAuthority:
+    def _enrolled_platform(self, authority, seed=51):
+        from repro.crypto.rsa import generate_keypair
+        tpm = TPM(seed=seed)
+        tpm.extend(0, b"nexus-kernel")
+        nk = generate_keypair(512, seed=seed + 1)
+        return tpm, nk
+
+    def test_enrollment_issues_pseudonym(self):
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        authority.register_manufacturer_ek(tpm.ek_public)
+        request = NexusPrivacyAuthority.build_request(tpm, nk, [0])
+        cert = authority.enroll(request)
+        cert.verify()
+        assert cert.subject.startswith("pseudonym-")
+        assert cert.subject_key == nk.public
+
+    def test_pseudonym_hides_tpm_identity(self):
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        authority.register_manufacturer_ek(tpm.ek_public)
+        request = NexusPrivacyAuthority.build_request(tpm, nk, [0])
+        cert = authority.enroll(request)
+        blob = cert.to_json()
+        assert tpm.ek_public.fingerprint().hex() not in blob
+        assert f"{tpm.ek_public.n:x}" not in blob
+
+    def test_two_enrollments_unlinkable(self):
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        authority.register_manufacturer_ek(tpm.ek_public)
+        first = authority.enroll(
+            NexusPrivacyAuthority.build_request(tpm, nk, [0]))
+        second = authority.enroll(
+            NexusPrivacyAuthority.build_request(tpm, nk, [0]))
+        assert first.subject != second.subject
+
+    def test_unknown_manufacturer_rejected(self):
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        request = NexusPrivacyAuthority.build_request(tpm, nk, [0])
+        with pytest.raises(TPMError):
+            authority.enroll(request)
+
+    def test_quote_must_bind_nk(self):
+        from repro.crypto.rsa import generate_keypair
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        authority.register_manufacturer_ek(tpm.ek_public)
+        request = NexusPrivacyAuthority.build_request(tpm, nk, [0])
+        # Swap in a different NK after the quote was made.
+        request.nk_public = generate_keypair(512, seed=99).public
+        with pytest.raises(SignatureError):
+            authority.enroll(request)
+
+    def test_unmasking_requires_warrant(self):
+        authority = NexusPrivacyAuthority(seed=50)
+        tpm, nk = self._enrolled_platform(authority)
+        authority.register_manufacturer_ek(tpm.ek_public)
+        cert = authority.enroll(
+            NexusPrivacyAuthority.build_request(tpm, nk, [0]))
+        with pytest.raises(PermissionError):
+            authority.unmask(cert.subject, "")
+        linked = authority.unmask(cert.subject, "warrant-123")
+        assert linked == tpm.ek_public.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Worldviews (§2.1)
+# ---------------------------------------------------------------------------
+
+class TestWorldviews:
+    def test_direct_belief(self):
+        store = WorldviewStore(["A says p"])
+        assert store.believes("A", "p")
+        assert not store.believes("B", "p")
+
+    def test_delegation_extends_worldview(self):
+        store = WorldviewStore(["A says p", "B says (A speaksfor B)"])
+        assert store.believes("B", "p")
+        assert store.speaks_for("A", "B")
+
+    def test_subprincipal_axiom(self):
+        store = WorldviewStore(["A says p"])
+        assert store.believes("A.t", "p")
+        assert store.speaks_for("A", "A.t")
+        assert not store.speaks_for("A.t", "A")
+
+    def test_worldview_of(self):
+        store = WorldviewStore(["A says p", "A says q", "B says r",
+                                "B says (A speaksfor B)"])
+        from repro.nal import parse
+        assert store.worldview_of("A") == {parse("p"), parse("q")}
+        # B believes its own utterances (including the handoff) plus
+        # everything delegated from A.
+        assert store.worldview_of("B") == {parse("p"), parse("q"),
+                                           parse("r"),
+                                           parse("A speaksfor B")}
+
+    def test_speaksfor_subset_semantics(self):
+        """If A speaksfor B then A's worldview ⊆ B's (§2.1)."""
+        store = WorldviewStore(["A says p", "B says q",
+                                "B says (A speaksfor B)"])
+        assert store.subset_check("A", "B")
+        assert not store.subset_check("B", "A")
+
+    def test_local_inference_in_worldviews(self):
+        store = WorldviewStore(["A says false"])
+        assert store.believes("A", "anything")
+        assert not store.believes("B", "anything")

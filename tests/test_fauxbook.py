@@ -1,0 +1,323 @@
+"""Fauxbook tests: cobuf confinement, the social pipeline, the stack."""
+
+import pytest
+
+from repro.apps.fauxbook import (
+    Cobuf,
+    CobufSpace,
+    DeclassifyToken,
+    EVIL_TENANT_SOURCE,
+    FAUXBOOK_TENANT_SOURCE,
+    FauxbookStack,
+    ILLEGAL_TENANT_SOURCE,
+    ResourceAttestor,
+    SocialGraph,
+    WebFramework,
+)
+from repro.errors import AppError, CobufError, SandboxViolation
+from repro.kernel import NexusKernel
+from repro.nal import parse
+
+
+def space_with(edges=(), users=("alice", "bob", "carol")):
+    graph = SocialGraph()
+    for user in users:
+        graph.add_user(user)
+    for a, b in edges:
+        graph.add_edge(a, b)
+    return CobufSpace(speaks_for=graph.speaks_for), graph
+
+
+class TestCobufs:
+    def test_contents_not_inspectable(self):
+        space, _ = space_with()
+        cobuf = space.tag(b"secret", "alice")
+        with pytest.raises(CobufError):
+            _ = cobuf.data
+        with pytest.raises(CobufError):
+            bytes(cobuf)
+        with pytest.raises(CobufError):
+            cobuf[0]
+        with pytest.raises(CobufError):
+            list(cobuf)
+
+    def test_length_and_slice_are_permitted(self):
+        space, _ = space_with()
+        cobuf = space.tag(b"0123456789", "alice")
+        assert len(cobuf) == 10
+        part = cobuf.slice(2, 5)
+        assert len(part) == 3
+        assert part.owner == "alice"
+
+    def test_concat_same_owner(self):
+        space, _ = space_with()
+        a = space.tag(b"aa", "alice")
+        b = space.tag(b"bb", "alice")
+        assert len(a.concat(b)) == 4
+
+    def test_concat_across_owners_rejected(self):
+        space, _ = space_with()
+        a = space.tag(b"aa", "alice")
+        b = space.tag(b"bb", "bob")
+        with pytest.raises(CobufError):
+            a.concat(b)
+
+    def test_collate_requires_speaksfor(self):
+        space, _ = space_with(edges=[("alice", "bob")])
+        bobs = space.tag(b"bob-data", "bob")
+        merged = space.collate("alice", [bobs])  # friends: allowed
+        assert merged.owner == "alice"
+        carols = space.tag(b"carol-data", "carol")
+        with pytest.raises(CobufError):
+            space.collate("alice", [carols])  # not friends: refused
+
+    def test_equality_does_not_leak_content(self):
+        space, _ = space_with()
+        a = space.tag(b"same", "alice")
+        b = space.tag(b"same", "alice")
+        assert a != b  # identity, not content
+
+    def test_reveal_requires_real_token(self):
+        space, _ = space_with()
+        cobuf = space.tag(b"secret", "alice")
+        with pytest.raises(CobufError):
+            cobuf.reveal("forged-token")
+        assert cobuf.reveal(DeclassifyToken()) == b"secret"
+
+    def test_store_retrieve(self):
+        space, _ = space_with()
+        cobuf = space.tag(b"x", "alice")
+        space.store("k", cobuf)
+        assert space.retrieve("k") is cobuf
+        with pytest.raises(CobufError):
+            space.retrieve("missing")
+        with pytest.raises(CobufError):
+            space.store("bad", b"raw bytes")
+
+
+class TestSocialGraph:
+    def test_edges_symmetric(self):
+        _, graph = space_with(edges=[("alice", "bob")])
+        assert graph.friends("alice", "bob")
+        assert graph.friends("bob", "alice")
+
+    def test_self_edge_rejected(self):
+        _, graph = space_with()
+        with pytest.raises(AppError):
+            graph.add_edge("alice", "alice")
+
+    def test_unknown_user_rejected(self):
+        _, graph = space_with()
+        with pytest.raises(AppError):
+            graph.add_edge("alice", "mallory")
+
+    def test_speaks_for_self_and_friends_only(self):
+        _, graph = space_with(edges=[("alice", "bob")])
+        assert graph.speaks_for("alice", "alice")
+        assert graph.speaks_for("alice", "bob")
+        assert not graph.speaks_for("alice", "carol")
+
+
+class TestWebFramework:
+    def _framework(self):
+        fw = WebFramework(tenant_source=FAUXBOOK_TENANT_SOURCE)
+        fw.create_user("alice", "pw-a")
+        fw.create_user("bob", "pw-b")
+        return fw
+
+    def test_signup_login_logout(self):
+        fw = self._framework()
+        token = fw.login("alice", "pw-a")
+        assert fw.session_user(token) == "alice"
+        fw.logout(token)
+        with pytest.raises(AppError):
+            fw.session_user(token)
+
+    def test_wrong_password(self):
+        fw = self._framework()
+        with pytest.raises(AppError):
+            fw.login("alice", "wrong")
+
+    def test_duplicate_user(self):
+        fw = self._framework()
+        with pytest.raises(AppError):
+            fw.create_user("alice", "again")
+
+    def test_post_and_read_own_wall(self):
+        fw = self._framework()
+        token = fw.login("alice", "pw-a")
+        fw.post_status(token, b"hello world")
+        page = fw.read_feed(token, "alice")
+        assert b"hello world" in page
+
+    def test_friend_can_read_wall(self):
+        fw = self._framework()
+        alice = fw.login("alice", "pw-a")
+        bob = fw.login("bob", "pw-b")
+        fw.add_friend(alice, "bob")
+        fw.post_status(alice, b"alice-post")
+        page = fw.read_feed(bob, "alice")
+        assert b"alice-post" in page
+
+    def test_stranger_cannot_read_wall(self):
+        fw = self._framework()
+        fw.create_user("carol", "pw-c")
+        alice = fw.login("alice", "pw-a")
+        carol = fw.login("carol", "pw-c")
+        fw.post_status(alice, b"private-ish")
+        with pytest.raises(CobufError):
+            fw.read_feed(carol, "alice")
+
+    def test_evil_tenant_cannot_read_contents(self):
+        """The malicious tenant stores and collates fine, but its
+        exfiltration helper dies inside the cobuf layer."""
+        fw = WebFramework(tenant_source=EVIL_TENANT_SOURCE)
+        fw.create_user("alice", "pw")
+        token = fw.login("alice", "pw")
+        fw.post_status(token, b"secret-status")
+        with pytest.raises(CobufError):
+            fw.tenant_call("steal", "alice")
+
+    def test_illegal_tenant_rejected_at_load(self):
+        with pytest.raises(SandboxViolation):
+            WebFramework(tenant_source=ILLEGAL_TENANT_SOURCE)
+
+    def test_tenant_data_independent_ops_work(self):
+        fw = self._framework()
+        token = fw.login("alice", "pw-a")
+        fw.post_status(token, b"one")
+        fw.post_status(token, b"two")
+        assert fw.tenant_call("wall_size", "alice") == 2
+
+    def test_session_authority(self):
+        fw = self._framework()
+        fw.login("alice", "pw-a")
+        assert fw.session_authority.decides(
+            parse('name.webserver says user = "alice"'))
+        assert not fw.session_authority.decides(
+            parse('name.webserver says user = "bob"'))
+
+    def test_friend_authority(self):
+        fw = self._framework()
+        alice = fw.login("alice", "pw-a")
+        fw.add_friend(alice, "bob")
+        assert fw.friend_authority.decides(
+            parse("name.python says alice in bob.friends"))
+        assert not fw.friend_authority.decides(
+            parse("name.python says carol in bob.friends"))
+
+
+class TestFauxbookStack:
+    def test_signup_post_read_over_http(self):
+        stack = FauxbookStack()
+        assert stack.request("POST", "/signup", body=b"alice:pw").status == 201
+        token = stack.request("POST", "/login", body=b"alice:pw").body.decode()
+        response = stack.request("POST", "/status",
+                                 headers={"X-Session": token},
+                                 body=b"first post!")
+        assert response.status == 201
+        page = stack.request("GET", "/wall/alice",
+                             headers={"X-Session": token})
+        assert page.status == 200
+        assert b"first post!" in page.body
+
+    def test_friend_flow_over_http(self):
+        stack = FauxbookStack()
+        stack.request("POST", "/signup", body=b"alice:pw")
+        stack.request("POST", "/signup", body=b"bob:pw")
+        alice = stack.request("POST", "/login", body=b"alice:pw").body.decode()
+        bob = stack.request("POST", "/login", body=b"bob:pw").body.decode()
+        stack.request("POST", "/friend", headers={"X-Session": alice},
+                      body=b"bob")
+        stack.request("POST", "/status", headers={"X-Session": alice},
+                      body=b"for friends")
+        page = stack.request("GET", "/wall/alice", headers={"X-Session": bob})
+        assert page.status == 200
+        assert b"for friends" in page.body
+
+    def test_stranger_gets_403_over_http(self):
+        stack = FauxbookStack()
+        stack.request("POST", "/signup", body=b"alice:pw")
+        stack.request("POST", "/signup", body=b"carol:pw")
+        alice = stack.request("POST", "/login", body=b"alice:pw").body.decode()
+        carol = stack.request("POST", "/login", body=b"carol:pw").body.decode()
+        stack.request("POST", "/status", headers={"X-Session": alice},
+                      body=b"not for carol")
+        page = stack.request("GET", "/wall/alice",
+                             headers={"X-Session": carol})
+        assert page.status == 403
+
+    @pytest.mark.parametrize("storage", ["none", "hash", "decrypt"])
+    def test_static_serving_all_storage_modes(self, storage):
+        stack = FauxbookStack(storage=storage)
+        stack.put_file("/index.html", b"<h1>faux</h1>")
+        response = stack.request("GET", "/static/index.html")
+        assert response.status == 200
+        assert response.body == b"<h1>faux</h1>"
+
+    @pytest.mark.parametrize("access", ["none", "static", "dynamic"])
+    def test_static_serving_all_access_modes(self, access):
+        stack = FauxbookStack(access_control=access)
+        stack.put_file("/page.html", b"content")
+        response = stack.request("GET", "/static/page.html")
+        assert response.status == 200
+        assert response.body == b"content"
+
+    @pytest.mark.parametrize("monitor", ["kernel", "user"])
+    def test_reference_monitored_serving(self, monitor):
+        stack = FauxbookStack(ref_monitor=monitor)
+        stack.put_file("/m.html", b"watched")
+        response = stack.request("GET", "/static/m.html")
+        assert response.status == 200
+        assert stack.policy_monitor.checks > 0
+
+    def test_dynamic_python_row(self):
+        stack = FauxbookStack()
+        stack.put_file("/d.html", b"inner")
+        response = stack.request("GET", "/python/d.html")
+        assert response.status == 200
+        assert b"<html><body>inner</body></html>" == response.body
+
+    def test_missing_static_file_404(self):
+        stack = FauxbookStack()
+        assert stack.request("GET", "/static/ghost.html").status == 404
+
+    def test_webserver_locked_down_after_init(self):
+        stack = FauxbookStack()
+        from repro.errors import AccessDenied
+        with pytest.raises(AccessDenied):
+            stack.kernel.syscall(stack.server.pid, "open", "/etc/shadow")
+        assert "open" in stack.lockdown_monitor.denied_calls
+
+    def test_encrypted_storage_not_plaintext_on_disk(self):
+        stack = FauxbookStack(storage="decrypt")
+        stack.put_file("/s.html", b"SENSITIVE-BYTES-HERE!")
+        on_disk = b"".join(stack.kernel.disk.read_file(name)
+                           for name in stack.kernel.disk.list_files()
+                           if name.startswith("/ssr/"))
+        assert b"SENSITIVE-BYTES-HERE!" not in on_disk
+
+
+class TestResourceAttestation:
+    def test_certify_reservation(self):
+        kernel = NexusKernel()
+        kernel.scheduler.add_client("fauxbook", tickets=300)
+        kernel.scheduler.add_client("other-tenant", tickets=100)
+        attestor = ResourceAttestor(kernel)
+        label = attestor.certify_reservation("fauxbook", min_fraction=0.70)
+        assert label == parse(
+            f"{attestor.process.path} says reservedFraction(fauxbook, 75)")
+
+    def test_refuses_undersized_reservation(self):
+        kernel = NexusKernel()
+        kernel.scheduler.add_client("fauxbook", tickets=100)
+        kernel.scheduler.add_client("other-tenant", tickets=300)
+        attestor = ResourceAttestor(kernel)
+        assert attestor.certify_reservation("fauxbook", 0.5) is None
+
+    def test_delivery_matches_reservation(self):
+        kernel = NexusKernel()
+        kernel.scheduler.add_client("fauxbook", tickets=300)
+        kernel.scheduler.add_client("other-tenant", tickets=100)
+        attestor = ResourceAttestor(kernel)
+        assert attestor.verify_delivery("fauxbook")

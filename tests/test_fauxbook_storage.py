@@ -1,0 +1,131 @@
+"""Tests for the §4.1 file-level policies: private / public / friends."""
+
+import pytest
+
+from repro.apps.fauxbook import WebFramework
+from repro.apps.fauxbook.app import FAUXBOOK_TENANT_SOURCE
+from repro.apps.fauxbook.storage import FauxbookStorage
+from repro.errors import AccessDenied, AppError
+from repro.fs import FileServer
+from repro.kernel import NexusKernel
+from repro.nal import parse
+
+
+@pytest.fixture
+def world():
+    kernel = NexusKernel()
+    fs = FileServer(kernel)
+    framework = WebFramework(tenant_source=FAUXBOOK_TENANT_SOURCE)
+    storage = FauxbookStorage(kernel, fs, framework)
+    for user in ("alice", "bob", "carol"):
+        framework.create_user(user, f"pw-{user}")
+    tokens = {user: framework.login(user, f"pw-{user}")
+              for user in ("alice", "bob", "carol")}
+    alice_token = tokens["alice"]
+    framework.add_friend(alice_token, "bob")
+    return kernel, framework, storage, tokens
+
+
+class TestPrivatePolicy:
+    def test_owner_reads_own_private_file(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "diary.txt", b"dear diary",
+                      policy="private")
+        assert storage.read(tokens["alice"], "alice", "diary.txt") == \
+            b"dear diary"
+
+    def test_friend_cannot_read_private(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "diary.txt", b"dear diary",
+                      policy="private")
+        with pytest.raises(AccessDenied):
+            storage.read(tokens["bob"], "alice", "diary.txt")
+
+    def test_private_decision_never_cached(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "diary.txt", b"x", policy="private")
+        storage.read(tokens["alice"], "alice", "diary.txt")
+        storage.read(tokens["alice"], "alice", "diary.txt")
+        # Dynamic authority state: every read goes to the guard.
+        assert kernel.decision_cache.stats.hits == 0
+
+
+class TestFriendsPolicy:
+    def test_owner_reads(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "wall.txt", b"post",
+                      policy="friends")
+        assert storage.read(tokens["alice"], "alice", "wall.txt") == b"post"
+
+    def test_friend_reads(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "wall.txt", b"post",
+                      policy="friends")
+        assert storage.read(tokens["bob"], "alice", "wall.txt") == b"post"
+
+    def test_stranger_denied(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "wall.txt", b"post",
+                      policy="friends")
+        with pytest.raises(AccessDenied):
+            storage.read(tokens["carol"], "alice", "wall.txt")
+
+    def test_unfriending_is_immediate(self, world):
+        """No revocation infrastructure: retracting the edge changes the
+        authority's answer on the next query (§2.7)."""
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "wall.txt", b"post",
+                      policy="friends")
+        storage.read(tokens["bob"], "alice", "wall.txt")
+        framework.graph._edges.discard(frozenset(("alice", "bob")))
+        with pytest.raises(AccessDenied):
+            storage.read(tokens["bob"], "alice", "wall.txt")
+
+
+class TestPublicPolicy:
+    def test_anyone_reads_public(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "bio.txt", b"hi!", policy="public")
+        for user in ("alice", "bob", "carol"):
+            assert storage.read(tokens[user], "alice", "bio.txt") == b"hi!"
+
+
+class TestPolicyMechanics:
+    def test_unknown_policy_rejected(self, world):
+        kernel, framework, storage, tokens = world
+        with pytest.raises(AppError):
+            storage.store(tokens["alice"], "x", b"d", policy="secret")
+
+    def test_goal_formulas_match_paper(self, world):
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "diary.txt", b"x", policy="private")
+        resource_id = storage.fs.resource_id("/fauxbook/alice/diary.txt")
+        entry = kernel.default_guard.goals.get(resource_id, "read")
+        assert entry.formula == parse(
+            'name.webserver says user = "alice"')
+
+    def test_request_context_scopes_user(self, world):
+        kernel, framework, storage, tokens = world
+        assert framework.current_request_user is None
+        with framework.request_context(tokens["bob"]) as user:
+            assert user == "bob"
+            assert framework.current_request_user == "bob"
+        assert framework.current_request_user is None
+
+    def test_session_authority_prefers_request_context(self, world):
+        kernel, framework, storage, tokens = world
+        claim = parse('name.webserver says user = "alice"')
+        # Outside a request: any live session satisfies it.
+        assert framework.session_authority.decides(claim)
+        # Inside bob's request: alice's claim no longer holds.
+        with framework.request_context(tokens["bob"]):
+            assert not framework.session_authority.decides(claim)
+
+    def test_stolen_token_still_scopes_to_its_user(self, world):
+        """A reader can only ever act as the user its token names."""
+        kernel, framework, storage, tokens = world
+        storage.store(tokens["alice"], "diary.txt", b"x", policy="private")
+        # carol presenting her own token cannot read alice's diary even
+        # while alice is simultaneously logged in.
+        with pytest.raises(AccessDenied):
+            storage.read(tokens["carol"], "alice", "diary.txt")

@@ -1,0 +1,243 @@
+"""Filesystem server and network substrate tests."""
+
+import pytest
+
+from repro.errors import AccessDenied, KernelError, NoSuchResource
+from repro.fs import FileServer
+from repro.kernel import NexusKernel
+from repro.nal import Assume, ProofBundle, parse, prove
+from repro.net import (
+    DDRM,
+    HTTPRequest,
+    HTTPResponse,
+    NIC,
+    NetDriver,
+    PageTable,
+    Packet,
+    Router,
+    UDPEchoRig,
+    parse_request,
+    parse_response,
+)
+
+
+@pytest.fixture
+def rig():
+    kernel = NexusKernel()
+    fs = FileServer(kernel)
+    return kernel, fs
+
+
+class TestFileServer:
+    def test_create_write_read(self, rig):
+        kernel, fs = rig
+        proc = kernel.create_process("app")
+        fd = kernel.syscall(proc.pid, "open", "/dir/file")
+        assert kernel.syscall(proc.pid, "write", fd, b"hello") == 5
+        kernel.syscall(proc.pid, "close", fd)
+        fd = kernel.syscall(proc.pid, "open", "/dir/file")
+        assert kernel.syscall(proc.pid, "read", fd, 5) == b"hello"
+
+    def test_creation_deposits_ownership_label(self, rig):
+        kernel, fs = rig
+        proc = kernel.create_process("app")
+        kernel.syscall(proc.pid, "open", "/dir/file")
+        expected = parse(f"FS says {proc.path} speaksfor FS./dir/file")
+        assert kernel.labels.holds(expected)
+
+    def test_default_policy_blocks_strangers(self, rig):
+        kernel, fs = rig
+        owner = kernel.create_process("owner")
+        stranger = kernel.create_process("stranger")
+        fd = kernel.syscall(owner.pid, "open", "/private")
+        kernel.syscall(owner.pid, "write", fd, b"secret")
+        with pytest.raises(AccessDenied):
+            kernel.syscall(stranger.pid, "open", "/private")
+
+    def test_goal_formula_grants_access(self, rig):
+        kernel, fs = rig
+        owner = kernel.create_process("owner")
+        reader = kernel.create_process("reader")
+        fd = kernel.syscall(owner.pid, "open", "/shared")
+        kernel.syscall(owner.pid, "write", fd, b"data")
+        resource_id = fs.resource_id("/shared")
+        kernel.sys_setgoal(owner.pid, resource_id, "open",
+                           f"{owner.path} says mayOpen(?Subject)")
+        kernel.sys_setgoal(owner.pid, resource_id, "read",
+                           f"{owner.path} says mayOpen(?Subject)")
+        cred = kernel.sys_say(owner.pid, f"mayOpen({reader.path})").formula
+        goal = parse(f"{owner.path} says mayOpen({reader.path})")
+        bundle = ProofBundle(prove(goal, [cred]), credentials=(cred,))
+        fd = kernel.syscall(reader.pid, "open", "/shared", bundle)
+        assert kernel.syscall(reader.pid, "read", fd, 4, bundle) == b"data"
+
+    def test_unlink(self, rig):
+        kernel, fs = rig
+        proc = kernel.create_process("app")
+        kernel.syscall(proc.pid, "open", "/tmp/x")
+        kernel.syscall(proc.pid, "unlink", "/tmp/x")
+        assert not fs.exists("/tmp/x")
+
+    def test_bad_fd(self, rig):
+        kernel, fs = rig
+        proc = kernel.create_process("app")
+        with pytest.raises(KernelError):
+            kernel.syscall(proc.pid, "read", 99, 1)
+
+    def test_write_extends_file(self, rig):
+        kernel, fs = rig
+        proc = kernel.create_process("app")
+        fd = kernel.syscall(proc.pid, "open", "/f")
+        kernel.syscall(proc.pid, "write", fd, b"abc")
+        kernel.syscall(proc.pid, "write", fd, b"def")
+        assert fs.raw_read("/f") == b"abcdef"
+
+    def test_raw_io(self, rig):
+        kernel, fs = rig
+        fs.raw_write("/boot/config", b"x=1")
+        assert fs.raw_read("/boot/config") == b"x=1"
+        with pytest.raises(NoSuchResource):
+            fs.raw_read("/boot/missing")
+
+
+class TestPagesAndNIC:
+    def test_dma_delivery(self):
+        pages = PageTable()
+        nic = NIC(pages)
+        page = pages.alloc("driver", grant_owner_access=False)
+        pages.grant(page, NIC.DMA_SUBJECT, {"read", "write"})
+        nic.dma_setup(page)
+        nic.wire_deliver(Packet(payload=b"ping"))
+        event = nic.raise_interrupt()
+        assert event == (page, 4)
+        assert pages.read(NIC.DMA_SUBJECT, page, 4) == b"ping"
+
+    def test_driver_cannot_read_its_pages(self):
+        pages = PageTable()
+        page = pages.alloc("driver", grant_owner_access=False)
+        with pytest.raises(AccessDenied):
+            pages.read("driver", page, 10)
+        with pytest.raises(AccessDenied):
+            pages.write("driver", page, b"x")
+
+    def test_idle_interrupt_is_none(self):
+        pages = PageTable()
+        nic = NIC(pages)
+        assert nic.raise_interrupt() is None
+
+    def test_transmit_page(self):
+        pages = PageTable()
+        nic = NIC(pages)
+        page = pages.alloc("app")
+        pages.write("app", page, b"pong")
+        pages.grant(page, NIC.DMA_SUBJECT, {"read"})
+        nic.transmit_page(page, 4)
+        assert nic.tx_log[-1].payload == b"pong"
+
+
+class TestDriverConfinement:
+    def test_ddrm_blocks_file_syscalls(self):
+        kernel = NexusKernel()
+        FileServer(kernel)
+        pages = PageTable()
+        nic = NIC(pages)
+        app = kernel.create_process("app")
+        port = kernel.create_port(app.pid, "app")
+        driver = NetDriver(kernel, nic, pages, app_port_id=port.port_id,
+                           confined=True)
+        # Driver ops work under the DDRM...
+        driver.prepare_rx_page()
+        # ...but the forbidden world does not.
+        with pytest.raises(AccessDenied):
+            kernel.syscall(driver.process.pid, "open", "/etc/passwd")
+        assert driver.ddrm.denials == 1
+
+    def test_driver_never_touches_payload(self):
+        kernel = NexusKernel()
+        pages = PageTable()
+        nic = NIC(pages)
+        app = kernel.create_process("app")
+        port = kernel.create_port(app.pid, "app")
+        driver = NetDriver(kernel, nic, pages, app_port_id=port.port_id,
+                           confined=True)
+        page = driver.prepare_rx_page()
+        nic.wire_deliver(Packet(payload=b"secret-cookie"))
+        driver.pump_one()
+        with pytest.raises(AccessDenied):
+            driver.try_read_page(page, 13)
+        # The app, by contrast, was granted access by the handover.
+        assert pages.read("app", page, 13) == b"secret-cookie"
+
+    def test_confinement_labels_issued(self):
+        kernel = NexusKernel()
+        pages = PageTable()
+        nic = NIC(pages)
+        app = kernel.create_process("app")
+        port = kernel.create_port(app.pid, "app")
+        driver = NetDriver(kernel, nic, pages, app_port_id=port.port_id,
+                           confined=True)
+        labels = driver.ddrm.confinement_labels(kernel)
+        expected = parse(
+            f"DDRM says noPageAccess(/proc/ipd/{driver.process.pid})")
+        assert expected in labels
+        assert kernel.labels.holds(expected)
+
+
+class TestUDPEchoRig:
+    @pytest.mark.parametrize("config", ["kern-int", "user-int", "kern-drv",
+                                        "user-drv", "kref", "uref"])
+    def test_all_configs_echo(self, config):
+        rig = UDPEchoRig(config)
+        assert rig.echo_one(b"hello?") == b"hello?"
+        assert rig.echo_one(b"again!") == b"again!"
+
+    def test_monitored_config_checks_policy(self):
+        rig = UDPEchoRig("kref")
+        rig.echo_one(b"x" * 100)
+        assert rig.monitor.checks > 0
+
+    def test_cache_reduces_guard_upcalls(self):
+        cached = UDPEchoRig("kref", cache_enabled=True)
+        cached.echo_many(20, 100)
+        uncached = UDPEchoRig("kref", cache_enabled=False)
+        uncached.echo_many(20, 100)
+        assert (uncached.kernel.default_guard.upcalls
+                > cached.kernel.default_guard.upcalls)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            UDPEchoRig("quantum-driver")
+
+
+class TestHTTP:
+    def test_request_roundtrip(self):
+        request = HTTPRequest("POST", "/status", {"Host": "fauxbook"},
+                              b"hello world")
+        parsed = parse_request(request.to_bytes())
+        assert parsed.method == "POST"
+        assert parsed.path == "/status"
+        assert parsed.headers["Host"] == "fauxbook"
+        assert parsed.body == b"hello world"
+
+    def test_response_roundtrip(self):
+        response = HTTPResponse(200, b"payload", {"X-K": "v"})
+        parsed = parse_response(response.to_bytes())
+        assert parsed.status == 200
+        assert parsed.body == b"payload"
+
+    def test_router_longest_prefix(self):
+        router = Router()
+        router.add("GET", "/", lambda r: HTTPResponse(200, b"root"))
+        router.add("GET", "/api", lambda r: HTTPResponse(200, b"api"))
+        assert router.dispatch(HTTPRequest("GET", "/api/x")).body == b"api"
+        assert router.dispatch(HTTPRequest("GET", "/other")).body == b"root"
+
+    def test_router_404(self):
+        router = Router()
+        router.add("POST", "/only-post", lambda r: HTTPResponse(200))
+        assert router.dispatch(HTTPRequest("GET", "/only-post")).status == 404
+
+    def test_malformed_request(self):
+        from repro.errors import AppError
+        with pytest.raises(AppError):
+            parse_request(b"garbage")

@@ -1,0 +1,228 @@
+"""Cross-module integration tests: whole-system scenarios that exercise
+the stack the way the paper's deployment does."""
+
+import pytest
+
+from repro import CredentialSet, Nexus
+from repro.analysis import IPCConnectivityAnalyzer
+from repro.apps.fauxbook import FauxbookStack
+from repro.errors import AccessDenied, BootError
+from repro.fs import FileServer
+from repro.kernel import ClockAuthority, NexusKernel, StatementSetAuthority
+from repro.nal import parse
+from repro.nal.proof import ProofBundle
+from repro.nal.prover import Prover
+from repro.storage import SecureStorageRegion, VDIRRegistry
+from repro.tpm import Machine, SoftwareStack, TPM, boot_nexus
+
+
+class TestCrossPlatformAttestation:
+    """Labels travel between two independently booted platforms."""
+
+    def test_externalized_label_crosses_machines(self):
+        producer = NexusKernel(key_seed=7001)
+        consumer = NexusKernel(key_seed=7002)
+        prover_proc = producer.create_process("analyzer")
+        label = producer.sys_say(prover_proc.pid, "isTypeSafe(PGM)")
+        chain = producer.externalize_label(label)
+
+        importer = consumer.create_process("importer")
+        imported = consumer.import_label_chain(chain, importer.pid)
+        # The statement arrives attributed to the remote platform chain.
+        assert str(imported.statement) == "isTypeSafe(PGM)"
+        assert consumer.labels.holds(imported.formula)
+
+    def test_imported_label_usable_in_authorization(self):
+        producer = NexusKernel(key_seed=7001)
+        consumer = NexusKernel(key_seed=7002)
+        certifier = producer.create_process("certifier")
+        label = producer.sys_say(certifier.pid, "vetted(app-blob)")
+        chain = producer.externalize_label(label)
+
+        owner = consumer.create_process("owner")
+        client = consumer.create_process("client")
+        imported = consumer.import_label_chain(chain, client.pid)
+        resource = consumer.resources.create("/obj/gated", "file",
+                                             owner.principal)
+        consumer.sys_setgoal(owner.pid, resource.resource_id, "run",
+                             f"{imported.speaker} says vetted(app-blob)")
+        wallet = CredentialSet([imported])
+        bundle = wallet.bundle_for(imported.formula)
+        assert consumer.authorize(client.pid, "run", resource.resource_id,
+                                  bundle).allow
+
+
+class TestRebootPersistence:
+    """The full §3.3/§3.4 story: state survives honest reboots, dies on
+    dishonest ones."""
+
+    STACK = SoftwareStack(firmware=b"fw", bootloader=b"bl",
+                          kernel_image=b"nexus")
+
+    def test_ssr_survives_reboot_and_replay_fails_after(self):
+        from repro.storage import Disk
+        machine = Machine(tpm=TPM(seed=88))
+        disk = Disk()
+        ctx = boot_nexus(machine, self.STACK, seed=89)
+        vdirs = VDIRRegistry(disk, machine.tpm)
+        vdirs.format()
+        ssr = SecureStorageRegion("persistent", disk, vdirs, size_blocks=2,
+                                  block_size=64)
+        ssr.create()
+        ssr.write(0, b"pre-reboot data")
+        vdir_id = ssr.vdir_id
+
+        # Honest reboot of the same software stack.
+        boot_nexus(machine, self.STACK, nk_blob=ctx.nk_blob)
+        recovered = VDIRRegistry.recover(disk, machine.tpm)
+        reopened = SecureStorageRegion("persistent", disk, recovered,
+                                       size_blocks=2, block_size=64)
+        reopened.open(vdir_id)
+        assert reopened.read(0, 15) == b"pre-reboot data"
+
+    def test_trojaned_kernel_cannot_reach_state(self):
+        machine = Machine(tpm=TPM(seed=88))
+        from repro.storage import Disk
+        disk = Disk()
+        ctx = boot_nexus(machine, self.STACK, seed=89)
+        vdirs = VDIRRegistry(disk, machine.tpm)
+        vdirs.format()
+
+        evil = SoftwareStack(firmware=b"fw", bootloader=b"bl",
+                             kernel_image=b"nexus-TROJANED")
+        with pytest.raises(BootError):
+            boot_nexus(machine, evil, nk_blob=ctx.nk_blob)
+        # Even DIR access (and hence VDIR recovery) is gone: the PCR
+        # policy no longer matches.
+        from repro.errors import TPMError
+        with pytest.raises(TPMError):
+            VDIRRegistry.recover(disk, machine.tpm)
+
+
+class TestCombinedPolicies:
+    """A goal combining all three bases for trust at once."""
+
+    def test_analysis_plus_authority_plus_label(self):
+        kernel = NexusKernel()
+        fs_server = FileServer(kernel)
+        analyzer = IPCConnectivityAnalyzer(kernel)
+        clock = {"now": 100}
+        kernel.register_authority("ntp", ClockAuthority(lambda: clock["now"]))
+
+        owner = kernel.create_process("owner")
+        player = kernel.create_process("player")
+        resource = kernel.resources.create("/content/video", "stream",
+                                           owner.principal)
+        goal = (f"{analyzer.process.path} says "
+                f"not hasPath(?Subject, fs-server)"
+                f" and {owner.path} says TimeNow < 200")
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "stream", goal)
+
+        isolation = analyzer.certify_no_path(player.pid, "fs-server")
+        delegation = kernel.sys_say(
+            owner.pid, f"NTP speaksfor {owner.path} on TimeNow").formula
+        ntp_claim = parse("NTP says TimeNow < 200")
+        concrete = parse(
+            f"{analyzer.process.path} says "
+            f"not hasPath({player.path}, fs-server)"
+            f" and {owner.path} says TimeNow < 200")
+        prover = Prover([isolation, delegation],
+                        authorities={ntp_claim: "ntp"})
+        bundle = ProofBundle(prover.prove(concrete),
+                             credentials=(isolation, delegation))
+
+        assert kernel.authorize(player.pid, "stream", resource.resource_id,
+                                bundle).allow
+        clock["now"] = 300
+        assert not kernel.authorize(player.pid, "stream",
+                                    resource.resource_id, bundle).allow
+
+    def test_revocation_via_authority(self):
+        """The §2.7 pattern: A says (Valid(S) implies S); a third party
+        runs the revocation authority."""
+        kernel = NexusKernel()
+        revocation = StatementSetAuthority()
+        kernel.register_authority("revocation", revocation)
+        issuer = kernel.create_process("issuer")
+        client = kernel.create_process("client")
+        owner = kernel.create_process("owner")
+        resource = kernel.resources.create("/obj/svc", "service",
+                                           owner.principal)
+
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "use",
+                           f"{issuer.path} says S")
+        conditional = kernel.sys_say(
+            issuer.pid, "Valid(S) implies S").formula
+        valid_claim = parse(f"{issuer.path} says Valid(S)")
+        revocation.assert_statement(valid_claim)
+
+        goal = parse(f"{issuer.path} says S")
+        prover = Prover([conditional],
+                        authorities={valid_claim: "revocation"})
+        bundle = ProofBundle(prover.prove(goal), credentials=(conditional,))
+        assert kernel.authorize(client.pid, "use", resource.resource_id,
+                                bundle).allow
+        # Revoke: retract the statement; the same credentials now fail.
+        revocation.retract_statement(valid_claim)
+        assert not kernel.authorize(client.pid, "use", resource.resource_id,
+                                    bundle).allow
+
+
+class TestFauxbookOverAttestedStorage:
+    def test_full_pipeline_with_encrypted_storage_and_monitors(self):
+        stack = FauxbookStack(access_control="static", ref_monitor="kernel",
+                              storage="decrypt")
+        stack.put_file("/home.html", b"<h1>welcome</h1>")
+        response = stack.request("GET", "/static/home.html")
+        assert response.status == 200
+        assert response.body == b"<h1>welcome</h1>"
+        # And the social flow still works on the same deployment.
+        stack.request("POST", "/signup", body=b"u:p")
+        token = stack.request("POST", "/login", body=b"u:p").body.decode()
+        stack.request("POST", "/status", headers={"X-Session": token},
+                      body=b"hi")
+        page = stack.request("GET", "/wall/u", headers={"X-Session": token})
+        assert b"hi" in page.body
+
+
+class TestProofChangeSemantics:
+    def test_presenting_different_proof_invalidates_cached_deny(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/obj/x", "file", owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        # First attempt without proof: denied, and the denial is cached.
+        assert not kernel.authorize(client.pid, "read",
+                                    resource.resource_id).allow
+        assert not kernel.authorize(client.pid, "read",
+                                    resource.resource_id).allow
+        # Now present a valid proof: the cached deny must not stick.
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        from repro.nal.proof import Assume
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        assert kernel.authorize(client.pid, "read", resource.resource_id,
+                                bundle).allow
+
+    def test_equal_proof_objects_share_cache_entries(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/obj/y", "file", owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        from repro.nal.proof import Assume
+
+        def fresh_bundle():
+            return ProofBundle(Assume(cred), credentials=(cred,))
+
+        kernel.authorize(client.pid, "read", resource.resource_id,
+                         fresh_bundle())
+        upcalls = kernel.default_guard.upcalls
+        for _ in range(5):
+            decision = kernel.authorize(client.pid, "read",
+                                        resource.resource_id, fresh_bundle())
+            assert decision.allow
+        assert kernel.default_guard.upcalls == upcalls  # all cache hits

@@ -1,0 +1,640 @@
+"""Kernel tests: the Figure 1 authorization path and all §2–3 services."""
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    KernelError,
+    NoSuchPort,
+    NoSuchProcess,
+    SignatureError,
+)
+from repro.kernel import (
+    CallDecision,
+    ClockAuthority,
+    DecisionCache,
+    GuardCache,
+    NexusKernel,
+    ReferenceMonitor,
+    StatementSetAuthority,
+    SyscallWhitelistMonitor,
+)
+from repro.nal import (
+    Name,
+    Pred,
+    ProofBundle,
+    Prover,
+    Says,
+    parse,
+    prove,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return NexusKernel()
+
+
+@pytest.fixture
+def fresh_kernel():
+    return NexusKernel()
+
+
+def make_bundle(goal, credentials, authorities=None):
+    proof = prove(goal, credentials, authorities)
+    return ProofBundle(proof, credentials=tuple(credentials))
+
+
+class TestProcesses:
+    def test_create_and_principal(self, fresh_kernel):
+        proc = fresh_kernel.create_process("init", image=b"init-image")
+        assert proc.path == f"/proc/ipd/{proc.pid}"
+        assert str(proc.principal) == proc.path
+
+    def test_parent_child_and_tree_root(self, fresh_kernel):
+        parent = fresh_kernel.create_process("parent")
+        child = fresh_kernel.create_process("child", parent_pid=parent.pid)
+        grand = fresh_kernel.create_process("grand", parent_pid=child.pid)
+        assert fresh_kernel.processes.tree_root(grand.pid) == parent.pid
+
+    def test_exit_removes_process(self, fresh_kernel):
+        proc = fresh_kernel.create_process("gone")
+        fresh_kernel.exit_process(proc.pid)
+        with pytest.raises(NoSuchProcess):
+            fresh_kernel.processes.get(proc.pid)
+
+    def test_image_hash_recorded(self, fresh_kernel):
+        a = fresh_kernel.create_process("a", image=b"same")
+        b = fresh_kernel.create_process("b", image=b"same")
+        c = fresh_kernel.create_process("c", image=b"different")
+        assert a.image_hash == b.image_hash != c.image_hash
+
+    def test_process_resource_registered(self, fresh_kernel):
+        proc = fresh_kernel.create_process("svc")
+        resource = fresh_kernel.resources.lookup(proc.path)
+        assert resource.kind == "process"
+
+
+class TestSay:
+    def test_label_attributed_to_caller(self, fresh_kernel):
+        proc = fresh_kernel.create_process("speaker")
+        label = fresh_kernel.sys_say(proc.pid, "isTypeSafe(PGM)")
+        assert label.formula == Says(proc.principal,
+                                     Pred("isTypeSafe", (Name("PGM"),)))
+
+    def test_caller_cannot_forge_speaker(self, fresh_kernel):
+        """A process stating `B says S` gets `me says (B says S)` — the
+        kernel pins the outer speaker."""
+        mallory = fresh_kernel.create_process("mallory")
+        label = fresh_kernel.sys_say(mallory.pid, "Victim says p")
+        assert label.speaker == mallory.principal
+        assert label.formula == Says(mallory.principal,
+                                     parse("Victim says p"))
+
+    def test_label_delete(self, fresh_kernel):
+        proc = fresh_kernel.create_process("speaker")
+        label = fresh_kernel.sys_say(proc.pid, "p")
+        store = fresh_kernel.default_labelstore(proc.pid)
+        store.delete(label.handle)
+        assert store.find(label.formula) is None
+
+    def test_label_transfer_keeps_attribution(self, fresh_kernel):
+        a = fresh_kernel.create_process("a")
+        b = fresh_kernel.create_process("b")
+        label = fresh_kernel.sys_say(a.pid, "p")
+        moved = fresh_kernel.default_labelstore(a.pid).transfer(
+            label.handle, fresh_kernel.default_labelstore(b.pid))
+        assert moved.speaker == a.principal
+
+    def test_registry_holds(self, fresh_kernel):
+        proc = fresh_kernel.create_process("speaker")
+        label = fresh_kernel.sys_say(proc.pid, "q")
+        assert fresh_kernel.labels.holds(label.formula)
+        assert not fresh_kernel.labels.holds(parse("Nobody says q"))
+
+
+class TestExternalization:
+    def test_roundtrip_through_x509(self, fresh_kernel):
+        proc = fresh_kernel.create_process("exporter")
+        label = fresh_kernel.sys_say(proc.pid, "isTypeSafe(PGM)")
+        chain = fresh_kernel.externalize_label(label)
+        chain.verify()
+        # Chain shape: TPM says NK says <process> says S (§2.4).
+        assert chain.speaker_path()[0].startswith("TPM-")
+        assert chain.speaker_path()[1].startswith("NK-")
+
+    def test_import_prefixes_remote_principal(self, fresh_kernel):
+        proc = fresh_kernel.create_process("exporter")
+        label = fresh_kernel.sys_say(proc.pid, "p")
+        chain = fresh_kernel.externalize_label(label)
+        importer = fresh_kernel.create_process("importer")
+        imported = fresh_kernel.import_label_chain(chain, importer.pid)
+        # The speaker is fully qualified by the attesting platform.
+        assert str(imported.speaker).startswith("TPM-")
+        assert str(imported.speaker).endswith(proc.path)
+
+    def test_tampered_chain_rejected(self, fresh_kernel):
+        proc = fresh_kernel.create_process("exporter")
+        label = fresh_kernel.sys_say(proc.pid, "p")
+        chain = fresh_kernel.externalize_label(label)
+        leaf = chain.certs[-1]
+        forged = type(leaf)(issuer=leaf.issuer, subject=leaf.subject,
+                            statement=str(parse(f"{proc.path} says q")),
+                            issuer_key=leaf.issuer_key,
+                            subject_key=leaf.subject_key,
+                            signature=leaf.signature)
+        chain.certs[-1] = forged
+        importer = fresh_kernel.create_process("importer")
+        with pytest.raises(SignatureError):
+            fresh_kernel.import_label_chain(chain, importer.pid)
+
+
+class TestIPC:
+    def test_port_binding_label_deposited(self, fresh_kernel):
+        proc = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(proc.pid, "svc")
+        expected = parse(
+            f"Nexus says IPC.{port.port_id} speaksfor /proc/ipd/{proc.pid}")
+        assert fresh_kernel.labels.holds(expected)
+
+    def test_ipc_call_invokes_handler(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "echo",
+                                        handler=lambda x: x + 1)
+        client = fresh_kernel.create_process("client")
+        assert fresh_kernel.ipc_call(client.pid, port.port_id, 41) == 42
+
+    def test_ipc_records_connection(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda: None)
+        client = fresh_kernel.create_process("client")
+        fresh_kernel.ipc_call(client.pid, port.port_id)
+        assert (client.pid, port.port_id) in fresh_kernel.ports.connections
+
+    def test_missing_port(self, fresh_kernel):
+        client = fresh_kernel.create_process("client")
+        with pytest.raises(NoSuchPort):
+            fresh_kernel.ipc_call(client.pid, 999)
+
+    def test_mailbox_send(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "inbox")
+        client = fresh_kernel.create_process("client")
+        assert fresh_kernel.ipc_send(client.pid, port.port_id, "hi")
+        assert port.mailbox == ["hi"]
+
+
+class TestDefaultPolicy:
+    def test_owner_allowed(self, fresh_kernel):
+        owner = fresh_kernel.create_process("owner")
+        resource = fresh_kernel.resources.create(
+            "/obj/x", "file", owner.principal)
+        decision = fresh_kernel.authorize(owner.pid, "read",
+                                          resource.resource_id)
+        assert decision.allow
+
+    def test_stranger_denied(self, fresh_kernel):
+        owner = fresh_kernel.create_process("owner")
+        stranger = fresh_kernel.create_process("stranger")
+        resource = fresh_kernel.resources.create(
+            "/obj/x", "file", owner.principal)
+        decision = fresh_kernel.authorize(stranger.pid, "read",
+                                          resource.resource_id)
+        assert not decision.allow
+
+    def test_guarded_call_raises_on_deny(self, fresh_kernel):
+        owner = fresh_kernel.create_process("owner")
+        stranger = fresh_kernel.create_process("stranger")
+        resource = fresh_kernel.resources.create(
+            "/obj/x", "file", owner.principal)
+        with pytest.raises(AccessDenied):
+            fresh_kernel.guarded_call(stranger.pid, "read",
+                                      resource.resource_id, lambda: "data")
+        assert fresh_kernel.guarded_call(
+            owner.pid, "read", resource.resource_id, lambda: "data") == "data"
+
+
+class TestGoalsAndProofs:
+    def _setup(self, kernel):
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/obj/file", "file",
+                                           owner.principal)
+        return owner, client, resource
+
+    def test_setgoal_requires_authorization(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        with pytest.raises(AccessDenied):
+            fresh_kernel.sys_setgoal(client.pid, resource.resource_id,
+                                     "read", "true")
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id,
+                                 "read", "true")
+
+    def test_true_goal_allows_everyone(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id,
+                                 "read", "true")
+        assert fresh_kernel.authorize(client.pid, "read",
+                                      resource.resource_id).allow
+
+    def test_goal_requires_proof(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        goal = f"{owner.path} says mayRead(?Subject)"
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 goal)
+        # No proof: denied.
+        assert not fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id).allow
+
+    def test_goal_with_subject_variable(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says mayRead(?Subject)")
+        cred = fresh_kernel.sys_say(owner.pid,
+                                    f"mayRead({client.path})").formula
+        goal = parse(f"{owner.path} says mayRead({client.path})")
+        bundle = make_bundle(goal, [cred])
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert decision.allow
+        assert decision.cacheable
+
+    def test_unissued_credential_rejected(self, fresh_kernel):
+        """A proof over a label that was never `say`-ed fails the
+        authenticity check even if presented in the bundle."""
+        owner, client, resource = self._setup(fresh_kernel)
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says mayRead(?Subject)")
+        forged = parse(f"{owner.path} says mayRead({client.path})")
+        bundle = make_bundle(forged, [forged])
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert not decision.allow
+        assert "credential" in decision.reason
+
+    def test_delegation_proof(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        deputy = fresh_kernel.create_process("deputy")
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says mayRead(?Subject)")
+        handoff = fresh_kernel.sys_say(
+            owner.pid, f"{deputy.path} speaksfor {owner.path}").formula
+        grant = fresh_kernel.sys_say(
+            deputy.pid, f"mayRead({client.path})").formula
+        goal = parse(f"{owner.path} says mayRead({client.path})")
+        bundle = make_bundle(goal, [handoff, grant])
+        assert fresh_kernel.authorize(client.pid, "read",
+                                      resource.resource_id, bundle).allow
+
+    def test_registered_proof_used_automatically(self, fresh_kernel):
+        owner, client, resource = self._setup(fresh_kernel)
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says mayRead(?Subject)")
+        cred = fresh_kernel.sys_say(owner.pid,
+                                    f"mayRead({client.path})").formula
+        goal = parse(f"{owner.path} says mayRead({client.path})")
+        fresh_kernel.sys_set_proof(client.pid, "read", resource.resource_id,
+                                   make_bundle(goal, [cred]))
+        assert fresh_kernel.authorize(client.pid, "read",
+                                      resource.resource_id).allow
+
+
+class TestAuthorities:
+    def test_time_authority_gate(self, fresh_kernel):
+        """The paper's time-sensitive file: access only before a deadline,
+        via an authority — never via a transferable, expirable label."""
+        clock = {"now": 100}
+        fresh_kernel.register_authority(
+            "ntp", ClockAuthority(lambda: clock["now"]))
+        owner = fresh_kernel.create_process("owner")
+        client = fresh_kernel.create_process("client")
+        resource = fresh_kernel.resources.create("/obj/secret", "file",
+                                                 owner.principal)
+        fresh_kernel.sys_setgoal(
+            owner.pid, resource.resource_id, "read",
+            f"{owner.path} says TimeNow < 200")
+        delegation = fresh_kernel.sys_say(
+            owner.pid, "NTP speaksfor " + owner.path + " on TimeNow").formula
+        goal = parse(f"{owner.path} says TimeNow < 200")
+        ntp_claim = parse("NTP says TimeNow < 200")
+        prover = Prover([delegation], authorities={ntp_claim: "ntp"})
+        bundle = ProofBundle(prover.prove(goal), credentials=(delegation,))
+
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert decision.allow
+        assert not decision.cacheable  # time-dependent: never cached
+
+        clock["now"] = 300  # the deadline passes
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert not decision.allow
+
+    def test_statement_set_authority(self, fresh_kernel):
+        authority = StatementSetAuthority()
+        fresh_kernel.register_authority("members", authority)
+        statement = parse("Registrar says member(alice)")
+        assert not fresh_kernel.authorities.query("members", statement)
+        authority.assert_statement(statement)
+        assert fresh_kernel.authorities.query("members", statement)
+        authority.retract_statement(statement)
+        assert not fresh_kernel.authorities.query("members", statement)
+
+    def test_unknown_authority_fails_closed(self, fresh_kernel):
+        assert not fresh_kernel.authorities.query("ghost", parse("p"))
+
+
+class TestDecisionCache:
+    def _guarded(self, kernel):
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/obj/c", "file", owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says mayRead(?Subject)")
+        cred = kernel.sys_say(owner.pid, f"mayRead({client.path})").formula
+        goal = parse(f"{owner.path} says mayRead({client.path})")
+        bundle = make_bundle(goal, [cred])
+        return owner, client, resource, bundle
+
+    def test_second_call_hits_cache(self, fresh_kernel):
+        owner, client, resource, bundle = self._guarded(fresh_kernel)
+        fresh_kernel.authorize(client.pid, "read", resource.resource_id,
+                               bundle)
+        upcalls_before = fresh_kernel.default_guard.upcalls
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert decision.allow
+        assert fresh_kernel.default_guard.upcalls == upcalls_before
+        assert fresh_kernel.decision_cache.stats.hits >= 1
+
+    def test_cache_transparency(self):
+        """Same decisions with the cache on and off (invariant #4)."""
+        for enabled in (True, False):
+            kernel = NexusKernel()
+            kernel.decision_cache.enabled = enabled
+            owner, client, resource, bundle = self._guarded(kernel)
+            first = kernel.authorize(client.pid, "read",
+                                     resource.resource_id, bundle)
+            second = kernel.authorize(client.pid, "read",
+                                      resource.resource_id, bundle)
+            assert first.allow and second.allow
+
+    def test_setgoal_invalidates(self, fresh_kernel):
+        owner, client, resource, bundle = self._guarded(fresh_kernel)
+        fresh_kernel.authorize(client.pid, "read", resource.resource_id,
+                               bundle)
+        # Tighten the goal to something unprovable; cached ALLOW must die.
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says never(?Subject)")
+        decision = fresh_kernel.authorize(client.pid, "read",
+                                          resource.resource_id, bundle)
+        assert not decision.allow
+
+    def test_proof_update_invalidates_single_entry(self, fresh_kernel):
+        owner, client, resource, bundle = self._guarded(fresh_kernel)
+        fresh_kernel.sys_set_proof(client.pid, "read", resource.resource_id,
+                                   bundle)
+        fresh_kernel.authorize(client.pid, "read", resource.resource_id)
+        before = len(fresh_kernel.decision_cache)
+        fresh_kernel.sys_set_proof(client.pid, "read", resource.resource_id,
+                                   bundle)
+        assert len(fresh_kernel.decision_cache) == before - 1
+
+    def test_subregion_resize(self):
+        cache = DecisionCache(subregions=4)
+        cache.insert(1, "read", 10, True)
+        cache.resize(16)
+        assert cache.lookup(1, "read", 10) is None
+        assert cache.subregion_count == 16
+
+    def test_subregion_isolation(self):
+        """Invalidating one goal leaves other (op, obj) pairs intact when
+        they hash to different subregions."""
+        cache = DecisionCache(subregions=64)
+        pairs = [("read", obj) for obj in range(20)]
+        for op, obj in pairs:
+            cache.insert(1, op, obj, True)
+        survivor = next(
+            (op, obj) for op, obj in pairs[1:]
+            if hash((op, obj)) % 64 != hash(pairs[0]) % 64)
+        cache.invalidate_goal(*pairs[0])
+        assert cache.lookup(1, *survivor) is True
+        assert cache.lookup(1, *pairs[0]) is None
+
+
+class TestGuardCache:
+    def test_hit_skips_recheck(self, fresh_kernel):
+        owner = fresh_kernel.create_process("owner")
+        client = fresh_kernel.create_process("client")
+        resource = fresh_kernel.resources.create("/obj/g", "file",
+                                                 owner.principal)
+        fresh_kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                 f"{owner.path} says ok(?Subject)")
+        cred = fresh_kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        goal = parse(f"{owner.path} says ok({client.path})")
+        bundle = make_bundle(goal, [cred])
+        fresh_kernel.decision_cache.enabled = False  # isolate guard cache
+        fresh_kernel.authorize(client.pid, "read", resource.resource_id,
+                               bundle)
+        misses = fresh_kernel.default_guard.cache.misses
+        fresh_kernel.authorize(client.pid, "read", resource.resource_id,
+                               bundle)
+        assert fresh_kernel.default_guard.cache.hits >= 1
+        assert fresh_kernel.default_guard.cache.misses == misses
+
+    def test_per_root_quota_eviction(self):
+        cache = GuardCache(capacity=100, per_root_quota=2)
+        from repro.nal.checker import CheckResult
+        result = CheckResult(conclusion=parse("p"), assumptions=(),
+                             authority_queries=(), rule_count=0,
+                             dynamic=False)
+        cache.insert("k1", "rootA", result)
+        cache.insert("k2", "rootA", result)
+        cache.insert("k3", "rootA", result)  # exceeds quota: evicts own
+        assert len(cache) == 2
+        assert cache.lookup("k1") is None  # oldest of rootA was evicted
+        assert cache.lookup("k3") is not None
+
+    def test_eviction_prefers_requesting_principal(self):
+        cache = GuardCache(capacity=2, per_root_quota=10)
+        from repro.nal.checker import CheckResult
+        result = CheckResult(conclusion=parse("p"), assumptions=(),
+                             authority_queries=(), rule_count=0,
+                             dynamic=False)
+        cache.insert("a1", "rootA", result)
+        cache.insert("b1", "rootB", result)
+        cache.insert("b2", "rootB", result)  # full: evicts B's own entry
+        assert cache.lookup("a1") is not None
+        assert cache.lookup("b1") is None
+
+
+class TestInterposition:
+    def test_whitelist_monitor_blocks(self, fresh_kernel):
+        proc = fresh_kernel.create_process("confined")
+        monitor = SyscallWhitelistMonitor(allowed={"null", "gettimeofday"})
+        fresh_kernel.interpose_syscall_channel(proc.pid, monitor)
+        fresh_kernel.syscall(proc.pid, "null")
+        with pytest.raises(AccessDenied):
+            fresh_kernel.syscall(proc.pid, "yield")
+        assert monitor.denied_calls == ["yield"]
+
+    def test_monitor_can_rewrite_args(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda x: x)
+
+        class Doubler(ReferenceMonitor):
+            def on_call(self, subject, operation, obj, args):
+                return CallDecision.allow(args=(args[0] * 2,))
+
+        fresh_kernel.sys_interpose(server.pid, port.port_id, Doubler())
+        client = fresh_kernel.create_process("client")
+        assert fresh_kernel.ipc_call(client.pid, port.port_id, 21) == 42
+
+    def test_monitor_can_rewrite_result(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda: "secret")
+
+        class Redactor(ReferenceMonitor):
+            def on_return(self, subject, operation, obj, result):
+                return "REDACTED"
+
+        fresh_kernel.sys_interpose(server.pid, port.port_id, Redactor())
+        client = fresh_kernel.create_process("client")
+        assert fresh_kernel.ipc_call(client.pid, port.port_id) == "REDACTED"
+
+    def test_interposition_composes(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda x: x)
+
+        class AddOne(ReferenceMonitor):
+            def on_call(self, subject, operation, obj, args):
+                return CallDecision.allow(args=(args[0] + 1,))
+
+        class TimesTen(ReferenceMonitor):
+            def on_call(self, subject, operation, obj, args):
+                return CallDecision.allow(args=(args[0] * 10,))
+
+        fresh_kernel.sys_interpose(server.pid, port.port_id, AddOne())
+        fresh_kernel.sys_interpose(server.pid, port.port_id, TimesTen())
+        client = fresh_kernel.create_process("client")
+        # Outermost first: (x + 1) then * 10.
+        assert fresh_kernel.ipc_call(client.pid, port.port_id, 4) == 50
+
+    def test_interpose_requires_consent(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda: None)
+        attacker = fresh_kernel.create_process("attacker")
+        with pytest.raises(AccessDenied):
+            fresh_kernel.sys_interpose(attacker.pid, port.port_id,
+                                       ReferenceMonitor())
+
+    def test_ipc_block(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda: "x")
+
+        class DenyAll(ReferenceMonitor):
+            def on_call(self, subject, operation, obj, args):
+                return CallDecision.deny()
+
+        fresh_kernel.sys_interpose(server.pid, port.port_id, DenyAll())
+        client = fresh_kernel.create_process("client")
+        with pytest.raises(AccessDenied):
+            fresh_kernel.ipc_call(client.pid, port.port_id)
+
+
+class TestSyscalls:
+    def test_basic_syscalls(self, fresh_kernel):
+        parent = fresh_kernel.create_process("parent")
+        child = fresh_kernel.create_process("child", parent_pid=parent.pid)
+        assert fresh_kernel.syscall(child.pid, "getppid") == parent.pid
+        assert fresh_kernel.syscall(child.pid, "null") is None
+        t1 = fresh_kernel.syscall(child.pid, "gettimeofday")
+        t2 = fresh_kernel.syscall(child.pid, "gettimeofday")
+        assert t2 > t1
+
+    def test_unknown_syscall(self, fresh_kernel):
+        proc = fresh_kernel.create_process("p")
+        with pytest.raises(KernelError):
+            fresh_kernel.syscall(proc.pid, "bogus")
+
+    def test_bare_mode_skips_redirector(self):
+        kernel = NexusKernel(interpose_syscalls=False)
+        proc = kernel.create_process("p")
+        monitor = SyscallWhitelistMonitor(allowed=set())
+        kernel.interpose_syscall_channel(proc.pid, monitor)
+        # Interposition disabled: even a deny-all monitor never runs.
+        kernel.syscall(proc.pid, "null")
+        assert monitor.denied_calls == []
+
+
+class TestIntrospection:
+    def test_kernel_publishes_live_process_list(self, fresh_kernel):
+        before = fresh_kernel.introspection.read("/proc/kernel/processes")
+        proc = fresh_kernel.create_process("newbie")
+        after = fresh_kernel.introspection.read("/proc/kernel/processes")
+        assert str(proc.pid) in after.split(",")
+        assert before != after
+
+    def test_process_hash_published(self, fresh_kernel):
+        proc = fresh_kernel.create_process("hashed", image=b"img")
+        node = fresh_kernel.introspection.read(f"{proc.path}/hash")
+        assert node == proc.image_hash.hex()
+
+    def test_ipc_connections_visible(self, fresh_kernel):
+        server = fresh_kernel.create_process("server")
+        port = fresh_kernel.create_port(server.pid, "svc",
+                                        handler=lambda: None)
+        client = fresh_kernel.create_process("client")
+        fresh_kernel.ipc_call(client.pid, port.port_id)
+        view = fresh_kernel.introspection.read("/proc/kernel/ipc_connections")
+        assert f"{client.pid}->{port.port_id}" in view
+
+    def test_as_label(self, fresh_kernel):
+        proc = fresh_kernel.create_process("labelled")
+        label = fresh_kernel.introspection.as_label(f"{proc.path}/name")
+        assert str(label.speaker) == proc.path
+
+    def test_access_hook(self, fresh_kernel):
+        fresh_kernel.introspection.access_hook = (
+            lambda reader, path: reader == "kernel")
+        proc = fresh_kernel.create_process("private")
+        fresh_kernel.introspection.read(f"{proc.path}/name", reader="kernel")
+        with pytest.raises(AccessDenied):
+            fresh_kernel.introspection.read(f"{proc.path}/name",
+                                            reader="snoop")
+        fresh_kernel.introspection.access_hook = None
+
+
+class TestScheduler:
+    def test_proportional_share_converges(self, fresh_kernel):
+        sched = fresh_kernel.scheduler
+        sched.add_client("tenantA", tickets=300)
+        sched.add_client("tenantB", tickets=100)
+        sched.run(4000)
+        assert abs(sched.share_of("tenantA") - 0.75) < 0.01
+        assert abs(sched.share_of("tenantB") - 0.25) < 0.01
+
+    def test_reserved_fraction_matches_tickets(self, fresh_kernel):
+        sched = fresh_kernel.scheduler
+        sched.add_client("a", tickets=100)
+        sched.add_client("b", tickets=100)
+        assert sched.reserved_fraction("a") == 0.5
+
+    def test_weights_visible_through_introspection(self, fresh_kernel):
+        fresh_kernel.scheduler.add_client("tenant", tickets=42)
+        view = fresh_kernel.introspection.read("/proc/sched/clients")
+        assert "tenant=42" in view
+
+    def test_late_joiner_not_starved(self, fresh_kernel):
+        sched = fresh_kernel.scheduler
+        sched.add_client("early", tickets=100)
+        sched.run(1000)
+        sched.add_client("late", tickets=100)
+        sched.run(1000)
+        assert sched._require("late").ticks_received > 400

@@ -1,0 +1,128 @@
+"""Later-added kernel behaviours: custom guards, process teardown, and
+goal-protected introspection (§3.1)."""
+
+import pytest
+
+from repro.errors import AccessDenied, NoSuchPort
+from repro.kernel import Guard, GuardCache, NexusKernel
+from repro.nal import Assume, ProofBundle, parse
+
+
+class TestCustomGuards:
+    def test_designated_guard_handles_checks(self):
+        """setgoal may name a non-default guard (§2.5's designated guard
+        IPC channel); the kernel routes checks for that goal to it."""
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/custom/obj", "file",
+                                           owner.principal)
+        custom = Guard(kernel.labels, kernel.authorities,
+                       cache=GuardCache())
+        kernel.register_guard("custom-guard", custom)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)",
+                           guard_port="custom-guard")
+        # The custom guard needs the goal too (it owns its goalstore…
+        # except the kernel's goalstore is authoritative for routing, so
+        # mirror it there).
+        custom.goals.set_goal(resource.resource_id, "read",
+                              parse(f"{owner.path} says ok(?Subject)"))
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        decision = kernel.authorize(client.pid, "read",
+                                    resource.resource_id, bundle)
+        assert decision.allow
+        assert custom.upcalls >= 1
+        assert kernel.default_guard.upcalls == 0 or \
+            custom.upcalls > 0  # the check ran in the custom guard
+
+    def test_unknown_guard_port_falls_back_to_default(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        resource = kernel.resources.create("/custom/obj2", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read", "true",
+                           guard_port="ghost-guard")
+        assert kernel.authorize(owner.pid, "read",
+                                resource.resource_id).allow
+
+
+class TestProcessTeardown:
+    def test_exit_destroys_ports(self):
+        kernel = NexusKernel()
+        server = kernel.create_process("server")
+        port = kernel.create_port(server.pid, "svc", handler=lambda: 1)
+        client = kernel.create_process("client")
+        kernel.exit_process(server.pid)
+        with pytest.raises(NoSuchPort):
+            kernel.ipc_call(client.pid, port.port_id)
+
+    def test_exit_releases_resources(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("ephemeral")
+        kernel.create_port(proc.pid, "p")
+        kernel.exit_process(proc.pid)
+        assert kernel.resources.find(proc.path) is None
+        assert not kernel.ports.ports_owned_by(proc.pid)
+
+    def test_exit_removes_introspection_nodes(self):
+        kernel = NexusKernel()
+        proc = kernel.create_process("ephemeral")
+        kernel.exit_process(proc.pid)
+        assert not kernel.introspection.exists(f"{proc.path}/name")
+
+    def test_connections_pruned_with_port(self):
+        kernel = NexusKernel()
+        server = kernel.create_process("server")
+        port = kernel.create_port(server.pid, "svc", handler=lambda: 1)
+        client = kernel.create_process("client")
+        kernel.ipc_call(client.pid, port.port_id)
+        kernel.exit_process(server.pid)
+        assert (client.pid, port.port_id) not in kernel.ports.connections
+
+
+class TestGuardedIntrospection:
+    def test_sensitive_subtree_requires_credential(self):
+        kernel = NexusKernel()
+        kernel.introspection.publish("/proc/secrets/key", "hunter2")
+        reader = kernel.create_process("reader")
+        kernel.guard_introspection(
+            "/proc/secrets", goal="Nexus says mayIntrospect(?Subject)")
+        with pytest.raises(AccessDenied):
+            kernel.introspection.read("/proc/secrets/key",
+                                      reader=reader.path)
+        cred = kernel.say_as(
+            "Nexus", f"mayIntrospect({reader.path})",
+            store=kernel.default_labelstore(reader.pid)).formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        resource = kernel.resources.lookup("/introspect/proc/secrets")
+        kernel.sys_set_proof(reader.pid, "read", resource.resource_id,
+                             bundle)
+        assert kernel.introspection.read("/proc/secrets/key",
+                                         reader=reader.path) == "hunter2"
+
+    def test_kernel_reader_always_passes(self):
+        kernel = NexusKernel()
+        kernel.introspection.publish("/proc/secrets/key", "hunter2")
+        kernel.guard_introspection("/proc/secrets",
+                                   goal="Nexus says never(?Subject)")
+        assert kernel.introspection.read("/proc/secrets/key") == "hunter2"
+
+    def test_unguarded_paths_stay_open(self):
+        kernel = NexusKernel()
+        kernel.guard_introspection("/proc/secrets",
+                                   goal="Nexus says never(?Subject)")
+        reader = kernel.create_process("reader")
+        # Ordinary nodes are unaffected by the guarded subtree.
+        assert kernel.introspection.read("/proc/kernel/boot_id",
+                                         reader=reader.path)
+
+    def test_unknown_reader_fails_closed(self):
+        kernel = NexusKernel()
+        kernel.introspection.publish("/proc/secrets/key", "x")
+        kernel.guard_introspection("/proc/secrets",
+                                   goal="Nexus says ok(?Subject)")
+        with pytest.raises(AccessDenied):
+            kernel.introspection.read("/proc/secrets/key",
+                                      reader="not-a-process")

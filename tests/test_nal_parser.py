@@ -1,0 +1,242 @@
+"""Parser tests, including paper examples and hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.nal import (
+    And,
+    Compare,
+    Const,
+    FALSE,
+    Implies,
+    KeyPrincipal,
+    Name,
+    Not,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    TRUE,
+    Var,
+    parse,
+    parse_principal,
+    principal,
+)
+
+
+class TestParseBasics:
+    def test_atom(self):
+        assert parse("p") == Pred("p")
+
+    def test_true_false(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_predicate_with_args(self):
+        assert parse('isTypeSafe(PGM)') == Pred("isTypeSafe", (Name("PGM"),))
+
+    def test_predicate_mixed_args(self):
+        f = parse('hasPath(/proc/ipd/12, "fs", 3)')
+        assert f == Pred("hasPath",
+                         (Name("/proc/ipd/12"), Const("fs"), Const(3)))
+
+    def test_zero_arg_predicate(self):
+        assert parse("ready()") == Pred("ready", ())
+
+    def test_says(self):
+        f = parse("TypeChecker says isTypeSafe(PGM)")
+        assert f == Says(Name("TypeChecker"), Pred("isTypeSafe", (Name("PGM"),)))
+
+    def test_says_nests_right(self):
+        f = parse("A says B says p")
+        assert f == Says(Name("A"), Says(Name("B"), Pred("p")))
+
+    def test_says_binds_tighter_than_and(self):
+        f = parse("A says p and B says q")
+        assert f == And(Says(Name("A"), Pred("p")), Says(Name("B"), Pred("q")))
+
+    def test_says_body_includes_comparison(self):
+        f = parse("NTP says TimeNow < 20110319")
+        assert f == Says(Name("NTP"),
+                         Compare("<", Name("TimeNow"), Const(20110319)))
+
+    def test_speaksfor(self):
+        f = parse("A speaksfor B")
+        assert f == Speaksfor(Name("A"), Name("B"))
+
+    def test_speaksfor_on(self):
+        f = parse("NTP speaksfor Server on TimeNow")
+        assert f == Speaksfor(Name("NTP"), Name("Server"), Name("TimeNow"))
+
+    def test_subprincipal_chain(self):
+        f = parse("HW.kernel.process23 says p")
+        assert f == Says(principal("HW.kernel.process23"), Pred("p"))
+
+    def test_key_principal(self):
+        f = parse("key:ab12 says p")
+        assert f == Says(KeyPrincipal("ab12"), Pred("p"))
+
+    def test_variable_speaker(self):
+        f = parse("?X says openFile(f)")
+        assert f == Says(Var("X"), Pred("openFile", (Name("f"),)))
+
+    def test_in_sugar(self):
+        f = parse("alice in bob.friends")
+        assert f == Pred("in", (Name("alice"), principal("bob.friends")))
+
+    def test_equals_is_sugar_for_eq(self):
+        f = parse("user = alice")
+        assert f == Compare("==", Name("user"), Name("alice"))
+
+    def test_not(self):
+        f = parse("not hasPath(a, b)")
+        assert f == Not(Pred("hasPath", (Name("a"), Name("b"))))
+
+    def test_bang_not(self):
+        assert parse("!p") == Not(Pred("p"))
+
+    def test_connective_precedence(self):
+        f = parse("p and q or r implies s")
+        assert f == Implies(Or(And(Pred("p"), Pred("q")), Pred("r")), Pred("s"))
+
+    def test_implies_right_assoc(self):
+        f = parse("p implies q implies r")
+        assert f == Implies(Pred("p"), Implies(Pred("q"), Pred("r")))
+
+    def test_arrow_and_ascii_connectives(self):
+        assert parse("p -> q") == Implies(Pred("p"), Pred("q"))
+        assert parse(r"p /\ q") == And(Pred("p"), Pred("q"))
+        assert parse(r"p \/ q") == Or(Pred("p"), Pred("q"))
+
+    def test_parens_override(self):
+        f = parse("p and (q or r)")
+        assert f == And(Pred("p"), Or(Pred("q"), Pred("r")))
+
+    def test_parse_idempotent_on_formula(self):
+        f = parse("p and q")
+        assert parse(f) is f
+
+    def test_parse_principal(self):
+        assert parse_principal("kernel.proc") == principal("kernel.proc")
+        p = Name("A")
+        assert parse_principal(p) is p
+
+
+class TestPaperExamples:
+    """The labels and goals that appear verbatim in the paper."""
+
+    def test_company_certifies_client(self):
+        f = parse("Company says isTrustworthy(Client)"
+                  " and Nexus says /proc/ipd/12 speaksfor Client")
+        assert isinstance(f, And)
+        assert f.left == Says(Name("Company"),
+                              Pred("isTrustworthy", (Name("Client"),)))
+        assert f.right == Says(Name("Nexus"),
+                               Speaksfor(Name("/proc/ipd/12"), Name("Client")))
+
+    def test_ipc_analyzer_labels(self):
+        f = parse("/proc/ipd/30 says not hasPath(/proc/ipd/12, Filesystem)")
+        assert f == Says(
+            Name("/proc/ipd/30"),
+            Not(Pred("hasPath", (Name("/proc/ipd/12"), Name("Filesystem")))))
+
+    def test_time_goal(self):
+        f = parse("Owner says TimeNow < 20110319"
+                  " and ?X says openFile(filename)"
+                  " and SafetyCertifier says safe(?X)")
+        parts = list(__import__("repro.nal", fromlist=["conjuncts"])
+                     .conjuncts(f))
+        assert len(parts) == 3
+        assert parts[1] == Says(Var("X"), Pred("openFile", (Name("filename"),)))
+
+    def test_ntp_delegation(self):
+        f = parse("Filesystem says NTP speaksfor Filesystem on TimeNow")
+        assert f == Says(
+            Name("Filesystem"),
+            Speaksfor(Name("NTP"), Name("Filesystem"), Name("TimeNow")))
+
+    def test_default_ownership_label(self):
+        f = parse("FS says /proc/ipd/6 speaksfor FS./dir/file")
+        assert isinstance(f, Says)
+        assert isinstance(f.body, Speaksfor)
+        assert str(f.body.right) == "FS./dir/file"
+
+    def test_revocation_pattern(self):
+        f = parse("A says (Valid(S) implies S)")
+        assert f == Says(Name("A"),
+                         Implies(Pred("Valid", (Name("S"),)), Pred("S")))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "", "says p", "p and", "(p", "p)", "A speaksfor", "A says",
+        "not", "p @ q", "1 says p", '"s" speaksfor B', "?X(", "p(,)",
+        "A speaksfor B on", "p q",
+    ])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_keyword_as_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse("p(says)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("p @ q")
+        assert excinfo.value.position == 2
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: parse/print round trip over random formula trees
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["A", "B", "NTP", "Filesystem", "/proc/ipd/12",
+                          "Owner", "kernel"])
+_principals = st.recursive(
+    _names.map(Name) | st.sampled_from(["ab12", "ff00"]).map(KeyPrincipal),
+    lambda inner: st.tuples(
+        inner, st.sampled_from(["t", "port", "proc9"])).map(
+            lambda pair: pair[0].sub(pair[1])
+            if hasattr(pair[0], "sub") else pair[0]),
+    max_leaves=3)
+_terms = (_principals
+          | st.integers(min_value=-99, max_value=10**6).map(Const)
+          | st.sampled_from(["hello", "f.txt"]).map(Const)
+          | st.sampled_from(["X", "Y"]).map(Var))
+_atoms = (
+    st.tuples(st.sampled_from(["p", "q", "hasPath", "safe"]),
+              st.lists(_terms, max_size=3)).map(
+        lambda pair: Pred(pair[0], tuple(pair[1])))
+    | st.tuples(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+                _terms, _terms).map(lambda t: Compare(*t))
+    | st.just(TRUE) | st.just(FALSE))
+
+
+def _extend(children):
+    return (
+        st.tuples(children, children).map(lambda p: And(*p))
+        | st.tuples(children, children).map(lambda p: Or(*p))
+        | st.tuples(children, children).map(lambda p: Implies(*p))
+        | children.map(Not)
+        | st.tuples(_principals, children).map(lambda p: Says(*p))
+        | st.tuples(_principals, _principals).map(lambda p: Speaksfor(*p))
+        | st.tuples(_principals, _principals, _terms).map(
+            lambda p: Speaksfor(p[0], p[1], p[2]))
+    )
+
+
+_formulas = st.recursive(_atoms, _extend, max_leaves=8)
+
+
+@given(_formulas)
+@settings(max_examples=300, deadline=None)
+def test_parse_print_roundtrip(formula):
+    assert parse(str(formula)) == formula
+
+
+@given(_formulas)
+@settings(max_examples=100, deadline=None)
+def test_printing_is_stable(formula):
+    assert str(parse(str(formula))) == str(formula)

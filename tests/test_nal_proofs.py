@@ -1,0 +1,392 @@
+"""Proof checker and prover tests.
+
+These encode the logical core of the paper: constructive deduction, local
+inference (``A says false`` cannot contaminate B), scoped delegation,
+handoff, subprincipal axioms, and the cacheability analysis that drives
+the kernel decision cache.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProofError
+from repro.nal import (
+    And,
+    Assume,
+    AuthorityQuery,
+    Axiom,
+    Compare,
+    Const,
+    FALSE,
+    Implies,
+    Name,
+    Not,
+    Or,
+    Pred,
+    ProofBundle,
+    Prover,
+    Rule,
+    Says,
+    Speaksfor,
+    TRUE,
+    check,
+    parse,
+    principal,
+    prove,
+)
+
+A, B, C = Name("A"), Name("B"), Name("C")
+p, q, r = Pred("p"), Pred("q"), Pred("r")
+
+
+def proved(goal, credentials, authorities=None):
+    """Build a proof with the prover and insist the checker accepts it."""
+    proof = prove(goal, credentials, authorities)
+    result = check(proof, goal)
+    assert result.conclusion == goal
+    return proof, result
+
+
+class TestCheckerRules:
+    def test_assume_leaf(self):
+        result = check(Assume(p), p)
+        assert result.assumptions == (p,)
+        assert result.rule_count == 0
+
+    def test_goal_mismatch_rejected(self):
+        with pytest.raises(ProofError):
+            check(Assume(p), q)
+
+    def test_and_intro_and_elims(self):
+        conj = And(p, q)
+        check(Rule("and_intro", (Assume(p), Assume(q)), conj), conj)
+        check(Rule("and_elim_l", (Assume(conj),), p), p)
+        check(Rule("and_elim_r", (Assume(conj),), q), q)
+
+    def test_and_intro_wrong_order_rejected(self):
+        with pytest.raises(ProofError):
+            check(Rule("and_intro", (Assume(q), Assume(p)), And(p, q)))
+
+    def test_or_intro_both_sides(self):
+        disj = Or(p, q)
+        check(Rule("or_intro_l", (Assume(p),), disj), disj)
+        check(Rule("or_intro_r", (Assume(q),), disj), disj)
+
+    def test_or_elim(self):
+        disj = Or(p, q)
+        proof = Rule("or_elim",
+                     (Assume(disj), Assume(Implies(p, r)),
+                      Assume(Implies(q, r))), r)
+        check(proof, r)
+
+    def test_or_elim_wrong_branch_rejected(self):
+        with pytest.raises(ProofError):
+            check(Rule("or_elim",
+                       (Assume(Or(p, q)), Assume(Implies(p, r)),
+                        Assume(Implies(p, r))), r))
+
+    def test_imp_elim(self):
+        check(Rule("imp_elim", (Assume(p), Assume(Implies(p, q))), q), q)
+
+    def test_imp_elim_wrong_antecedent(self):
+        with pytest.raises(ProofError):
+            check(Rule("imp_elim", (Assume(r), Assume(Implies(p, q))), q))
+
+    def test_dneg_intro(self):
+        check(Rule("dneg_intro", (Assume(p),), Not(Not(p))), Not(Not(p)))
+
+    def test_constructivity_no_dneg_elim(self):
+        """Double-negation *elimination* must not exist: NAL is constructive."""
+        with pytest.raises(ProofError, match="unknown inference rule"):
+            check(Rule("dneg_elim", (Assume(Not(Not(p))),), p))
+
+    def test_constructivity_no_excluded_middle(self):
+        with pytest.raises(ProofError):
+            check(Rule("excluded_middle", (), Or(p, Not(p))))
+
+    def test_false_elim(self):
+        check(Rule("false_elim", (Assume(FALSE),), p), p)
+
+    def test_true_axiom(self):
+        check(Axiom(TRUE), TRUE)
+
+    def test_subprincipal_axiom(self):
+        f = Speaksfor(A, A.sub("t"))
+        check(Axiom(f), f)
+
+    def test_deep_subprincipal_axiom(self):
+        f = Speaksfor(A, A.sub("t").sub("u"))
+        check(Axiom(f), f)
+
+    def test_bogus_axiom_rejected(self):
+        with pytest.raises(ProofError):
+            check(Axiom(Speaksfor(A, B)))
+        with pytest.raises(ProofError):
+            check(Axiom(p))
+
+    def test_reversed_subprincipal_axiom_rejected(self):
+        with pytest.raises(ProofError):
+            check(Axiom(Speaksfor(A.sub("t"), A)))
+
+    def test_speaksfor_elim(self):
+        concl = Says(B, p)
+        proof = Rule("speaksfor_elim",
+                     (Assume(Speaksfor(A, B)), Assume(Says(A, p))), concl)
+        check(proof, concl)
+
+    def test_speaksfor_elim_wrong_speaker(self):
+        with pytest.raises(ProofError):
+            check(Rule("speaksfor_elim",
+                       (Assume(Speaksfor(A, B)), Assume(Says(C, p))),
+                       Says(B, p)))
+
+    def test_speaksfor_on_elim_in_scope(self):
+        time = Name("TimeNow")
+        body = Compare("<", time, Const(10))
+        proof = Rule("speaksfor_on_elim",
+                     (Assume(Speaksfor(Name("NTP"), B, time)),
+                      Assume(Says(Name("NTP"), body))),
+                     Says(B, body))
+        result = check(proof, Says(B, body))
+        assert result.dynamic  # TimeNow is dynamic state
+
+    def test_speaksfor_on_elim_out_of_scope_rejected(self):
+        time = Name("TimeNow")
+        proof = Rule("speaksfor_on_elim",
+                     (Assume(Speaksfor(Name("NTP"), B, time)),
+                      Assume(Says(Name("NTP"), p))),
+                     Says(B, p))
+        with pytest.raises(ProofError, match="outside the delegation scope"):
+            check(proof)
+
+    def test_handoff(self):
+        delegation = Speaksfor(A, B)
+        proof = Rule("handoff", (Assume(Says(B, delegation)),), delegation)
+        check(proof, delegation)
+
+    def test_handoff_by_third_party_rejected(self):
+        delegation = Speaksfor(A, B)
+        with pytest.raises(ProofError):
+            check(Rule("handoff", (Assume(Says(C, delegation)),), delegation))
+
+    def test_speaksfor_trans(self):
+        proof = Rule("speaksfor_trans",
+                     (Assume(Speaksfor(A, B)), Assume(Speaksfor(B, C))),
+                     Speaksfor(A, C))
+        check(proof, Speaksfor(A, C))
+
+    def test_says_context_rules(self):
+        concl = Says(A, And(p, q))
+        proof = Rule("and_intro",
+                     (Assume(Says(A, p)), Assume(Says(A, q))),
+                     concl, context=A)
+        check(proof, concl)
+
+    def test_says_context_speaker_mismatch(self):
+        with pytest.raises(ProofError):
+            check(Rule("and_intro",
+                       (Assume(Says(A, p)), Assume(Says(B, q))),
+                       Says(A, And(p, q)), context=A))
+
+    def test_structural_rule_refuses_context(self):
+        with pytest.raises(ProofError, match="says-context"):
+            check(Rule("speaksfor_elim",
+                       (Assume(Says(A, Speaksfor(A, B))),
+                        Assume(Says(A, Says(A, p)))),
+                       Says(A, Says(B, p)), context=A))
+
+    def test_depth_limit(self):
+        proof = Assume(p)
+        goal = p
+        for _ in range(250):
+            goal = Not(Not(goal))
+            proof = Rule("dneg_intro", (proof,), goal)
+        with pytest.raises(ProofError, match="maximum depth"):
+            check(proof)
+
+
+class TestLocalInference:
+    """§2.1: `A says false` derives `A says G` but never `B says G`."""
+
+    def test_a_says_false_gives_a_says_anything(self):
+        cred = Says(A, FALSE)
+        goal = Says(A, Pred("G"))
+        proof, result = proved(goal, [cred])
+        assert result.assumptions == (cred,)
+
+    def test_a_says_false_cannot_reach_b(self):
+        with pytest.raises(ProofError):
+            prove(Says(B, Pred("G")), [Says(A, FALSE)])
+
+    def test_checker_also_rejects_cross_principal_falsum(self):
+        # Hand-build the unsound step and insist the checker refuses it.
+        with pytest.raises(ProofError):
+            check(Rule("false_elim", (Assume(Says(A, FALSE)),),
+                       Says(B, Pred("G")), context=B))
+
+
+class TestCacheability:
+    def test_static_proof_is_cacheable(self):
+        _, result = proved(Says(A, p), [Says(A, p)])
+        assert result.cacheable
+
+    def test_authority_leaf_blocks_caching(self):
+        goal = Says(A, p)
+        proof = AuthorityQuery(goal, port="auth-7")
+        result = check(proof, goal)
+        assert result.authority_queries == (("auth-7", goal),)
+        assert not result.cacheable
+
+    def test_dynamic_term_blocks_caching(self):
+        body = Compare("<", Name("TimeNow"), Const(10))
+        _, result = proved(Says(A, body), [Says(A, body)])
+        assert not result.cacheable
+
+    def test_dynamic_detection_is_conservative(self):
+        # Even buried in a conjunction, TimeNow poisons cacheability.
+        body = And(p, Compare("<", Name("TimeNow"), Const(10)))
+        _, result = proved(Says(A, body), [Says(A, body)])
+        assert not result.cacheable
+
+
+class TestProver:
+    def test_direct_credential(self):
+        proof, _ = proved(p, [p])
+        assert isinstance(proof, Assume)
+
+    def test_unprovable_raises(self):
+        with pytest.raises(ProofError):
+            prove(p, [q])
+
+    def test_conjunction_assembly(self):
+        proved(And(p, And(q, r)), [p, q, r])
+
+    def test_disjunction_left_then_right(self):
+        proved(Or(p, q), [p])
+        proved(Or(p, q), [q])
+
+    def test_modus_ponens_chain(self):
+        proved(r, [p, Implies(p, q), Implies(q, r)])
+
+    def test_delegation(self):
+        proved(Says(B, p), [Says(A, p), Speaksfor(A, B)])
+
+    def test_delegation_via_handoff(self):
+        proved(Says(B, p), [Says(A, p), Says(B, Speaksfor(A, B))])
+
+    def test_scoped_delegation(self):
+        time = Name("TimeNow")
+        body = Compare("<", time, Const(10))
+        proved(Says(B, body),
+               [Says(Name("NTP"), body),
+                Speaksfor(Name("NTP"), B, time)])
+
+    def test_scoped_delegation_refused_out_of_scope(self):
+        time = Name("TimeNow")
+        with pytest.raises(ProofError):
+            prove(Says(B, p),
+                  [Says(Name("NTP"), p), Speaksfor(Name("NTP"), B, time)])
+
+    def test_subprincipal_statement_lifting(self):
+        # A says p, and A speaksfor A.t by axiom, so A.t says p.
+        proved(Says(A.sub("t"), p), [Says(A, p)])
+
+    def test_transitive_delegation(self):
+        proved(Says(C, p), [Says(A, p), Speaksfor(A, B), Speaksfor(B, C)])
+
+    def test_says_local_conjunction_projection(self):
+        proved(Says(A, p), [Says(A, And(p, q))])
+        proved(Says(A, q), [Says(A, And(p, q))])
+
+    def test_says_local_modus_ponens(self):
+        proved(Says(A, q), [Says(A, p), Says(A, Implies(p, q))])
+
+    def test_revocation_pattern(self):
+        # A says (Valid(S) implies S); authority confirms A says Valid(S).
+        s, valid = Pred("S"), Pred("Valid", (Name("S"),))
+        goal = Says(A, s)
+        authorities = {Says(A, valid): "revocation-port"}
+        proof = prove(goal, [Says(A, Implies(valid, s))], authorities)
+        result = check(proof, goal)
+        assert result.authority_queries == (("revocation-port", Says(A, valid)),)
+        assert not result.cacheable
+
+    def test_paper_time_sensitive_file(self):
+        """The §2 running example, end to end at the logic level."""
+        goal = parse("Owner says TimeNow < 20110319")
+        credentials = [
+            parse("Owner says NTP speaksfor Owner on TimeNow"),
+            parse("NTP says TimeNow < 20110319"),
+        ]
+        proof = prove(goal, credentials)
+        result = check(proof, goal)
+        assert result.dynamic  # time-dependent: never cached
+
+    def test_paper_safety_certifier(self):
+        goal = parse("SafetyCertifier says safe(/proc/ipd/12)")
+        credentials = [
+            parse("SafetyCertifier says "
+                  "((not hasPath(/proc/ipd/12, Filesystem) "
+                  "and not hasPath(/proc/ipd/12, Nameserver)) "
+                  "implies safe(/proc/ipd/12))"),
+            parse("SafetyCertifier says not hasPath(/proc/ipd/12, Filesystem)"),
+            parse("SafetyCertifier says not hasPath(/proc/ipd/12, Nameserver)"),
+        ]
+        proved(goal, credentials)
+
+    def test_proof_bundle_missing_credentials(self):
+        proof = prove(Says(B, p), [Says(A, p), Speaksfor(A, B)])
+        bundle = ProofBundle(proof, credentials=(Says(A, p),))
+        assert list(bundle.missing_credentials()) == [Speaksfor(A, B)]
+        full = ProofBundle(proof, credentials=(Says(A, p), Speaksfor(A, B)))
+        assert list(full.missing_credentials()) == []
+
+
+# ---------------------------------------------------------------------------
+# Property: everything the prover builds, the checker accepts — and the
+# assumptions it uses are exactly drawn from the credential pool.
+# ---------------------------------------------------------------------------
+
+_atoms = st.sampled_from([p, q, r, Pred("s"), Pred("t2")])
+_principals = st.sampled_from([A, B, C])
+
+
+@st.composite
+def _credential_pools(draw):
+    pool = []
+    for _ in range(draw(st.integers(1, 6))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            pool.append(Says(draw(_principals), draw(_atoms)))
+        elif kind == 1:
+            pool.append(Speaksfor(draw(_principals), draw(_principals)))
+        elif kind == 2:
+            pool.append(draw(_atoms))
+        else:
+            pool.append(Implies(draw(_atoms), draw(_atoms)))
+    return pool
+
+
+@st.composite
+def _goals(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Says(draw(_principals), draw(_atoms))
+    if kind == 1:
+        return And(draw(_atoms), draw(_atoms))
+    if kind == 2:
+        return Or(draw(_atoms), draw(_atoms))
+    return draw(_atoms)
+
+
+@given(_credential_pools(), _goals())
+@settings(max_examples=300, deadline=None)
+def test_prover_output_always_checks(pool, goal):
+    try:
+        proof = prove(goal, pool)
+    except ProofError:
+        return  # nothing to verify; incompleteness is fine
+    result = check(proof, goal)
+    assert result.conclusion == goal
+    for assumption in result.assumptions:
+        assert assumption in pool

@@ -1,0 +1,132 @@
+"""Unit tests for NAL terms and the formula AST."""
+
+import pytest
+
+from repro.nal import (
+    And,
+    Compare,
+    Const,
+    FALSE,
+    Implies,
+    Name,
+    Not,
+    Or,
+    Pred,
+    Says,
+    Speaksfor,
+    SubPrincipal,
+    TRUE,
+    Var,
+    conjoin,
+    conjuncts,
+    mentions,
+    principal,
+)
+
+
+class TestPrincipals:
+    def test_principal_coercion_dotted(self):
+        p = principal("kernel.proc.12")
+        assert isinstance(p, SubPrincipal)
+        assert str(p) == "kernel.proc.12"
+
+    def test_principal_coercion_key(self):
+        assert str(principal("key:abcd")) == "key:abcd"
+
+    def test_principal_coercion_group(self):
+        assert str(principal("group:admins")) == "group:admins"
+
+    def test_principal_idempotent(self):
+        p = Name("NTP")
+        assert principal(p) is p
+
+    def test_sub_builder(self):
+        assert Name("HW").sub("kernel").sub("proc23") == \
+            principal("HW.kernel.proc23")
+
+    def test_ancestor_of_self(self):
+        assert Name("A").is_ancestor_of(Name("A"))
+
+    def test_ancestor_of_child_and_grandchild(self):
+        a = Name("A")
+        assert a.is_ancestor_of(a.sub("t"))
+        assert a.is_ancestor_of(a.sub("t").sub("u"))
+
+    def test_not_ancestor_of_sibling(self):
+        assert not Name("A").is_ancestor_of(Name("B").sub("t"))
+        assert not Name("A").sub("x").is_ancestor_of(Name("A").sub("y"))
+
+    def test_child_not_ancestor_of_parent(self):
+        a = Name("A")
+        assert not a.sub("t").is_ancestor_of(a)
+
+    def test_path_names_stay_atomic(self):
+        p = principal("/proc/ipd/12")
+        assert isinstance(p, Name)
+        assert p.name == "/proc/ipd/12"
+
+
+class TestFormulaBasics:
+    def test_structural_equality(self):
+        f = Says(Name("A"), Pred("p", (Const(1),)))
+        g = Says(Name("A"), Pred("p", (Const(1),)))
+        assert f == g
+        assert hash(f) == hash(g)
+
+    def test_sugar_operators(self):
+        p, q = Pred("p"), Pred("q")
+        assert (p & q) == And(p, q)
+        assert (p | q) == Or(p, q)
+        assert p.implies(q) == Implies(p, q)
+
+    def test_substitution_in_speaker_position(self):
+        x = Var("X")
+        goal = Says(x, Pred("openFile", (Const("f"),)))
+        bound = goal.substitute({x: Name("proc12")})
+        assert bound == Says(Name("proc12"), Pred("openFile", (Const("f"),)))
+
+    def test_substitution_in_subprincipal_parent(self):
+        x = Var("X")
+        f = Speaksfor(SubPrincipal(x, "port"), Name("B"))
+        bound = f.substitute({x: Name("kernel")})
+        assert bound == Speaksfor(principal("kernel.port"), Name("B"))
+
+    def test_is_ground(self):
+        assert Says(Name("A"), Pred("p")).is_ground()
+        assert not Says(Var("X"), Pred("p")).is_ground()
+
+    def test_variables_found_everywhere(self):
+        f = And(Says(Var("X"), Pred("p", (Var("Y"),))),
+                Speaksfor(Var("Z"), Name("B")))
+        assert {v.name for v in f.variables()} == {"X", "Y", "Z"}
+
+    def test_compare_requires_known_op(self):
+        with pytest.raises(ValueError):
+            Compare("<>", Const(1), Const(2))
+
+    def test_compare_evaluate(self):
+        c = Compare("<", Name("TimeNow"), Const(10))
+        assert c.evaluate({"TimeNow": 5}) is True
+        assert c.evaluate({"TimeNow": 15}) is False
+        assert c.evaluate({}) is None
+
+    def test_compare_evaluate_all_ops(self):
+        cases = [("<", 1, 2, True), ("<=", 2, 2, True), (">", 3, 2, True),
+                 (">=", 1, 2, False), ("==", 2, 2, True), ("!=", 2, 2, False)]
+        for op, a, b, expected in cases:
+            assert Compare(op, Const(a), Const(b)).evaluate({}) is expected
+
+    def test_conjoin_and_conjuncts_roundtrip(self):
+        atoms = [Pred("a"), Pred("b"), Pred("c")]
+        assert list(conjuncts(conjoin(atoms))) == atoms
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE
+
+    def test_mentions(self):
+        f = Says(Name("NTP"), Compare("<", Name("TimeNow"), Const(5)))
+        assert mentions(f, Name("TimeNow"))
+        assert not mentions(f, Name("DiskFree"))
+
+    def test_false_and_true_distinct(self):
+        assert TRUE != FALSE

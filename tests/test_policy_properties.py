@@ -1,0 +1,64 @@
+"""Property tests for the policy combinators: threshold semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProofError
+from repro.nal import check, parse, prove
+from repro.nal.policy import all_of, any_of, k_of, says, vouched_by
+
+_SERVICES = ("S1", "S2", "S3", "S4")
+
+
+@given(st.integers(1, 4), st.sets(st.sampled_from(_SERVICES), max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_k_of_threshold_semantics(k, holders):
+    """`k_of(k, conditions)` is provable exactly when ≥k conditions hold."""
+    goal = vouched_by(k, _SERVICES, "vetted(u)")
+    credentials = [says(s, "vetted(u)") for s in sorted(holders)]
+    if len(holders) >= k:
+        proof = prove(goal, credentials)
+        result = check(proof, goal)
+        assert set(result.assumptions) <= set(credentials)
+    else:
+        with pytest.raises(ProofError):
+            prove(goal, credentials)
+
+
+@given(st.sets(st.sampled_from(_SERVICES), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_any_of_needs_exactly_one(holders):
+    goal = any_of(*[f"{s} says ok" for s in _SERVICES])
+    credentials = [parse(f"{s} says ok") for s in sorted(holders)]
+    proof = prove(goal, credentials)
+    result = check(proof, goal)
+    # A disjunction proof rests on exactly one granted branch.
+    assert len(set(result.assumptions)) == 1
+
+
+@given(st.sets(st.sampled_from(_SERVICES), max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_all_of_needs_every_one(holders):
+    goal = all_of(*[f"{s} says ok" for s in _SERVICES])
+    credentials = [parse(f"{s} says ok") for s in sorted(holders)]
+    if holders == set(_SERVICES):
+        prove(goal, credentials)
+    else:
+        with pytest.raises(ProofError):
+            prove(goal, credentials)
+
+
+def test_k_of_expansion_size():
+    """The DNF expansion is C(n, k) alternatives — document the cost."""
+    from repro.nal import Or
+    goal = k_of(2, [f"p{i}" for i in range(4)])
+    alternatives = 1
+    stack = [goal]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Or):
+            alternatives += 1
+            stack.extend([node.left, node.right])
+    assert alternatives == len(list(itertools.combinations(range(4), 2)))

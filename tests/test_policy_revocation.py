@@ -1,0 +1,161 @@
+"""Tests for the policy combinators and the revocation service."""
+
+import pytest
+
+from repro.core.revocation import RevocationService
+from repro.errors import NALError, NoSuchResource, ProofError
+from repro.kernel import NexusKernel
+from repro.nal import Assume, Says, check, parse, prove
+from repro.nal.policy import (
+    all_of,
+    any_of,
+    before,
+    delegation_preamble,
+    k_of,
+    revocable,
+    says,
+    speaks_for,
+    validity_claim,
+    vouched_by,
+)
+
+
+class TestCombinators:
+    def test_says_avoids_precedence_traps(self):
+        built = says("A", "p implies q")
+        # The textual form would have parsed as (A says p) implies q.
+        assert built == parse("A says (p implies q)")
+        assert parse("A says p implies q") != built
+
+    def test_speaks_for_with_scope(self):
+        assert speaks_for("NTP", "Server", on="TimeNow") == \
+            parse("NTP speaksfor Server on TimeNow")
+
+    def test_delegation_preamble(self):
+        preamble = delegation_preamble("FS", ["NTP", "Clock"], on="TimeNow")
+        assert preamble[0] == parse(
+            "FS says (NTP speaksfor FS on TimeNow)")
+        assert len(preamble) == 2
+
+    def test_all_of_and_any_of(self):
+        assert all_of("p", "q", "r") == parse("p and q and r")
+        assert any_of("p", "q", "r") == parse("p or q or r")
+
+    def test_any_of_requires_options(self):
+        with pytest.raises(NALError):
+            any_of()
+
+    def test_k_of_bounds(self):
+        with pytest.raises(NALError):
+            k_of(0, ["p"])
+        with pytest.raises(NALError):
+            k_of(3, ["p", "q"])
+
+    def test_k_of_1_is_any(self):
+        assert k_of(1, ["p", "q"]) == any_of("p", "q")
+
+    def test_k_of_n_is_all(self):
+        assert k_of(2, ["p", "q"]) == all_of("p", "q")
+
+    def test_two_of_three_provable_with_any_pair(self):
+        goal = vouched_by(2, ["Pw", "Retina", "Dongle"], "vetted(u)")
+        for pair in (["Pw", "Retina"], ["Pw", "Dongle"],
+                     ["Retina", "Dongle"]):
+            creds = [says(svc, "vetted(u)") for svc in pair]
+            proof = prove(goal, creds)
+            check(proof, goal)
+        with pytest.raises(ProofError):
+            prove(goal, [says("Pw", "vetted(u)")])  # one is not enough
+
+    def test_before_builds_dynamic_goal(self):
+        goal = before("Owner", 20110319)
+        assert goal == parse("Owner says TimeNow < 20110319")
+        proof = prove(goal, [goal])
+        assert not check(proof).cacheable  # TimeNow is dynamic
+
+
+class TestRevocationService:
+    def _world(self):
+        kernel = NexusKernel()
+        service = RevocationService(kernel)
+        issuer = kernel.create_process("issuer")
+        return kernel, service, issuer
+
+    def _provable(self, kernel, issuer, wallet, statement="S"):
+        goal = Says(issuer.principal, parse(statement))
+        bundle = wallet.try_bundle_for(goal)
+        if bundle is None:
+            return False
+        result = check(bundle.proof, goal)
+        for port, formula in result.authority_queries:
+            if not kernel.authorities.query(port, formula):
+                return False
+        return True
+
+    def test_issued_credential_discharges_goal(self):
+        kernel, service, issuer = self._world()
+        wallet = service.issue(issuer, "S")
+        assert self._provable(kernel, issuer, wallet)
+
+    def test_revocation_takes_effect_immediately(self):
+        kernel, service, issuer = self._world()
+        wallet = service.issue(issuer, "S")
+        service.revoke(issuer, "S")
+        assert not self._provable(kernel, issuer, wallet)
+
+    def test_reinstatement(self):
+        kernel, service, issuer = self._world()
+        wallet = service.issue(issuer, "S")
+        service.revoke(issuer, "S")
+        service.reinstate(issuer, "S")
+        assert self._provable(kernel, issuer, wallet)
+
+    def test_is_valid_tracks_state(self):
+        kernel, service, issuer = self._world()
+        service.issue(issuer, "S")
+        assert service.is_valid(issuer, "S")
+        service.revoke(issuer, "S")
+        assert not service.is_valid(issuer, "S")
+
+    def test_unknown_statement_rejected(self):
+        kernel, service, issuer = self._world()
+        with pytest.raises(NoSuchResource):
+            service.revoke(issuer, "never-issued")
+
+    def test_conditional_label_is_in_store(self):
+        kernel, service, issuer = self._world()
+        service.issue(issuer, "S")
+        expected = revocable(issuer.principal, "S")
+        assert kernel.labels.holds(expected)
+
+    def test_validity_claim_not_transferable(self):
+        """The validity answer never appears as a label: it exists only
+        as an authority response (§2.7's whole point)."""
+        kernel, service, issuer = self._world()
+        service.issue(issuer, "S")
+        claim = validity_claim(issuer.principal, "S")
+        assert not kernel.labels.holds(claim)
+
+    def test_independent_statements_revoke_independently(self):
+        kernel, service, issuer = self._world()
+        wallet_a = service.issue(issuer, "A")
+        wallet_b = service.issue(issuer, "B")
+        service.revoke(issuer, "A")
+        assert not self._provable(kernel, issuer, wallet_a, "A")
+        assert self._provable(kernel, issuer, wallet_b, "B")
+
+    def test_end_to_end_with_guarded_resource(self):
+        kernel, service, issuer = self._world()
+        client = kernel.create_process("client")
+        owner = kernel.create_process("owner")
+        resource = kernel.resources.create("/svc/api", "service",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "use",
+                           f"{issuer.path} says S")
+        wallet = service.issue(issuer, "S")
+        bundle = wallet.bundle_for(parse(f"{issuer.path} says S"))
+        assert kernel.authorize(client.pid, "use", resource.resource_id,
+                                bundle).allow
+        service.revoke(issuer, "S")
+        assert not kernel.authorize(client.pid, "use", resource.resource_id,
+                                    bundle).allow

@@ -1,0 +1,221 @@
+"""Property-based tests for the system-wide invariants in DESIGN.md §4.
+
+Each test class targets one numbered invariant; hypothesis drives the
+schedules and inputs.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.apps.fauxbook.cobuf import CobufSpace
+from repro.apps.fauxbook.framework import SocialGraph
+from repro.errors import CobufError, ProofError
+from repro.kernel import NexusKernel
+from repro.kernel.decision_cache import DecisionCache
+from repro.kernel.scheduler import ProportionalShareScheduler
+from repro.nal import Assume, ProofBundle, check, parse, prove
+from repro.nal.prover import Prover
+
+
+# ---------------------------------------------------------------------------
+# Invariant 1: label attribution is unforgeable through `say`
+# ---------------------------------------------------------------------------
+
+@given(st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_say_always_attributes_to_caller(pred, which):
+    kernel = NexusKernel()
+    processes = [kernel.create_process(f"p{i}") for i in range(4)]
+    caller = processes[which]
+    label = kernel.sys_say(caller.pid, f"{pred}(x)")
+    assert label.speaker == caller.principal
+    # No other process's store gained the label.
+    for process in processes:
+        store = kernel.default_labelstore(process.pid)
+        found = store.find(label.formula)
+        assert (found is not None) == (process is caller)
+
+
+# ---------------------------------------------------------------------------
+# Invariant 4: cache transparency under arbitrary op interleavings
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(["authorize", "setgoal", "set_proof",
+                               "clear_proof"]),
+              st.integers(0, 1)),
+    min_size=1, max_size=12)
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_decision_cache_transparency(schedule):
+    """Running any schedule of authorizes/goal-changes/proof-changes with
+    the cache on and off yields identical decision sequences."""
+    def run(enabled):
+        kernel = NexusKernel()
+        kernel.decision_cache.enabled = enabled
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/prop/obj", "file",
+                                           owner.principal)
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        goals = [f"{owner.path} says ok(?Subject)",
+                 f"{owner.path} says never(?Subject)"]
+        decisions = []
+        for op, arg in schedule:
+            if op == "authorize":
+                decision = kernel.authorize(client.pid, "read",
+                                            resource.resource_id)
+                decisions.append(decision.allow)
+            elif op == "setgoal":
+                kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                                   goals[arg])
+            elif op == "set_proof":
+                kernel.sys_set_proof(client.pid, "read",
+                                     resource.resource_id, bundle)
+            elif op == "clear_proof":
+                kernel.sys_clear_proof(client.pid, "read",
+                                       resource.resource_id)
+        return decisions
+
+    assert run(True) == run(False)
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.sampled_from(["read",
+                                                              "write"]),
+                          st.integers(0, 5), st.booleans()),
+                min_size=1, max_size=40),
+       st.integers(1, 128))
+@settings(max_examples=50, deadline=None)
+def test_decision_cache_never_lies(entries, subregions):
+    """Whatever is inserted, a lookup returns either None or the exact
+    decision most recently inserted for that tuple."""
+    cache = DecisionCache(subregions=subregions)
+    shadow = {}
+    for subject, op, obj, decision in entries:
+        cache.insert(subject, op, obj, decision)
+        shadow[(subject, op, obj)] = decision
+    for (subject, op, obj), decision in shadow.items():
+        cached = cache.lookup(subject, op, obj)
+        assert cached is None or cached == decision
+
+
+# ---------------------------------------------------------------------------
+# Invariant 3 + 5: checker soundness and cacheability conservatism
+# ---------------------------------------------------------------------------
+
+_atom_names = st.sampled_from(["p", "q", "r", "s"])
+_speakers = st.sampled_from(["A", "B", "C"])
+
+
+@given(st.lists(st.tuples(_speakers, _atom_names), min_size=1, max_size=5),
+       _speakers, _atom_names)
+@settings(max_examples=80, deadline=None)
+def test_prover_checker_agreement(pool_spec, goal_speaker, goal_atom):
+    pool = [parse(f"{s} says {a}") for s, a in pool_spec]
+    goal = parse(f"{goal_speaker} says {goal_atom}")
+    try:
+        proof = prove(goal, pool)
+    except ProofError:
+        # Incompleteness is allowed; unsoundness is not. If the exact
+        # credential is present the prover must find it.
+        assert goal not in pool
+        return
+    result = check(proof, goal)
+    assert set(result.assumptions) <= set(pool)
+    assert result.cacheable  # static atoms only: must stay cacheable
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_dynamic_terms_always_poison_cacheability(bound):
+    goal = parse(f"A says TimeNow < {bound}")
+    proof = prove(goal, [goal])
+    assert not check(proof, goal).cacheable
+
+
+# ---------------------------------------------------------------------------
+# Invariant 8: cobuf opacity under arbitrary operation sequences
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["slice", "concat", "collate-friend",
+                                 "collate-stranger"]),
+                min_size=1, max_size=10),
+       st.binary(min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_cobuf_pipeline_never_leaks(ops, payload):
+    graph = SocialGraph()
+    for user in ("alice", "bob", "carol"):
+        graph.add_user(user)
+    graph.add_edge("alice", "bob")
+    space = CobufSpace(speaks_for=graph.speaks_for)
+    current = space.tag(payload, "alice")
+    for op in ops:
+        if op == "slice" and len(current) > 1:
+            current = current.slice(0, len(current) - 1)
+        elif op == "concat":
+            current = current.concat(space.tag(b"x", current.owner))
+        elif op == "collate-friend":
+            if current.owner == "alice":
+                current = space.collate("bob", [current])
+        elif op == "collate-stranger":
+            if current.owner != "carol":
+                with pytest.raises(CobufError):
+                    space.collate("carol", [current])
+    # Whatever happened, contents stayed opaque to tenants.
+    with pytest.raises(CobufError):
+        bytes(current)
+    with pytest.raises(CobufError):
+        _ = current.data
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: proportional share under arbitrary weights
+# ---------------------------------------------------------------------------
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]),
+                       st.integers(1, 50), min_size=2, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_stride_scheduler_proportionality(weights):
+    scheduler = ProportionalShareScheduler()
+    for name, tickets in weights.items():
+        scheduler.add_client(name, tickets)
+    ticks = 3000
+    scheduler.run(ticks)
+    total = sum(weights.values())
+    for name, tickets in weights.items():
+        expected = tickets / total
+        measured = scheduler.share_of(name)
+        assert abs(measured - expected) < 0.05
+
+
+@given(st.lists(st.sampled_from(["a", "b"]), min_size=0, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_scheduler_total_conservation(removals):
+    scheduler = ProportionalShareScheduler()
+    scheduler.add_client("a", 10)
+    scheduler.add_client("b", 20)
+    scheduler.run(100)
+    delivered = sum(c.ticks_received for c in scheduler.clients())
+    assert delivered == scheduler.total_ticks == 100
+
+
+# ---------------------------------------------------------------------------
+# NAL substitution: structural properties
+# ---------------------------------------------------------------------------
+
+@given(st.sampled_from(["?X says p", "?X speaksfor B",
+                        "p(?X) and q(?X)", "not r(?X)",
+                        "?X says (p implies q(?X))"]),
+       st.sampled_from(["A", "kernel.proc", "/proc/ipd/9"]))
+@settings(max_examples=40, deadline=None)
+def test_substitution_grounds_all_variables(pattern, name):
+    from repro.nal import Var, parse_principal
+    formula = parse(pattern)
+    bound = formula.substitute({Var("X"): parse_principal(name)})
+    assert bound.is_ground()
+    # Substitution is idempotent once ground.
+    assert bound.substitute({Var("X"): parse_principal("Z")}) == bound

@@ -1,0 +1,435 @@
+"""Attested storage tests: Merkle trees, VDIR crash consistency, VKEYs, SSRs.
+
+The crash-consistency properties here are the heart of §3.3: a power
+failure at *any* point of the four-step flush recovers to exactly the old
+or the new state, and offline tampering or replay aborts the boot.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashes import sha1
+from repro.errors import (
+    BootError,
+    CrashError,
+    CryptoError,
+    IntegrityError,
+    NoSuchResource,
+    ReplayError,
+    StorageError,
+)
+from repro.storage import (
+    Disk,
+    MerkleTree,
+    SecureStorageRegion,
+    STATE_CURRENT,
+    STATE_NEW,
+    VDIRRegistry,
+    VKeyManager,
+)
+from repro.tpm import TPM
+
+
+@pytest.fixture
+def disk():
+    return Disk()
+
+
+@pytest.fixture
+def tpm():
+    device = TPM(seed=3)
+    device.take_ownership(seed=4)
+    return device
+
+
+@pytest.fixture
+def vdirs(disk, tpm):
+    registry = VDIRRegistry(disk, tpm)
+    registry.format()
+    return registry
+
+
+class TestDisk:
+    def test_roundtrip(self, disk):
+        disk.write_file("f", b"data")
+        assert disk.read_file("f") == b"data"
+
+    def test_missing_file(self, disk):
+        with pytest.raises(NoSuchResource):
+            disk.read_file("nope")
+
+    def test_crash_before(self, disk):
+        disk.write_file("f", b"old")
+        disk.schedule_crash(after_writes=0, mode="before")
+        with pytest.raises(CrashError):
+            disk.write_file("f", b"new")
+        assert disk.read_file("f") == b"old"
+
+    def test_crash_torn(self, disk):
+        disk.schedule_crash(after_writes=0, mode="torn")
+        with pytest.raises(CrashError):
+            disk.write_file("f", b"0123456789")
+        assert disk.read_file("f") == b"01234"
+
+    def test_crash_after(self, disk):
+        disk.schedule_crash(after_writes=0, mode="after")
+        with pytest.raises(CrashError):
+            disk.write_file("f", b"new")
+        assert disk.read_file("f") == b"new"
+
+    def test_crash_counts_down(self, disk):
+        disk.schedule_crash(after_writes=2)
+        disk.write_file("a", b"1")
+        disk.write_file("b", b"2")
+        with pytest.raises(CrashError):
+            disk.write_file("c", b"3")
+
+    def test_snapshot_restore(self, disk):
+        disk.write_file("f", b"v1")
+        image = disk.snapshot()
+        disk.write_file("f", b"v2")
+        disk.restore(image)
+        assert disk.read_file("f") == b"v1"
+
+
+class TestMerkle:
+    def test_root_changes_with_content(self):
+        t1 = MerkleTree([b"a", b"b"])
+        t2 = MerkleTree([b"a", b"c"])
+        assert t1.root() != t2.root()
+
+    def test_update_matches_rebuild(self):
+        blocks = [b"a", b"b", b"c", b"d", b"e"]
+        tree = MerkleTree(blocks)
+        tree.update(2, b"C")
+        rebuilt = MerkleTree([b"a", b"b", b"C", b"d", b"e"])
+        assert tree.root() == rebuilt.root()
+
+    def test_proof_verifies(self):
+        blocks = [bytes([i]) for i in range(7)]
+        tree = MerkleTree(blocks)
+        for index, block in enumerate(blocks):
+            MerkleTree.verify_proof(tree.root(), block, tree.proof(index))
+
+    def test_proof_rejects_wrong_block(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        with pytest.raises(IntegrityError):
+            MerkleTree.verify_proof(tree.root(), b"X", tree.proof(1))
+
+    def test_verify_block_detects_tamper(self):
+        tree = MerkleTree([b"a", b"b"])
+        tree.verify_block(0, b"a")
+        with pytest.raises(IntegrityError):
+            tree.verify_block(0, b"z")
+
+    def test_leaf_inner_domain_separation(self):
+        # A single-leaf tree's root must differ from its leaf hash input.
+        tree = MerkleTree([b"a"], min_leaves=2)
+        assert tree.root() != tree.leaf(0)
+
+    def test_index_bounds(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(IntegrityError):
+            tree.update(5, b"x")
+
+    @given(st.lists(st.binary(min_size=0, max_size=20), min_size=1,
+                    max_size=16),
+           st.integers(min_value=0, max_value=15),
+           st.binary(min_size=0, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_update_equals_rebuild_property(self, blocks, index, new_block):
+        index %= len(blocks)
+        tree = MerkleTree(blocks)
+        tree.update(index, new_block)
+        expected = list(blocks)
+        expected[index] = new_block
+        assert tree.root() == MerkleTree(expected).root()
+
+
+class TestVDIRProtocol:
+    def test_create_write_read(self, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\xab" * 32)
+        assert vdirs.read(vdir_id) == b"\xab" * 32
+
+    def test_destroy(self, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.destroy(vdir_id)
+        with pytest.raises(NoSuchResource):
+            vdirs.read(vdir_id)
+
+    def test_recover_clean(self, disk, tpm, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x01" * 32)
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) == b"\x01" * 32
+
+    @pytest.mark.parametrize("crash_step", [0, 1])  # which disk write dies
+    @pytest.mark.parametrize("mode", ["before", "torn", "after"])
+    def test_crash_during_flush_recovers_old_or_new(
+            self, disk, tpm, vdirs, crash_step, mode):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x0a" * 32)
+        old, new = b"\x0a" * 32, b"\x0b" * 32
+        # The flush performs exactly two disk writes (steps 1 and 4).
+        disk.schedule_crash(after_writes=crash_step, mode=mode)
+        with pytest.raises(CrashError):
+            vdirs.write(vdir_id, new)
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) in (old, new)
+
+    def test_crash_after_commit_point_recovers_new(self, disk, tpm, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x0a" * 32)
+        # Crash on the *second* disk write (step 4) leaves DIRs committed:
+        # recovery must choose the new state.
+        disk.schedule_crash(after_writes=1, mode="before")
+        with pytest.raises(CrashError):
+            vdirs.write(vdir_id, b"\x0b" * 32)
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) == b"\x0b" * 32
+
+    def test_crash_before_any_dir_write_recovers_old(self, disk, tpm, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x0a" * 32)
+        disk.schedule_crash(after_writes=0, mode="before")
+        with pytest.raises(CrashError):
+            vdirs.write(vdir_id, b"\x0b" * 32)
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) == b"\x0a" * 32
+
+    def test_tampered_state_files_abort_boot(self, disk, tpm, vdirs):
+        vdirs.create()
+        disk.corrupt_file(STATE_CURRENT)
+        disk.corrupt_file(STATE_NEW)
+        with pytest.raises(BootError):
+            VDIRRegistry.recover(disk, tpm)
+
+    def test_replayed_disk_image_aborts_boot(self, disk, tpm, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x01" * 32)
+        image = disk.snapshot()  # attacker copies the disk
+        vdirs.write(vdir_id, b"\x02" * 32)
+        disk.restore(image)  # ... and replays it while dormant
+        with pytest.raises(BootError):
+            VDIRRegistry.recover(disk, tpm)
+
+    def test_single_corruption_falls_back_to_other_file(self, disk, tpm, vdirs):
+        vdir_id = vdirs.create()
+        vdirs.write(vdir_id, b"\x03" * 32)
+        disk.corrupt_file(STATE_NEW)
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) == b"\x03" * 32
+
+    @given(st.integers(min_value=0, max_value=1),
+           st.sampled_from(["before", "torn", "after"]),
+           st.lists(st.binary(min_size=32, max_size=32), min_size=1,
+                    max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_crash_consistency_property(self, crash_step, mode, values):
+        """Any crash point, any write schedule: recovery is old-or-new,
+        never a hybrid, and never an integrity surprise."""
+        disk = Disk()
+        tpm = TPM(seed=3)
+        tpm.take_ownership(seed=4)
+        vdirs = VDIRRegistry(disk, tpm)
+        vdirs.format()
+        vdir_id = vdirs.create(initial=b"\x00" * 32)
+        committed = b"\x00" * 32
+        for value in values[:-1]:
+            vdirs.write(vdir_id, value)
+            committed = value
+        final = values[-1]
+        disk.schedule_crash(after_writes=crash_step, mode=mode)
+        try:
+            vdirs.write(vdir_id, final)
+            committed = final  # crash budget not consumed by this write
+        except CrashError:
+            pass
+        recovered = VDIRRegistry.recover(disk, tpm)
+        assert recovered.read(vdir_id) in (committed, final)
+
+
+class TestVKeys:
+    def test_symmetric_roundtrip(self):
+        manager = VKeyManager()
+        vkey = manager.create("symmetric")
+        cipher = vkey.cipher()
+        assert cipher.decrypt(cipher.encrypt(b"secret")) == b"secret"
+
+    def test_signing_key(self):
+        manager = VKeyManager()
+        vkey = manager.create("signing", seed=13)
+        sig = vkey.sign(b"msg")
+        vkey.public_key().verify(b"msg", sig)
+
+    def test_type_confusion_rejected(self):
+        manager = VKeyManager()
+        sym = manager.create("symmetric")
+        signing = manager.create("signing", seed=13)
+        with pytest.raises(CryptoError):
+            sym.sign(b"m")
+        with pytest.raises(CryptoError):
+            signing.cipher()
+
+    def test_destroy(self):
+        manager = VKeyManager()
+        vkey = manager.create()
+        manager.destroy(vkey.vkey_id)
+        with pytest.raises(NoSuchResource):
+            manager.get(vkey.vkey_id)
+
+    def test_externalize_internalize_roundtrip(self):
+        manager = VKeyManager()
+        vkey = manager.create("symmetric")
+        blob = manager.externalize(vkey.vkey_id)
+        restored = manager.internalize(blob)
+        assert restored.material == vkey.material
+
+    def test_externalize_signing_key(self):
+        manager = VKeyManager()
+        vkey = manager.create("signing", seed=17)
+        blob = manager.externalize(vkey.vkey_id)
+        restored = manager.internalize(blob)
+        assert restored.keypair.n == vkey.keypair.n
+
+    def test_wrap_under_other_vkey(self):
+        manager = VKeyManager()
+        wrapping = manager.create("symmetric")
+        vkey = manager.create("symmetric")
+        blob = manager.externalize(vkey.vkey_id, wrap_with=wrapping.vkey_id)
+        restored = manager.internalize(blob, wrap_with=wrapping.vkey_id)
+        assert restored.material == vkey.material
+
+    def test_wrong_wrapping_key_rejected(self):
+        manager = VKeyManager()
+        wrapping = manager.create("symmetric")
+        vkey = manager.create("symmetric")
+        blob = manager.externalize(vkey.vkey_id, wrap_with=wrapping.vkey_id)
+        with pytest.raises(CryptoError):
+            manager.internalize(blob)  # root key, not `wrapping`
+
+    def test_root_key_bound_to_tpm_state(self):
+        t1 = TPM(seed=5)
+        t1.take_ownership(seed=6)
+        t1.extend(0, b"kernel-a")
+        m1 = VKeyManager(tpm=t1)
+        t2 = TPM(seed=5)
+        t2.take_ownership(seed=6)
+        t2.extend(0, b"kernel-b")
+        m2 = VKeyManager(tpm=t2)
+        assert m1.root.material != m2.root.material
+
+
+class TestSSR:
+    def _make(self, disk, vdirs, vkey=None, blocks=4, block_size=64):
+        ssr = SecureStorageRegion("test", disk, vdirs, size_blocks=blocks,
+                                  block_size=block_size, vkey=vkey)
+        ssr.create()
+        return ssr
+
+    def test_block_roundtrip(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(0, b"A" * 64)
+        assert ssr.read_block(0) == b"A" * 64
+
+    def test_byte_granular_io(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write(100, b"hello world")
+        assert ssr.read(100, 11) == b"hello world"
+        # Straddles a block boundary (block_size=64).
+        ssr.write(60, b"straddle!")
+        assert ssr.read(60, 9) == b"straddle!"
+
+    def test_out_of_range_io(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        with pytest.raises(StorageError):
+            ssr.read(0, 64 * 4 + 1)
+        with pytest.raises(StorageError):
+            ssr.write(64 * 4, b"x")
+
+    def test_encrypted_blocks_unreadable_on_disk(self, disk, vdirs):
+        manager = VKeyManager()
+        vkey = manager.create("symmetric")
+        ssr = self._make(disk, vdirs, vkey=vkey)
+        ssr.write_block(1, b"S" * 64)
+        on_disk = disk.read_file("/ssr/test/1")
+        assert on_disk != b"S" * 64
+        assert ssr.read_block(1) == b"S" * 64
+
+    def test_plaintext_mode_stores_plaintext(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(1, b"P" * 64)
+        assert disk.read_file("/ssr/test/1") == b"P" * 64
+
+    def test_tamper_detected_on_read(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(2, b"D" * 64)
+        disk.corrupt_file("/ssr/test/2")
+        with pytest.raises(IntegrityError):
+            ssr.read_block(2)
+
+    def test_tamper_localized_to_block(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(2, b"D" * 64)
+        ssr.write_block(3, b"E" * 64)
+        disk.corrupt_file("/ssr/test/2")
+        assert ssr.read_block(3) == b"E" * 64  # other blocks still verify
+
+    def test_replay_detected_on_open(self, disk, tpm, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(0, b"v1" + b"\x00" * 62)
+        image = disk.snapshot()
+        ssr.write_block(0, b"v2" + b"\x00" * 62)
+        vdir_id = ssr.vdir_id
+        # Attacker replays the old SSR blocks but cannot touch the VDIR.
+        for name in list(image):
+            if name.startswith("/ssr/"):
+                disk.write_file(name, image[name])
+        reopened = SecureStorageRegion("test", disk, vdirs, size_blocks=4,
+                                       block_size=64)
+        with pytest.raises(ReplayError):
+            reopened.open(vdir_id)
+
+    def test_reopen_after_reboot(self, disk, tpm, vdirs):
+        ssr = self._make(disk, vdirs)
+        ssr.write_block(0, b"persist!" + b"\x00" * 56)
+        vdir_id = ssr.vdir_id
+        recovered_vdirs = VDIRRegistry.recover(disk, tpm)
+        reopened = SecureStorageRegion("test", disk, recovered_vdirs,
+                                       size_blocks=4, block_size=64)
+        reopened.open(vdir_id)
+        assert reopened.read_block(0).startswith(b"persist!")
+
+    def test_destroy_removes_blocks_and_vdir(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        vdir_id = ssr.vdir_id
+        ssr.destroy()
+        assert not disk.exists("/ssr/test/0")
+        assert vdir_id not in vdirs
+
+    def test_wrong_block_size_write(self, disk, vdirs):
+        ssr = self._make(disk, vdirs)
+        with pytest.raises(StorageError):
+            ssr.write_block(0, b"short")
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.binary(min_size=1,
+                                                             max_size=40)),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_property(self, writes):
+        """An SSR behaves like a flat byte array (with verification)."""
+        disk = Disk()
+        tpm = TPM(seed=3)
+        tpm.take_ownership(seed=4)
+        vdirs = VDIRRegistry(disk, tpm)
+        vdirs.format()
+        ssr = SecureStorageRegion("prop", disk, vdirs, size_blocks=4,
+                                  block_size=64)
+        ssr.create()
+        shadow = bytearray(4 * 64)
+        for offset, data in writes:
+            offset %= (4 * 64 - len(data))
+            ssr.write(offset, data)
+            shadow[offset:offset + len(data)] = data
+        assert ssr.read(0, 4 * 64) == bytes(shadow)

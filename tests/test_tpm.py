@@ -1,0 +1,228 @@
+"""TPM device and measured-boot tests."""
+
+import pytest
+
+from repro.errors import BootError, SealError, TPMError
+from repro.tpm import (
+    Machine,
+    NEXUS_PCR_MASK,
+    PCR_KERNEL,
+    SoftwareStack,
+    TPM,
+    boot_nexus,
+)
+
+STACK = SoftwareStack(firmware=b"bios-1.0", bootloader=b"grub-0.97",
+                      kernel_image=b"nexus-kernel-image")
+EVIL_STACK = SoftwareStack(firmware=b"bios-1.0", bootloader=b"grub-0.97",
+                           kernel_image=b"nexus-kernel-image-TROJANED")
+
+
+@pytest.fixture
+def tpm():
+    return TPM(seed=42)
+
+
+class TestPCRs:
+    def test_pcrs_start_zero(self, tpm):
+        assert tpm.read_pcr(0) == b"\x00" * 20
+
+    def test_extend_changes_value(self, tpm):
+        before = tpm.read_pcr(0)
+        tpm.extend(0, b"measurement")
+        assert tpm.read_pcr(0) != before
+
+    def test_extend_is_order_sensitive(self):
+        t1, t2 = TPM(seed=1), TPM(seed=2)
+        t1.extend(0, b"a")
+        t1.extend(0, b"b")
+        t2.extend(0, b"b")
+        t2.extend(0, b"a")
+        assert t1.read_pcr(0) != t2.read_pcr(0)
+
+    def test_power_cycle_resets_pcrs(self, tpm):
+        tpm.extend(0, b"x")
+        tpm.power_cycle()
+        assert tpm.read_pcr(0) == b"\x00" * 20
+
+    def test_bad_index(self, tpm):
+        with pytest.raises(TPMError):
+            tpm.extend(99, b"x")
+        with pytest.raises(TPMError):
+            tpm.read_pcr(-1)
+
+    def test_composite_depends_on_selection(self, tpm):
+        tpm.extend(0, b"x")
+        tpm.extend(1, b"y")
+        assert tpm.pcr_composite([0]) != tpm.pcr_composite([1])
+        assert tpm.pcr_composite([0, 1]) == tpm.pcr_composite([1, 0])
+
+    def test_v12_has_more_pcrs(self):
+        assert TPM(version="1.2", seed=1).pcr_count == 24
+        assert TPM(version="1.1", seed=1).pcr_count == 16
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(TPMError):
+            TPM(version="3.0")
+
+
+class TestSealUnseal:
+    def test_seal_requires_ownership(self, tpm):
+        with pytest.raises(SealError):
+            tpm.seal(b"secret", [0])
+
+    def test_seal_roundtrip(self, tpm):
+        tpm.take_ownership(seed=7)
+        tpm.extend(0, b"kernel")
+        blob = tpm.seal(b"secret", [0])
+        assert tpm.unseal(blob) == b"secret"
+
+    def test_unseal_fails_after_pcr_change(self, tpm):
+        tpm.take_ownership(seed=7)
+        tpm.extend(0, b"kernel")
+        blob = tpm.seal(b"secret", [0])
+        tpm.extend(0, b"more-code")
+        with pytest.raises(SealError):
+            tpm.unseal(blob)
+
+    def test_unseal_fails_with_modified_measurement(self, tpm):
+        tpm.take_ownership(seed=7)
+        tpm.extend(0, b"kernel")
+        blob = tpm.seal(b"secret", [0])
+        tpm.power_cycle()
+        tpm.extend(0, b"evil-kernel")
+        with pytest.raises(SealError):
+            tpm.unseal(blob)
+
+    def test_unseal_detects_ciphertext_tampering(self, tpm):
+        tpm.take_ownership(seed=7)
+        blob = tpm.seal(b"secret", [0])
+        tampered = bytearray(blob.ciphertext)
+        tampered[0] ^= 1
+        blob.ciphertext = bytes(tampered)
+        with pytest.raises(SealError):
+            tpm.unseal(blob)
+
+    def test_double_ownership_rejected(self, tpm):
+        tpm.take_ownership(seed=7)
+        with pytest.raises(TPMError):
+            tpm.take_ownership(seed=8)
+
+    def test_clear_ownership_invalidates_blobs(self, tpm):
+        tpm.take_ownership(seed=7)
+        blob = tpm.seal(b"secret", [0])
+        tpm.clear_ownership()
+        with pytest.raises(SealError):
+            tpm.unseal(blob)
+
+
+class TestQuote:
+    def test_quote_verifies(self, tpm):
+        tpm.extend(0, b"kernel")
+        quote = tpm.quote(b"nonce-1", [0, 1])
+        TPM.verify_quote(quote, tpm.ek_public)
+
+    def test_quote_rejects_wrong_ek(self, tpm):
+        other = TPM(seed=43)
+        quote = tpm.quote(b"nonce-1", [0])
+        with pytest.raises(Exception):
+            TPM.verify_quote(quote, other.ek_public)
+
+    def test_quote_binds_nonce(self, tpm):
+        quote = tpm.quote(b"nonce-1", [0])
+        forged = type(quote)(pcr_mask=quote.pcr_mask,
+                             composite=quote.composite,
+                             nonce=b"nonce-2", signature=quote.signature)
+        with pytest.raises(Exception):
+            TPM.verify_quote(forged, tpm.ek_public)
+
+
+class TestDIRs:
+    def test_dir_roundtrip(self, tpm):
+        tpm.dir_write(0, b"\xaa" * 20)
+        assert tpm.dir_read(0) == b"\xaa" * 20
+
+    def test_dir_width_enforced(self, tpm):
+        with pytest.raises(TPMError):
+            tpm.dir_write(0, b"short")
+
+    def test_dir_index_bounds(self, tpm):
+        with pytest.raises(TPMError):
+            tpm.dir_write(2, b"\x00" * 20)
+
+    def test_dir_policy_blocks_other_configurations(self, tpm):
+        tpm.extend(PCR_KERNEL, b"nexus")
+        tpm.protect_dirs([PCR_KERNEL])
+        tpm.dir_write(0, b"\xbb" * 20)  # allowed: measured state matches
+        tpm.extend(PCR_KERNEL, b"rootkit")
+        with pytest.raises(TPMError):
+            tpm.dir_read(0)
+        with pytest.raises(TPMError):
+            tpm.dir_write(0, b"\xcc" * 20)
+
+
+class TestNVRAM:
+    def test_nvram_only_on_v12(self, tpm):
+        with pytest.raises(TPMError):
+            tpm.nv_write("region", b"x")
+
+    def test_nvram_roundtrip(self):
+        tpm = TPM(version="1.2", seed=5)
+        tpm.nv_write("counters", b"\x01\x02")
+        assert tpm.nv_read("counters") == b"\x01\x02"
+
+    def test_nvram_capacity(self):
+        tpm = TPM(version="1.2", seed=5)
+        tpm.nv_write("big", b"x" * 1280)
+        with pytest.raises(TPMError):
+            tpm.nv_write("more", b"y")
+
+    def test_nvram_missing_region(self):
+        tpm = TPM(version="1.2", seed=5)
+        with pytest.raises(TPMError):
+            tpm.nv_read("nothing")
+
+
+class TestMeasuredBoot:
+    def test_first_boot_takes_ownership(self, tpm):
+        machine = Machine(tpm=tpm)
+        ctx = boot_nexus(machine, STACK, seed=9)
+        assert ctx.first_boot
+        assert tpm.owned
+        assert ctx.nk_blob is not None
+
+    def test_reboot_recovers_same_nk(self, tpm):
+        machine = Machine(tpm=tpm)
+        first = boot_nexus(machine, STACK, seed=9)
+        second = boot_nexus(machine, STACK, nk_blob=first.nk_blob)
+        assert not second.first_boot
+        assert second.nk.n == first.nk.n
+        assert second.nk.d == first.nk.d
+
+    def test_nbk_fresh_each_boot(self, tpm):
+        machine = Machine(tpm=tpm)
+        first = boot_nexus(machine, STACK, seed=9)
+        second = boot_nexus(machine, STACK, nk_blob=first.nk_blob)
+        assert first.nbk.public != second.nbk.public
+        assert first.boot_id() != second.boot_id()
+
+    def test_modified_kernel_cannot_recover_nk(self, tpm):
+        machine = Machine(tpm=tpm)
+        first = boot_nexus(machine, STACK, seed=9)
+        with pytest.raises(BootError):
+            boot_nexus(machine, EVIL_STACK, nk_blob=first.nk_blob)
+
+    def test_measurements_land_in_expected_pcrs(self, tpm):
+        machine = Machine(tpm=tpm)
+        machine.power_on(STACK)
+        baseline = [tpm.read_pcr(i) for i in NEXUS_PCR_MASK]
+        assert all(value != b"\x00" * 20 for value in baseline)
+        machine.power_on(STACK)
+        assert [tpm.read_pcr(i) for i in NEXUS_PCR_MASK] == baseline
+
+    def test_platform_principal_names_boot(self, tpm):
+        machine = Machine(tpm=tpm)
+        ctx = boot_nexus(machine, STACK, seed=9)
+        name = ctx.platform_principal_name()
+        assert name.startswith("NK-")
+        assert ctx.boot_id() in name
