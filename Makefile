@@ -1,0 +1,24 @@
+# One-word entry points for the tier-1 suite, benchmarks, and doc checks.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check lint check
+
+## tier-1: every test and benchmark, fail-fast (the CI gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## paper-style experiments only (prints the figure/table report)
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+## execute every python snippet in the documentation
+docs-check:
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/nal.md
+
+## docstring coverage for the trusted packages
+lint:
+	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal
+
+check: lint docs-check test

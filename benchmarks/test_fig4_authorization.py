@@ -13,6 +13,7 @@ import pytest
 
 import reporting
 from repro.kernel.authority import CallableAuthority
+from repro.kernel.guard import GuardRequest
 from repro.kernel.kernel import NexusKernel
 from repro.nal.parser import parse
 from repro.nal.proof import Assume, AuthorityQuery, ProofBundle, Rule
@@ -121,3 +122,67 @@ def test_cached_pass_is_much_cheaper_than_uncached(benchmark):
                      note="paper: 16-20x for the guard upcall")
     benchmark(call)
     assert uncached > cached * 4
+
+
+def _batch_world():
+    """The 'pass' scenario arranged for batch submission: one goal, one
+    credentialed bundle, many duplicate pending requests."""
+    kernel, owner, client, resource = _world()
+    rid = resource.resource_id
+    kernel.sys_setgoal(owner.pid, rid, "read",
+                       f"{owner.path} says ok(?Subject)")
+    cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+    bundle = ProofBundle(Assume(cred), credentials=(cred,))
+    return kernel, client, resource, bundle
+
+
+def test_batch_check_many_beats_sequential(benchmark):
+    """check_many with duplicate goals dedups to one evaluation: a batch
+    of 64 identical pending requests must beat 64 sequential checks."""
+    import time
+
+    kernel, client, resource, bundle = _batch_world()
+    guard = kernel.default_guard
+    request = GuardRequest(subject=client.principal, operation="read",
+                           resource=resource, bundle=bundle)
+    batch = [request] * 64
+
+    def sequential():
+        return [guard.check(r.subject, r.operation, r.resource, r.bundle,
+                            r.subject_root) for r in batch]
+
+    def batched():
+        return guard.check_many(batch)
+
+    assert ([d.allow for d in batched()]
+            == [d.allow for d in sequential()])
+
+    def measure(fn, n=50):
+        fn()
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e6
+
+    seq_us = measure(sequential)
+    batch_us = measure(batched)
+    reporting.record(EXP, "64-dup batch vs sequential checks",
+                     seq_us / batch_us, "x",
+                     note="check_many dedups identical goals")
+    benchmark(batched)
+    assert batch_us < seq_us
+
+
+def test_authorize_many_throughput(benchmark):
+    """Kernel-level batch: authorize_many over a warm decision cache
+    answers every duplicate from the cache with zero guard upcalls."""
+    kernel, client, resource, bundle = _batch_world()
+    rid = resource.resource_id
+    requests = [(client.pid, "read", rid, bundle)] * 64
+    kernel.authorize_many(requests)  # warm: one upcall, then cached
+    upcalls = kernel.default_guard.upcalls
+    decisions = benchmark(kernel.authorize_many, requests)
+    assert all(d.allow for d in decisions)
+    assert kernel.default_guard.upcalls == upcalls
+    reporting.record(EXP, "authorize_many 64-batch (warm cache)",
+                     benchmark.stats.stats.mean * 1e6, "us/batch")

@@ -12,7 +12,7 @@ import pytest
 
 import reporting
 from repro.kernel.kernel import NexusKernel
-from repro.nal.checker import check
+from repro.nal.checker import check, check_cached, clear_check_memo
 from repro.nal.formula import Implies, Not, Or, Pred, Says, Speaksfor
 from repro.nal.proof import Assume, AuthorityQuery, Rule
 from repro.nal.terms import Name
@@ -113,3 +113,29 @@ def test_linearity_shape(benchmark):
                      note="linear scaling => ratio well under 40x")
     benchmark(check, _negation_proof(15))
     assert ratio < 40
+
+
+def test_memoized_recheck_skips_the_walk(benchmark):
+    """Proof compilation (§2.8 amortization): re-checking the same proof
+    object answers from the memo instead of re-walking the tree, so the
+    cost of a re-check is independent of proof size."""
+    import time
+
+    proof = _delegation_proof(15)
+    clear_check_memo()
+    check_cached(proof)  # compile once
+
+    def measure(fn, n=300):
+        fn()
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e6
+
+    cold = measure(lambda: check(proof))
+    warm = measure(lambda: check_cached(proof))
+    reporting.record(EXP, "15-rule recheck: full walk vs memo",
+                     cold / warm, "x",
+                     note="compiled proofs skip the structural search")
+    benchmark(check_cached, proof)
+    assert warm < cold

@@ -63,13 +63,27 @@ class RevocationService:
 
     def revoke(self, issuer: Process,
                statement: Union[str, Formula]) -> None:
+        """Retract validity and retire every cached authorization verdict.
+
+        Proofs that consult the validity authority are never cacheable,
+        so the decision cache cannot hold a verdict that *directly*
+        depends on this claim — but policies composed before the
+        revocation may have been cached under assumptions the revoker
+        means to withdraw. Bumping the policy epoch is O(1) and retires
+        all outstanding verdicts without flushing a single shard; the
+        next request for each re-derives against post-revocation state.
+        """
         claim = self._lookup(issuer, statement)
         self.authority.retract_statement(claim)
+        self.kernel.decision_cache.bump_policy_epoch()
 
     def reinstate(self, issuer: Process,
                   statement: Union[str, Formula]) -> None:
+        """Re-assert validity; cached denials are retired the same way
+        revocation retires cached allows."""
         claim = self._lookup(issuer, statement)
         self.authority.assert_statement(claim)
+        self.kernel.decision_cache.bump_policy_epoch()
 
     def is_valid(self, issuer: Process,
                  statement: Union[str, Formula]) -> bool:

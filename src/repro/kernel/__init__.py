@@ -19,6 +19,7 @@ from repro.kernel.guard import (
     Guard,
     GuardCache,
     GuardDecision,
+    GuardRequest,
     GoalStore,
     RESOURCE_VAR,
     SUBJECT_VAR,
@@ -42,8 +43,8 @@ __all__ = [
     "Authority", "AuthorityRegistry", "CallableAuthority", "ClockAuthority",
     "StatementSetAuthority",
     "CacheStats", "DecisionCache",
-    "Guard", "GuardCache", "GuardDecision", "GoalStore", "RESOURCE_VAR",
-    "SUBJECT_VAR",
+    "Guard", "GuardCache", "GuardDecision", "GuardRequest", "GoalStore",
+    "RESOURCE_VAR", "SUBJECT_VAR",
     "CallDecision", "Redirector", "ReferenceMonitor",
     "SyscallWhitelistMonitor", "Verdict",
     "IntrospectionFS",

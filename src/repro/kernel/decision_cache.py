@@ -1,16 +1,23 @@
-"""The kernel decision cache (§2.8).
+"""The kernel decision cache (§2.8) — sharded, epoch-invalidated.
 
 Guard upcalls cost 16–20× a cached kernel decision, so the kernel caches
 previously observed guard decisions, indexed by the access-control tuple
-(subject, operation, object). Two invalidation granularities exist:
+(subject, operation, object). The store is split into *shards* (the
+paper's configurable subregions) so that statistics, capacity accounting,
+and — in a multi-worker deployment — lock scope stay per-shard rather
+than global.
 
-* a *proof update* clears exactly one entry;
-* a *setgoal* may affect many entries, so the hash function is designed to
-  map all entries with the same (operation, object) into the same
-  **subregion** — invalidating a goal clears one subregion instead of the
-  whole cache. Subregion count is configurable, trading invalidation cost
-  against collision rate (more subregions → cheaper goal invalidation,
-  higher chance two goals collide into one subregion).
+Invalidation never walks the table. Three granularities exist, all O(1):
+
+* a *proof update* pops exactly one entry (``invalidate_entry``);
+* a *setgoal* bumps the **goal epoch** of one (operation, object) pair
+  (``invalidate_goal``) — every entry remembers the goal epoch it was
+  inserted under, so stale entries simply stop matching and are dropped
+  lazily the next time they are touched;
+* a *policy change* (e.g. a credential revocation, see
+  :mod:`repro.core.revocation`) bumps the global **policy epoch**
+  (``bump_policy_epoch``), conservatively retiring every cached verdict
+  without physically flushing any shard.
 
 Only decisions the guard marked cacheable are inserted (proofs free of
 authority queries and dynamic state).
@@ -26,39 +33,96 @@ Key = Tuple[Hashable, Hashable, Hashable]  # (subject, operation, object)
 
 @dataclass
 class CacheStats:
+    """Aggregate counters; ``report()`` renders them for introspection."""
+
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     entry_invalidations: int = 0
-    subregion_invalidations: int = 0
+    subregion_invalidations: int = 0  # historical name: goal-epoch bumps
+    policy_epoch_bumps: int = 0
+    stale_drops: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def goal_invalidations(self) -> int:
+        """Readable alias for the historical subregion counter."""
+        return self.subregion_invalidations
+
+    def report(self) -> Dict[str, float]:
+        """A flat dict suitable for introspection publishing or logging."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "insertions": self.insertions,
+            "entry_invalidations": self.entry_invalidations,
+            "goal_invalidations": self.subregion_invalidations,
+            "policy_epoch_bumps": self.policy_epoch_bumps,
+            "stale_drops": self.stale_drops,
+        }
+
+
+@dataclass(frozen=True)
+class _Entry:
+    decision: bool
+    policy_epoch: int
+    goal_epoch: int
+
 
 class DecisionCache:
-    """A subregioned hashtable of (subject, op, object) → allow/deny."""
+    """A sharded hashtable of (subject, op, object) → allow/deny.
+
+    ``subregions`` keeps its historical name (it is the shard count); the
+    trade-off the paper describes — invalidation cost versus collision
+    rate — is resolved here by epochs: goal invalidation is O(1) at *any*
+    shard count and never takes collateral entries with it.
+    """
+
+    #: One incremental sweep step per this many insertions: stale entries
+    #: stranded by epoch bumps are reclaimed in the background without
+    #: any O(n) flush on the invalidation path.
+    SWEEP_INTERVAL = 64
 
     def __init__(self, subregions: int = 64, enabled: bool = True):
         if subregions < 1:
             raise ValueError("need at least one subregion")
-        self._subregions: List[Dict[Key, bool]] = [
+        self._shards: List[Dict[Key, _Entry]] = [
             {} for _ in range(subregions)
         ]
+        self._policy_epoch = 0
+        self._goal_epochs: Dict[Tuple[Hashable, Hashable], int] = {}
+        self._sweep_cursor = 0
+        self._inserts_until_sweep = self.SWEEP_INTERVAL
         self.enabled = enabled
         self.stats = CacheStats()
 
+    # -- shape ----------------------------------------------------------------
+
     @property
     def subregion_count(self) -> int:
-        return len(self._subregions)
+        return len(self._shards)
 
-    def _region_for(self, operation: Hashable, obj: Hashable) -> Dict:
-        # All entries sharing (operation, object) land in one subregion so
-        # a setgoal invalidation touches contiguous state.
-        index = hash((operation, obj)) % len(self._subregions)
-        return self._subregions[index]
+    #: Modern alias: the subregions of §2.8 are shards here.
+    shard_count = subregion_count
+
+    @property
+    def policy_epoch(self) -> int:
+        return self._policy_epoch
+
+    def _shard_for(self, key: Key) -> Dict[Key, _Entry]:
+        return self._shards[hash(key) % len(self._shards)]
+
+    def _goal_epoch(self, operation: Hashable, obj: Hashable) -> int:
+        return self._goal_epochs.get((operation, obj), 0)
+
+    def _is_live(self, key: Key, entry: _Entry) -> bool:
+        return (entry.policy_epoch == self._policy_epoch
+                and entry.goal_epoch == self._goal_epoch(key[1], key[2]))
 
     # -- lookups --------------------------------------------------------------
 
@@ -66,46 +130,124 @@ class DecisionCache:
                obj: Hashable) -> Optional[bool]:
         if not self.enabled:
             return None
-        region = self._region_for(operation, obj)
-        decision = region.get((subject, operation, obj))
-        if decision is None:
+        key = (subject, operation, obj)
+        shard = self._shard_for(key)
+        entry = shard.get(key)
+        if entry is not None and not self._is_live(key, entry):
+            # Lazily retire entries stranded by an epoch bump.
+            del shard[key]
+            self.stats.stale_drops += 1
+            entry = None
+        if entry is None:
             self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return decision
+            return None
+        self.stats.hits += 1
+        return entry.decision
 
     def insert(self, subject: Hashable, operation: Hashable, obj: Hashable,
                decision: bool) -> None:
         if not self.enabled:
             return
-        region = self._region_for(operation, obj)
-        region[(subject, operation, obj)] = decision
+        key = (subject, operation, obj)
+        self._shard_for(key)[key] = _Entry(
+            decision, self._policy_epoch, self._goal_epoch(operation, obj))
         self.stats.insertions += 1
+        self._inserts_until_sweep -= 1
+        if self._inserts_until_sweep <= 0:
+            self._inserts_until_sweep = self.SWEEP_INTERVAL
+            self._sweep_one_shard()
 
-    # -- invalidation -----------------------------------------------------------
+    # -- invalidation ---------------------------------------------------------
 
     def invalidate_entry(self, subject: Hashable, operation: Hashable,
                          obj: Hashable) -> None:
         """Proof update: clear the single affected entry."""
-        region = self._region_for(operation, obj)
-        if region.pop((subject, operation, obj), None) is not None:
+        key = (subject, operation, obj)
+        if self._shard_for(key).pop(key, None) is not None:
             self.stats.entry_invalidations += 1
 
     def invalidate_goal(self, operation: Hashable, obj: Hashable) -> None:
-        """setgoal: clear the subregion holding every entry for the goal."""
-        index = hash((operation, obj)) % len(self._subregions)
-        self._subregions[index] = {}
+        """setgoal: retire every entry for the goal by bumping its epoch.
+
+        O(1) regardless of shard count or cache population; stale entries
+        are dropped lazily by :meth:`lookup`.
+        """
+        pair = (operation, obj)
+        self._goal_epochs[pair] = self._goal_epochs.get(pair, 0) + 1
         self.stats.subregion_invalidations += 1
 
+    def bump_policy_epoch(self) -> int:
+        """Policy change (e.g. revocation): retire *all* cached verdicts.
+
+        O(1) — no shard is flushed; every existing entry merely stops
+        matching the current epoch and evaporates when next touched.
+        Returns the new epoch.
+        """
+        self._policy_epoch += 1
+        self.stats.policy_epoch_bumps += 1
+        return self._policy_epoch
+
     def clear(self) -> None:
-        for index in range(len(self._subregions)):
-            self._subregions[index] = {}
+        for index in range(len(self._shards)):
+            self._shards[index] = {}
+
+    def _sweep_one_shard(self) -> None:
+        """Reclaim stale entries from one shard (round-robin).
+
+        Amortized over SWEEP_INTERVAL insertions this keeps the physical
+        footprint tracking the live set even for keys that are never
+        probed again (dead subjects, retired goals).
+        """
+        self._sweep_cursor %= len(self._shards)
+        shard = self._shards[self._sweep_cursor]
+        self._sweep_cursor += 1
+        stale = [key for key, entry in shard.items()
+                 if not self._is_live(key, entry)]
+        for key in stale:
+            del shard[key]
+        self.stats.stale_drops += len(stale)
+
+    def purge(self) -> int:
+        """Eagerly sweep stale entries; returns how many were dropped.
+
+        Also prunes goal-epoch counters no remaining entry refers to —
+        safe exactly here, because after a full sweep an absent counter
+        (implicitly epoch 0) can no longer resurrect a stale entry.
+        """
+        dropped = 0
+        for shard in self._shards:
+            stale = [key for key, entry in shard.items()
+                     if not self._is_live(key, entry)]
+            for key in stale:
+                del shard[key]
+            dropped += len(stale)
+        self.stats.stale_drops += dropped
+        referenced = {(key[1], key[2])
+                      for shard in self._shards for key in shard}
+        self._goal_epochs = {pair: epoch
+                             for pair, epoch in self._goal_epochs.items()
+                             if pair in referenced}
+        return dropped
 
     def resize(self, subregions: int) -> None:
         """Runtime resize; contents are discarded (it is only a cache)."""
         if subregions < 1:
             raise ValueError("need at least one subregion")
-        self._subregions = [{} for _ in range(subregions)]
+        self._shards = [{} for _ in range(subregions)]
+
+    # -- accounting -----------------------------------------------------------
+
+    def shard_sizes(self) -> List[int]:
+        """Live entries per shard — the distribution a rebalance would read."""
+        return [sum(1 for key, entry in shard.items()
+                    if self._is_live(key, entry))
+                for shard in self._shards]
+
+    def raw_size(self) -> int:
+        """Physical entry count, stale included — shows that epoch bumps
+        do not flush shards."""
+        return sum(len(shard) for shard in self._shards)
 
     def __len__(self):
-        return sum(len(region) for region in self._subregions)
+        """Live (non-stale) entries only."""
+        return sum(self.shard_sizes())

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ProofError, UnificationError
-from repro.nal.checker import CheckResult, check
+from repro.nal.checker import (CheckResult, CompiledProof, check,
+                               compile_proof)
 from repro.nal.formula import Formula, TrueFormula
 from repro.nal.proof import ProofBundle
 from repro.nal.terms import Principal, Var
-from repro.nal.unify import match
 from repro.kernel.authority import AuthorityRegistry
 from repro.kernel.labelstore import LabelRegistry
 from repro.kernel.resources import Resource
@@ -47,8 +47,34 @@ class GuardDecision:
         return self.allow
 
 
+@dataclass(frozen=True)
+class GuardRequest:
+    """One pending authorization, as submitted to :meth:`Guard.check_many`.
+
+    ``subject_root`` is the process-tree root the guard-cache quota is
+    attached to (see :class:`GuardCache`).
+    """
+
+    subject: Principal
+    operation: str
+    resource: Resource
+    bundle: Optional[ProofBundle] = None
+    subject_root: Hashable = None
+
+    def dedup_key(self) -> Hashable:
+        """Requests with equal keys are guaranteed the same verdict within
+        one batch: the goal instantiation depends only on (subject,
+        operation, resource) and the evaluation only on the bundle."""
+        bundle_key = (None if self.bundle is None
+                      else self.bundle.dedup_key())
+        return (self.subject, self.operation, self.resource.resource_id,
+                bundle_key)
+
+
 @dataclass
 class GoalEntry:
+    """A goal formula plus the port of the guard designated to check it."""
+
     formula: Formula
     guard_port: Optional[str] = None  # a designated non-default guard
 
@@ -149,6 +175,8 @@ class Guard:
         self.authorities = authorities
         self.cache = cache if cache is not None else GuardCache()
         self.upcalls = 0
+        self.batch_calls = 0
+        self.batch_dedup_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -202,6 +230,37 @@ class Guard:
         return GuardDecision(allow=True, cacheable=result.cacheable,
                              reason="proof discharges goal")
 
+    def check_many(self,
+                   requests: Sequence[GuardRequest]) -> List[GuardDecision]:
+        """Batch evaluation: one upcall's worth of work per *distinct* goal.
+
+        Pending requests are deduplicated on :meth:`GuardRequest.dedup_key`
+        — identical (subject, operation, resource, bundle) tuples are
+        checked once and the verdict fanned back out in submission order.
+        Only *cacheable* verdicts are reused: goalstore and labelstore
+        state is fixed for the duration of the batch, but authority
+        answers and dynamic terms are live even between two requests of
+        one batch, so non-cacheable decisions are re-evaluated per
+        request — exactly the §2.7 "re-executed on every request"
+        discipline the decision cache itself follows.
+        """
+        self.batch_calls += 1
+        verdicts: Dict[Hashable, GuardDecision] = {}
+        decisions: List[GuardDecision] = []
+        for request in requests:
+            key = request.dedup_key()
+            decision = verdicts.get(key)
+            if decision is None:
+                decision = self.check(request.subject, request.operation,
+                                      request.resource, request.bundle,
+                                      request.subject_root)
+                if decision.cacheable:
+                    verdicts[key] = decision
+            else:
+                self.batch_dedup_hits += 1
+            decisions.append(decision)
+        return decisions
+
     # ------------------------------------------------------------------
 
     def _default_policy(self, subject: Principal,
@@ -221,15 +280,18 @@ class Guard:
         if cached is not None:
             return cached
         try:
-            result = check(bundle.proof)
-            if goal.is_ground():
-                if result.conclusion != goal:
-                    raise ProofError("conclusion does not match goal")
+            # A guard with proof caching disabled (capacity 0) opts out of
+            # every amortization layer, including the compile memo — that
+            # is what the cache ablations measure.
+            if self.cache.capacity > 0:
+                compiled = compile_proof(bundle.proof)
             else:
-                # Leftover goal variables bind against the conclusion.
-                match(goal, result.conclusion)
+                compiled = CompiledProof(bundle.proof, check(bundle.proof))
+            if not compiled.discharges(goal):
+                raise ProofError("conclusion does not match goal")
         except (ProofError, UnificationError):
             return None
+        result = compiled.result
         self.cache.insert(key, subject_root, result)
         return result
 

@@ -23,6 +23,8 @@ from repro.errors import InterpositionError
 
 
 class Verdict(Enum):
+    """A reference monitor's ruling on one interposed call."""
+
     ALLOW = "allow"
     DENY = "deny"
 

@@ -39,6 +39,16 @@ class Port:
         # A subprincipal of the well-known IPC namespace: IPC.<id>.
         return Name("IPC").sub(str(self.port_id))
 
+    def drain(self) -> list:
+        """Atomically take every queued mailbox message.
+
+        The batch-delivery counterpart to polling one message at a time:
+        a receiver servicing a burst (e.g. a guard working through queued
+        authorization requests) empties its mailbox in one step.
+        """
+        messages, self.mailbox = self.mailbox, []
+        return messages
+
 
 class PortTable:
     """The kernel's port registry and transfer machinery."""

@@ -20,7 +20,8 @@ The authorization fast path is the paper's Figure 1:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.crypto.certs import Certificate, CertificateChain
 from repro.errors import AccessDenied, InterpositionError, KernelError
@@ -30,7 +31,8 @@ from repro.nal.proof import ProofBundle
 from repro.nal.terms import Name, Principal
 from repro.kernel.authority import Authority, AuthorityRegistry
 from repro.kernel.decision_cache import DecisionCache
-from repro.kernel.guard import Guard, GuardCache, GuardDecision
+from repro.kernel.guard import (Guard, GuardCache, GuardDecision,
+                                GuardRequest)
 from repro.kernel.interposition import Redirector, ReferenceMonitor
 from repro.kernel.introspection import IntrospectionFS
 from repro.kernel.ipc import Port, PortTable
@@ -248,6 +250,18 @@ class NexusKernel:
             invoke=port.mailbox.append)
         return permitted
 
+    def ipc_send_many(self, caller_pid: int, port_id: int,
+                      messages: Sequence[Any]) -> int:
+        """Batched asynchronous delivery; returns how many were admitted.
+
+        Every message still takes the full :meth:`ipc_send` path — each
+        one is individually offered to any interposed reference monitor;
+        batching amortizes the caller's bookkeeping, never the security
+        checks.
+        """
+        return sum(1 for message in messages
+                   if self.ipc_send(caller_pid, port_id, message))
+
     # ------------------------------------------------------------------
     # goals and proofs (§2.5)
     # ------------------------------------------------------------------
@@ -271,8 +285,8 @@ class NexusKernel:
 
         Setting a goal is itself an authorized operation (§2.5), vetted
         against the resource's ``setgoal`` goal (or the default owner
-        policy); afterwards the affected decision-cache subregion is
-        invalidated.
+        policy); afterwards the goal's decision-cache epoch is bumped so
+        every cached verdict for it is retired in O(1).
         """
         resource = self.resources.get(resource_id)
         decision = self.authorize(pid, "setgoal", resource_id, bundle)
@@ -302,7 +316,7 @@ class NexusKernel:
         """Pre-register the proof used for subsequent invocations.
 
         A proof update invalidates exactly one decision-cache entry
-        (§2.8), unlike setgoal which clears a whole subregion.
+        (§2.8), unlike setgoal which retires every entry for its goal.
         """
         self._proofs[(pid, operation, resource_id)] = bundle
         self.decision_cache.invalidate_entry(pid, operation, resource_id)
@@ -320,9 +334,11 @@ class NexusKernel:
     # the authorization path (Figure 1)
     # ------------------------------------------------------------------
 
-    def authorize(self, subject_pid: int, operation: str, resource_id: int,
-                  bundle: Optional[ProofBundle] = None) -> GuardDecision:
-        process = self.processes.get(subject_pid)
+    def _consult_cache(self, subject_pid: int, operation: str,
+                       resource_id: int, bundle: Optional[ProofBundle],
+                       ) -> Tuple[Optional[ProofBundle], Optional[bool]]:
+        """Shared front half of Figure 1: resolve the effective bundle,
+        observe proof updates, and probe the decision cache."""
         if bundle is None:
             bundle = self.registered_proof(subject_pid, operation,
                                            resource_id)
@@ -337,6 +353,13 @@ class NexusKernel:
             self._last_bundle[key] = bundle
         cached = self.decision_cache.lookup(subject_pid, operation,
                                             resource_id)
+        return bundle, cached
+
+    def authorize(self, subject_pid: int, operation: str, resource_id: int,
+                  bundle: Optional[ProofBundle] = None) -> GuardDecision:
+        process = self.processes.get(subject_pid)
+        bundle, cached = self._consult_cache(subject_pid, operation,
+                                             resource_id, bundle)
         if cached is not None:
             return GuardDecision(allow=cached, cacheable=True,
                                  reason="decision cache")
@@ -350,6 +373,53 @@ class NexusKernel:
             self.decision_cache.insert(subject_pid, operation, resource_id,
                                        decision.allow)
         return decision
+
+    def authorize_many(self,
+                       requests: Sequence[Tuple],
+                       ) -> List[GuardDecision]:
+        """Batch authorization: Figure 1 over a group of pending requests.
+
+        ``requests`` is a sequence of ``(subject_pid, operation,
+        resource_id)`` or ``(subject_pid, operation, resource_id, bundle)``
+        tuples. Each request first probes the decision cache; the misses
+        are grouped per guard and submitted through
+        :meth:`~repro.kernel.guard.Guard.check_many`, which checks each
+        distinct (subject, operation, resource, proof) once and fans the
+        verdict back out. Decisions return in submission order.
+        """
+        decisions: List[Optional[GuardDecision]] = [None] * len(requests)
+        #: guard → [(slot index, subject pid, request)] for cache misses.
+        pending: Dict[Guard, List[Tuple[int, int, GuardRequest]]] = {}
+        for index, request in enumerate(requests):
+            subject_pid, operation, resource_id = request[:3]
+            bundle = request[3] if len(request) > 3 else None
+            process = self.processes.get(subject_pid)
+            bundle, cached = self._consult_cache(subject_pid, operation,
+                                                 resource_id, bundle)
+            if cached is not None:
+                decisions[index] = GuardDecision(allow=cached,
+                                                 cacheable=True,
+                                                 reason="decision cache")
+                continue
+            resource = self.resources.get(resource_id)
+            guard = self._guard_for(resource_id, operation)
+            pending.setdefault(guard, []).append((index, subject_pid,
+                                                  GuardRequest(
+                subject=process.principal, operation=operation,
+                resource=resource, bundle=bundle,
+                subject_root=self.processes.tree_root(subject_pid))))
+        inserted = set()
+        for guard, slots in pending.items():
+            verdicts = guard.check_many([entry[2] for entry in slots])
+            for (index, subject_pid, guard_request), decision in zip(
+                    slots, verdicts):
+                decisions[index] = decision
+                key = (subject_pid, guard_request.operation,
+                       guard_request.resource.resource_id)
+                if decision.cacheable and key not in inserted:
+                    inserted.add(key)
+                    self.decision_cache.insert(*key, decision.allow)
+        return decisions
 
     def guarded_call(self, subject_pid: int, operation: str,
                      resource_id: int, invoke: Callable[..., Any], *args,
@@ -532,6 +602,12 @@ class NexusKernel:
                        sorted(self.ports.connections)))
         fs.publish("/proc/kernel/goals",
                    lambda: str(len(self.default_guard.goals)))
+        fs.publish("/proc/kernel/decision_cache",
+                   lambda: ",".join(
+                       f"{name}={value}" for name, value in
+                       self.decision_cache.stats.report().items()))
+        fs.publish("/proc/kernel/policy_epoch",
+                   lambda: str(self.decision_cache.policy_epoch))
         fs.publish("/proc/sched/clients",
                    lambda: ",".join(
                        f"{c.name}={c.tickets}"

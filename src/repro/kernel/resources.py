@@ -17,6 +17,8 @@ from repro.nal.terms import Principal
 
 @dataclass
 class Resource:
+    """A named, owned kernel object that goals and proofs attach to."""
+
     resource_id: int
     name: str
     kind: str

@@ -25,6 +25,8 @@ STRIDE1 = 1 << 20
 
 @dataclass
 class SchedulerClient:
+    """Per-client stride-scheduling state (tickets set the share)."""
+
     name: str
     tickets: int
     stride: int

@@ -19,6 +19,7 @@ be smuggled in.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
@@ -253,6 +254,14 @@ _STRUCTURAL_RULES: Dict[str, Callable] = {
     "speaksfor_trans": _rule_speaksfor_trans,
 }
 
+#: The compiled rule table: one lookup resolves both the validator and
+#: whether the rule is structural (i.e. barred from says-contexts). Built
+#: once at import so the per-node hot path never probes two dicts.
+_RULES: Dict[str, Tuple[Callable, bool]] = {
+    **{name: (fn, False) for name, fn in _PROPOSITIONAL_RULES.items()},
+    **{name: (fn, True) for name, fn in _STRUCTURAL_RULES.items()},
+}
+
 
 # ---------------------------------------------------------------------------
 # Axiom schemas
@@ -300,22 +309,23 @@ def _check_node(node: Proof, walk: _Walk, depth: int) -> Formula:
         walk.rule_count += 1
         premise_conclusions = tuple(
             _check_node(premise, walk, depth + 1) for premise in node.premises)
-        if node.name in _PROPOSITIONAL_RULES:
-            validator = _PROPOSITIONAL_RULES[node.name]
-            bodies = tuple(
-                _strip_context(concl, node.context, "premise")
-                for concl in premise_conclusions)
-            goal_body = _strip_context(node.conclusion, node.context,
-                                       "conclusion")
-            validator(bodies, goal_body)
-            return node.conclusion
-        if node.name in _STRUCTURAL_RULES:
+        entry = _RULES.get(node.name)
+        if entry is None:
+            raise ProofError(f"unknown inference rule {node.name!r}")
+        validator, structural = entry
+        if structural:
             if node.context is not None:
                 raise ProofError(
                     f"rule {node.name} cannot run inside a says-context")
-            _STRUCTURAL_RULES[node.name](premise_conclusions, node.conclusion)
+            validator(premise_conclusions, node.conclusion)
             return node.conclusion
-        raise ProofError(f"unknown inference rule {node.name!r}")
+        bodies = tuple(
+            _strip_context(concl, node.context, "premise")
+            for concl in premise_conclusions)
+        goal_body = _strip_context(node.conclusion, node.context,
+                                   "conclusion")
+        validator(bodies, goal_body)
+        return node.conclusion
     raise ProofError(f"unknown proof node {node!r}")
 
 
@@ -356,9 +366,96 @@ def check(proof: Proof, goal: Optional[Formula] = None,
     )
 
 
+# ---------------------------------------------------------------------------
+# Proof compilation: amortizing re-checks
+# ---------------------------------------------------------------------------
+
+#: Bound on the compile memo. Entries hold strong references to their
+#: proofs, so identity keys can never collide with live objects.
+CHECK_MEMO_CAPACITY = 2048
+
+
+@dataclass
+class CompiledProof:
+    """A proof plus its one-time check result and a goal-verdict memo.
+
+    Compiling pins the structural walk's outcome; :meth:`discharges`
+    answers "does this proof conclude that goal?" — the per-request
+    question a guard asks — from a memo for ground goals, skipping the
+    general match search on every re-check.
+    """
+
+    #: Bound on the per-proof goal memo: compiled proofs are pinned by
+    #: the compile memo, so an unbounded dict would grow with every
+    #: distinct goal a long-lived proof is ever evaluated against.
+    GOAL_MEMO_CAPACITY = 128
+
+    proof: Proof
+    result: CheckResult
+    _goal_verdicts: Dict[Formula, bool] = field(default_factory=dict)
+
+    def discharges(self, goal: Formula) -> bool:
+        """True when the checked conclusion satisfies ``goal`` (ground
+        goals by memoized equality, patterns by one-way matching)."""
+        if goal.is_ground():
+            verdict = self._goal_verdicts.get(goal)
+            if verdict is None:
+                verdict = self.result.conclusion == goal
+                if len(self._goal_verdicts) < self.GOAL_MEMO_CAPACITY:
+                    self._goal_verdicts[goal] = verdict
+            return verdict
+        from repro.nal.unify import matches
+        return matches(goal, self.result.conclusion)
+
+
+_compile_memo: "OrderedDict[int, CompiledProof]" = OrderedDict()
+
+
+def compile_proof(proof: Proof,
+                  dynamic_terms: FrozenSet[str] = DEFAULT_DYNAMIC_TERMS,
+                  ) -> CompiledProof:
+    """Check ``proof`` once and wrap it for cheap repeated evaluation.
+
+    Identity-memoized for the default dynamic-term set: proof trees are
+    immutable, so a proof object that compiled once is compiled forever —
+    guards re-present the same registered proof on every request and pay
+    the full structural walk only the first time. The returned object is
+    shared across calls, so its goal-verdict memo accumulates. Failures
+    are never memoized — an unsound proof re-raises on every call.
+    """
+    if dynamic_terms is not DEFAULT_DYNAMIC_TERMS:
+        return CompiledProof(
+            proof=proof, result=check(proof, dynamic_terms=dynamic_terms))
+    key = id(proof)
+    hit = _compile_memo.get(key)
+    if hit is not None and hit.proof is proof:
+        _compile_memo.move_to_end(key)
+        return hit
+    compiled = CompiledProof(proof=proof, result=check(proof))
+    _compile_memo[key] = compiled
+    if len(_compile_memo) > CHECK_MEMO_CAPACITY:
+        _compile_memo.popitem(last=False)
+    return compiled
+
+
+def check_cached(proof: Proof) -> CheckResult:
+    """:func:`check` through the :func:`compile_proof` memo."""
+    return compile_proof(proof).result
+
+
+def clear_check_memo() -> None:
+    """Drop all memoized compilations (test isolation hook)."""
+    _compile_memo.clear()
+
+
 __all__ = [
     "CheckResult",
+    "CompiledProof",
     "check",
+    "check_cached",
+    "clear_check_memo",
+    "compile_proof",
+    "CHECK_MEMO_CAPACITY",
     "DEFAULT_DYNAMIC_TERMS",
     "MAX_PROOF_DEPTH",
     "says_wrap",

@@ -39,7 +39,19 @@ class Formula:
         raise NotImplementedError
 
     def is_ground(self) -> bool:
-        return next(self.variables(), None) is None
+        """True when no goal variable occurs anywhere in the formula.
+
+        Memoized per instance: formulas are immutable, and groundness is
+        the gate for the unifier's equality fast path, so it is asked on
+        every re-checked proof. ``object.__setattr__`` sidesteps the
+        frozen-dataclass guard; the memo is derived state, not identity,
+        so structural equality and hashing are unaffected.
+        """
+        cached = self.__dict__.get("_ground_memo")
+        if cached is None:
+            cached = next(self.variables(), None) is None
+            object.__setattr__(self, "_ground_memo", cached)
+        return cached
 
     # -- sugar ------------------------------------------------------------
 
@@ -55,6 +67,8 @@ class Formula:
 
 @dataclass(frozen=True)
 class TrueFormula(Formula):
+    """The trivially satisfied goal (an explicit ALLOW policy)."""
+
     def __str__(self) -> str:
         return "true"
 
@@ -70,6 +84,8 @@ class TrueFormula(Formula):
 
 @dataclass(frozen=True)
 class FalseFormula(Formula):
+    """Absurdity; inside `P says` it poisons only P's worldview."""
+
     def __str__(self) -> str:
         return "false"
 
@@ -250,6 +266,8 @@ class Speaksfor(Formula):
 
 @dataclass(frozen=True)
 class And(Formula):
+    """Constructive conjunction."""
+
     left: Formula
     right: Formula
 
@@ -270,6 +288,8 @@ class And(Formula):
 
 @dataclass(frozen=True)
 class Or(Formula):
+    """Constructive disjunction."""
+
     left: Formula
     right: Formula
 
@@ -290,6 +310,8 @@ class Or(Formula):
 
 @dataclass(frozen=True)
 class Implies(Formula):
+    """Constructive implication (right-associative in the syntax)."""
+
     antecedent: Formula
     consequent: Formula
 
@@ -311,6 +333,8 @@ class Implies(Formula):
 
 @dataclass(frozen=True)
 class Not(Formula):
+    """Constructive negation: double negation introduces, never eliminates."""
+
     body: Formula
 
     def __str__(self) -> str:

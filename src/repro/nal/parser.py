@@ -86,6 +86,7 @@ class _Token:
 
 
 def tokenize(text: str) -> List[_Token]:
+    """Split NAL surface text into tokens; raises ParseError on garbage."""
     tokens: List[_Token] = []
     position = 0
     while position < len(text):
@@ -190,8 +191,11 @@ class _Parser:
             self._expect("rparen")
             return inner
 
-        # Predicate application: IDENT '(' — but not a keyword.
-        if (token.kind == "ident" and token.text not in _KEYWORDS
+        # Predicate application: IDENT '(' — but not a keyword, except
+        # 'in': the membership sugar prints as in(a, b) and the printed
+        # form must round-trip.
+        if (token.kind == "ident"
+                and (token.text not in _KEYWORDS or token.text == "in")
                 and self._lookahead_is_lparen()):
             return self._parse_predicate()
 

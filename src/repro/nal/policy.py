@@ -38,6 +38,7 @@ def says(speaker: Principalish, body: Formulaish) -> Says:
 
 def speaks_for(delegate: Principalish, target: Principalish,
                on: Union[str, Term, None] = None) -> Speaksfor:
+    """Build a delegation formula, optionally scoped by the `on` term."""
     scope: Union[Term, None]
     if on is None:
         scope = None

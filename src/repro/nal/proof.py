@@ -121,6 +121,34 @@ class Rule(Proof):
         return f"({self.name}{where} => {self.conclusion})"
 
 
+def _memoize_hash(cls):
+    """Wrap a frozen dataclass's generated ``__hash__`` with a per-instance
+    memo.
+
+    Proof trees are immutable and serve as cache keys (the guard proof
+    cache, the batch dedup map), so the structural hash of a deep tree is
+    recomputed on every lookup without this. The memo lives in the
+    instance ``__dict__`` via ``object.__setattr__``, leaving dataclass
+    equality untouched; child hashes memoize too, so hashing a tree is
+    O(depth) once and O(1) after.
+    """
+    structural_hash = cls.__hash__
+
+    def __hash__(self, _structural=structural_hash):
+        memo = self.__dict__.get("_hash_memo")
+        if memo is None:
+            memo = _structural(self)
+            object.__setattr__(self, "_hash_memo", memo)
+        return memo
+
+    cls.__hash__ = __hash__
+    return cls
+
+
+for _node_class in (Assume, Axiom, AuthorityQuery, Rule):
+    _memoize_hash(_node_class)
+
+
 @dataclass
 class ProofBundle:
     """What a subject actually submits: a proof plus supporting credentials.
@@ -131,6 +159,11 @@ class ProofBundle:
 
     proof: Proof
     credentials: Tuple[Formula, ...] = field(default_factory=tuple)
+
+    def dedup_key(self):
+        """Hashable identity for batch deduplication: two bundles with
+        equal keys are interchangeable for authorization."""
+        return (self.proof, self.credentials)
 
     def required_assumptions(self):
         for leaf in self.proof.leaves():

@@ -67,6 +67,14 @@ def match(pattern: Formula, subject: Formula,
     """
     if bindings is None:
         bindings = {}
+    if pattern.is_ground():
+        # A variable-free pattern matches exactly itself: structural
+        # equality replaces the connective-by-connective walk. Groundness
+        # is memoized on the formula, so re-checked proofs take this exit
+        # in O(1) + one equality test.
+        if pattern == subject:
+            return bindings
+        raise UnificationError(f"ground mismatch: {pattern} vs {subject}")
     if isinstance(pattern, (TrueFormula, FalseFormula)):
         if type(pattern) is not type(subject):
             raise UnificationError(f"mismatch: {pattern} vs {subject}")

@@ -1,0 +1,347 @@
+"""Decision-cache semantics: accounting, sharding, epoch invalidation,
+and the batch authorization fast path built on top of it."""
+
+import pytest
+
+from repro.core.revocation import RevocationService
+from repro.kernel.decision_cache import DecisionCache
+from repro.kernel.guard import GuardRequest
+from repro.kernel.kernel import NexusKernel
+from repro.nal.checker import check, check_cached, clear_check_memo
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, ProofBundle, Rule
+
+
+# ---------------------------------------------------------------------------
+# accounting
+# ---------------------------------------------------------------------------
+
+class TestAccounting:
+    def test_hit_miss_insert_counts_are_exact(self):
+        cache = DecisionCache(subregions=8)
+        assert cache.lookup(1, "read", 1) is None          # miss
+        cache.insert(1, "read", 1, True)
+        cache.insert(2, "read", 1, False)
+        assert cache.lookup(1, "read", 1) is True          # hit
+        assert cache.lookup(2, "read", 1) is False         # hit
+        assert cache.lookup(3, "read", 1) is None          # miss
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.insertions) == (2, 2, 2)
+        assert stats.hit_rate == 0.5
+
+    def test_report_is_flat_and_complete(self):
+        cache = DecisionCache()
+        cache.insert(1, "read", 1, True)
+        cache.lookup(1, "read", 1)
+        report = cache.stats.report()
+        for key in ("hits", "misses", "hit_rate", "insertions",
+                    "entry_invalidations", "goal_invalidations",
+                    "policy_epoch_bumps", "stale_drops"):
+            assert key in report
+        assert report["hits"] == 1 and report["insertions"] == 1
+
+    def test_disabled_cache_is_invisible(self):
+        cache = DecisionCache(enabled=False)
+        cache.insert(1, "read", 1, True)
+        assert cache.lookup(1, "read", 1) is None
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+# ---------------------------------------------------------------------------
+# shard distribution
+# ---------------------------------------------------------------------------
+
+class TestSharding:
+    def test_entries_spread_across_shards(self):
+        cache = DecisionCache(subregions=16)
+        for subject in range(8):
+            for obj in range(32):
+                cache.insert(subject, "read", obj, True)
+        sizes = cache.shard_sizes()
+        assert sum(sizes) == len(cache) == 256
+        assert sum(1 for size in sizes if size) > 1
+        # No shard hoards the table: a degenerate hash would put
+        # everything in one bucket.
+        assert max(sizes) < 256
+
+    def test_lookup_agrees_with_insert_across_shard_counts(self):
+        for shards in (1, 3, 64):
+            cache = DecisionCache(subregions=shards)
+            entries = {(s, "op", o): (s + o) % 2 == 0
+                       for s in range(5) for o in range(5)}
+            for (s, op, o), decision in entries.items():
+                cache.insert(s, op, o, decision)
+            for (s, op, o), decision in entries.items():
+                assert cache.lookup(s, op, o) is decision
+
+
+# ---------------------------------------------------------------------------
+# epoch invalidation
+# ---------------------------------------------------------------------------
+
+class TestEpochInvalidation:
+    def test_goal_bump_kills_exactly_that_goal(self):
+        cache = DecisionCache(subregions=4)
+        for obj in range(50):
+            cache.insert(1, "read", obj, True)
+        cache.invalidate_goal("read", 7)
+        assert cache.lookup(1, "read", 7) is None
+        # Zero collateral damage, even at tiny shard counts where the
+        # old subregion design wiped dozens of neighbours.
+        for obj in range(50):
+            if obj != 7:
+                assert cache.lookup(1, "read", obj) is True
+        assert cache.stats.goal_invalidations == 1
+
+    def test_goal_bump_does_not_flush_shards(self):
+        cache = DecisionCache(subregions=4)
+        for obj in range(50):
+            cache.insert(1, "read", obj, True)
+        physical = cache.raw_size()
+        cache.invalidate_goal("read", 7)
+        # O(1): the stale entry is still physically present...
+        assert cache.raw_size() == physical
+        # ...but logically gone, and dropped on first touch.
+        assert len(cache) == physical - 1
+        assert cache.lookup(1, "read", 7) is None
+        assert cache.stats.stale_drops >= 1
+        assert cache.raw_size() == physical - 1
+
+    def test_policy_bump_retires_all_without_flushing(self):
+        cache = DecisionCache(subregions=8)
+        for obj in range(20):
+            cache.insert(1, "read", obj, True)
+        physical = cache.raw_size()
+        epoch = cache.bump_policy_epoch()
+        assert cache.policy_epoch == epoch
+        assert cache.raw_size() == physical       # nothing flushed
+        assert len(cache) == 0                    # everything retired
+        assert cache.lookup(1, "read", 3) is None
+        assert cache.stats.policy_epoch_bumps == 1
+
+    def test_reinsertion_after_bump_is_live(self):
+        cache = DecisionCache()
+        cache.insert(1, "read", 1, True)
+        cache.bump_policy_epoch()
+        cache.insert(1, "read", 1, False)
+        assert cache.lookup(1, "read", 1) is False
+        cache.invalidate_goal("read", 1)
+        cache.insert(1, "read", 1, True)
+        assert cache.lookup(1, "read", 1) is True
+
+    def test_purge_sweeps_stale_entries(self):
+        cache = DecisionCache(subregions=4)
+        for obj in range(10):
+            cache.insert(1, "read", obj, True)
+        cache.bump_policy_epoch()
+        assert cache.purge() == 10
+        assert cache.raw_size() == 0
+        assert cache.purge() == 0
+
+
+# ---------------------------------------------------------------------------
+# revocation wiring
+# ---------------------------------------------------------------------------
+
+class TestRevocationEpoch:
+    def _cached_world(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/rev/obj", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        return kernel, owner, client, resource, bundle
+
+    def test_revoke_bumps_policy_epoch_and_retires_verdicts(self):
+        kernel, owner, client, resource, bundle = self._cached_world()
+        service = RevocationService(kernel)
+        service.issue(owner, "member(alice)")
+        assert kernel.authorize(client.pid, "read", resource.resource_id,
+                                bundle).allow
+        hits_before = kernel.decision_cache.stats.hits
+        kernel.authorize(client.pid, "read", resource.resource_id, bundle)
+        assert kernel.decision_cache.stats.hits == hits_before + 1
+
+        epoch_before = kernel.decision_cache.policy_epoch
+        service.revoke(owner, "member(alice)")
+        assert kernel.decision_cache.policy_epoch == epoch_before + 1
+
+        # The cached verdict is stale: the next request re-derives at the
+        # guard instead of answering from the cache.
+        upcalls_before = kernel.default_guard.upcalls
+        decision = kernel.authorize(client.pid, "read",
+                                    resource.resource_id, bundle)
+        assert decision.allow  # this policy never depended on the claim
+        assert kernel.default_guard.upcalls == upcalls_before + 1
+
+    def test_reinstate_also_bumps(self):
+        kernel, owner, client, resource, bundle = self._cached_world()
+        service = RevocationService(kernel)
+        service.issue(owner, "member(bob)")
+        service.revoke(owner, "member(bob)")
+        epoch = kernel.decision_cache.policy_epoch
+        service.reinstate(owner, "member(bob)")
+        assert kernel.decision_cache.policy_epoch == epoch + 1
+        assert service.is_valid(owner, "member(bob)")
+
+
+# ---------------------------------------------------------------------------
+# batch guard API
+# ---------------------------------------------------------------------------
+
+class TestCheckMany:
+    def _world(self):
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        clients = [kernel.create_process(f"client{i}") for i in range(3)]
+        resource = kernel.resources.create("/batch/obj", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        bundles = []
+        for client in clients:
+            cred = kernel.sys_say(owner.pid, f"ok({client.path})").formula
+            bundles.append(ProofBundle(Assume(cred), credentials=(cred,)))
+        return kernel, owner, clients, resource, bundles
+
+    def test_duplicates_checked_once(self):
+        kernel, owner, clients, resource, bundles = self._world()
+        guard = kernel.default_guard
+        request = GuardRequest(subject=clients[0].principal,
+                               operation="read", resource=resource,
+                               bundle=bundles[0])
+        upcalls_before = guard.upcalls
+        decisions = guard.check_many([request] * 16)
+        assert len(decisions) == 16
+        assert all(d.allow for d in decisions)
+        assert guard.upcalls == upcalls_before + 1
+        assert guard.batch_dedup_hits >= 15
+
+    def test_non_cacheable_verdicts_are_not_deduped(self):
+        """Authority answers are live even inside one batch: §2.7 says
+        they are re-executed on every request, so check_many must only
+        reuse verdicts the guard marked cacheable."""
+        from repro.kernel.authority import CallableAuthority
+        from repro.nal.parser import parse
+        from repro.nal.proof import AuthorityQuery
+
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/batch/gated", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        answers = iter([True, True, False, False])
+        kernel.register_authority(
+            "gate", CallableAuthority(lambda formula: next(answers)))
+        concrete = parse(f"{owner.path} says ok({client.path})")
+        bundle = ProofBundle(AuthorityQuery(concrete, "gate"))
+        request = GuardRequest(subject=client.principal, operation="read",
+                               resource=resource, bundle=bundle)
+        decisions = kernel.default_guard.check_many([request] * 4)
+        assert [d.allow for d in decisions] == [True, True, False, False]
+
+    def test_mixed_batch_matches_sequential(self):
+        kernel, owner, clients, resource, bundles = self._world()
+        guard = kernel.default_guard
+        requests = []
+        for client, bundle in zip(clients, bundles):
+            requests.append(GuardRequest(subject=client.principal,
+                                         operation="read",
+                                         resource=resource, bundle=bundle))
+        # A deny rides along: no proof supplied.
+        requests.append(GuardRequest(subject=clients[0].principal,
+                                     operation="write", resource=resource,
+                                     bundle=None))
+        batch = guard.check_many(requests)
+        sequential = [guard.check(r.subject, r.operation, r.resource,
+                                  r.bundle, r.subject_root)
+                      for r in requests]
+        assert [d.allow for d in batch] == [d.allow for d in sequential]
+        assert [d.allow for d in batch] == [True, True, True, False]
+
+    def test_authorize_many_orders_and_caches(self):
+        kernel, owner, clients, resource, bundles = self._world()
+        rid = resource.resource_id
+        requests = []
+        for client, bundle in zip(clients, bundles):
+            requests.extend([(client.pid, "read", rid, bundle)] * 4)
+        decisions = kernel.authorize_many(requests)
+        assert len(decisions) == 12 and all(d.allow for d in decisions)
+        # Cacheable verdicts landed in the decision cache: a rerun of the
+        # same batch answers without a single new guard upcall.
+        upcalls = kernel.default_guard.upcalls
+        rerun = kernel.authorize_many(requests)
+        assert all(d.reason == "decision cache" for d in rerun)
+        assert kernel.default_guard.upcalls == upcalls
+
+    def test_authorize_many_equals_authorize(self):
+        kernel, owner, clients, resource, bundles = self._world()
+        rid = resource.resource_id
+        requests = [(clients[0].pid, "read", rid, bundles[0]),
+                    (clients[1].pid, "read", rid, bundles[2]),  # wrong cred
+                    (clients[2].pid, "write", rid, None)]
+        batch = [d.allow for d in kernel.authorize_many(requests)]
+
+        kernel2 = NexusKernel()
+        owner2 = kernel2.create_process("owner")
+        clients2 = [kernel2.create_process(f"client{i}") for i in range(3)]
+        resource2 = kernel2.resources.create("/batch/obj", "file",
+                                             owner2.principal)
+        kernel2.sys_setgoal(owner2.pid, resource2.resource_id, "read",
+                            f"{owner2.path} says ok(?Subject)")
+        bundles2 = []
+        for client in clients2:
+            cred = kernel2.sys_say(owner2.pid, f"ok({client.path})").formula
+            bundles2.append(ProofBundle(Assume(cred), credentials=(cred,)))
+        rid2 = resource2.resource_id
+        sequential = [
+            kernel2.authorize(clients2[0].pid, "read", rid2,
+                              bundles2[0]).allow,
+            kernel2.authorize(clients2[1].pid, "read", rid2,
+                              bundles2[2]).allow,
+            kernel2.authorize(clients2[2].pid, "write", rid2, None).allow,
+        ]
+        assert batch == sequential == [True, False, False]
+
+
+# ---------------------------------------------------------------------------
+# checker memoization + batch IPC
+# ---------------------------------------------------------------------------
+
+class TestCheckerMemo:
+    def test_check_cached_returns_identical_result(self):
+        clear_check_memo()
+        cred = parse("A says ok(B)")
+        proof = Assume(cred)
+        first = check_cached(proof)
+        second = check_cached(proof)
+        assert first is second
+        assert first == check(proof)
+
+    def test_unsound_proof_still_raises_every_time(self):
+        from repro.errors import ProofError
+        clear_check_memo()
+        bad = Rule("and_elim_l", (Assume(parse("p")),), parse("p"))
+        for _ in range(2):
+            with pytest.raises(ProofError):
+                check_cached(bad)
+
+
+class TestBatchIPC:
+    def test_send_many_then_drain(self):
+        kernel = NexusKernel()
+        sender = kernel.create_process("sender")
+        receiver = kernel.create_process("receiver")
+        port = kernel.create_port(receiver.pid, "inbox")
+        delivered = kernel.ipc_send_many(sender.pid, port.port_id,
+                                         ["a", "b", "c"])
+        assert delivered == 3
+        assert port.drain() == ["a", "b", "c"]
+        assert port.mailbox == [] and port.drain() == []

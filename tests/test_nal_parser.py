@@ -85,6 +85,13 @@ class TestParseBasics:
         f = parse("alice in bob.friends")
         assert f == Pred("in", (Name("alice"), principal("bob.friends")))
 
+    def test_in_sugar_roundtrips_through_printer(self):
+        # str() renders the sugar as in(a, b); that spelling must parse
+        # back even though `in` is a keyword elsewhere in the grammar.
+        f = parse("alice in accountants")
+        assert parse(str(f)) == f
+        assert parse("in(alice, accountants)") == f
+
     def test_equals_is_sugar_for_eq(self):
         f = parse("user = alice")
         assert f == Compare("==", Name("user"), Name("alice"))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block in the given Markdown files.
+
+The docs promise runnable snippets; this keeps them honest. Each block
+runs in its own subprocess with ``src/`` on PYTHONPATH, so a snippet
+cannot leak state into the next and import errors point at the exact
+block. Exit status is non-zero if any block fails.
+
+Usage: python tools/check_docs.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_BLOCK_RE = re.compile(r"^```python\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(text: str):
+    """Yield (line_number, source) for each fenced python block."""
+    for match in _BLOCK_RE.finditer(text):
+        line = text[:match.start()].count("\n") + 2  # first code line
+        yield line, match.group(1)
+
+
+def run_block(path: Path, line: int, source: str) -> bool:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run([sys.executable, "-"], input=source,
+                          text=True, capture_output=True, env=env,
+                          cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        print(f"FAIL {path}:{line}")
+        print(proc.stderr or proc.stdout)
+        return False
+    print(f"ok   {path}:{line}")
+    return True
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = 0
+    blocks = 0
+    for name in argv:
+        path = Path(name)
+        for line, source in python_blocks(path.read_text()):
+            blocks += 1
+            if not run_block(path, line, source):
+                failures += 1
+    print(f"{blocks - failures}/{blocks} doc snippets passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Docstring coverage gate for the trusted packages.
+
+Fails (exit 1) when any module under the given directories is missing a
+module docstring, or when a *public* top-level class or function lacks
+one. The TCB must stay reviewable: code a security argument rests on
+does not get to be undocumented.
+
+Usage: python tools/lint_docstrings.py src/repro/kernel src/repro/nal
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def missing_docstrings(path: Path):
+    """Yield human-readable locations of missing docstrings in one file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield f"{path}: missing module docstring"
+    for node in tree.body:
+        if not isinstance(node, (ast.ClassDef, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield (f"{path}:{node.lineno}: public {kind} "
+                   f"{node.name!r} has no docstring")
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    problems = []
+    checked = 0
+    for root in argv:
+        for path in sorted(Path(root).rglob("*.py")):
+            checked += 1
+            problems.extend(missing_docstrings(path))
+    for problem in problems:
+        print(problem)
+    print(f"{checked} modules checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
