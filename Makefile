@@ -15,10 +15,12 @@ bench:
 
 ## execute every python snippet in the documentation
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/nal.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
+	    docs/api.md docs/nal.md
 
-## docstring coverage for the trusted packages
+## docstring coverage for the trusted packages + the service boundary
 lint:
-	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal
+	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal \
+	    src/repro/api
 
 check: lint docs-check test

@@ -8,9 +8,11 @@ comparison. This is what EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 _REGISTRY: "OrderedDict[str, Experiment]" = OrderedDict()
 
@@ -58,6 +60,28 @@ def render_all() -> str:
                          f"{row.value:>14,.3f} {row.unit}{note}")
         blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
+
+
+def emit_json(name: str, path: Union[str, Path]) -> Path:
+    """Write one experiment's rows to a JSON artifact (``BENCH_*.json``).
+
+    CI and downstream tooling diff these files across commits; the text
+    report from :func:`render_all` is for humans.
+    """
+    exp = _REGISTRY.get(name)
+    if exp is None:
+        raise KeyError(f"no experiment {name!r} recorded")
+    document = {
+        "experiment": exp.name,
+        "title": exp.title,
+        "paper_expectation": exp.paper_expectation,
+        "rows": [{"label": row.label, "value": row.value,
+                  "unit": row.unit, "note": row.note}
+                 for row in exp.rows],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def reset() -> None:

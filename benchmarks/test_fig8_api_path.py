@@ -1,0 +1,111 @@
+"""Figure 8 (extended) — the API path: transport cost and batching.
+
+The service boundary must not forfeit the decision-cache fast path.  We
+measure one warmed-up authorization (single and 64-dup batch) four ways:
+
+* in-process transport — typed dispatch, zero serialization;
+* HTTP wire transport — canonical JSON + HTTP framing both ways;
+* 64 sequential wire calls vs one batched wire call: the batch endpoint
+  pays the wire once and rides ``authorize_many`` →
+  ``Guard.check_many``, so it must show a clear speedup.
+
+The rows are written to ``BENCH_api.json`` for CI diffing.
+"""
+
+import time
+from pathlib import Path
+
+import reporting
+from repro.api import NexusClient, NexusService
+from repro.core.credentials import CredentialSet
+from repro.nal.parser import parse
+
+EXP = "fig8-api"
+BATCH = 64
+reporting.experiment(
+    EXP, "API path: in-process vs HTTP transport (µs/op)",
+    "wire transport adds serialization cost on top of the same cached "
+    "decision; one 64-batch beats 64 sequential wire calls")
+
+
+def _world(client):
+    """Owner-protected resource plus a reader holding a valid proof."""
+    owner = client.open_session("owner")
+    reader = client.open_session("reader")
+    resource = owner.create_resource("/fig8api/obj", "file")
+    owner.set_goal(resource, "read",
+                   f"{owner.principal} says ok(?Subject)")
+    credential = owner.say(f"ok({reader.principal})")
+    concrete = parse(credential.formula)
+    bundle = CredentialSet([concrete]).bundle_for(concrete)
+    return reader, resource, bundle
+
+
+def _measure(fn, n=200):
+    fn()  # warm: decision cache, codec paths, route table
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n * 1e6
+
+
+def test_single_authorization_both_transports(benchmark):
+    """Single warmed authorization through each transport."""
+    direct_reader, direct_resource, direct_bundle = _world(
+        NexusClient.in_process(NexusService()))
+    wire_reader, wire_resource, wire_bundle = _world(
+        NexusClient.over_http(NexusService()))
+
+    def direct():
+        return direct_reader.authorize("read", direct_resource,
+                                       proof=direct_bundle)
+
+    def wire():
+        return wire_reader.authorize("read", wire_resource,
+                                     proof=wire_bundle)
+
+    assert direct().allow and wire().allow
+    direct_us = _measure(direct)
+    wire_us = _measure(wire)
+    reporting.record(EXP, "authorize [in-process]", direct_us, "us/call")
+    reporting.record(EXP, "authorize [http wire]", wire_us, "us/call")
+    reporting.record(EXP, "wire / in-process ratio",
+                     wire_us / direct_us, "x",
+                     note="serialization + framing overhead")
+    benchmark(direct)
+
+
+def test_batched_wire_beats_sequential_wire(benchmark):
+    """The acceptance bar: one AuthorizeBatchRequest of 64 duplicate
+    requests must beat 64 sequential wire round-trips."""
+    reader, resource, bundle = _world(
+        NexusClient.over_http(NexusService()))
+    items = [("read", resource, bundle)] * BATCH
+
+    def sequential():
+        return [reader.authorize("read", resource, proof=bundle)
+                for _ in range(BATCH)]
+
+    def batched():
+        return reader.authorize_batch(items)
+
+    assert ([v.allow for v in batched()]
+            == [v.allow for v in sequential()])
+    sequential_us = _measure(sequential, n=20)
+    batched_us = _measure(batched, n=20)
+    reporting.record(EXP, f"{BATCH} sequential wire calls",
+                     sequential_us, "us/batch")
+    reporting.record(EXP, f"{BATCH}-dup batch, one wire call",
+                     batched_us, "us/batch")
+    reporting.record(EXP, "batch speedup", sequential_us / batched_us,
+                     "x", note="one wire round-trip, kernel "
+                     "authorize_many dedup")
+    benchmark(batched)
+    assert batched_us < sequential_us
+
+
+def test_emit_bench_artifact():
+    """Persist the fig8-api rows where CI can diff them."""
+    path = reporting.emit_json(
+        EXP, Path(__file__).resolve().parent.parent / "BENCH_api.json")
+    assert path.exists()

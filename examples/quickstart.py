@@ -1,64 +1,82 @@
 #!/usr/bin/env python3
-"""Quickstart: labels, goals, proofs, and guarded access in 60 lines.
+"""Quickstart: the attestation service API over two transports.
 
-Walks the paper's core loop (Figure 1): an owner protects a resource with
-a goal formula, issues a credential via the ``say`` system call, and a
-client constructs a proof that the guard checks — first a miss (guard
-upcall), then decision-cache hits.
+Walks the paper's core loop (Figure 1) through the versioned service
+facade: open sessions (no raw pids), protect a resource with a goal
+formula via ``setgoal``, issue a credential via ``say``, construct a
+proof client-side, and ask the guard — first in-process, then over the
+HTTP wire transport, with identical verdicts. Finally a label leaves
+the machine as a TPM-rooted certificate chain and is re-admitted
+through the API.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CredentialSet, Nexus
+from repro.api import NexusClient, NexusService
+from repro.core.credentials import CredentialSet
+
+
+def run_flow(client: NexusClient, transport_name: str):
+    """The same say → setgoal → authorize flow on any transport."""
+    owner = client.open_session("report-owner")
+    reader = client.open_session("report-reader")
+
+    report = owner.create_resource("/files/expense-report", "file")
+
+    # Default policy first: only the owner may touch a goal-less resource.
+    before = reader.authorize("read", report)
+
+    # The owner attaches the paper-style goal (§2: the CBA example) and
+    # issues the credential through the say endpoint.
+    owner.set_goal(report, "read",
+                   f"{owner.principal} says completedTraining(?Subject)")
+    credential = owner.say(f"completedTraining({reader.principal})")
+
+    # The reader fetches the goal, instantiates it, and builds the proof
+    # client-side — the guard only checks.
+    goal = reader.goal_for(report, "read")
+    concrete = goal.replace("?Subject", reader.principal)
+    bundle = CredentialSet([credential.formula]).bundle_for(concrete)
+
+    first = reader.authorize("read", report, proof=bundle)
+    for _ in range(100):
+        repeat = reader.authorize("read", report, proof=bundle)
+
+    stats = reader.stats()
+    print(f"[{transport_name}] before goal: allow={before.allow}; "
+          f"with proof: allow={first.allow}; repeat: allow={repeat.allow} "
+          f"({repeat.reason}); session verdicts: "
+          f"{stats.allowed} allowed / {stats.denied} denied")
+    return owner, reader, report, (before.allow, first.allow, repeat.allow)
 
 
 def main() -> None:
-    nexus = Nexus()
-    kernel = nexus.kernel
+    # One flow per transport, each against a fresh service, so the
+    # verdict sequences are directly comparable.
+    in_process_service = NexusService()
+    direct_client = NexusClient.in_process(in_process_service)
+    _, _, _, direct_verdicts = run_flow(direct_client, "in-process")
 
-    # Two isolated protection domains (processes).
-    owner = nexus.launch("report-owner")
-    client = nexus.launch("report-reader")
-    print(f"launched {owner.path} and {client.path}")
+    wire_service = NexusService()
+    http_client = NexusClient.over_http(wire_service)
+    owner, reader, report, wire_verdicts = run_flow(http_client, "http")
 
-    # A kernel resource: an expense report.
-    report = kernel.resources.create("/files/expense-report", "file",
-                                     owner.principal,
-                                     payload=b"Q2 travel: $1,942.17")
+    assert direct_verdicts == wire_verdicts, "transports must agree"
+    print(f"identical verdicts over both transports: {direct_verdicts}")
 
-    # Default policy first: only the owner may touch a goal-less resource.
-    denied = nexus.authorize(client, "read", report)
-    print(f"before any goal: client read allowed? {denied.allow}  "
-          f"({denied.reason})")
+    # A label leaves the machine as a TPM-rooted certificate chain and is
+    # re-imported over HTTP, attributed to the attesting platform (§2.4).
+    label = owner.say(f"completedTraining({reader.principal})")
+    chain = owner.externalize(label.handle)
+    imported = reader.import_chain(chain)
+    print("externalized chain re-imported over http:")
+    print(f"  speaker: {imported.speaker}")
+    print(f"  wallet can discharge it: {reader.prove(imported.formula)}")
 
-    # The owner attaches the paper-style goal: access for anyone the
-    # owner says completed accounting training (§2: the CBA example).
-    nexus.set_goal(owner, report, "read",
-                   f"{owner.path} says completedTraining(?Subject)")
-
-    # The owner issues the credential through the say syscall: a label,
-    # unforgeable without any cryptography.
-    label = nexus.say(owner, f"completedTraining({client.path})")
-    print(f"label issued: {label.formula}")
-
-    # The client builds the proof from its wallet and asks again.
-    wallet = CredentialSet([label])
-    decision = nexus.request(client, "read", report, wallet)
-    print(f"with proof: allowed? {decision.allow}  cacheable? "
-          f"{decision.cacheable}")
-
-    # Subsequent requests hit the kernel decision cache — no guard upcall.
-    upcalls_before = kernel.default_guard.upcalls
-    for _ in range(1000):
-        nexus.request(client, "read", report, wallet)
-    print(f"1000 repeat requests took "
-          f"{kernel.default_guard.upcalls - upcalls_before} guard upcalls "
-          f"(decision cache hits: {kernel.decision_cache.stats.hits})")
-
-    # The label can leave the machine as a TPM-rooted certificate chain.
-    chain = nexus.kernel.externalize_label(label)
-    chain.verify()
-    print("externalized chain:", " -> ".join(chain.speaker_path()))
+    transport = http_client.transport
+    print(f"wire traffic: {transport.requests_sent} requests, "
+          f"{transport.bytes_sent} bytes out, "
+          f"{transport.bytes_received} bytes in")
 
 
 if __name__ == "__main__":

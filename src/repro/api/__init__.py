@@ -1,0 +1,26 @@
+"""Attestation-as-a-service: the versioned, transport-agnostic API.
+
+This package puts a typed request/response protocol in front of the
+trusted core (§2.4: guards serve any principal, local or remote):
+
+* :mod:`repro.api.messages` — the ``v1`` request/response dataclasses
+  and their canonical JSON wire form;
+* :mod:`repro.api.errors` — the structured error taxonomy (stable
+  ``E_*`` codes at the boundary, never bare exceptions);
+* :mod:`repro.api.codec` — strict codecs for formulas, proofs, and
+  externalized certificate chains;
+* :mod:`repro.api.service` — :class:`NexusService`, the dispatcher with
+  sessions, per-session stats, and batch endpoints;
+* :mod:`repro.api.client` — the SDK with interchangeable in-process and
+  HTTP transports.
+"""
+
+from repro.api.client import (ClientSession, DirectTransport,
+                              HttpTransport, NexusClient, Transport)
+from repro.api.errors import ApiError
+from repro.api.messages import API_VERSION, BatchItem, Verdict
+from repro.api.service import NexusService, Session
+
+__all__ = ["ApiError", "API_VERSION", "BatchItem", "ClientSession",
+           "DirectTransport", "HttpTransport", "NexusClient",
+           "NexusService", "Session", "Transport", "Verdict"]

@@ -1,0 +1,170 @@
+"""Canonical JSON codecs for the objects that cross the service boundary.
+
+Formulas and principals travel as their NAL surface syntax (the parser is
+the kernel's attack surface and must round-trip everything the printer
+emits — see :mod:`repro.nal.parser`).  Proof trees, proof bundles, and
+externalized certificate chains travel as small JSON documents defined
+here.  Decoding is strict: unknown node kinds, missing fields, wrong
+types, and over-deep trees are rejected with ``E_BAD_REQUEST`` before any
+kernel state is touched.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.api.errors import bad_request
+from repro.crypto.certs import Certificate, CertificateChain
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import ParseError
+from repro.nal.formula import Formula
+from repro.nal.parser import parse, parse_principal
+from repro.nal.proof import (Assume, AuthorityQuery, Axiom, Proof,
+                             ProofBundle, Rule)
+
+#: Proofs deeper than this are rejected at the boundary: the checker is
+#: recursive, and the wire must not be able to blow the interpreter stack.
+MAX_PROOF_DEPTH = 128
+
+
+# --------------------------------------------------------------------------
+# formulas and principals
+# --------------------------------------------------------------------------
+
+def encode_formula(formula: Formula) -> str:
+    """A formula's wire form is its NAL surface syntax."""
+    return str(formula)
+
+
+def decode_formula(text: Any) -> Formula:
+    """Parse wire text back into a formula; malformed text is a 400."""
+    if not isinstance(text, str):
+        raise bad_request(f"formula must be a string, got "
+                          f"{type(text).__name__}")
+    try:
+        return parse(text)
+    except ParseError as exc:
+        raise bad_request(f"unparseable formula: {exc}", text=text) from exc
+
+
+def decode_principal(text: Any):
+    """Parse a principal term from its wire text."""
+    if not isinstance(text, str):
+        raise bad_request(f"principal must be a string, got "
+                          f"{type(text).__name__}")
+    try:
+        return parse_principal(text)
+    except ParseError as exc:
+        raise bad_request(f"unparseable principal: {exc}",
+                          text=text) from exc
+
+
+# --------------------------------------------------------------------------
+# proof trees and bundles
+# --------------------------------------------------------------------------
+
+def encode_proof(proof: Proof) -> Dict[str, Any]:
+    """Encode one proof tree as a nested JSON document."""
+    if isinstance(proof, Assume):
+        return {"node": "assume",
+                "conclusion": encode_formula(proof.conclusion)}
+    if isinstance(proof, Axiom):
+        return {"node": "axiom",
+                "conclusion": encode_formula(proof.conclusion)}
+    if isinstance(proof, AuthorityQuery):
+        return {"node": "authority", "port": proof.port,
+                "conclusion": encode_formula(proof.conclusion)}
+    if isinstance(proof, Rule):
+        return {"node": "rule", "name": proof.name,
+                "conclusion": encode_formula(proof.conclusion),
+                "context": (None if proof.context is None
+                            else str(proof.context)),
+                "premises": [encode_proof(p) for p in proof.premises]}
+    raise bad_request(f"unencodable proof node {type(proof).__name__}")
+
+
+def decode_proof(data: Any, _depth: int = 0) -> Proof:
+    """Decode a proof tree, validating shape before any checking."""
+    if _depth > MAX_PROOF_DEPTH:
+        raise bad_request(f"proof tree deeper than {MAX_PROOF_DEPTH}")
+    if not isinstance(data, dict):
+        raise bad_request(f"proof node must be an object, got "
+                          f"{type(data).__name__}")
+    node = data.get("node")
+    conclusion = decode_formula(data.get("conclusion"))
+    if node == "assume":
+        return Assume(conclusion)
+    if node == "axiom":
+        return Axiom(conclusion)
+    if node == "authority":
+        port = data.get("port")
+        if not isinstance(port, str) or not port:
+            raise bad_request("authority node needs a non-empty 'port'")
+        return AuthorityQuery(conclusion, port)
+    if node == "rule":
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise bad_request("rule node needs a non-empty 'name'")
+        premises = data.get("premises")
+        if not isinstance(premises, list):
+            raise bad_request("rule node needs a 'premises' list")
+        context = data.get("context")
+        principal = (None if context is None
+                     else decode_principal(context))
+        return Rule(name,
+                    tuple(decode_proof(p, _depth + 1) for p in premises),
+                    conclusion, context=principal)
+    raise bad_request(f"unknown proof node kind {node!r}")
+
+
+def encode_bundle(bundle: ProofBundle) -> Dict[str, Any]:
+    """Encode a proof plus its supporting credentials."""
+    return {"proof": encode_proof(bundle.proof),
+            "credentials": [encode_formula(c) for c in bundle.credentials]}
+
+
+def decode_bundle(data: Any) -> ProofBundle:
+    """Decode a :class:`~repro.nal.proof.ProofBundle` from the wire."""
+    if not isinstance(data, dict):
+        raise bad_request(f"proof bundle must be an object, got "
+                          f"{type(data).__name__}")
+    credentials = data.get("credentials", [])
+    if not isinstance(credentials, list):
+        raise bad_request("bundle 'credentials' must be a list")
+    return ProofBundle(decode_proof(data.get("proof")),
+                       credentials=tuple(decode_formula(c)
+                                         for c in credentials))
+
+
+def maybe_decode_bundle(data: Any) -> Optional[ProofBundle]:
+    """``None`` passes through; anything else must decode as a bundle."""
+    return None if data is None else decode_bundle(data)
+
+
+# --------------------------------------------------------------------------
+# externalized label chains (§2.4)
+# --------------------------------------------------------------------------
+
+def encode_chain(chain: CertificateChain) -> Dict[str, Any]:
+    """Encode a TPM-rooted certificate chain for transport."""
+    return {"root_key": chain.root_key.to_dict(),
+            "certs": [json.loads(cert.to_json()) for cert in chain.certs]}
+
+
+def decode_chain(data: Any) -> CertificateChain:
+    """Decode a certificate chain; the caller still has to ``verify()``."""
+    if not isinstance(data, dict):
+        raise bad_request(f"certificate chain must be an object, got "
+                          f"{type(data).__name__}")
+    root = data.get("root_key")
+    certs = data.get("certs")
+    if not isinstance(root, dict) or not isinstance(certs, list):
+        raise bad_request("chain needs 'root_key' object and 'certs' list")
+    try:
+        root_key = RSAPublicKey.from_dict(root)
+        parsed: List[Certificate] = [
+            Certificate.from_json(json.dumps(cert)) for cert in certs]
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise bad_request(f"malformed certificate chain: {exc}") from exc
+    return CertificateChain(root_key=root_key, certs=parsed)

@@ -1,0 +1,93 @@
+"""The structured error taxonomy of the attestation service boundary.
+
+Inside the trusted core, failures are Python exceptions
+(:mod:`repro.errors`).  At the service boundary they become *data*: an
+:class:`ApiError` carries a stable machine-readable code, a human message,
+and an optional detail map, and it serializes into the wire-level error
+response every transport returns identically.  Clients program against
+codes, never message strings.
+
+The mapping from internal exceptions is driven entirely by each
+exception's ``code`` attribute — adding a new kernel error type with a
+``code`` makes it flow through the API unchanged, with no edits here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+#: Codes minted by the API layer itself (the kernel never raises these).
+E_BAD_REQUEST = "E_BAD_REQUEST"
+E_BAD_VERSION = "E_BAD_VERSION"
+E_UNKNOWN_KIND = "E_UNKNOWN_KIND"
+E_NO_SUCH_SESSION = "E_NO_SUCH_SESSION"
+E_BAD_RESPONSE = "E_BAD_RESPONSE"
+E_INTERNAL = "E_INTERNAL"
+
+#: code → HTTP status for the wire transport.  Codes absent here are
+#: internal faults and map to 500.
+HTTP_STATUS = {
+    E_BAD_REQUEST: 400,
+    E_BAD_VERSION: 400,
+    E_UNKNOWN_KIND: 400,
+    "E_PARSE": 400,
+    "E_PROOF": 400,
+    "E_UNIFICATION": 400,
+    "E_SIGNATURE": 400,
+    "E_ACCESS_DENIED": 403,
+    E_NO_SUCH_SESSION: 404,
+    "E_NO_SUCH_PROCESS": 404,
+    "E_NO_SUCH_PORT": 404,
+    "E_NO_SUCH_RESOURCE": 404,
+    "E_UNKNOWN_SYSCALL": 404,
+    "E_QUOTA_EXCEEDED": 429,
+}
+
+
+class ApiError(ReproError):
+    """A service-boundary failure with a stable code.
+
+    Raised client-side when any transport returns an error response, and
+    used internally by the service to reject malformed or unauthorized
+    requests before/without consulting the kernel.
+    """
+
+    def __init__(self, code: str, message: str,
+                 detail: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+
+    @property
+    def http_status(self) -> int:
+        """The HTTP status the wire transport uses for this code."""
+        return HTTP_STATUS.get(self.code, 500)
+
+    def __repr__(self) -> str:
+        return f"ApiError({self.code!r}, {self.message!r})"
+
+
+def bad_request(message: str, **detail: Any) -> ApiError:
+    """Shorthand for the most common rejection: malformed input."""
+    return ApiError(E_BAD_REQUEST, message, detail or None)
+
+
+def from_exception(exc: Exception) -> ApiError:
+    """Map an internal exception to its boundary representation.
+
+    ``ApiError`` passes through; any :class:`~repro.errors.ReproError`
+    keeps its ``code``; anything else is an opaque internal fault (the
+    message is preserved — this is a simulation, not a hardened server).
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, ReproError):
+        detail: Dict[str, Any] = {}
+        reason = getattr(exc, "reason", "")
+        if reason:
+            detail["reason"] = reason
+        return ApiError(exc.code, str(exc), detail or None)
+    return ApiError(E_INTERNAL, f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,890 @@
+"""Typed request/response messages of the versioned attestation API.
+
+Every operation the service exposes is a pair of dataclasses — a request
+and a response — with one canonical wire form::
+
+    {"v": "v1", "kind": "<kind>", "payload": {...}}          # request
+    {"v": "v1", "kind": "<kind>", "ok": true,  "payload": {...}}
+    {"v": "v1", "kind": "error",  "ok": false, "payload": {code, ...}}
+
+The in-process transport passes the dataclasses directly; the wire
+transport round-trips them through :meth:`ApiMessage.to_bytes` /
+:func:`decode_request` / :func:`decode_response`.  Decoding is strict and
+total: anything that does not conform is an ``E_BAD_REQUEST`` (or
+``E_BAD_VERSION`` / ``E_UNKNOWN_KIND``) before it reaches the kernel.
+
+Sessions: requests other than ``open_session`` and ``info`` address the
+kernel through an opaque session token bound server-side to a pid and
+principal — client code never handles raw pids.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type, Union
+
+from repro.api.errors import (ApiError, E_BAD_VERSION, E_UNKNOWN_KIND,
+                              bad_request)
+
+API_VERSION = "v1"
+
+#: A resource is addressed by numeric id or by its kernel path name.
+ResourceRef = Union[int, str]
+
+
+def _canonical(document: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def _get(payload: Dict[str, Any], name: str, types: tuple,
+         required: bool = True, default: Any = None) -> Any:
+    """Extract and type-check one payload field, or raise E_BAD_REQUEST."""
+    if name not in payload or payload[name] is None:
+        if required:
+            raise bad_request(f"missing required field {name!r}")
+        return default
+    value = payload[name]
+    if isinstance(value, bool) and bool not in types:
+        # JSON true/false must not satisfy an int-typed field.
+        raise bad_request(f"field {name!r} must not be a boolean")
+    if types and not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        raise bad_request(f"field {name!r} must be {expected}, got "
+                          f"{type(value).__name__}")
+    return value
+
+
+def _get_resource(payload: Dict[str, Any], name: str = "resource"
+                  ) -> ResourceRef:
+    """A resource reference: int id or str path name."""
+    return _get(payload, name, (int, str))
+
+
+class ApiMessage:
+    """Common wire framing shared by requests and responses."""
+
+    KIND = ""
+    OK: Optional[bool] = None  # None for requests; True/False for responses
+
+    def payload(self) -> Dict[str, Any]:
+        """The kind-specific body; subclasses override."""
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full versioned envelope as a plain dict."""
+        document = {"v": API_VERSION, "kind": self.KIND,
+                    "payload": self.payload()}
+        if self.OK is not None:
+            document["ok"] = self.OK
+        return document
+
+    def to_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`to_dict`."""
+        return _canonical(self.to_dict())
+
+    def to_json(self) -> str:
+        """Readable (indented) JSON, for docs and logs."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+class ApiRequest(ApiMessage):
+    """Base class for requests."""
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ApiRequest":
+        """Rebuild the typed request from a validated payload dict."""
+        raise NotImplementedError
+
+
+class ApiResponse(ApiMessage):
+    """Base class for success responses."""
+
+    OK = True
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ApiResponse":
+        """Rebuild the typed response from a payload dict."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# shared value objects
+# --------------------------------------------------------------------------
+
+@dataclass
+class Verdict:
+    """One authorization outcome, transport-stable."""
+
+    allow: bool
+    cacheable: bool
+    reason: str = ""
+
+    def __bool__(self):
+        return self.allow
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the verdict."""
+        return {"allow": self.allow, "cacheable": self.cacheable,
+                "reason": self.reason}
+
+    @staticmethod
+    def from_dict(data: Any) -> "Verdict":
+        """Decode and validate one verdict object."""
+        if not isinstance(data, dict):
+            raise bad_request("verdict must be an object")
+        return Verdict(allow=bool(_get(data, "allow", (bool,))),
+                       cacheable=bool(_get(data, "cacheable", (bool,))),
+                       reason=_get(data, "reason", (str,), required=False,
+                                   default=""))
+
+
+@dataclass
+class BatchItem:
+    """One entry of an ``authorize_batch`` request.
+
+    ``proof`` is an encoded proof bundle (see :mod:`repro.api.codec`);
+    ``wallet`` asks the service to construct the proof from the session's
+    labelstore instead.
+    """
+
+    operation: str
+    resource: ResourceRef
+    proof: Optional[Dict[str, Any]] = None
+    wallet: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the batch entry."""
+        return {"operation": self.operation, "resource": self.resource,
+                "proof": self.proof, "wallet": self.wallet}
+
+    @staticmethod
+    def from_dict(data: Any) -> "BatchItem":
+        """Decode and validate one batch entry."""
+        if not isinstance(data, dict):
+            raise bad_request("batch item must be an object")
+        return BatchItem(
+            operation=_get(data, "operation", (str,)),
+            resource=_get_resource(data),
+            proof=_get(data, "proof", (dict,), required=False),
+            wallet=bool(_get(data, "wallet", (bool,), required=False,
+                             default=False)))
+
+
+# --------------------------------------------------------------------------
+# requests
+# --------------------------------------------------------------------------
+
+@dataclass
+class OpenSessionRequest(ApiRequest):
+    """Open a session: launch a fresh process and bind the new principal.
+
+    Adopting an *existing* pid is deliberately not expressible on the
+    wire — it would let any remote client impersonate any local
+    principal.  Trusted in-process callers use
+    :meth:`repro.api.service.NexusService.open_session` directly.
+    """
+
+    name: str
+
+    KIND = "open_session"
+
+    def payload(self):
+        return {"name": self.name}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=_get(payload, "name", (str,)))
+
+
+@dataclass
+class CloseSessionRequest(ApiRequest):
+    """Close a session; its process stays alive unless ``exit`` is set."""
+
+    session: str
+    exit: bool = False
+
+    KIND = "close_session"
+
+    def payload(self):
+        return {"session": self.session, "exit": self.exit}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   exit=bool(_get(payload, "exit", (bool,),
+                                  required=False, default=False)))
+
+
+@dataclass
+class SayRequest(ApiRequest):
+    """The ``say`` syscall: deposit a label attributed to the session."""
+
+    session: str
+    statement: str
+
+    KIND = "say"
+
+    def payload(self):
+        return {"session": self.session, "statement": self.statement}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   statement=_get(payload, "statement", (str,)))
+
+
+@dataclass
+class CreateResourceRequest(ApiRequest):
+    """Create a kernel resource owned by the session's principal."""
+
+    session: str
+    name: str
+    kind: str = "object"
+
+    KIND = "create_resource"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "kind": self.kind}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   kind=_get(payload, "kind", (str,), required=False,
+                             default="object"))
+
+
+@dataclass
+class SetGoalRequest(ApiRequest):
+    """The ``setgoal`` syscall: attach a goal formula to an operation."""
+
+    session: str
+    resource: ResourceRef
+    operation: str
+    goal: str
+    guard_port: Optional[str] = None
+    proof: Optional[Dict[str, Any]] = None
+
+    KIND = "set_goal"
+
+    def payload(self):
+        return {"session": self.session, "resource": self.resource,
+                "operation": self.operation, "goal": self.goal,
+                "guard_port": self.guard_port, "proof": self.proof}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   resource=_get_resource(payload),
+                   operation=_get(payload, "operation", (str,)),
+                   goal=_get(payload, "goal", (str,)),
+                   guard_port=_get(payload, "guard_port", (str,),
+                                   required=False),
+                   proof=_get(payload, "proof", (dict,), required=False))
+
+
+@dataclass
+class ClearGoalRequest(ApiRequest):
+    """The ``cleargoal`` syscall."""
+
+    session: str
+    resource: ResourceRef
+    operation: str
+    proof: Optional[Dict[str, Any]] = None
+
+    KIND = "clear_goal"
+
+    def payload(self):
+        return {"session": self.session, "resource": self.resource,
+                "operation": self.operation, "proof": self.proof}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   resource=_get_resource(payload),
+                   operation=_get(payload, "operation", (str,)),
+                   proof=_get(payload, "proof", (dict,), required=False))
+
+
+@dataclass
+class GetGoalRequest(ApiRequest):
+    """Fetch the goal a resource demands, so clients can build proofs."""
+
+    session: str
+    resource: ResourceRef
+    operation: str
+
+    KIND = "get_goal"
+
+    def payload(self):
+        return {"session": self.session, "resource": self.resource,
+                "operation": self.operation}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   resource=_get_resource(payload),
+                   operation=_get(payload, "operation", (str,)))
+
+
+@dataclass
+class AuthorizeRequest(ApiRequest):
+    """One authorization round-trip (Figure 1) for the session subject."""
+
+    session: str
+    operation: str
+    resource: ResourceRef
+    proof: Optional[Dict[str, Any]] = None
+    wallet: bool = False
+
+    KIND = "authorize"
+
+    def payload(self):
+        return {"session": self.session, "operation": self.operation,
+                "resource": self.resource, "proof": self.proof,
+                "wallet": self.wallet}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   operation=_get(payload, "operation", (str,)),
+                   resource=_get_resource(payload),
+                   proof=_get(payload, "proof", (dict,), required=False),
+                   wallet=bool(_get(payload, "wallet", (bool,),
+                                    required=False, default=False)))
+
+
+@dataclass
+class AuthorizeBatchRequest(ApiRequest):
+    """A group of pending authorizations, submitted as one request.
+
+    The service wires this to the kernel's batched Figure-1 path
+    (``authorize_many`` → ``Guard.check_many``): duplicates are checked
+    once, verdicts return in submission order.
+    """
+
+    session: str
+    items: List[BatchItem] = field(default_factory=list)
+
+    KIND = "authorize_batch"
+
+    def payload(self):
+        return {"session": self.session,
+                "items": [item.to_dict() for item in self.items]}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "items", (list,))
+        return cls(session=_get(payload, "session", (str,)),
+                   items=[BatchItem.from_dict(item) for item in raw])
+
+
+@dataclass
+class CreatePortRequest(ApiRequest):
+    """Create an IPC port owned by the session's process."""
+
+    session: str
+    name: str = ""
+
+    KIND = "create_port"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,), required=False,
+                             default=""))
+
+
+@dataclass
+class IpcSendRequest(ApiRequest):
+    """Asynchronous (monitored) delivery of one message to a port."""
+
+    session: str
+    port_id: int
+    message: Any = None
+
+    KIND = "ipc_send"
+
+    def payload(self):
+        return {"session": self.session, "port_id": self.port_id,
+                "message": self.message}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   port_id=_get(payload, "port_id", (int,)),
+                   message=payload.get("message"))
+
+
+@dataclass
+class IpcSendBatchRequest(ApiRequest):
+    """Batched asynchronous delivery (kernel ``ipc_send_many``)."""
+
+    session: str
+    port_id: int
+    messages: List[Any] = field(default_factory=list)
+
+    KIND = "ipc_send_batch"
+
+    def payload(self):
+        return {"session": self.session, "port_id": self.port_id,
+                "messages": list(self.messages)}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   port_id=_get(payload, "port_id", (int,)),
+                   messages=list(_get(payload, "messages", (list,))))
+
+
+@dataclass
+class ExternalizeRequest(ApiRequest):
+    """Export a label from the session's store as a certificate chain."""
+
+    session: str
+    handle: int
+
+    KIND = "externalize"
+
+    def payload(self):
+        return {"session": self.session, "handle": self.handle}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   handle=_get(payload, "handle", (int,)))
+
+
+@dataclass
+class ImportChainRequest(ApiRequest):
+    """Verify an externalized chain and admit it into the session store."""
+
+    session: str
+    chain: Dict[str, Any] = field(default_factory=dict)
+
+    KIND = "import_chain"
+
+    def payload(self):
+        return {"session": self.session, "chain": self.chain}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   chain=_get(payload, "chain", (dict,)))
+
+
+@dataclass
+class ProveRequest(ApiRequest):
+    """Can the session's wallet discharge this goal right now?"""
+
+    session: str
+    goal: str
+
+    KIND = "prove"
+
+    def payload(self):
+        return {"session": self.session, "goal": self.goal}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   goal=_get(payload, "goal", (str,)))
+
+
+@dataclass
+class SessionStatsRequest(ApiRequest):
+    """Fetch the per-session counters the service maintains."""
+
+    session: str
+
+    KIND = "session_stats"
+
+    def payload(self):
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)))
+
+
+@dataclass
+class InfoRequest(ApiRequest):
+    """Service metadata: version, boot id, session count."""
+
+    KIND = "info"
+
+    def payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls()
+
+
+# --------------------------------------------------------------------------
+# responses
+# --------------------------------------------------------------------------
+
+@dataclass
+class ErrorResponse(ApiMessage):
+    """The single failure shape every endpoint returns."""
+
+    code: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    KIND = "error"
+    OK = False
+
+    def payload(self):
+        return {"code": self.code, "message": self.message,
+                "detail": self.detail}
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild the error from a payload dict."""
+        return cls(code=_get(payload, "code", (str,)),
+                   message=_get(payload, "message", (str,),
+                                required=False, default=""),
+                   detail=_get(payload, "detail", (dict,),
+                               required=False, default={}))
+
+    @staticmethod
+    def from_error(error: ApiError) -> "ErrorResponse":
+        """The wire form of an :class:`~repro.api.errors.ApiError`."""
+        return ErrorResponse(code=error.code, message=error.message,
+                             detail=error.detail)
+
+    def to_error(self) -> ApiError:
+        """Client side: turn the response back into a raisable error."""
+        return ApiError(self.code, self.message, self.detail)
+
+
+@dataclass
+class SessionResponse(ApiResponse):
+    """A session handle plus the identity the service bound it to."""
+
+    session: str
+    pid: int
+    principal: str
+
+    KIND = "session"
+
+    def payload(self):
+        return {"session": self.session, "pid": self.pid,
+                "principal": self.principal}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   pid=_get(payload, "pid", (int,)),
+                   principal=_get(payload, "principal", (str,)))
+
+
+@dataclass
+class LabelResponse(ApiResponse):
+    """A deposited label: handle, attributed speaker, and full formula."""
+
+    handle: int
+    speaker: str
+    formula: str
+
+    KIND = "label"
+
+    def payload(self):
+        return {"handle": self.handle, "speaker": self.speaker,
+                "formula": self.formula}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(handle=_get(payload, "handle", (int,)),
+                   speaker=_get(payload, "speaker", (str,)),
+                   formula=_get(payload, "formula", (str,)))
+
+
+@dataclass
+class ResourceResponse(ApiResponse):
+    """A created (or resolved) kernel resource."""
+
+    resource_id: int
+    name: str
+    kind: str
+    owner: str
+
+    KIND = "resource"
+
+    def payload(self):
+        return {"resource_id": self.resource_id, "name": self.name,
+                "kind": self.kind, "owner": self.owner}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(resource_id=_get(payload, "resource_id", (int,)),
+                   name=_get(payload, "name", (str,)),
+                   kind=_get(payload, "kind", (str,)),
+                   owner=_get(payload, "owner", (str,)))
+
+
+@dataclass
+class AckResponse(ApiResponse):
+    """A bare success acknowledgement (setgoal, cleargoal, close)."""
+
+    done: bool = True
+
+    KIND = "ack"
+
+    def payload(self):
+        return {"done": self.done}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(done=bool(_get(payload, "done", (bool,),
+                                  required=False, default=True)))
+
+
+@dataclass
+class GoalResponse(ApiResponse):
+    """The goal formula protecting (resource, operation), if any."""
+
+    goal: Optional[str] = None
+
+    KIND = "goal"
+
+    def payload(self):
+        return {"goal": self.goal}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(goal=_get(payload, "goal", (str,), required=False))
+
+
+@dataclass
+class AuthorizeResponse(ApiResponse):
+    """The verdict for a single authorization."""
+
+    verdict: Verdict
+
+    KIND = "authorize_result"
+
+    def payload(self):
+        return {"verdict": self.verdict.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(verdict=Verdict.from_dict(_get(payload, "verdict",
+                                                  (dict,))))
+
+
+@dataclass
+class AuthorizeBatchResponse(ApiResponse):
+    """Verdicts for a batch, in submission order."""
+
+    verdicts: List[Verdict] = field(default_factory=list)
+
+    KIND = "authorize_batch_result"
+
+    def payload(self):
+        return {"verdicts": [v.to_dict() for v in self.verdicts]}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "verdicts", (list,))
+        return cls(verdicts=[Verdict.from_dict(v) for v in raw])
+
+
+@dataclass
+class PortResponse(ApiResponse):
+    """A created IPC port."""
+
+    port_id: int
+    name: str = ""
+
+    KIND = "port"
+
+    def payload(self):
+        return {"port_id": self.port_id, "name": self.name}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(port_id=_get(payload, "port_id", (int,)),
+                   name=_get(payload, "name", (str,), required=False,
+                             default=""))
+
+
+@dataclass
+class IpcSendResponse(ApiResponse):
+    """How many messages the monitored channel admitted."""
+
+    accepted: int
+    submitted: int
+
+    KIND = "ipc_send_result"
+
+    def payload(self):
+        return {"accepted": self.accepted, "submitted": self.submitted}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(accepted=_get(payload, "accepted", (int,)),
+                   submitted=_get(payload, "submitted", (int,)))
+
+
+@dataclass
+class ChainResponse(ApiResponse):
+    """An externalized label as an encoded certificate chain."""
+
+    chain: Dict[str, Any] = field(default_factory=dict)
+
+    KIND = "chain"
+
+    def payload(self):
+        return {"chain": self.chain}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(chain=_get(payload, "chain", (dict,)))
+
+
+@dataclass
+class ProveResponse(ApiResponse):
+    """Whether the session's wallet discharged the goal."""
+
+    proved: bool
+
+    KIND = "prove_result"
+
+    def payload(self):
+        return {"proved": self.proved}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(proved=bool(_get(payload, "proved", (bool,))))
+
+
+@dataclass
+class SessionStatsResponse(ApiResponse):
+    """Per-session counters: request mix and verdict tallies."""
+
+    session: str
+    requests: Dict[str, int] = field(default_factory=dict)
+    allowed: int = 0
+    denied: int = 0
+    errors: int = 0
+
+    KIND = "session_stats_result"
+
+    def payload(self):
+        return {"session": self.session, "requests": dict(self.requests),
+                "allowed": self.allowed, "denied": self.denied,
+                "errors": self.errors}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   requests=_get(payload, "requests", (dict,),
+                                 required=False, default={}),
+                   allowed=_get(payload, "allowed", (int,),
+                                required=False, default=0),
+                   denied=_get(payload, "denied", (int,),
+                               required=False, default=0),
+                   errors=_get(payload, "errors", (int,),
+                               required=False, default=0))
+
+
+@dataclass
+class InfoResponse(ApiResponse):
+    """Service metadata."""
+
+    version: str
+    boot_id: str
+    sessions: int
+
+    KIND = "info_result"
+
+    def payload(self):
+        return {"version": self.version, "boot_id": self.boot_id,
+                "sessions": self.sessions}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(version=_get(payload, "version", (str,)),
+                   boot_id=_get(payload, "boot_id", (str,)),
+                   sessions=_get(payload, "sessions", (int,)))
+
+
+# --------------------------------------------------------------------------
+# registries and envelope decoding
+# --------------------------------------------------------------------------
+
+REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
+    cls.KIND: cls for cls in (
+        OpenSessionRequest, CloseSessionRequest, SayRequest,
+        CreateResourceRequest, SetGoalRequest, ClearGoalRequest,
+        GetGoalRequest, AuthorizeRequest, AuthorizeBatchRequest,
+        CreatePortRequest, IpcSendRequest, IpcSendBatchRequest,
+        ExternalizeRequest, ImportChainRequest, ProveRequest,
+        SessionStatsRequest, InfoRequest)}
+
+RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
+    cls.KIND: cls for cls in (
+        ErrorResponse, SessionResponse, LabelResponse, ResourceResponse,
+        AckResponse, GoalResponse, AuthorizeResponse,
+        AuthorizeBatchResponse, PortResponse, IpcSendResponse,
+        ChainResponse, ProveResponse, SessionStatsResponse, InfoResponse)}
+
+
+def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]
+                     ) -> Tuple[str, Dict[str, Any]]:
+    """Shared outer validation: JSON → (kind, payload), version-checked."""
+    if isinstance(data, (bytes, str)):
+        try:
+            data = json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise bad_request(f"body is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise bad_request("message must be a JSON object")
+    version = data.get("v")
+    if version != API_VERSION:
+        raise ApiError(E_BAD_VERSION,
+                       f"unsupported API version {version!r} "
+                       f"(this service speaks {API_VERSION})")
+    kind = data.get("kind")
+    if not isinstance(kind, str):
+        raise bad_request("message needs a string 'kind'")
+    payload = data.get("payload")
+    if not isinstance(payload, dict):
+        raise bad_request("message needs an object 'payload'")
+    return kind, payload
+
+
+def decode_request(data: Union[bytes, str, Dict[str, Any]],
+                   expect_kind: Optional[str] = None) -> ApiRequest:
+    """Decode and validate a request envelope into its typed class.
+
+    ``expect_kind`` lets a per-endpoint HTTP route reject bodies whose
+    declared kind disagrees with the path they were POSTed to.
+    """
+    kind, payload = _decode_envelope(data)
+    request_type = REQUEST_TYPES.get(kind)
+    if request_type is None:
+        raise ApiError(E_UNKNOWN_KIND, f"unknown request kind {kind!r}")
+    if expect_kind is not None and kind != expect_kind:
+        raise bad_request(f"request kind {kind!r} does not match "
+                          f"endpoint {expect_kind!r}")
+    return request_type.from_payload(payload)
+
+
+def decode_response(data: Union[bytes, str, Dict[str, Any]]) -> ApiMessage:
+    """Decode a response envelope (success or error) into its class."""
+    kind, payload = _decode_envelope(data)
+    response_type = RESPONSE_TYPES.get(kind)
+    if response_type is None:
+        raise ApiError(E_UNKNOWN_KIND, f"unknown response kind {kind!r}")
+    return response_type.from_payload(payload)

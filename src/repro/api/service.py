@@ -1,0 +1,417 @@
+"""``NexusService`` — the versioned service façade over a Nexus kernel.
+
+The paper's thesis is that authorization is a *service*: labels are
+attributed statements, and guards check proofs on behalf of any
+principal, locally or remotely (§2.4).  This module is that service
+boundary for the reproduction.  It owns:
+
+* **sessions** — opaque tokens binding a principal/credential context to
+  a kernel pid, so no raw pid ever appears in client code;
+* **dispatch** — typed request in, typed response out, with every
+  internal exception mapped to a stable structured error;
+* **wire mounting** — one POST endpoint per request kind under
+  ``/api/v1/`` on the existing :class:`~repro.net.http.Router`, which is
+  what makes the same API reachable in-process and over HTTP with
+  identical semantics.
+
+The service adds no authority: every decision is the kernel's.  It is
+deliberately a thin, auditable layer — the TCB argument of the paper
+survives putting a protocol in front of the guard.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.api import codec, messages as msg
+from repro.api.errors import (ApiError, E_NO_SUCH_SESSION, bad_request,
+                              from_exception)
+from repro.core.attestation import wallet_bundle
+from repro.core.credentials import CredentialSet
+from repro.kernel.guard import GuardDecision
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.resources import Resource
+from repro.nal.proof import ProofBundle
+
+#: Default mount point of the wire API.
+API_PREFIX = f"/api/{msg.API_VERSION}"
+
+
+@dataclass
+class Session:
+    """Server-side session state: the principal a token speaks for.
+
+    ``stats`` counts requests by kind; ``allowed``/``denied`` tally
+    authorization verdicts; ``errors`` counts requests that ended in a
+    structured error.
+    """
+
+    token: str
+    pid: int
+    principal: str
+    opened_at: int
+    owns_process: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+    allowed: int = 0
+    denied: int = 0
+    errors: int = 0
+
+    def record(self, kind: str) -> None:
+        """Count one request of the given kind against this session."""
+        self.stats[kind] = self.stats.get(kind, 0) + 1
+
+    def record_verdict(self, decision: GuardDecision) -> None:
+        """Tally one authorization outcome."""
+        if decision.allow:
+            self.allowed += 1
+        else:
+            self.denied += 1
+
+
+class NexusService:
+    """One attestation service instance over one booted kernel."""
+
+    VERSION = msg.API_VERSION
+
+    def __init__(self, kernel: Optional[NexusKernel] = None):
+        self.kernel = kernel if kernel is not None else NexusKernel()
+        self._sessions: Dict[str, Session] = {}
+        self._handlers: Dict[str, Callable] = {
+            msg.OpenSessionRequest.KIND: self._open_session,
+            msg.CloseSessionRequest.KIND: self._close_session,
+            msg.SayRequest.KIND: self._say,
+            msg.CreateResourceRequest.KIND: self._create_resource,
+            msg.SetGoalRequest.KIND: self._set_goal,
+            msg.ClearGoalRequest.KIND: self._clear_goal,
+            msg.GetGoalRequest.KIND: self._get_goal,
+            msg.AuthorizeRequest.KIND: self._authorize,
+            msg.AuthorizeBatchRequest.KIND: self._authorize_batch,
+            msg.CreatePortRequest.KIND: self._create_port,
+            msg.IpcSendRequest.KIND: self._ipc_send,
+            msg.IpcSendBatchRequest.KIND: self._ipc_send_batch,
+            msg.ExternalizeRequest.KIND: self._externalize,
+            msg.ImportChainRequest.KIND: self._import_chain,
+            msg.ProveRequest.KIND: self._prove,
+            msg.SessionStatsRequest.KIND: self._session_stats,
+            msg.InfoRequest.KIND: self._info,
+        }
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def open_session(self, name: str,
+                     pid: Optional[int] = None) -> Session:
+        """Create a session, launching a fresh process unless ``pid``
+        adopts an existing one (e.g. a server binding its own identity).
+
+        The pid-adoption form is a *trusted* operation: it is only
+        callable from service-side code, never through dispatch — the
+        wire request has no pid field, so remote clients always get a
+        fresh principal.  Tokens are unguessable (bearer secrets).
+        """
+        owns = pid is None
+        if pid is None:
+            process = self.kernel.create_process(name)
+        else:
+            process = self.kernel.processes.get(pid)
+        token = f"sess-{secrets.token_hex(16)}"
+        session = Session(token=token, pid=process.pid,
+                          principal=str(process.principal),
+                          opened_at=self.kernel.now(), owns_process=owns)
+        self._sessions[token] = session
+        return session
+
+    def session(self, token: str) -> Session:
+        """Resolve a session token or fail with ``E_NO_SUCH_SESSION``."""
+        session = self._sessions.get(token)
+        if session is None:
+            raise ApiError(E_NO_SUCH_SESSION, f"no session {token!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: msg.ApiRequest) -> msg.ApiMessage:
+        """Serve one typed request; never raises.
+
+        Failures become :class:`~repro.api.messages.ErrorResponse` with
+        the originating exception's stable code.
+        """
+        handler = self._handlers.get(request.KIND)
+        session: Optional[Session] = None
+        token = getattr(request, "session", None)
+        try:
+            if handler is None:
+                raise bad_request(
+                    f"no handler for request kind {request.KIND!r}")
+            if token is not None:
+                session = self.session(token)
+                session.record(request.KIND)
+            return handler(session, request)
+        except Exception as exc:  # noqa: BLE001 — the boundary maps all
+            if session is not None:
+                session.errors += 1
+            return msg.ErrorResponse.from_error(from_exception(exc))
+
+    def dispatch_dict(self, document: Union[bytes, str, dict]
+                      ) -> msg.ApiMessage:
+        """Wire-side entry: decode an envelope, dispatch, return typed."""
+        try:
+            request = msg.decode_request(document)
+        except ApiError as exc:
+            return msg.ErrorResponse.from_error(exc)
+        return self.dispatch(request)
+
+    def handle_bytes(self, raw: bytes) -> bytes:
+        """Bytes in, canonical bytes out — the transport-free core."""
+        return self.dispatch_dict(raw).to_bytes()
+
+    # ------------------------------------------------------------------
+    # HTTP mounting
+    # ------------------------------------------------------------------
+
+    def install_routes(self, router, prefix: str = API_PREFIX) -> None:
+        """Mount one POST endpoint per request kind on a Router.
+
+        Each endpoint enforces that the posted envelope's kind matches
+        the path, and maps error codes to HTTP statuses.
+        """
+        from repro.net.http import HTTPRequest, HTTPResponse
+
+        def endpoint(kind: str):
+            def handle(request: HTTPRequest) -> HTTPResponse:
+                try:
+                    api_request = msg.decode_request(request.body,
+                                                    expect_kind=kind)
+                except ApiError as exc:
+                    response: msg.ApiMessage = \
+                        msg.ErrorResponse.from_error(exc)
+                else:
+                    response = self.dispatch(api_request)
+                status = 200
+                if isinstance(response, msg.ErrorResponse):
+                    status = response.to_error().http_status
+                return HTTPResponse(
+                    status=status, body=response.to_bytes(),
+                    headers={"Content-Type": "application/json"})
+            return handle
+
+        for kind in msg.REQUEST_TYPES:
+            router.add("POST", f"{prefix}/{kind}", endpoint(kind),
+                       exact=True)
+
+    def router(self, prefix: str = API_PREFIX):
+        """A standalone Router with the whole API mounted."""
+        from repro.net.http import Router
+        router = Router()
+        self.install_routes(router, prefix)
+        return router
+
+    # ------------------------------------------------------------------
+    # request handlers (one per kind; session is pre-resolved)
+    # ------------------------------------------------------------------
+
+    def _open_session(self, _session, request: msg.OpenSessionRequest
+                      ) -> msg.SessionResponse:
+        session = self.open_session(request.name)
+        return msg.SessionResponse(session=session.token, pid=session.pid,
+                                   principal=session.principal)
+
+    def _close_session(self, session: Session,
+                       request: msg.CloseSessionRequest) -> msg.AckResponse:
+        self._sessions.pop(session.token, None)
+        if request.exit and session.owns_process:
+            self.kernel.exit_process(session.pid)
+        return msg.AckResponse()
+
+    def _say(self, session: Session,
+             request: msg.SayRequest) -> msg.LabelResponse:
+        label = self.kernel.sys_say(session.pid, request.statement)
+        return msg.LabelResponse(handle=label.handle,
+                                 speaker=str(label.speaker),
+                                 formula=codec.encode_formula(label.formula))
+
+    def _create_resource(self, session: Session,
+                         request: msg.CreateResourceRequest
+                         ) -> msg.ResourceResponse:
+        owner = self.kernel.processes.get(session.pid).principal
+        resource = self.kernel.resources.create(request.name, request.kind,
+                                                owner)
+        return msg.ResourceResponse(resource_id=resource.resource_id,
+                                    name=resource.name, kind=resource.kind,
+                                    owner=str(resource.owner))
+
+    def _resolve(self, reference: msg.ResourceRef) -> Resource:
+        """Resource by id or by kernel path name."""
+        if isinstance(reference, int):
+            return self.kernel.resources.get(reference)
+        return self.kernel.resources.lookup(reference)
+
+    def _set_goal(self, session: Session,
+                  request: msg.SetGoalRequest) -> msg.AckResponse:
+        resource = self._resolve(request.resource)
+        bundle = codec.maybe_decode_bundle(request.proof)
+        self.kernel.sys_setgoal(session.pid, resource.resource_id,
+                                request.operation, request.goal,
+                                guard_port=request.guard_port,
+                                bundle=bundle)
+        return msg.AckResponse()
+
+    def _clear_goal(self, session: Session,
+                    request: msg.ClearGoalRequest) -> msg.AckResponse:
+        resource = self._resolve(request.resource)
+        bundle = codec.maybe_decode_bundle(request.proof)
+        self.kernel.sys_cleargoal(session.pid, resource.resource_id,
+                                  request.operation, bundle=bundle)
+        return msg.AckResponse()
+
+    def _get_goal(self, _session: Session,
+                  request: msg.GetGoalRequest) -> msg.GoalResponse:
+        resource = self._resolve(request.resource)
+        entry = self.kernel.default_guard.goals.get(resource.resource_id,
+                                                    request.operation)
+        return msg.GoalResponse(goal=None if entry is None
+                                else codec.encode_formula(entry.formula))
+
+    # -- authorization --------------------------------------------------
+
+    def _wallet_bundle(self, session: Session, operation: str,
+                       resource: Resource) -> Optional[ProofBundle]:
+        """Build a proof from the session's labelstore via the shared
+        client-side flow (:func:`repro.core.attestation.wallet_bundle`),
+        so the API instantiates goals exactly as the guard will."""
+        entry = self.kernel.default_guard.goals.get(resource.resource_id,
+                                                    operation)
+        if entry is None:
+            return None
+        subject = self.kernel.processes.get(session.pid).principal
+        store = self.kernel.default_labelstore(session.pid)
+        return wallet_bundle(entry.formula, subject, resource,
+                             CredentialSet(store.formulas()))
+
+    def _request_bundle(self, session: Session, operation: str,
+                        resource: Resource, proof: Optional[dict],
+                        wallet: bool) -> Optional[ProofBundle]:
+        """An explicit encoded proof wins; otherwise the wallet, if asked."""
+        if proof is not None:
+            return codec.decode_bundle(proof)
+        if wallet:
+            return self._wallet_bundle(session, operation, resource)
+        return None
+
+    def _authorize(self, session: Session,
+                   request: msg.AuthorizeRequest) -> msg.AuthorizeResponse:
+        resource = self._resolve(request.resource)
+        bundle = self._request_bundle(session, request.operation, resource,
+                                      request.proof, request.wallet)
+        decision = self.kernel.authorize(session.pid, request.operation,
+                                         resource.resource_id, bundle)
+        session.record_verdict(decision)
+        return msg.AuthorizeResponse(verdict=_verdict(decision))
+
+    def _authorize_batch(self, session: Session,
+                         request: msg.AuthorizeBatchRequest
+                         ) -> msg.AuthorizeBatchResponse:
+        pending: List[Tuple[int, str, int, Optional[ProofBundle]]] = []
+        # Batches are full of duplicates by design; decode each distinct
+        # encoded proof once, and run the wallet proof search once per
+        # distinct (operation, resource), so the batch endpoint amortizes
+        # codec and prover work the way check_many amortizes guard work.
+        decoded: Dict[str, ProofBundle] = {}
+        from_wallet: Dict[Tuple[str, int], Optional[ProofBundle]] = {}
+        for item in request.items:
+            resource = self._resolve(item.resource)
+            if item.proof is not None:
+                key = json.dumps(item.proof, sort_keys=True,
+                                 separators=(",", ":"))
+                bundle = decoded.get(key)
+                if bundle is None:
+                    bundle = codec.decode_bundle(item.proof)
+                    decoded[key] = bundle
+            elif item.wallet:
+                wallet_key = (item.operation, resource.resource_id)
+                if wallet_key not in from_wallet:
+                    from_wallet[wallet_key] = self._wallet_bundle(
+                        session, item.operation, resource)
+                bundle = from_wallet[wallet_key]
+            else:
+                bundle = None
+            pending.append((session.pid, item.operation,
+                            resource.resource_id, bundle))
+        decisions = self.kernel.authorize_many(pending)
+        for decision in decisions:
+            session.record_verdict(decision)
+        return msg.AuthorizeBatchResponse(
+            verdicts=[_verdict(d) for d in decisions])
+
+    # -- IPC ------------------------------------------------------------
+
+    def _create_port(self, session: Session,
+                     request: msg.CreatePortRequest) -> msg.PortResponse:
+        port = self.kernel.create_port(session.pid, request.name)
+        return msg.PortResponse(port_id=port.port_id, name=port.name)
+
+    def _ipc_send(self, session: Session,
+                  request: msg.IpcSendRequest) -> msg.IpcSendResponse:
+        admitted = self.kernel.ipc_send(session.pid, request.port_id,
+                                        request.message)
+        return msg.IpcSendResponse(accepted=int(admitted), submitted=1)
+
+    def _ipc_send_batch(self, session: Session,
+                        request: msg.IpcSendBatchRequest
+                        ) -> msg.IpcSendResponse:
+        accepted = self.kernel.ipc_send_many(session.pid, request.port_id,
+                                             request.messages)
+        return msg.IpcSendResponse(accepted=accepted,
+                                   submitted=len(request.messages))
+
+    # -- externalization ------------------------------------------------
+
+    def _externalize(self, session: Session,
+                     request: msg.ExternalizeRequest) -> msg.ChainResponse:
+        store = self.kernel.default_labelstore(session.pid)
+        label = store.get(request.handle)
+        chain = self.kernel.externalize_label(label)
+        return msg.ChainResponse(chain=codec.encode_chain(chain))
+
+    def _import_chain(self, session: Session,
+                      request: msg.ImportChainRequest) -> msg.LabelResponse:
+        chain = codec.decode_chain(request.chain)
+        label = self.kernel.import_label_chain(chain, session.pid)
+        return msg.LabelResponse(handle=label.handle,
+                                 speaker=str(label.speaker),
+                                 formula=codec.encode_formula(label.formula))
+
+    def _prove(self, session: Session,
+               request: msg.ProveRequest) -> msg.ProveResponse:
+        goal = codec.decode_formula(request.goal)
+        store = self.kernel.default_labelstore(session.pid)
+        wallet = CredentialSet(store.formulas())
+        return msg.ProveResponse(
+            proved=wallet.try_bundle_for(goal) is not None)
+
+    # -- introspection ---------------------------------------------------
+
+    def _session_stats(self, session: Session,
+                       _request: msg.SessionStatsRequest
+                       ) -> msg.SessionStatsResponse:
+        return msg.SessionStatsResponse(
+            session=session.token, requests=dict(session.stats),
+            allowed=session.allowed, denied=session.denied,
+            errors=session.errors)
+
+    def _info(self, _session, _request: msg.InfoRequest) -> msg.InfoResponse:
+        return msg.InfoResponse(version=self.VERSION,
+                                boot_id=self.kernel.boot.boot_id(),
+                                sessions=len(self._sessions))
+
+
+def _verdict(decision: GuardDecision) -> msg.Verdict:
+    """Kernel decision → wire verdict."""
+    return msg.Verdict(allow=decision.allow, cacheable=decision.cacheable,
+                       reason=decision.reason)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
+from repro.api.service import NexusService
 from repro.apps.fauxbook.app import FAUXBOOK_TENANT_SOURCE
 from repro.apps.fauxbook.framework import WebFramework
 from repro.errors import AccessDenied, AppError, NoSuchResource
@@ -25,7 +26,8 @@ from repro.fs.ramfs import FileServer
 from repro.kernel.interposition import SyscallWhitelistMonitor
 from repro.kernel.kernel import NexusKernel
 from repro.nal.proof import Assume, ProofBundle
-from repro.net.http import HTTPRequest, HTTPResponse, parse_request
+from repro.net.http import (HTTPRequest, HTTPResponse, Router,
+                            parse_request)
 from repro.net.udp import PolicyCheckMonitor
 from repro.storage.ssr import SecureStorageRegion
 from repro.storage.vkey import VKeyManager
@@ -69,6 +71,12 @@ class FauxbookStack:
         self._ssr_lengths: Dict[str, int] = {}
         self._vkeys = VKeyManager(tpm=self.kernel.tpm)
         self._static_resource_ids: Dict[str, int] = {}
+        # The stack's entry points live on the shared Router, and the
+        # attestation API is mounted beside them under /api/v1/ — the
+        # same kernel that guards the pages serves authorization as a
+        # service to remote principals.
+        self.api = NexusService(self.kernel)
+        self.router = self._build_router()
         self._lockdown()
         if ref_monitor is not None:
             self._install_monitor(ref_monitor)
@@ -190,46 +198,70 @@ class FauxbookStack:
     def _handle_raw(self, raw: bytes) -> bytes:
         request = parse_request(raw)
         try:
-            response = self._route(request)
+            response = self.router.dispatch(request)
         except AccessDenied as exc:
             response = HTTPResponse(403, str(exc).encode())
-        except AppError as exc:
-            response = HTTPResponse(400, str(exc).encode())
         except NoSuchResource:
             response = HTTPResponse(404, b"not found")
         return response.to_bytes()
 
-    def _route(self, request: HTTPRequest) -> HTTPResponse:
-        path = request.path
-        if path.startswith("/static/"):
-            return self._serve_static(path[len("/static"):])
-        if path.startswith("/python/"):
-            return self._serve_dynamic(path[len("/python"):])
-        if path == "/signup" and request.method == "POST":
+    def _build_router(self) -> Router:
+        """The stack's route table, plus the mounted attestation API.
+
+        Framework failures map to 400 (bad client input); denials and
+        missing resources escape to :meth:`_handle_raw` as 403/404.  The
+        Router itself supplies 404 for unknown paths and 405 (with an
+        ``Allow`` header) for known paths under the wrong method.
+        """
+        def app(handler):
+            def wrapped(request: HTTPRequest) -> HTTPResponse:
+                try:
+                    return handler(request)
+                except AppError as exc:
+                    return HTTPResponse(400, str(exc).encode())
+            return wrapped
+
+        def signup(request: HTTPRequest) -> HTTPResponse:
             user, _, password = request.body.decode().partition(":")
             self.framework.create_user(user, password)
             return HTTPResponse(201, b"created")
-        if path == "/login" and request.method == "POST":
+
+        def login(request: HTTPRequest) -> HTTPResponse:
             user, _, password = request.body.decode().partition(":")
             token = self.framework.login(user, password)
             return HTTPResponse(200, token.encode())
-        if path == "/friend" and request.method == "POST":
+
+        def friend(request: HTTPRequest) -> HTTPResponse:
             token = request.headers.get("X-Session", "")
             self.framework.add_friend(token, request.body.decode())
             return HTTPResponse(200, b"friended")
-        if path == "/status" and request.method == "POST":
+
+        def status(request: HTTPRequest) -> HTTPResponse:
             token = request.headers.get("X-Session", "")
             key = self.framework.post_status(token, request.body)
             return HTTPResponse(201, key.encode())
-        if path.startswith("/wall/") and request.method == "GET":
+
+        def wall(request: HTTPRequest) -> HTTPResponse:
             token = request.headers.get("X-Session", "")
-            wall_owner = path[len("/wall/"):]
+            wall_owner = request.path[len("/wall/"):]
             try:
                 page = self.framework.read_feed(token, wall_owner)
             except Exception as exc:
                 return HTTPResponse(403, str(exc).encode())
             return HTTPResponse(200, page)
-        return HTTPResponse(404, b"not found")
+
+        router = Router()
+        router.add("GET", "/static/", lambda request: self._serve_static(
+            request.path[len("/static"):]))
+        router.add("GET", "/python/", lambda request: self._serve_dynamic(
+            request.path[len("/python"):]))
+        router.add("POST", "/signup", app(signup), exact=True)
+        router.add("POST", "/login", app(login), exact=True)
+        router.add("POST", "/friend", app(friend), exact=True)
+        router.add("POST", "/status", app(status), exact=True)
+        router.add("GET", "/wall/", wall)
+        self.api.install_routes(router)
+        return router
 
     def _authorize_static(self, path: str) -> None:
         resource_id = self._static_resource_ids.get(path)

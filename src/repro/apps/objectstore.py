@@ -98,12 +98,17 @@ class TypedObjectStore:
     @staticmethod
     def import_image(image: StoreImage, schema: Schema,
                      credentials: Optional[CredentialSet] = None,
-                     certifier: str = "TypeCertifier") -> "TypedObjectStore":
+                     certifier: str = "TypeCertifier",
+                     session=None) -> "TypedObjectStore":
         """Deserialize, choosing the fast or slow path.
 
-        Fast path: the wallet proves ``certifier says
+        Fast path: the downloader proves ``certifier says
         typesafe(<producer>)`` — the producer upheld the schema, so
         per-record validation is skipped (transitive integrity, §4).
+        The proof can come from a local wallet (``credentials``) or, in
+        the service deployment, from an attestation-API ``session``
+        (:class:`repro.api.client.ClientSession`) whose labelstore is
+        asked to discharge the goal remotely.
         Slow path: validate every record of untrusted input.
         """
         image.verify_digest()
@@ -111,10 +116,12 @@ class TypedObjectStore:
         if tuple(map(tuple, body["schema"])) != schema.fields:
             raise IntegrityError("schema mismatch on import")
         store = TypedObjectStore(schema, producer=image.producer)
+        goal_text = f"{certifier} says typesafe({image.producer})"
         fast = False
-        if credentials is not None:
-            goal = parse(f"{certifier} says typesafe({image.producer})")
-            fast = credentials.try_bundle_for(goal) is not None
+        if session is not None:
+            fast = session.prove(goal_text)
+        elif credentials is not None:
+            fast = credentials.try_bundle_for(parse(goal_text)) is not None
         if fast:
             store._records = [dict(r) for r in body["records"]]
         else:

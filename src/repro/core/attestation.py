@@ -104,15 +104,9 @@ class Nexus:
         bundle = None
         goal = self.goal_for(resource, operation)
         if goal is not None and credentials is not None:
-            from repro.kernel.guard import RESOURCE_VAR, SUBJECT_VAR
-            concrete = goal.substitute({
-                SUBJECT_VAR: self.kernel.processes.get(subject.pid).principal,
-                RESOURCE_VAR: parse_resource_term(resource),
-            })
-            try:
-                bundle = credentials.bundle_for(concrete)
-            except ProofError:
-                bundle = None  # present nothing; the guard will say why
+            bundle = wallet_bundle(
+                goal, self.kernel.processes.get(subject.pid).principal,
+                resource, credentials)
         if invoke is None:
             return self.authorize(subject, operation, resource, bundle)
         return self.kernel.guarded_call(subject.pid, operation,
@@ -132,6 +126,28 @@ class Nexus:
         return authority
 
 
+def wallet_bundle(goal: Formula, subject, resource: Resource,
+                  credentials: CredentialSet):
+    """Instantiate a goal for (subject, resource) and try to prove it.
+
+    The client-side half of Figure 1, shared by the local facade and the
+    service API's ``wallet=True`` path: substitute the guard-evaluation
+    variables exactly as the guard will, then ask the wallet for a proof.
+    Returns ``None`` when the wallet cannot discharge the goal — present
+    nothing, and the guard will say why.
+    """
+    from repro.kernel.guard import RESOURCE_VAR, SUBJECT_VAR, resource_term
+    concrete = goal.substitute({
+        SUBJECT_VAR: subject,
+        RESOURCE_VAR: resource_term(resource),
+    })
+    try:
+        return credentials.bundle_for(concrete)
+    except ProofError:
+        return None
+
+
 def parse_resource_term(resource: Resource):
-    from repro.nal.terms import Name
-    return Name(resource.name)
+    """Deprecated alias for :func:`repro.kernel.guard.resource_term`."""
+    from repro.kernel.guard import resource_term
+    return resource_term(resource)

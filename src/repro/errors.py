@@ -4,6 +4,11 @@ Every layer of the simulated Nexus raises exceptions derived from
 :class:`ReproError` so callers can catch at whatever granularity they need:
 a guard that wants to deny on any internal failure catches ``ReproError``;
 a test asserting a specific misbehaviour catches the precise subclass.
+
+Every class carries a stable, machine-readable ``code`` (``E_*``).  The
+service boundary (:mod:`repro.api`) maps internal exceptions to wire-level
+structured errors by this code — never by matching message strings — so
+messages stay free to evolve while clients keep a stable contract.
 """
 
 from __future__ import annotations
@@ -11,6 +16,9 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
+
+    #: Stable machine-readable error code; subclasses override.
+    code = "E_INTERNAL"
 
 
 # --------------------------------------------------------------------------
@@ -20,9 +28,13 @@ class ReproError(Exception):
 class NALError(ReproError):
     """Base class for logic-layer errors."""
 
+    code = "E_NAL"
+
 
 class ParseError(NALError):
     """The NAL text could not be parsed into a formula or principal."""
+
+    code = "E_PARSE"
 
     def __init__(self, message: str, position: int = -1, text: str = ""):
         super().__init__(message)
@@ -33,9 +45,13 @@ class ParseError(NALError):
 class ProofError(NALError):
     """A proof object is structurally invalid or does not check."""
 
+    code = "E_PROOF"
+
 
 class UnificationError(NALError):
     """A goal pattern could not be matched against a concrete formula."""
+
+    code = "E_UNIFICATION"
 
 
 # --------------------------------------------------------------------------
@@ -45,17 +61,25 @@ class UnificationError(NALError):
 class CryptoError(ReproError):
     """Base class for cryptographic failures."""
 
+    code = "E_CRYPTO"
+
 
 class SignatureError(CryptoError):
     """A signature failed to verify."""
+
+    code = "E_SIGNATURE"
 
 
 class SealError(CryptoError):
     """TPM seal/unseal failed (usually a PCR mismatch)."""
 
+    code = "E_SEAL"
+
 
 class TPMError(ReproError):
     """TPM device misuse (bad register index, not owned, etc.)."""
+
+    code = "E_TPM"
 
 
 # --------------------------------------------------------------------------
@@ -65,21 +89,31 @@ class TPMError(ReproError):
 class StorageError(ReproError):
     """Base class for attested-storage failures."""
 
+    code = "E_STORAGE"
+
 
 class IntegrityError(StorageError):
     """Stored data failed an integrity (hash) check: tampering or replay."""
+
+    code = "E_INTEGRITY"
 
 
 class ReplayError(IntegrityError):
     """Stored data is authentic but stale: a replay of an old version."""
 
+    code = "E_REPLAY"
+
 
 class CrashError(StorageError):
     """Raised by the fault-injecting block device to simulate power loss."""
 
+    code = "E_CRASH"
+
 
 class BootError(ReproError):
     """The simulated Nexus boot was aborted (e.g. DIR/state-file mismatch)."""
+
+    code = "E_BOOT"
 
 
 # --------------------------------------------------------------------------
@@ -89,21 +123,37 @@ class BootError(ReproError):
 class KernelError(ReproError):
     """Base class for simulated-kernel failures."""
 
+    code = "E_KERNEL"
+
 
 class NoSuchProcess(KernelError):
     """Referenced IPD does not exist."""
+
+    code = "E_NO_SUCH_PROCESS"
 
 
 class NoSuchPort(KernelError):
     """Referenced IPC port does not exist."""
 
+    code = "E_NO_SUCH_PORT"
+
 
 class NoSuchResource(KernelError):
     """Referenced kernel resource (file, port, vdir, ...) does not exist."""
 
+    code = "E_NO_SUCH_RESOURCE"
+
+
+class UnknownSyscall(KernelError):
+    """The syscall trampoline was handed a name it has no handler for."""
+
+    code = "E_UNKNOWN_SYSCALL"
+
 
 class AccessDenied(KernelError):
     """The guard denied the operation."""
+
+    code = "E_ACCESS_DENIED"
 
     def __init__(self, message: str = "access denied", *,
                  subject=None, operation=None, resource=None, reason=""):
@@ -117,9 +167,13 @@ class AccessDenied(KernelError):
 class InterpositionError(KernelError):
     """Reference-monitor installation or invocation failed."""
 
+    code = "E_INTERPOSITION"
+
 
 class QuotaExceeded(KernelError):
     """A per-principal quota (e.g. guard-cache entries) was exhausted."""
+
+    code = "E_QUOTA_EXCEEDED"
 
 
 # --------------------------------------------------------------------------
@@ -129,15 +183,23 @@ class QuotaExceeded(KernelError):
 class AppError(ReproError):
     """Base class for application-layer failures."""
 
+    code = "E_APP"
+
 
 class CobufError(AppError):
     """Illegal operation on a constrained buffer (content inspection, bad
     collation)."""
 
+    code = "E_COBUF"
+
 
 class SandboxViolation(AppError):
     """Tenant code failed the Python-sandbox analysis or tried to escape."""
 
+    code = "E_SANDBOX_VIOLATION"
+
 
 class PolicyViolation(AppError):
     """A document/image/BGP-message violated its use policy."""
+
+    code = "E_POLICY_VIOLATION"

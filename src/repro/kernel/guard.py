@@ -313,6 +313,15 @@ class Guard:
         return None
 
 
-def _resource_term(resource: Resource):
+def resource_term(resource: Resource):
+    """The NAL term a guard substitutes for ``?Resource``.
+
+    Every layer that instantiates a goal (the guard itself, the local
+    facade, the API wallet path) must use this one rule, or client-built
+    proofs silently stop matching what the guard checks.
+    """
     from repro.nal.terms import Name
     return Name(resource.name)
+
+
+_resource_term = resource_term

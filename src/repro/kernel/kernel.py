@@ -24,7 +24,8 @@ from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
 from repro.crypto.certs import Certificate, CertificateChain
-from repro.errors import AccessDenied, InterpositionError, KernelError
+from repro.errors import (AccessDenied, InterpositionError, KernelError,
+                          UnknownSyscall)
 from repro.nal.formula import Formula, Says
 from repro.nal.parser import parse, parse_principal
 from repro.nal.proof import ProofBundle
@@ -486,7 +487,7 @@ class NexusKernel:
         self.syscall_count += 1
         handler = self._syscalls.get(name)
         if handler is None:
-            raise KernelError(f"unknown syscall {name!r}")
+            raise UnknownSyscall(f"unknown syscall {name!r}")
         if not self.interpose_syscalls:
             return handler(self, pid, *args)
         marshalled = self._marshal(args)

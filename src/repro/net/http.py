@@ -19,6 +19,7 @@ STATUS_TEXT = {
     401: "Unauthorized",
     403: "Forbidden",
     404: "Not Found",
+    405: "Method Not Allowed",
     500: "Internal Server Error",
 }
 
@@ -93,25 +94,43 @@ Handler = Callable[[HTTPRequest], HTTPResponse]
 
 
 class Router:
-    """Longest-prefix route table: (method, prefix) → handler."""
+    """Longest-prefix route table: (method, prefix) → handler.
+
+    Routes registered with ``exact=True`` match only the identical path
+    (no prefix semantics) and take priority over prefix routes.
+    """
 
     def __init__(self):
-        self._routes: Dict[Tuple[str, str], Handler] = {}
+        self._routes: Dict[Tuple[str, str], Tuple[Handler, bool]] = {}
 
-    def add(self, method: str, prefix: str, handler: Handler) -> None:
-        self._routes[(method.upper(), prefix)] = handler
+    def add(self, method: str, prefix: str, handler: Handler,
+            exact: bool = False) -> None:
+        self._routes[(method.upper(), prefix)] = (handler, exact)
 
     def dispatch(self, request: HTTPRequest) -> HTTPResponse:
-        best: Optional[Tuple[str, Handler]] = None
-        for (method, prefix), handler in self._routes.items():
-            if method != request.method.upper():
+        best: Optional[Tuple[bool, int, Handler]] = None
+        method = request.method.upper()
+        other_methods = set()
+        for (route_method, prefix), (handler, exact) in \
+                self._routes.items():
+            if (request.path != prefix if exact
+                    else not request.path.startswith(prefix)):
                 continue
-            if request.path.startswith(prefix):
-                if best is None or len(prefix) > len(best[0]):
-                    best = (prefix, handler)
+            if route_method != method:
+                other_methods.add(route_method)
+                continue
+            rank = (exact, len(prefix), handler)
+            if best is None or rank[:2] > best[:2]:
+                best = rank
         if best is None:
+            if other_methods:
+                # The path is routable, just not under this method: that
+                # is a 405, and the Allow header names the alternatives.
+                return HTTPResponse(
+                    status=405, body=b"method not allowed",
+                    headers={"Allow": ", ".join(sorted(other_methods))})
             return HTTPResponse(status=404, body=b"not found")
         try:
-            return best[1](request)
+            return best[2](request)
         except AppError as exc:
             return HTTPResponse(status=403, body=str(exc).encode())

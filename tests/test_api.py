@@ -1,0 +1,572 @@
+"""The service boundary: typed messages, sessions, transports, errors.
+
+Covers the ``v1`` API contract: every request/response round-trips
+through canonical bytes, malformed input is rejected with stable codes
+before touching the kernel, sessions isolate principals, and the two
+transports (in-process and HTTP wire) return identical verdicts.
+"""
+
+import json
+
+import pytest
+
+import repro.errors as errors_module
+from repro.api import (ApiError, BatchItem, NexusClient, NexusService,
+                       Verdict)
+from repro.api import codec
+from repro.api import messages as msg
+from repro.api.client import HttpTransport
+from repro.api.errors import from_exception
+from repro.core.credentials import CredentialSet
+from repro.errors import ReproError, UnknownSyscall
+from repro.nal.parser import parse, parse_principal
+from repro.nal.proof import Assume, AuthorityQuery, Axiom, ProofBundle, Rule
+
+
+# --------------------------------------------------------------------------
+# codecs
+# --------------------------------------------------------------------------
+
+class TestCodec:
+    def test_proof_tree_roundtrip(self):
+        a = parse("A says ok(b)")
+        b = parse("A says also(b)")
+        both = parse("A says (ok(b) and also(b))")
+        proof = Rule("and_intro", (Assume(a), Assume(b)), both,
+                     context=parse_principal("A"))
+        encoded = codec.encode_proof(proof)
+        assert codec.decode_proof(encoded) == proof
+
+    def test_bundle_roundtrip_through_json(self):
+        cred = parse("Owner says ok(reader)")
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        wire = json.loads(json.dumps(codec.encode_bundle(bundle)))
+        assert codec.decode_bundle(wire) == bundle
+
+    def test_authority_and_axiom_nodes_roundtrip(self):
+        statement = parse("ntp says now(5)")
+        assert codec.decode_proof(
+            codec.encode_proof(AuthorityQuery(statement, "ntp"))
+        ) == AuthorityQuery(statement, "ntp")
+        axiom = Axiom(parse("true"))
+        assert codec.decode_proof(codec.encode_proof(axiom)) == axiom
+
+    @pytest.mark.parametrize("bad", [
+        "not a dict",
+        {"node": "teleport", "conclusion": "true"},
+        {"node": "assume"},
+        {"node": "assume", "conclusion": "says says says"},
+        {"node": "authority", "conclusion": "true", "port": ""},
+        {"node": "rule", "conclusion": "true", "name": "r"},
+        {"node": "rule", "conclusion": "true", "name": "r",
+         "premises": "nope"},
+    ])
+    def test_malformed_proofs_rejected(self, bad):
+        with pytest.raises(ApiError) as excinfo:
+            codec.decode_proof(bad)
+        assert excinfo.value.code == "E_BAD_REQUEST"
+
+    def test_overdeep_proof_rejected(self):
+        node = {"node": "assume", "conclusion": "true"}
+        for _ in range(codec.MAX_PROOF_DEPTH + 1):
+            node = {"node": "rule", "name": "wrap", "conclusion": "true",
+                    "premises": [node]}
+        with pytest.raises(ApiError):
+            codec.decode_proof(node)
+
+    def test_chain_roundtrip_still_verifies(self):
+        service = NexusService()
+        process = service.kernel.create_process("speaker")
+        label = service.kernel.sys_say(process.pid, "fact(1)")
+        chain = service.kernel.externalize_label(label)
+        wire = json.loads(json.dumps(codec.encode_chain(chain)))
+        decoded = codec.decode_chain(wire)
+        decoded.verify()
+        assert decoded.speaker_path() == chain.speaker_path()
+
+    def test_tampered_chain_fails_verification(self):
+        service = NexusService()
+        process = service.kernel.create_process("speaker")
+        label = service.kernel.sys_say(process.pid, "fact(1)")
+        wire = codec.encode_chain(service.kernel.externalize_label(label))
+        wire["certs"][-1]["statement"] = "/proc/ipd/1 says fact(999)"
+        from repro.errors import SignatureError
+        with pytest.raises(SignatureError):
+            codec.decode_chain(wire).verify()
+
+    @pytest.mark.parametrize("bad", [
+        42, {"root_key": {}, "certs": "no"}, {"certs": []},
+        {"root_key": {"n": "zz"}, "certs": []},
+    ])
+    def test_malformed_chain_rejected(self, bad):
+        with pytest.raises(ApiError):
+            codec.decode_chain(bad)
+
+
+# --------------------------------------------------------------------------
+# message round-trips
+# --------------------------------------------------------------------------
+
+SAMPLE_REQUESTS = [
+    msg.OpenSessionRequest(name="alice"),
+    msg.CloseSessionRequest(session="sess-1", exit=True),
+    msg.SayRequest(session="sess-1", statement="ok(bob)"),
+    msg.CreateResourceRequest(session="sess-1", name="/obj/x",
+                              kind="file"),
+    msg.SetGoalRequest(session="sess-1", resource=7, operation="read",
+                       goal="A says ok(?Subject)", guard_port="g1"),
+    msg.ClearGoalRequest(session="sess-1", resource="/obj/x",
+                         operation="read"),
+    msg.GetGoalRequest(session="sess-1", resource=7, operation="read"),
+    msg.AuthorizeRequest(session="sess-1", operation="read", resource=7,
+                         wallet=True),
+    msg.AuthorizeBatchRequest(session="sess-1", items=[
+        BatchItem(operation="read", resource=7, wallet=True),
+        BatchItem(operation="write", resource="/obj/x")]),
+    msg.CreatePortRequest(session="sess-1", name="inbox"),
+    msg.IpcSendRequest(session="sess-1", port_id=2, message={"k": 1}),
+    msg.IpcSendBatchRequest(session="sess-1", port_id=2,
+                            messages=[1, "two", None]),
+    msg.ExternalizeRequest(session="sess-1", handle=4),
+    msg.ImportChainRequest(session="sess-1",
+                           chain={"root_key": {}, "certs": []}),
+    msg.ProveRequest(session="sess-1", goal="A says ok(b)"),
+    msg.SessionStatsRequest(session="sess-1"),
+    msg.InfoRequest(),
+]
+
+SAMPLE_RESPONSES = [
+    msg.ErrorResponse(code="E_ACCESS_DENIED", message="nope",
+                      detail={"reason": "no proof"}),
+    msg.SessionResponse(session="sess-1", pid=2, principal="/proc/ipd/2"),
+    msg.LabelResponse(handle=1, speaker="/proc/ipd/2",
+                      formula="/proc/ipd/2 says ok(b)"),
+    msg.ResourceResponse(resource_id=7, name="/obj/x", kind="file",
+                         owner="/proc/ipd/2"),
+    msg.AckResponse(),
+    msg.GoalResponse(goal="A says ok(?Subject)"),
+    msg.GoalResponse(goal=None),
+    msg.AuthorizeResponse(verdict=Verdict(True, True, "proof ok")),
+    msg.AuthorizeBatchResponse(verdicts=[Verdict(True, True, ""),
+                                         Verdict(False, False, "nope")]),
+    msg.PortResponse(port_id=3, name="inbox"),
+    msg.IpcSendResponse(accepted=5, submitted=8),
+    msg.ChainResponse(chain={"root_key": {"n": "ff", "e": 65537},
+                             "certs": []}),
+    msg.ProveResponse(proved=True),
+    msg.SessionStatsResponse(session="sess-1", requests={"say": 2},
+                             allowed=3, denied=1, errors=0),
+    msg.InfoResponse(version="v1", boot_id="abc", sessions=2),
+]
+
+
+class TestMessageRoundTrips:
+    @pytest.mark.parametrize(
+        "request_", SAMPLE_REQUESTS,
+        ids=lambda r: f"{r.KIND}-{id(r) % 97}")
+    def test_request_roundtrip(self, request_):
+        decoded = msg.decode_request(request_.to_bytes())
+        assert type(decoded) is type(request_)
+        assert decoded.to_dict() == request_.to_dict()
+
+    @pytest.mark.parametrize(
+        "response", SAMPLE_RESPONSES,
+        ids=lambda r: f"{r.KIND}-{id(r) % 97}")
+    def test_response_roundtrip(self, response):
+        decoded = msg.decode_response(response.to_bytes())
+        assert type(decoded) is type(response)
+        assert decoded.to_dict() == response.to_dict()
+
+    def test_envelope_carries_version_and_ok(self):
+        document = msg.AckResponse().to_dict()
+        assert document["v"] == "v1"
+        assert document["ok"] is True
+        assert msg.InfoRequest().to_dict().get("ok") is None
+
+
+class TestMalformedEnvelopes:
+    @pytest.mark.parametrize("raw,code", [
+        (b"{not json", "E_BAD_REQUEST"),
+        (b"[1,2,3]", "E_BAD_REQUEST"),
+        (b'{"kind": "say", "payload": {}}', "E_BAD_VERSION"),
+        (b'{"v": "v0", "kind": "say", "payload": {}}', "E_BAD_VERSION"),
+        (b'{"v": "v1", "payload": {}}', "E_BAD_REQUEST"),
+        (b'{"v": "v1", "kind": "warp", "payload": {}}', "E_UNKNOWN_KIND"),
+        (b'{"v": "v1", "kind": "say", "payload": []}', "E_BAD_REQUEST"),
+        (b'{"v": "v1", "kind": "say", "payload": {}}', "E_BAD_REQUEST"),
+        (b'{"v": "v1", "kind": "say", "payload": {"session": 9,'
+         b'"statement": "x"}}', "E_BAD_REQUEST"),
+        (b'{"v": "v1", "kind": "authorize", "payload": {"session": "s",'
+         b'"operation": "read", "resource": true}}', "E_BAD_REQUEST"),
+    ])
+    def test_rejection_codes(self, raw, code):
+        with pytest.raises(ApiError) as excinfo:
+            msg.decode_request(raw)
+        assert excinfo.value.code == code
+
+    def test_kind_path_mismatch(self):
+        raw = msg.InfoRequest().to_bytes()
+        with pytest.raises(ApiError) as excinfo:
+            msg.decode_request(raw, expect_kind="authorize")
+        assert excinfo.value.code == "E_BAD_REQUEST"
+
+    def test_service_returns_error_response_not_exception(self):
+        service = NexusService()
+        response = service.dispatch_dict(b"garbage")
+        assert isinstance(response, msg.ErrorResponse)
+        assert response.code == "E_BAD_REQUEST"
+
+
+# --------------------------------------------------------------------------
+# stable error codes
+# --------------------------------------------------------------------------
+
+class TestErrorTaxonomy:
+    def test_every_exception_has_a_stable_code(self):
+        classes = [value for value in vars(errors_module).values()
+                   if isinstance(value, type)
+                   and issubclass(value, ReproError)]
+        assert len(classes) > 15
+        for cls in classes:
+            assert cls.code.startswith("E_"), cls
+
+    def test_specific_codes(self):
+        assert errors_module.AccessDenied.code == "E_ACCESS_DENIED"
+        assert UnknownSyscall.code == "E_UNKNOWN_SYSCALL"
+        assert errors_module.NoSuchResource.code == "E_NO_SUCH_RESOURCE"
+
+    def test_unknown_syscall_flows_through_kernel(self):
+        service = NexusService()
+        process = service.kernel.create_process("p")
+        with pytest.raises(UnknownSyscall):
+            service.kernel.syscall(process.pid, "frobnicate")
+
+    def test_from_exception_uses_code_not_strings(self):
+        error = from_exception(errors_module.AccessDenied(
+            "x denied", reason="no proof"))
+        assert error.code == "E_ACCESS_DENIED"
+        assert error.http_status == 403
+        assert error.detail["reason"] == "no proof"
+        assert from_exception(ValueError("boom")).code == "E_INTERNAL"
+
+    def test_api_error_maps_to_http_status(self):
+        assert ApiError("E_NO_SUCH_RESOURCE", "x").http_status == 404
+        assert ApiError("E_BAD_REQUEST", "x").http_status == 400
+        assert ApiError("E_WHATEVER", "x").http_status == 500
+
+
+# --------------------------------------------------------------------------
+# sessions and the service
+# --------------------------------------------------------------------------
+
+def _world(client):
+    """owner+reader sessions, a resource with a goal, a valid bundle."""
+    owner = client.open_session("owner")
+    reader = client.open_session("reader")
+    resource = owner.create_resource("/obj/report", "file")
+    owner.set_goal(resource, "read",
+                   f"{owner.principal} says ok(?Subject)")
+    credential = owner.say(f"ok({reader.principal})")
+    concrete = parse(credential.formula)
+    bundle = CredentialSet([concrete]).bundle_for(concrete)
+    return owner, reader, resource, bundle
+
+
+class TestSessions:
+    def test_open_session_binds_principal_not_pid(self):
+        client = NexusClient.in_process(NexusService())
+        session = client.open_session("alice")
+        assert session.token.startswith("sess-")
+        assert session.principal.startswith("/proc/ipd/")
+
+    def test_session_tokens_are_unguessable_bearer_secrets(self):
+        service = NexusService()
+        first = service.open_session("a").token
+        second = service.open_session("b").token
+        assert first != second
+        assert len(first) >= len("sess-") + 32  # 16 random bytes, hex
+
+    def test_wire_clients_cannot_adopt_existing_pids(self):
+        """Impersonation guard: the wire open_session always creates a
+        fresh principal, even if a pid is smuggled into the payload."""
+        service = NexusService()
+        victim = service.kernel.create_process("victim")
+        raw = {"v": "v1", "kind": "open_session",
+               "payload": {"name": "evil", "pid": victim.pid}}
+        response = service.dispatch_dict(raw)
+        assert isinstance(response, msg.SessionResponse)
+        assert response.pid != victim.pid
+
+    def test_trusted_pid_adoption_stays_service_side(self):
+        service = NexusService()
+        process = service.kernel.create_process("server")
+        session = service.open_session("server", pid=process.pid)
+        assert session.pid == process.pid
+        client = NexusClient.in_process(service)
+        handle = client.adopt_session(session)
+        assert handle.say("bound()").speaker == str(process.principal)
+
+    def test_unknown_session_is_structured_error(self):
+        client = NexusClient.in_process(NexusService())
+        with pytest.raises(ApiError) as excinfo:
+            client.call(msg.SayRequest(session="sess-999",
+                                       statement="x()"),
+                        msg.LabelResponse)
+        assert excinfo.value.code == "E_NO_SUCH_SESSION"
+
+    def test_closed_session_rejected(self):
+        client = NexusClient.in_process(NexusService())
+        session = client.open_session("alice")
+        session.close()
+        with pytest.raises(ApiError) as excinfo:
+            session.say("x()")
+        assert excinfo.value.code == "E_NO_SUCH_SESSION"
+
+    def test_two_sessions_get_isolated_verdicts(self):
+        """Two concurrent sessions with different credentials: verdicts
+        must not leak across subjects, even via the decision cache."""
+        client = NexusClient.in_process(NexusService())
+        owner, reader, resource, bundle = _world(client)
+        stranger = client.open_session("stranger")
+        # Interleave the two subjects repeatedly; the reader's cached
+        # allow must never surface for the stranger.
+        for _ in range(3):
+            assert reader.authorize("read", resource, proof=bundle).allow
+            assert not stranger.authorize("read", resource,
+                                          wallet=True).allow
+        assert reader.stats().allowed == 3
+        assert stranger.stats().denied == 3
+
+    def test_per_session_stats_track_request_mix(self):
+        client = NexusClient.in_process(NexusService())
+        session = client.open_session("alice")
+        session.say("a()")
+        session.say("b()")
+        resource = session.create_resource("/obj/mine")
+        session.authorize("read", resource)
+        stats = session.stats()
+        assert stats.requests["say"] == 2
+        assert stats.requests["create_resource"] == 1
+        assert stats.allowed == 1  # owner default policy
+        assert stats.errors == 0
+
+    def test_errors_counted_per_session(self):
+        client = NexusClient.in_process(NexusService())
+        session = client.open_session("alice")
+        with pytest.raises(ApiError) as excinfo:
+            session.authorize("read", 424242)
+        assert excinfo.value.code == "E_NO_SUCH_RESOURCE"
+        assert session.stats().errors == 1
+
+
+class TestBatchEndpoints:
+    def test_authorize_batch_matches_sequential(self):
+        client = NexusClient.in_process(NexusService())
+        owner, reader, resource, bundle = _world(client)
+        items = [("read", resource, bundle)] * 8 + [("write", resource)]
+        batched = reader.authorize_batch(items)
+        sequential = [
+            reader.authorize(item[0], item[1],
+                             proof=item[2] if len(item) > 2 else None)
+            for item in items]
+        assert [v.allow for v in batched] == [v.allow for v in sequential]
+
+    def test_batch_dedups_guard_work(self):
+        service = NexusService()
+        client = NexusClient.in_process(service)
+        owner, reader, resource, bundle = _world(client)
+        upcalls_before = service.kernel.default_guard.upcalls
+        verdicts = reader.authorize_batch(
+            [("read", resource, bundle)] * 64)
+        assert all(v.allow for v in verdicts)
+        assert (service.kernel.default_guard.upcalls
+                - upcalls_before) <= 1
+
+    def test_ipc_send_batch(self):
+        client = NexusClient.in_process(NexusService())
+        session = client.open_session("alice")
+        port = session.create_port("inbox")
+        assert session.ipc_send(port.port_id, {"n": 0})
+        accepted = session.ipc_send_many(port.port_id,
+                                         [{"n": i} for i in range(5)])
+        assert accepted == 5
+
+
+# --------------------------------------------------------------------------
+# transports
+# --------------------------------------------------------------------------
+
+def _flow_verdicts(client):
+    owner, reader, resource, bundle = _world(client)
+    verdicts = [reader.authorize("read", resource).allow,
+                reader.authorize("read", resource, proof=bundle).allow,
+                reader.authorize("read", resource, proof=bundle).allow]
+    return verdicts
+
+
+class TestTransports:
+    def test_direct_and_http_verdicts_identical(self):
+        direct = _flow_verdicts(NexusClient.in_process(NexusService()))
+        wire = _flow_verdicts(NexusClient.over_http(NexusService()))
+        assert direct == wire == [False, True, True]
+
+    def test_http_transport_counts_traffic(self):
+        client = NexusClient.over_http(NexusService())
+        client.info()
+        transport = client.transport
+        assert transport.requests_sent == 1
+        assert transport.bytes_sent > 0
+        assert transport.bytes_received > 0
+
+    def test_http_error_statuses(self):
+        service = NexusService()
+        router = service.router()
+        from repro.net.http import HTTPRequest
+        # kind/path mismatch → 400
+        raw = msg.InfoRequest().to_bytes()
+        response = router.dispatch(
+            HTTPRequest("POST", "/api/v1/authorize", {}, raw))
+        assert response.status == 400
+        # wrong method on a mounted path → 405 with Allow
+        response = router.dispatch(HTTPRequest("GET", "/api/v1/info"))
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+        # denied authorize still returns 200: denial is data, not error
+        client = NexusClient.over_http(service)
+        owner, reader, resource, _ = _world(client)
+        assert not reader.authorize("write", resource).allow
+
+    def test_http_not_found_resource_maps_to_404(self):
+        service = NexusService()
+        client = NexusClient.over_http(service)
+        session = client.open_session("alice")
+        request = msg.AuthorizeRequest(session=session.token,
+                                       operation="read", resource=31337)
+        from repro.net.http import HTTPRequest, parse_response
+        transport = client.transport
+        raw = HTTPRequest("POST", "/api/v1/authorize", {},
+                          request.to_bytes()).to_bytes()
+        response = parse_response(transport.send(raw))
+        assert response.status == 404
+        decoded = msg.decode_response(response.body)
+        assert decoded.code == "E_NO_SUCH_RESOURCE"
+
+    def test_externalized_chain_flow_over_http(self):
+        """The §2.4 story end-to-end on the wire: a label leaves one
+        session as a TPM-rooted chain and re-enters another."""
+        client = NexusClient.over_http(NexusService())
+        owner = client.open_session("owner")
+        reader = client.open_session("reader")
+        label = owner.say("certified(reader)")
+        chain = owner.externalize(label.handle)
+        imported = reader.import_chain(chain)
+        assert imported.speaker.startswith("TPM-")
+        assert reader.prove(imported.formula)
+
+    def test_tampered_chain_rejected_over_http(self):
+        client = NexusClient.over_http(NexusService())
+        owner = client.open_session("owner")
+        reader = client.open_session("reader")
+        chain = owner.externalize(owner.say("fact(1)").handle)
+        chain["certs"][-1]["statement"] = \
+            chain["certs"][-1]["statement"].replace("fact(1)", "fact(2)")
+        with pytest.raises(ApiError) as excinfo:
+            reader.import_chain(chain)
+        assert excinfo.value.code == "E_SIGNATURE"
+
+
+# --------------------------------------------------------------------------
+# app integration
+# --------------------------------------------------------------------------
+
+class TestAppIntegration:
+    def test_objectstore_fast_path_via_api_session(self):
+        from repro.apps.objectstore import Schema, TypedObjectStore
+        schema = Schema.of(name="str", age="int")
+        producer = TypedObjectStore(schema, producer="remote-jvm")
+        for i in range(20):
+            producer.put({"name": f"user{i}", "age": i})
+        image = producer.export()
+
+        client = NexusClient.in_process(NexusService())
+        downloader = client.open_session("downloader")
+        # Without the credential: slow path, every record validated.
+        slow = TypedObjectStore.import_image(image, schema,
+                                             session=downloader)
+        assert slow.validations == 20
+        # The certifier's statement arrives via the API; fast path.
+        chain_owner = client.open_session("TypeCertifier")
+        label = chain_owner.say("typesafe(remote-jvm)")
+        imported = chain_owner.externalize(label.handle)
+        downloader.import_chain(imported)
+        qualified_speaker = downloader.import_chain(imported).speaker
+        fast = TypedObjectStore.import_image(
+            image, schema, session=downloader,
+            certifier=qualified_speaker)
+        assert fast.validations == 0
+        assert fast.records() == slow.records()
+
+    def test_fauxbook_stack_serves_the_api(self):
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack()
+        raw = msg.InfoRequest().to_bytes()
+        response = stack.request("POST", "/api/v1/info", body=raw)
+        assert response.status == 200
+        decoded = msg.decode_response(response.body)
+        assert decoded.version == "v1"
+
+    def test_fauxbook_unknown_method_is_405(self):
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack()
+        response = stack.request("GET", "/signup")
+        assert response.status == 405
+        assert "POST" in response.headers.get("Allow", "")
+
+    def test_fauxbook_exact_routes_do_not_prefix_match(self):
+        """Migrating onto the Router must not widen /signup et al. into
+        prefix matches."""
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack()
+        assert stack.request("POST", "/signupXYZ",
+                             body=b"eve:pw").status == 404
+        assert stack.request("POST", "/loginXYZ",
+                             body=b"eve:pw").status == 404
+        assert stack.request("POST", "/api/v1/sayXYZ",
+                             body=msg.InfoRequest().to_bytes()
+                             ).status == 404
+
+    def test_non_api_response_reported_as_transport_error(self):
+        """A wrong mount/prefix surfaces the HTTP truth, not a decode
+        failure blamed on the client's own request."""
+        from repro.net.http import Router
+        client = NexusClient.over_http(Router())  # nothing mounted
+        with pytest.raises(ApiError) as excinfo:
+            client.info()
+        assert excinfo.value.code == "E_BAD_RESPONSE"
+        assert "HTTP 404" in str(excinfo.value)
+
+    def test_batch_runs_wallet_prover_once_per_distinct_goal(
+            self, monkeypatch):
+        service = NexusService()
+        client = NexusClient.in_process(service)
+        owner, reader, resource, _ = _world(client)
+        # Transfer the credential into the reader's own store so its
+        # wallet can discharge the goal.
+        owner_store = service.kernel.default_labelstore(
+            service.session(owner.token).pid)
+        reader_store = service.kernel.default_labelstore(
+            service.session(reader.token).pid)
+        for label in list(owner_store):
+            owner_store.transfer(label.handle, reader_store)
+        calls = []
+        original = NexusService._wallet_bundle
+
+        def counting(self, *args, **kwargs):
+            calls.append(args)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(NexusService, "_wallet_bundle", counting)
+        verdicts = reader.authorize_batch(
+            [("read", resource, None, True)] * 32)
+        assert all(v.allow for v in verdicts)
+        assert len(calls) == 1  # one proof search for 32 duplicates

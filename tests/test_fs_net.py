@@ -232,10 +232,18 @@ class TestHTTP:
         assert router.dispatch(HTTPRequest("GET", "/api/x")).body == b"api"
         assert router.dispatch(HTTPRequest("GET", "/other")).body == b"root"
 
-    def test_router_404(self):
+    def test_router_404_for_unknown_path(self):
         router = Router()
         router.add("POST", "/only-post", lambda r: HTTPResponse(200))
-        assert router.dispatch(HTTPRequest("GET", "/only-post")).status == 404
+        assert router.dispatch(HTTPRequest("GET", "/elsewhere")).status == 404
+
+    def test_router_405_for_wrong_method(self):
+        router = Router()
+        router.add("POST", "/only-post", lambda r: HTTPResponse(200))
+        router.add("PUT", "/only-post", lambda r: HTTPResponse(200))
+        response = router.dispatch(HTTPRequest("GET", "/only-post"))
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST, PUT"
 
     def test_malformed_request(self):
         from repro.errors import AppError
