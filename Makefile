@@ -16,11 +16,11 @@ bench:
 ## execute every python snippet in the documentation
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
-	    docs/api.md docs/nal.md
+	    docs/api.md docs/nal.md docs/policy.md
 
 ## docstring coverage for the trusted packages + the service boundary
 lint:
 	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal \
-	    src/repro/api
+	    src/repro/api src/repro/policy
 
 check: lint docs-check test

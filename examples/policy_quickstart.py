@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Policy control plane quickstart: declare, plan, apply, explain, roll back.
+
+Instead of one ``setgoal`` per resource (§2.5), an operator declares a
+versioned PolicySet — rules binding goal templates to resource selectors
+— and drives it through the ``/api/v1/policy/`` endpoints: ``plan``
+shows the exact dry-run diff, ``apply`` installs atomically, ``explain``
+turns a deny into structured data (which goal, which missing label), and
+``rollback`` restores a prior version.  The whole flow runs twice, over
+the in-process and HTTP transports, and must agree exactly.
+
+Run:  python examples/policy_quickstart.py
+"""
+
+from repro.api import NexusClient, NexusService
+from repro.core.credentials import CredentialSet
+from repro.policy import PolicyRule, PolicySet, Selector
+
+
+def run_flow(client: NexusClient, transport_name: str):
+    """Declare → plan → apply → deny+explain → tighten → rollback."""
+    admin = client.open_session("compliance-admin")
+    reader = client.open_session("auditor")
+    for quarter in ("q1", "q2", "q3"):
+        admin.create_resource(f"/reports/{quarter}", "file")
+
+    # v1: one rule covers every report, present and future.
+    v1 = PolicySet(name="reports", description="cleared readers only",
+                   rules=(PolicyRule(
+                       selector=Selector(prefix="/reports/", kind="file"),
+                       operations=("read",),
+                       goal=f"{admin.principal} says cleared(?Subject)"),))
+    version1 = admin.put_policy(v1).version
+
+    plan = admin.plan_policy("reports")
+    print(f"[{transport_name}] dry-run v{plan.version}: "
+          + ", ".join(f"{a.action} {a.resource}" for a in plan.actions))
+    applied = admin.apply_policy("reports")
+    print(f"[{transport_name}] applied v{applied.version}: "
+          f"{applied.set_count} set, {applied.epoch_bumps} epoch bumps")
+
+    # The reader presents a proof claiming a credential nobody issued:
+    # the deny comes back as data naming the exact missing label.
+    goal = reader.goal_for("/reports/q1", "read")
+    claimed = CredentialSet([goal.replace("?Subject", reader.principal)])
+    bundle = claimed.bundle_for(goal.replace("?Subject", reader.principal))
+    denied = reader.explain("read", "/reports/q1", proof=bundle)
+    print(f"[{transport_name}] deny explained: kind={denied.explanation.kind}"
+          f" missing label: {denied.explanation.premise}")
+
+    # The admin actually issues the label; the same proof now discharges.
+    admin.say(f"cleared({reader.principal})")
+    after_label = reader.authorize("read", "/reports/q1", proof=bundle)
+
+    # v2 tightens policy per-resource via the {basename} template: each
+    # report also needs a freshness label naming *that* report.
+    v2 = PolicySet(name="reports", description="cleared + fresh",
+                   rules=(PolicyRule(
+                       selector=Selector(prefix="/reports/", kind="file"),
+                       operations=("read",),
+                       goal=f"{admin.principal} says cleared(?Subject) "
+                            f"and {admin.principal} says fresh({{basename}})"),))
+    admin.put_policy(v2)
+    admin.apply_policy("reports")
+    under_v2 = reader.authorize("read", "/reports/q1", wallet=True)
+    v2_explained = reader.explain("read", "/reports/q1", wallet=True)
+
+    # Rollback restores v1 — and with it the reader's prior verdict.
+    rolled = admin.rollback_policy("reports", version1)
+    versions = admin.policy_versions("reports")
+    restored = reader.authorize("read", "/reports/q1", proof=bundle)
+    print(f"[{transport_name}] v2 deny kind={v2_explained.explanation.kind};"
+          f" rollback to v{rolled.version} (history {versions.versions},"
+          f" active v{versions.active}) -> allow={restored.allow}")
+
+    info = client.info()
+    print(f"[{transport_name}] decision cache: {info.cache['hits']} hits, "
+          f"{info.cache['misses']} misses, "
+          f"{info.cache['goal_invalidations']} goal epoch bumps")
+    return (tuple(a.action for a in plan.actions), applied.set_count,
+            denied.explanation.kind, denied.verdict.allow,
+            after_label.allow, under_v2.allow,
+            v2_explained.explanation.kind, restored.allow)
+
+
+def main() -> None:
+    direct = run_flow(NexusClient.in_process(NexusService()), "in-process")
+    wire = run_flow(NexusClient.over_http(NexusService()), "http")
+    assert direct == wire, "transports must agree"
+    print(f"identical control-plane results over both transports: "
+          f"deny={direct[2]!r}, verdicts "
+          f"{(direct[3], direct[4], direct[5], direct[7])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,9 +18,11 @@ trusted core (§2.4: guards serve any principal, local or remote):
 from repro.api.client import (ClientSession, DirectTransport,
                               HttpTransport, NexusClient, Transport)
 from repro.api.errors import ApiError
-from repro.api.messages import API_VERSION, BatchItem, Verdict
+from repro.api.messages import (API_VERSION, BatchItem, Explanation,
+                                PlanAction, Verdict)
 from repro.api.service import NexusService, Session
 
 __all__ = ["ApiError", "API_VERSION", "BatchItem", "ClientSession",
-           "DirectTransport", "HttpTransport", "NexusClient",
-           "NexusService", "Session", "Transport", "Verdict"]
+           "DirectTransport", "Explanation", "HttpTransport",
+           "NexusClient", "NexusService", "PlanAction", "Session",
+           "Transport", "Verdict"]

@@ -169,8 +169,13 @@ class NexusClient:
                              session.principal)
 
     def info(self) -> msg.InfoResponse:
-        """Service metadata (version, boot id, live session count)."""
+        """Service metadata (version, boot id, live session count,
+        decision-cache counters)."""
         return self.call(msg.InfoRequest(), msg.InfoResponse)
+
+    def index(self) -> msg.IndexResponse:
+        """Discover the API surface: version + mounted endpoint kinds."""
+        return self.call(msg.IndexRequest(), msg.IndexResponse)
 
 
 class ClientSession:
@@ -336,6 +341,76 @@ class ClientSession:
                                                goal=goal),
                               msg.ProveResponse)
         return response.proved
+
+    # -- the policy control plane ---------------------------------------
+
+    @staticmethod
+    def _policy_doc(document) -> Dict[str, Any]:
+        """Accept a PolicySet object or an already-encoded document."""
+        if isinstance(document, dict):
+            return document
+        to_dict = getattr(document, "to_dict", None)
+        if callable(to_dict):
+            return to_dict()
+        raise ApiError("E_BAD_REQUEST",
+                       f"cannot encode policy document {document!r}")
+
+    def put_policy(self, document) -> msg.PolicyVersionResponse:
+        """Store a new version of a policy set (a
+        :class:`~repro.policy.model.PolicySet` or its dict form).
+        Storage only — nothing is applied until :meth:`apply_policy`."""
+        return self._call(msg.PolicyPutRequest(
+            session=self.token, document=self._policy_doc(document)),
+            msg.PolicyVersionResponse)
+
+    def plan_policy(self, name: str,
+                    version: Optional[int] = None
+                    ) -> msg.PolicyPlanResponse:
+        """Dry run: the exact set/clear/keep actions an apply would take."""
+        return self._call(msg.PolicyPlanRequest(
+            session=self.token, name=name, version=version),
+            msg.PolicyPlanResponse)
+
+    def apply_policy(self, name: str, version: Optional[int] = None,
+                     proof: ProofLike = None) -> msg.PolicyApplyResponse:
+        """Atomically install a stored version (default: latest)."""
+        return self._call(msg.PolicyApplyRequest(
+            session=self.token, name=name, version=version,
+            proof=self._proof_doc(proof)), msg.PolicyApplyResponse)
+
+    def rollback_policy(self, name: str, version: int,
+                        proof: ProofLike = None
+                        ) -> msg.PolicyApplyResponse:
+        """Restore a prior version of the named set."""
+        return self._call(msg.PolicyRollbackRequest(
+            session=self.token, name=name, version=version,
+            proof=self._proof_doc(proof)), msg.PolicyApplyResponse)
+
+    def get_policy(self, name: str,
+                   version: Optional[int] = None) -> msg.PolicyDocResponse:
+        """Fetch a stored policy document (default: latest version)."""
+        return self._call(msg.PolicyGetRequest(
+            session=self.token, name=name, version=version),
+            msg.PolicyDocResponse)
+
+    def policy_versions(self, name: str) -> msg.PolicyVersionsResponse:
+        """The stored version history and the active version."""
+        return self._call(msg.PolicyVersionsRequest(
+            session=self.token, name=name), msg.PolicyVersionsResponse)
+
+    def explain(self, operation: str, resource: ResourceLike,
+                proof: ProofLike = None,
+                wallet: bool = False) -> msg.ExplainResponse:
+        """Why is (or isn't) this request denied?  A fresh,
+        cache-bypassing guard evaluation with a structured
+        :class:`~repro.api.messages.Explanation`."""
+        return self._call(msg.ExplainRequest(
+            session=self.token, operation=operation,
+            resource=self._resource_ref(resource),
+            proof=self._proof_doc(proof), wallet=wallet),
+            msg.ExplainResponse)
+
+    # -- introspection ---------------------------------------------------
 
     def stats(self) -> msg.SessionStatsResponse:
         """My per-session counters, as the service sees them."""

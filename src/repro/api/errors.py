@@ -42,6 +42,8 @@ HTTP_STATUS = {
     "E_NO_SUCH_PORT": 404,
     "E_NO_SUCH_RESOURCE": 404,
     "E_UNKNOWN_SYSCALL": 404,
+    "E_POLICY": 400,
+    "E_NO_SUCH_POLICY": 404,
     "E_QUOTA_EXCEEDED": 429,
 }
 

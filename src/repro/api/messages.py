@@ -141,6 +141,94 @@ class Verdict:
                                    default=""))
 
 
+#: The closed set of explanation kinds the wire accepts — kept in sync
+#: with :data:`repro.kernel.guard.EXPLANATION_KINDS` by a test.
+EXPLANATION_KINDS = (
+    "allowed", "default-policy", "no-proof", "proof-rejected",
+    "missing-credential", "authority-denied")
+
+
+@dataclass
+class Explanation:
+    """A structured deny (or allow) account, transport-stable.
+
+    Mirrors :class:`repro.kernel.guard.Explanation`: which goal governed
+    the request, which premise was unsatisfied, which authority
+    declined.  ``kind`` is one of :data:`EXPLANATION_KINDS`; decoding
+    rejects anything outside it, so clients may branch on the kind.
+    """
+
+    kind: str
+    operation: str
+    resource: str
+    goal: Optional[str] = None
+    premise: Optional[str] = None
+    authority: Optional[str] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the explanation."""
+        return {"kind": self.kind, "operation": self.operation,
+                "resource": self.resource, "goal": self.goal,
+                "premise": self.premise, "authority": self.authority,
+                "detail": self.detail}
+
+    @staticmethod
+    def from_dict(data: Any) -> "Explanation":
+        """Decode and validate one explanation object."""
+        if not isinstance(data, dict):
+            raise bad_request("explanation must be an object")
+        kind = _get(data, "kind", (str,))
+        if kind not in EXPLANATION_KINDS:
+            raise bad_request(f"unknown explanation kind {kind!r}")
+        return Explanation(
+            kind=kind,
+            operation=_get(data, "operation", (str,)),
+            resource=_get(data, "resource", (str,)),
+            goal=_get(data, "goal", (str,), required=False),
+            premise=_get(data, "premise", (str,), required=False),
+            authority=_get(data, "authority", (str,), required=False),
+            detail=_get(data, "detail", (str,), required=False,
+                        default=""))
+
+
+@dataclass
+class PlanAction:
+    """One step of a policy plan: set/clear/keep on (resource, op)."""
+
+    action: str
+    resource_id: int
+    resource: str
+    operation: str
+    goal: Optional[str] = None
+    previous: Optional[str] = None
+    guard_port: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the plan step."""
+        return {"action": self.action, "resource_id": self.resource_id,
+                "resource": self.resource, "operation": self.operation,
+                "goal": self.goal, "previous": self.previous,
+                "guard_port": self.guard_port}
+
+    @staticmethod
+    def from_dict(data: Any) -> "PlanAction":
+        """Decode and validate one plan step."""
+        if not isinstance(data, dict):
+            raise bad_request("plan action must be an object")
+        action = _get(data, "action", (str,))
+        if action not in ("set", "clear", "keep"):
+            raise bad_request(f"unknown plan action {action!r}")
+        return PlanAction(
+            action=action,
+            resource_id=_get(data, "resource_id", (int,)),
+            resource=_get(data, "resource", (str,)),
+            operation=_get(data, "operation", (str,)),
+            goal=_get(data, "goal", (str,), required=False),
+            previous=_get(data, "previous", (str,), required=False),
+            guard_port=_get(data, "guard_port", (str,), required=False))
+
+
 @dataclass
 class BatchItem:
     """One entry of an ``authorize_batch`` request.
@@ -498,6 +586,177 @@ class ProveRequest(ApiRequest):
                    goal=_get(payload, "goal", (str,)))
 
 
+# -- the policy control plane (/api/v1/policy/*) ---------------------------
+
+@dataclass
+class PolicyPutRequest(ApiRequest):
+    """Store a new version of a named policy set (no live change)."""
+
+    session: str
+    document: Dict[str, Any]
+
+    KIND = "policy/put"
+
+    def payload(self):
+        return {"session": self.session, "document": self.document}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   document=_get(payload, "document", (dict,)))
+
+
+@dataclass
+class PolicyPlanRequest(ApiRequest):
+    """Dry run: what would applying this version change, exactly?"""
+
+    session: str
+    name: str
+    version: Optional[int] = None
+
+    KIND = "policy/plan"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "version": self.version}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,),
+                                required=False))
+
+
+@dataclass
+class PolicyApplyRequest(ApiRequest):
+    """Atomically install a stored version (default: the latest)."""
+
+    session: str
+    name: str
+    version: Optional[int] = None
+    proof: Optional[Dict[str, Any]] = None
+
+    KIND = "policy/apply"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "version": self.version, "proof": self.proof}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,),
+                                required=False),
+                   proof=_get(payload, "proof", (dict,), required=False))
+
+
+@dataclass
+class PolicyRollbackRequest(ApiRequest):
+    """Restore a prior version (an apply with a mandatory target)."""
+
+    session: str
+    name: str
+    version: int
+    proof: Optional[Dict[str, Any]] = None
+
+    KIND = "policy/rollback"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "version": self.version, "proof": self.proof}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,)),
+                   proof=_get(payload, "proof", (dict,), required=False))
+
+
+@dataclass
+class PolicyGetRequest(ApiRequest):
+    """Fetch a stored policy document (default: the latest version)."""
+
+    session: str
+    name: str
+    version: Optional[int] = None
+
+    KIND = "policy/get"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "version": self.version}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,),
+                                required=False))
+
+
+@dataclass
+class PolicyVersionsRequest(ApiRequest):
+    """List the stored versions of a named set, and which is active."""
+
+    session: str
+    name: str
+
+    KIND = "policy/list-versions"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)))
+
+
+@dataclass
+class ExplainRequest(ApiRequest):
+    """Why would (or did) the guard deny this request?  A fresh,
+    cache-bypassing guard evaluation with a structured explanation."""
+
+    session: str
+    operation: str
+    resource: ResourceRef
+    proof: Optional[Dict[str, Any]] = None
+    wallet: bool = False
+
+    KIND = "policy/explain"
+
+    def payload(self):
+        return {"session": self.session, "operation": self.operation,
+                "resource": self.resource, "proof": self.proof,
+                "wallet": self.wallet}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   operation=_get(payload, "operation", (str,)),
+                   resource=_get_resource(payload),
+                   proof=_get(payload, "proof", (dict,), required=False),
+                   wallet=bool(_get(payload, "wallet", (bool,),
+                                    required=False, default=False)))
+
+
+@dataclass
+class IndexRequest(ApiRequest):
+    """Discover the mounted API surface (also served as ``GET /api/v1/``)."""
+
+    KIND = "index"
+
+    def payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls()
+
+
 @dataclass
 class SessionStatsRequest(ApiRequest):
     """Fetch the per-session counters the service maintains."""
@@ -770,20 +1029,28 @@ class ProveResponse(ApiResponse):
 
 @dataclass
 class SessionStatsResponse(ApiResponse):
-    """Per-session counters: request mix and verdict tallies."""
+    """Per-session counters plus a kernel decision-cache snapshot.
+
+    ``cache`` carries the kernel-global decision-cache counters (hits,
+    misses, epoch bumps — see
+    :meth:`repro.kernel.decision_cache.CacheStats.report`) so a client
+    can correlate its own verdict mix with cache behaviour without a
+    separate introspection channel.
+    """
 
     session: str
     requests: Dict[str, int] = field(default_factory=dict)
     allowed: int = 0
     denied: int = 0
     errors: int = 0
+    cache: Dict[str, Any] = field(default_factory=dict)
 
     KIND = "session_stats_result"
 
     def payload(self):
         return {"session": self.session, "requests": dict(self.requests),
                 "allowed": self.allowed, "denied": self.denied,
-                "errors": self.errors}
+                "errors": self.errors, "cache": dict(self.cache)}
 
     @classmethod
     def from_payload(cls, payload):
@@ -795,28 +1062,198 @@ class SessionStatsResponse(ApiResponse):
                    denied=_get(payload, "denied", (int,),
                                required=False, default=0),
                    errors=_get(payload, "errors", (int,),
-                               required=False, default=0))
+                               required=False, default=0),
+                   cache=_get(payload, "cache", (dict,),
+                              required=False, default={}))
 
 
 @dataclass
 class InfoResponse(ApiResponse):
-    """Service metadata."""
+    """Service metadata plus the decision-cache counters and epochs."""
 
     version: str
     boot_id: str
     sessions: int
+    cache: Dict[str, Any] = field(default_factory=dict)
 
     KIND = "info_result"
 
     def payload(self):
         return {"version": self.version, "boot_id": self.boot_id,
-                "sessions": self.sessions}
+                "sessions": self.sessions, "cache": dict(self.cache)}
 
     @classmethod
     def from_payload(cls, payload):
         return cls(version=_get(payload, "version", (str,)),
                    boot_id=_get(payload, "boot_id", (str,)),
-                   sessions=_get(payload, "sessions", (int,)))
+                   sessions=_get(payload, "sessions", (int,)),
+                   cache=_get(payload, "cache", (dict,),
+                              required=False, default={}))
+
+
+@dataclass
+class IndexResponse(ApiResponse):
+    """The discovery document: API version and mounted request kinds."""
+
+    version: str
+    endpoints: List[str] = field(default_factory=list)
+
+    KIND = "index_result"
+
+    def payload(self):
+        return {"version": self.version,
+                "endpoints": list(self.endpoints)}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "endpoints", (list,))
+        for endpoint in raw:
+            if not isinstance(endpoint, str):
+                raise bad_request("endpoints must be strings")
+        return cls(version=_get(payload, "version", (str,)),
+                   endpoints=list(raw))
+
+
+@dataclass
+class PolicyVersionResponse(ApiResponse):
+    """A stored policy version (the result of a put)."""
+
+    name: str
+    version: int
+
+    KIND = "policy_version"
+
+    def payload(self):
+        return {"name": self.name, "version": self.version}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,)))
+
+
+@dataclass
+class PolicyPlanResponse(ApiResponse):
+    """The dry-run diff: every action an apply of this version takes."""
+
+    name: str
+    version: int
+    actions: List[PlanAction] = field(default_factory=list)
+
+    KIND = "policy_plan"
+
+    def payload(self):
+        return {"name": self.name, "version": self.version,
+                "actions": [action.to_dict() for action in self.actions]}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "actions", (list,))
+        return cls(name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,)),
+                   actions=[PlanAction.from_dict(a) for a in raw])
+
+
+@dataclass
+class PolicyApplyResponse(ApiResponse):
+    """The audit record of an apply or rollback."""
+
+    name: str
+    version: int
+    set_count: int = 0
+    cleared: int = 0
+    unchanged: int = 0
+    epoch_bumps: int = 0
+
+    KIND = "policy_apply_result"
+
+    def payload(self):
+        return {"name": self.name, "version": self.version,
+                "set_count": self.set_count, "cleared": self.cleared,
+                "unchanged": self.unchanged,
+                "epoch_bumps": self.epoch_bumps}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,)),
+                   set_count=_get(payload, "set_count", (int,),
+                                  required=False, default=0),
+                   cleared=_get(payload, "cleared", (int,),
+                                required=False, default=0),
+                   unchanged=_get(payload, "unchanged", (int,),
+                                  required=False, default=0),
+                   epoch_bumps=_get(payload, "epoch_bumps", (int,),
+                                    required=False, default=0))
+
+
+@dataclass
+class PolicyDocResponse(ApiResponse):
+    """One stored policy document, with version bookkeeping."""
+
+    name: str
+    version: int
+    active: Optional[int]
+    document: Dict[str, Any] = field(default_factory=dict)
+
+    KIND = "policy_doc"
+
+    def payload(self):
+        return {"name": self.name, "version": self.version,
+                "active": self.active, "document": self.document}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(name=_get(payload, "name", (str,)),
+                   version=_get(payload, "version", (int,)),
+                   active=_get(payload, "active", (int,), required=False),
+                   document=_get(payload, "document", (dict,)))
+
+
+@dataclass
+class PolicyVersionsResponse(ApiResponse):
+    """The stored version history of a named set."""
+
+    name: str
+    versions: List[int] = field(default_factory=list)
+    active: Optional[int] = None
+
+    KIND = "policy_versions"
+
+    def payload(self):
+        return {"name": self.name, "versions": list(self.versions),
+                "active": self.active}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "versions", (list,))
+        for version in raw:
+            if isinstance(version, bool) or not isinstance(version, int):
+                raise bad_request("versions must be integers")
+        return cls(name=_get(payload, "name", (str,)),
+                   versions=list(raw),
+                   active=_get(payload, "active", (int,), required=False))
+
+
+@dataclass
+class ExplainResponse(ApiResponse):
+    """A verdict plus its structured explanation."""
+
+    verdict: Verdict
+    explanation: Explanation
+
+    KIND = "explain_result"
+
+    def payload(self):
+        return {"verdict": self.verdict.to_dict(),
+                "explanation": self.explanation.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(verdict=Verdict.from_dict(_get(payload, "verdict",
+                                                  (dict,))),
+                   explanation=Explanation.from_dict(
+                       _get(payload, "explanation", (dict,))))
 
 
 # --------------------------------------------------------------------------
@@ -830,6 +1267,9 @@ REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
         GetGoalRequest, AuthorizeRequest, AuthorizeBatchRequest,
         CreatePortRequest, IpcSendRequest, IpcSendBatchRequest,
         ExternalizeRequest, ImportChainRequest, ProveRequest,
+        PolicyPutRequest, PolicyPlanRequest, PolicyApplyRequest,
+        PolicyRollbackRequest, PolicyGetRequest, PolicyVersionsRequest,
+        ExplainRequest, IndexRequest,
         SessionStatsRequest, InfoRequest)}
 
 RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
@@ -837,7 +1277,10 @@ RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
         ErrorResponse, SessionResponse, LabelResponse, ResourceResponse,
         AckResponse, GoalResponse, AuthorizeResponse,
         AuthorizeBatchResponse, PortResponse, IpcSendResponse,
-        ChainResponse, ProveResponse, SessionStatsResponse, InfoResponse)}
+        ChainResponse, ProveResponse, SessionStatsResponse, InfoResponse,
+        IndexResponse, PolicyVersionResponse, PolicyPlanResponse,
+        PolicyApplyResponse, PolicyDocResponse, PolicyVersionsResponse,
+        ExplainResponse)}
 
 
 def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]

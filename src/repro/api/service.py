@@ -24,17 +24,18 @@ from __future__ import annotations
 import json
 import secrets
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api import codec, messages as msg
 from repro.api.errors import (ApiError, E_NO_SUCH_SESSION, bad_request,
                               from_exception)
-from repro.core.attestation import wallet_bundle
+from repro.core.attestation import kernel_wallet_bundle
 from repro.core.credentials import CredentialSet
-from repro.kernel.guard import GuardDecision
+from repro.kernel.guard import Explanation, GuardDecision
 from repro.kernel.kernel import NexusKernel
 from repro.kernel.resources import Resource
 from repro.nal.proof import ProofBundle
+from repro.policy import PolicySet
 
 #: Default mount point of the wire API.
 API_PREFIX = f"/api/{msg.API_VERSION}"
@@ -95,6 +96,14 @@ class NexusService:
             msg.ExternalizeRequest.KIND: self._externalize,
             msg.ImportChainRequest.KIND: self._import_chain,
             msg.ProveRequest.KIND: self._prove,
+            msg.PolicyPutRequest.KIND: self._policy_put,
+            msg.PolicyPlanRequest.KIND: self._policy_plan,
+            msg.PolicyApplyRequest.KIND: self._policy_apply,
+            msg.PolicyRollbackRequest.KIND: self._policy_rollback,
+            msg.PolicyGetRequest.KIND: self._policy_get,
+            msg.PolicyVersionsRequest.KIND: self._policy_versions,
+            msg.ExplainRequest.KIND: self._explain,
+            msg.IndexRequest.KIND: self._index,
             msg.SessionStatsRequest.KIND: self._session_stats,
             msg.InfoRequest.KIND: self._info,
         }
@@ -205,6 +214,17 @@ class NexusService:
             router.add("POST", f"{prefix}/{kind}", endpoint(kind),
                        exact=True)
 
+        def index(_request: HTTPRequest) -> HTTPResponse:
+            # The discovery document: clients GET the mount root to learn
+            # the API version and every endpoint kind served here.
+            response = self._index(None, msg.IndexRequest())
+            return HTTPResponse(
+                status=200, body=response.to_bytes(),
+                headers={"Content-Type": "application/json"})
+
+        router.add("GET", f"{prefix}/", index, exact=True)
+        router.add("GET", prefix, index, exact=True)
+
     def router(self, prefix: str = API_PREFIX):
         """A standalone Router with the whole API mounted."""
         from repro.net.http import Router
@@ -283,16 +303,11 @@ class NexusService:
     def _wallet_bundle(self, session: Session, operation: str,
                        resource: Resource) -> Optional[ProofBundle]:
         """Build a proof from the session's labelstore via the shared
-        client-side flow (:func:`repro.core.attestation.wallet_bundle`),
-        so the API instantiates goals exactly as the guard will."""
-        entry = self.kernel.default_guard.goals.get(resource.resource_id,
-                                                    operation)
-        if entry is None:
-            return None
-        subject = self.kernel.processes.get(session.pid).principal
-        store = self.kernel.default_labelstore(session.pid)
-        return wallet_bundle(entry.formula, subject, resource,
-                             CredentialSet(store.formulas()))
+        service-side flow
+        (:func:`repro.core.attestation.kernel_wallet_bundle`), so the
+        API instantiates goals exactly as the guard will."""
+        return kernel_wallet_bundle(self.kernel, session.pid, operation,
+                                    resource)
 
     def _request_bundle(self, session: Session, operation: str,
                         resource: Resource, proof: Optional[dict],
@@ -395,7 +410,94 @@ class NexusService:
         return msg.ProveResponse(
             proved=wallet.try_bundle_for(goal) is not None)
 
+    # -- the policy control plane ---------------------------------------
+
+    def _policy_put(self, _session: Session,
+                    request: msg.PolicyPutRequest
+                    ) -> msg.PolicyVersionResponse:
+        policy_set = PolicySet.from_dict(request.document)
+        version = self.kernel.policies.put(policy_set)
+        return msg.PolicyVersionResponse(name=policy_set.name,
+                                         version=version)
+
+    def _policy_plan(self, _session: Session,
+                     request: msg.PolicyPlanRequest
+                     ) -> msg.PolicyPlanResponse:
+        engine = self.kernel.policies
+        version = (request.version if request.version is not None
+                   else engine.versions(request.name)[-1])
+        actions = engine.plan(request.name, version)
+        return msg.PolicyPlanResponse(
+            name=request.name, version=version,
+            actions=[msg.PlanAction(**action.to_dict())
+                     for action in actions])
+
+    def _policy_apply(self, session: Session,
+                      request: msg.PolicyApplyRequest
+                      ) -> msg.PolicyApplyResponse:
+        bundle = codec.maybe_decode_bundle(request.proof)
+        result = self.kernel.policies.apply(session.pid, request.name,
+                                            request.version, bundle=bundle)
+        return self._apply_response(result)
+
+    def _policy_rollback(self, session: Session,
+                         request: msg.PolicyRollbackRequest
+                         ) -> msg.PolicyApplyResponse:
+        bundle = codec.maybe_decode_bundle(request.proof)
+        result = self.kernel.policies.rollback(session.pid, request.name,
+                                               request.version,
+                                               bundle=bundle)
+        return self._apply_response(result)
+
+    @staticmethod
+    def _apply_response(result) -> msg.PolicyApplyResponse:
+        """Engine audit record → wire response."""
+        return msg.PolicyApplyResponse(
+            name=result.name, version=result.version,
+            set_count=result.set_count, cleared=result.cleared,
+            unchanged=result.unchanged, epoch_bumps=result.epoch_bumps)
+
+    def _policy_get(self, _session: Session,
+                    request: msg.PolicyGetRequest) -> msg.PolicyDocResponse:
+        engine = self.kernel.policies
+        version = (request.version if request.version is not None
+                   else engine.versions(request.name)[-1])
+        policy_set = engine.get(request.name, version)
+        return msg.PolicyDocResponse(
+            name=request.name, version=version,
+            active=engine.active_version(request.name),
+            document=policy_set.to_dict())
+
+    def _policy_versions(self, _session: Session,
+                         request: msg.PolicyVersionsRequest
+                         ) -> msg.PolicyVersionsResponse:
+        engine = self.kernel.policies
+        return msg.PolicyVersionsResponse(
+            name=request.name, versions=engine.versions(request.name),
+            active=engine.active_version(request.name))
+
+    def _explain(self, session: Session,
+                 request: msg.ExplainRequest) -> msg.ExplainResponse:
+        resource = self._resolve(request.resource)
+        bundle = self._request_bundle(session, request.operation, resource,
+                                      request.proof, request.wallet)
+        decision = self.kernel.explain(session.pid, request.operation,
+                                       resource.resource_id, bundle)
+        session.record_verdict(decision)
+        return msg.ExplainResponse(
+            verdict=_verdict(decision),
+            explanation=_explanation(decision.explanation))
+
     # -- introspection ---------------------------------------------------
+
+    def _index(self, _session, _request: msg.IndexRequest
+               ) -> msg.IndexResponse:
+        return msg.IndexResponse(version=self.VERSION,
+                                 endpoints=sorted(self._handlers))
+
+    def _cache_snapshot(self) -> Dict[str, Any]:
+        """The kernel decision-cache counters, as a wire-safe dict."""
+        return self.kernel.decision_cache.snapshot()
 
     def _session_stats(self, session: Session,
                        _request: msg.SessionStatsRequest
@@ -403,15 +505,29 @@ class NexusService:
         return msg.SessionStatsResponse(
             session=session.token, requests=dict(session.stats),
             allowed=session.allowed, denied=session.denied,
-            errors=session.errors)
+            errors=session.errors, cache=self._cache_snapshot())
 
     def _info(self, _session, _request: msg.InfoRequest) -> msg.InfoResponse:
         return msg.InfoResponse(version=self.VERSION,
                                 boot_id=self.kernel.boot.boot_id(),
-                                sessions=len(self._sessions))
+                                sessions=len(self._sessions),
+                                cache=self._cache_snapshot())
 
 
 def _verdict(decision: GuardDecision) -> msg.Verdict:
     """Kernel decision → wire verdict."""
     return msg.Verdict(allow=decision.allow, cacheable=decision.cacheable,
                        reason=decision.reason)
+
+
+def _explanation(explanation: Optional[Explanation]) -> msg.Explanation:
+    """Guard explanation → wire explanation.
+
+    :meth:`NexusKernel.explain` always evaluates the guard freshly, so
+    the explanation is present by construction; the defensive branch
+    keeps the endpoint total if a custom guard forgets to attach one.
+    """
+    if explanation is None:
+        return msg.Explanation(kind="allowed", operation="", resource="",
+                               detail="guard attached no explanation")
+    return msg.Explanation(**explanation.to_dict())

@@ -29,12 +29,47 @@ from repro.nal.proof import Assume, ProofBundle
 from repro.net.http import (HTTPRequest, HTTPResponse, Router,
                             parse_request)
 from repro.net.udp import PolicyCheckMonitor
+from repro.policy import PolicyRule, PolicySet, Selector
 from repro.storage.ssr import SecureStorageRegion
 from repro.storage.vkey import VKeyManager
 
 ACCESS_MODES = ("none", "static", "dynamic")
 STORAGE_MODES = ("none", "hash", "decrypt")
 MONITOR_MODES = (None, "kernel", "user")
+
+#: Per-mode goal templates for static content: the one declarative rule
+#: that replaces the per-file ``setgoal`` sequence the stack used to run.
+ACCESS_GOALS = {
+    "none": "true",
+    "static": "WWWOwner says mayServe(?Subject)",
+    "dynamic": "name.webserver says user = visitor",
+}
+
+
+def access_policy(access_control: str) -> PolicySet:
+    """The stack's declarative access policy for static content.
+
+    One rule over the whole ``/fs/`` subtree: every static file, present
+    or future, gets the mode's ``serve`` goal — applying the set after a
+    new upload covers it, no imperative per-file ``setgoal``.
+    """
+    return PolicySet(
+        name="www-access",
+        description=f"fauxbook static content, mode={access_control}",
+        rules=(PolicyRule(selector=Selector(prefix="/fs/", kind="file"),
+                          operations=("serve",),
+                          goal=ACCESS_GOALS[access_control]),))
+
+
+def monitor_policy() -> PolicySet:
+    """The reference-monitor consent policy (drv_policy on /policy/www)."""
+    return PolicySet(
+        name="www-monitor",
+        description="per-request driver-policy check for the web server",
+        rules=(PolicyRule(selector=Selector(name="/policy/www",
+                                            kind="policy"),
+                          operations=("drv_policy",),
+                          goal="Certifier says compliant(?Subject)"),))
 
 
 class FauxbookStack:
@@ -76,6 +111,9 @@ class FauxbookStack:
         # same kernel that guards the pages serves authorization as a
         # service to remote principals.
         self.api = NexusService(self.kernel)
+        # Access policy is *declared* once as a versioned PolicySet;
+        # every put_file re-applies it so new content is covered.
+        self.kernel.policies.put(access_policy(access_control))
         self.router = self._build_router()
         self._lockdown()
         if ref_monitor is not None:
@@ -96,8 +134,8 @@ class FauxbookStack:
         kernel = self.kernel
         policy = kernel.resources.create("/policy/www", "policy",
                                          self.server.principal)
-        kernel.sys_setgoal(self.server.pid, policy.resource_id, "drv_policy",
-                           "Certifier says compliant(?Subject)")
+        kernel.policies.put(monitor_policy())
+        kernel.policies.apply(self.server.pid, "www-monitor")
         cred = kernel.say_as(
             "Certifier", f"compliant({self.server.path})",
             store=kernel.default_labelstore(self.server.pid)).formula
@@ -121,8 +159,10 @@ class FauxbookStack:
     # -- static content management ------------------------------------------------
 
     def put_file(self, path: str, data: bytes) -> None:
-        """Install a static file under the configured storage mode and,
-        per the access-control mode, attach its goal formula."""
+        """Install a static file under the configured storage mode, then
+        extend the declared access PolicySet to the new resource (a full
+        apply the first time, the O(rules) incremental ``cover`` after —
+        bulk installs stay linear in the file count)."""
         if self.storage_mode == "none":
             self.fs.raw_write(path, data, owner_pid=self.server.pid)
         else:
@@ -132,7 +172,12 @@ class FauxbookStack:
             resource = self.kernel.resources.create(
                 f"/fs{path}", "file", self.server.principal, payload=path)
         self._static_resource_ids[path] = resource.resource_id
-        self._configure_access(path, resource.resource_id)
+        engine = self.kernel.policies
+        if engine.active_version("www-access") is None:
+            engine.apply(self.server.pid, "www-access")
+        else:
+            engine.cover(self.server.pid, "www-access", resource)
+        self._register_client_proof(path, resource.resource_id)
 
     def _put_ssr(self, path: str, data: bytes) -> None:
         block_size = 1024  # the paper's Fauxbook blocksize
@@ -148,14 +193,13 @@ class FauxbookStack:
         self._ssrs[path] = ssr
         self._ssr_lengths[path] = len(data)
 
-    def _configure_access(self, path: str, resource_id: int) -> None:
+    def _register_client_proof(self, path: str, resource_id: int) -> None:
+        """The client-side half the PolicySet cannot (and must not)
+        declare: pre-registering each subject's proof of the goal."""
         kernel = self.kernel
         if self.access_control == "none":
-            kernel.sys_setgoal(self.server.pid, resource_id, "serve", "true")
             return
         if self.access_control == "static":
-            kernel.sys_setgoal(self.server.pid, resource_id, "serve",
-                               "WWWOwner says mayServe(?Subject)")
             cred = kernel.say_as(
                 "WWWOwner", f"mayServe({self._client.path})",
                 store=kernel.default_labelstore(self.server.pid)).formula
@@ -164,8 +208,6 @@ class FauxbookStack:
                                  bundle)
             return
         # dynamic: every request consults the embedded session authority.
-        kernel.sys_setgoal(self.server.pid, resource_id, "serve",
-                           "name.webserver says user = visitor")
         from repro.nal.parser import parse
         from repro.nal.proof import AuthorityQuery
         statement = parse("name.webserver says user = visitor")

@@ -22,6 +22,66 @@ from repro.nal.parser import parse
 
 _TYPE_TABLE = {"int": int, "str": str, "bool": bool, "float": float}
 
+#: Where published store images live in the kernel resource tree, and
+#: the guarded operation the policy plane protects.
+STORE_RESOURCE_PREFIX = "/stores/"
+STORE_IMPORT_OPERATION = "import"
+STORE_POLICY_NAME = "typed-object-store"
+
+
+def store_policy(certifier: str = "TypeCertifier",
+                 prefix: str = STORE_RESOURCE_PREFIX):
+    """The store's access policy as one declarative PolicySet.
+
+    A single rule over every ``store`` resource under ``prefix``: the
+    ``import`` fast path demands ``certifier says typesafe(<producer>)``,
+    where the producer is recovered from the resource name via the
+    ``{basename}`` template placeholder (``/stores/jvm`` → ``jvm``).
+    One declaration covers every store ever published — the per-store
+    ``setgoal`` sequence this replaces grew linearly with producers.
+    """
+    from repro.policy import PolicyRule, PolicySet, Selector
+    return PolicySet(
+        name=STORE_POLICY_NAME,
+        description="transitive-integrity fast path for typed stores",
+        rules=(PolicyRule(
+            selector=Selector(prefix=prefix, kind="store"),
+            operations=(STORE_IMPORT_OPERATION,),
+            goal=f"{certifier} says typesafe({{basename}})"),))
+
+
+def install_store_policy(kernel, pid: int,
+                         certifier: str = "TypeCertifier",
+                         prefix: str = STORE_RESOURCE_PREFIX) -> int:
+    """Declare + apply the store policy; returns the stored version."""
+    version = kernel.policies.put(store_policy(certifier, prefix))
+    kernel.policies.apply(pid, STORE_POLICY_NAME, version)
+    return version
+
+
+def publish_store(kernel, pid: int, image: "StoreImage",
+                  prefix: str = STORE_RESOURCE_PREFIX):
+    """Register an importable store image as a guarded kernel resource.
+
+    The resource is named for its producer, then the declared PolicySet
+    is re-applied so the new store is governed immediately.
+    """
+    owner = kernel.processes.get(pid).principal
+    name = f"{prefix}{image.producer}"
+    resource = kernel.resources.find(name)
+    if resource is None:
+        resource = kernel.resources.create(name, "store", owner,
+                                           payload=image)
+    kernel.policies.apply(pid, STORE_POLICY_NAME)
+    return resource
+
+
+def _wallet_proof(kernel, pid: int, resource):
+    """Build the subject's proof for the store goal from its labelstore."""
+    from repro.core.attestation import kernel_wallet_bundle
+    return kernel_wallet_bundle(kernel, pid, STORE_IMPORT_OPERATION,
+                                resource)
+
 
 @dataclass(frozen=True)
 class Schema:
@@ -96,6 +156,27 @@ class TypedObjectStore:
                           payload=payload, digest=sha256(payload))
 
     @staticmethod
+    def _decode_image(image: StoreImage, schema: Schema) -> dict:
+        """Shared integrity + schema gate for every import path."""
+        image.verify_digest()
+        body = json.loads(image.payload.decode())
+        if tuple(map(tuple, body["schema"])) != schema.fields:
+            raise IntegrityError("schema mismatch on import")
+        return body
+
+    @staticmethod
+    def _populate(store: "TypedObjectStore", records,
+                  fast: bool) -> "TypedObjectStore":
+        """Fill the store, skipping per-record validation on the fast
+        path (transitive integrity, §4)."""
+        if fast:
+            store._records = [dict(r) for r in records]
+        else:
+            for record in records:
+                store.put(record)
+        return store
+
+    @staticmethod
     def import_image(image: StoreImage, schema: Schema,
                      credentials: Optional[CredentialSet] = None,
                      certifier: str = "TypeCertifier",
@@ -111,10 +192,7 @@ class TypedObjectStore:
         asked to discharge the goal remotely.
         Slow path: validate every record of untrusted input.
         """
-        image.verify_digest()
-        body = json.loads(image.payload.decode())
-        if tuple(map(tuple, body["schema"])) != schema.fields:
-            raise IntegrityError("schema mismatch on import")
+        body = TypedObjectStore._decode_image(image, schema)
         store = TypedObjectStore(schema, producer=image.producer)
         goal_text = f"{certifier} says typesafe({image.producer})"
         fast = False
@@ -122,9 +200,29 @@ class TypedObjectStore:
             fast = session.prove(goal_text)
         elif credentials is not None:
             fast = credentials.try_bundle_for(parse(goal_text)) is not None
-        if fast:
-            store._records = [dict(r) for r in body["records"]]
-        else:
-            for record in body["records"]:
-                store.put(record)
-        return store
+        return TypedObjectStore._populate(store, body["records"], fast)
+
+    @staticmethod
+    def import_guarded(image: StoreImage, schema: Schema, kernel,
+                       pid: int, resource,
+                       bundle=None) -> "TypedObjectStore":
+        """The policy-plane deployment: the fast path is a *kernel*
+        verdict under the declared store PolicySet, not an app-local
+        wallet check.
+
+        ``resource`` is the published store resource (see
+        :func:`publish_store`); the importing process ``pid`` is the
+        subject.  When no ``bundle`` is supplied, a proof is searched in
+        the subject's own labelstore.  A deny is not an error — it
+        selects the slow path, exactly like a missing credential did in
+        the imperative deployment (denial is data; ask the kernel's
+        ``explain`` why).
+        """
+        body = TypedObjectStore._decode_image(image, schema)
+        store = TypedObjectStore(schema, producer=image.producer)
+        if bundle is None:
+            bundle = _wallet_proof(kernel, pid, resource)
+        decision = kernel.authorize(pid, STORE_IMPORT_OPERATION,
+                                    resource.resource_id, bundle)
+        return TypedObjectStore._populate(store, body["records"],
+                                          bool(decision.allow))

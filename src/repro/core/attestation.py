@@ -147,6 +147,27 @@ def wallet_bundle(goal: Formula, subject, resource: Resource,
         return None
 
 
+def kernel_wallet_bundle(kernel, pid: int, operation: str,
+                         resource: Resource) -> Optional[ProofBundle]:
+    """Build a subject's proof for (operation, resource) from its own
+    labelstore — the one service-side wallet path.
+
+    Shared by the API's ``wallet=True`` handling and app deployments
+    (e.g. the typed object store's guarded import), so every layer
+    resolves the goal and instantiates it exactly as the guard will.
+    Returns ``None`` when no goal is set or the wallet cannot discharge
+    it — present nothing, and the guard will say why.
+    """
+    entry = kernel.default_guard.goals.get(resource.resource_id,
+                                           operation)
+    if entry is None:
+        return None
+    subject = kernel.processes.get(pid).principal
+    store = kernel.default_labelstore(pid)
+    return wallet_bundle(entry.formula, subject, resource,
+                         CredentialSet(store.formulas()))
+
+
 def parse_resource_term(resource: Resource):
     """Deprecated alias for :func:`repro.kernel.guard.resource_term`."""
     from repro.kernel.guard import resource_term

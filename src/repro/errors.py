@@ -170,6 +170,18 @@ class InterpositionError(KernelError):
     code = "E_INTERPOSITION"
 
 
+class PolicyError(KernelError):
+    """A policy document is malformed or cannot be planned/applied."""
+
+    code = "E_POLICY"
+
+
+class NoSuchPolicy(PolicyError):
+    """Referenced policy set (or version of one) does not exist."""
+
+    code = "E_NO_SUCH_POLICY"
+
+
 class QuotaExceeded(KernelError):
     """A per-principal quota (e.g. guard-cache entries) was exhausted."""
 

@@ -16,6 +16,7 @@ from repro.kernel.authority import (
 )
 from repro.kernel.decision_cache import CacheStats, DecisionCache
 from repro.kernel.guard import (
+    Explanation,
     Guard,
     GuardCache,
     GuardDecision,
@@ -43,6 +44,7 @@ __all__ = [
     "Authority", "AuthorityRegistry", "CallableAuthority", "ClockAuthority",
     "StatementSetAuthority",
     "CacheStats", "DecisionCache",
+    "Explanation",
     "Guard", "GuardCache", "GuardDecision", "GuardRequest", "GoalStore",
     "RESOURCE_VAR", "SUBJECT_VAR",
     "CallDecision", "Redirector", "ReferenceMonitor",

@@ -237,6 +237,21 @@ class DecisionCache:
 
     # -- accounting -----------------------------------------------------------
 
+    def snapshot(self) -> Dict[str, float]:
+        """Counters plus live epoch state, as one wire-safe flat dict.
+
+        This is what the service's ``info`` and ``session_stats``
+        endpoints publish: the :meth:`CacheStats.report` counters
+        extended with the *current* policy epoch, the number of live
+        goal-epoch counters, and the shard count — enough to reason
+        about invalidation behaviour from outside the kernel.
+        """
+        snapshot: Dict[str, float] = dict(self.stats.report())
+        snapshot["policy_epoch"] = self._policy_epoch
+        snapshot["goal_epochs_tracked"] = len(self._goal_epochs)
+        snapshot["shards"] = len(self._shards)
+        return snapshot
+
     def shard_sizes(self) -> List[int]:
         """Live entries per shard — the distribution a rebalance would read."""
         return [sum(1 for key, entry in shard.items()

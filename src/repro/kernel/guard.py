@@ -36,12 +36,64 @@ RESOURCE_VAR = Var("Resource")
 
 
 @dataclass(frozen=True)
+class Explanation:
+    """A structured account of a guard verdict — deny as *data*.
+
+    Instead of a free-text reason, the guard reports exactly which stage
+    of Figure 1 failed, so callers (and the ``policy/explain`` API
+    endpoint) can program against it:
+
+    * ``kind`` — one of :data:`EXPLANATION_KINDS`;
+    * ``goal`` — the instantiated goal text that governed the request
+      (``None`` under the default owner policy);
+    * ``premise`` — the unsatisfied premise: the missing credential
+      formula, or the authority-queried statement that was declined;
+    * ``authority`` — the authority port that declined, if one did;
+    * ``detail`` — a human-readable elaboration (never parsed).
+    """
+
+    kind: str
+    operation: str
+    resource: str
+    goal: Optional[str] = None
+    premise: Optional[str] = None
+    authority: Optional[str] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        """Plain-dict form (what the API codecs serialize)."""
+        return {"kind": self.kind, "operation": self.operation,
+                "resource": self.resource, "goal": self.goal,
+                "premise": self.premise, "authority": self.authority,
+                "detail": self.detail}
+
+
+#: The closed set of explanation kinds the guard can report.
+EXPLANATION_KINDS = (
+    "allowed",             # the proof discharged the goal
+    "default-policy",      # no goal set; subject is not the owner
+    "no-proof",            # a goal is set but no proof was supplied
+    "proof-rejected",      # proof unsound or does not discharge the goal
+    "missing-credential",  # a premise was not presented or not authentic
+    "authority-denied",    # a dynamic leaf's authority declined
+)
+
+
+@dataclass(frozen=True)
 class GuardDecision:
-    """What the guard reports back to the kernel (Figure 1: allow + cache)."""
+    """What the guard reports back to the kernel (Figure 1: allow + cache).
+
+    ``explanation`` is populated on every fresh guard evaluation;
+    decisions replayed from the kernel decision cache carry ``None``
+    (the cache stores only the verdict bit — use
+    :meth:`~repro.kernel.kernel.NexusKernel.explain` for a guaranteed
+    explanation).
+    """
 
     allow: bool
     cacheable: bool
     reason: str = ""
+    explanation: Optional[Explanation] = None
 
     def __bool__(self):
         return self.allow
@@ -187,48 +239,77 @@ class Guard:
         self.upcalls += 1
         entry = self.goals.get(resource.resource_id, operation)
         if entry is None:
-            return self._default_policy(subject, resource)
+            return self._default_policy(subject, operation, resource)
 
         goal = entry.formula
         if isinstance(goal, TrueFormula):
             # An explicit ALLOW goal: no proof needed.
-            return GuardDecision(allow=True, cacheable=True, reason="allow")
-
-        if bundle is None:
-            # Deny, cacheably: the entry is invalidated when the subject
-            # registers a proof (sys_set_proof), so caching is sound.
-            return GuardDecision(allow=False, cacheable=True,
-                                 reason="no proof supplied")
+            return GuardDecision(
+                allow=True, cacheable=True, reason="allow",
+                explanation=Explanation("allowed", operation, resource.name,
+                                        goal=str(goal),
+                                        detail="explicit ALLOW goal"))
 
         # Instantiate the guard-evaluation variables (§2.5).
         instantiated = goal.substitute({
             SUBJECT_VAR: subject,
             RESOURCE_VAR: _resource_term(resource),
         })
+        goal_text = str(instantiated)
+
+        if bundle is None:
+            # Deny, cacheably: the entry is invalidated when the subject
+            # registers a proof (sys_set_proof), so caching is sound.
+            return GuardDecision(
+                allow=False, cacheable=True, reason="no proof supplied",
+                explanation=Explanation(
+                    "no-proof", operation, resource.name, goal=goal_text,
+                    detail="a goal formula is set and no proof was "
+                           "supplied or pre-registered"))
 
         result = self._check_proof(bundle, instantiated, subject_root)
         if result is None:
             # Unsound proofs deny cacheably: only a proof update can
             # change the outcome, and that invalidates the entry (§2.8).
-            return GuardDecision(allow=False, cacheable=True,
-                                 reason="proof is not sound or does not "
-                                        "discharge the goal")
+            return GuardDecision(
+                allow=False, cacheable=True,
+                reason="proof is not sound or does not discharge the goal",
+                explanation=Explanation(
+                    "proof-rejected", operation, resource.name,
+                    goal=goal_text,
+                    detail="the presented proof is unsound or its "
+                           "conclusion does not match the goal"))
 
         missing = self._verify_credentials(result, bundle)
         if missing is not None:
             # Credential matching is never cached (§5.2): a label may be
             # deposited at any time, which no cache invalidation observes.
-            return GuardDecision(allow=False, cacheable=False,
-                                 reason=f"credential not available: {missing}")
+            formula, why = missing
+            return GuardDecision(
+                allow=False, cacheable=False,
+                reason=f"credential not available: {formula}",
+                explanation=Explanation(
+                    "missing-credential", operation, resource.name,
+                    goal=goal_text, premise=str(formula), detail=why))
 
         for port, formula in result.authority_queries:
             if not self.authorities.query(port, formula):
                 return GuardDecision(
                     allow=False, cacheable=False,
-                    reason=f"authority {port} denied {formula}")
+                    reason=f"authority {port} denied {formula}",
+                    explanation=Explanation(
+                        "authority-denied", operation, resource.name,
+                        goal=goal_text, premise=str(formula),
+                        authority=port,
+                        detail=f"authority on port {port!r} declined the "
+                               f"queried statement"))
 
-        return GuardDecision(allow=True, cacheable=result.cacheable,
-                             reason="proof discharges goal")
+        return GuardDecision(
+            allow=True, cacheable=result.cacheable,
+            reason="proof discharges goal",
+            explanation=Explanation("allowed", operation, resource.name,
+                                    goal=goal_text,
+                                    detail="proof discharges goal"))
 
     def check_many(self,
                    requests: Sequence[GuardRequest]) -> List[GuardDecision]:
@@ -263,15 +344,24 @@ class Guard:
 
     # ------------------------------------------------------------------
 
-    def _default_policy(self, subject: Principal,
+    def _default_policy(self, subject: Principal, operation: str,
                         resource: Resource) -> GuardDecision:
         owner = resource.owner
         if subject == owner or subject.is_ancestor_of(owner):
-            return GuardDecision(allow=True, cacheable=True,
-                                 reason="default policy: owner")
-        return GuardDecision(allow=False, cacheable=True,
-                             reason="default policy: not the owner or its "
-                                    "resource manager")
+            return GuardDecision(
+                allow=True, cacheable=True, reason="default policy: owner",
+                explanation=Explanation("allowed", operation, resource.name,
+                                        detail="default policy: subject "
+                                               "owns the resource"))
+        return GuardDecision(
+            allow=False, cacheable=True,
+            reason="default policy: not the owner or its resource manager",
+            explanation=Explanation(
+                "default-policy", operation, resource.name,
+                premise=f"{owner} says {operation}",
+                detail=f"no goal formula is set; the default policy "
+                       f"admits only the owner ({owner}) or its "
+                       f"resource manager"))
 
     def _check_proof(self, bundle: ProofBundle, goal: Formula,
                      subject_root: Hashable) -> Optional[CheckResult]:
@@ -296,20 +386,25 @@ class Guard:
         return result
 
     def _verify_credentials(self, result: CheckResult,
-                            bundle: ProofBundle) -> Optional[Formula]:
+                            bundle: ProofBundle
+                            ) -> Optional[Tuple[Formula, str]]:
         """Every assumption must be presented *and* authentic.
 
-        Returns the first missing credential, or None when all discharge.
-        Authenticity means the exact label exists in some labelstore —
-        labels enter stores only via the attributed `say` syscall or via a
-        verified certificate import, so membership is authenticity.
+        Returns ``(formula, why)`` for the first failing credential —
+        distinguishing *not presented* from *presented but backed by no
+        label* — or None when all discharge.  Authenticity means the
+        exact label exists in some labelstore: labels enter stores only
+        via the attributed `say` syscall or via a verified certificate
+        import, so membership is authenticity.
         """
         supplied = set(bundle.credentials)
         for assumption in result.assumptions:
             if assumption not in supplied:
-                return assumption
+                return assumption, ("the proof assumes this credential "
+                                    "but the bundle does not present it")
             if not self.labels.holds(assumption):
-                return assumption
+                return assumption, ("the presented credential is backed "
+                                    "by no label in any labelstore")
         return None
 
 

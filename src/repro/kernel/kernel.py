@@ -91,6 +91,10 @@ class NexusKernel:
                                    cache=GuardCache())
         self._guards: Dict[str, Guard] = {"default": self.default_guard}
         self.interpose_syscalls = interpose_syscalls
+        # The declarative control plane over the goalstore (imported
+        # lazily: repro.policy sits above the kernel in the layering).
+        from repro.policy.engine import PolicyEngine
+        self.policies = PolicyEngine(self)
 
         self._default_store: Dict[int, LabelStore] = {}
         self._syscalls: Dict[str, Callable] = dict(self._SYSCALLS)
@@ -312,6 +316,91 @@ class NexusKernel:
         self.default_guard.goals.clear_goal(resource_id, operation)
         self.decision_cache.invalidate_goal(operation, resource_id)
 
+    def apply_policy(self, pid: int,
+                     changes: Sequence[Tuple],
+                     bundle: Optional[ProofBundle] = None) -> Dict[str, int]:
+        """Install a batch of goal changes atomically — the control
+        plane's data path (contrast one-at-a-time :meth:`sys_setgoal`).
+
+        ``changes`` is a sequence of ``(resource_id, operation, goal,
+        guard_port)`` tuples; ``goal`` is NAL text, a parsed formula, or
+        ``None`` to clear.  Three-phase, all-or-nothing:
+
+        1. **validate** — every resource must exist and every goal parse;
+        2. **authorize** — one batched ``setgoal`` check per *distinct*
+           resource through :meth:`authorize_many` (decision-cache
+           probes first, guard batch path for the misses); any denial
+           aborts with no state change;
+        3. **install** — goals are written, then the decision-cache goal
+           epoch is bumped exactly **once per affected (operation,
+           resource) pair**, however many changes named it — a plan that
+           clears and re-sets a goal costs one bump, not two, and N
+           sequential ``setgoal`` calls' worth of dispatch collapses
+           into one pass.
+
+        Clearing a goal whose resource has since been *destroyed* is
+        housekeeping, not an authorized operation: the goalstore entry is
+        orphaned (resource teardown does not clear goals), there is no
+        owner left to consult, and refusing would brick every future
+        apply/rollback of a set that ever governed the resource.  Setting
+        a goal on a missing resource is still an error.
+
+        Returns counters: ``goals_set``, ``goals_cleared``,
+        ``epoch_bumps``, ``resources_authorized``.
+        """
+        parsed: List[Tuple[int, str, Optional[Formula],
+                           Optional[str]]] = []
+        # One parse per distinct goal text: a policy set typically stamps
+        # one template over many resources, and formulas are immutable —
+        # this is the amortization N sequential setgoal calls cannot get.
+        formulas: Dict[str, Formula] = {}
+        live: Dict[int, None] = {}
+        for resource_id, operation, goal, guard_port in changes:
+            resource = self.resources.find_by_id(resource_id)
+            if goal is None or isinstance(goal, Formula):
+                formula = goal
+            else:
+                formula = formulas.get(goal)
+                if formula is None:
+                    formula = parse(goal)
+                    formulas[goal] = formula
+            if resource is None:
+                if formula is not None:
+                    # Only a clear may target a vanished resource.
+                    self.resources.get(resource_id)  # raises NoSuchResource
+            else:
+                live[resource_id] = None
+            parsed.append((resource_id, operation, formula, guard_port))
+
+        distinct = list(live)
+        decisions = self.authorize_many(
+            [(pid, "setgoal", resource_id, bundle)
+             for resource_id in distinct])
+        for resource_id, decision in zip(distinct, decisions):
+            if not decision.allow:
+                resource = self.resources.get(resource_id)
+                raise AccessDenied(
+                    f"apply_policy: setgoal on {resource.name} denied: "
+                    f"{decision.reason}", subject=pid, operation="setgoal",
+                    resource=resource_id, reason=decision.reason)
+
+        goals_set = goals_cleared = 0
+        affected: Dict[Tuple[str, int], None] = {}
+        for resource_id, operation, formula, guard_port in parsed:
+            if formula is None:
+                self.default_guard.goals.clear_goal(resource_id, operation)
+                goals_cleared += 1
+            else:
+                self.default_guard.goals.set_goal(resource_id, operation,
+                                                  formula, guard_port)
+                goals_set += 1
+            affected[(operation, resource_id)] = None
+        for operation, resource_id in affected:
+            self.decision_cache.invalidate_goal(operation, resource_id)
+        return {"goals_set": goals_set, "goals_cleared": goals_cleared,
+                "epoch_bumps": len(affected),
+                "resources_authorized": len(distinct)}
+
     def sys_set_proof(self, pid: int, operation: str, resource_id: int,
                       bundle: ProofBundle) -> None:
         """Pre-register the proof used for subsequent invocations.
@@ -374,6 +463,26 @@ class NexusKernel:
             self.decision_cache.insert(subject_pid, operation, resource_id,
                                        decision.allow)
         return decision
+
+    def explain(self, subject_pid: int, operation: str, resource_id: int,
+                bundle: Optional[ProofBundle] = None) -> GuardDecision:
+        """Figure 1 without the decision cache: a fresh guard evaluation
+        whose :class:`~repro.kernel.guard.GuardDecision` always carries a
+        structured :class:`~repro.kernel.guard.Explanation`.
+
+        Read-only by design — no cache probe, no cache insert, no
+        proof-update observation — so asking *why* never perturbs the
+        authorization state it is reporting on.
+        """
+        process = self.processes.get(subject_pid)
+        if bundle is None:
+            bundle = self.registered_proof(subject_pid, operation,
+                                           resource_id)
+        resource = self.resources.get(resource_id)
+        guard = self._guard_for(resource_id, operation)
+        return guard.check(process.principal, operation, resource, bundle,
+                           subject_root=self.processes.tree_root(
+                               subject_pid))
 
     def authorize_many(self,
                        requests: Sequence[Tuple],
@@ -609,6 +718,8 @@ class NexusKernel:
                        self.decision_cache.stats.report().items()))
         fs.publish("/proc/kernel/policy_epoch",
                    lambda: str(self.decision_cache.policy_epoch))
+        fs.publish("/proc/kernel/policy_sets",
+                   lambda: ",".join(self.policies.names()))
         fs.publish("/proc/sched/clients",
                    lambda: ",".join(
                        f"{c.name}={c.tickets}"

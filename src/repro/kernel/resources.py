@@ -64,6 +64,11 @@ class ResourceTable:
         resource_id = self._by_name.get(name)
         return self._resources.get(resource_id) if resource_id else None
 
+    def find_by_id(self, resource_id: int) -> Optional[Resource]:
+        """Non-raising :meth:`get` (for diff/plan code that tolerates
+        resources vanishing between observations)."""
+        return self._resources.get(resource_id)
+
     def destroy(self, resource_id: int) -> None:
         resource = self.get(resource_id)
         del self._resources[resource_id]

@@ -1,0 +1,25 @@
+"""The declarative policy control plane over the Nexus kernel.
+
+The paper's owners bind goal formulas to (resource, operation) pairs one
+``setgoal`` at a time (§2.5).  This package is the control plane a
+deployment managing millions of resources needs instead: policy is
+declared once as a named, versioned :class:`~repro.policy.model.PolicySet`
+— rules binding goal *templates* to resource *selectors* and operation
+sets — and the :class:`~repro.policy.engine.PolicyEngine` computes
+dry-run plans, applies whole sets atomically through
+:meth:`~repro.kernel.kernel.NexusKernel.apply_policy`, and rolls back to
+any prior version.  Every change is an auditable artifact, not a
+sequence of imperative syscalls.
+"""
+
+from repro.policy.model import PolicyRule, PolicySet, Selector
+from repro.policy.engine import PlanAction, PolicyApplyResult, PolicyEngine
+
+__all__ = [
+    "PlanAction",
+    "PolicyApplyResult",
+    "PolicyEngine",
+    "PolicyRule",
+    "PolicySet",
+    "Selector",
+]

@@ -1,0 +1,294 @@
+"""The policy engine: versioned storage, dry-run planning, atomic apply.
+
+The engine owns the version history of every named
+:class:`~repro.policy.model.PolicySet` and the record of which
+(resource, operation) pairs the *active* version of each set installed —
+that ownership record is what lets a narrower new version (or a
+rollback) *clear* goals the previous version set, instead of leaking
+them forever.
+
+Planning is pure: :meth:`PolicyEngine.plan` reads the live goalstore and
+returns the exact list of actions an apply would take, without touching
+anything.  Applying is atomic: authorization for every affected resource
+is batch-checked first (through the kernel's Figure-1 fast path), and
+only if *all* pass does the kernel install the goals — one decision-cache
+epoch bump per affected goal, however many rules or versions produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import NoSuchPolicy, PolicyError
+from repro.policy.model import DesiredGoal, PolicySet
+
+#: Plan action verbs.
+SET, CLEAR, KEEP = "set", "clear", "keep"
+
+
+@dataclass(frozen=True)
+class PlanAction:
+    """One step of a dry-run plan (and of the apply that executes it).
+
+    ``action`` is ``set`` / ``clear`` / ``keep``; ``goal`` is the
+    expanded (per-resource) goal text this version wants, ``previous``
+    the live goal text it replaces — both ``None`` where not applicable.
+    """
+
+    action: str
+    resource_id: int
+    resource: str
+    operation: str
+    goal: Optional[str] = None
+    previous: Optional[str] = None
+    guard_port: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form of the action."""
+        return {"action": self.action, "resource_id": self.resource_id,
+                "resource": self.resource, "operation": self.operation,
+                "goal": self.goal, "previous": self.previous,
+                "guard_port": self.guard_port}
+
+
+@dataclass
+class PolicyApplyResult:
+    """What an apply (or rollback) did, for auditing and for the wire."""
+
+    name: str
+    version: int
+    set_count: int = 0
+    cleared: int = 0
+    unchanged: int = 0
+    epoch_bumps: int = 0
+    actions: List[PlanAction] = field(default_factory=list)
+
+
+@dataclass
+class _PolicyRecord:
+    """Version history plus live ownership for one policy-set name."""
+
+    versions: List[PolicySet] = field(default_factory=list)
+    active_version: Optional[int] = None
+    #: (resource_id, operation) pairs the active version installed.
+    installed: Set[Tuple[int, str]] = field(default_factory=set)
+
+
+class PolicyEngine:
+    """The control plane over one kernel's goalstore.
+
+    Shared by every service facade mounted on the kernel, so versions
+    and ownership are consistent however policy arrives.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._records: Dict[str, _PolicyRecord] = {}
+
+    # ------------------------------------------------------------------
+    # versioned storage
+    # ------------------------------------------------------------------
+
+    def put(self, policy_set: PolicySet) -> int:
+        """Store a new version of the named set; returns its version.
+
+        Storing never touches live goals — a put without an apply is a
+        draft.  Versions start at 1 and are append-only: history is the
+        audit log, so nothing is ever overwritten or deleted.
+        """
+        record = self._records.setdefault(policy_set.name, _PolicyRecord())
+        record.versions.append(policy_set)
+        return len(record.versions)
+
+    def get(self, name: str, version: Optional[int] = None) -> PolicySet:
+        """Fetch one stored version (default: the latest)."""
+        record = self._record(name)
+        return record.versions[self._resolve_version(record, name,
+                                                     version) - 1]
+
+    def versions(self, name: str) -> List[int]:
+        """All stored versions of the named set, oldest first."""
+        return list(range(1, len(self._record(name).versions) + 1))
+
+    def active_version(self, name: str) -> Optional[int]:
+        """The version currently applied, or None if never applied."""
+        record = self._records.get(name)
+        return record.active_version if record is not None else None
+
+    def names(self) -> List[str]:
+        """Every policy-set name the engine has seen."""
+        return sorted(self._records)
+
+    def _record(self, name: str) -> _PolicyRecord:
+        record = self._records.get(name)
+        if record is None or not record.versions:
+            raise NoSuchPolicy(f"no policy set named {name!r}")
+        return record
+
+    @staticmethod
+    def _resolve_version(record: _PolicyRecord, name: str,
+                         version: Optional[int]) -> int:
+        if version is None:
+            return len(record.versions)
+        if not 1 <= version <= len(record.versions):
+            raise NoSuchPolicy(
+                f"policy set {name!r} has no version {version} "
+                f"(have 1..{len(record.versions)})")
+        return version
+
+    # ------------------------------------------------------------------
+    # planning (pure)
+    # ------------------------------------------------------------------
+
+    def plan(self, name: str,
+             version: Optional[int] = None) -> List[PlanAction]:
+        """The dry run: exactly what applying this version would do.
+
+        Reads the live resource table and goalstore; mutates nothing.
+        Ordering is deterministic (resource id, then operation) so plans
+        diff cleanly between runs.
+        """
+        record = self._record(name)
+        resolved = self._resolve_version(record, name, version)
+        policy_set = record.versions[resolved - 1]
+        desired = policy_set.desired_goals(self.kernel.resources)
+        goals = self.kernel.default_guard.goals
+
+        actions: List[PlanAction] = []
+        for (resource_id, operation), want in sorted(
+                desired.items(), key=lambda item: item[0]):
+            live = goals.get(resource_id, operation)
+            previous = None if live is None else str(live.formula)
+            if want.formula is None:
+                if live is not None:
+                    actions.append(PlanAction(
+                        CLEAR, resource_id, want.resource.name, operation,
+                        previous=previous))
+                continue
+            goal_text = str(want.formula)
+            if (live is not None and live.formula == want.formula
+                    and live.guard_port == want.guard_port):
+                actions.append(PlanAction(
+                    KEEP, resource_id, want.resource.name, operation,
+                    goal=goal_text, previous=previous,
+                    guard_port=want.guard_port))
+            else:
+                actions.append(PlanAction(
+                    SET, resource_id, want.resource.name, operation,
+                    goal=goal_text, previous=previous,
+                    guard_port=want.guard_port))
+
+        # Pairs the active version installed but this version abandons:
+        # they revert to the default owner policy.
+        covered = set(desired)
+        for resource_id, operation in sorted(record.installed - covered):
+            live = goals.get(resource_id, operation)
+            if live is None:
+                continue
+            resource = self.kernel.resources.find_by_id(resource_id)
+            actions.append(PlanAction(
+                CLEAR, resource_id,
+                resource.name if resource is not None else str(resource_id),
+                operation, previous=str(live.formula)))
+        return actions
+
+    # ------------------------------------------------------------------
+    # applying (atomic)
+    # ------------------------------------------------------------------
+
+    def apply(self, pid: int, name: str, version: Optional[int] = None,
+              bundle=None) -> PolicyApplyResult:
+        """Install one version atomically; returns the audit record.
+
+        The plan is computed, authorization for every *changed* resource
+        is batch-verified (one ``setgoal`` check per distinct resource,
+        through the decision cache), and only then are goals installed —
+        with exactly one epoch bump per changed (operation, resource)
+        pair.  Any authorization failure aborts with no state change.
+        """
+        record = self._record(name)
+        resolved = self._resolve_version(record, name, version)
+        actions = self.plan(name, resolved)
+        changes = [a for a in actions if a.action in (SET, CLEAR)]
+        stats = self.kernel.apply_policy(
+            pid,
+            [(a.resource_id, a.operation,
+              None if a.action == CLEAR else a.goal, a.guard_port)
+             for a in changes],
+            bundle=bundle)
+        record.active_version = resolved
+        record.installed = {
+            (a.resource_id, a.operation) for a in actions
+            if a.action in (SET, KEEP)}
+        return PolicyApplyResult(
+            name=name, version=resolved,
+            set_count=sum(1 for a in changes if a.action == SET),
+            cleared=sum(1 for a in changes if a.action == CLEAR),
+            unchanged=len(actions) - len(changes),
+            epoch_bumps=stats["epoch_bumps"], actions=actions)
+
+    def cover(self, pid: int, name: str, resource,
+              bundle=None) -> PolicyApplyResult:
+        """Extend the *active* version to one newly created resource.
+
+        The incremental path for the create-then-govern pattern: O(rules)
+        instead of a full-table plan, so bulk resource creation stays
+        linear.  The installed-pairs record is updated exactly as a full
+        apply would have, so later plans and narrowing versions see the
+        pair as policy-owned.
+        """
+        record = self._record(name)
+        if record.active_version is None:
+            raise PolicyError(
+                f"policy set {name!r} has no active version to extend; "
+                f"apply it first")
+        policy_set = record.versions[record.active_version - 1]
+        desired = policy_set.desired_goals([resource])
+        goals = self.kernel.default_guard.goals
+        actions: List[PlanAction] = []
+        for (resource_id, operation), want in sorted(
+                desired.items(), key=lambda item: item[0]):
+            live = goals.get(resource_id, operation)
+            previous = None if live is None else str(live.formula)
+            if want.formula is None:
+                if live is not None:
+                    actions.append(PlanAction(CLEAR, resource_id,
+                                              resource.name, operation,
+                                              previous=previous))
+                continue
+            verb = (KEEP if live is not None
+                    and live.formula == want.formula
+                    and live.guard_port == want.guard_port else SET)
+            actions.append(PlanAction(verb, resource_id, resource.name,
+                                      operation, goal=str(want.formula),
+                                      previous=previous,
+                                      guard_port=want.guard_port))
+        changes = [a for a in actions if a.action in (SET, CLEAR)]
+        stats = self.kernel.apply_policy(
+            pid,
+            [(a.resource_id, a.operation,
+              None if a.action == CLEAR else a.goal, a.guard_port)
+             for a in changes],
+            bundle=bundle)
+        record.installed |= {(a.resource_id, a.operation)
+                             for a in actions
+                             if a.action in (SET, KEEP)}
+        return PolicyApplyResult(
+            name=name, version=record.active_version,
+            set_count=sum(1 for a in changes if a.action == SET),
+            cleared=sum(1 for a in changes if a.action == CLEAR),
+            unchanged=len(actions) - len(changes),
+            epoch_bumps=stats["epoch_bumps"], actions=actions)
+
+    def rollback(self, pid: int, name: str, version: int,
+                 bundle=None) -> PolicyApplyResult:
+        """Restore a prior version — an apply with an explicit target.
+
+        Rolling back is not an undo log: it re-plans the old version
+        against *current* live state, so resources created since the
+        old version was first applied are governed too.
+        """
+        if version is None:
+            raise PolicyError("rollback needs an explicit version")
+        return self.apply(pid, name, version, bundle=bundle)

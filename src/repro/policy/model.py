@@ -1,0 +1,290 @@
+"""The declarative policy documents: selectors, rules, policy sets.
+
+A :class:`PolicySet` is data, not code: it serializes to a small JSON
+document, round-trips losslessly, and is validated completely before any
+kernel state is touched.  Its rules pair a **selector** over the resource
+tree with an **operation set** and a **goal template** — NAL text that may
+reference the matched resource through ``{name}`` / ``{kind}`` /
+``{basename}`` placeholders (expanded once per match, at plan time) and
+the guard-evaluation variables ``?Subject`` / ``?Resource`` (substituted
+per request, at check time, exactly as §2.5 describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ParseError, PolicyError
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+from repro.kernel.resources import Resource
+
+#: Placeholders a goal template may reference; expanded per matched
+#: resource.  ``basename`` is the last path segment of the resource name
+#: (``/stores/jvm`` → ``jvm``), which is how templates name the entity a
+#: path-structured resource stands for.
+TEMPLATE_FIELDS = ("name", "kind", "basename")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise PolicyError(message)
+
+
+def _opt_str(data: Dict[str, Any], name: str) -> Optional[str]:
+    value = data.get(name)
+    if value is None:
+        return None
+    _require(isinstance(value, str), f"selector field {name!r} must be a "
+                                     f"string, got {type(value).__name__}")
+    return value
+
+
+@dataclass(frozen=True)
+class Selector:
+    """Which resources a rule governs.
+
+    Any combination of the four dimensions; all present ones must match
+    (conjunction).  At least one must be set — a selector matching the
+    whole resource tree is almost always a policy bug, so it has to be
+    written explicitly as ``prefix="/"``.
+
+    * ``name``   — exact resource name;
+    * ``prefix`` — resource-tree prefix (``/fs/static/``);
+    * ``glob``   — shell-style pattern over the full name
+      (``/fs/*.html``, case-sensitive);
+    * ``kind``   — the resource kind (``file``, ``port``, ``store``).
+    """
+
+    name: Optional[str] = None
+    prefix: Optional[str] = None
+    glob: Optional[str] = None
+    kind: Optional[str] = None
+
+    def __post_init__(self):
+        _require(any((self.name, self.prefix, self.glob, self.kind)),
+                 "selector must constrain at least one of "
+                 "name/prefix/glob/kind")
+
+    def matches(self, resource: Resource) -> bool:
+        """Does this selector govern the given resource?"""
+        if self.name is not None and resource.name != self.name:
+            return False
+        if self.prefix is not None and not resource.name.startswith(
+                self.prefix):
+            return False
+        if self.glob is not None and not fnmatchcase(resource.name,
+                                                     self.glob):
+            return False
+        if self.kind is not None and resource.kind != self.kind:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form: only the constrained dimensions appear."""
+        document: Dict[str, Any] = {}
+        for key in ("name", "prefix", "glob", "kind"):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        return document
+
+    @staticmethod
+    def from_dict(data: Any) -> "Selector":
+        """Decode and validate a selector document."""
+        _require(isinstance(data, dict), "selector must be an object")
+        unknown = set(data) - {"name", "prefix", "glob", "kind"}
+        _require(not unknown,
+                 f"unknown selector fields {sorted(unknown)}")
+        return Selector(name=_opt_str(data, "name"),
+                        prefix=_opt_str(data, "prefix"),
+                        glob=_opt_str(data, "glob"),
+                        kind=_opt_str(data, "kind"))
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One binding: selector × operations → goal template.
+
+    ``goal`` is NAL surface text — or a parsed
+    :class:`~repro.nal.formula.Formula` (e.g. from the
+    :mod:`repro.nal.policy` combinators), normalized to its surface
+    text so the document stays pure data.  A ``goal`` of ``None``
+    *clears* the goal on every match (reverting matched pairs to the
+    default owner policy); ``"true"`` is the explicit ALLOW.
+    ``guard_port`` designates a non-default guard, exactly as the
+    ``setgoal`` syscall allows.
+    """
+
+    selector: Selector
+    operations: Tuple[str, ...]
+    goal: Optional[str]
+    guard_port: Optional[str] = None
+
+    def __post_init__(self):
+        _require(len(self.operations) > 0,
+                 "rule needs at least one operation")
+        for operation in self.operations:
+            _require(isinstance(operation, str) and operation != "",
+                     "operations must be non-empty strings")
+        if isinstance(self.goal, Formula):
+            # Combinator-built goals serialize to their surface syntax
+            # (the parser round-trips everything the printer emits).
+            object.__setattr__(self, "goal", str(self.goal))
+        if self.goal is not None:
+            _require(isinstance(self.goal, str),
+                     "rule goal must be NAL text, a Formula, or None")
+            # Validate the template against a representative expansion so
+            # a bad document fails at put time, never at apply time.
+            self.goal_for(_PROBE_RESOURCE)
+
+    def goal_for(self, resource: Resource) -> Formula:
+        """Expand the template for one matched resource and parse it.
+
+        Memoized per (resource name, kind): planning re-evaluates every
+        rule against every matched resource on each plan/apply cycle,
+        and the expansion depends only on these two fields.  Rules are
+        frozen, so the memo (derived state, like ``Formula.is_ground``)
+        is attached via ``object.__setattr__``.
+        """
+        text = self.goal
+        if text is None:
+            raise PolicyError("clear-rule has no goal to expand")
+        memo = self.__dict__.get("_goal_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_goal_memo", memo)
+        key = (resource.name, resource.kind)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        basename = resource.name.rsplit("/", 1)[-1] or resource.name
+        for placeholder, value in (("{name}", resource.name),
+                                   ("{kind}", resource.kind),
+                                   ("{basename}", basename)):
+            text = text.replace(placeholder, value)
+        try:
+            formula = parse(text)
+        except ParseError as exc:
+            raise PolicyError(
+                f"goal template {self.goal!r} expands to unparseable "
+                f"NAL for resource {resource.name!r}: {exc}") from exc
+        memo[key] = formula
+        return formula
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the rule."""
+        document: Dict[str, Any] = {
+            "selector": self.selector.to_dict(),
+            "operations": list(self.operations),
+            "goal": self.goal,
+        }
+        if self.guard_port is not None:
+            document["guard_port"] = self.guard_port
+        return document
+
+    @staticmethod
+    def from_dict(data: Any) -> "PolicyRule":
+        """Decode and validate a rule document."""
+        _require(isinstance(data, dict), "rule must be an object")
+        unknown = set(data) - {"selector", "operations", "goal",
+                               "guard_port"}
+        _require(not unknown, f"unknown rule fields {sorted(unknown)}")
+        _require("selector" in data, "rule needs a 'selector'")
+        operations = data.get("operations")
+        _require(isinstance(operations, list),
+                 "rule needs an 'operations' list")
+        goal = data.get("goal")
+        _require(goal is None or isinstance(goal, str),
+                 "rule 'goal' must be a string or null")
+        guard_port = data.get("guard_port")
+        _require(guard_port is None or isinstance(guard_port, str),
+                 "rule 'guard_port' must be a string")
+        return PolicyRule(selector=Selector.from_dict(data["selector"]),
+                          operations=tuple(operations), goal=goal,
+                          guard_port=guard_port)
+
+
+@dataclass(frozen=True)
+class PolicySet:
+    """A named, versioned policy document — the unit of declaration.
+
+    Versions are assigned by the engine at ``put`` time; the document
+    itself is immutable and carries no version, so the same document can
+    be stored, diffed, and re-submitted byte-identically.
+
+    Rule order matters: when several rules match the same (resource,
+    operation) pair, the **last** match wins — the familiar
+    most-specific-last idiom of declarative configuration.
+    """
+
+    name: str
+    rules: Tuple[PolicyRule, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        _require(isinstance(self.name, str) and self.name != "",
+                 "policy set needs a non-empty name")
+        _require(len(self.rules) > 0, "policy set needs at least one rule")
+
+    def desired_goals(self, resources) -> Dict[Tuple[int, str],
+                                               "DesiredGoal"]:
+        """Evaluate every rule against a resource iterable.
+
+        Returns (resource_id, operation) → the winning desired state.
+        A later rule matching the same pair overrides an earlier one.
+        """
+        desired: Dict[Tuple[int, str], DesiredGoal] = {}
+        for resource in resources:
+            for rule in self.rules:
+                if not rule.selector.matches(resource):
+                    continue
+                formula = (None if rule.goal is None
+                           else rule.goal_for(resource))
+                for operation in rule.operations:
+                    desired[(resource.resource_id, operation)] = \
+                        DesiredGoal(resource=resource, operation=operation,
+                                    formula=formula,
+                                    guard_port=rule.guard_port)
+        return desired
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical policy document."""
+        return {"name": self.name,
+                "description": self.description,
+                "rules": [rule.to_dict() for rule in self.rules]}
+
+    @staticmethod
+    def from_dict(data: Any) -> "PolicySet":
+        """Decode and fully validate a policy document."""
+        _require(isinstance(data, dict), "policy set must be an object")
+        unknown = set(data) - {"name", "description", "rules"}
+        _require(not unknown,
+                 f"unknown policy set fields {sorted(unknown)}")
+        name = data.get("name")
+        _require(isinstance(name, str), "policy set needs a string 'name'")
+        description = data.get("description", "")
+        _require(isinstance(description, str),
+                 "policy set 'description' must be a string")
+        rules = data.get("rules")
+        _require(isinstance(rules, list), "policy set needs a 'rules' list")
+        return PolicySet(name=name, description=description,
+                         rules=tuple(PolicyRule.from_dict(r)
+                                     for r in rules))
+
+
+@dataclass(frozen=True)
+class DesiredGoal:
+    """The state one rule match wants installed on one (resource, op)."""
+
+    resource: Resource
+    operation: str
+    formula: Optional[Formula]
+    guard_port: Optional[str] = None
+
+
+#: The representative resource goal templates are validated against.
+_PROBE_RESOURCE = Resource(resource_id=0, name="/probe/template-check",
+                           kind="probe", owner=None)

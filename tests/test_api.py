@@ -131,6 +131,19 @@ SAMPLE_REQUESTS = [
     msg.ImportChainRequest(session="sess-1",
                            chain={"root_key": {}, "certs": []}),
     msg.ProveRequest(session="sess-1", goal="A says ok(b)"),
+    msg.PolicyPutRequest(session="sess-1", document={
+        "name": "docs", "description": "",
+        "rules": [{"selector": {"prefix": "/files/"},
+                   "operations": ["read"], "goal": "true"}]}),
+    msg.PolicyPlanRequest(session="sess-1", name="docs", version=2),
+    msg.PolicyPlanRequest(session="sess-1", name="docs"),
+    msg.PolicyApplyRequest(session="sess-1", name="docs", version=1),
+    msg.PolicyRollbackRequest(session="sess-1", name="docs", version=1),
+    msg.PolicyGetRequest(session="sess-1", name="docs"),
+    msg.PolicyVersionsRequest(session="sess-1", name="docs"),
+    msg.ExplainRequest(session="sess-1", operation="read", resource=7,
+                       wallet=True),
+    msg.IndexRequest(),
     msg.SessionStatsRequest(session="sess-1"),
     msg.InfoRequest(),
 ]
@@ -155,8 +168,31 @@ SAMPLE_RESPONSES = [
                              "certs": []}),
     msg.ProveResponse(proved=True),
     msg.SessionStatsResponse(session="sess-1", requests={"say": 2},
-                             allowed=3, denied=1, errors=0),
-    msg.InfoResponse(version="v1", boot_id="abc", sessions=2),
+                             allowed=3, denied=1, errors=0,
+                             cache={"hits": 7, "misses": 2}),
+    msg.InfoResponse(version="v1", boot_id="abc", sessions=2,
+                     cache={"hits": 0, "policy_epoch": 3}),
+    msg.IndexResponse(version="v1", endpoints=["say", "info"]),
+    msg.PolicyVersionResponse(name="docs", version=3),
+    msg.PolicyPlanResponse(name="docs", version=3, actions=[
+        msg.PlanAction(action="set", resource_id=7, resource="/files/a",
+                       operation="read", goal="true", previous=None),
+        msg.PlanAction(action="clear", resource_id=8, resource="/files/b",
+                       operation="read", previous="true"),
+        msg.PlanAction(action="keep", resource_id=9, resource="/files/c",
+                       operation="read", goal="true", previous="true",
+                       guard_port="g1")]),
+    msg.PolicyApplyResponse(name="docs", version=3, set_count=2,
+                            cleared=1, unchanged=4, epoch_bumps=3),
+    msg.PolicyDocResponse(name="docs", version=2, active=1,
+                          document={"name": "docs", "rules": []}),
+    msg.PolicyVersionsResponse(name="docs", versions=[1, 2, 3], active=2),
+    msg.ExplainResponse(
+        verdict=Verdict(False, False, "credential not available"),
+        explanation=msg.Explanation(
+            kind="missing-credential", operation="read",
+            resource="/files/a", goal="A says ok(b)",
+            premise="A says ok(b)", detail="no label")),
 ]
 
 
@@ -570,3 +606,234 @@ class TestAppIntegration:
             [("read", resource, None, True)] * 32)
         assert all(v.allow for v in verdicts)
         assert len(calls) == 1  # one proof search for 32 duplicates
+
+
+# --------------------------------------------------------------------------
+# adversarial codec fuzzing (property-style, deterministic seed)
+# --------------------------------------------------------------------------
+
+def _random_term(rng, depth):
+    from repro.nal.terms import Const, Name, SubPrincipal, Var
+    choice = rng.randrange(5 if depth < 2 else 4)
+    if choice == 0:
+        # Names must be parser-atomic: a dotted name re-parses as a
+        # SubPrincipal and a key: name as a KeyPrincipal — different
+        # (if equivalent-looking) ASTs.
+        return Name(rng.choice(["alice", "bob", "/proc/ipd/3",
+                                "store_7"]))
+    if choice == 1:
+        return Const(rng.randrange(-1000, 1000))
+    if choice == 2:
+        return Const(rng.choice(["s", "x y", "z-9"]))
+    if choice == 3:
+        return Var(rng.choice(["Subject", "Resource", "X"]))
+    # Subprincipal parents must themselves be principal syntax (a
+    # name), or the printed form will not re-parse.
+    return SubPrincipal(Name(rng.choice(["svc", "host"])),
+                        rng.choice(["web", "db"]))
+
+
+def _random_formula(rng, depth=0):
+    from repro.nal.formula import (And, Compare, Implies, Not, Or, Pred,
+                                   Says, Speaksfor, TRUE, FALSE)
+    from repro.nal.terms import Name
+    if depth >= 4 or rng.random() < 0.35:
+        kind = rng.randrange(4)
+        if kind == 0:
+            return Pred(rng.choice(["ok", "mayRead", "typesafe"]),
+                        tuple(_random_term(rng, depth)
+                              for _ in range(rng.randrange(1, 3))))
+        if kind == 1:
+            return Compare(rng.choice(["<", "<=", "==", "!="]),
+                           _random_term(rng, depth),
+                           _random_term(rng, depth))
+        if kind == 2:
+            return TRUE
+        return FALSE
+    kind = rng.randrange(6)
+    if kind == 0:
+        return Says(Name(rng.choice(["A", "B", "ntp"])),
+                    _random_formula(rng, depth + 1))
+    if kind == 1:
+        return And(_random_formula(rng, depth + 1),
+                   _random_formula(rng, depth + 1))
+    if kind == 2:
+        return Or(_random_formula(rng, depth + 1),
+                  _random_formula(rng, depth + 1))
+    if kind == 3:
+        return Implies(_random_formula(rng, depth + 1),
+                       _random_formula(rng, depth + 1))
+    if kind == 4:
+        return Not(_random_formula(rng, depth + 1))
+    return Speaksfor(Name("A"), Name("B"))
+
+
+def _random_proof(rng, depth=0):
+    from repro.nal.parser import parse_principal
+    conclusion = _random_formula(rng)
+    if depth >= 3 or rng.random() < 0.4:
+        kind = rng.randrange(3)
+        if kind == 0:
+            return Assume(conclusion)
+        if kind == 1:
+            return Axiom(conclusion)
+        return AuthorityQuery(conclusion, rng.choice(["ntp", "rev"]))
+    context = (parse_principal("A") if rng.random() < 0.3 else None)
+    return Rule(rng.choice(["and_intro", "says_intro", "custom-rule"]),
+                tuple(_random_proof(rng, depth + 1)
+                      for _ in range(rng.randrange(1, 3))),
+                conclusion, context=context)
+
+
+class TestCodecFuzz:
+    """Encode→decode→encode must be a fixpoint; mutations must reject."""
+
+    def test_formula_text_roundtrip_fixpoint(self):
+        import random
+        rng = random.Random(20260726)
+        for _ in range(200):
+            formula = _random_formula(rng)
+            encoded = codec.encode_formula(formula)
+            decoded = codec.decode_formula(encoded)
+            assert decoded == formula
+            assert codec.encode_formula(decoded) == encoded
+
+    def test_proof_document_roundtrip_fixpoint(self):
+        import random
+        rng = random.Random(42)
+        for _ in range(100):
+            proof = _random_proof(rng)
+            encoded = codec.encode_proof(proof)
+            # through real JSON bytes, like the wire
+            rehydrated = json.loads(json.dumps(encoded))
+            decoded = codec.decode_proof(rehydrated)
+            assert decoded == proof
+            assert codec.encode_proof(decoded) == encoded
+
+    def test_bundle_roundtrip_fixpoint(self):
+        import random
+        rng = random.Random(7)
+        for _ in range(50):
+            credentials = tuple(_random_formula(rng)
+                                for _ in range(rng.randrange(0, 4)))
+            bundle = ProofBundle(_random_proof(rng),
+                                 credentials=credentials)
+            encoded = codec.encode_bundle(bundle)
+            decoded = codec.decode_bundle(json.loads(json.dumps(encoded)))
+            assert decoded == bundle
+            assert codec.encode_bundle(decoded) == encoded
+
+    def test_truncated_request_bytes_rejected(self):
+        import random
+        rng = random.Random(99)
+        for request in SAMPLE_REQUESTS:
+            raw = request.to_bytes()
+            cut = rng.randrange(1, len(raw))
+            with pytest.raises(ApiError) as excinfo:
+                msg.decode_request(raw[:cut])
+            assert excinfo.value.code in ("E_BAD_REQUEST",
+                                          "E_BAD_VERSION",
+                                          "E_UNKNOWN_KIND")
+
+    def test_mistyped_payload_fields_rejected(self):
+        import random
+        rng = random.Random(5)
+        mutants = [None, True, 3.5, [], {"zz": 1}]
+        rejected = 0
+        for request in SAMPLE_REQUESTS:
+            document = request.to_dict()
+            payload = document.get("payload", {})
+            for field in payload:
+                mutated = json.loads(json.dumps(document))
+                original = payload[field]
+                mutant = rng.choice(
+                    [m for m in mutants if type(m) is not type(original)])
+                mutated["payload"][field] = mutant
+                try:
+                    decoded = msg.decode_request(mutated)
+                except ApiError as exc:
+                    assert exc.code == "E_BAD_REQUEST"
+                    rejected += 1
+                else:
+                    # Only genuinely optional-or-Any fields may survive.
+                    assert decoded.to_dict()["v"] == "v1"
+        assert rejected >= 30
+
+    def test_mutated_proof_documents_rejected_or_equal(self):
+        import random
+        rng = random.Random(11)
+        proof = _random_proof(rng)
+        encoded = json.loads(json.dumps(codec.encode_proof(proof)))
+        # Damage the node kinds and structural fields.
+        for mutant in [
+            {**encoded, "node": "warp"},
+            {**encoded, "node": 7},
+            {**encoded, "conclusion": "says says"},
+            {**encoded, "conclusion": None},
+            {**encoded, "conclusion": ["A says b"]},
+        ]:
+            with pytest.raises(ApiError):
+                codec.decode_proof(mutant)
+
+
+# --------------------------------------------------------------------------
+# discovery and observability endpoints
+# --------------------------------------------------------------------------
+
+class TestDiscoveryAndCounters:
+    def test_index_lists_every_handler_kind(self):
+        client = NexusClient.in_process(NexusService())
+        index = client.index()
+        assert index.version == "v1"
+        assert set(index.endpoints) == set(msg.REQUEST_TYPES)
+        assert "policy/apply" in index.endpoints
+
+    def test_index_served_as_get_on_the_mount_root(self):
+        from repro.net.http import HTTPRequest, parse_request
+        service = NexusService()
+        router = service.router()
+        for path in ("/api/v1/", "/api/v1"):
+            raw = HTTPRequest("GET", path, {}, b"").to_bytes()
+            response = router.dispatch(parse_request(raw))
+            assert response.status == 200
+            decoded = msg.decode_response(response.body)
+            assert isinstance(decoded, msg.IndexResponse)
+            assert set(decoded.endpoints) == set(msg.REQUEST_TYPES)
+
+    def test_info_exposes_decision_cache_counters(self):
+        service = NexusService()
+        client = NexusClient.in_process(service)
+        session = client.open_session("probe")
+        resource = session.create_resource("/obj/a")
+        session.authorize("read", resource)
+        session.authorize("read", resource)
+        cache = client.info().cache
+        for key in ("hits", "misses", "hit_rate", "insertions",
+                    "goal_invalidations", "policy_epoch_bumps",
+                    "policy_epoch", "shards"):
+            assert key in cache
+        report = service.kernel.decision_cache.stats.report()
+        assert cache["hits"] == report["hits"] >= 1
+        assert cache["policy_epoch"] == \
+            service.kernel.decision_cache.policy_epoch
+
+    def test_session_stats_carry_the_same_snapshot_over_http(self):
+        service = NexusService()
+        client = NexusClient.over_http(service)
+        session = client.open_session("probe")
+        resource = session.create_resource("/obj/a")
+        session.authorize("read", resource)
+        stats = session.stats()
+        assert stats.cache["misses"] >= 1
+        assert stats.cache == client.info().cache
+
+    def test_epoch_counters_move_with_policy_applies(self):
+        from repro.policy import PolicyRule, PolicySet, Selector
+        client = NexusClient.in_process(NexusService())
+        admin = client.open_session("admin")
+        admin.create_resource("/files/a", "file")
+        admin.put_policy(PolicySet(name="p", rules=(
+            PolicyRule(Selector(prefix="/files/"), ("read",), "true"),)))
+        before = client.info().cache["goal_invalidations"]
+        admin.apply_policy("p")
+        assert client.info().cache["goal_invalidations"] == before + 1

@@ -1,0 +1,647 @@
+"""The policy control plane: selectors, versioning, plan/apply/rollback,
+atomic kernel installation, and structured deny explanations.
+
+Covers the declarative layer end to end: documents round-trip and are
+validated strictly, plans are pure and deterministic, applies are atomic
+(all-or-nothing under authorization failure) with one epoch bump per
+affected goal, rollback restores prior verdicts, and every guard deny
+carries a machine-readable :class:`~repro.kernel.guard.Explanation`.
+"""
+
+import pytest
+
+from repro.api import ApiError, NexusClient, NexusService
+from repro.core.credentials import CredentialSet
+from repro.errors import (AccessDenied, NoSuchPolicy, PolicyError)
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, ProofBundle
+from repro.policy import PolicyRule, PolicySet, Selector
+
+
+@pytest.fixture
+def kernel():
+    return NexusKernel()
+
+
+@pytest.fixture
+def admin(kernel):
+    return kernel.create_process("admin")
+
+
+def _files_policy(goal="Admin says mayRead(?Subject)", name="docs",
+                  operations=("read",), selector=None):
+    return PolicySet(name=name, rules=(
+        PolicyRule(selector=selector or Selector(prefix="/files/",
+                                                 kind="file"),
+                   operations=tuple(operations), goal=goal),))
+
+
+def _make_files(kernel, owner, count=3, prefix="/files/doc"):
+    return [kernel.resources.create(f"{prefix}{i}", "file",
+                                    owner.principal)
+            for i in range(count)]
+
+
+# --------------------------------------------------------------------------
+# selectors and documents
+# --------------------------------------------------------------------------
+
+class TestSelector:
+    def test_dimensions_conjoin(self, kernel, admin):
+        resource = kernel.resources.create("/files/a.html", "file",
+                                           admin.principal)
+        assert Selector(prefix="/files/").matches(resource)
+        assert Selector(glob="/files/*.html").matches(resource)
+        assert Selector(kind="file").matches(resource)
+        assert Selector(name="/files/a.html").matches(resource)
+        assert Selector(prefix="/files/", kind="file",
+                        glob="*.html").matches(resource)
+        assert not Selector(prefix="/files/", kind="port").matches(resource)
+        assert not Selector(glob="/files/*.css").matches(resource)
+
+    def test_empty_selector_rejected(self):
+        with pytest.raises(PolicyError):
+            Selector()
+
+    def test_wire_roundtrip_drops_unset_dimensions(self):
+        selector = Selector(prefix="/a/", kind="file")
+        document = selector.to_dict()
+        assert set(document) == {"prefix", "kind"}
+        assert Selector.from_dict(document) == selector
+
+    @pytest.mark.parametrize("bad", [
+        "nope", {"prefix": 3}, {"teleport": "/x/"}, {},
+    ])
+    def test_malformed_selector_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            Selector.from_dict(bad)
+
+
+class TestPolicyDocuments:
+    def test_policy_set_roundtrip(self):
+        policy_set = PolicySet(
+            name="docs", description="who reads reports",
+            rules=(PolicyRule(Selector(prefix="/r/"), ("read", "list"),
+                              "A says ok(?Subject)", guard_port="g1"),
+                   PolicyRule(Selector(kind="file"), ("write",), None)))
+        assert PolicySet.from_dict(policy_set.to_dict()) == policy_set
+
+    def test_template_expansion_per_resource(self, kernel, admin):
+        resource = kernel.resources.create("/stores/jvm", "store",
+                                           admin.principal)
+        rule = PolicyRule(Selector(kind="store"), ("import",),
+                          "C says typesafe({basename}) and "
+                          "C says at({name}) and C says is({kind})")
+        assert rule.goal_for(resource) == parse(
+            "C says typesafe(jvm) and C says at(/stores/jvm) "
+            "and C says is(store)")
+
+    def test_bad_template_fails_at_construction(self):
+        with pytest.raises(PolicyError):
+            PolicyRule(Selector(kind="file"), ("read",),
+                       "says says {name}")
+
+    def test_last_matching_rule_wins(self, kernel, admin):
+        resources = _make_files(kernel, admin, 2)
+        policy_set = PolicySet(name="layered", rules=(
+            PolicyRule(Selector(prefix="/files/"), ("read",),
+                       "A says broad(?Subject)"),
+            PolicyRule(Selector(name="/files/doc0"), ("read",),
+                       "A says narrow(?Subject)")))
+        desired = policy_set.desired_goals(resources)
+        assert desired[(resources[0].resource_id, "read")].formula == \
+            parse("A says narrow(?Subject)")
+        assert desired[(resources[1].resource_id, "read")].formula == \
+            parse("A says broad(?Subject)")
+
+    def test_combinator_built_goals_normalize_to_text(self, kernel, admin):
+        from repro.nal.policy import any_of, says
+        goal = any_of(says("AuthA", "ok(?Subject)"),
+                      says("AuthB", "ok(?Subject)"))
+        rule = PolicyRule(Selector(prefix="/files/"), ("read",), goal)
+        assert rule.goal == str(goal)
+        resources = _make_files(kernel, admin, 1)
+        kernel.policies.put(PolicySet(name="combo", rules=(rule,)))
+        kernel.policies.apply(admin.pid, "combo")
+        assert kernel.default_guard.goals.get(
+            resources[0].resource_id, "read").formula == goal
+
+    @pytest.mark.parametrize("bad", [
+        {"name": "x"},                                  # no rules
+        {"name": "x", "rules": []},                     # empty rules
+        {"name": "", "rules": [{}]},                    # empty name
+        {"name": "x", "rules": [{"operations": ["r"], "goal": "true"}]},
+        {"name": "x", "rules": [{"selector": {"kind": "f"},
+                                 "operations": [], "goal": "true"}]},
+        {"name": "x", "extra": 1,
+         "rules": [{"selector": {"kind": "f"}, "operations": ["r"],
+                    "goal": "true"}]},
+    ])
+    def test_malformed_documents_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            PolicySet.from_dict(bad)
+
+
+# --------------------------------------------------------------------------
+# versioned storage and planning
+# --------------------------------------------------------------------------
+
+class TestEngine:
+    def test_put_assigns_monotonic_versions(self, kernel):
+        first = kernel.policies.put(_files_policy())
+        second = kernel.policies.put(_files_policy("B says ok(?Subject)"))
+        assert (first, second) == (1, 2)
+        assert kernel.policies.versions("docs") == [1, 2]
+        assert kernel.policies.active_version("docs") is None
+
+    def test_unknown_name_and_version_raise(self, kernel):
+        with pytest.raises(NoSuchPolicy):
+            kernel.policies.plan("ghost")
+        kernel.policies.put(_files_policy())
+        with pytest.raises(NoSuchPolicy):
+            kernel.policies.plan("docs", 7)
+
+    def test_plan_is_pure_and_deterministic(self, kernel, admin):
+        _make_files(kernel, admin)
+        kernel.policies.put(_files_policy())
+        first = kernel.policies.plan("docs")
+        second = kernel.policies.plan("docs")
+        assert first == second
+        assert [a.action for a in first] == ["set"] * 3
+        assert len(kernel.default_guard.goals) == 0  # nothing installed
+
+    def test_apply_then_replan_is_all_keep(self, kernel, admin):
+        _make_files(kernel, admin)
+        kernel.policies.put(_files_policy())
+        result = kernel.policies.apply(admin.pid, "docs")
+        assert (result.set_count, result.cleared,
+                result.epoch_bumps) == (3, 0, 3)
+        assert kernel.policies.active_version("docs") == 1
+        replan = kernel.policies.plan("docs")
+        assert [a.action for a in replan] == ["keep"] * 3
+        reapply = kernel.policies.apply(admin.pid, "docs")
+        assert (reapply.set_count, reapply.epoch_bumps) == (0, 0)
+
+    def test_new_resources_covered_on_reapply(self, kernel, admin):
+        _make_files(kernel, admin, 2)
+        kernel.policies.put(_files_policy())
+        kernel.policies.apply(admin.pid, "docs")
+        kernel.resources.create("/files/doc9", "file", admin.principal)
+        plan = kernel.policies.plan("docs")
+        assert sorted((a.action, a.resource) for a in plan) == [
+            ("keep", "/files/doc0"), ("keep", "/files/doc1"),
+            ("set", "/files/doc9")]
+
+    def test_narrowing_version_clears_abandoned_goals(self, kernel, admin):
+        resources = _make_files(kernel, admin, 3)
+        kernel.policies.put(_files_policy())
+        kernel.policies.apply(admin.pid, "docs")
+        kernel.policies.put(_files_policy(
+            selector=Selector(name="/files/doc0")))
+        result = kernel.policies.apply(admin.pid, "docs")
+        assert (result.set_count, result.cleared) == (0, 2)
+        goals = kernel.default_guard.goals
+        assert goals.get(resources[0].resource_id, "read") is not None
+        assert goals.get(resources[1].resource_id, "read") is None
+
+    def test_clear_rule_reverts_to_default_policy(self, kernel, admin):
+        resources = _make_files(kernel, admin, 1)
+        kernel.policies.put(_files_policy())
+        kernel.policies.apply(admin.pid, "docs")
+        kernel.policies.put(_files_policy(goal=None, name="docs"))
+        result = kernel.policies.apply(admin.pid, "docs")
+        assert result.cleared == 1
+        assert kernel.default_guard.goals.get(
+            resources[0].resource_id, "read") is None
+
+    def test_rollback_restores_prior_goals_and_verdicts(self, kernel,
+                                                        admin):
+        reader = kernel.create_process("reader")
+        resources = _make_files(kernel, admin, 1)
+        resource_id = resources[0].resource_id
+        kernel.policies.put(_files_policy("Admin says ok(?Subject)"))
+        kernel.policies.apply(admin.pid, "docs")
+        cred = parse(f"Admin says ok({reader.principal})")
+        kernel.say_as("Admin", f"ok({reader.principal})",
+                      store=kernel.default_labelstore(reader.pid))
+        bundle = ProofBundle(Assume(cred), credentials=(cred,))
+        assert kernel.authorize(reader.pid, "read", resource_id,
+                                bundle).allow
+        kernel.policies.put(_files_policy("Admin says other(?Subject)"))
+        kernel.policies.apply(admin.pid, "docs")
+        assert not kernel.authorize(reader.pid, "read", resource_id,
+                                    bundle).allow
+        result = kernel.policies.rollback(admin.pid, "docs", 1)
+        assert result.version == 1
+        assert kernel.policies.active_version("docs") == 1
+        assert kernel.authorize(reader.pid, "read", resource_id,
+                                bundle).allow
+
+
+# --------------------------------------------------------------------------
+# the kernel's atomic install path
+# --------------------------------------------------------------------------
+
+class TestApplyPolicy:
+    def test_epoch_bumped_once_per_pair(self, kernel, admin):
+        resources = _make_files(kernel, admin, 2)
+        before = kernel.decision_cache.stats.subregion_invalidations
+        stats = kernel.apply_policy(admin.pid, [
+            (resources[0].resource_id, "read", "A says a(?Subject)", None),
+            (resources[0].resource_id, "read", "A says b(?Subject)", None),
+            (resources[1].resource_id, "read", "A says a(?Subject)", None),
+        ])
+        assert stats["epoch_bumps"] == 2
+        assert (kernel.decision_cache.stats.subregion_invalidations
+                - before) == 2
+        # last change per pair wins
+        assert kernel.default_guard.goals.get(
+            resources[0].resource_id, "read").formula == parse(
+                "A says b(?Subject)")
+
+    def test_unauthorized_apply_changes_nothing(self, kernel, admin):
+        stranger = kernel.create_process("stranger")
+        resources = _make_files(kernel, admin, 2)
+        goals_before = len(kernel.default_guard.goals)
+        with pytest.raises(AccessDenied):
+            kernel.apply_policy(stranger.pid, [
+                (resources[0].resource_id, "read", "true", None),
+                (resources[1].resource_id, "read", "true", None)])
+        assert len(kernel.default_guard.goals) == goals_before
+
+    def test_unparseable_goal_aborts_before_authorization(self, kernel,
+                                                          admin):
+        resources = _make_files(kernel, admin, 1)
+        upcalls_before = kernel.default_guard.upcalls
+        with pytest.raises(Exception):
+            kernel.apply_policy(admin.pid, [
+                (resources[0].resource_id, "read", "says says", None)])
+        assert kernel.default_guard.upcalls == upcalls_before
+        assert len(kernel.default_guard.goals) == 0
+
+    def test_destroyed_resource_does_not_brick_the_set(self, kernel,
+                                                       admin):
+        """Resource teardown leaves orphaned goalstore entries; the next
+        apply must clear them as housekeeping, not die on NoSuchResource
+        — and rollback must keep working too."""
+        resources = _make_files(kernel, admin, 2)
+        kernel.policies.put(_files_policy())
+        kernel.policies.apply(admin.pid, "docs")
+        doomed = resources[1].resource_id
+        kernel.resources.destroy(doomed)
+        assert kernel.default_guard.goals.get(doomed, "read") is not None
+        result = kernel.policies.apply(admin.pid, "docs")
+        assert result.cleared == 1
+        assert kernel.default_guard.goals.get(doomed, "read") is None
+        rolled = kernel.policies.rollback(admin.pid, "docs", 1)
+        assert rolled.version == 1
+
+    def test_set_on_missing_resource_still_errors(self, kernel, admin):
+        from repro.errors import NoSuchResource
+        with pytest.raises(NoSuchResource):
+            kernel.apply_policy(admin.pid, [(31337, "read", "true", None)])
+
+    def test_cover_extends_active_version_incrementally(self, kernel,
+                                                        admin):
+        resources = _make_files(kernel, admin, 1)
+        kernel.policies.put(_files_policy())
+        kernel.policies.apply(admin.pid, "docs")
+        fresh = kernel.resources.create("/files/doc9", "file",
+                                        admin.principal)
+        result = kernel.policies.cover(admin.pid, "docs", fresh)
+        assert (result.set_count, result.epoch_bumps) == (1, 1)
+        assert kernel.default_guard.goals.get(fresh.resource_id,
+                                              "read") is not None
+        # The pair is recorded as policy-owned: a narrowing version
+        # clears it like any other installed goal.
+        kernel.policies.put(_files_policy(
+            selector=Selector(name=resources[0].name)))
+        narrowed = kernel.policies.apply(admin.pid, "docs")
+        assert kernel.default_guard.goals.get(fresh.resource_id,
+                                              "read") is None
+        assert narrowed.cleared >= 1
+        # Covering an unmatched resource is a no-op, never an error.
+        other = kernel.resources.create("/elsewhere/x", "file",
+                                        admin.principal)
+        kernel.policies.rollback(admin.pid, "docs", 1)
+        noop = kernel.policies.cover(admin.pid, "docs", other)
+        assert (noop.set_count, noop.cleared) == (0, 0)
+
+    def test_cover_requires_an_active_version(self, kernel, admin):
+        resources = _make_files(kernel, admin, 1)
+        kernel.policies.put(_files_policy())
+        with pytest.raises(PolicyError):
+            kernel.policies.cover(admin.pid, "docs", resources[0])
+
+    def test_engine_apply_is_atomic_under_mixed_ownership(self, kernel,
+                                                          admin):
+        # One matched resource belongs to someone else: the whole apply
+        # fails and *no* goal (not even on owned resources) is touched.
+        other = kernel.create_process("other")
+        kernel.resources.create("/files/mine", "file", admin.principal)
+        kernel.resources.create("/files/theirs", "file", other.principal)
+        kernel.policies.put(_files_policy())
+        with pytest.raises(AccessDenied):
+            kernel.policies.apply(admin.pid, "docs")
+        assert len(kernel.default_guard.goals) == 0
+        assert kernel.policies.active_version("docs") is None
+
+
+# --------------------------------------------------------------------------
+# structured explanations
+# --------------------------------------------------------------------------
+
+class TestExplanations:
+    def _guarded_file(self, kernel, admin,
+                      goal="Admin says ok(?Subject)"):
+        resource = kernel.resources.create("/files/x", "file",
+                                           admin.principal)
+        kernel.apply_policy(admin.pid,
+                            [(resource.resource_id, "read", goal, None)])
+        return resource
+
+    def test_default_policy_explanation(self, kernel, admin):
+        stranger = kernel.create_process("stranger")
+        resource = kernel.resources.create("/files/x", "file",
+                                           admin.principal)
+        decision = kernel.explain(stranger.pid, "read",
+                                  resource.resource_id)
+        assert not decision.allow
+        explanation = decision.explanation
+        assert explanation.kind == "default-policy"
+        assert explanation.goal is None
+        assert str(admin.principal) in explanation.premise
+
+    def test_no_proof_explanation_carries_instantiated_goal(self, kernel,
+                                                            admin):
+        reader = kernel.create_process("reader")
+        resource = self._guarded_file(kernel, admin)
+        explanation = kernel.explain(reader.pid, "read",
+                                     resource.resource_id).explanation
+        assert explanation.kind == "no-proof"
+        assert str(reader.principal) in explanation.goal
+
+    def test_missing_credential_explanation_names_the_label(self, kernel,
+                                                            admin):
+        reader = kernel.create_process("reader")
+        resource = self._guarded_file(kernel, admin)
+        claimed = parse(f"Admin says ok({reader.principal})")
+        bundle = ProofBundle(Assume(claimed), credentials=(claimed,))
+        explanation = kernel.explain(reader.pid, "read",
+                                     resource.resource_id,
+                                     bundle).explanation
+        assert explanation.kind == "missing-credential"
+        assert explanation.premise == str(claimed)
+        assert "no label" in explanation.detail
+
+    def test_proof_rejected_explanation(self, kernel, admin):
+        reader = kernel.create_process("reader")
+        resource = self._guarded_file(kernel, admin)
+        wrong = parse("Admin says unrelated(thing)")
+        bundle = ProofBundle(Assume(wrong), credentials=(wrong,))
+        explanation = kernel.explain(reader.pid, "read",
+                                     resource.resource_id,
+                                     bundle).explanation
+        assert explanation.kind == "proof-rejected"
+
+    def test_authority_denied_explanation_names_the_port(self, kernel,
+                                                         admin):
+        from repro.kernel.authority import StatementSetAuthority
+        from repro.nal.proof import AuthorityQuery
+        kernel.register_authority("clock", StatementSetAuthority())
+        reader = kernel.create_process("reader")
+        resource = self._guarded_file(kernel, admin,
+                                      goal="Admin says open(now)")
+        statement = parse("Admin says open(now)")
+        bundle = ProofBundle(AuthorityQuery(statement, "clock"))
+        explanation = kernel.explain(reader.pid, "read",
+                                     resource.resource_id,
+                                     bundle).explanation
+        assert explanation.kind == "authority-denied"
+        assert explanation.authority == "clock"
+        assert explanation.premise == str(statement)
+
+    def test_allow_explanation(self, kernel, admin):
+        reader = kernel.create_process("reader")
+        resource = self._guarded_file(kernel, admin)
+        kernel.say_as("Admin", f"ok({reader.principal})",
+                      store=kernel.default_labelstore(reader.pid))
+        claimed = parse(f"Admin says ok({reader.principal})")
+        bundle = ProofBundle(Assume(claimed), credentials=(claimed,))
+        decision = kernel.explain(reader.pid, "read",
+                                  resource.resource_id, bundle)
+        assert decision.allow
+        assert decision.explanation.kind == "allowed"
+
+    def test_explain_bypasses_and_never_warms_the_cache(self, kernel,
+                                                        admin):
+        resource = kernel.resources.create("/files/x", "file",
+                                           admin.principal)
+        inserts_before = kernel.decision_cache.stats.insertions
+        kernel.explain(admin.pid, "read", resource.resource_id)
+        assert kernel.decision_cache.stats.insertions == inserts_before
+        # A cached verdict does not starve explain of its explanation.
+        kernel.authorize(admin.pid, "read", resource.resource_id)
+        cached = kernel.authorize(admin.pid, "read", resource.resource_id)
+        assert cached.reason == "decision cache"
+        assert cached.explanation is None
+        assert kernel.explain(admin.pid, "read",
+                              resource.resource_id).explanation is not None
+
+
+# --------------------------------------------------------------------------
+# the wire surface
+# --------------------------------------------------------------------------
+
+def _clients():
+    return [NexusClient.in_process(NexusService()),
+            NexusClient.over_http(NexusService())]
+
+
+class TestPolicyApi:
+    @pytest.mark.parametrize("client", _clients(),
+                             ids=["direct", "http"])
+    def test_full_lifecycle_over_the_wire(self, client):
+        admin = client.open_session("admin")
+        for i in range(2):
+            admin.create_resource(f"/files/doc{i}", "file")
+        version = admin.put_policy(_files_policy()).version
+        assert version == 1
+        plan = admin.plan_policy("docs")
+        assert [a.action for a in plan.actions] == ["set", "set"]
+        assert plan.actions[0].goal == "Admin says mayRead(?Subject)"
+        applied = admin.apply_policy("docs")
+        assert (applied.set_count, applied.epoch_bumps) == (2, 2)
+        document = admin.get_policy("docs")
+        assert document.document["name"] == "docs"
+        assert document.active == 1
+        admin.put_policy(_files_policy("B says ok(?Subject)"))
+        admin.apply_policy("docs")
+        versions = admin.policy_versions("docs")
+        assert (versions.versions, versions.active) == ([1, 2], 2)
+        rolled = admin.rollback_policy("docs", 1)
+        assert rolled.version == 1
+        assert admin.policy_versions("docs").active == 1
+
+    @pytest.mark.parametrize("client", _clients(),
+                             ids=["direct", "http"])
+    def test_explain_endpoint_structures_the_deny(self, client):
+        admin = client.open_session("admin")
+        reader = client.open_session("reader")
+        admin.create_resource("/files/doc", "file")
+        admin.put_policy(_files_policy(
+            f"{admin.principal} says mayRead(?Subject)"))
+        admin.apply_policy("docs")
+        response = reader.explain("read", "/files/doc", wallet=True)
+        assert not response.verdict.allow
+        assert response.explanation.kind == "no-proof"
+        assert reader.principal in response.explanation.goal
+        # With a claimed-but-unissued credential: the missing label.
+        goal = reader.goal_for("/files/doc", "read")
+        concrete = goal.replace("?Subject", reader.principal)
+        bundle = CredentialSet([concrete]).bundle_for(concrete)
+        response = reader.explain("read", "/files/doc", proof=bundle)
+        assert response.explanation.kind == "missing-credential"
+        assert response.explanation.premise == concrete
+
+    def test_policy_errors_map_to_stable_codes(self):
+        client = _clients()[1]
+        admin = client.open_session("admin")
+        with pytest.raises(ApiError) as excinfo:
+            admin.plan_policy("ghost")
+        assert excinfo.value.code == "E_NO_SUCH_POLICY"
+        assert excinfo.value.http_status == 404
+        with pytest.raises(ApiError) as excinfo:
+            admin.put_policy({"name": "x", "rules": []})
+        assert excinfo.value.code == "E_POLICY"
+        assert excinfo.value.http_status == 400
+
+    def test_apply_requires_authorization_over_the_wire(self):
+        client = _clients()[0]
+        admin = client.open_session("admin")
+        stranger = client.open_session("stranger")
+        admin.create_resource("/files/doc", "file")
+        stranger.put_policy(_files_policy())
+        with pytest.raises(ApiError) as excinfo:
+            stranger.apply_policy("docs")
+        assert excinfo.value.code == "E_ACCESS_DENIED"
+
+    def test_transport_equivalence_of_plan_and_explain(self):
+        results = []
+        for client in _clients():
+            admin = client.open_session("admin")
+            admin.create_resource("/files/doc", "file")
+            admin.put_policy(_files_policy())
+            plan = admin.plan_policy("docs")
+            admin.apply_policy("docs")
+            explained = admin.explain("read", "/files/doc", wallet=True)
+            results.append(([a.to_dict() for a in plan.actions],
+                            explained.explanation.to_dict()))
+        assert results[0] == results[1]
+
+
+# --------------------------------------------------------------------------
+# applications declare their policy as PolicySets
+# --------------------------------------------------------------------------
+
+class TestAppPolicySets:
+    def test_fauxbook_declares_access_policy(self):
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack(access_control="static")
+        stack.put_file("/a.html", b"hello")
+        engine = stack.kernel.policies
+        assert "www-access" in engine.names()
+        assert engine.active_version("www-access") == 1
+        resource = stack.kernel.resources.lookup("/fs/a.html")
+        entry = stack.kernel.default_guard.goals.get(
+            resource.resource_id, "serve")
+        assert str(entry.formula) == "WWWOwner says mayServe(?Subject)"
+        # The declared policy still serves requests end to end.
+        assert stack.request("GET", "/static/a.html").status == 200
+
+    def test_fauxbook_new_files_covered_by_reapply(self):
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack(access_control="none")
+        stack.put_file("/a.html", b"a")
+        stack.put_file("/b.html", b"b")
+        engine = stack.kernel.policies
+        # One declaration, applied as needed — never a second version.
+        assert engine.versions("www-access") == [1]
+        for path in ("/static/a.html", "/static/b.html"):
+            assert stack.request("GET", path).status == 200
+
+    def test_fauxbook_monitor_policy_is_declarative(self):
+        from repro.apps.fauxbook.stack import FauxbookStack
+        stack = FauxbookStack(ref_monitor="kernel")
+        engine = stack.kernel.policies
+        assert engine.active_version("www-monitor") == 1
+        stack.put_file("/a.html", b"a")
+        assert stack.request("GET", "/static/a.html").status == 200
+
+    def test_objectstore_guarded_import_paths(self):
+        from repro.apps.objectstore import (
+            STORE_IMPORT_OPERATION, Schema, TypedObjectStore,
+            install_store_policy, publish_store)
+        kernel = NexusKernel()
+        keeper = kernel.create_process("storekeeper")
+        importer = kernel.create_process("importer")
+        schema = Schema.of(uid="int", name="str")
+        producer = TypedObjectStore(schema, producer="remote-jvm")
+        for i in range(8):
+            producer.put({"uid": i, "name": f"u{i}"})
+        image = producer.export()
+
+        install_store_policy(kernel, keeper.pid)
+        resource = publish_store(kernel, keeper.pid, image)
+        entry = kernel.default_guard.goals.get(resource.resource_id,
+                                               STORE_IMPORT_OPERATION)
+        # The template names the producer recovered from the resource.
+        assert str(entry.formula) == \
+            "TypeCertifier says typesafe(remote-jvm)"
+
+        slow = TypedObjectStore.import_guarded(image, schema, kernel,
+                                               importer.pid, resource)
+        assert slow.validations == 8
+        explanation = kernel.explain(importer.pid, STORE_IMPORT_OPERATION,
+                                     resource.resource_id).explanation
+        assert explanation.kind == "no-proof"
+        assert "typesafe(remote-jvm)" in explanation.goal
+
+        kernel.say_as("TypeCertifier", "typesafe(remote-jvm)",
+                      store=kernel.default_labelstore(importer.pid))
+        fast = TypedObjectStore.import_guarded(image, schema, kernel,
+                                               importer.pid, resource)
+        assert fast.validations == 0
+        assert fast.records() == slow.records()
+
+    def test_objectstore_policy_covers_later_stores(self):
+        from repro.apps.objectstore import (Schema, TypedObjectStore,
+                                            install_store_policy,
+                                            publish_store)
+        kernel = NexusKernel()
+        keeper = kernel.create_process("storekeeper")
+        schema = Schema.of(x="int")
+        install_store_policy(kernel, keeper.pid)
+        for producer_name in ("jvm-a", "jvm-b"):
+            producer = TypedObjectStore(schema, producer=producer_name)
+            producer.put({"x": 1})
+            resource = publish_store(kernel, keeper.pid,
+                                     producer.export())
+            entry = kernel.default_guard.goals.get(resource.resource_id,
+                                                   "import")
+            assert f"typesafe({producer_name})" in str(entry.formula)
+
+
+def test_wire_explanation_kinds_match_the_guard():
+    """The wire's closed kind set must track the guard's exactly."""
+    from repro.api.messages import EXPLANATION_KINDS as WIRE_KINDS
+    from repro.kernel.guard import EXPLANATION_KINDS as GUARD_KINDS
+    assert set(WIRE_KINDS) == set(GUARD_KINDS)
+
+
+def test_wire_rejects_unknown_explanation_kind():
+    from repro.api.messages import Explanation
+    with pytest.raises(ApiError):
+        Explanation.from_dict({"kind": "banana", "operation": "read",
+                               "resource": "/x"})
