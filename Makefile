@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check lint check
+.PHONY: test bench bench-smoke docs-check lint coverage check
 
 ## tier-1: every test and benchmark, fail-fast (the CI gate)
 test:
@@ -13,14 +13,25 @@ test:
 bench:
 	$(PYTHON) -m pytest -q benchmarks
 
+## the same experiments with a minimal measurement budget: proves the
+## benchmark code paths and emits the BENCH_*.json artifacts cheaply
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks
+
 ## execute every python snippet in the documentation
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
-	    docs/api.md docs/nal.md docs/policy.md
+	    docs/api.md docs/nal.md docs/policy.md docs/federation.md
 
 ## docstring coverage for the trusted packages + the service boundary
 lint:
 	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal \
-	    src/repro/api src/repro/policy
+	    src/repro/api src/repro/policy src/repro/federation
 
-check: lint docs-check test
+## line-coverage floor for the federation subsystem (stdlib tracer)
+coverage:
+	$(PYTHON) tools/check_coverage.py --target src/repro/federation \
+	    --floor 85 -- -q tests/test_federation.py \
+	    tests/test_differential.py tests/test_nal_properties.py
+
+check: lint docs-check coverage test

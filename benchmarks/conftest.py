@@ -1,5 +1,13 @@
-"""Benchmark-suite configuration: calibration and report printing."""
+"""Benchmark-suite configuration: calibration and report printing.
 
+``BENCH_SMOKE=1`` in the environment switches the whole suite to smoke
+mode: every measurement runs with a minimal round/iteration budget, so
+CI can exercise the benchmark code paths (and still emit the
+``BENCH_*.json`` artifacts) without paying for statistically meaningful
+timings.
+"""
+
+import os
 import sys
 from pathlib import Path
 
@@ -8,6 +16,8 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 
 import reporting  # noqa: E402
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -20,8 +30,15 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 @pytest.fixture
 def bench_us(benchmark):
-    """Run a callable under pytest-benchmark and return its mean in µs."""
+    """Run a callable under pytest-benchmark and return its mean in µs.
+
+    In smoke mode (``BENCH_SMOKE=1``) the requested budget collapses to
+    2 rounds × 1 iteration — enough to prove the measured path works and
+    to populate the report, cheap enough for every CI run.
+    """
     def runner(fn, *args, rounds: int = 30, iterations: int = 20):
+        if SMOKE:
+            rounds, iterations = 2, 1
         benchmark.pedantic(fn, args=args, rounds=rounds,
                            iterations=iterations)
         return benchmark.stats.stats.mean * 1e6

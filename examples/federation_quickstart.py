@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Federation quickstart: credentials that outlive their kernel (§2.4).
+
+Two Nexus kernels, each behind its own HTTP-mounted attestation service:
+
+1. on kernel **A**, a certifier process says its credential;
+2. the credential set leaves A as a **signed certificate-chain bundle**
+   (one TPM-rooted chain per label, bound by an NK-signed manifest);
+3. kernel **B** pins A's platform root key in its peer registry, admits
+   the bundle, and the remote subject becomes a first-class local
+   principal (``site-a./proc/ipd/N``);
+4. the admitted principal earns the **same verdict** as an equivalently
+   credentialed local principal;
+5. tampering with any certificate in the bundle flips admission into a
+   structured ``E_BAD_CHAIN`` deny;
+6. re-admitting the same bundle is served from the digest-keyed import
+   cache — no RSA verification on the warm path.
+
+Run:  python examples/federation_quickstart.py
+"""
+
+import json
+
+from repro.api import ApiError, NexusClient, NexusService
+from repro.kernel.kernel import NexusKernel
+
+PEER = "site-a"
+
+
+def main() -> None:
+    # Two platforms with distinct TPM identities.
+    service_a = NexusService(NexusKernel(key_seed=1001))
+    service_b = NexusService(NexusKernel(key_seed=7007))
+    client_a = NexusClient.over_http(service_a)
+    client_b = NexusClient.over_http(service_b)
+
+    # Kernel A: the certifier mints its credential and exports it.
+    certifier = client_a.open_session("certifier")
+    certifier.say("ok(door)")
+    exported = certifier.export_credentials()
+    print(f"[A] exported {len(exported.bundle['chains'])} chain(s), "
+          f"digest {exported.digest[:16]}…")
+
+    # Kernel B: pin A's platform root key, then admit the bundle.
+    admin = client_b.open_session("admin")
+    identity = client_a.info().platform
+    admin.add_peer(PEER, identity["root_key"],
+                   platform=identity["platform"])
+    admission = admin.admit_remote(exported.bundle)
+    print(f"[B] admitted remote principal {admission.remote_principal} "
+          f"(local stand-in {admission.principal})")
+
+    # A local twin with the very same credential, for comparison.
+    twin = client_b.open_session("twin")
+    twin.say("ok(door)")
+
+    # One door, two goals — each naming its subject's speaker.
+    door = admin.create_resource("/files/door", "file")
+    kernel_b = service_b.kernel
+    receipt = kernel_b.federation.find(admission.digest)
+
+    admin.set_goal(door, "open", f"{twin.principal} says ok(door)")
+    local_verdict = twin.authorize("open", door, wallet=True)
+
+    admin.set_goal(door, "open",
+                   f"{admission.remote_principal} says ok(door)")
+    remote_decision = kernel_b.authorize_remote(admission.digest, "open",
+                                                door.resource_id)
+    print(f"local twin: allow={local_verdict.allow} "
+          f"({local_verdict.reason})")
+    print(f"admitted remote: allow={remote_decision.allow} "
+          f"({remote_decision.reason})")
+    assert local_verdict.allow == remote_decision.allow is True
+    assert local_verdict.reason == remote_decision.reason
+    print("same verdict for the remote principal as for the local twin")
+
+    # Tampering with any certificate flips admission to a structured deny.
+    tampered = json.loads(json.dumps(exported.bundle))
+    tampered["chains"][0]["certs"][-1]["statement"] = \
+        tampered["chains"][0]["certs"][-1]["statement"].replace(
+            "ok(door)", "ok(everything)")
+    try:
+        admin.admit_remote(tampered)
+    except ApiError as error:
+        print(f"tampered bundle refused: {error.code}")
+
+    # Warm admissions replay from the digest-keyed import cache.
+    warm = admin.admit_remote(digest=exported.digest)
+    print(f"warm re-admission cached={warm.cached} "
+          f"(cold={kernel_b.federation.cold_admissions}, "
+          f"hits={kernel_b.federation.cache_hits})")
+
+    # Revoking the peer drops every principal it sponsored.
+    peer_id = identity["peer_id"]
+    dropped = kernel_b.revoke_peer(peer_id)
+    print(f"peer revoked: dropped {dropped} admitted principal(s); "
+          f"pid {receipt.pid} alive: {receipt.pid in kernel_b.processes}")
+
+
+if __name__ == "__main__":
+    main()

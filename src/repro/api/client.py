@@ -410,6 +410,50 @@ class ClientSession:
             proof=self._proof_doc(proof), wallet=wallet),
             msg.ExplainResponse)
 
+    # -- federation -------------------------------------------------------
+
+    def add_peer(self, name: str, root_key: Dict[str, Any],
+                 platform: str = "") -> msg.PeerResponse:
+        """Pin a foreign kernel's platform root key under a local alias
+        (``root_key`` as exported by the peer's ``info().platform``)."""
+        return self._call(msg.PeerAddRequest(
+            session=self.token, name=name, root_key=dict(root_key),
+            platform=platform), msg.PeerResponse)
+
+    def list_peers(self) -> List[Dict[str, Any]]:
+        """Every registered peer record (id, alias, trust state)."""
+        response = self._call(msg.PeerListRequest(session=self.token),
+                              msg.PeerListResponse)
+        return response.peers
+
+    def export_credentials(self) -> msg.BundleResponse:
+        """Export my credential set as a signed, self-contained bundle
+        another kernel can admit; the response carries the bundle
+        document and its admission-cache digest."""
+        return self._call(msg.FederationExportRequest(session=self.token),
+                          msg.BundleResponse)
+
+    def admit_remote(self, bundle: Union[Dict[str, Any], None] = None,
+                     digest: Optional[str] = None) -> msg.AdmissionResponse:
+        """Admit a peer kernel's credential bundle (or replay an earlier
+        admission by ``digest``); returns the admission receipt naming
+        the new local principal."""
+        if bundle is None and digest is None:
+            # Match the wire decoder's rejection so both transports
+            # report the same code for an empty admit.
+            raise ApiError("E_BAD_REQUEST",
+                           "admit needs a bundle document or a digest")
+        document = bundle
+        if bundle is not None and not isinstance(bundle, dict):
+            to_dict = getattr(bundle, "to_dict", None)
+            if not callable(to_dict):
+                raise ApiError("E_BAD_REQUEST",
+                               f"cannot encode bundle {bundle!r}")
+            document = to_dict()
+        return self._call(msg.FederationAdmitRequest(
+            session=self.token, bundle=document, digest=digest),
+            msg.AdmissionResponse)
+
     # -- introspection ---------------------------------------------------
 
     def stats(self) -> msg.SessionStatsResponse:

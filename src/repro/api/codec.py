@@ -11,11 +11,10 @@ kernel state is touched.
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.api.errors import bad_request
-from repro.crypto.certs import Certificate, CertificateChain
+from repro.crypto.certs import CertificateChain
 from repro.crypto.rsa import RSAPublicKey
 from repro.errors import ParseError
 from repro.nal.formula import Formula
@@ -148,8 +147,7 @@ def maybe_decode_bundle(data: Any) -> Optional[ProofBundle]:
 
 def encode_chain(chain: CertificateChain) -> Dict[str, Any]:
     """Encode a TPM-rooted certificate chain for transport."""
-    return {"root_key": chain.root_key.to_dict(),
-            "certs": [json.loads(cert.to_json()) for cert in chain.certs]}
+    return chain.to_document()
 
 
 def decode_chain(data: Any) -> CertificateChain:
@@ -157,14 +155,44 @@ def decode_chain(data: Any) -> CertificateChain:
     if not isinstance(data, dict):
         raise bad_request(f"certificate chain must be an object, got "
                           f"{type(data).__name__}")
-    root = data.get("root_key")
-    certs = data.get("certs")
-    if not isinstance(root, dict) or not isinstance(certs, list):
-        raise bad_request("chain needs 'root_key' object and 'certs' list")
     try:
-        root_key = RSAPublicKey.from_dict(root)
-        parsed: List[Certificate] = [
-            Certificate.from_json(json.dumps(cert)) for cert in certs]
+        return CertificateChain.from_document(data)
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise bad_request(f"malformed certificate chain: {exc}") from exc
-    return CertificateChain(root_key=root_key, certs=parsed)
+
+
+# --------------------------------------------------------------------------
+# federated credential bundles
+# --------------------------------------------------------------------------
+
+def encode_credential_bundle(bundle) -> Dict[str, Any]:
+    """A :class:`~repro.federation.bundle.CredentialBundle` for the wire."""
+    return bundle.to_dict()
+
+
+def decode_credential_bundle(data: Any):
+    """Decode a credential bundle's wire document.
+
+    A non-object body is an ``E_BAD_REQUEST`` like every other codec
+    failure; a bundle-shaped document with malformed fields keeps its
+    ``E_BAD_CHAIN`` identity (raised by ``CredentialBundle.from_dict``)
+    so clients can distinguish "you sent junk" from "your evidence does
+    not hold up".  Cryptographic verification happens at admission,
+    never here.
+    """
+    from repro.federation.bundle import CredentialBundle
+    if not isinstance(data, dict):
+        raise bad_request(f"credential bundle must be an object, got "
+                          f"{type(data).__name__}")
+    return CredentialBundle.from_dict(data)
+
+
+def decode_public_key(data: Any) -> RSAPublicKey:
+    """Decode one RSA public key document (peer registration)."""
+    if not isinstance(data, dict):
+        raise bad_request(f"public key must be an object, got "
+                          f"{type(data).__name__}")
+    try:
+        return RSAPublicKey.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise bad_request(f"malformed public key: {exc}") from exc

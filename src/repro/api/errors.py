@@ -45,6 +45,9 @@ HTTP_STATUS = {
     "E_POLICY": 400,
     "E_NO_SUCH_POLICY": 404,
     "E_QUOTA_EXCEEDED": 429,
+    "E_FEDERATION": 400,
+    "E_BAD_CHAIN": 400,
+    "E_UNTRUSTED_PEER": 403,
 }
 
 

@@ -743,6 +743,91 @@ class ExplainRequest(ApiRequest):
                                     required=False, default=False)))
 
 
+# -- federation (/api/v1/federation/*) -------------------------------------
+
+@dataclass
+class PeerAddRequest(ApiRequest):
+    """Pin a foreign kernel's platform root key under a local alias."""
+
+    session: str
+    name: str
+    root_key: Dict[str, Any]
+    platform: str = ""
+
+    KIND = "federation/peer-add"
+
+    def payload(self):
+        return {"session": self.session, "name": self.name,
+                "root_key": self.root_key, "platform": self.platform}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   root_key=_get(payload, "root_key", (dict,)),
+                   platform=_get(payload, "platform", (str,),
+                                 required=False, default=""))
+
+
+@dataclass
+class PeerListRequest(ApiRequest):
+    """List every registered peer and its trust state."""
+
+    session: str
+
+    KIND = "federation/peer-list"
+
+    def payload(self):
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)))
+
+
+@dataclass
+class FederationExportRequest(ApiRequest):
+    """Export the session's credential set as one signed bundle."""
+
+    session: str
+
+    KIND = "federation/export"
+
+    def payload(self):
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)))
+
+
+@dataclass
+class FederationAdmitRequest(ApiRequest):
+    """Verify a peer kernel's bundle and admit its subject as a local
+    principal.  ``bundle`` is a full bundle document, or ``digest``
+    replays an earlier admission from the import cache."""
+
+    session: str
+    bundle: Optional[Dict[str, Any]] = None
+    digest: Optional[str] = None
+
+    KIND = "federation/admit"
+
+    def payload(self):
+        return {"session": self.session, "bundle": self.bundle,
+                "digest": self.digest}
+
+    @classmethod
+    def from_payload(cls, payload):
+        bundle = _get(payload, "bundle", (dict,), required=False)
+        digest = _get(payload, "digest", (str,), required=False)
+        if bundle is None and digest is None:
+            raise bad_request("admit needs a 'bundle' document or a "
+                              "'digest' of an earlier admission")
+        return cls(session=_get(payload, "session", (str,)),
+                   bundle=bundle, digest=digest)
+
+
 @dataclass
 class IndexRequest(ApiRequest):
     """Discover the mounted API surface (also served as ``GET /api/v1/``)."""
@@ -1069,18 +1154,26 @@ class SessionStatsResponse(ApiResponse):
 
 @dataclass
 class InfoResponse(ApiResponse):
-    """Service metadata plus the decision-cache counters and epochs."""
+    """Service metadata plus the decision-cache counters and epochs.
+
+    ``platform`` carries the kernel's federation identity (platform
+    principal name, root-key fingerprint, and the public root key) so a
+    prospective peer can discover what to pin — trust-on-first-use; for
+    real deployments the key still travels out of band.
+    """
 
     version: str
     boot_id: str
     sessions: int
     cache: Dict[str, Any] = field(default_factory=dict)
+    platform: Dict[str, Any] = field(default_factory=dict)
 
     KIND = "info_result"
 
     def payload(self):
         return {"version": self.version, "boot_id": self.boot_id,
-                "sessions": self.sessions, "cache": dict(self.cache)}
+                "sessions": self.sessions, "cache": dict(self.cache),
+                "platform": dict(self.platform)}
 
     @classmethod
     def from_payload(cls, payload):
@@ -1088,7 +1181,9 @@ class InfoResponse(ApiResponse):
                    boot_id=_get(payload, "boot_id", (str,)),
                    sessions=_get(payload, "sessions", (int,)),
                    cache=_get(payload, "cache", (dict,),
-                              required=False, default={}))
+                              required=False, default={}),
+                   platform=_get(payload, "platform", (dict,),
+                                 required=False, default={}))
 
 
 @dataclass
@@ -1236,6 +1331,110 @@ class PolicyVersionsResponse(ApiResponse):
 
 
 @dataclass
+class PeerResponse(ApiResponse):
+    """One registered peer: id, alias, trust state, admission count."""
+
+    peer_id: str
+    name: str
+    trusted: bool = True
+    platform: str = ""
+    admitted: int = 0
+
+    KIND = "peer"
+
+    def payload(self):
+        return {"peer_id": self.peer_id, "name": self.name,
+                "trusted": self.trusted, "platform": self.platform,
+                "admitted": self.admitted}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(peer_id=_get(payload, "peer_id", (str,)),
+                   name=_get(payload, "name", (str,)),
+                   trusted=bool(_get(payload, "trusted", (bool,),
+                                     required=False, default=True)),
+                   platform=_get(payload, "platform", (str,),
+                                 required=False, default=""),
+                   admitted=_get(payload, "admitted", (int,),
+                                 required=False, default=0))
+
+
+@dataclass
+class PeerListResponse(ApiResponse):
+    """Every registered peer, registration order."""
+
+    peers: List[Dict[str, Any]] = field(default_factory=list)
+
+    KIND = "peer_list"
+
+    def payload(self):
+        return {"peers": [dict(peer) for peer in self.peers]}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "peers", (list,))
+        for peer in raw:
+            if not isinstance(peer, dict):
+                raise bad_request("peers must be objects")
+        return cls(peers=[dict(peer) for peer in raw])
+
+
+@dataclass
+class BundleResponse(ApiResponse):
+    """An exported credential bundle plus its admission-cache digest."""
+
+    bundle: Dict[str, Any] = field(default_factory=dict)
+    digest: str = ""
+
+    KIND = "credential_bundle"
+
+    def payload(self):
+        return {"bundle": self.bundle, "digest": self.digest}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(bundle=_get(payload, "bundle", (dict,)),
+                   digest=_get(payload, "digest", (str,), required=False,
+                               default=""))
+
+
+@dataclass
+class AdmissionResponse(ApiResponse):
+    """The receipt for an admitted bundle: who the remote subject now is
+    on this kernel, and whether the import cache served it."""
+
+    digest: str
+    peer: str
+    subject: str
+    remote_principal: str
+    principal: str
+    labels: int = 0
+    cached: bool = False
+
+    KIND = "admission"
+
+    def payload(self):
+        return {"digest": self.digest, "peer": self.peer,
+                "subject": self.subject,
+                "remote_principal": self.remote_principal,
+                "principal": self.principal, "labels": self.labels,
+                "cached": self.cached}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(digest=_get(payload, "digest", (str,)),
+                   peer=_get(payload, "peer", (str,)),
+                   subject=_get(payload, "subject", (str,)),
+                   remote_principal=_get(payload, "remote_principal",
+                                         (str,)),
+                   principal=_get(payload, "principal", (str,)),
+                   labels=_get(payload, "labels", (int,), required=False,
+                               default=0),
+                   cached=bool(_get(payload, "cached", (bool,),
+                                    required=False, default=False)))
+
+
+@dataclass
 class ExplainResponse(ApiResponse):
     """A verdict plus its structured explanation."""
 
@@ -1269,7 +1468,8 @@ REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
         ExternalizeRequest, ImportChainRequest, ProveRequest,
         PolicyPutRequest, PolicyPlanRequest, PolicyApplyRequest,
         PolicyRollbackRequest, PolicyGetRequest, PolicyVersionsRequest,
-        ExplainRequest, IndexRequest,
+        ExplainRequest, PeerAddRequest, PeerListRequest,
+        FederationExportRequest, FederationAdmitRequest, IndexRequest,
         SessionStatsRequest, InfoRequest)}
 
 RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
@@ -1280,7 +1480,8 @@ RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
         ChainResponse, ProveResponse, SessionStatsResponse, InfoResponse,
         IndexResponse, PolicyVersionResponse, PolicyPlanResponse,
         PolicyApplyResponse, PolicyDocResponse, PolicyVersionsResponse,
-        ExplainResponse)}
+        ExplainResponse, PeerResponse, PeerListResponse, BundleResponse,
+        AdmissionResponse)}
 
 
 def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]

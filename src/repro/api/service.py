@@ -103,6 +103,10 @@ class NexusService:
             msg.PolicyGetRequest.KIND: self._policy_get,
             msg.PolicyVersionsRequest.KIND: self._policy_versions,
             msg.ExplainRequest.KIND: self._explain,
+            msg.PeerAddRequest.KIND: self._peer_add,
+            msg.PeerListRequest.KIND: self._peer_list,
+            msg.FederationExportRequest.KIND: self._federation_export,
+            msg.FederationAdmitRequest.KIND: self._federation_admit,
             msg.IndexRequest.KIND: self._index,
             msg.SessionStatsRequest.KIND: self._session_stats,
             msg.InfoRequest.KIND: self._info,
@@ -488,6 +492,46 @@ class NexusService:
             verdict=_verdict(decision),
             explanation=_explanation(decision.explanation))
 
+    # -- federation -------------------------------------------------------
+
+    def _peer_add(self, _session: Session,
+                  request: msg.PeerAddRequest) -> msg.PeerResponse:
+        root_key = codec.decode_public_key(request.root_key)
+        peer = self.kernel.add_peer(request.name, root_key,
+                                    platform=request.platform)
+        return msg.PeerResponse(peer_id=peer.peer_id, name=peer.name,
+                                trusted=peer.trusted,
+                                platform=peer.platform,
+                                admitted=peer.admitted)
+
+    def _peer_list(self, _session: Session,
+                   _request: msg.PeerListRequest) -> msg.PeerListResponse:
+        return msg.PeerListResponse(
+            peers=[peer.to_dict() for peer in self.kernel.peers])
+
+    def _federation_export(self, session: Session,
+                           _request: msg.FederationExportRequest
+                           ) -> msg.BundleResponse:
+        bundle = self.kernel.export_credentials(session.pid)
+        return msg.BundleResponse(
+            bundle=codec.encode_credential_bundle(bundle),
+            digest=bundle.digest())
+
+    def _federation_admit(self, _session: Session,
+                          request: msg.FederationAdmitRequest
+                          ) -> msg.AdmissionResponse:
+        if request.bundle is not None:
+            evidence = codec.decode_credential_bundle(request.bundle)
+        else:
+            evidence = request.digest
+        admission = self.kernel.admit_remote(evidence)
+        return msg.AdmissionResponse(
+            digest=admission.digest, peer=admission.peer_name,
+            subject=admission.subject,
+            remote_principal=admission.remote_principal,
+            principal=str(admission.principal),
+            labels=admission.labels, cached=admission.cached)
+
     # -- introspection ---------------------------------------------------
 
     def _index(self, _session, _request: msg.IndexRequest
@@ -511,7 +555,8 @@ class NexusService:
         return msg.InfoResponse(version=self.VERSION,
                                 boot_id=self.kernel.boot.boot_id(),
                                 sessions=len(self._sessions),
-                                cache=self._cache_snapshot())
+                                cache=self._cache_snapshot(),
+                                platform=self.kernel.platform_identity())
 
 
 def _verdict(decision: GuardDecision) -> msg.Verdict:

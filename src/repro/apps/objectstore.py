@@ -83,6 +83,44 @@ def _wallet_proof(kernel, pid: int, resource):
                                 resource)
 
 
+def federated_certifier(peer_name: str, bundle) -> str:
+    """The speaker a *remote* certifier appears as after admission.
+
+    When kernel A's certifier (``/proc/ipd/N``) is admitted on kernel B
+    under peer alias ``peer_name``, its statements are re-attributed to
+    the alias-qualified principal ``<peer_name>.</proc/ipd/N>`` — this is
+    the name B's store policy must demand.  ``bundle`` is the exported
+    :class:`~repro.federation.bundle.CredentialBundle` (or its wire
+    dict) carrying the certifier's subject path.
+    """
+    subject = bundle["subject"] if isinstance(bundle, dict) else \
+        bundle.subject
+    return f"{peer_name}.{subject}"
+
+
+def import_federated(image: StoreImage, schema: Schema, kernel,
+                     bundle, prefix: str = STORE_RESOURCE_PREFIX
+                     ) -> "TypedObjectStore":
+    """The two-kernel §4 flow: producer attestation minted on kernel A
+    authorizes the fast path on kernel B.
+
+    ``bundle`` is the certifier's credential bundle exported from the
+    *producing* kernel (or the digest of an earlier admission).  The
+    importing kernel admits it (verifying the TPM-rooted chains against
+    its peer registry) and runs the ordinary guarded import as the
+    admitted principal — so a remote attestation and a local credential
+    take the same Figure-1 path and select the same fast/slow verdict.
+    A deny is data, not an error: it selects the slow path.
+    """
+    body = TypedObjectStore._decode_image(image, schema)
+    store = TypedObjectStore(schema, producer=image.producer)
+    resource = kernel.resources.lookup(f"{prefix}{image.producer}")
+    decision = kernel.authorize_remote(bundle, STORE_IMPORT_OPERATION,
+                                       resource.resource_id)
+    return TypedObjectStore._populate(store, body["records"],
+                                      bool(decision.allow))
+
+
 @dataclass(frozen=True)
 class Schema:
     """Field name → type name; the invariant both runtimes enforce."""

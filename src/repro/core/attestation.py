@@ -113,6 +113,19 @@ class Nexus:
                                         resource.resource_id, invoke, *args,
                                         bundle=bundle)
 
+    # -- federation ---------------------------------------------------------------------
+
+    def export_credentials(self, process: Process):
+        """Export a process's credentials as a signed, self-contained
+        bundle another kernel can admit (see
+        :func:`export_credential_bundle`)."""
+        return export_credential_bundle(self.kernel, process.pid)
+
+    def admit_remote(self, bundle):
+        """Admit a peer kernel's bundle as a first-class local principal
+        (delegates to :meth:`NexusKernel.admit_remote`)."""
+        return self.kernel.admit_remote(bundle)
+
     # -- authorities ----------------------------------------------------------------------
 
     def register_authority(self, port: str, authority: Authority) -> None:
@@ -166,6 +179,37 @@ def kernel_wallet_bundle(kernel, pid: int, operation: str,
     store = kernel.default_labelstore(pid)
     return wallet_bundle(entry.formula, subject, resource,
                          CredentialSet(store.formulas()))
+
+
+def export_credential_bundle(kernel, pid: int):
+    """Externalize every label of a process into one signed bundle.
+
+    The federation export helper at the attestation layer: each label
+    becomes its own TPM-rooted certificate chain, and the set is bound
+    together by an NK-signed manifest, so the result is self-contained
+    evidence a peer kernel can verify with nothing but this platform's
+    pinned root key.
+    """
+    from repro.federation.bundle import export_credentials
+    return export_credentials(kernel, pid)
+
+
+def verify_credential_bundle(kernel, bundle):
+    """Verify a (decoded or wire-form) bundle against the kernel's own
+    peer registry, without admitting anything.
+
+    Raises :class:`~repro.errors.UntrustedPeer` when no trusted peer
+    holds the bundle's root key and :class:`~repro.errors.BadChain` on
+    any cryptographic or structural failure; returns the parsed leaf
+    labels on success.  This is the read-only half of
+    :meth:`~repro.kernel.kernel.NexusKernel.admit_remote` — use it to
+    inspect evidence before deciding to mint a principal for it.
+    """
+    from repro.federation.bundle import CredentialBundle
+    if isinstance(bundle, dict):
+        bundle = CredentialBundle.from_dict(bundle)
+    peer = kernel.peers.require(bundle.root_fingerprint)
+    return bundle.verify(peer.root_key)
 
 
 def parse_resource_term(resource: Resource):

@@ -85,6 +85,35 @@ class RevocationService:
         self.authority.assert_statement(claim)
         self.kernel.decision_cache.bump_policy_epoch()
 
+    # -- peer keys -------------------------------------------------------------
+
+    def revoke_peer(self, peer_id: str) -> int:
+        """Withdraw trust from a federated peer key.
+
+        The same third-party pattern applied to platform keys: the peer
+        registry marks the key untrusted, every principal its bundles
+        sponsored is dropped, and the policy-epoch bump retires both the
+        decision-cache verdicts *and* every digest-cached admission —
+        any bundle from any peer must re-verify on next touch.  Returns
+        how many admitted principals were dropped.
+        """
+        return self.kernel.revoke_peer(peer_id)
+
+    def reinstate_peer(self, peer_id: str, name: str) -> None:
+        """Re-trust a previously revoked peer key under its alias.
+
+        Admissions do not resurrect: bundles must be re-presented and
+        re-verified.  The policy epoch is bumped so cached *denials*
+        made while the peer was revoked are retired too.
+        """
+        peer = self.kernel.peers.get(peer_id)
+        if peer is None:
+            from repro.errors import UntrustedPeer
+            raise UntrustedPeer(
+                f"no peer {peer_id[:16]}… to reinstate")
+        self.kernel.peers.add(name, peer.root_key, platform=peer.platform)
+        self.kernel.decision_cache.bump_policy_epoch()
+
     def is_valid(self, issuer: Process,
                  statement: Union[str, Formula]) -> bool:
         claim = self._lookup(issuer, statement)

@@ -145,6 +145,31 @@ class CertificateChain:
             raise SignatureError("empty certificate chain")
         return self.certs[-1]
 
+    def to_document(self) -> dict:
+        """The chain as one plain JSON document — the single wire form
+        shared by the API codec and federated credential bundles."""
+        return {"root_key": self.root_key.to_dict(),
+                "certs": [json.loads(cert.to_json())
+                          for cert in self.certs]}
+
+    @staticmethod
+    def from_document(data: dict) -> "CertificateChain":
+        """Rebuild a chain from :meth:`to_document` output.
+
+        Malformed input raises ``KeyError``/``TypeError``/``ValueError``
+        — each boundary (API codec, bundle decoding) maps those to its
+        own error taxonomy.  No verification happens here.
+        """
+        root = data["root_key"]
+        certs = data["certs"]
+        if not isinstance(root, dict) or not isinstance(certs, list):
+            raise TypeError(
+                "chain needs a 'root_key' object and 'certs' list")
+        return CertificateChain(
+            root_key=RSAPublicKey.from_dict(root),
+            certs=[Certificate.from_json(json.dumps(cert))
+                   for cert in certs])
+
     def speaker_path(self) -> list[str]:
         """The says-chain of principals, root first."""
         names = [cert.issuer for cert in self.certs]

@@ -189,6 +189,30 @@ class QuotaExceeded(KernelError):
 
 
 # --------------------------------------------------------------------------
+# Federation errors (cross-kernel credential exchange)
+# --------------------------------------------------------------------------
+
+class FederationError(KernelError):
+    """Base class for cross-kernel credential-exchange failures."""
+
+    code = "E_FEDERATION"
+
+
+class UntrustedPeer(FederationError):
+    """A credential bundle is rooted at a key no registered, trusted peer
+    holds (or the peer has been revoked)."""
+
+    code = "E_UNTRUSTED_PEER"
+
+
+class BadChain(FederationError):
+    """A credential bundle failed verification: a broken certificate
+    chain, a bad manifest signature, or a leaf that is not a label."""
+
+    code = "E_BAD_CHAIN"
+
+
+# --------------------------------------------------------------------------
 # Application-layer errors
 # --------------------------------------------------------------------------
 

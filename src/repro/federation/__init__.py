@@ -1,0 +1,29 @@
+"""Federation: cross-kernel credential exchange (§2.4 beyond one machine).
+
+The paper's labels outlive the kernel that minted them: externalized as
+certificate chains signed by boot-derived keys, they can convince other
+machines.  This package is that capability for the reproduction:
+
+* :mod:`repro.federation.registry` — the peer registry: which foreign
+  kernels this kernel trusts, pinned by platform root key;
+* :mod:`repro.federation.bundle` — signed, self-contained credential
+  bundles: every label of a process as its own TPM-rooted chain, bound
+  together by an NK-signed manifest;
+* :mod:`repro.federation.admission` — admission control: verified
+  bundles become first-class local principals, cached by bundle digest
+  and epoch-invalidated on revocation.
+
+The kernel front door is :meth:`repro.kernel.kernel.NexusKernel.admit_remote`
+/ :meth:`~repro.kernel.kernel.NexusKernel.authorize_remote`; the wire
+front door is ``/api/v1/federation/*`` (:mod:`repro.api`).
+"""
+
+from repro.federation.admission import (AdmissionControl, BundleLike,
+                                        RemoteAdmission)
+from repro.federation.bundle import (CredentialBundle, chain_digest,
+                                     export_credentials)
+from repro.federation.registry import Peer, PeerRegistry, peer_id_for
+
+__all__ = ["AdmissionControl", "BundleLike", "CredentialBundle", "Peer",
+           "PeerRegistry", "RemoteAdmission", "chain_digest",
+           "export_credentials", "peer_id_for"]

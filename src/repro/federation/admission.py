@@ -1,0 +1,247 @@
+"""Admission control: turning verified bundles into local principals.
+
+Admission is the receiving half of federation.  A verified
+:class:`~repro.federation.bundle.CredentialBundle` becomes a
+**first-class remote principal**: a local process whose labelstore holds
+
+* the imported labels under their fully qualified TPM-rooted speakers
+  (``TPM-….NK-….<speaker>``) — the cryptographic ground truth;
+* alias-qualified copies (``<peer>.<speaker> says S``) attributed by the
+  admitting kernel, so local goals can name remote speakers through the
+  peer alias instead of raw key fingerprints;
+* the delegation binding the issue's ``RemoteKernel says P speaksfor …``
+  describes: ``<peer> says (<local principal> speaksfor
+  <peer>.<remote subject>)``.
+
+Verification is expensive (one RSA verify per certificate plus the
+manifest), so admissions are cached by **bundle digest**.  The cache is
+epoch-invalidated: every entry remembers the kernel decision-cache
+policy epoch it was admitted under, and any revocation
+(:mod:`repro.core.revocation` bumps the policy epoch) forces the next
+touch to re-verify the bundle from scratch — at which point a revoked
+peer key fails ``require`` and the admitted principal is dropped,
+labels and all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
+
+from repro.errors import BadChain
+from repro.federation.bundle import CredentialBundle
+from repro.federation.registry import Peer
+from repro.nal.formula import Speaksfor
+from repro.nal.terms import Name, Principal
+
+#: What admission entry points accept: a bundle object, its wire
+#: document, or the digest of an already admitted bundle.
+BundleLike = Union[CredentialBundle, dict, str]
+
+
+@dataclass(frozen=True)
+class RemoteAdmission:
+    """The receipt for one admitted bundle.
+
+    ``principal``/``pid`` name the local stand-in process;
+    ``remote_principal`` is the alias-qualified name of the remote
+    subject (what goals on this kernel refer to); ``cached`` reports
+    whether this admission was served from the digest cache.
+    """
+
+    digest: str
+    peer_id: str
+    peer_name: str
+    subject: str
+    remote_principal: str
+    principal: Principal
+    pid: int
+    labels: int
+    policy_epoch: int
+    cached: bool = False
+
+
+@dataclass
+class _Entry:
+    """One cache slot: the receipt plus the bundle that justifies it."""
+
+    admission: RemoteAdmission
+    bundle: CredentialBundle
+
+
+class AdmissionControl:
+    """The kernel-side admission layer over one peer registry."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._entries: Dict[str, _Entry] = {}
+        self.cold_admissions = 0
+        self.cache_hits = 0
+        self.refreshes = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def admit(self, bundle: BundleLike) -> RemoteAdmission:
+        """Verify a bundle (or replay a cached admission) and return the
+        receipt for its local principal.
+
+        Digest strings only replay: an unknown digest raises
+        :class:`~repro.errors.BadChain` because there is nothing to
+        verify.  Full bundles take the cold path on first sight — peer
+        lookup, chain-by-chain verification, manifest check — and the
+        warm path (a dict probe) afterwards.
+        """
+        if isinstance(bundle, str):
+            entry = self._entries.get(bundle)
+            if entry is None:
+                raise BadChain(f"no admission for digest {bundle[:16]}…; "
+                               f"present the full bundle")
+            return self._touch(entry)
+        if isinstance(bundle, dict):
+            bundle = CredentialBundle.from_dict(bundle)
+        if not isinstance(bundle, CredentialBundle):
+            raise BadChain(f"cannot admit {type(bundle).__name__}: "
+                           f"expected a bundle, its document, or a digest")
+        entry = self._entries.get(bundle.digest())
+        if entry is not None:
+            return self._touch(entry)
+        return self._admit_cold(bundle)
+
+    def _touch(self, entry: _Entry) -> RemoteAdmission:
+        """Serve a cached admission, re-verifying if the epoch moved."""
+        if self._live(entry):
+            self.cache_hits += 1
+            return replace(entry.admission, cached=True)
+        return self._refresh(entry)
+
+    def _live(self, entry: _Entry) -> bool:
+        """A cached admission is live while no revocation intervened and
+        its peer is still trusted."""
+        peer = self.kernel.peers.get(entry.admission.peer_id)
+        if peer is None or not peer.trusted:
+            return False
+        return (entry.admission.policy_epoch
+                == self.kernel.decision_cache.policy_epoch)
+
+    def _refresh(self, entry: _Entry) -> RemoteAdmission:
+        """Re-verify a stale admission in place.
+
+        The digest pins the exact label set, so the admitted process and
+        its labels are kept; only the cryptographic verdict is re-earned.
+        A peer revoked since admission fails ``require`` here — and the
+        principal it sponsored is dropped before the error propagates.
+        """
+        admission = entry.admission
+        try:
+            peer = self.kernel.peers.require(admission.peer_id)
+            entry.bundle.verify(peer.root_key)
+        except Exception:
+            self._drop(entry)
+            raise
+        self.refreshes += 1
+        refreshed = replace(
+            admission, cached=False,
+            policy_epoch=self.kernel.decision_cache.policy_epoch)
+        entry.admission = refreshed
+        return refreshed
+
+    def _admit_cold(self, bundle: CredentialBundle) -> RemoteAdmission:
+        """Full verification + principal creation for a new bundle."""
+        kernel = self.kernel
+        peer = kernel.peers.require(bundle.root_fingerprint)
+        leaves = bundle.verify(peer.root_key)
+
+        process = kernel.create_process(
+            f"remote:{peer.name}:{bundle.subject_name}")
+        store = kernel.default_labelstore(process.pid)
+        alias = Name(peer.name)
+        for chain, leaf in zip(bundle.chains, leaves):
+            # Ground truth: the TPM-qualified import (§2.4).  The chain
+            # was already verified (and its leaf parsed) by
+            # bundle.verify() above, so the label is deposited directly
+            # under the same qualification import_chain would apply —
+            # no second round of RSA checks on the cold path.
+            qualified = kernel.labels.qualified_speaker(chain)
+            store.insert(qualified, leaf.body)
+            # Policy handle: the same statement under the peer alias.
+            kernel.say_as(alias.sub(str(leaf.speaker)), leaf.body,
+                          store=store)
+        remote_subject = alias.sub(bundle.subject)
+        # First-class status: the peer's local stand-in speaks for the
+        # remote subject, on the remote kernel's say-so.
+        kernel.say_as(alias, Speaksfor(process.principal, remote_subject),
+                      store=store)
+
+        self.cold_admissions += 1
+        peer.admitted += 1
+        admission = RemoteAdmission(
+            digest=bundle.digest(), peer_id=peer.peer_id,
+            peer_name=peer.name, subject=bundle.subject,
+            remote_principal=str(remote_subject),
+            principal=process.principal, pid=process.pid,
+            labels=len(bundle.chains),
+            policy_epoch=kernel.decision_cache.policy_epoch)
+        self._entries[admission.digest] = _Entry(admission, bundle)
+        return admission
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def _drop(self, entry: _Entry) -> None:
+        """Remove an admission and everything it sponsored: the local
+        process, and every label in its store (so ``labels.holds`` can
+        never again vouch for a credential the peer no longer backs)."""
+        admission = entry.admission
+        self._entries.pop(admission.digest, None)
+        kernel = self.kernel
+        try:
+            store = kernel.default_labelstore(admission.pid)
+        except Exception:
+            store = None
+        if store is not None:
+            for label in list(store):
+                store.delete(label.handle)
+        if admission.pid in kernel.processes:
+            kernel.exit_process(admission.pid)
+        peer = kernel.peers.get(admission.peer_id)
+        if peer is not None and peer.admitted > 0:
+            peer.admitted -= 1
+        self.dropped += 1
+
+    def drop_peer(self, peer_id: str) -> int:
+        """Eagerly drop every admission sponsored by one peer; returns
+        how many principals were removed."""
+        doomed = [entry for entry in list(self._entries.values())
+                  if entry.admission.peer_id == peer_id]
+        for entry in doomed:
+            self._drop(entry)
+        return len(doomed)
+
+    def forget(self, digest: str) -> bool:
+        """Drop one admission by digest (used by tests and benchmarks to
+        force the cold path); True if it existed."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            return False
+        self._drop(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def admissions(self) -> List[RemoteAdmission]:
+        """Every live admission receipt."""
+        return [entry.admission for entry in self._entries.values()]
+
+    def find(self, digest: str) -> Optional[RemoteAdmission]:
+        """The receipt for a digest, or None (no liveness check)."""
+        entry = self._entries.get(digest)
+        return entry.admission if entry else None
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,233 @@
+"""Self-contained credential bundles — labels that outlive their kernel.
+
+The paper's §2.4 story is that a label is not bound to the kernel that
+minted it: externalized as a certificate chain signed by boot-derived
+keys, it can convince *other* machines.  A :class:`CredentialBundle` is
+that story for a whole process: every label in the process's store,
+each externalized as its own TPM-rooted chain, plus a **manifest**
+binding the set together — which platform issued it, which process the
+credentials belong to, and the digest of every chain — signed by the
+issuing kernel's NK.
+
+The manifest signature is what makes the bundle *self-contained*
+evidence rather than a loose pile of chains: dropping, adding, or
+substituting a chain breaks the manifest, so a verifier either sees the
+exact credential set the issuing kernel exported, or a structured
+:class:`~repro.errors.BadChain` failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.crypto.certs import CertificateChain
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import BadChain, ParseError, SignatureError
+from repro.nal.formula import Says
+from repro.nal.parser import parse
+
+
+def _canonical(document: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes (sorted keys, no whitespace): signature and
+    digest inputs must be reproducible across kernels."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def chain_to_dict(chain: CertificateChain) -> Dict[str, Any]:
+    """One externalized chain as a plain JSON document."""
+    return chain.to_document()
+
+
+def chain_from_dict(data: Any) -> CertificateChain:
+    """Rebuild a chain from its document form; malformed → BadChain."""
+    if not isinstance(data, dict):
+        raise BadChain("certificate chain must be an object")
+    try:
+        return CertificateChain.from_document(data)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise BadChain(f"malformed certificate chain: {exc}") from exc
+
+
+def chain_digest(chain: CertificateChain) -> str:
+    """Hex digest of a chain's canonical document form."""
+    return sha256(_canonical(chain.to_document())).hex()
+
+
+@dataclass(frozen=True)
+class CredentialBundle:
+    """A signed export of one process's credential set.
+
+    * ``platform`` — the issuing kernel's platform principal name
+      (``NK-….<boot-id>``), display only;
+    * ``root_fingerprint`` — hex fingerprint of the TPM root key every
+      chain is rooted at (the verifier's peer-registry lookup key);
+    * ``subject`` / ``subject_name`` — the exported process's principal
+      path and human name on the issuing kernel;
+    * ``chains`` — one TPM-rooted certificate chain per exported label;
+    * ``signature`` — NK signature over the manifest.
+    """
+
+    platform: str
+    root_fingerprint: str
+    subject: str
+    subject_name: str
+    boot_id: str
+    chains: Tuple[CertificateChain, ...]
+    signature: bytes = b""
+
+    # -- manifest -----------------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """The to-be-signed binding of the chain set to its subject."""
+        return {"platform": self.platform,
+                "root_fingerprint": self.root_fingerprint,
+                "subject": self.subject,
+                "subject_name": self.subject_name,
+                "boot_id": self.boot_id,
+                "chain_digests": [chain_digest(c) for c in self.chains]}
+
+    def manifest_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`manifest` (the signature input)."""
+        return _canonical(self.manifest())
+
+    def digest(self) -> str:
+        """Hex digest of the full wire form — the admission-cache key.
+
+        Covers the signature too, so two bundles with equal manifests
+        but different (e.g. stripped) signatures never share a cache
+        entry.
+        """
+        return sha256(_canonical(self.to_dict())).hex()
+
+    # -- wire form ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The bundle as one plain JSON document."""
+        return {"platform": self.platform,
+                "root_fingerprint": self.root_fingerprint,
+                "subject": self.subject,
+                "subject_name": self.subject_name,
+                "boot_id": self.boot_id,
+                "chains": [chain_to_dict(c) for c in self.chains],
+                "signature": self.signature.hex()}
+
+    @staticmethod
+    def from_dict(data: Any) -> "CredentialBundle":
+        """Rebuild a bundle from its document form; malformed → BadChain.
+
+        Structural validation only — cryptographic checks are
+        :meth:`verify`'s job, *after* the verifier has chosen which
+        peer key to check against.
+        """
+        if not isinstance(data, dict):
+            raise BadChain("credential bundle must be an object")
+        for name in ("platform", "root_fingerprint", "subject",
+                     "subject_name", "boot_id", "signature"):
+            if not isinstance(data.get(name), str):
+                raise BadChain(f"bundle field {name!r} must be a string")
+        chains = data.get("chains")
+        if not isinstance(chains, list) or not chains:
+            raise BadChain("bundle needs a non-empty 'chains' list")
+        try:
+            signature = bytes.fromhex(data["signature"])
+        except ValueError as exc:
+            raise BadChain(f"bundle signature is not hex: {exc}") from exc
+        return CredentialBundle(
+            platform=data["platform"],
+            root_fingerprint=data["root_fingerprint"],
+            subject=data["subject"],
+            subject_name=data["subject_name"],
+            boot_id=data["boot_id"],
+            chains=tuple(chain_from_dict(c) for c in chains),
+            signature=signature)
+
+    # -- verification -------------------------------------------------------
+
+    def verify(self, root_key: RSAPublicKey) -> List[Says]:
+        """Check the whole bundle against a pinned platform root key.
+
+        Raises :class:`~repro.errors.BadChain` unless (1) every chain is
+        rooted at exactly ``root_key`` and verifies link by link, (2)
+        every chain delegates to the same NK key, (3) the manifest
+        signature checks under that NK key, and (4) every leaf statement
+        parses as a label (a ``says`` formula).  Returns the parsed leaf
+        labels, in chain order.
+        """
+        if not self.chains:
+            raise BadChain("bundle carries no certificate chains")
+        from repro.federation.registry import peer_id_for
+        if self.root_fingerprint != peer_id_for(root_key):
+            raise BadChain("bundle root fingerprint does not match the "
+                           "pinned peer key")
+        nk_key = None
+        labels: List[Says] = []
+        for index, chain in enumerate(self.chains):
+            if chain.root_key != root_key:
+                raise BadChain(f"chain {index} is not rooted at the "
+                               f"pinned peer key")
+            try:
+                chain.verify()
+            except SignatureError as exc:
+                raise BadChain(f"chain {index} failed verification: "
+                               f"{exc}") from exc
+            delegated = chain.certs[0].subject_key
+            if delegated is None:
+                raise BadChain(f"chain {index} delegates to no kernel key")
+            if nk_key is None:
+                nk_key = delegated
+            elif delegated != nk_key:
+                raise BadChain(f"chain {index} delegates to a different "
+                               f"kernel key than the rest of the bundle")
+            try:
+                leaf = parse(chain.leaf().statement)
+            except ParseError as exc:
+                raise BadChain(f"chain {index} leaf statement does not "
+                               f"parse: {exc}") from exc
+            if not isinstance(leaf, Says):
+                raise BadChain(f"chain {index} leaf is not a label "
+                               f"(expected a says formula)")
+            labels.append(leaf)
+        try:
+            nk_key.verify(self.manifest_bytes(), self.signature)
+        except SignatureError as exc:
+            raise BadChain(f"bundle manifest signature does not verify: "
+                           f"{exc}") from exc
+        return labels
+
+
+def export_credentials(kernel, pid: int) -> CredentialBundle:
+    """Export every label in a process's default store as one bundle.
+
+    The issuing kernel externalizes each label into its own TPM-rooted
+    chain (:meth:`~repro.kernel.kernel.NexusKernel.externalize_label`)
+    and signs the manifest with NK.  The result is self-contained: a
+    remote kernel that trusts this platform's root key needs nothing
+    else to admit the process's credentials.
+    """
+    from repro.federation.registry import peer_id_for
+    process = kernel.processes.get(pid)
+    store = kernel.default_labelstore(pid)
+    chains = tuple(kernel.externalize_label(label) for label in store)
+    if not chains:
+        raise BadChain(f"process {process.path} has no labels to export")
+    unsigned = CredentialBundle(
+        platform=kernel.boot.platform_principal_name(),
+        root_fingerprint=peer_id_for(kernel.platform_root_key()),
+        subject=process.path,
+        subject_name=process.name,
+        boot_id=kernel.boot.boot_id(),
+        chains=chains)
+    nk: RSAKeyPair = kernel.boot.nk
+    signature = nk.sign(unsigned.manifest_bytes())
+    return CredentialBundle(
+        platform=unsigned.platform,
+        root_fingerprint=unsigned.root_fingerprint,
+        subject=unsigned.subject,
+        subject_name=unsigned.subject_name,
+        boot_id=unsigned.boot_id,
+        chains=unsigned.chains,
+        signature=signature)

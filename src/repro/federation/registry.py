@@ -1,0 +1,132 @@
+"""The peer registry: which foreign kernels this kernel trusts (§2.4).
+
+A peer is another booted Nexus instance, identified by its **platform
+root key** — the TPM endorsement key that roots every certificate chain
+the peer's kernel externalizes.  Registering a peer is the one
+trust-on-purpose step of federation: everything downstream (bundle
+verification, admission, remote authorization) is mechanical once the
+root key is pinned here.
+
+Peers are *revocable*: a revoked peer stays in the registry (its history
+is auditable) but no longer verifies anything, and the admission layer
+drops every principal it ever admitted (see
+:mod:`repro.federation.admission`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import FederationError, UntrustedPeer
+
+
+def peer_id_for(root_key: RSAPublicKey) -> str:
+    """The canonical peer identifier: hex fingerprint of the root key."""
+    return root_key.fingerprint().hex()
+
+
+@dataclass
+class Peer:
+    """One trusted foreign kernel, pinned by its platform root key.
+
+    ``name`` is the local alias under which the peer's principals appear
+    (``site-a./proc/ipd/2``); ``platform`` is the peer's self-reported
+    platform principal name (``NK-….<boot>``), kept for display only —
+    trust rests solely on ``root_key``.
+    """
+
+    peer_id: str
+    name: str
+    root_key: RSAPublicKey
+    platform: str = ""
+    trusted: bool = True
+    added_at: int = 0
+    admitted: int = 0  # admissions currently alive from this peer
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form of the peer record (the key travels as its dict)."""
+        return {"peer_id": self.peer_id, "name": self.name,
+                "root_key": self.root_key.to_dict(),
+                "platform": self.platform, "trusted": self.trusted,
+                "admitted": self.admitted}
+
+
+class PeerRegistry:
+    """All peers this kernel has ever been told about.
+
+    Aliases are unique: two different root keys can never share a local
+    name, so an alias-qualified principal (``site-a.X``) always denotes
+    statements verified against exactly one pinned key.
+    """
+
+    def __init__(self):
+        self._peers: Dict[str, Peer] = {}
+        self._by_name: Dict[str, str] = {}
+
+    def add(self, name: str, root_key: RSAPublicKey,
+            platform: str = "", added_at: int = 0) -> Peer:
+        """Register (or re-trust) a peer under a local alias.
+
+        Re-adding the same key under the same alias re-trusts a revoked
+        peer; re-adding under a *different* alias, or reusing an alias
+        for a different key, is an error — aliases are capabilities.
+        """
+        peer_id = peer_id_for(root_key)
+        existing = self._peers.get(peer_id)
+        if existing is not None:
+            if existing.name != name:
+                raise FederationError(
+                    f"peer key {peer_id[:16]} already registered as "
+                    f"{existing.name!r}")
+            existing.trusted = True
+            return existing
+        if name in self._by_name:
+            raise FederationError(f"peer alias {name!r} already names key "
+                                  f"{self._by_name[name][:16]}")
+        peer = Peer(peer_id=peer_id, name=name, root_key=root_key,
+                    platform=platform, added_at=added_at)
+        self._peers[peer_id] = peer
+        self._by_name[name] = peer_id
+        return peer
+
+    def get(self, peer_id: str) -> Optional[Peer]:
+        """The peer record for an id, or None."""
+        return self._peers.get(peer_id)
+
+    def by_name(self, name: str) -> Optional[Peer]:
+        """The peer record registered under a local alias, or None."""
+        peer_id = self._by_name.get(name)
+        return self._peers.get(peer_id) if peer_id else None
+
+    def require(self, peer_id: str) -> Peer:
+        """The peer for an id if registered *and* trusted, else
+        :class:`~repro.errors.UntrustedPeer`."""
+        peer = self._peers.get(peer_id)
+        if peer is None:
+            raise UntrustedPeer(
+                f"no registered peer holds root key {peer_id[:16]}…")
+        if not peer.trusted:
+            raise UntrustedPeer(f"peer {peer.name!r} has been revoked")
+        return peer
+
+    def revoke(self, peer_id: str) -> Peer:
+        """Mark a peer untrusted; its record (and alias) survive for
+        audit and possible reinstatement."""
+        peer = self._peers.get(peer_id)
+        if peer is None:
+            raise UntrustedPeer(
+                f"cannot revoke unknown peer {peer_id[:16]}…")
+        peer.trusted = False
+        return peer
+
+    def trusted_peers(self) -> List[Peer]:
+        """Every currently trusted peer, in registration order."""
+        return [p for p in self._peers.values() if p.trusted]
+
+    def __iter__(self):
+        return iter(self._peers.values())
+
+    def __len__(self):
+        return len(self._peers)

@@ -95,6 +95,14 @@ class NexusKernel:
         # lazily: repro.policy sits above the kernel in the layering).
         from repro.policy.engine import PolicyEngine
         self.policies = PolicyEngine(self)
+        # Cross-kernel federation (also above the kernel in layering):
+        # the peer registry pins foreign platform root keys; admission
+        # control turns verified credential bundles into local
+        # principals, cached by bundle digest.
+        from repro.federation.admission import AdmissionControl
+        from repro.federation.registry import PeerRegistry
+        self.peers = PeerRegistry()
+        self.federation = AdmissionControl(self)
 
         self._default_store: Dict[int, LabelStore] = {}
         self._syscalls: Dict[str, Callable] = dict(self._SYSCALLS)
@@ -545,6 +553,94 @@ class NexusKernel:
         return invoke(*args)
 
     # ------------------------------------------------------------------
+    # federation (§2.4 across machines)
+    # ------------------------------------------------------------------
+
+    def platform_root_key(self):
+        """The TPM root key every chain this kernel externalizes is
+        rooted at — what a *peer* kernel pins to trust this platform."""
+        return self._nk_cert.issuer_key
+
+    def platform_identity(self) -> Dict[str, Any]:
+        """This platform's federation identity, as a wire-safe dict.
+
+        Carries the display name, boot id, root-key fingerprint (the
+        peer id a remote registry will file this kernel under) and the
+        root key itself.  Publishing it is safe: it holds only public
+        material.
+        """
+        from repro.federation.registry import peer_id_for
+        root = self.platform_root_key()
+        return {"platform": self.boot.platform_principal_name(),
+                "boot_id": self.boot.boot_id(),
+                "peer_id": peer_id_for(root),
+                "root_key": root.to_dict()}
+
+    def add_peer(self, name: str, root_key, platform: str = ""):
+        """Pin a foreign kernel's platform root key under a local alias.
+
+        Like :meth:`register_authority` and policy ``put``, this is a
+        configuration operation, not a guarded one: registering a peer
+        only adds a verification key — admission of actual credentials
+        is where bundles are checked, and aliases are unique so no peer
+        can shadow another's principals.
+        """
+        from repro.crypto.rsa import RSAPublicKey
+        if isinstance(root_key, dict):
+            root_key = RSAPublicKey.from_dict(root_key)
+        return self.peers.add(name, root_key, platform=platform,
+                              added_at=self.now())
+
+    def export_credentials(self, pid: int):
+        """Export a process's credential set as one signed bundle
+        (see :func:`repro.federation.bundle.export_credentials`)."""
+        from repro.federation.bundle import export_credentials
+        return export_credentials(self, pid)
+
+    def admit_remote(self, bundle):
+        """Admit a peer kernel's credential bundle as a local principal.
+
+        ``bundle`` is a :class:`~repro.federation.bundle.CredentialBundle`,
+        its wire document, or the digest of an earlier admission.  On
+        the cold path every chain and the manifest are verified against
+        the pinned peer key; warm admissions replay from the
+        digest-keyed import cache (epoch-invalidated — a revocation
+        forces re-verification, and a revoked peer drops its admitted
+        principals).  Returns a
+        :class:`~repro.federation.admission.RemoteAdmission` receipt.
+        """
+        return self.federation.admit(bundle)
+
+    def authorize_remote(self, bundle, operation: str, resource_id: int,
+                         proof: Optional[ProofBundle] = None
+                         ) -> GuardDecision:
+        """Figure 1 for a federated subject: admit, then authorize.
+
+        The admitted principal's own labelstore is its wallet: when no
+        explicit ``proof`` is supplied, one is searched there exactly as
+        the service-side wallet path does for local sessions — so a
+        remote principal and an equivalently credentialed local one take
+        the same guard path and earn the same verdict.
+        """
+        admission = self.admit_remote(bundle)
+        if proof is None:
+            from repro.core.attestation import kernel_wallet_bundle
+            resource = self.resources.get(resource_id)
+            proof = kernel_wallet_bundle(self, admission.pid, operation,
+                                         resource)
+        return self.authorize(admission.pid, operation, resource_id, proof)
+
+    def revoke_peer(self, peer_id: str) -> int:
+        """Withdraw trust from a peer key: every principal it sponsored
+        is dropped eagerly, and the decision-cache policy epoch is
+        bumped so no cached verdict derived from its credentials
+        survives.  Returns how many admissions were dropped."""
+        self.peers.revoke(peer_id)
+        dropped = self.federation.drop_peer(peer_id)
+        self.decision_cache.bump_policy_epoch()
+        return dropped
+
+    # ------------------------------------------------------------------
     # interposition (§3.2)
     # ------------------------------------------------------------------
 
@@ -720,6 +816,12 @@ class NexusKernel:
                    lambda: str(self.decision_cache.policy_epoch))
         fs.publish("/proc/kernel/policy_sets",
                    lambda: ",".join(self.policies.names()))
+        fs.publish("/proc/kernel/peers",
+                   lambda: ",".join(
+                       f"{p.name}={'trusted' if p.trusted else 'revoked'}"
+                       for p in self.peers))
+        fs.publish("/proc/kernel/admissions",
+                   lambda: str(len(self.federation)))
         fs.publish("/proc/sched/clients",
                    lambda: ",".join(
                        f"{c.name}={c.tickets}"

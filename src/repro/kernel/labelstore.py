@@ -137,6 +137,22 @@ class LabelRegistry:
                                 certs=[nk_cert, leaf])
 
     @staticmethod
+    def qualified_speaker(chain: CertificateChain) -> Principal:
+        """The fully qualified remote principal an imported chain's
+        label is attributed to: the attesting platform's root, extended
+        by every chain link (``TPM.NK.<process>``) — so local and
+        imported statements can never be confused.
+
+        Shared by :meth:`import_chain` and the federation admission
+        layer, which has already verified the chain as part of a bundle
+        and must qualify exactly the same way.
+        """
+        qualified = make_principal(chain.certs[0].issuer)
+        for cert in chain.certs:
+            qualified = qualified.sub(cert.subject)
+        return qualified
+
+    @staticmethod
     def import_chain(chain: CertificateChain,
                      target: LabelStore) -> Label:
         """Verify an externalized chain and re-admit the label.
@@ -150,10 +166,5 @@ class LabelRegistry:
         formula = parse(leaf.statement)
         if not isinstance(formula, Says):
             raise SignatureError("externalized label must be a says formula")
-        # Fully qualify the speaker under the attesting platform:
-        # TPM.NK.<boot>.<process> — local and imported statements can
-        # never be confused.
-        qualified = make_principal(chain.certs[0].issuer)
-        for cert in chain.certs:
-            qualified = qualified.sub(cert.subject)
-        return target.insert(qualified, formula.body)
+        return target.insert(LabelRegistry.qualified_speaker(chain),
+                             formula.body)

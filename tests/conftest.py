@@ -1,0 +1,32 @@
+"""Test-suite fixtures: the differential-transport worlds.
+
+The machinery lives in :mod:`harness` (``tests/harness.py``) so test
+modules can import it by name without colliding with the benchmark
+suite's own ``conftest`` module; this file only binds the fixtures.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import WORLD_KINDS, make_world  # noqa: E402
+
+
+@pytest.fixture(params=("direct", "http"), ids=("direct", "http"))
+def api_world(request):
+    """One home service reachable over the parametrized transport.
+
+    The dedupe point for every test that used to hand-build both a
+    direct and an http client: write the flow once against
+    ``api_world.client`` and it runs under both transports.
+    """
+    return make_world(request.param)
+
+
+@pytest.fixture(params=WORLD_KINDS, ids=WORLD_KINDS)
+def any_world(request):
+    """All three worlds, including the federated cross-kernel path."""
+    return make_world(request.param)

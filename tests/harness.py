@@ -1,0 +1,235 @@
+"""The shared differential-transport harness.
+
+Every authorization story in this repo can be told three ways:
+
+* **direct** — typed messages straight into a :class:`NexusService`;
+* **http** — the same messages through canonical JSON, HTTP framing and
+  the Router (full wire fidelity);
+* **cross-kernel** — the subject's credentials are minted on a *second*
+  kernel, exported as a signed certificate-chain bundle, and admitted
+  through the federation endpoints before any authorization happens.
+
+The harness holds all three to the same answers.  Between direct and
+http the verdict/explanation documents must be **byte-identical** (same
+op sequence, same pids, same goal texts).  The cross-kernel world mints
+different principal names by construction (alias-qualified remote
+speakers, fresh local pids), so its documents are compared after
+**principal normalization**: every principal string an identity owns is
+replaced by a stable ``«id:name»`` token, and the resulting bytes must
+match the local worlds exactly — same kinds, same goals, same premises,
+same reasons, modulo nothing but names.
+
+Scenarios that want to run differentially should keep goals
+subject-independent (no ``?Subject``): a subject variable would bake the
+local pid into the goal text, which is exactly the coupling federation
+removes.
+"""
+
+import json
+
+from repro.api import NexusClient, NexusService
+from repro.core.attestation import kernel_wallet_bundle
+from repro.kernel.kernel import NexusKernel
+
+#: Distinct key seeds so the two federated platforms have distinct
+#: TPM/NK identities (the default seed would make every kernel clone
+#: the same keys).
+HOME_SEED = 5005
+REMOTE_SEED = 6006
+
+#: The alias the cross-kernel world registers its credential-minting
+#: peer under.
+PEER_ALIAS = "site-a"
+
+WORLD_KINDS = ("direct", "http", "cross-kernel")
+
+
+class Identity:
+    """One credentialed subject, however its credentials arrived.
+
+    ``speaker`` is the principal goals should name (the session
+    principal locally; the alias-qualified remote principal after
+    admission); ``session`` speaks *as* the subject over the world's
+    transport; ``pid`` is the subject's process on the home kernel.
+    """
+
+    def __init__(self, world, name, speaker, session, pid):
+        self.world = world
+        self.name = name
+        self.speaker = speaker
+        self.session = session
+        self.pid = pid
+
+    def authorize(self, operation, resource, proof=None, wallet=False):
+        """One wire Figure-1 round trip as this subject."""
+        return self.session.authorize(operation, resource, proof=proof,
+                                      wallet=wallet)
+
+    def explain(self, operation, resource, proof=None, wallet=False):
+        """The wire explain endpoint as this subject."""
+        return self.session.explain(operation, resource, proof=proof,
+                                    wallet=wallet)
+
+    def kernel_explain(self, operation, resource_name, proof=None,
+                       wallet=False):
+        """The kernel-side Figure 1 without the cache, as this subject.
+
+        ``wallet=True`` searches the subject's own labelstore for a
+        proof first, mirroring the service's wallet path.
+        """
+        kernel = self.world.kernel
+        resource = kernel.resources.lookup(resource_name)
+        bundle = proof
+        if wallet and bundle is None:
+            bundle = kernel_wallet_bundle(kernel, self.pid, operation,
+                                          resource)
+        return kernel.explain(self.pid, operation, resource.resource_id,
+                              bundle)
+
+
+class World:
+    """Base class: one reachable kernel plus a name-normalization map."""
+
+    kind = ""
+
+    def __init__(self):
+        self._tokens = {}
+        self._admin = None
+
+    @property
+    def kernel(self):
+        """The home kernel every scenario authorizes against."""
+        return self.service.kernel
+
+    def remember(self, raw, token):
+        """Register a world-specific principal string for normalization."""
+        if raw:
+            self._tokens[raw] = f"«{token}»"
+
+    def open(self, name):
+        """A plain session on the home service (principal registered)."""
+        session = self.client.open_session(name)
+        self.remember(session.principal, f"id:{name}")
+        return session
+
+    def admin(self):
+        """The world's resource-owning/administrative session."""
+        if self._admin is None:
+            self._admin = self.open("admin")
+        return self._admin
+
+    def normalize(self, document) -> bytes:
+        """Canonical bytes of ``document`` with every registered
+        principal replaced by its stable token."""
+        text = json.dumps(document, sort_keys=True)
+        for raw in sorted(self._tokens, key=len, reverse=True):
+            text = text.replace(raw, self._tokens[raw])
+        return text.encode()
+
+
+class DirectWorld(World):
+    """Typed messages in-process — the zero-serialization baseline."""
+
+    kind = "direct"
+
+    def __init__(self):
+        super().__init__()
+        self.service = NexusService(NexusKernel(key_seed=HOME_SEED))
+        self.client = NexusClient.in_process(self.service)
+
+    def identity(self, name, statements):
+        """A local subject: a fresh session that says its own
+        credentials into its own labelstore."""
+        session = self.open(name)
+        for statement in statements:
+            session.say(statement)
+        return Identity(self, name, session.principal, session,
+                        session.pid)
+
+
+class HttpWorld(DirectWorld):
+    """The same service behind canonical JSON + HTTP framing."""
+
+    kind = "http"
+
+    def __init__(self):
+        World.__init__(self)
+        self.service = NexusService(NexusKernel(key_seed=HOME_SEED))
+        self.client = NexusClient.over_http(self.service)
+
+
+class CrossKernelWorld(World):
+    """Two federated kernels: credentials are minted remotely.
+
+    Identities live on the *remote* kernel; their labels travel to the
+    home kernel as a signed credential bundle through the federation
+    endpoints, and the admitted local stand-in process is the acting
+    subject.  Both legs run over the HTTP wire.
+    """
+
+    kind = "cross-kernel"
+
+    def __init__(self):
+        super().__init__()
+        self.remote_service = NexusService(NexusKernel(key_seed=REMOTE_SEED))
+        self.remote_client = NexusClient.over_http(self.remote_service)
+        self.service = NexusService(NexusKernel(key_seed=HOME_SEED))
+        self.client = NexusClient.over_http(self.service)
+        self._peer_added = False
+
+    def _ensure_peer(self):
+        if not self._peer_added:
+            identity = self.remote_client.info().platform
+            self.admin().add_peer(PEER_ALIAS, identity["root_key"],
+                                  platform=identity["platform"])
+            self._peer_added = True
+
+    def identity(self, name, statements):
+        """A federated subject: say remotely, export, admit, adopt."""
+        remote = self.remote_client.open_session(name)
+        for statement in statements:
+            remote.say(statement)
+        exported = remote.export_credentials()
+        self._ensure_peer()
+        admission = self.admin().admit_remote(exported.bundle)
+        receipt = self.kernel.federation.find(admission.digest)
+        handle = self.service.open_session(name, pid=receipt.pid)
+        session = self.client.adopt_session(handle)
+        # Register only home-kernel names: the alias-qualified remote
+        # principal (spoken in goals) and the admitted local stand-in.
+        # The raw remote-side path lives in kernel A's namespace and
+        # must never leak into home-kernel documents.
+        self.remember(admission.remote_principal, f"id:{name}")
+        self.remember(str(receipt.principal), f"id:{name}")
+        return Identity(self, name, admission.remote_principal, session,
+                        receipt.pid)
+
+
+def make_world(kind) -> World:
+    """Build one world by kind name."""
+    worlds = {"direct": DirectWorld, "http": HttpWorld,
+              "cross-kernel": CrossKernelWorld}
+    return worlds[kind]()
+
+
+def run_differential(scenario):
+    """Run a scenario in all three worlds and hold them to one answer.
+
+    ``scenario(world)`` must return a JSON-safe document of everything
+    observable (verdicts, explanations, counters).  Asserts the direct
+    and http documents are equal *raw* (byte-identical wire behaviour)
+    and all three are equal after principal normalization; returns the
+    direct document for further scenario-specific assertions.
+    """
+    documents = {}
+    normalized = {}
+    for kind in WORLD_KINDS:
+        world = make_world(kind)
+        document = scenario(world)
+        documents[kind] = document
+        normalized[kind] = world.normalize(document)
+    assert documents["direct"] == documents["http"], (
+        "direct and http transports disagree")
+    assert normalized["direct"] == normalized["http"] == \
+        normalized["cross-kernel"], "cross-kernel path disagrees"
+    return documents["direct"]

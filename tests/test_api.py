@@ -143,6 +143,15 @@ SAMPLE_REQUESTS = [
     msg.PolicyVersionsRequest(session="sess-1", name="docs"),
     msg.ExplainRequest(session="sess-1", operation="read", resource=7,
                        wallet=True),
+    msg.PeerAddRequest(session="sess-1", name="site-a",
+                       root_key={"n": "ff", "e": 65537},
+                       platform="NK-abc.boot"),
+    msg.PeerListRequest(session="sess-1"),
+    msg.FederationExportRequest(session="sess-1"),
+    msg.FederationAdmitRequest(session="sess-1",
+                               bundle={"platform": "NK-abc.boot",
+                                       "chains": []}),
+    msg.FederationAdmitRequest(session="sess-1", digest="ab12" * 16),
     msg.IndexRequest(),
     msg.SessionStatsRequest(session="sess-1"),
     msg.InfoRequest(),
@@ -193,6 +202,16 @@ SAMPLE_RESPONSES = [
             kind="missing-credential", operation="read",
             resource="/files/a", goal="A says ok(b)",
             premise="A says ok(b)", detail="no label")),
+    msg.PeerResponse(peer_id="ab" * 32, name="site-a", trusted=True,
+                     platform="NK-abc.boot", admitted=2),
+    msg.PeerListResponse(peers=[{"peer_id": "ab" * 32, "name": "site-a",
+                                 "trusted": False}]),
+    msg.BundleResponse(bundle={"platform": "NK-abc.boot", "chains": []},
+                       digest="cd" * 32),
+    msg.AdmissionResponse(digest="cd" * 32, peer="site-a",
+                          subject="/proc/ipd/2",
+                          remote_principal="site-a./proc/ipd/2",
+                          principal="/proc/ipd/9", labels=3, cached=True),
 ]
 
 
@@ -429,7 +448,10 @@ class TestBatchEndpoints:
 
 
 # --------------------------------------------------------------------------
-# transports
+# transports (the shared api_world fixture runs each flow on BOTH
+# transports — see tests/conftest.py — replacing the old copy-pasted
+# direct+http blocks; cross-transport equality lives in
+# tests/test_differential.py)
 # --------------------------------------------------------------------------
 
 def _flow_verdicts(client):
@@ -441,10 +463,40 @@ def _flow_verdicts(client):
 
 
 class TestTransports:
-    def test_direct_and_http_verdicts_identical(self):
-        direct = _flow_verdicts(NexusClient.in_process(NexusService()))
-        wire = _flow_verdicts(NexusClient.over_http(NexusService()))
-        assert direct == wire == [False, True, True]
+    def test_flow_verdicts_identical_on_every_transport(self, api_world):
+        assert _flow_verdicts(api_world.client) == [False, True, True]
+
+    def test_externalized_chain_flow(self, api_world):
+        """The §2.4 story end-to-end on either transport: a label leaves
+        one session as a TPM-rooted chain and re-enters another."""
+        client = api_world.client
+        owner = client.open_session("owner")
+        reader = client.open_session("reader")
+        label = owner.say("certified(reader)")
+        chain = owner.externalize(label.handle)
+        imported = reader.import_chain(chain)
+        assert imported.speaker.startswith("TPM-")
+        assert reader.prove(imported.formula)
+
+    def test_tampered_chain_rejected(self, api_world):
+        client = api_world.client
+        owner = client.open_session("owner")
+        reader = client.open_session("reader")
+        chain = owner.externalize(owner.say("fact(1)").handle)
+        chain["certs"][-1]["statement"] = \
+            chain["certs"][-1]["statement"].replace("fact(1)", "fact(2)")
+        with pytest.raises(ApiError) as excinfo:
+            reader.import_chain(chain)
+        assert excinfo.value.code == "E_SIGNATURE"
+
+    def test_session_stats_carry_the_cache_snapshot(self, api_world):
+        client = api_world.client
+        session = client.open_session("probe")
+        resource = session.create_resource("/obj/a")
+        session.authorize("read", resource)
+        stats = session.stats()
+        assert stats.cache["misses"] >= 1
+        assert stats.cache == client.info().cache
 
     def test_http_transport_counts_traffic(self):
         client = NexusClient.over_http(NexusService())
@@ -486,29 +538,6 @@ class TestTransports:
         assert response.status == 404
         decoded = msg.decode_response(response.body)
         assert decoded.code == "E_NO_SUCH_RESOURCE"
-
-    def test_externalized_chain_flow_over_http(self):
-        """The §2.4 story end-to-end on the wire: a label leaves one
-        session as a TPM-rooted chain and re-enters another."""
-        client = NexusClient.over_http(NexusService())
-        owner = client.open_session("owner")
-        reader = client.open_session("reader")
-        label = owner.say("certified(reader)")
-        chain = owner.externalize(label.handle)
-        imported = reader.import_chain(chain)
-        assert imported.speaker.startswith("TPM-")
-        assert reader.prove(imported.formula)
-
-    def test_tampered_chain_rejected_over_http(self):
-        client = NexusClient.over_http(NexusService())
-        owner = client.open_session("owner")
-        reader = client.open_session("reader")
-        chain = owner.externalize(owner.say("fact(1)").handle)
-        chain["certs"][-1]["statement"] = \
-            chain["certs"][-1]["statement"].replace("fact(1)", "fact(2)")
-        with pytest.raises(ApiError) as excinfo:
-            reader.import_chain(chain)
-        assert excinfo.value.code == "E_SIGNATURE"
 
 
 # --------------------------------------------------------------------------
@@ -816,16 +845,6 @@ class TestDiscoveryAndCounters:
         assert cache["hits"] == report["hits"] >= 1
         assert cache["policy_epoch"] == \
             service.kernel.decision_cache.policy_epoch
-
-    def test_session_stats_carry_the_same_snapshot_over_http(self):
-        service = NexusService()
-        client = NexusClient.over_http(service)
-        session = client.open_session("probe")
-        resource = session.create_resource("/obj/a")
-        session.authorize("read", resource)
-        stats = session.stats()
-        assert stats.cache["misses"] >= 1
-        assert stats.cache == client.info().cache
 
     def test_epoch_counters_move_with_policy_applies(self):
         from repro.policy import PolicyRule, PolicySet, Selector

@@ -1,0 +1,248 @@
+"""Differential scenarios: three paths to a kernel, one answer.
+
+Every scenario here runs over the in-process transport, the HTTP wire,
+and the federated cross-kernel path (credentials minted on a second
+kernel, exported as a signed bundle, admitted as a local principal) —
+see ``tests/conftest.py`` for the harness.  Together the scenarios cover
+**every** structured :class:`~repro.kernel.guard.Explanation` kind, each
+asserted both through the kernel's own ``explain()`` and over the wire.
+"""
+
+import pytest
+
+from repro.kernel.authority import StatementSetAuthority
+from repro.kernel.kernel import NexusKernel
+from repro.kernel.guard import EXPLANATION_KINDS
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, AuthorityQuery, ProofBundle
+
+from harness import run_differential
+
+
+def _verdict(verdict) -> dict:
+    """Wire verdict → capture document."""
+    return {"allow": verdict.allow, "cacheable": verdict.cacheable,
+            "reason": verdict.reason}
+
+
+def _wire(response) -> dict:
+    """Wire explain response → capture document."""
+    return {"verdict": _verdict(response.verdict),
+            "explanation": response.explanation.to_dict()}
+
+
+def _kernel(decision) -> dict:
+    """Kernel GuardDecision (fresh explain) → capture document."""
+    return {"verdict": {"allow": decision.allow,
+                        "cacheable": decision.cacheable,
+                        "reason": decision.reason},
+            "explanation": decision.explanation.to_dict()}
+
+
+def _capture(identity, operation, resource_name, proof=None,
+             wallet=False) -> dict:
+    """One observation, all the ways: authorize + explain over the wire,
+    explain through the kernel."""
+    wire_proof = None
+    if proof is not None:
+        from repro.api import codec
+        wire_proof = codec.encode_bundle(proof)
+    return {
+        "authorize": _verdict(identity.authorize(
+            operation, resource_name, proof=wire_proof, wallet=wallet)),
+        "explain": _wire(identity.explain(
+            operation, resource_name, proof=wire_proof, wallet=wallet)),
+        "kernel": _kernel(identity.kernel_explain(
+            operation, resource_name, proof=proof, wallet=wallet)),
+    }
+
+
+def _assert_kind(document: dict, kind: str, allow: bool) -> None:
+    """The captured document must report one explanation kind
+    consistently — wire and kernel."""
+    assert document["explain"]["explanation"]["kind"] == kind
+    assert document["kernel"]["explanation"]["kind"] == kind
+    assert document["authorize"]["allow"] is allow
+    assert document["explain"]["verdict"]["allow"] is allow
+    assert document["kernel"]["verdict"]["allow"] is allow
+
+
+# --------------------------------------------------------------------------
+# one scenario per explanation kind
+# --------------------------------------------------------------------------
+
+class TestExplanationKindsDifferential:
+    def test_allowed(self):
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            admin.set_goal(box, "read", f"{alice.speaker} says ok(box)")
+            return _capture(alice, "read", "/files/box", wallet=True)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "allowed", True)
+        assert document["kernel"]["explanation"]["goal"] is not None
+
+    def test_no_proof(self):
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            admin.set_goal(box, "read",
+                           f"{alice.speaker} says absent(box)")
+            return _capture(alice, "read", "/files/box", wallet=True)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "no-proof", False)
+
+    def test_proof_rejected(self):
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            admin.set_goal(box, "read", "Ghost says ok(box)")
+            wrong = parse("Ghost says other(box)")
+            proof = ProofBundle(Assume(wrong), credentials=(wrong,))
+            return _capture(alice, "read", "/files/box", proof=proof)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "proof-rejected", False)
+
+    def test_missing_credential(self):
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            admin.set_goal(box, "read", "Ghost says ok(box)")
+            claimed = parse("Ghost says ok(box)")
+            proof = ProofBundle(Assume(claimed), credentials=(claimed,))
+            return _capture(alice, "read", "/files/box", proof=proof)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "missing-credential", False)
+        assert document["kernel"]["explanation"]["premise"] == \
+            "Ghost says ok(box)"
+
+    def test_default_policy(self):
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            admin.create_resource("/files/vault", "file")
+            return _capture(alice, "read", "/files/vault")
+
+        document = run_differential(scenario)
+        _assert_kind(document, "default-policy", False)
+        assert document["kernel"]["explanation"]["goal"] is None
+
+    def test_authority_denied(self):
+        def scenario(world):
+            world.kernel.register_authority("oracle",
+                                            StatementSetAuthority())
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            admin.set_goal(box, "read", "oracle says fresh(box)")
+            queried = parse("oracle says fresh(box)")
+            proof = ProofBundle(AuthorityQuery(queried, "oracle"))
+            return _capture(alice, "read", "/files/box", proof=proof)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "authority-denied", False)
+        assert document["kernel"]["explanation"]["authority"] == "oracle"
+
+    def test_every_kind_is_covered_here(self):
+        """This class must keep one scenario per guard explanation kind:
+        a new kind without a differential scenario is a test gap."""
+        covered = {"allowed", "no-proof", "proof-rejected",
+                   "missing-credential", "default-policy",
+                   "authority-denied"}
+        assert covered == set(EXPLANATION_KINDS)
+
+
+# --------------------------------------------------------------------------
+# the policy control plane, differentially
+# --------------------------------------------------------------------------
+
+class TestPolicyPlaneDifferential:
+    def test_policy_apply_and_structured_deny(self):
+        from repro.policy import PolicyRule, PolicySet, Selector
+
+        def scenario(world):
+            alice = world.identity("alice", ["ok(box)"])
+            admin = world.admin()
+            admin.create_resource("/files/box", "file")
+            admin.create_resource("/files/empty", "file")
+            admin.put_policy(PolicySet(
+                name="reading", rules=(PolicyRule(
+                    Selector(prefix="/files/"), ("read",),
+                    f"{alice.speaker} says ok({{basename}})"),)))
+            plan = admin.plan_policy("reading")
+            applied = admin.apply_policy("reading")
+            allowed = _capture(alice, "read", "/files/box", wallet=True)
+            denied = _capture(alice, "read", "/files/empty", wallet=True)
+            return {
+                # resource ids differ across worlds (the federated world
+                # mints extra processes); capture the id-free plan view.
+                "plan": [{"action": a.action, "resource": a.resource,
+                          "operation": a.operation, "goal": a.goal}
+                         for a in plan.actions],
+                "applied": {"set": applied.set_count,
+                            "cleared": applied.cleared,
+                            "bumps": applied.epoch_bumps},
+                "allowed": allowed, "denied": denied,
+            }
+
+        document = run_differential(scenario)
+        assert document["applied"]["set"] == 2
+        _assert_kind(document["allowed"], "allowed", True)
+        _assert_kind(document["denied"], "no-proof", False)
+        assert {a["resource"] for a in document["plan"]} == \
+            {"/files/box", "/files/empty"}
+
+
+# --------------------------------------------------------------------------
+# federation denials, end to end on every transport that can express them
+# --------------------------------------------------------------------------
+
+class TestFederationDenials:
+    def test_untrusted_peer_denied_with_stable_code(self, api_world):
+        """A bundle from an unregistered platform is refused identically
+        over both transports."""
+        from repro.api import ApiError, NexusClient, NexusService
+        from harness import REMOTE_SEED
+
+        remote = NexusClient.over_http(
+            NexusService(NexusKernel(key_seed=REMOTE_SEED)))
+        issuer = remote.open_session("issuer")
+        issuer.say("fact(1)")
+        exported = issuer.export_credentials()
+        admin = api_world.admin()
+        with pytest.raises(ApiError) as excinfo:
+            admin.admit_remote(exported.bundle)
+        assert excinfo.value.code == "E_UNTRUSTED_PEER"
+
+    def test_tampered_bundle_denied_with_stable_code(self, api_world):
+        """Registering the peer does not save a tampered bundle: any
+        altered certificate flips admission to E_BAD_CHAIN."""
+        import json as json_module
+        from repro.api import ApiError, NexusClient, NexusService
+        from harness import PEER_ALIAS, REMOTE_SEED
+
+        remote_service = NexusService(NexusKernel(key_seed=REMOTE_SEED))
+        remote = NexusClient.over_http(remote_service)
+        issuer = remote.open_session("issuer")
+        issuer.say("fact(1)")
+        exported = issuer.export_credentials()
+        admin = api_world.admin()
+        admin.add_peer(PEER_ALIAS, remote.info().platform["root_key"])
+        tampered = json_module.loads(json_module.dumps(exported.bundle))
+        tampered["chains"][0]["certs"][-1]["statement"] = \
+            tampered["chains"][0]["certs"][-1]["statement"].replace(
+                "fact(1)", "fact(2)")
+        with pytest.raises(ApiError) as excinfo:
+            admin.admit_remote(tampered)
+        assert excinfo.value.code == "E_BAD_CHAIN"
+        # The untampered original still admits fine afterwards.
+        admission = admin.admit_remote(exported.bundle)
+        assert admission.labels == 1

@@ -1,0 +1,444 @@
+"""Federation: peer registry, credential bundles, admission, revocation.
+
+Covers the cross-kernel credential exchange end to end: export on one
+kernel, verification and admission on another, the digest-keyed import
+cache with epoch invalidation, peer revocation dropping admitted
+principals, and the two-kernel typed-object-store flow.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ApiError, NexusClient, NexusService
+from repro.core.attestation import (export_credential_bundle,
+                                    verify_credential_bundle)
+from repro.core.revocation import RevocationService
+from repro.errors import BadChain, FederationError, UntrustedPeer
+from repro.federation import (CredentialBundle, PeerRegistry,
+                              export_credentials, peer_id_for)
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+
+A_SEED = 1101
+B_SEED = 2202
+C_SEED = 3303
+
+
+@pytest.fixture
+def kernels():
+    """Two kernels with distinct platform identities, B trusting A."""
+    a = NexusKernel(key_seed=A_SEED)
+    b = NexusKernel(key_seed=B_SEED)
+    identity = a.platform_identity()
+    b.add_peer("site-a", identity["root_key"],
+               platform=identity["platform"])
+    return a, b
+
+
+def _bundle_for(kernel, name, statements):
+    """A process on ``kernel`` with the given labels, exported."""
+    process = kernel.create_process(name)
+    for statement in statements:
+        kernel.sys_say(process.pid, statement)
+    return kernel.export_credentials(process.pid)
+
+
+# --------------------------------------------------------------------------
+# the peer registry
+# --------------------------------------------------------------------------
+
+class TestPeerRegistry:
+    def test_peer_id_is_root_key_fingerprint(self):
+        kernel = NexusKernel(key_seed=A_SEED)
+        registry = PeerRegistry()
+        peer = registry.add("a", kernel.platform_root_key())
+        assert peer.peer_id == peer_id_for(kernel.platform_root_key())
+        assert registry.require(peer.peer_id) is peer
+
+    def test_unknown_and_revoked_peers_fail_closed(self):
+        registry = PeerRegistry()
+        with pytest.raises(UntrustedPeer):
+            registry.require("ff" * 32)
+        kernel = NexusKernel(key_seed=A_SEED)
+        peer = registry.add("a", kernel.platform_root_key())
+        registry.revoke(peer.peer_id)
+        with pytest.raises(UntrustedPeer):
+            registry.require(peer.peer_id)
+        assert registry.trusted_peers() == []
+
+    def test_aliases_are_unique_capabilities(self):
+        registry = PeerRegistry()
+        a = NexusKernel(key_seed=A_SEED)
+        c = NexusKernel(key_seed=C_SEED)
+        registry.add("site", a.platform_root_key())
+        with pytest.raises(FederationError):
+            registry.add("site", c.platform_root_key())
+        with pytest.raises(FederationError):
+            registry.add("other", a.platform_root_key())
+
+    def test_re_adding_same_key_re_trusts(self):
+        registry = PeerRegistry()
+        a = NexusKernel(key_seed=A_SEED)
+        peer = registry.add("site", a.platform_root_key())
+        registry.revoke(peer.peer_id)
+        again = registry.add("site", a.platform_root_key())
+        assert again is peer and again.trusted
+
+
+# --------------------------------------------------------------------------
+# credential bundles
+# --------------------------------------------------------------------------
+
+class TestCredentialBundle:
+    def test_export_verify_roundtrip(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)", "fact(2)"])
+        labels = bundle.verify(a.platform_root_key())
+        assert [str(label.body) for label in labels] == \
+            ["fact(1)", "fact(2)"]
+        assert bundle.subject_name == "issuer"
+
+    def test_wire_roundtrip_is_fixpoint_and_digest_stable(self, kernels):
+        a, _ = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        wire = json.loads(json.dumps(bundle.to_dict()))
+        decoded = CredentialBundle.from_dict(wire)
+        assert decoded.to_dict() == bundle.to_dict()
+        assert decoded.digest() == bundle.digest()
+        decoded.verify(a.platform_root_key())
+
+    def test_wrong_root_key_rejected(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        with pytest.raises(BadChain):
+            bundle.verify(b.platform_root_key())
+
+    def test_dropping_a_chain_breaks_the_manifest(self, kernels):
+        a, _ = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)", "fact(2)"])
+        wire = bundle.to_dict()
+        wire["chains"] = wire["chains"][:1]
+        with pytest.raises(BadChain):
+            CredentialBundle.from_dict(wire).verify(a.platform_root_key())
+
+    def test_substituted_chain_breaks_the_manifest(self, kernels):
+        a, _ = kernels
+        victim = _bundle_for(a, "issuer", ["fact(1)"])
+        other = _bundle_for(a, "other", ["unrelated(9)"])
+        wire = victim.to_dict()
+        wire["chains"] = [other.to_dict()["chains"][0]]
+        with pytest.raises(BadChain):
+            CredentialBundle.from_dict(wire).verify(a.platform_root_key())
+
+    def test_empty_store_cannot_export(self):
+        a = NexusKernel(key_seed=A_SEED)
+        silent = a.create_process("silent")
+        with pytest.raises(BadChain):
+            export_credentials(a, silent.pid)
+
+    def test_attestation_layer_helpers(self, kernels):
+        a, b = kernels
+        process = a.create_process("issuer")
+        a.sys_say(process.pid, "fact(1)")
+        bundle = export_credential_bundle(a, process.pid)
+        labels = verify_credential_bundle(b, bundle.to_dict())
+        assert str(labels[0].body) == "fact(1)"
+
+
+# --------------------------------------------------------------------------
+# admission and the import cache
+# --------------------------------------------------------------------------
+
+class TestAdmission:
+    def test_admission_mints_a_first_class_principal(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        admission = b.admit_remote(bundle)
+        assert admission.remote_principal.startswith("site-a.")
+        store = b.default_labelstore(admission.pid)
+        formulas = {str(label.formula) for label in store}
+        # Ground truth, policy handle, and the speaksfor binding.
+        assert any(text.startswith("TPM-") for text in formulas)
+        assert f"{admission.remote_principal} says fact(1)" in formulas
+        assert (f"site-a says ({admission.principal} speaksfor "
+                f"{admission.remote_principal})") in formulas
+
+    def test_digest_cache_serves_warm_admissions(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        first = b.admit_remote(bundle)
+        second = b.admit_remote(bundle.to_dict())
+        third = b.admit_remote(first.digest)
+        assert not first.cached and second.cached and third.cached
+        assert first.pid == second.pid == third.pid
+        assert b.federation.cold_admissions == 1
+        assert b.federation.cache_hits == 2
+
+    def test_unknown_digest_needs_the_full_bundle(self, kernels):
+        _, b = kernels
+        with pytest.raises(BadChain):
+            b.admit_remote("ab" * 32)
+
+    def test_revocation_epoch_forces_reverification(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        first = b.admit_remote(bundle)
+        b.decision_cache.bump_policy_epoch()  # any revocation does this
+        refreshed = b.admit_remote(bundle)
+        assert not refreshed.cached  # re-verified, not replayed
+        assert refreshed.pid == first.pid  # same principal, re-earned
+        assert b.federation.refreshes == 1
+        warm = b.admit_remote(bundle)
+        assert warm.cached
+
+    def test_third_party_revocation_service_invalidates_admissions(
+            self, kernels):
+        a, b = kernels
+        revocation = RevocationService(b)
+        issuer = b.create_process("local-issuer")
+        revocation.issue(issuer, "blessed(x)")
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        b.admit_remote(bundle)
+        revocation.revoke(issuer, "blessed(x)")
+        assert not b.admit_remote(bundle).cached  # epoch moved → cold
+
+    def test_revoked_peer_drops_admitted_principals(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        admission = b.admit_remote(bundle)
+        label = parse(f"{admission.remote_principal} says fact(1)")
+        assert b.labels.holds(label)
+        peer = b.peers.by_name("site-a")
+        dropped = b.revoke_peer(peer.peer_id)
+        assert dropped == 1
+        assert not b.labels.holds(label)  # credentials gone with the peer
+        assert admission.pid not in b.processes
+        with pytest.raises(UntrustedPeer):
+            b.admit_remote(bundle)
+
+    def test_lazy_drop_when_peer_revoked_behind_the_cache(self, kernels):
+        """Revoking via the registry alone (no eager drop) still fails
+        the next cache touch and removes the sponsored principal."""
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        admission = b.admit_remote(bundle)
+        b.peers.revoke(b.peers.by_name("site-a").peer_id)
+        with pytest.raises(UntrustedPeer):
+            b.admit_remote(bundle.digest())
+        assert admission.pid not in b.processes
+        assert len(b.federation) == 0
+
+    def test_reinstated_peer_requires_fresh_bundles(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "issuer", ["fact(1)"])
+        b.admit_remote(bundle)
+        peer = b.peers.by_name("site-a")
+        revocation = RevocationService(b)
+        revocation.revoke_peer(peer.peer_id)
+        revocation.reinstate_peer(peer.peer_id, "site-a")
+        admission = b.admit_remote(bundle)  # re-presented, re-verified
+        assert not admission.cached
+        assert b.authorize_remote(bundle, "read", _goal_resource(
+            b, admission), None).allow is False  # no goal set: default deny
+
+
+def _goal_resource(kernel, admission):
+    """A resource the admitted principal does not own (helper)."""
+    owner = kernel.create_process("owner")
+    resource = kernel.resources.create("/files/x", "file",
+                                       kernel.processes.get(
+                                           owner.pid).principal)
+    return resource.resource_id
+
+
+# --------------------------------------------------------------------------
+# remote authorization
+# --------------------------------------------------------------------------
+
+class TestAuthorizeRemote:
+    def test_remote_equals_local_verdict(self, kernels):
+        """The acceptance property: an admitted remote principal earns
+        the same verdict as an equivalently credentialed local one."""
+        a, b = kernels
+        # Local twin on B.
+        local = b.create_process("twin")
+        b.sys_say(local.pid, "ok(door)")
+        owner = b.create_process("owner")
+        resource = b.resources.create("/files/door", "file",
+                                      b.processes.get(owner.pid).principal)
+        local_goal = f"{local.principal} says ok(door)"
+        b.default_guard.goals.set_goal(resource.resource_id, "open",
+                                       parse(local_goal))
+        from repro.core.attestation import kernel_wallet_bundle
+        local_decision = b.authorize(
+            local.pid, "open", resource.resource_id,
+            kernel_wallet_bundle(b, local.pid, "open", resource))
+        # Remote subject with the same credential, via federation.
+        bundle = _bundle_for(a, "visitor", ["ok(door)"])
+        admission = b.admit_remote(bundle)
+        b.default_guard.goals.set_goal(
+            resource.resource_id, "open",
+            parse(f"{admission.remote_principal} says ok(door)"))
+        b.decision_cache.invalidate_goal("open", resource.resource_id)
+        remote_decision = b.authorize_remote(bundle, "open",
+                                             resource.resource_id)
+        assert local_decision.allow is remote_decision.allow is True
+        assert local_decision.reason == remote_decision.reason
+
+    def test_authorize_remote_accepts_digest_and_hits_caches(self, kernels):
+        a, b = kernels
+        bundle = _bundle_for(a, "visitor", ["ok(door)"])
+        admission = b.admit_remote(bundle)
+        owner = b.create_process("owner")
+        resource = b.resources.create("/files/door", "file",
+                                      b.processes.get(owner.pid).principal)
+        b.default_guard.goals.set_goal(
+            resource.resource_id, "open",
+            parse(f"{admission.remote_principal} says ok(door)"))
+        first = b.authorize_remote(admission.digest, "open",
+                                   resource.resource_id)
+        assert first.allow
+        hits_before = b.decision_cache.stats.hits
+        again = b.authorize_remote(admission.digest, "open",
+                                   resource.resource_id)
+        assert again.allow and again.reason == "decision cache"
+        assert b.decision_cache.stats.hits == hits_before + 1
+
+
+# --------------------------------------------------------------------------
+# the two-kernel typed object store (§4 across machines)
+# --------------------------------------------------------------------------
+
+class TestFederatedObjectStore:
+    def _image(self, records=20):
+        from repro.apps.objectstore import Schema, TypedObjectStore
+        schema = Schema.of(name="str", age="int")
+        producer = TypedObjectStore(schema, producer="jvm")
+        for i in range(records):
+            producer.put({"name": f"user{i}", "age": i})
+        return schema, producer.export()
+
+    def test_producer_attestation_on_a_authorizes_read_on_b(self, kernels):
+        from repro.apps.objectstore import (STORE_POLICY_NAME,
+                                            federated_certifier,
+                                            import_federated,
+                                            publish_store, store_policy)
+        a, b = kernels
+        schema, image = self._image()
+        # Kernel A: the certifier attests the producer's typesafety.
+        bundle = _bundle_for(a, "TypeCertifier", ["typesafe(jvm)"])
+        # Kernel B: policy demands the *federated* certifier's word.
+        admin = b.create_process("store-admin")
+        speaker = federated_certifier("site-a", bundle)
+        b.policies.put(store_policy(certifier=speaker))
+        b.policies.apply(admin.pid, STORE_POLICY_NAME)
+        publish_store(b, admin.pid, image)
+        fast = import_federated(image, schema, b, bundle)
+        assert fast.validations == 0  # transitive integrity: fast path
+        assert len(fast) == 20
+
+    def test_tampered_attestation_is_a_structured_deny(self, kernels):
+        """A forged certificate is not a slow path — it is evidence of
+        tampering, refused outright with a stable code."""
+        from repro.apps.objectstore import (STORE_POLICY_NAME,
+                                            federated_certifier,
+                                            import_federated,
+                                            publish_store, store_policy)
+        a, b = kernels
+        schema, image = self._image()
+        bundle = _bundle_for(a, "TypeCertifier", ["typesafe(jvm)"])
+        admin = b.create_process("store-admin")
+        b.policies.put(store_policy(
+            certifier=federated_certifier("site-a", bundle)))
+        b.policies.apply(admin.pid, STORE_POLICY_NAME)
+        publish_store(b, admin.pid, image)
+        tampered = json.loads(json.dumps(bundle.to_dict()))
+        tampered["chains"][0]["certs"][-1]["statement"] = \
+            tampered["chains"][0]["certs"][-1]["statement"].replace(
+                "typesafe(jvm)", "typesafe(malware)")
+        with pytest.raises(BadChain):
+            import_federated(image, schema, b, tampered)
+
+    def test_missing_attestation_selects_the_slow_path(self, kernels):
+        from repro.apps.objectstore import (STORE_POLICY_NAME,
+                                            federated_certifier,
+                                            import_federated,
+                                            publish_store, store_policy)
+        a, b = kernels
+        schema, image = self._image()
+        bundle = _bundle_for(a, "NotTheCertifier", ["unrelated(jvm)"])
+        admin = b.create_process("store-admin")
+        # Policy demands a statement the bundle does not carry.
+        speaker = federated_certifier("site-a", bundle)
+        b.policies.put(store_policy(certifier=f"{speaker}x"))
+        b.policies.apply(admin.pid, STORE_POLICY_NAME)
+        publish_store(b, admin.pid, image)
+        slow = import_federated(image, schema, b, bundle)
+        assert slow.validations == 20  # deny is data: slow path
+        assert len(slow) == 20
+
+
+# --------------------------------------------------------------------------
+# the wire endpoints
+# --------------------------------------------------------------------------
+
+class TestFederationApi:
+    def _federated_pair(self):
+        a = NexusClient.over_http(NexusService(NexusKernel(key_seed=A_SEED)))
+        b_service = NexusService(NexusKernel(key_seed=B_SEED))
+        b = NexusClient.over_http(b_service)
+        return a, b, b_service
+
+    def test_peer_add_list_export_admit_over_http(self):
+        a, b, b_service = self._federated_pair()
+        issuer = a.open_session("issuer")
+        issuer.say("fact(1)")
+        exported = issuer.export_credentials()
+        admin = b.open_session("admin")
+        peer = admin.add_peer("site-a", a.info().platform["root_key"],
+                              platform=a.info().platform["platform"])
+        assert peer.trusted
+        listed = admin.list_peers()
+        assert [p["name"] for p in listed] == ["site-a"]
+        admission = admin.admit_remote(exported.bundle)
+        assert admission.peer == "site-a"
+        assert admission.labels == 1
+        assert not admission.cached
+        assert admin.admit_remote(digest=exported.digest).cached
+        assert admin.list_peers()[0]["admitted"] == 1
+
+    def test_admit_without_bundle_or_digest_is_bad_request(self):
+        _, b, _ = self._federated_pair()
+        admin = b.open_session("admin")
+        raw = {"v": "v1", "kind": "federation/admit",
+               "payload": {"session": admin.token}}
+        from repro.api import messages as msg
+        with pytest.raises(ApiError) as excinfo:
+            msg.decode_request(json.dumps(raw))
+        assert excinfo.value.code == "E_BAD_REQUEST"
+
+    def test_untrusted_peer_maps_to_403(self):
+        a, b, b_service = self._federated_pair()
+        issuer = a.open_session("issuer")
+        issuer.say("fact(1)")
+        exported = issuer.export_credentials()
+        admin = b.open_session("admin")
+        request = {"v": "v1", "kind": "federation/admit",
+                   "payload": {"session": admin.token,
+                               "bundle": exported.bundle}}
+        from repro.net.http import HTTPRequest
+        response = b_service.router().dispatch(HTTPRequest(
+            "POST", "/api/v1/federation/admit", {},
+            json.dumps(request).encode()))
+        assert response.status == 403
+        from repro.api import messages as msg
+        assert msg.decode_response(response.body).code == \
+            "E_UNTRUSTED_PEER"
+
+    def test_info_publishes_platform_identity(self):
+        a, _, _ = self._federated_pair()
+        platform = a.info().platform
+        assert set(platform) == {"platform", "boot_id", "peer_id",
+                                 "root_key"}
+        assert platform["platform"].startswith("NK-")

@@ -1,0 +1,290 @@
+"""Seeded property tests: the parser/printer pair and the bundle codec.
+
+Two grammars guard kernel attack surfaces: NAL surface text (the ``say``
+syscall and every goal) and the federated credential-bundle wire form.
+Both are held to the same discipline here, with deterministic seeds:
+
+* **round-trip** — ``parse(str(f)) == f`` for randomly generated
+  formulas over *every* surface form, including the ``in(a, b)`` sugar,
+  scoped ``speaksfor … on``, key/group principals, and subprincipal
+  chains; bundle documents must be encode→decode→encode fixpoints with
+  stable digests;
+* **rejection** — truncated, mistyped, and tampered inputs must fail
+  with stable ``E_*`` codes, never with stray exceptions.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import BadChain, ParseError, ReproError, UntrustedPeer
+from repro.federation import CredentialBundle
+from repro.kernel.kernel import NexusKernel
+from repro.nal.formula import (FALSE, TRUE, And, Compare, Implies, Not, Or,
+                               Pred, Says, Speaksfor)
+from repro.nal.parser import parse, parse_principal
+from repro.nal.terms import (Const, Group, KeyPrincipal, Name,
+                             SubPrincipal, Var)
+
+# --------------------------------------------------------------------------
+# the generator: every surface form the printer can emit
+# --------------------------------------------------------------------------
+
+_NAMES = ["alice", "NTP", "/proc/ipd/7", "/stores/jvm", "store_3",
+          "TimeNow", "site-a"]
+_TAGS = ["web", "db", "42", "boot"]
+_PRED_NAMES = ["ok", "mayRead", "typesafe", "hasPath", "isOwner"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+def _principal(rng, depth=0):
+    """A random principal: name, key, group, variable, or a dotted
+    subprincipal chain over any of those."""
+    kind = rng.randrange(5 if depth < 2 else 4)
+    if kind == 0:
+        return Name(rng.choice(_NAMES))
+    if kind == 1:
+        return KeyPrincipal("ab12cd34")
+    if kind == 2:
+        return Group(rng.choice(["admins", "readers"]))
+    if kind == 3:
+        return Var(rng.choice(["Subject", "Resource", "X"]))
+    base = _principal(rng, depth + 1)
+    for _ in range(rng.randrange(1, 3)):
+        base = SubPrincipal(base, rng.choice(_TAGS))
+    return base
+
+
+def _term(rng, depth=0):
+    """A random term: constant, principal, or variable."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        return Const(rng.randrange(-999, 1000))
+    if kind == 1:
+        return Const(rng.choice(["s", "two words", "z-9"]))
+    return _principal(rng, depth)
+
+
+def _atom(rng):
+    """A random atomic formula, covering every sugar form."""
+    kind = rng.randrange(6)
+    if kind == 0:  # predicate application (and zero-arg atoms)
+        arity = rng.randrange(0, 3)
+        return Pred(rng.choice(_PRED_NAMES),
+                    tuple(_term(rng) for _ in range(arity)))
+    if kind == 1:  # the membership sugar: prints as in(a, b)
+        return Pred("in", (_term(rng), _term(rng)))
+    if kind == 2:
+        return Compare(rng.choice(_CMP_OPS), _term(rng), _term(rng))
+    if kind == 3:  # scoped and unscoped delegation
+        scope = _term(rng) if rng.random() < 0.5 else None
+        return Speaksfor(_principal(rng), _principal(rng), scope)
+    if kind == 4:
+        return TRUE
+    return FALSE
+
+
+def _formula(rng, depth=0):
+    """A random formula over the full connective set."""
+    if depth >= 4 or rng.random() < 0.35:
+        return _atom(rng)
+    kind = rng.randrange(5)
+    if kind == 0:
+        return Says(_principal(rng, depth), _formula(rng, depth + 1))
+    if kind == 1:
+        return And(_formula(rng, depth + 1), _formula(rng, depth + 1))
+    if kind == 2:
+        return Or(_formula(rng, depth + 1), _formula(rng, depth + 1))
+    if kind == 3:
+        return Implies(_formula(rng, depth + 1), _formula(rng, depth + 1))
+    return Not(_formula(rng, depth + 1))
+
+
+# --------------------------------------------------------------------------
+# parser ↔ printer
+# --------------------------------------------------------------------------
+
+class TestParserPrinterRoundTrip:
+    def test_random_formulas_roundtrip(self):
+        rng = random.Random(20260726)
+        for _ in range(400):
+            formula = _formula(rng)
+            printed = str(formula)
+            reparsed = parse(printed)
+            assert reparsed == formula, printed
+            assert str(reparsed) == printed
+
+    def test_random_principals_roundtrip(self):
+        rng = random.Random(8128)
+        for _ in range(200):
+            principal = _principal(rng)
+            assert parse_principal(str(principal)) == principal
+
+    @pytest.mark.parametrize("text,canonical", [
+        ("a in b", "in(a, b)"),
+        ("in(a, b)", "in(a, b)"),
+        ("x = 3", "x == 3"),
+        ("A says B says ok", "A says (B says ok)"),
+        ("NTP speaksfor Server on TimeNow",
+         "NTP speaksfor Server on TimeNow"),
+        ("not p and q", "not p and q"),  # not binds tighter than and
+        ("key:ab.boot says ok", "key:ab.boot says ok"),
+    ])
+    def test_sugar_forms_normalize_and_fix(self, text, canonical):
+        """Each sugar form parses, prints canonically, and the printed
+        form is a fixpoint of parse∘print."""
+        formula = parse(text)
+        assert str(formula) == canonical
+        assert parse(str(formula)) == formula
+
+    def test_mutated_surface_text_never_crashes(self):
+        """Random single-character damage either still parses (to some
+        formula that itself round-trips) or raises ParseError — never
+        anything else."""
+        rng = random.Random(99)
+        alphabet = "abz()?.,\"<>=!/\\ 0139"
+        parse_errors = 0
+        for _ in range(300):
+            text = str(_formula(rng))
+            position = rng.randrange(len(text))
+            mutant = (text[:position] + rng.choice(alphabet)
+                      + text[position + 1:])
+            try:
+                survivor = parse(mutant)
+            except ParseError:
+                parse_errors += 1
+            else:
+                assert parse(str(survivor)) == survivor
+        assert parse_errors >= 50  # damage is usually fatal
+
+
+# --------------------------------------------------------------------------
+# the chain-bundle wire form
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def federated_pair():
+    """Kernel A (issuer) and kernel B trusting it, built once."""
+    a = NexusKernel(key_seed=4401)
+    b = NexusKernel(key_seed=5502)
+    b.add_peer("site-a", a.platform_identity()["root_key"])
+    return a, b
+
+
+def _random_bundle(rng, kernel):
+    """Export a process holding 1–3 random ground labels."""
+    process = kernel.create_process(f"fuzz-{rng.randrange(10**6)}")
+    for _ in range(rng.randrange(1, 4)):
+        body = Pred(rng.choice(_PRED_NAMES),
+                    (Name(rng.choice(_NAMES)),
+                     Const(rng.randrange(100))))
+        kernel.sys_say(process.pid, str(body))
+    return kernel.export_credentials(process.pid)
+
+
+class TestBundleWireForm:
+    def test_encode_decode_encode_fixpoint(self, federated_pair):
+        a, _ = federated_pair
+        rng = random.Random(7)
+        for _ in range(10):
+            bundle = _random_bundle(rng, a)
+            wire = json.loads(json.dumps(bundle.to_dict()))
+            decoded = CredentialBundle.from_dict(wire)
+            assert decoded.to_dict() == bundle.to_dict()
+            assert decoded.digest() == bundle.digest()
+            assert decoded.manifest() == bundle.manifest()
+
+    def test_mistyped_fields_rejected_with_stable_code(self, federated_pair):
+        a, _ = federated_pair
+        rng = random.Random(13)
+        bundle = _random_bundle(rng, a).to_dict()
+        mutants = [None, True, 7, 3.5, [], {"zz": 1}]
+        for name in ("platform", "root_fingerprint", "subject",
+                     "subject_name", "boot_id", "signature", "chains"):
+            for mutant in mutants:
+                damaged = json.loads(json.dumps(bundle))
+                damaged[name] = mutant
+                with pytest.raises(BadChain) as excinfo:
+                    CredentialBundle.from_dict(damaged)
+                assert excinfo.value.code == "E_BAD_CHAIN"
+
+    def test_tampered_bundles_rejected_at_admission(self, federated_pair):
+        """Every class of tampering fails with a stable code: signature
+        damage, statement edits, chain drops/reorders/substitutions,
+        root-key swaps."""
+        a, b = federated_pair
+        rng = random.Random(21)
+        original = _random_bundle(rng, a)
+        wire = original.to_dict()
+
+        def flip_hex(text):
+            position = rng.randrange(len(text))
+            replacement = "0" if text[position] != "0" else "1"
+            return text[:position] + replacement + text[position + 1:]
+
+        # A hostile platform: same wire shape, different root of trust.
+        other = _random_bundle(rng, NexusKernel(key_seed=6603))
+        tampers = [
+            lambda d: d.update(signature=flip_hex(d["signature"])),
+            lambda d: d["chains"][0]["certs"][-1].update(
+                statement=d["chains"][0]["certs"][-1]["statement"] + " "),
+            lambda d: d["chains"][0]["certs"][-1].update(
+                signature=flip_hex(
+                    d["chains"][0]["certs"][-1]["signature"])),
+            lambda d: d.update(chains=d["chains"]
+                               + other.to_dict()["chains"]),
+            lambda d: d.update(chains=list(reversed(
+                d["chains"] + other.to_dict()["chains"]))),
+            lambda d: d.update(root_fingerprint="ab" * 32),
+            lambda d: d["chains"][0].update(
+                root_key=other.to_dict()["chains"][0]["root_key"]),
+            lambda d: d.update(subject="/proc/ipd/999"),
+        ]
+        for tamper in tampers:
+            damaged = json.loads(json.dumps(wire))
+            tamper(damaged)
+            with pytest.raises((BadChain, UntrustedPeer)) as excinfo:
+                b.admit_remote(damaged)
+            assert excinfo.value.code in ("E_BAD_CHAIN",
+                                          "E_UNTRUSTED_PEER")
+        # The original is untouched by all that hostility.
+        assert b.admit_remote(wire).labels == len(original.chains)
+
+    def test_truncated_admit_envelopes_rejected_on_the_wire(
+            self, federated_pair):
+        """Byte-level truncation of the full admit request must map to a
+        stable request-level code, whatever the cut point."""
+        from repro.api import messages as msg
+        from repro.api.errors import ApiError
+        a, _ = federated_pair
+        rng = random.Random(31)
+        bundle = _random_bundle(rng, a)
+        raw = msg.FederationAdmitRequest(session="sess-x",
+                                         bundle=bundle.to_dict()).to_bytes()
+        for _ in range(40):
+            cut = rng.randrange(1, len(raw))
+            with pytest.raises(ApiError) as excinfo:
+                msg.decode_request(raw[:cut])
+            assert excinfo.value.code in ("E_BAD_REQUEST", "E_BAD_VERSION",
+                                          "E_UNKNOWN_KIND")
+
+    def test_wire_admit_rejections_keep_codes_over_http(self,
+                                                        federated_pair):
+        """The same tamper classes, pushed through the HTTP endpoint,
+        surface the same codes as structured error responses."""
+        from repro.api import NexusClient, NexusService
+        from repro.api.errors import ApiError
+        a, _ = federated_pair
+        rng = random.Random(43)
+        bundle = _random_bundle(rng, a)
+        service = NexusService(NexusKernel(key_seed=5502))
+        client = NexusClient.over_http(service)
+        admin = client.open_session("admin")
+        admin.add_peer("site-a", a.platform_identity()["root_key"])
+        damaged = json.loads(json.dumps(bundle.to_dict()))
+        damaged["chains"][0]["certs"][0]["subject"] = "NK-evil"
+        with pytest.raises(ApiError) as excinfo:
+            admin.admit_remote(damaged)
+        assert excinfo.value.code == "E_BAD_CHAIN"
+        assert isinstance(excinfo.value, ReproError)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Line-coverage floor for selected packages, stdlib only.
+
+The container ships no ``coverage``/``pytest-cov``, so this tool traces
+the interpreter itself: ``sys.settrace`` records every executed line in
+files under the target directories while the given pytest selection
+runs, executable lines are recovered from the compiled code objects
+(``co_lines``), and the run fails unless the covered/executable ratio
+meets the floor.
+
+Usage:
+    python tools/check_coverage.py --target src/repro/federation \\
+        --floor 85 -- -q tests/test_federation.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def executable_lines(path: Path) -> set:
+    """Every line number the compiler marks executable in one file."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        # line 0 is the compiler's implicit module prologue, not code.
+        lines.update(line for _, _, line in current.co_lines() if line)
+        stack.extend(const for const in current.co_consts
+                     if hasattr(const, "co_lines"))
+    return lines
+
+
+def run_traced(prefixes, pytest_args):
+    """Run pytest under a line tracer restricted to the prefixes."""
+    import pytest
+
+    hits = {}
+
+    def local_tracer(frame, event, _arg):
+        if event == "line":
+            hits.setdefault(frame.f_code.co_filename,
+                            set()).add(frame.f_lineno)
+        return local_tracer
+
+    def global_tracer(frame, event, _arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+                prefixes):
+            return local_tracer
+        return None
+
+    threading.settrace(global_tracer)
+    sys.settrace(global_tracer)
+    try:
+        exit_code = pytest.main(list(pytest_args))
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return exit_code, hits
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target", action="append", required=True,
+                        help="directory whose .py files must be covered")
+    parser.add_argument("--floor", type=float, default=85.0,
+                        help="minimum total line coverage percent")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments handed to pytest (after --)")
+    args = parser.parse_args(argv)
+
+    targets = [Path(t).resolve() for t in args.target]
+    prefixes = tuple(str(t) for t in targets)
+    exit_code, hits = run_traced(prefixes, args.pytest_args)
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not evaluated")
+        return exit_code
+
+    total_executable = 0
+    total_hit = 0
+    print(f"\nline coverage (floor {args.floor:.0f}%):")
+    for target in targets:
+        for path in sorted(target.rglob("*.py")):
+            must = executable_lines(path)
+            got = hits.get(str(path), set()) & must
+            total_executable += len(must)
+            total_hit += len(got)
+            pct = 100.0 * len(got) / len(must) if must else 100.0
+            rel = path.relative_to(REPO_ROOT)
+            print(f"  {rel}: {pct:5.1f}% ({len(got)}/{len(must)})")
+            missed = sorted(must - got)
+            if missed and pct < args.floor:
+                print(f"    missed lines: {missed}")
+    total_pct = (100.0 * total_hit / total_executable
+                 if total_executable else 100.0)
+    print(f"  TOTAL: {total_pct:5.1f}% ({total_hit}/{total_executable})")
+    if total_pct < args.floor:
+        print(f"FAIL: coverage {total_pct:.1f}% is below the floor "
+              f"{args.floor:.0f}%")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
