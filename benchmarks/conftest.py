@@ -26,6 +26,12 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.ensure_newline()
         terminalreporter.section("paper-style experiment report")
         terminalreporter.write_line(output)
+        # Refresh the consolidated BENCH_index.json from whatever
+        # per-experiment artifacts exist on disk, so the cross-PR perf
+        # trajectory stays machine-readable after every bench run.
+        index = reporting.emit_index(Path(__file__).parent.parent)
+        if index is not None:
+            terminalreporter.write_line(f"bench index: {index}")
 
 
 @pytest.fixture

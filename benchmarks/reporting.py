@@ -84,5 +84,46 @@ def emit_json(name: str, path: Union[str, Path]) -> Path:
     return path
 
 
+def emit_index(root: Union[str, Path]) -> Optional[Path]:
+    """Consolidate every ``BENCH_*.json`` under ``root`` into one
+    machine-readable ``BENCH_index.json``.
+
+    The per-experiment artifacts are emitted by individual benchmark
+    runs; the index stitches them together so the perf trajectory
+    across PRs is diffable as a single document: for each experiment,
+    the title and a flat ``label → {value, unit}`` map.  Returns the
+    index path, or ``None`` when no artifacts exist yet.
+    """
+    root = Path(root)
+    index_path = root / "BENCH_index.json"
+    experiments = {}
+    for artifact in sorted(root.glob("BENCH_*.json")):
+        if artifact.name == "BENCH_index.json":
+            continue
+        try:
+            document = json.loads(artifact.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        rows = document.get("rows")
+        if not isinstance(rows, list):
+            continue
+        experiments[document.get("experiment", artifact.stem)] = {
+            "artifact": artifact.name,
+            "title": document.get("title", ""),
+            "rows": {row["label"]: {"value": row["value"],
+                                    "unit": row["unit"]}
+                     for row in rows
+                     if isinstance(row, dict) and "label" in row},
+        }
+    if not experiments:
+        return None
+    index_path.write_text(json.dumps(
+        {"experiments": experiments,
+         "artifacts": sorted(e["artifact"]
+                             for e in experiments.values())},
+        indent=2, sort_keys=True) + "\n")
+    return index_path
+
+
 def reset() -> None:
     _REGISTRY.clear()

@@ -101,7 +101,15 @@ def test_cred_add_signed(bench_us):
     importer = kernel.create_process("importer")
     label = kernel.sys_say(owner.pid, "isTypeSafe(PGM)")
 
+    from repro.crypto.certs import clear_chain_memo
+    from repro.crypto.rsa import clear_verify_memo
+
     def signed_insert():
+        # The figure's row is the *cold* cryptographic cost; the
+        # serving runtime memoizes verification outcomes by content,
+        # so re-importing the same chain would otherwise be hashing.
+        clear_chain_memo()
+        clear_verify_memo()
         chain = kernel.externalize_label(label)
         kernel.import_label_chain(chain, importer.pid)
     mean = bench_us(signed_insert, rounds=5, iterations=2)
@@ -124,9 +132,16 @@ def test_crypto_avoidance_gap(bench_us):
         kernel.sys_say(owner.pid, f"gapStmt({i})")
     pid_cost = (time.perf_counter() - start) / n
 
+    from repro.crypto.certs import clear_chain_memo
+    from repro.crypto.rsa import clear_verify_memo
     n = 10
     start = time.perf_counter()
     for _ in range(n):
+        # Cold-path crypto is what the figure compares; clear the
+        # serving runtime's verification memos each round (warm
+        # re-verification is measured by fig10's re-admission row).
+        clear_chain_memo()
+        clear_verify_memo()
         chain = kernel.externalize_label(label)
         kernel.import_label_chain(chain, importer.pid)
     key_cost = (time.perf_counter() - start) / n

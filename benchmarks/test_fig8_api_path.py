@@ -41,12 +41,43 @@ def _world(client):
     return reader, resource, bundle
 
 
-def _measure(fn, n=200):
-    fn()  # warm: decision cache, codec paths, route table
-    start = time.perf_counter()
-    for _ in range(n):
+def _measure(fn, n=200, warmup=25, rounds=3):
+    # Warm the decision cache, codec/wire memos, and route table until
+    # the path is in steady state — fig8 compares transports, not
+    # first-call population costs.
+    for _ in range(warmup):
         fn()
-    return (time.perf_counter() - start) / n * 1e6
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        elapsed = (time.perf_counter() - start) / n * 1e6
+        best = elapsed if best is None or elapsed < best else best
+    return best
+
+
+def _measure_pair(fn_a, fn_b, n=200, warmup=25, rounds=5):
+    """Best-of-N for two paths with interleaved rounds, so clock and
+    load drift hit both alike — this is a *ratio* experiment."""
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    best_a = best_b = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn_a()
+        elapsed_a = (time.perf_counter() - start) / n * 1e6
+        start = time.perf_counter()
+        for _ in range(n):
+            fn_b()
+        elapsed_b = (time.perf_counter() - start) / n * 1e6
+        best_a = elapsed_a if best_a is None or elapsed_a < best_a \
+            else best_a
+        best_b = elapsed_b if best_b is None or elapsed_b < best_b \
+            else best_b
+    return best_a, best_b
 
 
 def test_single_authorization_both_transports(benchmark):
@@ -65,8 +96,7 @@ def test_single_authorization_both_transports(benchmark):
                                      proof=wire_bundle)
 
     assert direct().allow and wire().allow
-    direct_us = _measure(direct)
-    wire_us = _measure(wire)
+    direct_us, wire_us = _measure_pair(direct, wire)
     reporting.record(EXP, "authorize [in-process]", direct_us, "us/call")
     reporting.record(EXP, "authorize [http wire]", wire_us, "us/call")
     reporting.record(EXP, "wire / in-process ratio",

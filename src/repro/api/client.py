@@ -69,15 +69,20 @@ class HttpTransport(Transport):
         self.requests_sent = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: (kind, body length) → ready HTTP head bytes.  The head of a
+        #: POST to a fixed endpoint depends on the body only through
+        #: Content-Length, so the hot path splices head + body instead
+        #: of rebuilding an HTTPRequest per call.
+        self._head_memo: Dict[tuple, bytes] = {}
 
     @classmethod
     def for_router(cls, router, prefix: Optional[str] = None
                    ) -> "HttpTransport":
         """A wire that dispatches through an existing Router."""
-        from repro.net.http import parse_request
+        from repro.net.http import parse_request_cached
 
         def send(raw: bytes) -> bytes:
-            return router.dispatch(parse_request(raw)).to_bytes()
+            return router.dispatch(parse_request_cached(raw)).to_bytes()
 
         return cls(send, prefix=prefix)
 
@@ -89,29 +94,61 @@ class HttpTransport(Transport):
         mount = prefix if prefix is not None else API_PREFIX
         return cls.for_router(service.router(mount), prefix=mount)
 
+    @classmethod
+    def over_socket(cls, host: str, port: int,
+                    prefix: Optional[str] = None,
+                    timeout: float = 30.0) -> "HttpTransport":
+        """A wire over one real TCP connection, reused across requests.
+
+        The transport holds a
+        :class:`~repro.net.server.PersistentConnection`: the connection
+        is opened lazily, kept alive between calls (the socket server's
+        worker pool keeps its end open too), and transparently
+        re-established if the server dropped it.  Close it via
+        :attr:`connection` when done.
+        """
+        from repro.net.server import PersistentConnection
+        connection = PersistentConnection(host, port, timeout=timeout)
+        transport = cls(connection.send, prefix=prefix)
+        transport.connection = connection
+        return transport
+
+    #: The underlying persistent connection when built by
+    #: :meth:`over_socket`; ``None`` for in-memory wires.
+    connection = None
+
     def roundtrip(self, request: msg.ApiRequest) -> msg.ApiMessage:
         """Encode, frame, send, parse, decode — the full wire path."""
-        from repro.net.http import HTTPRequest, parse_response
+        from repro.net.http import HTTPRequest, split_response
         body = request.to_bytes()
-        raw = HTTPRequest("POST", f"{self.prefix}/{request.KIND}",
-                          {"Content-Type": "application/json"},
-                          body).to_bytes()
+        head_key = (request.KIND, len(body))
+        head = self._head_memo.get(head_key)
+        if head is None:
+            raw = HTTPRequest("POST", f"{self.prefix}/{request.KIND}",
+                              {"Content-Type": "application/json"},
+                              body).to_bytes()
+            head = raw[:len(raw) - len(body)]
+            if len(self._head_memo) >= 512:
+                self._head_memo.clear()
+            self._head_memo[head_key] = head
+        else:
+            raw = head + body
         self.requests_sent += 1
         self.bytes_sent += len(raw)
         raw_response = self.send(raw)
         self.bytes_received += len(raw_response)
-        response = parse_response(raw_response)
+        status, response_body = split_response(raw_response)
         try:
-            return msg.decode_response(response.body)
+            return msg.decode_response(response_body)
         except ApiError as exc:
             # A body that is not an API envelope means the request never
             # reached the service (bad mount/prefix, plain 404/405 from
             # the router) — report the transport-level truth, not a
             # misleading decode failure.
-            snippet = response.body[:80].decode("latin-1")
+            snippet = response_body[:80].decode("latin-1")
             raise ApiError(
                 E_BAD_RESPONSE,
-                f"HTTP {response.status} with non-API body from "
+                f"HTTP {status} with non-API body from "
                 f"{self.prefix}/{request.KIND}: {snippet!r}") from exc
 
 
@@ -140,6 +177,20 @@ class NexusClient:
                                                 prefix=prefix))
         return cls(HttpTransport.for_service(service_or_router,
                                              prefix=prefix))
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                prefix: Optional[str] = None) -> "NexusClient":
+        """A client over a real TCP connection to a running
+        :class:`~repro.net.server.SocketServer`, with connection reuse
+        (keep-alive) across every call."""
+        return cls(HttpTransport.over_socket(host, port, prefix=prefix))
+
+    def close(self) -> None:
+        """Release transport resources (the TCP connection, if any)."""
+        connection = getattr(self.transport, "connection", None)
+        if connection is not None:
+            connection.close()
 
     # ------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ kernel state is touched.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Optional
 
 from repro.api.errors import bad_request
@@ -64,7 +65,23 @@ def decode_principal(text: Any):
 # --------------------------------------------------------------------------
 
 def encode_proof(proof: Proof) -> Dict[str, Any]:
-    """Encode one proof tree as a nested JSON document."""
+    """Encode one proof tree as a nested JSON document.
+
+    Memoized per node: proof trees are immutable and the serving hot
+    path encodes the same registered proof on every request, so the
+    walk happens once and O(1) afterwards.  The returned document is
+    shared — treat it as immutable (copy before tampering, as the fuzz
+    tests do).
+    """
+    memo = proof.__dict__.get("_wire_memo")
+    if memo is None:
+        memo = _encode_proof_node(proof)
+        object.__setattr__(proof, "_wire_memo", memo)
+    return memo
+
+
+def _encode_proof_node(proof: Proof) -> Dict[str, Any]:
+    """The un-memoized structural walk behind :func:`encode_proof`."""
     if isinstance(proof, Assume):
         return {"node": "assume",
                 "conclusion": encode_formula(proof.conclusion)}
@@ -118,22 +135,73 @@ def decode_proof(data: Any, _depth: int = 0) -> Proof:
 
 
 def encode_bundle(bundle: ProofBundle) -> Dict[str, Any]:
-    """Encode a proof plus its supporting credentials."""
-    return {"proof": encode_proof(bundle.proof),
-            "credentials": [encode_formula(c) for c in bundle.credentials]}
+    """Encode a proof plus its supporting credentials.
+
+    Memoized on the bundle instance (bundles are reused across calls by
+    clients that register a proof once); the document is shared — treat
+    it as immutable.
+    """
+    memo = bundle.__dict__.get("_wire_memo")
+    if memo is None:
+        memo = {"proof": encode_proof(bundle.proof),
+                "credentials": [encode_formula(c)
+                                for c in bundle.credentials]}
+        bundle.__dict__["_wire_memo"] = memo
+    return memo
+
+
+#: Decoded-bundle memo: canonical document text → bundle.  Wholesale
+#: reset at capacity (the memo is a pure accelerator).  Keying on the
+#: canonical text means any tampered document — even one byte — takes
+#: the full validating decode path.
+_DECODE_MEMO_CAPACITY = 1024
+_decoded_bundles: Dict[str, ProofBundle] = {}
+#: Identity fast path over the text-keyed memo: id(document) →
+#: (document, bundle).  The value slot keeps a strong reference, so a
+#: hit is guaranteed to be the very same object — a fresh document at a
+#: recycled address cannot alias it — and clients that reuse one
+#: encoded document (the SDK memoizes ``encode_bundle``) skip even the
+#: canonical dump.
+_decoded_by_identity: Dict[int, tuple] = {}
 
 
 def decode_bundle(data: Any) -> ProofBundle:
-    """Decode a :class:`~repro.nal.proof.ProofBundle` from the wire."""
+    """Decode a :class:`~repro.nal.proof.ProofBundle` from the wire.
+
+    Hot decodes are memoized by canonical document text (with an
+    identity shortcut for a re-presented document object): the serving
+    path presents the same proof document on every request, and one
+    C-speed ``json.dumps`` — let alone a dict probe — is far cheaper
+    than re-walking the tree through the parser.  The returned bundle
+    is shared and must be treated as immutable (every kernel path
+    already does).
+    """
     if not isinstance(data, dict):
         raise bad_request(f"proof bundle must be an object, got "
                           f"{type(data).__name__}")
-    credentials = data.get("credentials", [])
-    if not isinstance(credentials, list):
-        raise bad_request("bundle 'credentials' must be a list")
-    return ProofBundle(decode_proof(data.get("proof")),
-                       credentials=tuple(decode_formula(c)
-                                         for c in credentials))
+    hit = _decoded_by_identity.get(id(data))
+    if hit is not None and hit[0] is data:
+        return hit[1]
+    try:
+        key = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        key = None  # unserializable values: validate the long way
+    bundle = _decoded_bundles.get(key) if key is not None else None
+    if bundle is None:
+        credentials = data.get("credentials", [])
+        if not isinstance(credentials, list):
+            raise bad_request("bundle 'credentials' must be a list")
+        bundle = ProofBundle(decode_proof(data.get("proof")),
+                             credentials=tuple(decode_formula(c)
+                                               for c in credentials))
+        if key is not None:
+            if len(_decoded_bundles) >= _DECODE_MEMO_CAPACITY:
+                _decoded_bundles.clear()
+            _decoded_bundles[key] = bundle
+    if len(_decoded_by_identity) >= _DECODE_MEMO_CAPACITY:
+        _decoded_by_identity.clear()
+    _decoded_by_identity[id(data)] = (data, bundle)
+    return bundle
 
 
 def maybe_decode_bundle(data: Any) -> Optional[ProofBundle]:

@@ -431,10 +431,36 @@ class AuthorizeRequest(ApiRequest):
 
     KIND = "authorize"
 
+    #: Encoded-wire memo (the client-side half of the codec fast path):
+    #: a session re-authorizing the same (operation, resource, proof)
+    #: emits byte-identical envelopes, so the canonical JSON walk runs
+    #: once.  The proof document participates by *identity* — the value
+    #: slot keeps a strong reference, so a hit is guaranteed to be the
+    #: same object, and any new document takes the full encode.  This
+    #: extends the codec's shared-document contract to the request:
+    #: proof documents are immutable once handed over — mutate-in-place
+    #: and resend is unsupported (build a new document, as
+    #: ``codec.encode_bundle`` does).
+    _WIRE_MEMO = {}  # noqa: RUF012 — class-level cache, not a field
+    _WIRE_MEMO_CAPACITY = 1024
+
     def payload(self):
         return {"session": self.session, "operation": self.operation,
                 "resource": self.resource, "proof": self.proof,
                 "wallet": self.wallet}
+
+    def to_bytes(self) -> bytes:
+        """Canonical bytes, memoized across equal authorize requests."""
+        key = (self.session, self.operation, self.resource, self.wallet,
+               None if self.proof is None else id(self.proof))
+        entry = self._WIRE_MEMO.get(key)
+        if entry is not None and entry[0] is self.proof:
+            return entry[1]
+        raw = super().to_bytes()
+        if len(self._WIRE_MEMO) >= self._WIRE_MEMO_CAPACITY:
+            self._WIRE_MEMO.clear()
+        self._WIRE_MEMO[key] = (self.proof, raw)
+        return raw
 
     @classmethod
     def from_payload(cls, payload):
@@ -1017,8 +1043,26 @@ class AuthorizeResponse(ApiResponse):
 
     KIND = "authorize_result"
 
+    #: Encoded-wire memo (server-side half of the codec fast path): hot
+    #: verdicts — "decision cache", allow, cacheable — repeat exactly,
+    #: so their envelope bytes are built once.  Keyed by verdict value.
+    _WIRE_MEMO = {}  # noqa: RUF012 — class-level cache, not a field
+    _WIRE_MEMO_CAPACITY = 512
+
     def payload(self):
         return {"verdict": self.verdict.to_dict()}
+
+    def to_bytes(self) -> bytes:
+        """Canonical bytes, memoized across equal verdicts."""
+        key = (self.verdict.allow, self.verdict.cacheable,
+               self.verdict.reason)
+        raw = self._WIRE_MEMO.get(key)
+        if raw is None:
+            raw = super().to_bytes()
+            if len(self._WIRE_MEMO) >= self._WIRE_MEMO_CAPACITY:
+                self._WIRE_MEMO.clear()
+            self._WIRE_MEMO[key] = raw
+        return raw
 
     @classmethod
     def from_payload(cls, payload):
@@ -1508,13 +1552,45 @@ def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]
     return kind, payload
 
 
+#: Decoded-envelope memos: exact wire bytes → typed message.  The
+#: serving hot path re-presents byte-identical envelopes (a client's
+#: registered proof makes every ``authorize`` request literally the
+#: same bytes), so a repeat decode is a dict probe instead of
+#: JSON + validation + construction.  Keyed on the *full* raw text —
+#: one flipped byte misses and takes the validating path — and bounded
+#: by wholesale reset (pure accelerator).  Typed messages are treated
+#: as immutable by every handler, so sharing the decoded object is
+#: safe.
+_DECODE_MEMO_CAPACITY = 2048
+_decoded_requests: Dict[bytes, ApiRequest] = {}
+_decoded_responses: Dict[bytes, ApiMessage] = {}
+
+
+def _memo_key(data) -> Optional[bytes]:
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, str):
+        return data.encode()
+    return None
+
+
 def decode_request(data: Union[bytes, str, Dict[str, Any]],
                    expect_kind: Optional[str] = None) -> ApiRequest:
     """Decode and validate a request envelope into its typed class.
 
     ``expect_kind`` lets a per-endpoint HTTP route reject bodies whose
     declared kind disagrees with the path they were POSTed to.
+    Byte-identical envelopes are served from a decode memo.
     """
+    key = _memo_key(data)
+    if key is not None:
+        cached = _decoded_requests.get(key)
+        if cached is not None:
+            if expect_kind is not None and cached.KIND != expect_kind:
+                raise bad_request(
+                    f"request kind {cached.KIND!r} does not match "
+                    f"endpoint {expect_kind!r}")
+            return cached
     kind, payload = _decode_envelope(data)
     request_type = REQUEST_TYPES.get(kind)
     if request_type is None:
@@ -1522,13 +1598,31 @@ def decode_request(data: Union[bytes, str, Dict[str, Any]],
     if expect_kind is not None and kind != expect_kind:
         raise bad_request(f"request kind {kind!r} does not match "
                           f"endpoint {expect_kind!r}")
-    return request_type.from_payload(payload)
+    request = request_type.from_payload(payload)
+    if key is not None:
+        if len(_decoded_requests) >= _DECODE_MEMO_CAPACITY:
+            _decoded_requests.clear()
+        _decoded_requests[key] = request
+    return request
 
 
 def decode_response(data: Union[bytes, str, Dict[str, Any]]) -> ApiMessage:
-    """Decode a response envelope (success or error) into its class."""
+    """Decode a response envelope (success or error) into its class.
+
+    Byte-identical envelopes are served from a decode memo (hot
+    verdicts repeat exactly)."""
+    key = _memo_key(data)
+    if key is not None:
+        cached = _decoded_responses.get(key)
+        if cached is not None:
+            return cached
     kind, payload = _decode_envelope(data)
     response_type = RESPONSE_TYPES.get(kind)
     if response_type is None:
         raise ApiError(E_UNKNOWN_KIND, f"unknown response kind {kind!r}")
-    return response_type.from_payload(payload)
+    response = response_type.from_payload(payload)
+    if key is not None:
+        if len(_decoded_responses) >= _DECODE_MEMO_CAPACITY:
+            _decoded_responses.clear()
+        _decoded_responses[key] = response
+    return response

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import secrets
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
@@ -59,17 +60,28 @@ class Session:
     allowed: int = 0
     denied: int = 0
     errors: int = 0
+    #: Serializes counter updates — one session may be driven from many
+    #: server worker threads at once (shared token, batch fan-out).
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
 
     def record(self, kind: str) -> None:
         """Count one request of the given kind against this session."""
-        self.stats[kind] = self.stats.get(kind, 0) + 1
+        with self.lock:
+            self.stats[kind] = self.stats.get(kind, 0) + 1
 
     def record_verdict(self, decision: GuardDecision) -> None:
         """Tally one authorization outcome."""
-        if decision.allow:
-            self.allowed += 1
-        else:
-            self.denied += 1
+        with self.lock:
+            if decision.allow:
+                self.allowed += 1
+            else:
+                self.denied += 1
+
+    def record_error(self) -> None:
+        """Tally one request that ended in a structured error."""
+        with self.lock:
+            self.errors += 1
 
 
 class NexusService:
@@ -77,9 +89,18 @@ class NexusService:
 
     VERSION = msg.API_VERSION
 
-    def __init__(self, kernel: Optional[NexusKernel] = None):
+    def __init__(self, kernel: Optional[NexusKernel] = None,
+                 coalesce: bool = False):
         self.kernel = kernel if kernel is not None else NexusKernel()
         self._sessions: Dict[str, Session] = {}
+        #: Guards the session table against concurrent server workers.
+        self._session_lock = threading.RLock()
+        #: Optional request-coalescing front-end (see
+        #: :mod:`repro.net.coalesce`); installed by
+        #: :meth:`enable_coalescing` or the ``coalesce`` flag.
+        self._coalescer = None
+        if coalesce:
+            self.enable_coalescing()
         self._handlers: Dict[str, Callable] = {
             msg.OpenSessionRequest.KIND: self._open_session,
             msg.CloseSessionRequest.KIND: self._close_session,
@@ -135,15 +156,32 @@ class NexusService:
         session = Session(token=token, pid=process.pid,
                           principal=str(process.principal),
                           opened_at=self.kernel.now(), owns_process=owns)
-        self._sessions[token] = session
+        with self._session_lock:
+            self._sessions[token] = session
         return session
 
     def session(self, token: str) -> Session:
         """Resolve a session token or fail with ``E_NO_SUCH_SESSION``."""
-        session = self._sessions.get(token)
+        with self._session_lock:
+            session = self._sessions.get(token)
         if session is None:
             raise ApiError(E_NO_SUCH_SESSION, f"no session {token!r}")
         return session
+
+    def enable_coalescing(self, max_batch: int = 256) -> None:
+        """Route concurrent ``authorize`` requests through a
+        group-commit :class:`~repro.net.coalesce.CoalescingAuthorizer`,
+        so in-flight requests merge into single ``authorize_many``
+        batches (idempotent; see :mod:`repro.net.coalesce`)."""
+        if self._coalescer is None:
+            from repro.net.coalesce import CoalescingAuthorizer
+            self._coalescer = CoalescingAuthorizer(self.kernel,
+                                                   max_batch=max_batch)
+
+    @property
+    def coalescer(self):
+        """The installed coalescing front-end, or ``None``."""
+        return self._coalescer
 
     # ------------------------------------------------------------------
     # dispatch
@@ -168,7 +206,7 @@ class NexusService:
             return handler(session, request)
         except Exception as exc:  # noqa: BLE001 — the boundary maps all
             if session is not None:
-                session.errors += 1
+                session.record_error()
             return msg.ErrorResponse.from_error(from_exception(exc))
 
     def dispatch_dict(self, document: Union[bytes, str, dict]
@@ -248,7 +286,8 @@ class NexusService:
 
     def _close_session(self, session: Session,
                        request: msg.CloseSessionRequest) -> msg.AckResponse:
-        self._sessions.pop(session.token, None)
+        with self._session_lock:
+            self._sessions.pop(session.token, None)
         if request.exit and session.owns_process:
             self.kernel.exit_process(session.pid)
         return msg.AckResponse()
@@ -328,8 +367,17 @@ class NexusService:
         resource = self._resolve(request.resource)
         bundle = self._request_bundle(session, request.operation, resource,
                                       request.proof, request.wallet)
-        decision = self.kernel.authorize(session.pid, request.operation,
-                                         resource.resource_id, bundle)
+        if self._coalescer is not None:
+            # The coalescing front-end merges concurrent in-flight
+            # requests into one authorize_many batch (same verdict,
+            # amortized guard work).
+            decision = self._coalescer.authorize(
+                session.pid, request.operation, resource.resource_id,
+                bundle)
+        else:
+            decision = self.kernel.authorize(session.pid,
+                                             request.operation,
+                                             resource.resource_id, bundle)
         session.record_verdict(decision)
         return msg.AuthorizeResponse(verdict=_verdict(decision))
 

@@ -23,6 +23,21 @@ def _canonical(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
+#: Digests of chains that fully verified.  Chain verification is
+#: deterministic in the chain's complete content (root key, every
+#: certificate, every signature — all covered by the canonical document
+#: digest), so a digest seen here needs no re-walk.  Keyed by content,
+#: not identity: mutating a verified chain changes its digest and takes
+#: the full path again.  Bounded by wholesale reset (pure accelerator).
+_CHAIN_MEMO_CAPACITY = 2048
+_verified_chain_digests: dict = {}
+
+
+def clear_chain_memo() -> None:
+    """Drop all memoized chain verifications (benchmark hook)."""
+    _verified_chain_digests.clear()
+
+
 @dataclass(frozen=True)
 class Certificate:
     """A signed binding: ``issuer`` asserts ``statement`` about ``subject``.
@@ -124,9 +139,24 @@ class CertificateChain:
     root_key: RSAPublicKey
     certs: list[Certificate] = field(default_factory=list)
 
+    def digest(self) -> bytes:
+        """SHA-256 of the canonical document form — covers the root
+        key, every certificate, and every signature."""
+        from repro.crypto.hashes import sha256
+        return sha256(_canonical(self.to_document()))
+
     def verify(self) -> None:
+        """Walk the chain link by link; raises on the first bad link.
+
+        Full verifications are cached by content digest: federated
+        admission re-presents identical chains on every warm path, and
+        a digest hit replaces one RSA verify per link with one hash.
+        """
         if not self.certs:
             raise SignatureError("empty certificate chain")
+        digest = self.digest()
+        if digest in _verified_chain_digests:
+            return
         expected_key = self.root_key
         for index, cert in enumerate(self.certs):
             if cert.issuer_key != expected_key:
@@ -139,6 +169,9 @@ class CertificateChain:
                     raise SignatureError(
                         f"chain link {index}: no subject key to delegate to")
                 expected_key = cert.subject_key
+        if len(_verified_chain_digests) >= _CHAIN_MEMO_CAPACITY:
+            _verified_chain_digests.clear()
+        _verified_chain_digests[digest] = True
 
     def leaf(self) -> Certificate:
         if not self.certs:

@@ -67,6 +67,24 @@ def _random_prime(bits: int, rng: random.Random) -> int:
             return candidate
 
 
+#: Memoized verification outcomes, keyed by (key identity, message
+#: digest, signature).  RSA verification is deterministic — the same
+#: key, message, and signature always produce the same verdict — so a
+#: repeat verify is a pure table lookup instead of a modular
+#: exponentiation.  This is what makes federated ``admit_remote`` warm
+#: paths cheap: re-admissions and admission refreshes re-present the
+#: exact chains that already verified.  Bounded by wholesale reset
+#: (pure accelerator; dropping it only costs recomputation).
+_VERIFY_MEMO_CAPACITY = 4096
+_verify_memo: dict = {}
+
+
+def clear_verify_memo() -> None:
+    """Drop all memoized verification outcomes (benchmarks use this to
+    measure genuinely cold verification paths)."""
+    _verify_memo.clear()
+
+
 @dataclass(frozen=True)
 class RSAPublicKey:
     """The verification half of a keypair; safe to externalize."""
@@ -83,14 +101,32 @@ class RSAPublicKey:
         return sha256(f"rsa:{self.n:x}:{self.e:x}")
 
     def verify(self, message: bytes, signature: bytes) -> None:
-        """Raise :class:`SignatureError` unless ``signature`` is valid."""
+        """Raise :class:`SignatureError` unless ``signature`` is valid.
+
+        Memoized by (key, SHA-256(message), signature): the first
+        verification pays the modular exponentiation, repeats are O(1).
+        Both verdicts are cached — a bad signature stays bad.
+        """
+        key = (self.n, self.e, sha256(message), signature)
+        verdict = _verify_memo.get(key)
+        if verdict is None:
+            verdict = self._verify_uncached(message, signature)
+            if len(_verify_memo) >= _VERIFY_MEMO_CAPACITY:
+                _verify_memo.clear()
+            _verify_memo[key] = verdict
+        if verdict is not True:
+            raise SignatureError(verdict)
+
+    def _verify_uncached(self, message: bytes, signature: bytes):
+        """The real arithmetic: ``True`` or the failure reason."""
         sig_int = int.from_bytes(signature, "big")
         if sig_int >= self.n:
-            raise SignatureError("signature out of range for modulus")
+            return "signature out of range for modulus"
         recovered = pow(sig_int, self.e, self.n)
         expected = _encode_digest(message, self.n)
         if recovered != expected:
-            raise SignatureError("RSA signature mismatch")
+            return "RSA signature mismatch"
+        return True
 
     def is_valid(self, message: bytes, signature: bytes) -> bool:
         try:

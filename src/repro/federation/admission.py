@@ -25,6 +25,7 @@ labels and all.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Union
 
@@ -75,6 +76,13 @@ class AdmissionControl:
     def __init__(self, kernel):
         self.kernel = kernel
         self._entries: Dict[str, _Entry] = {}
+        # Admissions mutate kernel state (a process, a labelstore) and
+        # fill a digest-keyed cache; serializing them keeps concurrent
+        # admits of the same bundle from minting duplicate principals.
+        # Lock order: this lock is always OUTSIDE the kernel state lock
+        # (admit takes it before create_process; revoke_peer takes it
+        # before the kernel write lock).
+        self.lock = threading.RLock()
         self.cold_admissions = 0
         self.cache_hits = 0
         self.refreshes = 0
@@ -94,21 +102,24 @@ class AdmissionControl:
         lookup, chain-by-chain verification, manifest check — and the
         warm path (a dict probe) afterwards.
         """
-        if isinstance(bundle, str):
-            entry = self._entries.get(bundle)
-            if entry is None:
-                raise BadChain(f"no admission for digest {bundle[:16]}…; "
-                               f"present the full bundle")
-            return self._touch(entry)
-        if isinstance(bundle, dict):
-            bundle = CredentialBundle.from_dict(bundle)
-        if not isinstance(bundle, CredentialBundle):
-            raise BadChain(f"cannot admit {type(bundle).__name__}: "
-                           f"expected a bundle, its document, or a digest")
-        entry = self._entries.get(bundle.digest())
-        if entry is not None:
-            return self._touch(entry)
-        return self._admit_cold(bundle)
+        with self.lock:
+            if isinstance(bundle, str):
+                entry = self._entries.get(bundle)
+                if entry is None:
+                    raise BadChain(f"no admission for digest "
+                                   f"{bundle[:16]}…; present the full "
+                                   f"bundle")
+                return self._touch(entry)
+            if isinstance(bundle, dict):
+                bundle = CredentialBundle.from_dict(bundle)
+            if not isinstance(bundle, CredentialBundle):
+                raise BadChain(f"cannot admit {type(bundle).__name__}: "
+                               f"expected a bundle, its document, or a "
+                               f"digest")
+            entry = self._entries.get(bundle.digest())
+            if entry is not None:
+                return self._touch(entry)
+            return self._admit_cold(bundle)
 
     def _touch(self, entry: _Entry) -> RemoteAdmission:
         """Serve a cached admission, re-verifying if the epoch moved."""
@@ -215,20 +226,22 @@ class AdmissionControl:
     def drop_peer(self, peer_id: str) -> int:
         """Eagerly drop every admission sponsored by one peer; returns
         how many principals were removed."""
-        doomed = [entry for entry in list(self._entries.values())
-                  if entry.admission.peer_id == peer_id]
-        for entry in doomed:
-            self._drop(entry)
-        return len(doomed)
+        with self.lock:
+            doomed = [entry for entry in list(self._entries.values())
+                      if entry.admission.peer_id == peer_id]
+            for entry in doomed:
+                self._drop(entry)
+            return len(doomed)
 
     def forget(self, digest: str) -> bool:
         """Drop one admission by digest (used by tests and benchmarks to
         force the cold path); True if it existed."""
-        entry = self._entries.get(digest)
-        if entry is None:
-            return False
-        self._drop(entry)
-        return True
+        with self.lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return False
+            self._drop(entry)
+            return True
 
     # ------------------------------------------------------------------
     # introspection

@@ -37,6 +37,18 @@ def _canonical(document: Dict[str, Any]) -> bytes:
                       separators=(",", ":")).encode()
 
 
+#: Successful full-bundle verifications, keyed by (bundle digest, root
+#: key).  Content-addressed — any tampering changes the digest — and
+#: bounded by wholesale reset (a pure accelerator).
+_BUNDLE_MEMO_CAPACITY = 512
+_bundle_verify_memo: Dict[tuple, tuple] = {}
+
+
+def clear_bundle_memo() -> None:
+    """Drop all memoized bundle verifications (benchmark hook)."""
+    _bundle_verify_memo.clear()
+
+
 def chain_to_dict(chain: CertificateChain) -> Dict[str, Any]:
     """One externalized chain as a plain JSON document."""
     return chain.to_document()
@@ -99,9 +111,16 @@ class CredentialBundle:
 
         Covers the signature too, so two bundles with equal manifests
         but different (e.g. stripped) signatures never share a cache
-        entry.
+        entry.  Memoized per instance (the dataclass is frozen, and
+        every hot federation path — admission probe, eviction,
+        verification memo — keys on it): canonicalizing a multi-chain
+        bundle costs more than the RSA it guards against re-running.
         """
-        return sha256(_canonical(self.to_dict())).hex()
+        cached = self.__dict__.get("_digest_memo")
+        if cached is None:
+            cached = sha256(_canonical(self.to_dict())).hex()
+            object.__setattr__(self, "_digest_memo", cached)
+        return cached
 
     # -- wire form ----------------------------------------------------------
 
@@ -156,7 +175,26 @@ class CredentialBundle:
         signature checks under that NK key, and (4) every leaf statement
         parses as a label (a ``says`` formula).  Returns the parsed leaf
         labels, in chain order.
+
+        Successful verifications are cached by (bundle digest, root
+        key): the digest covers every chain and the signature, so a hit
+        is the same evidence verified against the same trust anchor —
+        federated ``admit_remote`` cold paths after a cache-epoch bump
+        re-earn their verdict with one hash instead of one RSA verify
+        per certificate.
         """
+        key = (self.digest(), root_key.n, root_key.e)
+        cached = _bundle_verify_memo.get(key)
+        if cached is not None:
+            return list(cached)
+        labels = self._verify_uncached(root_key)
+        if len(_bundle_verify_memo) >= _BUNDLE_MEMO_CAPACITY:
+            _bundle_verify_memo.clear()
+        _bundle_verify_memo[key] = tuple(labels)
+        return labels
+
+    def _verify_uncached(self, root_key: RSAPublicKey) -> List[Says]:
+        """The full chain-by-chain + manifest verification walk."""
         if not self.chains:
             raise BadChain("bundle carries no certificate chains")
         from repro.federation.registry import peer_id_for

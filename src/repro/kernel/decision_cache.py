@@ -21,10 +21,17 @@ Invalidation never walks the table. Three granularities exist, all O(1):
 
 Only decisions the guard marked cacheable are inserted (proofs free of
 authority queries and dynamic state).
+
+Thread safety: the lock scope matches the sharding — one lock per shard,
+so concurrent lookups/inserts on different shards never contend — plus a
+meta lock for the epoch tables and a counter lock that keeps
+:class:`CacheStats` exact under concurrent access (the serving runtime's
+stress test asserts ``hits + misses`` equals the number of probes).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -94,12 +101,28 @@ class DecisionCache:
         self._shards: List[Dict[Key, _Entry]] = [
             {} for _ in range(subregions)
         ]
+        # Lock scope matches the sharding: concurrent lookups on
+        # different shards never contend.  Epoch state and the shared
+        # stats counters get their own locks so counter increments are
+        # never lost across shards (the stress test holds snapshot()
+        # to exact totals).
+        self._locks: List[threading.RLock] = [
+            threading.RLock() for _ in range(subregions)
+        ]
+        self._meta_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
         self._policy_epoch = 0
         self._goal_epochs: Dict[Tuple[Hashable, Hashable], int] = {}
         self._sweep_cursor = 0
         self._inserts_until_sweep = self.SWEEP_INTERVAL
         self.enabled = enabled
         self.stats = CacheStats()
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Thread-safe counter bump (plain ``+=`` races across shards)."""
+        with self._stats_lock:
+            setattr(self.stats, counter,
+                    getattr(self.stats, counter) + amount)
 
     # -- shape ----------------------------------------------------------------
 
@@ -114,8 +137,11 @@ class DecisionCache:
     def policy_epoch(self) -> int:
         return self._policy_epoch
 
+    def _shard_index(self, key: Key) -> int:
+        return hash(key) % len(self._shards)
+
     def _shard_for(self, key: Key) -> Dict[Key, _Entry]:
-        return self._shards[hash(key) % len(self._shards)]
+        return self._shards[self._shard_index(key)]
 
     def _goal_epoch(self, operation: Hashable, obj: Hashable) -> int:
         return self._goal_epochs.get((operation, obj), 0)
@@ -131,17 +157,19 @@ class DecisionCache:
         if not self.enabled:
             return None
         key = (subject, operation, obj)
-        shard = self._shard_for(key)
-        entry = shard.get(key)
-        if entry is not None and not self._is_live(key, entry):
-            # Lazily retire entries stranded by an epoch bump.
-            del shard[key]
-            self.stats.stale_drops += 1
-            entry = None
+        index = self._shard_index(key)
+        with self._locks[index]:
+            shard = self._shards[index]
+            entry = shard.get(key)
+            if entry is not None and not self._is_live(key, entry):
+                # Lazily retire entries stranded by an epoch bump.
+                del shard[key]
+                self._count("stale_drops")
+                entry = None
         if entry is None:
-            self.stats.misses += 1
+            self._count("misses")
             return None
-        self.stats.hits += 1
+        self._count("hits")
         return entry.decision
 
     def insert(self, subject: Hashable, operation: Hashable, obj: Hashable,
@@ -149,12 +177,18 @@ class DecisionCache:
         if not self.enabled:
             return
         key = (subject, operation, obj)
-        self._shard_for(key)[key] = _Entry(
-            decision, self._policy_epoch, self._goal_epoch(operation, obj))
-        self.stats.insertions += 1
-        self._inserts_until_sweep -= 1
-        if self._inserts_until_sweep <= 0:
-            self._inserts_until_sweep = self.SWEEP_INTERVAL
+        index = self._shard_index(key)
+        with self._locks[index]:
+            self._shards[index][key] = _Entry(
+                decision, self._policy_epoch,
+                self._goal_epoch(operation, obj))
+        self._count("insertions")
+        with self._meta_lock:
+            self._inserts_until_sweep -= 1
+            sweep = self._inserts_until_sweep <= 0
+            if sweep:
+                self._inserts_until_sweep = self.SWEEP_INTERVAL
+        if sweep:
             self._sweep_one_shard()
 
     # -- invalidation ---------------------------------------------------------
@@ -163,8 +197,11 @@ class DecisionCache:
                          obj: Hashable) -> None:
         """Proof update: clear the single affected entry."""
         key = (subject, operation, obj)
-        if self._shard_for(key).pop(key, None) is not None:
-            self.stats.entry_invalidations += 1
+        index = self._shard_index(key)
+        with self._locks[index]:
+            present = self._shards[index].pop(key, None) is not None
+        if present:
+            self._count("entry_invalidations")
 
     def invalidate_goal(self, operation: Hashable, obj: Hashable) -> None:
         """setgoal: retire every entry for the goal by bumping its epoch.
@@ -173,8 +210,9 @@ class DecisionCache:
         are dropped lazily by :meth:`lookup`.
         """
         pair = (operation, obj)
-        self._goal_epochs[pair] = self._goal_epochs.get(pair, 0) + 1
-        self.stats.subregion_invalidations += 1
+        with self._meta_lock:
+            self._goal_epochs[pair] = self._goal_epochs.get(pair, 0) + 1
+        self._count("subregion_invalidations")
 
     def bump_policy_epoch(self) -> int:
         """Policy change (e.g. revocation): retire *all* cached verdicts.
@@ -183,13 +221,16 @@ class DecisionCache:
         matching the current epoch and evaporates when next touched.
         Returns the new epoch.
         """
-        self._policy_epoch += 1
-        self.stats.policy_epoch_bumps += 1
-        return self._policy_epoch
+        with self._meta_lock:
+            self._policy_epoch += 1
+            epoch = self._policy_epoch
+        self._count("policy_epoch_bumps")
+        return epoch
 
     def clear(self) -> None:
         for index in range(len(self._shards)):
-            self._shards[index] = {}
+            with self._locks[index]:
+                self._shards[index] = {}
 
     def _sweep_one_shard(self) -> None:
         """Reclaim stale entries from one shard (round-robin).
@@ -198,14 +239,18 @@ class DecisionCache:
         footprint tracking the live set even for keys that are never
         probed again (dead subjects, retired goals).
         """
-        self._sweep_cursor %= len(self._shards)
-        shard = self._shards[self._sweep_cursor]
-        self._sweep_cursor += 1
-        stale = [key for key, entry in shard.items()
-                 if not self._is_live(key, entry)]
-        for key in stale:
-            del shard[key]
-        self.stats.stale_drops += len(stale)
+        with self._meta_lock:
+            self._sweep_cursor %= len(self._shards)
+            cursor = self._sweep_cursor
+            self._sweep_cursor += 1
+        with self._locks[cursor]:
+            shard = self._shards[cursor]
+            stale = [key for key, entry in shard.items()
+                     if not self._is_live(key, entry)]
+            for key in stale:
+                del shard[key]
+        if stale:
+            self._count("stale_drops", len(stale))
 
     def purge(self) -> int:
         """Eagerly sweep stale entries; returns how many were dropped.
@@ -215,25 +260,38 @@ class DecisionCache:
         (implicitly epoch 0) can no longer resurrect a stale entry.
         """
         dropped = 0
-        for shard in self._shards:
-            stale = [key for key, entry in shard.items()
-                     if not self._is_live(key, entry)]
-            for key in stale:
-                del shard[key]
-            dropped += len(stale)
-        self.stats.stale_drops += dropped
-        referenced = {(key[1], key[2])
-                      for shard in self._shards for key in shard}
-        self._goal_epochs = {pair: epoch
-                             for pair, epoch in self._goal_epochs.items()
-                             if pair in referenced}
+        referenced = set()
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                stale = [key for key, entry in shard.items()
+                         if not self._is_live(key, entry)]
+                for key in stale:
+                    del shard[key]
+                dropped += len(stale)
+                referenced.update((key[1], key[2]) for key in shard)
+        if dropped:
+            self._count("stale_drops", dropped)
+        with self._meta_lock:
+            self._goal_epochs = {pair: epoch
+                                 for pair, epoch in
+                                 self._goal_epochs.items()
+                                 if pair in referenced}
         return dropped
 
     def resize(self, subregions: int) -> None:
-        """Runtime resize; contents are discarded (it is only a cache)."""
+        """Runtime resize; contents are discarded (it is only a cache).
+
+        Quiescent-only: callers must ensure no concurrent lookups or
+        inserts are in flight (it swaps the shard and lock tables, so a
+        racing probe could index the old one).  It is a reconfiguration
+        hook for tests and ablation benchmarks, not a serving-path
+        operation.
+        """
         if subregions < 1:
             raise ValueError("need at least one subregion")
-        self._shards = [{} for _ in range(subregions)]
+        with self._meta_lock:
+            self._shards = [{} for _ in range(subregions)]
+            self._locks = [threading.RLock() for _ in range(subregions)]
 
     # -- accounting -----------------------------------------------------------
 
@@ -254,9 +312,12 @@ class DecisionCache:
 
     def shard_sizes(self) -> List[int]:
         """Live entries per shard — the distribution a rebalance would read."""
-        return [sum(1 for key, entry in shard.items()
-                    if self._is_live(key, entry))
-                for shard in self._shards]
+        sizes = []
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                sizes.append(sum(1 for key, entry in shard.items()
+                                 if self._is_live(key, entry)))
+        return sizes
 
     def raw_size(self) -> int:
         """Physical entry count, stale included — shows that epoch bumps

@@ -16,6 +16,7 @@ objects before their creator has called ``setgoal``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -168,31 +169,37 @@ class GuardCache:
         self._entries: "OrderedDict[Hashable, CheckResult]" = OrderedDict()
         self._owner_of: Dict[Hashable, Hashable] = {}
         self._count_by_root: Dict[Hashable, int] = {}
+        # The LRU reorder on every hit makes even lookups a structural
+        # mutation, so one lock covers both paths (concurrent guards
+        # share this cache through the kernel's default guard).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key: Hashable) -> Optional[CheckResult]:
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-            self._entries.move_to_end(key)
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return result
 
     def insert(self, key: Hashable, root: Hashable,
                result: CheckResult) -> None:
         if self.capacity <= 0:
             return  # caching disabled entirely
-        if key in self._entries:
-            return
-        if self._count_by_root.get(root, 0) >= self.per_root_quota:
-            self._evict_one(prefer_root=root)
-        elif len(self._entries) >= self.capacity:
-            self._evict_one(prefer_root=root)
-        self._entries[key] = result
-        self._owner_of[key] = root
-        self._count_by_root[root] = self._count_by_root.get(root, 0) + 1
+        with self._lock:
+            if key in self._entries:
+                return
+            if self._count_by_root.get(root, 0) >= self.per_root_quota:
+                self._evict_one(prefer_root=root)
+            elif len(self._entries) >= self.capacity:
+                self._evict_one(prefer_root=root)
+            self._entries[key] = result
+            self._owner_of[key] = root
+            self._count_by_root[root] = self._count_by_root.get(root, 0) + 1
 
     def _evict_one(self, prefer_root: Hashable) -> None:
         # Prefer evicting the requesting principal's own oldest entry.
@@ -207,9 +214,10 @@ class GuardCache:
             self._count_by_root[root] -= 1
 
     def invalidate_all(self) -> None:
-        self._entries.clear()
-        self._owner_of.clear()
-        self._count_by_root.clear()
+        with self._lock:
+            self._entries.clear()
+            self._owner_of.clear()
+            self._count_by_root.clear()
 
     def __len__(self):
         return len(self._entries)
@@ -226,6 +234,7 @@ class Guard:
         self.labels = labels
         self.authorities = authorities
         self.cache = cache if cache is not None else GuardCache()
+        self._counter_lock = threading.Lock()
         self.upcalls = 0
         self.batch_calls = 0
         self.batch_dedup_hits = 0
@@ -236,7 +245,8 @@ class Guard:
               bundle: Optional[ProofBundle],
               subject_root: Hashable = None) -> GuardDecision:
         """Figure 1 step (2): evaluate proof and labels against the goal."""
-        self.upcalls += 1
+        with self._counter_lock:
+            self.upcalls += 1
         entry = self.goals.get(resource.resource_id, operation)
         if entry is None:
             return self._default_policy(subject, operation, resource)
@@ -325,7 +335,8 @@ class Guard:
         request — exactly the §2.7 "re-executed on every request"
         discipline the decision cache itself follows.
         """
-        self.batch_calls += 1
+        with self._counter_lock:
+            self.batch_calls += 1
         verdicts: Dict[Hashable, GuardDecision] = {}
         decisions: List[GuardDecision] = []
         for request in requests:
@@ -338,7 +349,8 @@ class Guard:
                 if decision.cacheable:
                     verdicts[key] = decision
             else:
-                self.batch_dedup_hits += 1
+                with self._counter_lock:
+                    self.batch_dedup_hits += 1
             decisions.append(decision)
         return decisions
 

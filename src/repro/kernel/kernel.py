@@ -20,6 +20,7 @@ The authorization fast path is the paper's Figure 1:
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
@@ -41,6 +42,7 @@ from repro.kernel.labelstore import Label, LabelRegistry, LabelStore
 from repro.kernel.process import Process, ProcessTable
 from repro.kernel.resources import Resource, ResourceTable
 from repro.kernel.scheduler import ProportionalShareScheduler
+from repro.kernel.sync import RWLock
 from repro.storage.blockdev import Disk
 from repro.storage.vdir import VDIRRegistry
 from repro.storage.vkey import VKeyManager
@@ -104,6 +106,20 @@ class NexusKernel:
         self.peers = PeerRegistry()
         self.federation = AdmissionControl(self)
 
+        # The serving runtime's concurrency discipline (see
+        # repro/kernel/sync.py): authorization is a read of the
+        # goal/policy state, mutation (setgoal, apply_policy, process
+        # lifecycle, revocation) is a write.  Labelstores carry their
+        # own registry-wide readers-writer lock, and the decision cache
+        # its per-shard locks; this lock covers everything else.
+        self._state_lock = RWLock()
+        # Serializes the proof-update protocol around the decision
+        # cache: observing a changed bundle, recording it in
+        # _last_bundle, and (later) inserting a verdict are separate
+        # steps that interleave freely under the shared read lock, so
+        # inserts re-validate against _last_bundle under this lock —
+        # a verdict earned for a superseded bundle is never cached.
+        self._proof_lock = threading.Lock()
         self._default_store: Dict[int, LabelStore] = {}
         self._syscalls: Dict[str, Callable] = dict(self._SYSCALLS)
         self._proofs: Dict[Tuple[int, str, int], ProofBundle] = {}
@@ -138,33 +154,35 @@ class NexusKernel:
 
     def create_process(self, name: str, image: bytes = b"",
                        parent_pid: Optional[int] = None) -> Process:
-        process = self.processes.create(name, image, parent_pid)
-        store = self.labels.create_store(process.pid)
-        self._default_store[process.pid] = store
-        owner = (self.processes.get(parent_pid).principal
-                 if parent_pid is not None else KERNEL_PRINCIPAL)
-        self.resources.create(name=process.path, kind="process",
-                              owner=owner, payload=process)
-        self.introspection.publish(f"{process.path}/name", process.name)
-        self.introspection.publish(f"{process.path}/hash",
-                                   process.image_hash.hex())
-        return process
+        with self._state_lock.write_locked():
+            process = self.processes.create(name, image, parent_pid)
+            store = self.labels.create_store(process.pid)
+            self._default_store[process.pid] = store
+            owner = (self.processes.get(parent_pid).principal
+                     if parent_pid is not None else KERNEL_PRINCIPAL)
+            self.resources.create(name=process.path, kind="process",
+                                  owner=owner, payload=process)
+            self.introspection.publish(f"{process.path}/name", process.name)
+            self.introspection.publish(f"{process.path}/hash",
+                                       process.image_hash.hex())
+            return process
 
     def exit_process(self, pid: int) -> None:
         """Tear down an IPD: ports close, its resources are released, and
         its introspection nodes disappear from the live view."""
-        process = self.processes.get(pid)
-        self.processes.exit(pid)
-        for port in self.ports.ports_owned_by(pid):
-            port_resource = self.resources.find(f"/ipc/{port.port_id}")
-            if port_resource is not None:
-                self.resources.destroy(port_resource.resource_id)
-            self.ports.destroy(port.port_id)
-        process_resource = self.resources.find(process.path)
-        if process_resource is not None:
-            self.resources.destroy(process_resource.resource_id)
-        self.introspection.unpublish(f"{process.path}/name")
-        self.introspection.unpublish(f"{process.path}/hash")
+        with self._state_lock.write_locked():
+            process = self.processes.get(pid)
+            self.processes.exit(pid)
+            for port in self.ports.ports_owned_by(pid):
+                port_resource = self.resources.find(f"/ipc/{port.port_id}")
+                if port_resource is not None:
+                    self.resources.destroy(port_resource.resource_id)
+                self.ports.destroy(port.port_id)
+            process_resource = self.resources.find(process.path)
+            if process_resource is not None:
+                self.resources.destroy(process_resource.resource_id)
+            self.introspection.unpublish(f"{process.path}/name")
+            self.introspection.unpublish(f"{process.path}/hash")
 
     def default_labelstore(self, pid: int) -> LabelStore:
         store = self._default_store.get(pid)
@@ -224,15 +242,16 @@ class NexusKernel:
 
     def create_port(self, pid: int, name: str = "",
                     handler: Optional[Callable] = None) -> Port:
-        process = self.processes.get(pid)
-        port = self.ports.create(process.pid, name, handler)
-        self.resources.create(name=f"/ipc/{port.port_id}", kind="port",
-                              owner=process.principal, payload=port)
-        # The kernel deposits the attested binding label (§2.4).
-        self.say_as(KERNEL_PRINCIPAL,
-                    self.ports.binding_label(port.port_id).body,
-                    store=self.default_labelstore(pid))
-        return port
+        with self._state_lock.write_locked():
+            process = self.processes.get(pid)
+            port = self.ports.create(process.pid, name, handler)
+            self.resources.create(name=f"/ipc/{port.port_id}", kind="port",
+                                  owner=process.principal, payload=port)
+            # The kernel deposits the attested binding label (§2.4).
+            self.say_as(KERNEL_PRINCIPAL,
+                        self.ports.binding_label(port.port_id).body,
+                        store=self.default_labelstore(pid))
+            return port
 
     def ipc_call(self, caller_pid: int, port_id: int, *args) -> Any:
         """Invoke the handler bound to a port, through the redirector."""
@@ -301,28 +320,31 @@ class NexusKernel:
         policy); afterwards the goal's decision-cache epoch is bumped so
         every cached verdict for it is retired in O(1).
         """
-        resource = self.resources.get(resource_id)
-        decision = self.authorize(pid, "setgoal", resource_id, bundle)
-        if not decision.allow:
-            raise AccessDenied(f"setgoal on {resource.name} denied: "
-                               f"{decision.reason}",
-                               subject=pid, operation="setgoal",
-                               resource=resource_id, reason=decision.reason)
-        self.default_guard.goals.set_goal(resource_id, operation,
-                                          parse(goal), guard_port)
-        self.decision_cache.invalidate_goal(operation, resource_id)
+        with self._state_lock.write_locked():
+            resource = self.resources.get(resource_id)
+            decision = self.authorize(pid, "setgoal", resource_id, bundle)
+            if not decision.allow:
+                raise AccessDenied(f"setgoal on {resource.name} denied: "
+                                   f"{decision.reason}",
+                                   subject=pid, operation="setgoal",
+                                   resource=resource_id,
+                                   reason=decision.reason)
+            self.default_guard.goals.set_goal(resource_id, operation,
+                                              parse(goal), guard_port)
+            self.decision_cache.invalidate_goal(operation, resource_id)
 
     def sys_cleargoal(self, pid: int, resource_id: int,
                       operation: str,
                       bundle: Optional[ProofBundle] = None) -> None:
-        resource = self.resources.get(resource_id)
-        decision = self.authorize(pid, "setgoal", resource_id, bundle)
-        if not decision.allow:
-            raise AccessDenied(f"cleargoal on {resource.name} denied",
-                               subject=pid, operation="setgoal",
-                               resource=resource_id)
-        self.default_guard.goals.clear_goal(resource_id, operation)
-        self.decision_cache.invalidate_goal(operation, resource_id)
+        with self._state_lock.write_locked():
+            resource = self.resources.get(resource_id)
+            decision = self.authorize(pid, "setgoal", resource_id, bundle)
+            if not decision.allow:
+                raise AccessDenied(f"cleargoal on {resource.name} denied",
+                                   subject=pid, operation="setgoal",
+                                   resource=resource_id)
+            self.default_guard.goals.clear_goal(resource_id, operation)
+            self.decision_cache.invalidate_goal(operation, resource_id)
 
     def apply_policy(self, pid: int,
                      changes: Sequence[Tuple],
@@ -356,6 +378,15 @@ class NexusKernel:
         Returns counters: ``goals_set``, ``goals_cleared``,
         ``epoch_bumps``, ``resources_authorized``.
         """
+        with self._state_lock.write_locked():
+            return self._apply_policy_locked(pid, changes, bundle)
+
+    def _apply_policy_locked(self, pid: int, changes: Sequence[Tuple],
+                             bundle: Optional[ProofBundle]
+                             ) -> Dict[str, int]:
+        """The :meth:`apply_policy` body; the caller holds the kernel
+        write lock, so validate/authorize/install is one atomic step
+        even with concurrent authorizations in flight."""
         parsed: List[Tuple[int, str, Optional[Formula],
                            Optional[str]]] = []
         # One parse per distinct goal text: a policy set typically stamps
@@ -416,13 +447,17 @@ class NexusKernel:
         A proof update invalidates exactly one decision-cache entry
         (§2.8), unlike setgoal which retires every entry for its goal.
         """
-        self._proofs[(pid, operation, resource_id)] = bundle
-        self.decision_cache.invalidate_entry(pid, operation, resource_id)
+        with self._state_lock.write_locked():
+            self._proofs[(pid, operation, resource_id)] = bundle
+            self.decision_cache.invalidate_entry(pid, operation,
+                                                 resource_id)
 
     def sys_clear_proof(self, pid: int, operation: str,
                         resource_id: int) -> None:
-        self._proofs.pop((pid, operation, resource_id), None)
-        self.decision_cache.invalidate_entry(pid, operation, resource_id)
+        with self._state_lock.write_locked():
+            self._proofs.pop((pid, operation, resource_id), None)
+            self.decision_cache.invalidate_entry(pid, operation,
+                                                 resource_id)
 
     def registered_proof(self, pid: int, operation: str,
                          resource_id: int) -> Optional[ProofBundle]:
@@ -443,34 +478,58 @@ class NexusKernel:
         # A change of presented proof is a proof update: the kernel
         # monitors it and clears the single affected cache entry (§2.8).
         # Comparison is structural: re-presenting an equal proof is not
-        # an update.
+        # an update.  The observe/record/probe sequence runs under the
+        # proof lock so two readers racing with different bundles for
+        # one key cannot interleave it.
         key = (subject_pid, operation, resource_id)
-        if self._last_bundle.get(key) != bundle:
-            self.decision_cache.invalidate_entry(subject_pid, operation,
-                                                 resource_id)
-            self._last_bundle[key] = bundle
-        cached = self.decision_cache.lookup(subject_pid, operation,
-                                            resource_id)
+        with self._proof_lock:
+            if self._last_bundle.get(key) != bundle:
+                self.decision_cache.invalidate_entry(subject_pid,
+                                                     operation,
+                                                     resource_id)
+                self._last_bundle[key] = bundle
+            cached = self.decision_cache.lookup(subject_pid, operation,
+                                                resource_id)
         return bundle, cached
+
+    def _cache_verdict(self, subject_pid: int, operation: str,
+                       resource_id: int, bundle: Optional[ProofBundle],
+                       decision: GuardDecision) -> None:
+        """Insert a cacheable verdict — only if the bundle it was earned
+        for is still the last one presented for this key.
+
+        The guard runs outside the proof lock (checks are slow and must
+        overlap), so by completion another reader may have presented a
+        different bundle; caching the stale verdict would let future
+        requests with the *new* bundle hit the old answer.  Validating
+        under the proof lock closes that window; single-caller flows
+        always pass the check.
+        """
+        with self._proof_lock:
+            key = (subject_pid, operation, resource_id)
+            if self._last_bundle.get(key) == bundle:
+                self.decision_cache.insert(subject_pid, operation,
+                                           resource_id, decision.allow)
 
     def authorize(self, subject_pid: int, operation: str, resource_id: int,
                   bundle: Optional[ProofBundle] = None) -> GuardDecision:
-        process = self.processes.get(subject_pid)
-        bundle, cached = self._consult_cache(subject_pid, operation,
-                                             resource_id, bundle)
-        if cached is not None:
-            return GuardDecision(allow=cached, cacheable=True,
-                                 reason="decision cache")
-        resource = self.resources.get(resource_id)
-        guard = self._guard_for(resource_id, operation)
-        decision = guard.check(process.principal, operation, resource,
-                               bundle,
-                               subject_root=self.processes.tree_root(
-                                   subject_pid))
-        if decision.cacheable:
-            self.decision_cache.insert(subject_pid, operation, resource_id,
-                                       decision.allow)
-        return decision
+        with self._state_lock.read_locked():
+            process = self.processes.get(subject_pid)
+            bundle, cached = self._consult_cache(subject_pid, operation,
+                                                 resource_id, bundle)
+            if cached is not None:
+                return GuardDecision(allow=cached, cacheable=True,
+                                     reason="decision cache")
+            resource = self.resources.get(resource_id)
+            guard = self._guard_for(resource_id, operation)
+            decision = guard.check(process.principal, operation, resource,
+                                   bundle,
+                                   subject_root=self.processes.tree_root(
+                                       subject_pid))
+            if decision.cacheable:
+                self._cache_verdict(subject_pid, operation, resource_id,
+                                    bundle, decision)
+            return decision
 
     def explain(self, subject_pid: int, operation: str, resource_id: int,
                 bundle: Optional[ProofBundle] = None) -> GuardDecision:
@@ -482,15 +541,17 @@ class NexusKernel:
         proof-update observation — so asking *why* never perturbs the
         authorization state it is reporting on.
         """
-        process = self.processes.get(subject_pid)
-        if bundle is None:
-            bundle = self.registered_proof(subject_pid, operation,
-                                           resource_id)
-        resource = self.resources.get(resource_id)
-        guard = self._guard_for(resource_id, operation)
-        return guard.check(process.principal, operation, resource, bundle,
-                           subject_root=self.processes.tree_root(
-                               subject_pid))
+        with self._state_lock.read_locked():
+            process = self.processes.get(subject_pid)
+            if bundle is None:
+                bundle = self.registered_proof(subject_pid, operation,
+                                               resource_id)
+            resource = self.resources.get(resource_id)
+            guard = self._guard_for(resource_id, operation)
+            return guard.check(process.principal, operation, resource,
+                               bundle,
+                               subject_root=self.processes.tree_root(
+                                   subject_pid))
 
     def authorize_many(self,
                        requests: Sequence[Tuple],
@@ -505,6 +566,13 @@ class NexusKernel:
         distinct (subject, operation, resource, proof) once and fans the
         verdict back out. Decisions return in submission order.
         """
+        with self._state_lock.read_locked():
+            return self._authorize_many_locked(requests)
+
+    def _authorize_many_locked(self, requests: Sequence[Tuple]
+                               ) -> List[GuardDecision]:
+        """The :meth:`authorize_many` body; caller holds the read lock,
+        so the whole batch is decided against one policy state."""
         decisions: List[Optional[GuardDecision]] = [None] * len(requests)
         #: guard → [(slot index, subject pid, request)] for cache misses.
         pending: Dict[Guard, List[Tuple[int, int, GuardRequest]]] = {}
@@ -536,7 +604,10 @@ class NexusKernel:
                        guard_request.resource.resource_id)
                 if decision.cacheable and key not in inserted:
                     inserted.add(key)
-                    self.decision_cache.insert(*key, decision.allow)
+                    self._cache_verdict(subject_pid,
+                                        guard_request.operation,
+                                        guard_request.resource.resource_id,
+                                        guard_request.bundle, decision)
         return decisions
 
     def guarded_call(self, subject_pid: int, operation: str,
@@ -635,10 +706,14 @@ class NexusKernel:
         is dropped eagerly, and the decision-cache policy epoch is
         bumped so no cached verdict derived from its credentials
         survives.  Returns how many admissions were dropped."""
-        self.peers.revoke(peer_id)
-        dropped = self.federation.drop_peer(peer_id)
-        self.decision_cache.bump_policy_epoch()
-        return dropped
+        # Lock order: the admission lock is always outside the kernel
+        # state lock (admit takes it before create_process).
+        with self.federation.lock:
+            with self._state_lock.write_locked():
+                self.peers.revoke(peer_id)
+                dropped = self.federation.drop_peer(peer_id)
+                self.decision_cache.bump_policy_epoch()
+                return dropped
 
     # ------------------------------------------------------------------
     # interposition (§3.2)

@@ -5,6 +5,13 @@ store over the secure syscall channel (the ``say`` system call), no
 cryptography is involved on the fast path — the kernel *knows* who the
 caller is. Labels can be transferred between stores, externalized into a
 signed certificate chain rooted at the TPM, imported back, and deleted.
+
+Thread safety: one registry-wide :class:`~repro.kernel.sync.RWLock`
+covers every store.  Credential checks (``holds``, ``formulas``,
+``find``) are reads and run concurrently; label mutation (``insert``,
+``delete``, ``transfer``, store creation) is a write.  A single shared
+lock — rather than per-store locks — makes ``holds`` (which walks every
+store) and ``transfer`` (which touches two) trivially deadlock-free.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.errors import KernelError, NoSuchResource, SignatureError
 from repro.nal.formula import Formula, Says
 from repro.nal.parser import parse
 from repro.nal.terms import Principal, principal as make_principal
+from repro.kernel.sync import RWLock
 
 
 @dataclass(frozen=True)
@@ -35,58 +43,81 @@ class Label:
 
 
 class LabelStore:
-    """One labelstore; processes may own several."""
+    """One labelstore; processes may own several.
 
-    def __init__(self, store_id: int, owner_pid: int):
+    ``lock`` is the registry-wide readers-writer lock; a store created
+    standalone (outside a registry) gets a private one.
+    """
+
+    def __init__(self, store_id: int, owner_pid: int,
+                 lock: Optional[RWLock] = None):
         self.store_id = store_id
         self.owner_pid = owner_pid
         self._labels: Dict[int, Label] = {}
         self._next_handle = 1
+        self._lock = lock if lock is not None else RWLock()
 
     def insert(self, speaker: Principal, statement) -> Label:
         """Store ``speaker says statement``; statement may be NAL text."""
         formula = parse(statement)
-        label = Label(handle=self._next_handle, speaker=speaker,
-                      statement=formula)
-        self._next_handle += 1
-        self._labels[label.handle] = label
+        with self._lock.write_locked():
+            label = Label(handle=self._next_handle, speaker=speaker,
+                          statement=formula)
+            self._next_handle += 1
+            self._labels[label.handle] = label
         return label
 
     def get(self, handle: int) -> Label:
-        label = self._labels.get(handle)
+        with self._lock.read_locked():
+            label = self._labels.get(handle)
         if label is None:
             raise NoSuchResource(f"no label with handle {handle}")
         return label
 
     def delete(self, handle: int) -> None:
-        if handle not in self._labels:
-            raise NoSuchResource(f"no label with handle {handle}")
-        del self._labels[handle]
+        with self._lock.write_locked():
+            if handle not in self._labels:
+                raise NoSuchResource(f"no label with handle {handle}")
+            del self._labels[handle]
 
     def transfer(self, handle: int, target: "LabelStore") -> Label:
-        """Move a label to another store (it keeps its attribution)."""
-        label = self.get(handle)
-        del self._labels[handle]
-        moved = Label(handle=target._next_handle, speaker=label.speaker,
-                      statement=label.statement)
-        target._next_handle += 1
-        target._labels[moved.handle] = moved
+        """Move a label to another store (it keeps its attribution).
+
+        The removal is atomic: of two racing transfers (or a transfer
+        racing a delete) exactly one wins and the loser gets the same
+        ``NoSuchResource`` a sequential caller would — a label can
+        never be duplicated into two stores.
+        """
+        with self._lock.write_locked():
+            label = self._labels.get(handle)
+            if label is None:
+                raise NoSuchResource(f"no label with handle {handle}")
+            del self._labels[handle]
+        with target._lock.write_locked():
+            moved = Label(handle=target._next_handle, speaker=label.speaker,
+                          statement=label.statement)
+            target._next_handle += 1
+            target._labels[moved.handle] = moved
         return moved
 
     def formulas(self) -> Iterable[Says]:
-        return [label.formula for label in self._labels.values()]
+        with self._lock.read_locked():
+            return [label.formula for label in self._labels.values()]
 
     def find(self, formula: Says) -> Optional[Label]:
-        for label in self._labels.values():
-            if label.formula == formula:
-                return label
+        with self._lock.read_locked():
+            for label in self._labels.values():
+                if label.formula == formula:
+                    return label
         return None
 
     def __len__(self):
         return len(self._labels)
 
     def __iter__(self):
-        return iter(sorted(self._labels.values(), key=lambda l: l.handle))
+        with self._lock.read_locked():
+            return iter(sorted(self._labels.values(),
+                               key=lambda l: l.handle))
 
 
 class LabelRegistry:
@@ -100,26 +131,33 @@ class LabelRegistry:
     def __init__(self):
         self._stores: Dict[int, LabelStore] = {}
         self._next_store = 1
+        self._lock = RWLock()
 
     def create_store(self, owner_pid: int) -> LabelStore:
-        store = LabelStore(self._next_store, owner_pid)
-        self._next_store += 1
-        self._stores[store.store_id] = store
+        with self._lock.write_locked():
+            store = LabelStore(self._next_store, owner_pid,
+                               lock=self._lock)
+            self._next_store += 1
+            self._stores[store.store_id] = store
         return store
 
     def get_store(self, store_id: int) -> LabelStore:
-        store = self._stores.get(store_id)
+        with self._lock.read_locked():
+            store = self._stores.get(store_id)
         if store is None:
             raise NoSuchResource(f"no labelstore {store_id}")
         return store
 
     def stores_owned_by(self, pid: int):
-        return [s for s in self._stores.values() if s.owner_pid == pid]
+        with self._lock.read_locked():
+            return [s for s in self._stores.values()
+                    if s.owner_pid == pid]
 
     def holds(self, formula: Says) -> bool:
         """Is this exact label present in any store? (Credential check.)"""
-        return any(store.find(formula) is not None
-                   for store in self._stores.values())
+        with self._lock.read_locked():
+            return any(store.find(formula) is not None
+                       for store in self._stores.values())
 
     # -- externalization ------------------------------------------------------
 

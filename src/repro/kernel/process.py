@@ -10,6 +10,7 @@ synthetic bases.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -53,14 +54,19 @@ class ProcessTable:
     def __init__(self):
         self._processes: Dict[int, Process] = {}
         self._next_pid = 1
+        # Pid allocation must be race-free even when sessions are opened
+        # from concurrent server workers.
+        self._lock = threading.Lock()
 
     def create(self, name: str, image: bytes,
                parent_pid: Optional[int] = None) -> Process:
-        pid = self._next_pid
-        self._next_pid += 1
-        process = Process(pid=pid, name=name, image_hash=hash_image(image),
-                          parent_pid=parent_pid)
-        self._processes[pid] = process
+        with self._lock:
+            pid = self._next_pid
+            self._next_pid += 1
+            process = Process(pid=pid, name=name,
+                              image_hash=hash_image(image),
+                              parent_pid=parent_pid)
+            self._processes[pid] = process
         return process
 
     def get(self, pid: int) -> Process:

@@ -8,6 +8,7 @@ arbitrary payload that the owning subsystem interprets.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -38,14 +39,17 @@ class ResourceTable:
         self._resources: Dict[int, Resource] = {}
         self._by_name: Dict[str, int] = {}
         self._next_id = 1
+        # Id allocation must be race-free under concurrent API sessions.
+        self._lock = threading.Lock()
 
     def create(self, name: str, kind: str, owner: Principal,
                payload: Any = None) -> Resource:
-        resource = Resource(resource_id=self._next_id, name=name, kind=kind,
-                            owner=owner, payload=payload)
-        self._next_id += 1
-        self._resources[resource.resource_id] = resource
-        self._by_name[name] = resource.resource_id
+        with self._lock:
+            resource = Resource(resource_id=self._next_id, name=name,
+                                kind=kind, owner=owner, payload=payload)
+            self._next_id += 1
+            self._resources[resource.resource_id] = resource
+            self._by_name[name] = resource.resource_id
         return resource
 
     def get(self, resource_id: int) -> Resource:
@@ -71,8 +75,9 @@ class ResourceTable:
 
     def destroy(self, resource_id: int) -> None:
         resource = self.get(resource_id)
-        del self._resources[resource_id]
-        self._by_name.pop(resource.name, None)
+        with self._lock:
+            self._resources.pop(resource_id, None)
+            self._by_name.pop(resource.name, None)
 
     def transfer_ownership(self, resource_id: int, new_owner: Principal):
         self.get(resource_id).owner = new_owner

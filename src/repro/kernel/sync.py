@@ -1,0 +1,121 @@
+"""Readers-writer locking for the concurrent serving runtime.
+
+The kernel was written single-caller; a socket server front-end makes it
+multi-caller.  The concurrency discipline is deliberately coarse and
+explicit: authorization (Figure 1) is a *read* of the goal/policy state,
+while ``setgoal`` / ``apply_policy`` / revocation are *writes* — many
+concurrent authorizations may proceed together, but a policy mutation
+gets the kernel to itself, so every verdict is attributable to exactly
+one policy state (the property the concurrency stress test replays).
+
+:class:`RWLock` is reentrant per thread in both directions that cannot
+deadlock: a reader may re-enter read, and a writer may re-enter both
+write and read (a ``setgoal`` *is* a write that performs an authorize —
+a read — on the way).  The one refused transition is the classic
+read→write upgrade, which deadlocks as soon as two readers attempt it;
+callers must take the write lock up front instead.
+
+Writers are preferred: new first-time readers queue behind a waiting
+writer, so a steady stream of authorizations cannot starve a policy
+apply.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict
+
+
+class RWLock:
+    """A reentrant readers-writer lock with writer preference."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers: Dict[int, int] = {}   # thread id → read depth
+        self._writer: int = 0                # owning thread id (0 = none)
+        self._write_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side -------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Enter the lock shared; blocks while a writer holds or waits."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Write implies read: count it against the write depth so
+                # the bookkeeping stays in one ledger.
+                self._write_depth += 1
+                return
+            if me in self._readers:
+                self._readers[me] += 1
+                return
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        """Leave one level of shared ownership."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth -= 1
+                return
+            depth = self._readers.get(me, 0)
+            if depth > 1:
+                self._readers[me] = depth - 1
+                return
+            self._readers.pop(me, None)
+            if not self._readers:
+                self._cond.notify_all()
+
+    # -- write side ------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Enter the lock exclusive; blocks until all readers drain."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read->write upgrade would deadlock; take the write "
+                    "lock before the first read")
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        """Leave one level of exclusive ownership."""
+        with self._cond:
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = 0
+                self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

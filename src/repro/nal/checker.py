@@ -19,6 +19,7 @@ be smuggled in.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
@@ -409,6 +410,9 @@ class CompiledProof:
 
 
 _compile_memo: "OrderedDict[int, CompiledProof]" = OrderedDict()
+#: Guards check proofs concurrently under the serving runtime; the memo's
+#: LRU reorder + eviction pair must not interleave.
+_compile_memo_lock = threading.Lock()
 
 
 def compile_proof(proof: Proof,
@@ -427,14 +431,16 @@ def compile_proof(proof: Proof,
         return CompiledProof(
             proof=proof, result=check(proof, dynamic_terms=dynamic_terms))
     key = id(proof)
-    hit = _compile_memo.get(key)
-    if hit is not None and hit.proof is proof:
-        _compile_memo.move_to_end(key)
-        return hit
+    with _compile_memo_lock:
+        hit = _compile_memo.get(key)
+        if hit is not None and hit.proof is proof:
+            _compile_memo.move_to_end(key)
+            return hit
     compiled = CompiledProof(proof=proof, result=check(proof))
-    _compile_memo[key] = compiled
-    if len(_compile_memo) > CHECK_MEMO_CAPACITY:
-        _compile_memo.popitem(last=False)
+    with _compile_memo_lock:
+        _compile_memo[key] = compiled
+        if len(_compile_memo) > CHECK_MEMO_CAPACITY:
+            _compile_memo.popitem(last=False)
     return compiled
 
 

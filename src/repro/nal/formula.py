@@ -27,6 +27,26 @@ COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
 class Formula:
     """Base class for NAL formulas."""
 
+    def _render(self) -> str:
+        """Produce the NAL surface syntax (subclasses override)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        """The NAL surface syntax, memoized per instance.
+
+        Printing is the wire encoding (see :mod:`repro.api.codec`), so a
+        hot serving path prints the same immutable formula thousands of
+        times.  Like :meth:`is_ground`, the memo is derived state stored
+        via ``object.__setattr__``; structural equality and hashing are
+        unaffected, and a benign double-compute under concurrency writes
+        the same string twice.
+        """
+        cached = self.__dict__.get("_str_memo")
+        if cached is None:
+            cached = self._render()
+            object.__setattr__(self, "_str_memo", cached)
+        return cached
+
     def substitute(self, mapping: Mapping[Var, Term]) -> "Formula":
         raise NotImplementedError
 
@@ -69,7 +89,7 @@ class Formula:
 class TrueFormula(Formula):
     """The trivially satisfied goal (an explicit ALLOW policy)."""
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return "true"
 
     def substitute(self, mapping):
@@ -86,7 +106,7 @@ class TrueFormula(Formula):
 class FalseFormula(Formula):
     """Absurdity; inside `P says` it poisons only P's worldview."""
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return "false"
 
     def substitute(self, mapping):
@@ -115,7 +135,7 @@ class Pred(Formula):
     name: str
     args: Tuple[Term, ...] = ()
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         if not self.args:
             return self.name
         rendered = ", ".join(str(arg) for arg in self.args)
@@ -149,7 +169,7 @@ class Compare(Formula):
         if self.op not in COMPARISON_OPS:
             raise ValueError(f"unknown comparison operator {self.op!r}")
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"{_term_str(self.left)} {self.op} {_term_str(self.right)}"
 
     def substitute(self, mapping):
@@ -209,7 +229,7 @@ class Says(Formula):
     speaker: Principal
     body: Formula
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"{self.speaker} says {_wrap(self.body)}"
 
     def substitute(self, mapping):
@@ -239,7 +259,7 @@ class Speaksfor(Formula):
     right: Principal
     scope: Optional[Term] = None
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         base = f"{self.left} speaksfor {self.right}"
         if self.scope is not None:
             return f"{base} on {_term_str(self.scope)}"
@@ -271,7 +291,7 @@ class And(Formula):
     left: Formula
     right: Formula
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"{_wrap(self.left)} and {_wrap(self.right)}"
 
     def substitute(self, mapping):
@@ -293,7 +313,7 @@ class Or(Formula):
     left: Formula
     right: Formula
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"{_wrap(self.left)} or {_wrap(self.right)}"
 
     def substitute(self, mapping):
@@ -315,7 +335,7 @@ class Implies(Formula):
     antecedent: Formula
     consequent: Formula
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"{_wrap(self.antecedent)} implies {_wrap(self.consequent)}"
 
     def substitute(self, mapping):
@@ -337,7 +357,7 @@ class Not(Formula):
 
     body: Formula
 
-    def __str__(self) -> str:
+    def _render(self) -> str:
         return f"not {_wrap(self.body)}"
 
     def substitute(self, mapping):

@@ -298,13 +298,43 @@ class _Parser:
                              position=token.position, text=self.text)
 
 
+#: Interned parses: source text → formula.  Formulas are immutable and
+#: compare structurally, so handing every caller the same object is
+#: semantically invisible — but it makes re-parsing hot wire text O(1)
+#: and lets the per-instance memos (``is_ground``, ``__str__``, proof
+#: hash) accumulate instead of restarting per request.  Bounded by
+#: wholesale reset: the cache is a pure accelerator, so dropping it is
+#: always safe, and reset-at-capacity needs no eviction bookkeeping on
+#: the hit path.
+_INTERN_CAPACITY = 4096
+_interned: dict = {}
+
+
 def parse(text: Union[str, Formula]) -> Formula:
-    """Parse NAL text into a formula (idempotent on formulas)."""
+    """Parse NAL text into a formula (idempotent on formulas).
+
+    Results are interned by source text *and* by canonical printed form,
+    so ``parse(str(f))`` after a ``parse(text)`` returns the identical
+    object even when ``text`` used alternate spellings (``/\\`` for
+    ``and``).
+    """
     if isinstance(text, Formula):
         return text
+    formula = _interned.get(text)
+    if formula is not None:
+        return formula
     parser = _Parser(text)
     formula = parser.parse_formula()
     parser.finish()
+    if len(_interned) >= _INTERN_CAPACITY:
+        _interned.clear()
+    canonical = str(formula)
+    existing = _interned.get(canonical)
+    if existing is not None and existing == formula:
+        formula = existing
+    else:
+        _interned[canonical] = formula
+    _interned[text] = formula
     return formula
 
 

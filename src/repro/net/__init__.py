@@ -1,5 +1,6 @@
 """Network substrate: simulated NIC, DDRM-confined driver, UDP echo rig,
-and a minimal HTTP layer."""
+a minimal HTTP layer, and the concurrent serving runtime (socket
+server, persistent client connections, request coalescing)."""
 
 from repro.net.nic import NIC, Packet, PageTable
 from repro.net.ddrm import DDRM, DRIVER_ALLOWED_OPS, DRIVER_FORBIDDEN_OPS
@@ -9,15 +10,21 @@ from repro.net.http import (
     HTTPRequest,
     HTTPResponse,
     Router,
+    frame_length,
     parse_request,
     parse_response,
+    split_frame,
 )
+from repro.net.coalesce import CoalescingAuthorizer
+from repro.net.server import PersistentConnection, SocketServer, serve_api
 
 __all__ = [
     "NIC", "Packet", "PageTable",
     "DDRM", "DRIVER_ALLOWED_OPS", "DRIVER_FORBIDDEN_OPS",
     "NetDriver",
     "CONFIGS", "PolicyCheckMonitor", "UDPEchoRig",
-    "HTTPRequest", "HTTPResponse", "Router", "parse_request",
-    "parse_response",
+    "HTTPRequest", "HTTPResponse", "Router", "frame_length",
+    "parse_request", "parse_response", "split_frame",
+    "CoalescingAuthorizer",
+    "PersistentConnection", "SocketServer", "serve_api",
 ]

@@ -1,0 +1,183 @@
+"""Request coalescing — group-commit for the authorization fast path.
+
+Under concurrent serving, many ``authorize`` requests are in flight at
+once.  Submitting each one individually fights the GIL and pays the
+per-call guard overhead per request; PR 1 measured 5.3x from handing the
+kernel one deduplicated ``authorize_many`` batch instead.  The
+:class:`CoalescingAuthorizer` converts the former into the latter
+transparently: concurrent callers are merged into batches with *no
+added latency* — batching is leader/follower ("group commit"), never
+timer-based.
+
+The protocol: every caller appends its request to the pending list.  If
+nobody is currently driving a batch, the caller elects itself leader,
+takes the whole pending list (its own request plus everything that
+accumulated), and runs one ``authorize_many``.  Arrivals during that
+batch wait as followers; when the leader publishes the verdicts, one
+follower wakes as the next leader with the next accumulated batch.  An
+idle service therefore degenerates to exactly one kernel call per
+request (no waiting, no batching tax), while a loaded one amortizes —
+batch size tracks concurrency automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+class _Pending:
+    """One caller's slot in the pending list."""
+
+    __slots__ = ("request", "result", "error", "done")
+
+    def __init__(self, request: Tuple):
+        self.request = request
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done = False
+
+
+class CoalescingAuthorizer:
+    """Merge concurrent ``authorize`` calls into ``authorize_many``
+    batches against one kernel.
+
+    ``max_batch`` bounds how many requests one leader drains at a time
+    (keeping worst-case leader latency bounded under extreme load).
+    """
+
+    def __init__(self, kernel, max_batch: int = 256,
+                 yield_before_drive: bool = True):
+        self.kernel = kernel
+        self.max_batch = max_batch
+        #: Let the batch *form*: a pure-Python guard check never
+        #: releases the GIL, so without an explicit yield the leader
+        #: would finish before any concurrent arrival gets to enqueue
+        #: and every batch would degenerate to size 1.  One
+        #: ``time.sleep(0)`` after election hands the GIL to runnable
+        #: workers exactly once — group commit's "wait for the bus to
+        #: fill", priced at a scheduler hop rather than a timer.  The
+        #: yield is adaptive: an idle service (no follower queued, last
+        #: batch was a singleton) skips it, so coalescing costs nothing
+        #: when there is nothing to coalesce.
+        self.yield_before_drive = yield_before_drive
+        #: Decaying evidence of concurrency: armed whenever a caller
+        #: actually waits behind a leader or a batch of more than one
+        #: forms, counted down by singleton batches.  While armed,
+        #: leaders yield; once traffic is serial again the counter
+        #: drains and the yield stops.
+        self._concurrency_seen = 0
+        #: Socket workers release the GIL at every ``recv``, so
+        #: CPU-bound handling is never preempted and overlap would stay
+        #: invisible forever without help.  Every PROBE_INTERVAL
+        #: singleton batches the leader yields once anyway — a probe:
+        #: under real concurrency it immediately fills a batch and arms
+        #: the signal, and when idle it costs one scheduler hop per
+        #: interval.
+        self.PROBE_INTERVAL = 32
+        self._probe_countdown = self.PROBE_INTERVAL
+        self._cond = threading.Condition()
+        self._pending: List[_Pending] = []
+        self._busy = False
+        # Counters (read under no lock; they are diagnostics).
+        self.calls = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.largest_batch = 0
+
+    def authorize(self, subject_pid: int, operation: str, resource_id: int,
+                  bundle=None):
+        """One Figure-1 verdict, possibly served as part of a batch.
+
+        Semantics are identical to
+        :meth:`~repro.kernel.kernel.NexusKernel.authorize`: same
+        arguments, same :class:`~repro.kernel.guard.GuardDecision`, and
+        any exception the kernel would have raised is re-raised in the
+        submitting caller.
+        """
+        entry = _Pending((subject_pid, operation, resource_id, bundle))
+        with self._cond:
+            self.calls += 1
+            self._pending.append(entry)
+        while True:
+            with self._cond:
+                if self._busy:
+                    self._concurrency_seen = 64  # overlap observed
+                while not entry.done and self._busy:
+                    self._cond.wait()
+                if entry.done:
+                    # A leader served this request while we waited.
+                    return self._unwrap(entry)
+                # Leader election.
+                self._busy = True
+                crowded = (len(self._pending) > 1
+                           or self._concurrency_seen > 0)
+                if not crowded:
+                    self._probe_countdown -= 1
+                    if self._probe_countdown <= 0:
+                        self._probe_countdown = self.PROBE_INTERVAL
+                        crowded = True  # probe for invisible overlap
+            if self.yield_before_drive and crowded:
+                time.sleep(0)  # let concurrent arrivals enqueue
+            with self._cond:
+                # Take everything that accumulated (up to max_batch; if
+                # our own entry sits beyond the chunk, the outer loop
+                # drives another batch).
+                batch = self._pending[:self.max_batch]
+                del self._pending[:self.max_batch]
+            self._drive(batch)
+            if entry.done:
+                return self._unwrap(entry)
+
+    # ------------------------------------------------------------------
+
+    def _drive(self, batch: List[_Pending]) -> None:
+        """Run one batch through the kernel and publish the verdicts."""
+        fell_back = False
+        try:
+            results: Sequence = self.kernel.authorize_many(
+                [entry.request for entry in batch])
+            for entry, result in zip(batch, results):
+                entry.result = result
+        except BaseException:  # noqa: BLE001 — isolated per caller below
+            # One bad request (dead pid, destroyed resource) must not
+            # poison its batch-mates' verdicts: re-run each request
+            # individually so every caller gets exactly the result (or
+            # exception) a lone kernel.authorize would have given it.
+            fell_back = True
+            for entry in batch:
+                try:
+                    entry.result = self.kernel.authorize(*entry.request)
+                except BaseException as exc:  # noqa: BLE001
+                    entry.error = exc
+        with self._cond:
+            self.batches += 1
+            if not fell_back:
+                self.coalesced += len(batch) - 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+            if len(batch) > 1:
+                self._concurrency_seen = 64
+            elif self._concurrency_seen > 0:
+                self._concurrency_seen -= 1
+            for entry in batch:
+                entry.done = True
+            self._busy = False
+            self._cond.notify_all()
+
+    @staticmethod
+    def _unwrap(entry: _Pending):
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Diagnostics: calls, batches driven, requests that rode along
+        with a leader, and the largest batch observed."""
+        batches = self.batches or 1
+        return {"calls": self.calls, "batches": self.batches,
+                "coalesced": self.coalesced,
+                "largest_batch": self.largest_batch,
+                "mean_batch": round(self.calls / batches, 3)}

@@ -1,8 +1,19 @@
 """A minimal HTTP layer for the Fauxbook stack (§4.1, Figure 3).
 
-Only what the three-tier pipeline needs: request/response objects, a
-wire-format round trip (the web server really parses bytes, since its job
-in the paper is exactly the IP→HTTP→FastCGI translation), and a router.
+Only what the three-tier pipeline and the serving runtime need:
+request/response objects, a wire-format round trip (the web server
+really parses bytes, since its job in the paper is exactly the
+IP→HTTP→FastCGI translation), ``Content-Length`` framing for keep-alive
+connections, and a router.
+
+Framing discipline: a message body is exactly ``Content-Length`` bytes.
+Earlier revisions swallowed everything after the first blank line into
+``body``, which broke pipelined/keep-alive framing (the next request's
+bytes became this request's body) and silently accepted trailing
+garbage.  :func:`split_frame` is the incremental form the socket server
+and the persistent client connection share: it carves one complete
+message off the front of a receive buffer, leaving the rest for the
+next turn.
 """
 
 from __future__ import annotations
@@ -23,6 +34,17 @@ STATUS_TEXT = {
     500: "Internal Server Error",
 }
 
+_HEAD_END = b"\r\n\r\n"
+
+#: Serialized-head memos: a serving loop emits the same request and
+#: response heads over and over (only the body changes, and the head
+#: depends on the body only through ``Content-Length``), so the
+#: f-string/sort/join head construction runs once per distinct shape.
+#: Bounded by wholesale reset — pure accelerators.
+_HEAD_MEMO_CAPACITY = 512
+_request_head_memo: Dict[tuple, bytes] = {}
+_response_head_memo: Dict[tuple, bytes] = {}
+
 
 @dataclass
 class HTTPRequest:
@@ -32,13 +54,28 @@ class HTTPRequest:
     body: bytes = b""
 
     def to_bytes(self) -> bytes:
-        lines = [f"{self.method} {self.path} HTTP/1.1"]
-        headers = dict(self.headers)
-        if self.body:
-            headers["Content-Length"] = str(len(self.body))
-        lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        # Memo key: header insertion order is deterministic per call
+        # site, so skipping the sort costs at most a few duplicate memo
+        # entries, never a wrong head.
+        key = (self.method, self.path, tuple(self.headers.items()),
+               len(self.body))
+        head = _request_head_memo.get(key)
+        if head is None:
+            lines = [f"{self.method} {self.path} HTTP/1.1"]
+            headers = dict(self.headers)
+            if self.body:
+                headers["Content-Length"] = str(len(self.body))
+            lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
+            head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+            if len(_request_head_memo) >= _HEAD_MEMO_CAPACITY:
+                _request_head_memo.clear()
+            _request_head_memo[key] = head
         return head + self.body
+
+    def wants_close(self) -> bool:
+        """True when the client asked the server not to keep the
+        connection open (``Connection: close``)."""
+        return self.headers.get("Connection", "").lower() == "close"
 
 
 @dataclass
@@ -48,46 +85,195 @@ class HTTPResponse:
     headers: Dict[str, str] = field(default_factory=dict)
 
     def to_bytes(self) -> bytes:
-        text = STATUS_TEXT.get(self.status, "Unknown")
-        lines = [f"HTTP/1.1 {self.status} {text}"]
-        headers = dict(self.headers)
-        headers["Content-Length"] = str(len(self.body))
-        lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        key = (self.status, tuple(self.headers.items()), len(self.body))
+        head = _response_head_memo.get(key)
+        if head is None:
+            text = STATUS_TEXT.get(self.status, "Unknown")
+            lines = [f"HTTP/1.1 {self.status} {text}"]
+            headers = dict(self.headers)
+            headers["Content-Length"] = str(len(self.body))
+            lines.extend(f"{k}: {v}" for k, v in sorted(headers.items()))
+            head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+            if len(_response_head_memo) >= _HEAD_MEMO_CAPACITY:
+                _response_head_memo.clear()
+            _response_head_memo[key] = head
         return head + self.body
 
 
-def parse_request(raw: bytes) -> HTTPRequest:
+def _parse_headers(lines) -> Dict[str, str]:
+    """Header lines → dict (whitespace-trimmed keys and values)."""
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        key, _, value = line.partition(":")
+        headers[key.strip()] = value.strip()
+    return headers
+
+
+def _content_length(headers: Dict[str, str]) -> Optional[int]:
+    """The declared body length, or None when the header is absent."""
+    declared = headers.get("Content-Length")
+    if declared is None:
+        return None
     try:
-        head, _, body = raw.partition(b"\r\n\r\n")
-        lines = head.decode("latin-1").split("\r\n")
-        method, path, _version = lines[0].split(" ", 2)
-        headers = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            key, _, value = line.partition(":")
-            headers[key.strip()] = value.strip()
-        return HTTPRequest(method=method, path=path, headers=headers,
-                           body=body)
-    except (ValueError, IndexError) as exc:
-        raise AppError(f"malformed HTTP request: {exc}") from exc
+        length = int(declared)
+    except ValueError as exc:
+        raise AppError(f"bad Content-Length {declared!r}") from exc
+    if length < 0:
+        raise AppError(f"negative Content-Length {declared!r}")
+    return length
+
+
+#: Framing bounds: a peer that streams header bytes forever, or
+#: declares an absurd body, must fail loudly instead of growing the
+#: receive buffer without limit.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def frame_length(buffer: bytes) -> Optional[int]:
+    """Total byte length of the first complete message in ``buffer``.
+
+    ``None`` while the buffer is still a prefix of a message (headers
+    not yet complete, or fewer than ``Content-Length`` body bytes).
+    This is the incremental-read primitive: a socket loop appends
+    ``recv`` chunks until ``frame_length`` turns non-None.  Oversized
+    heads and bodies raise :class:`~repro.errors.AppError` so serve
+    loops can answer 400 and drop the connection instead of buffering
+    garbage indefinitely.
+    """
+    head_end = buffer.find(_HEAD_END)
+    if head_end < 0:
+        if len(buffer) > MAX_HEAD_BYTES:
+            raise AppError(f"message head exceeds {MAX_HEAD_BYTES} "
+                           f"bytes with no blank line")
+        return None
+    head = buffer[:head_end].decode("latin-1")
+    headers = _parse_headers(head.split("\r\n")[1:])
+    length = _content_length(headers)
+    if length is not None and length > MAX_BODY_BYTES:
+        raise AppError(f"declared Content-Length {length} exceeds the "
+                       f"{MAX_BODY_BYTES}-byte frame bound")
+    total = head_end + len(_HEAD_END) + (length or 0)
+    if len(buffer) < total:
+        return None
+    return total
+
+
+def split_frame(buffer: bytes) -> Optional[Tuple[bytes, bytes]]:
+    """Carve one complete message off the front of a receive buffer.
+
+    Returns ``(message, rest)`` or ``None`` when the buffer does not
+    yet hold a whole message.  ``rest`` is the start of the next
+    pipelined message (empty between requests on an idle keep-alive
+    connection).
+    """
+    total = frame_length(buffer)
+    if total is None:
+        return None
+    return buffer[:total], buffer[total:]
+
+
+#: Parsed-head memos, the receive-side mirror of the head memos above:
+#: exact head bytes → parsed fields (with the Content-Length already
+#: extracted).  The headers dict in the memo is a template — each parse
+#: hands out a copy, so handlers may mutate their request freely.
+_parsed_request_heads: Dict[bytes, tuple] = {}
+_parsed_response_heads: Dict[bytes, tuple] = {}
+
+
+def _checked_body(length: Optional[int], body: bytes) -> bytes:
+    """Enforce Content-Length framing on an already-split body."""
+    if length is None or len(body) == length:
+        return body
+    if len(body) < length:
+        raise AppError(f"truncated message: Content-Length {length} "
+                       f"but only {len(body)} body bytes")
+    raise AppError(f"{len(body) - length} bytes of trailing garbage "
+                   f"after Content-Length {length} body")
+
+
+def _request_head(head: bytes) -> tuple:
+    """Parse (and memoize) one request head: method, path, headers,
+    declared body length."""
+    parsed = _parsed_request_heads.get(head)
+    if parsed is None:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+            headers = _parse_headers(lines[1:])
+        except (ValueError, IndexError) as exc:
+            raise AppError(f"malformed HTTP request: {exc}") from exc
+        if len(_parsed_request_heads) >= _HEAD_MEMO_CAPACITY:
+            _parsed_request_heads.clear()
+        parsed = (method, path, headers, _content_length(headers))
+        _parsed_request_heads[head] = parsed
+    return parsed
+
+
+def _response_head(head: bytes) -> tuple:
+    """Parse (and memoize) one response head: status, headers, declared
+    body length."""
+    parsed = _parsed_response_heads.get(head)
+    if parsed is None:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            _version, status, *_ = lines[0].split(" ", 2)
+            headers = _parse_headers(lines[1:])
+            status_code = int(status)
+        except (ValueError, IndexError) as exc:
+            raise AppError(f"malformed HTTP response: {exc}") from exc
+        if len(_parsed_response_heads) >= _HEAD_MEMO_CAPACITY:
+            _parsed_response_heads.clear()
+        parsed = (status_code, headers, _content_length(headers))
+        _parsed_response_heads[head] = parsed
+    return parsed
+
+
+def parse_request(raw: bytes) -> HTTPRequest:
+    head, _, body = raw.partition(_HEAD_END)
+    method, path, headers, length = _request_head(head)
+    return HTTPRequest(method=method, path=path, headers=dict(headers),
+                       body=_checked_body(length, body))
 
 
 def parse_response(raw: bytes) -> HTTPResponse:
-    try:
-        head, _, body = raw.partition(b"\r\n\r\n")
-        lines = head.decode("latin-1").split("\r\n")
-        _version, status, *_ = lines[0].split(" ", 2)
-        headers = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            key, _, value = line.partition(":")
-            headers[key.strip()] = value.strip()
-        return HTTPResponse(status=int(status), body=body, headers=headers)
-    except (ValueError, IndexError) as exc:
-        raise AppError(f"malformed HTTP response: {exc}") from exc
+    head, _, body = raw.partition(_HEAD_END)
+    status_code, headers, length = _response_head(head)
+    return HTTPResponse(status=status_code,
+                        body=_checked_body(length, body),
+                        headers=dict(headers))
+
+
+def split_response(raw: bytes) -> Tuple[int, bytes]:
+    """The transport fast path: (status, body) without constructing a
+    response object or copying headers."""
+    head, _, body = raw.partition(_HEAD_END)
+    status_code, _headers, length = _response_head(head)
+    return status_code, _checked_body(length, body)
+
+
+#: Fully-parsed request memo for trusted serve loops: exact raw bytes →
+#: shared HTTPRequest.  A hot client re-sends byte-identical requests,
+#: so the server's parse becomes one dict probe.  The returned object
+#: (headers included) is shared — serve loops must treat it as
+#: read-only, which the Router and SocketServer do; mutating handlers
+#: should go through :func:`parse_request`, which hands out copies.
+_parsed_requests: Dict[bytes, "HTTPRequest"] = {}
+
+
+def parse_request_cached(raw: bytes) -> HTTPRequest:
+    """Like :func:`parse_request` but memoized by the exact raw bytes,
+    returning a shared read-only request object."""
+    cached = _parsed_requests.get(raw)
+    if cached is not None:
+        return cached
+    request = parse_request(raw)
+    if len(_parsed_requests) >= _HEAD_MEMO_CAPACITY:
+        _parsed_requests.clear()
+    _parsed_requests[raw] = request
+    return request
 
 
 Handler = Callable[[HTTPRequest], HTTPResponse]
@@ -97,24 +283,45 @@ class Router:
     """Longest-prefix route table: (method, prefix) → handler.
 
     Routes registered with ``exact=True`` match only the identical path
-    (no prefix semantics) and take priority over prefix routes.
+    (no prefix semantics) and take priority over prefix routes; they
+    are also served from an O(1) table probe instead of the prefix
+    scan — the serving fast path, since every API endpoint is exact.
     """
 
     def __init__(self):
         self._routes: Dict[Tuple[str, str], Tuple[Handler, bool]] = {}
+        self._exact: Dict[Tuple[str, str], Handler] = {}
 
     def add(self, method: str, prefix: str, handler: Handler,
             exact: bool = False) -> None:
-        self._routes[(method.upper(), prefix)] = (handler, exact)
+        key = (method.upper(), prefix)
+        self._routes[key] = (handler, exact)
+        if exact:
+            self._exact[key] = handler
+        else:
+            self._exact.pop(key, None)
 
     def dispatch(self, request: HTTPRequest) -> HTTPResponse:
-        best: Optional[Tuple[bool, int, Handler]] = None
         method = request.method.upper()
+        handler = self._exact.get((method, request.path))
+        if handler is None:
+            handler = self._scan(method, request.path)
+            if isinstance(handler, HTTPResponse):
+                return handler
+        try:
+            return handler(request)
+        except AppError as exc:
+            return HTTPResponse(status=403, body=str(exc).encode())
+
+    def _scan(self, method: str, path: str):
+        """The slow path: longest-prefix scan over every route; returns
+        a handler or a ready 404/405 response."""
+        best: Optional[Tuple[bool, int, Handler]] = None
         other_methods = set()
         for (route_method, prefix), (handler, exact) in \
                 self._routes.items():
-            if (request.path != prefix if exact
-                    else not request.path.startswith(prefix)):
+            if (path != prefix if exact
+                    else not path.startswith(prefix)):
                 continue
             if route_method != method:
                 other_methods.add(route_method)
@@ -130,7 +337,4 @@ class Router:
                     status=405, body=b"method not allowed",
                     headers={"Allow": ", ".join(sorted(other_methods))})
             return HTTPResponse(status=404, body=b"not found")
-        try:
-            return best[2](request)
-        except AppError as exc:
-            return HTTPResponse(status=403, body=str(exc).encode())
+        return best[2]

@@ -1,0 +1,356 @@
+"""The socket serving runtime: a real stdlib HTTP server for the API.
+
+Everything below is plain ``socket`` + ``threading`` — no asyncio, no
+third-party server — because the point is architectural, not
+exotic I/O: the paper's guard is "fast enough to interpose on every
+operation", so the service boundary must hold up under many concurrent
+callers.  The runtime has two halves:
+
+* :class:`SocketServer` — accepts TCP connections and serves
+  ``Content-Length``-framed HTTP requests through an existing
+  :class:`~repro.net.http.Router` (normally one with a
+  :class:`~repro.api.service.NexusService` mounted).  Two execution
+  models, selectable per instance, exist *so the serving benchmark can
+  compare them*:
+
+  - **pool** (default): a fixed worker pool; each worker owns one
+    keep-alive connection at a time and serves requests off it until
+    the peer closes.  Framing via :func:`~repro.net.http.split_frame`
+    makes pipelined requests on one connection work by construction.
+  - **thread-per-request**: the naive baseline — every connection gets
+    a freshly spawned thread, one request is served, the connection is
+    closed.  This is what "just add threads" buys, and what fig11
+    measures the pool + coalescing stack against.
+
+* :class:`PersistentConnection` — the client half of connection reuse:
+  one TCP connection, serially reused across requests, reconnecting
+  transparently when the server (or a thread-per-request listener)
+  hangs up.  :meth:`repro.api.client.HttpTransport.over_socket` builds
+  its wire on top of this.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from queue import Empty, Queue
+from typing import Optional, Tuple
+
+from repro.errors import AppError
+from repro.net.http import (HTTPResponse, Router, parse_request_cached,
+                            split_frame)
+
+_RECV_CHUNK = 65536
+
+
+class PersistentConnection:
+    """One reusable client connection to a :class:`SocketServer`.
+
+    ``send`` is wire-shaped (bytes in, bytes out) so it plugs straight
+    into :class:`~repro.api.client.HttpTransport`.  The connection is
+    opened lazily, kept alive across calls, and re-established once per
+    call if the server closed it in between (normal against a
+    thread-per-request server, or after a server-side idle drop).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._lock = threading.Lock()
+        self.requests_sent = 0
+        self.reconnects = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    def _ensure(self) -> tuple:
+        """The live socket, plus whether this call just opened it."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._buffer = b""
+            self.reconnects += 1
+            return self._sock, True
+        return self._sock, False
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer = b""
+
+    def _read_frame(self, sock: socket.socket) -> bytes:
+        while True:
+            framed = split_frame(self._buffer)
+            if framed is not None:
+                message, self._buffer = framed
+                return message
+            chunk = sock.recv(_RECV_CHUNK)
+            if not chunk:
+                raise ConnectionError("server closed mid-response")
+            self._buffer += chunk
+
+    # -- the wire --------------------------------------------------------
+
+    def send(self, raw: bytes) -> bytes:
+        """One framed HTTP message out, one framed message back.
+
+        Retries exactly once, and only when the failed attempt rode a
+        *reused* connection and saw *no* response bytes — the classic
+        stale keep-alive (the server dropped us between requests and
+        never saw this message).  A failure on a fresh connection, or
+        after response bytes arrived, is reported rather than retried:
+        the server may already have executed the request, and API
+        requests are not idempotent.
+        """
+        with self._lock:
+            for _attempt in range(2):
+                fresh = False
+                buffered = 0
+                try:
+                    sock, fresh = self._ensure()
+                    buffered = len(self._buffer)
+                    sock.sendall(raw)
+                    message = self._read_frame(sock)
+                    self.requests_sent += 1
+                    return message
+                except (ConnectionError, OSError) as exc:
+                    partial = len(self._buffer) > buffered
+                    self._teardown()
+                    if fresh or partial:
+                        raise AppError(
+                            f"connection to {self.host}:{self.port} "
+                            f"failed: {exc}") from exc
+            raise AppError(f"connection to {self.host}:{self.port} "
+                           f"failed twice on reused connections")
+
+    def close(self) -> None:
+        """Drop the connection (the next send reconnects)."""
+        with self._lock:
+            self._teardown()
+
+
+class SocketServer:
+    """A threaded HTTP server over one :class:`~repro.net.http.Router`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address` after :meth:`start`).  Use as a context manager in
+    tests and benchmarks::
+
+        with SocketServer(service.router()) as server:
+            host, port = server.address
+            ...
+    """
+
+    def __init__(self, router: Router, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 8,
+                 thread_per_request: bool = False, backlog: int = 128):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.thread_per_request = thread_per_request
+        self.backlog = backlog
+        self._listener: Optional[socket.socket] = None
+        self._threads: list = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_queue: "Queue[Optional[socket.socket]]" = Queue()
+        self._stopping = threading.Event()
+        self._live_lock = threading.Lock()
+        self._live_conns: set = set()
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and spin up the execution model; returns the
+        bound address."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(self.backlog)
+        self._listener = listener
+        self._stopping.clear()
+        # A previous stop() may have left unconsumed shutdown sentinels
+        # (workers that exited via the stop-flag path never took
+        # theirs); drain them or they would kill the fresh pool.
+        while True:
+            try:
+                self._conn_queue.get_nowait()
+            except Empty:
+                break
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="nexus-accept", daemon=True)
+        self._accept_thread.start()
+        if not self.thread_per_request:
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"nexus-worker-{index}", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+        return self.address
+
+    def stop(self) -> None:
+        """Shut down: stop accepting, wake the pool, close connections."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for _ in self._threads:
+            self._conn_queue.put(None)
+        with self._live_lock:
+            doomed = list(self._live_conns)
+        for conn in doomed:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        self._threads = []
+        self._accept_thread = None
+
+    def __enter__(self) -> "SocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- accept / dispatch ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set() and listener is not None:
+            try:
+                conn, _peer = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._stats_lock:
+                self.connections_accepted += 1
+            with self._live_lock:
+                self._live_conns.add(conn)
+            if self.thread_per_request:
+                threading.Thread(target=self._serve_connection,
+                                 args=(conn, True),
+                                 name="nexus-ephemeral",
+                                 daemon=True).start()
+            else:
+                self._conn_queue.put(conn)
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                conn = self._conn_queue.get(timeout=0.5)
+            except Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            if conn is None:
+                return
+            self._serve_connection(conn, one_shot=False)
+
+    # -- the per-connection serve loop -----------------------------------
+
+    def _serve_connection(self, conn: socket.socket,
+                          one_shot: bool) -> None:
+        """Serve framed requests off one connection until it drains.
+
+        ``one_shot`` is the thread-per-request model: exactly one
+        request, then close — no keep-alive, the way a naive server
+        treats every connection as disposable.
+        """
+        buffer = b""
+        try:
+            while not self._stopping.is_set():
+                framed = split_frame(buffer)
+                while framed is None:
+                    try:
+                        chunk = conn.recv(_RECV_CHUNK)
+                    except OSError:
+                        return
+                    if not chunk:
+                        return  # peer closed between requests
+                    buffer += chunk
+                    framed = split_frame(buffer)
+                message, buffer = framed
+                keep = self._serve_one(conn, message)
+                if one_shot or not keep:
+                    return
+        except AppError as exc:
+            # Broken framing (bad Content-Length, trailing garbage):
+            # report once, then drop the connection — the stream can no
+            # longer be trusted to align on message boundaries.
+            self._send_safely(conn, HTTPResponse(
+                status=400, body=str(exc).encode(),
+                headers={"Connection": "close"}))
+        finally:
+            with self._live_lock:
+                self._live_conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _serve_one(self, conn: socket.socket, message: bytes) -> bool:
+        """Parse, dispatch, respond; True to keep the connection open."""
+        request = parse_request_cached(message)
+        try:
+            response = self.router.dispatch(request)
+        except Exception as exc:  # noqa: BLE001 — the connection must live
+            response = HTTPResponse(status=500,
+                                    body=f"internal error: {exc}".encode())
+        keep = not request.wants_close()
+        if not keep:
+            response.headers["Connection"] = "close"
+        self._send_safely(conn, response)
+        with self._stats_lock:
+            self.requests_served += 1
+        return keep
+
+    @staticmethod
+    def _send_safely(conn: socket.socket, response: HTTPResponse) -> None:
+        try:
+            conn.sendall(response.to_bytes())
+        except OSError:
+            pass
+
+
+def serve_api(service, host: str = "127.0.0.1", port: int = 0,
+              workers: int = 8, coalesce: bool = True,
+              prefix: Optional[str] = None) -> SocketServer:
+    """Convenience: mount a ``NexusService`` and start serving it.
+
+    Returns the started :class:`SocketServer`; the caller owns
+    :meth:`~SocketServer.stop`.  ``coalesce`` turns on the service's
+    request-coalescing front-end (see :mod:`repro.net.coalesce`).
+    """
+    from repro.api.service import API_PREFIX
+    if coalesce:
+        service.enable_coalescing()
+    router = service.router(prefix if prefix is not None else API_PREFIX)
+    server = SocketServer(router, host=host, port=port, workers=workers)
+    server.start()
+    return server

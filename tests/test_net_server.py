@@ -1,0 +1,248 @@
+"""The serving runtime: Content-Length framing, socket server,
+persistent connections.
+
+The framing tests pin the satellite fix: bodies are exactly
+``Content-Length`` bytes, truncated frames and trailing garbage are
+loud errors, and :func:`~repro.net.http.split_frame` carves pipelined
+messages off a buffer without swallowing the next request.  The server
+tests drive real TCP connections end to end.
+"""
+
+import socket
+
+import pytest
+
+from repro.api import NexusClient, NexusService
+from repro.errors import AppError
+from repro.net.http import (HTTPRequest, HTTPResponse, Router,
+                            frame_length, parse_request, parse_response,
+                            split_frame)
+from repro.net.server import PersistentConnection, SocketServer, serve_api
+
+
+class TestContentLengthFraming:
+    def test_round_trip_preserves_body_exactly(self):
+        request = HTTPRequest("POST", "/x", {"A": "b"}, b"hello world")
+        parsed = parse_request(request.to_bytes())
+        assert parsed.body == b"hello world"
+        assert parsed.headers["Content-Length"] == "11"
+
+    def test_trailing_garbage_is_rejected(self):
+        raw = HTTPRequest("POST", "/x", {}, b"hello").to_bytes()
+        with pytest.raises(AppError, match="trailing garbage"):
+            parse_request(raw + b"EXTRA")
+
+    def test_truncated_body_is_rejected(self):
+        raw = HTTPRequest("POST", "/x", {}, b"hello-world").to_bytes()
+        with pytest.raises(AppError, match="truncated"):
+            parse_request(raw[:-4])
+
+    def test_response_framing_symmetrical(self):
+        raw = HTTPResponse(200, b"payload").to_bytes()
+        assert parse_response(raw).body == b"payload"
+        with pytest.raises(AppError, match="trailing garbage"):
+            parse_response(raw + b"!")
+        with pytest.raises(AppError, match="truncated"):
+            parse_response(raw[:-1])
+
+    def test_bad_content_length_is_loud(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\nbody"
+        with pytest.raises(AppError, match="Content-Length"):
+            parse_request(raw)
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\nbody"
+        with pytest.raises(AppError, match="negative"):
+            parse_request(raw)
+
+    def test_absent_content_length_keeps_legacy_behaviour(self):
+        # Hand-built messages without the header still parse (the
+        # remainder is the body) — only declared lengths are enforced.
+        raw = b"POST /x HTTP/1.1\r\nX: y\r\n\r\nfreeform tail"
+        assert parse_request(raw).body == b"freeform tail"
+
+
+class TestSplitFrame:
+    def test_incomplete_buffers_return_none(self):
+        raw = HTTPRequest("POST", "/x", {}, b"hello").to_bytes()
+        for cut in (0, 5, len(raw) - 1):
+            assert split_frame(raw[:cut]) is None
+            assert frame_length(raw[:cut]) is None
+        assert frame_length(raw) == len(raw)
+
+    def test_pipelined_messages_split_cleanly(self):
+        first = HTTPRequest("POST", "/a", {}, b"one").to_bytes()
+        second = HTTPRequest("POST", "/b", {}, b"two!").to_bytes()
+        buffer = first + second
+        message, rest = split_frame(buffer)
+        assert message == first and rest == second
+        message, rest = split_frame(rest)
+        assert message == second and rest == b""
+        # The old parser would have swallowed `second` into the body:
+        assert parse_request(first).body == b"one"
+
+    def test_oversized_frames_fail_loudly(self):
+        from repro.net.http import MAX_BODY_BYTES, MAX_HEAD_BYTES
+        with pytest.raises(AppError, match="head exceeds"):
+            frame_length(b"POST /x HTTP/1.1\r\nX: "
+                         + b"y" * (MAX_HEAD_BYTES + 1))
+        huge = (f"POST /x HTTP/1.1\r\nContent-Length: "
+                f"{MAX_BODY_BYTES + 1}\r\n\r\n").encode()
+        with pytest.raises(AppError, match="frame bound"):
+            frame_length(huge)
+
+    def test_bodyless_get_frames_without_content_length(self):
+        raw = HTTPRequest("GET", "/api/v1/", {}).to_bytes()
+        assert frame_length(raw) == len(raw)
+        message, rest = split_frame(raw + b"POST")
+        assert message == raw and rest == b"POST"
+
+
+def _echo_router():
+    router = Router()
+
+    def echo(request):
+        return HTTPResponse(200, b"echo:" + request.body)
+
+    router.add("POST", "/echo", echo, exact=True)
+    return router
+
+
+class TestSocketServer:
+    def test_keep_alive_serves_many_requests_per_connection(self):
+        with SocketServer(_echo_router(), workers=2) as server:
+            host, port = server.address
+            conn = PersistentConnection(host, port)
+            for index in range(5):
+                body = f"n{index}".encode()
+                raw = HTTPRequest("POST", "/echo", {}, body).to_bytes()
+                response = parse_response(conn.send(raw))
+                assert response.body == b"echo:" + body
+            conn.close()
+            assert conn.reconnects == 1  # one connection, reused
+            assert server.requests_served == 5
+            assert server.connections_accepted == 1
+
+    def test_thread_per_request_closes_after_each_response(self):
+        with SocketServer(_echo_router(), workers=2,
+                          thread_per_request=True) as server:
+            host, port = server.address
+            conn = PersistentConnection(host, port)
+            for index in range(3):
+                raw = HTTPRequest("POST", "/echo", {},
+                                  f"{index}".encode()).to_bytes()
+                assert parse_response(conn.send(raw)).body.startswith(
+                    b"echo:")
+            conn.close()
+            # Every request needed a fresh connection.
+            assert conn.reconnects == 3
+            assert server.connections_accepted == 3
+
+    def test_pipelined_requests_on_one_socket(self):
+        with SocketServer(_echo_router(), workers=1) as server:
+            host, port = server.address
+            first = HTTPRequest("POST", "/echo", {}, b"a").to_bytes()
+            second = HTTPRequest("POST", "/echo", {}, b"bb").to_bytes()
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(first + second)  # both at once
+                buffer = b""
+                messages = []
+                while len(messages) < 2:
+                    framed = split_frame(buffer)
+                    if framed is None:
+                        chunk = sock.recv(65536)
+                        assert chunk, "server closed early"
+                        buffer += chunk
+                        continue
+                    message, buffer = framed
+                    messages.append(parse_response(message))
+            assert [m.body for m in messages] == [b"echo:a", b"echo:bb"]
+
+    def test_broken_framing_gets_400_and_close(self):
+        with SocketServer(_echo_router(), workers=1) as server:
+            host, port = server.address
+            raw = HTTPRequest("POST", "/echo", {}, b"xyz").to_bytes()
+            # An unparseable Content-Length breaks the framing contract:
+            # the stream can no longer be trusted to align on message
+            # boundaries, so the server answers 400 and hangs up.
+            broken = raw.replace(b"Content-Length: 3",
+                                 b"Content-Length: zz")
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(broken)
+                response = parse_response(sock.recv(65536))
+                assert response.status == 400
+                assert sock.recv(65536) == b""  # connection dropped
+
+    def test_connection_close_header_is_honored(self):
+        with SocketServer(_echo_router(), workers=1) as server:
+            host, port = server.address
+            raw = HTTPRequest("POST", "/echo",
+                              {"Connection": "close"}, b"x").to_bytes()
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(raw)
+                response = parse_response(sock.recv(65536))
+                assert response.headers.get("Connection") == "close"
+                assert sock.recv(65536) == b""
+
+    def test_server_restarts_cleanly_after_stop(self):
+        server = SocketServer(_echo_router(), workers=2)
+        for _round in range(2):
+            host, port = server.start()
+            conn = PersistentConnection(host, port)
+            raw = HTTPRequest("POST", "/echo", {}, b"hi").to_bytes()
+            assert parse_response(conn.send(raw)).body == b"echo:hi"
+            conn.close()
+            server.stop()
+
+    def test_persistent_connection_survives_server_side_drop(self):
+        with SocketServer(_echo_router(), workers=2) as server:
+            host, port = server.address
+            conn = PersistentConnection(host, port)
+            raw = HTTPRequest("POST", "/echo", {}, b"1").to_bytes()
+            assert parse_response(conn.send(raw)).status == 200
+            # Kill the server side of the connection behind its back.
+            with server._live_lock:
+                for live in list(server._live_conns):
+                    live.close()
+            assert parse_response(conn.send(raw)).status == 200
+            assert conn.reconnects == 2
+            conn.close()
+
+
+class TestServeApiEndToEnd:
+    def test_full_api_flow_over_real_sockets(self):
+        service = NexusService()
+        server = serve_api(service, workers=4)
+        try:
+            host, port = server.address
+            client = NexusClient.connect(host, port)
+            owner = client.open_session("owner")
+            resource = owner.create_resource("/srv/obj", "file")
+            owner.set_goal(resource, "read",
+                           f"{owner.principal} says ok(?Subject)")
+            stranger = client.open_session("stranger")
+            denied = stranger.authorize("read", resource)
+            assert not denied.allow
+            # "write" has no goal set: the default owner policy admits
+            # the owner and nobody else.
+            assert owner.authorize("write", resource).allow
+            assert not stranger.authorize("write", resource).allow
+            # serve_api turned coalescing on.
+            assert service.coalescer is not None
+            assert service.coalescer.calls >= 2
+            client.close()
+        finally:
+            server.stop()
+
+    def test_http_transport_over_socket_equals_in_memory(self):
+        service = NexusService()
+        server = serve_api(service, workers=2, coalesce=False)
+        try:
+            host, port = server.address
+            socket_client = NexusClient.connect(host, port)
+            memory_client = NexusClient.over_http(service.router())
+            a = socket_client.info()
+            b = memory_client.info()
+            assert a.version == b.version
+            assert a.boot_id == b.boot_id
+            socket_client.close()
+        finally:
+            server.stop()
