@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check lint coverage check
+.PHONY: test bench bench-smoke bench-storage docs-check lint coverage \
+	coverage-storage check
 
 ## tier-1: every test and benchmark, fail-fast (the CI gate)
 test:
@@ -18,10 +19,16 @@ bench:
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks
 
+## the durable-journal experiment alone (WAL overhead, replay
+## throughput, warm restart); emits BENCH_storage.json
+bench-storage:
+	$(PYTHON) -m pytest -q benchmarks/test_fig12a_storage.py
+
 ## execute every python snippet in the documentation
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
-	    docs/api.md docs/nal.md docs/policy.md docs/federation.md
+	    docs/api.md docs/nal.md docs/policy.md docs/federation.md \
+	    docs/storage.md
 
 ## docstring coverage for the trusted packages + the service boundary
 lint:
@@ -34,4 +41,11 @@ coverage:
 	    --floor 85 -- -q tests/test_federation.py \
 	    tests/test_differential.py tests/test_nal_properties.py
 
-check: lint docs-check coverage test
+## line-coverage floor for the storage subsystem (WAL, snapshots,
+## fault injection, attested storage managers)
+coverage-storage:
+	$(PYTHON) tools/check_coverage.py --target src/repro/storage \
+	    --floor 85 -- -q tests/test_storage_recovery.py \
+	    tests/test_storage.py
+
+check: lint docs-check coverage coverage-storage test

@@ -1,0 +1,237 @@
+"""Figure 12a (repro-original) — durable journal overhead and recovery.
+
+Three questions, each a row family in ``BENCH_storage.json``:
+
+* **Mutation-path overhead** — what does write-ahead journalling cost a
+  mutating syscall?  The same ``say`` workload runs against a bare
+  kernel, a kernel journalling to :class:`MemoryBackend`, and a kernel
+  journalling to :class:`FileBackend` (real ``write`` + ``fsync``).
+  The acceptance bar: the in-memory WAL keeps the mutation path within
+  **1.5×** of the storage-less kernel.
+* **Read-path neutrality** — ``authorize`` never journals (reads
+  mutate nothing), so a WAL-attached kernel must answer warm-cache
+  verdicts at the storage-less kernel's speed: within noise.
+* **Replay throughput** — how fast does ``NexusKernel.restore`` turn a
+  log back into a kernel (records/s)?
+* **Warm restart** — how much does a snapshot shorten recovery, and how
+  does cold replay scale with log length?
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+import reporting
+from repro.kernel.kernel import NexusKernel
+from repro.storage import FileBackend, MemoryBackend
+
+EXP = "fig12a-storage"
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+SAY_OPS = 20 if SMOKE else 150
+SAY_TRIALS = 2 if SMOKE else 8
+REPLAY_PROCS = 20 if SMOKE else 250
+
+reporting.experiment(
+    EXP, "Durable journal: WAL overhead and recovery (fig 12a analog)",
+    "repro-original experiment; acceptance bar: in-memory WAL keeps "
+    "the mutation path <= 1.5x a storage-less kernel")
+
+_RESULTS = {}
+
+
+class _SayWorkload:
+    """Mean µs per ``sys_say`` on one kernel — one journalled label per
+    call, measured as interleavable trials so ambient noise (GC, the
+    rest of the benchmark suite) hits every configuration alike and the
+    min-of-trials estimate discards it.
+
+    ``tag`` keeps each configuration's statement texts distinct: the
+    parser interns formulas by source text globally, so reusing texts
+    would hand every run after the first free parses and skew ratios.
+    """
+
+    def __init__(self, kernel, tag: str):
+        self.kernel = kernel
+        self.tag = tag
+        self.speaker = kernel.create_process("speaker")
+        self.counter = 0
+        # Warm the parse/intern machinery itself out of the window.
+        kernel.sys_say(self.speaker.pid, f"warm{tag}(up)")
+
+    def trial(self, ops: int) -> float:
+        base = self.counter
+        self.counter += ops
+        # timeit-style: collector paused inside the window, so cycles
+        # left behind by the rest of the suite don't bill their sweep
+        # to whichever configuration happens to trip the threshold.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for index in range(base, base + ops):
+                self.kernel.sys_say(self.speaker.pid,
+                                    f"stmt{self.tag}{index}(x)")
+            return (time.perf_counter() - start) * 1e6 / ops
+        finally:
+            if was_enabled:
+                gc.enable()
+
+
+def _populated_backend(processes: int, snapshot: bool = False):
+    """A durable image holding ``processes`` subjects + one label each."""
+    backend = MemoryBackend()
+    kernel = NexusKernel(key_seed=42)
+    kernel.attach_storage(backend)
+    for index in range(processes):
+        process = kernel.create_process(f"subj{index}")
+        kernel.sys_say(process.pid, f"alive{index}(x)")
+    if snapshot:
+        kernel.snapshot_now()
+    return MemoryBackend(log=backend.read_log(),
+                         snapshot=backend.read_snapshot())
+
+
+def test_mutation_path_overhead(tmp_path):
+    bare_kernel = NexusKernel(key_seed=1)
+    memory_kernel = NexusKernel(key_seed=1)
+    memory_kernel.attach_storage(MemoryBackend())
+    file_backend = FileBackend(tmp_path / "bench")
+    file_kernel = NexusKernel(key_seed=1)
+    file_kernel.attach_storage(file_backend)
+
+    workloads = {"bare": _SayWorkload(bare_kernel, "bare"),
+                 "wal-memory": _SayWorkload(memory_kernel, "mem"),
+                 "wal-file": _SayWorkload(file_kernel, "file")}
+    timings = {label: [] for label in workloads}
+    for _trial in range(SAY_TRIALS):
+        for label, workload in workloads.items():
+            timings[label].append(workload.trial(SAY_OPS))
+    file_backend.close()
+
+    bare = min(timings["bare"])
+    wal_memory = min(timings["wal-memory"])
+    wal_file = min(timings["wal-file"])
+    _RESULTS["bare"], _RESULTS["wal-memory"] = bare, wal_memory
+    # Adjacent trials in a round share whatever the host is doing, so
+    # the per-round ratio cancels common-mode slowdown; the best round
+    # is the noise-free estimate of the WAL's real overhead.
+    _RESULTS["paired"] = min(m / b for b, m in
+                             zip(timings["bare"], timings["wal-memory"]))
+    reporting.record(EXP, "say, no storage", bare, "us/op",
+                     note=f"best of {SAY_TRIALS} trials")
+    reporting.record(EXP, "say, WAL (memory)", wal_memory, "us/op",
+                     note=f"{wal_memory / bare:.2f}x bare")
+    reporting.record(EXP, "say, WAL (file+fsync)", wal_file, "us/op",
+                     note=f"{wal_file / bare:.2f}x bare")
+
+
+def test_authorize_read_path():
+    """Warm-cache ``authorize`` with and without a WAL attached.
+
+    The read path never touches the journal, so attaching storage must
+    not tax it — the acceptance bar holds this within noise while the
+    mutation path pays the (bounded) WAL cost.
+    """
+    def reader(kernel):
+        owner = kernel.create_process("owner")
+        client = kernel.create_process("client")
+        resource = kernel.resources.create("/fig12a/obj", "file",
+                                           owner.principal)
+        rid = resource.resource_id
+        kernel.sys_setgoal(owner.pid, rid, "read", "true")
+        assert kernel.authorize(client.pid, "read", rid).allow  # warm
+        return lambda: kernel.authorize(client.pid, "read", rid)
+
+    bare_kernel = NexusKernel(key_seed=1)
+    wal_kernel = NexusKernel(key_seed=1)
+    wal_kernel.attach_storage(MemoryBackend())
+    readers = {"bare": reader(bare_kernel), "wal": reader(wal_kernel)}
+
+    def trial(run) -> float:
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for _ in range(SAY_OPS):
+                run()
+            return (time.perf_counter() - start) * 1e6 / SAY_OPS
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    timings = {label: [] for label in readers}
+    for _trial in range(SAY_TRIALS):
+        for label, run in readers.items():
+            timings[label].append(trial(run))
+    bare = min(timings["bare"])
+    wal = min(timings["wal"])
+    _RESULTS["auth-bare"], _RESULTS["auth-wal"] = bare, wal
+    reporting.record(EXP, "authorize (read), no storage", bare, "us/op",
+                     note=f"best of {SAY_TRIALS} trials, warm cache")
+    reporting.record(EXP, "authorize (read), WAL (memory)", wal, "us/op",
+                     note=f"{wal / bare:.2f}x bare — reads never journal")
+
+
+def test_replay_throughput():
+    image = _populated_backend(REPLAY_PROCS)
+    start = time.perf_counter()
+    restored = NexusKernel.restore(image, key_seed=42)
+    wall = time.perf_counter() - start
+    records = restored.storage_stats()["restored_records"]
+    assert records > 0
+    reporting.record(EXP, "cold replay", records / wall, "records/s",
+                     note=f"{records} records in {wall * 1e3:.1f} ms")
+
+
+def test_warm_restart_vs_log_length():
+    # Restore = boot a kernel (key derivation dominates) + recover
+    # state; subtract the boot floor so the speedup row compares what
+    # snapshots actually change — the recovery work.
+    start = time.perf_counter()
+    NexusKernel(key_seed=42)
+    boot = (time.perf_counter() - start) * 1e3
+    reporting.record(EXP, "kernel boot (no storage)", boot, "ms")
+    timings = {}
+    for label, processes, snapshot in (
+            ("cold 1x log", REPLAY_PROCS, False),
+            ("cold 4x log", REPLAY_PROCS * 4, False),
+            ("warm (snapshot)", REPLAY_PROCS * 4, True)):
+        image = _populated_backend(processes, snapshot=snapshot)
+        start = time.perf_counter()
+        restored = NexusKernel.restore(image, key_seed=42)
+        timings[label] = (time.perf_counter() - start) * 1e3
+        assert len(restored.processes._processes) >= processes
+        reporting.record(EXP, f"restore, {label}", timings[label], "ms")
+    recover_cold = max(timings["cold 4x log"] - boot, 1e-3)
+    recover_warm = max(timings["warm (snapshot)"] - boot, 1e-3)
+    reporting.record(EXP, "snapshot speedup at 4x log (ex-boot)",
+                     recover_cold / recover_warm, "x",
+                     note="warm restart loads state instead of "
+                          "replaying the log")
+
+
+def test_storage_acceptance_bar():
+    ratio = _RESULTS["paired"]
+    read_ratio = _RESULTS["auth-wal"] / _RESULTS["auth-bare"]
+    reporting.record(EXP, "WAL(memory) / bare mutation path", ratio,
+                     "x", note="acceptance bar: <= 1.5x "
+                               "(best noise-paired round)")
+    reporting.record(EXP, "WAL(memory) / bare read path", read_ratio,
+                     "x", note="acceptance bar: within noise (<= 1.15x)")
+    if SMOKE:
+        pytest.skip("smoke mode: ratios recorded, bars not gated")
+    assert ratio <= 1.5, (
+        f"in-memory WAL costs {ratio:.2f}x the bare mutation path")
+    assert read_ratio <= 1.15, (
+        f"read path slowed {read_ratio:.2f}x with a WAL attached — "
+        f"authorize must not touch the journal")
+
+
+def test_emit_bench_artifact():
+    from pathlib import Path
+    path = reporting.emit_json(
+        EXP, Path(__file__).resolve().parent.parent /
+        "BENCH_storage.json")
+    assert path.exists()

@@ -228,6 +228,13 @@ class NexusClient:
         """Discover the API surface: version + mounted endpoint kinds."""
         return self.call(msg.IndexRequest(), msg.IndexResponse)
 
+    def storage_stats(self) -> msg.StorageStatsResponse:
+        """The kernel's durable-journal statistics (WAL position,
+        snapshot sequence, sync counts), or ``attached=False`` when the
+        kernel runs without storage."""
+        return self.call(msg.StorageStatsRequest(),
+                         msg.StorageStatsResponse)
+
 
 class ClientSession:
     """A principal-bound handle: every call speaks as this session.

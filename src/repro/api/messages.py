@@ -898,6 +898,20 @@ class InfoRequest(ApiRequest):
         return cls()
 
 
+@dataclass
+class StorageStatsRequest(ApiRequest):
+    """Fetch the kernel's durable-journal statistics (WAL + snapshots)."""
+
+    KIND = "storage_stats"
+
+    def payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls()
+
+
 # --------------------------------------------------------------------------
 # responses
 # --------------------------------------------------------------------------
@@ -1231,6 +1245,30 @@ class InfoResponse(ApiResponse):
 
 
 @dataclass
+class StorageStatsResponse(ApiResponse):
+    """The kernel's journal statistics, or ``attached: False``.
+
+    Mirrors :meth:`repro.kernel.kernel.NexusKernel.storage_stats` —
+    backend kind, sequence/snapshot positions, append and sync counts,
+    and whether this kernel booted from a restore.
+    """
+
+    attached: bool
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    KIND = "storage_stats_result"
+
+    def payload(self):
+        return {"attached": self.attached, "stats": dict(self.stats)}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(attached=_get(payload, "attached", (bool,)),
+                   stats=_get(payload, "stats", (dict,),
+                              required=False, default={}))
+
+
+@dataclass
 class IndexResponse(ApiResponse):
     """The discovery document: API version and mounted request kinds."""
 
@@ -1514,7 +1552,7 @@ REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
         PolicyRollbackRequest, PolicyGetRequest, PolicyVersionsRequest,
         ExplainRequest, PeerAddRequest, PeerListRequest,
         FederationExportRequest, FederationAdmitRequest, IndexRequest,
-        SessionStatsRequest, InfoRequest)}
+        SessionStatsRequest, InfoRequest, StorageStatsRequest)}
 
 RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
     cls.KIND: cls for cls in (
@@ -1525,7 +1563,7 @@ RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
         IndexResponse, PolicyVersionResponse, PolicyPlanResponse,
         PolicyApplyResponse, PolicyDocResponse, PolicyVersionsResponse,
         ExplainResponse, PeerResponse, PeerListResponse, BundleResponse,
-        AdmissionResponse)}
+        AdmissionResponse, StorageStatsResponse)}
 
 
 def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]

@@ -131,6 +131,7 @@ class NexusService:
             msg.IndexRequest.KIND: self._index,
             msg.SessionStatsRequest.KIND: self._session_stats,
             msg.InfoRequest.KIND: self._info,
+            msg.StorageStatsRequest.KIND: self._storage_stats,
         }
 
     # ------------------------------------------------------------------
@@ -605,6 +606,12 @@ class NexusService:
                                 sessions=len(self._sessions),
                                 cache=self._cache_snapshot(),
                                 platform=self.kernel.platform_identity())
+
+    def _storage_stats(self, _session, _request: msg.StorageStatsRequest
+                       ) -> msg.StorageStatsResponse:
+        stats = self.kernel.storage_stats()
+        return msg.StorageStatsResponse(
+            attached=bool(stats.get("attached")), stats=stats)
 
 
 def _verdict(decision: GuardDecision) -> msg.Verdict:

@@ -25,10 +25,19 @@ from repro.kernel.process import Process
 from repro.nal.formula import Formula, Says
 from repro.nal.parser import parse
 from repro.nal.policy import revocable, validity_claim
+from repro.storage.persist import decode_node, encode_node
 
 
 class RevocationService:
-    """Third-party revocation for labels, with no kernel support needed."""
+    """Third-party revocation for labels, with no kernel support needed.
+
+    Durable: every issue/revoke/reinstate is journalled through the
+    kernel (when storage is attached), and constructing the service on a
+    restored kernel rehydrates the authority's validity set from the
+    replayed event history — the issued *labels* replay on their own as
+    labelstore records; only the authority's in-memory assertions need
+    rebuilding here.
+    """
 
     def __init__(self, kernel: NexusKernel, port: str = "revocation"):
         self.kernel = kernel
@@ -37,6 +46,26 @@ class RevocationService:
         kernel.register_authority(port, self.authority)
         #: (issuer path, statement) → the validity claim currently held.
         self._issued: Dict[Tuple[str, Formula], Says] = {}
+        for event in kernel.revocation_events(port):
+            self._rehydrate(event)
+
+    def _rehydrate(self, event: Dict[str, object]) -> None:
+        """Apply one replayed event to the authority — assertions only,
+        never re-issuing labels or re-bumping epochs (those replayed as
+        their own records)."""
+        statement = decode_node(event["statement"])
+        issuer_path = event["issuer_path"]
+        key = (issuer_path, statement)
+        action = event["action"]
+        if action == "issue":
+            claim = validity_claim(decode_node(event["principal"]),
+                                   statement)
+            self.authority.assert_statement(claim)
+            self._issued[key] = claim
+        elif action == "revoke" and key in self._issued:
+            self.authority.retract_statement(self._issued[key])
+        elif action == "reinstate" and key in self._issued:
+            self.authority.assert_statement(self._issued[key])
 
     # -- issuing ------------------------------------------------------------
 
@@ -53,6 +82,10 @@ class RevocationService:
         conditional = revocable(issuer.principal, statement)
         label = self.kernel.sys_say(issuer.pid, conditional.body)
         claim = validity_claim(issuer.principal, statement)
+        self.kernel.note_revocation_event(self.port, {
+            "action": "issue", "issuer_path": issuer.path,
+            "principal": encode_node(issuer.principal),
+            "statement": encode_node(statement)})
         self.authority.assert_statement(claim)
         self._issued[(issuer.path, statement)] = claim
         wallet = CredentialSet([label])
@@ -74,16 +107,22 @@ class RevocationService:
         next request for each re-derives against post-revocation state.
         """
         claim = self._lookup(issuer, statement)
+        self.kernel.note_revocation_event(self.port, {
+            "action": "revoke", "issuer_path": issuer.path,
+            "statement": encode_node(parse(statement))})
         self.authority.retract_statement(claim)
-        self.kernel.decision_cache.bump_policy_epoch()
+        self.kernel.bump_policy_epoch()
 
     def reinstate(self, issuer: Process,
                   statement: Union[str, Formula]) -> None:
         """Re-assert validity; cached denials are retired the same way
         revocation retires cached allows."""
         claim = self._lookup(issuer, statement)
+        self.kernel.note_revocation_event(self.port, {
+            "action": "reinstate", "issuer_path": issuer.path,
+            "statement": encode_node(parse(statement))})
         self.authority.assert_statement(claim)
-        self.kernel.decision_cache.bump_policy_epoch()
+        self.kernel.bump_policy_epoch()
 
     # -- peer keys -------------------------------------------------------------
 
@@ -112,7 +151,7 @@ class RevocationService:
             raise UntrustedPeer(
                 f"no peer {peer_id[:16]}… to reinstate")
         self.kernel.peers.add(name, peer.root_key, platform=peer.platform)
-        self.kernel.decision_cache.bump_policy_epoch()
+        self.kernel.bump_policy_epoch()
 
     def is_valid(self, issuer: Process,
                  statement: Union[str, Formula]) -> bool:

@@ -104,6 +104,14 @@ class ReplayError(IntegrityError):
     code = "E_REPLAY"
 
 
+class BadRecord(StorageError):
+    """A WAL record or snapshot failed validation: bad magic, checksum
+    mismatch, broken hash chain, or undecodable body — tampering, never
+    silently skipped."""
+
+    code = "E_BAD_RECORD"
+
+
 class CrashError(StorageError):
     """Raised by the fault-injecting block device to simulate power loss."""
 

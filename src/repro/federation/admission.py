@@ -195,6 +195,20 @@ class AdmissionControl:
             principal=process.principal, pid=process.pid,
             labels=len(bundle.chains),
             policy_epoch=kernel.decision_cache.policy_epoch)
+        persistence = getattr(kernel, "_persistence", None)
+        if persistence is not None:
+            # The sponsored process and labels journalled their own
+            # records above; this record rebuilds only the digest-cache
+            # entry (and the peer's admitted count) on replay — no
+            # re-verification, the hash chain vouches for the bundle.
+            persistence.record("admission", {
+                "digest": admission.digest, "peer_id": admission.peer_id,
+                "peer_name": admission.peer_name,
+                "subject": admission.subject,
+                "remote_principal": admission.remote_principal,
+                "pid": admission.pid, "labels": admission.labels,
+                "policy_epoch": admission.policy_epoch,
+                "bundle": bundle.to_dict()})
         self._entries[admission.digest] = _Entry(admission, bundle)
         return admission
 
@@ -206,22 +220,32 @@ class AdmissionControl:
         """Remove an admission and everything it sponsored: the local
         process, and every label in its store (so ``labels.holds`` can
         never again vouch for a credential the peer no longer backs)."""
+        from contextlib import nullcontext
         admission = entry.admission
-        self._entries.pop(admission.digest, None)
         kernel = self.kernel
-        try:
-            store = kernel.default_labelstore(admission.pid)
-        except Exception:
-            store = None
-        if store is not None:
-            for label in list(store):
-                store.delete(label.handle)
-        if admission.pid in kernel.processes:
-            kernel.exit_process(admission.pid)
-        peer = kernel.peers.get(admission.peer_id)
-        if peer is not None and peer.admitted > 0:
-            peer.admitted -= 1
-        self.dropped += 1
+        persistence = getattr(kernel, "_persistence", None)
+        if persistence is not None:
+            persistence.record("admission_drop",
+                               {"digest": admission.digest})
+        # Composite: the teardown below (labels, process exit, resources)
+        # replays deterministically from the one record, so the nested
+        # mutations must not journal themselves.
+        with (persistence.suppressed() if persistence is not None
+              else nullcontext()):
+            self._entries.pop(admission.digest, None)
+            try:
+                store = kernel.default_labelstore(admission.pid)
+            except Exception:
+                store = None
+            if store is not None:
+                for label in list(store):
+                    store.delete(label.handle)
+            if admission.pid in kernel.processes:
+                kernel.exit_process(admission.pid)
+            peer = kernel.peers.get(admission.peer_id)
+            if peer is not None and peer.admitted > 0:
+                peer.admitted -= 1
+            self.dropped += 1
 
     def drop_peer(self, peer_id: str) -> int:
         """Eagerly drop every admission sponsored by one peer; returns

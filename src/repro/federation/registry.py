@@ -64,6 +64,9 @@ class PeerRegistry:
     def __init__(self):
         self._peers: Dict[str, Peer] = {}
         self._by_name: Dict[str, str] = {}
+        #: Persistence hook: ``observer("add", peer)`` fires before a
+        #: registration (or re-trust) commits.
+        self.observer = None
 
     def add(self, name: str, root_key: RSAPublicKey,
             platform: str = "", added_at: int = 0) -> Peer:
@@ -80,6 +83,8 @@ class PeerRegistry:
                 raise FederationError(
                     f"peer key {peer_id[:16]} already registered as "
                     f"{existing.name!r}")
+            if self.observer is not None:
+                self.observer("add", existing)
             existing.trusted = True
             return existing
         if name in self._by_name:
@@ -87,6 +92,8 @@ class PeerRegistry:
                                   f"{self._by_name[name][:16]}")
         peer = Peer(peer_id=peer_id, name=name, root_key=root_key,
                     platform=platform, added_at=added_at)
+        if self.observer is not None:
+            self.observer("add", peer)
         self._peers[peer_id] = peer
         self._by_name[name] = peer_id
         return peer

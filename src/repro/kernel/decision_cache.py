@@ -214,6 +214,17 @@ class DecisionCache:
             self._goal_epochs[pair] = self._goal_epochs.get(pair, 0) + 1
         self._count("subregion_invalidations")
 
+    def restore_policy_epoch(self, epoch: int) -> None:
+        """Position the policy epoch after a snapshot restore.
+
+        Not an invalidation: the cache is empty at restore time (it is
+        deliberately ephemeral), so this only realigns the counter that
+        admission receipts and future bumps are compared against.
+        Never moves the epoch backwards.
+        """
+        with self._meta_lock:
+            self._policy_epoch = max(self._policy_epoch, epoch)
+
     def bump_policy_epoch(self) -> int:
         """Policy change (e.g. revocation): retire *all* cached verdicts.
 
@@ -301,13 +312,20 @@ class DecisionCache:
         This is what the service's ``info`` and ``session_stats``
         endpoints publish: the :meth:`CacheStats.report` counters
         extended with the *current* policy epoch, the number of live
-        goal-epoch counters, and the shard count — enough to reason
-        about invalidation behaviour from outside the kernel.
+        goal-epoch counters, the shard count, the live entry total, and
+        per-shard occupancy — enough to reason about invalidation
+        behaviour from outside the kernel, and for recovery tests to
+        assert a restored kernel's lazy rebuild starts cold
+        (``entries == 0``, every shard empty).
         """
         snapshot: Dict[str, float] = dict(self.stats.report())
         snapshot["policy_epoch"] = self._policy_epoch
         snapshot["goal_epochs_tracked"] = len(self._goal_epochs)
         snapshot["shards"] = len(self._shards)
+        sizes = self.shard_sizes()
+        snapshot["entries"] = sum(sizes)
+        snapshot["occupied_shards"] = sum(1 for size in sizes if size)
+        snapshot["max_shard_entries"] = max(sizes) if sizes else 0
         return snapshot
 
     def shard_sizes(self) -> List[int]:

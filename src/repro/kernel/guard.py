@@ -148,6 +148,10 @@ class GoalStore:
     def get(self, resource_id: int, operation: str) -> Optional[GoalEntry]:
         return self._goals.get((resource_id, operation))
 
+    def items(self):
+        """Every ``((resource_id, operation), entry)`` pair (a copy)."""
+        return list(self._goals.items())
+
     def __len__(self):
         return len(self._goals)
 

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import nullcontext
 from typing import (Any, Callable, Dict, Hashable, List, Optional, Sequence,
                     Tuple, Union)
 
 from repro.crypto.certs import Certificate, CertificateChain
 from repro.errors import (AccessDenied, InterpositionError, KernelError,
-                          UnknownSyscall)
+                          StorageError, UnknownSyscall)
 from repro.nal.formula import Formula, Says
 from repro.nal.parser import parse, parse_principal
 from repro.nal.proof import ProofBundle
@@ -44,6 +45,7 @@ from repro.kernel.resources import Resource, ResourceTable
 from repro.kernel.scheduler import ProportionalShareScheduler
 from repro.kernel.sync import RWLock
 from repro.storage.blockdev import Disk
+from repro.storage.persist import encode_formula
 from repro.storage.vdir import VDIRRegistry
 from repro.storage.vkey import VKeyManager
 from repro.tpm.boot import BootContext, Machine, SoftwareStack, boot_nexus
@@ -126,6 +128,12 @@ class NexusKernel:
         self._last_bundle: Dict[Tuple[int, str, int],
                                 Optional[ProofBundle]] = {}
         self._guarded_proc_prefixes: Dict[str, int] = {}
+        # Durable persistence (attached via attach_storage / restore):
+        # None means the kernel is purely in-memory.  Revocation-service
+        # events are stashed per authority port so a restored kernel can
+        # rehydrate a re-registered service's authority state.
+        self._persistence = None
+        self._revocation_events: Dict[str, List[Dict[str, Any]]] = {}
         self._clock_value = itertools.count(1)
         self._clock = clock if clock is not None else self._virtual_clock
         self.syscall_count = 0
@@ -149,6 +157,131 @@ class NexusKernel:
         return self._clock()
 
     # ------------------------------------------------------------------
+    # durable persistence (WAL + snapshots)
+    # ------------------------------------------------------------------
+
+    def attach_storage(self, backend, *, sync_every: int = 1,
+                       snapshot_every: Optional[int] = None,
+                       migrations=None) -> None:
+        """Make this (warm) kernel durable over an *empty* backend.
+
+        From here on every durable mutation appends a WAL record before
+        it lands in memory, and the log compacts into a snapshot every
+        ``snapshot_every`` records.  A backend that already holds state
+        is refused — that state belongs to some kernel's history, and
+        silently appending to it would interleave two incarnations; use
+        :meth:`restore` instead.
+        """
+        from repro.storage.persist import KernelPersistence
+        from repro.storage.wal import Journal
+        if self._persistence is not None:
+            raise StorageError("kernel already has storage attached")
+        if not backend.is_empty():
+            raise StorageError(
+                "backend holds existing state; use NexusKernel.restore "
+                "to replay it instead of attaching over it")
+        journal = Journal(backend, sync_every=sync_every,
+                          snapshot_every=snapshot_every,
+                          migrations=migrations)
+        persistence = KernelPersistence(self)
+        persistence.attach(journal)
+        self._persistence = persistence
+        # Baseline: the current in-memory state becomes snapshot zero,
+        # so restore never needs the pre-attach construction sequence.
+        self.snapshot_now()
+
+    @classmethod
+    def restore(cls, backend, *, sync_every: int = 1,
+                snapshot_every: Optional[int] = None, migrations=None,
+                **kernel_kwargs) -> "NexusKernel":
+        """Boot a kernel from a backend's snapshot + log.
+
+        Replays the snapshot, then every live record in order, into a
+        fresh kernel — goal and policy state, version history, label
+        stores, processes, peers and admissions all intact; sessions,
+        ports and the decision cache are deliberately ephemeral (the
+        cache rebuilds lazily).  The journal then continues appending
+        where the log ended.  ``kernel_kwargs`` must match the original
+        construction (same ``key_seed`` etc.) for attested identities to
+        line up.
+        """
+        from repro.storage.persist import KernelPersistence
+        from repro.storage.wal import Journal
+        kernel = cls(**kernel_kwargs)
+        journal = Journal(backend, sync_every=sync_every,
+                          snapshot_every=snapshot_every,
+                          migrations=migrations)
+        state, records = journal.load()
+        persistence = KernelPersistence(kernel)
+        if state is not None:
+            persistence.load_state(state)
+        for record in records:
+            persistence.apply_record(record)
+        persistence.attach(journal)
+        kernel._persistence = persistence
+        return kernel
+
+    def snapshot_now(self) -> int:
+        """Snapshot the full durable state and compact the log; returns
+        the sequence number the snapshot covers."""
+        persistence = self._persistence
+        if persistence is None or persistence.journal is None:
+            raise StorageError("no storage attached")
+        # Lock order as everywhere: admission lock outside kernel lock.
+        with self.federation.lock:
+            with self._state_lock.write_locked():
+                persistence.journal.write_snapshot(
+                    persistence.serialize_state())
+                return persistence.journal.last_snapshot_seq
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """The storage introspection surface: journal counters plus the
+        restore provenance (``attached: False`` when purely in-memory)."""
+        persistence = self._persistence
+        if persistence is None or persistence.journal is None:
+            return {"attached": False}
+        stats = dict(persistence.journal.stats())
+        stats["attached"] = True
+        stats["restored_from_snapshot"] = persistence.restored_from_snapshot
+        stats["restored_records"] = persistence.restored_records
+        return stats
+
+    def _maybe_compact(self) -> None:
+        """Snapshot when the cadence says so — called by mutators *after*
+        releasing their locks, never mid-composite (a snapshot taken
+        while a composite record is suppressing its nested records would
+        compact away the composite and lose the suppressed tail)."""
+        persistence = self._persistence
+        if (persistence is None or persistence.journal is None
+                or persistence._suppress
+                or not persistence.journal.due_for_snapshot()):
+            return
+        self.snapshot_now()
+
+    def bump_policy_epoch(self) -> int:
+        """Durable :meth:`DecisionCache.bump_policy_epoch`: services that
+        retire cached verdicts (revocation) route through here so the
+        bump replays."""
+        persistence = self._persistence
+        if persistence is not None:
+            persistence.record("epoch_bump", {})
+        return self.decision_cache.bump_policy_epoch()
+
+    def note_revocation_event(self, port: str,
+                              event: Dict[str, Any]) -> None:
+        """Journal + stash one revocation-service event (issue / revoke /
+        reinstate) so a restored kernel can rehydrate the service's
+        authority state when it re-registers on ``port``."""
+        persistence = self._persistence
+        if persistence is not None:
+            persistence.record("revocation", {"port": port, **event})
+        self._revocation_events.setdefault(port, []).append(dict(event))
+
+    def revocation_events(self, port: str) -> List[Dict[str, Any]]:
+        """The stashed revocation history for one authority port."""
+        return list(self._revocation_events.get(port, []))
+
+    # ------------------------------------------------------------------
     # processes
     # ------------------------------------------------------------------
 
@@ -156,6 +289,11 @@ class NexusKernel:
                        parent_pid: Optional[int] = None) -> Process:
         with self._state_lock.write_locked():
             process = self.processes.create(name, image, parent_pid)
+            if self._persistence is not None:
+                self._persistence.record("process", {
+                    "pid": process.pid, "name": process.name,
+                    "image_hash": process.image_hash.hex(),
+                    "parent_pid": parent_pid})
             store = self.labels.create_store(process.pid)
             self._default_store[process.pid] = store
             owner = (self.processes.get(parent_pid).principal
@@ -165,13 +303,16 @@ class NexusKernel:
             self.introspection.publish(f"{process.path}/name", process.name)
             self.introspection.publish(f"{process.path}/hash",
                                        process.image_hash.hex())
-            return process
+        self._maybe_compact()
+        return process
 
     def exit_process(self, pid: int) -> None:
         """Tear down an IPD: ports close, its resources are released, and
         its introspection nodes disappear from the live view."""
         with self._state_lock.write_locked():
             process = self.processes.get(pid)
+            if self._persistence is not None:
+                self._persistence.record("process_exit", {"pid": pid})
             self.processes.exit(pid)
             for port in self.ports.ports_owned_by(pid):
                 port_resource = self.resources.find(f"/ipc/{port.port_id}")
@@ -183,6 +324,7 @@ class NexusKernel:
                 self.resources.destroy(process_resource.resource_id)
             self.introspection.unpublish(f"{process.path}/name")
             self.introspection.unpublish(f"{process.path}/hash")
+        self._maybe_compact()
 
     def default_labelstore(self, pid: int) -> LabelStore:
         store = self._default_store.get(pid)
@@ -205,7 +347,9 @@ class NexusKernel:
         process = self.processes.get(pid)
         store = (self.labels.get_store(store_id) if store_id is not None
                  else self.default_labelstore(pid))
-        return store.insert(process.principal, parse(statement))
+        label = store.insert(process.principal, parse(statement))
+        self._maybe_compact()
+        return label
 
     def say_as(self, speaker: Union[str, Principal],
                statement: Union[str, Formula],
@@ -251,7 +395,8 @@ class NexusKernel:
             self.say_as(KERNEL_PRINCIPAL,
                         self.ports.binding_label(port.port_id).body,
                         store=self.default_labelstore(pid))
-            return port
+        self._maybe_compact()
+        return port
 
     def ipc_call(self, caller_pid: int, port_id: int, *args) -> Any:
         """Invoke the handler bound to a port, through the redirector."""
@@ -329,9 +474,16 @@ class NexusKernel:
                                    subject=pid, operation="setgoal",
                                    resource=resource_id,
                                    reason=decision.reason)
+            formula = parse(goal)
+            if self._persistence is not None:
+                self._persistence.record("goal_set", {
+                    "resource_id": resource_id, "operation": operation,
+                    "goal": encode_formula(formula),
+                    "guard_port": guard_port})
             self.default_guard.goals.set_goal(resource_id, operation,
-                                              parse(goal), guard_port)
+                                              formula, guard_port)
             self.decision_cache.invalidate_goal(operation, resource_id)
+        self._maybe_compact()
 
     def sys_cleargoal(self, pid: int, resource_id: int,
                       operation: str,
@@ -343,8 +495,12 @@ class NexusKernel:
                 raise AccessDenied(f"cleargoal on {resource.name} denied",
                                    subject=pid, operation="setgoal",
                                    resource=resource_id)
+            if self._persistence is not None:
+                self._persistence.record("goal_clear", {
+                    "resource_id": resource_id, "operation": operation})
             self.default_guard.goals.clear_goal(resource_id, operation)
             self.decision_cache.invalidate_goal(operation, resource_id)
+        self._maybe_compact()
 
     def apply_policy(self, pid: int,
                      changes: Sequence[Tuple],
@@ -379,7 +535,9 @@ class NexusKernel:
         ``epoch_bumps``, ``resources_authorized``.
         """
         with self._state_lock.write_locked():
-            return self._apply_policy_locked(pid, changes, bundle)
+            result = self._apply_policy_locked(pid, changes, bundle)
+        self._maybe_compact()
+        return result
 
     def _apply_policy_locked(self, pid: int, changes: Sequence[Tuple],
                              bundle: Optional[ProofBundle]
@@ -423,6 +581,14 @@ class NexusKernel:
                     f"{decision.reason}", subject=pid, operation="setgoal",
                     resource=resource_id, reason=decision.reason)
 
+        if self._persistence is not None:
+            # One composite record for the whole batch: replay installs
+            # the already-authorized changes directly.
+            self._persistence.record("policy_apply", {"changes": [
+                [resource_id, operation,
+                 None if formula is None else encode_formula(formula),
+                 guard_port]
+                for resource_id, operation, formula, guard_port in parsed]})
         goals_set = goals_cleared = 0
         affected: Dict[Tuple[str, int], None] = {}
         for resource_id, operation, formula, guard_port in parsed:
@@ -659,8 +825,10 @@ class NexusKernel:
         from repro.crypto.rsa import RSAPublicKey
         if isinstance(root_key, dict):
             root_key = RSAPublicKey.from_dict(root_key)
-        return self.peers.add(name, root_key, platform=platform,
+        peer = self.peers.add(name, root_key, platform=platform,
                               added_at=self.now())
+        self._maybe_compact()
+        return peer
 
     def export_credentials(self, pid: int):
         """Export a process's credential set as one signed bundle
@@ -710,10 +878,19 @@ class NexusKernel:
         # state lock (admit takes it before create_process).
         with self.federation.lock:
             with self._state_lock.write_locked():
-                self.peers.revoke(peer_id)
-                dropped = self.federation.drop_peer(peer_id)
-                self.decision_cache.bump_policy_epoch()
-                return dropped
+                persistence = self._persistence
+                if persistence is not None:
+                    persistence.record("peer_revoke", {"peer_id": peer_id})
+                # Composite: the nested drops (admissions, labels,
+                # processes) replay from this one record, so their own
+                # records are suppressed.
+                with (persistence.suppressed() if persistence is not None
+                      else nullcontext()):
+                    self.peers.revoke(peer_id)
+                    dropped = self.federation.drop_peer(peer_id)
+                    self.decision_cache.bump_policy_epoch()
+        self._maybe_compact()
+        return dropped
 
     # ------------------------------------------------------------------
     # interposition (§3.2)
@@ -897,6 +1074,10 @@ class NexusKernel:
                        for p in self.peers))
         fs.publish("/proc/kernel/admissions",
                    lambda: str(len(self.federation)))
+        fs.publish("/proc/kernel/storage",
+                   lambda: ",".join(
+                       f"{name}={value}" for name, value in
+                       sorted(self.storage_stats().items())))
         fs.publish("/proc/sched/clients",
                    lambda: ",".join(
                        f"{c.name}={c.tickets}"

@@ -56,6 +56,10 @@ class LabelStore:
         self._labels: Dict[int, Label] = {}
         self._next_handle = 1
         self._lock = lock if lock is not None else RWLock()
+        #: Persistence hook: called ``observer(event, store, payload)``
+        #: *before* the mutation commits — write-ahead, so a storage
+        #: failure aborts the mutation rather than losing its record.
+        self.observer = None
 
     def insert(self, speaker: Principal, statement) -> Label:
         """Store ``speaker says statement``; statement may be NAL text."""
@@ -63,6 +67,8 @@ class LabelStore:
         with self._lock.write_locked():
             label = Label(handle=self._next_handle, speaker=speaker,
                           statement=formula)
+            if self.observer is not None:
+                self.observer("insert", self, label)
             self._next_handle += 1
             self._labels[label.handle] = label
         return label
@@ -78,6 +84,8 @@ class LabelStore:
         with self._lock.write_locked():
             if handle not in self._labels:
                 raise NoSuchResource(f"no label with handle {handle}")
+            if self.observer is not None:
+                self.observer("delete", self, handle)
             del self._labels[handle]
 
     def transfer(self, handle: int, target: "LabelStore") -> Label:
@@ -92,10 +100,14 @@ class LabelStore:
             label = self._labels.get(handle)
             if label is None:
                 raise NoSuchResource(f"no label with handle {handle}")
+            if self.observer is not None:
+                self.observer("delete", self, handle)
             del self._labels[handle]
         with target._lock.write_locked():
             moved = Label(handle=target._next_handle, speaker=label.speaker,
                           statement=label.statement)
+            if target.observer is not None:
+                target.observer("insert", target, moved)
             target._next_handle += 1
             target._labels[moved.handle] = moved
         return moved
@@ -132,11 +144,23 @@ class LabelRegistry:
         self._stores: Dict[int, LabelStore] = {}
         self._next_store = 1
         self._lock = RWLock()
+        self._observer = None
+
+    def set_observer(self, observer) -> None:
+        """Install the persistence hook on the registry and every store
+        (current and future)."""
+        with self._lock.write_locked():
+            self._observer = observer
+            for store in self._stores.values():
+                store.observer = observer
 
     def create_store(self, owner_pid: int) -> LabelStore:
         with self._lock.write_locked():
             store = LabelStore(self._next_store, owner_pid,
                                lock=self._lock)
+            store.observer = self._observer
+            if self._observer is not None:
+                self._observer("store", store, None)
             self._next_store += 1
             self._stores[store.store_id] = store
         return store

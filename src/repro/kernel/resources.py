@@ -41,12 +41,17 @@ class ResourceTable:
         self._next_id = 1
         # Id allocation must be race-free under concurrent API sessions.
         self._lock = threading.Lock()
+        #: Persistence hook: ``observer(event, resource)`` fires before
+        #: the table commits, so the record precedes the mutation.
+        self.observer = None
 
     def create(self, name: str, kind: str, owner: Principal,
                payload: Any = None) -> Resource:
         with self._lock:
             resource = Resource(resource_id=self._next_id, name=name,
                                 kind=kind, owner=owner, payload=payload)
+            if self.observer is not None:
+                self.observer("create", resource)
             self._next_id += 1
             self._resources[resource.resource_id] = resource
             self._by_name[name] = resource.resource_id
@@ -76,6 +81,8 @@ class ResourceTable:
     def destroy(self, resource_id: int) -> None:
         resource = self.get(resource_id)
         with self._lock:
+            if self.observer is not None:
+                self.observer("destroy", resource)
             self._resources.pop(resource_id, None)
             self._by_name.pop(resource.name, None)
 

@@ -207,7 +207,16 @@ class SocketServer:
         return self.address
 
     def stop(self) -> None:
-        """Shut down: stop accepting, wake the pool, close connections."""
+        """Shut down: stop accepting, drain in-flight connections, close.
+
+        Draining, not dropping: live connections get a read-side
+        half-close (``SHUT_RD``), which leaves already-received bytes
+        readable and the write side open.  A worker mid-burst therefore
+        serves every pipelined frame it has buffered, sends every framed
+        response, and only then reads EOF and closes — a ``close()``
+        here instead used to abandon buffered frames and could tear a
+        response off the wire mid-send.
+        """
         self._stopping.set()
         if self._listener is not None:
             try:
@@ -215,21 +224,32 @@ class SocketServer:
             except OSError:
                 pass
             self._listener = None
+        if self._accept_thread is not None:
+            # No new connections may join the live set after this.
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        with self._live_lock:
+            draining = list(self._live_conns)
+        for conn in draining:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
         for _ in self._threads:
             self._conn_queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        # Whatever is still live was never picked up by a worker (or an
+        # ephemeral handler outlived the join window): close it cold.
         with self._live_lock:
-            doomed = list(self._live_conns)
-        for conn in doomed:
+            leftovers = list(self._live_conns)
+            self._live_conns.clear()
+        for conn in leftovers:
             try:
                 conn.close()
             except OSError:
                 pass
-        for thread in self._threads:
-            thread.join(timeout=2.0)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-        self._threads = []
-        self._accept_thread = None
 
     def __enter__(self) -> "SocketServer":
         self.start()
@@ -281,10 +301,16 @@ class SocketServer:
         ``one_shot`` is the thread-per-request model: exactly one
         request, then close — no keep-alive, the way a naive server
         treats every connection as disposable.
+
+        Shutdown is EOF-driven, not flag-driven: :meth:`stop` half-closes
+        the read side, so this loop keeps serving every complete frame
+        it can still read (pipelined bursts drain fully) and exits when
+        ``recv`` returns empty.  Gating the loop on the stop flag used
+        to abandon buffered frames whose requests had already arrived.
         """
         buffer = b""
         try:
-            while not self._stopping.is_set():
+            while True:
                 framed = split_frame(buffer)
                 while framed is None:
                     try:
@@ -292,7 +318,7 @@ class SocketServer:
                     except OSError:
                         return
                     if not chunk:
-                        return  # peer closed between requests
+                        return  # peer closed (or stop() half-closed us)
                     buffer += chunk
                     framed = split_frame(buffer)
                 message, buffer = framed

@@ -97,6 +97,8 @@ class PolicyEngine:
         draft.  Versions start at 1 and are append-only: history is the
         audit log, so nothing is ever overwritten or deleted.
         """
+        self._persist("policy_put", {"name": policy_set.name,
+                                     "document": policy_set.to_dict()})
         record = self._records.setdefault(policy_set.name, _PolicyRecord())
         record.versions.append(policy_set)
         return len(record.versions)
@@ -119,6 +121,23 @@ class PolicyEngine:
     def names(self) -> List[str]:
         """Every policy-set name the engine has seen."""
         return sorted(self._records)
+
+    def _persist(self, type: str, data: Dict[str, object]) -> None:
+        """Journal one engine-level event (no-op without storage)."""
+        persistence = getattr(self.kernel, "_persistence", None)
+        if persistence is not None:
+            persistence.record(type, data)
+
+    def _persist_state(self, name: str, record: _PolicyRecord) -> None:
+        """Journal the ownership state an apply/cover just produced.
+
+        The goal installs themselves replay from the kernel's own
+        ``policy_apply`` record; this one restores which version is
+        active and which pairs it owns."""
+        self._persist("policy_state", {
+            "name": name, "active_version": record.active_version,
+            "installed": sorted([rid, op]
+                                for rid, op in record.installed)})
 
     def _record(self, name: str) -> _PolicyRecord:
         record = self._records.get(name)
@@ -221,6 +240,7 @@ class PolicyEngine:
         record.installed = {
             (a.resource_id, a.operation) for a in actions
             if a.action in (SET, KEEP)}
+        self._persist_state(name, record)
         return PolicyApplyResult(
             name=name, version=resolved,
             set_count=sum(1 for a in changes if a.action == SET),
@@ -274,6 +294,7 @@ class PolicyEngine:
         record.installed |= {(a.resource_id, a.operation)
                              for a in actions
                              if a.action in (SET, KEEP)}
+        self._persist_state(name, record)
         return PolicyApplyResult(
             name=name, version=record.active_version,
             set_count=sum(1 for a in changes if a.action == SET),

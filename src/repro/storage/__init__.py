@@ -1,10 +1,16 @@
-"""Attested storage: Merkle trees, VDIRs, VKEYs, SSRs over a faulty disk."""
+"""Attested storage: Merkle trees, VDIRs, VKEYs, SSRs over a faulty disk,
+plus the durable kernel journal (WAL + snapshots + fault injection)."""
 
 from repro.storage.blockdev import Disk
 from repro.storage.merkle import MerkleTree
 from repro.storage.vdir import DIR_CUR, DIR_NEW, STATE_CURRENT, STATE_NEW, VDIRRegistry
 from repro.storage.vkey import VKey, VKeyManager
 from repro.storage.ssr import DEFAULT_BLOCK_SIZE, SecureStorageRegion
+from repro.storage.backend import FileBackend, MemoryBackend, StorageBackend
+from repro.storage.faults import FaultInjectingBackend
+from repro.storage.wal import (GENESIS_HEAD, MAX_RECORD_SIZE, SCHEMA_VERSION,
+                               Journal, Record, scan_log)
+from repro.storage.persist import KernelPersistence, decode_node, encode_node
 
 __all__ = [
     "Disk",
@@ -12,4 +18,9 @@ __all__ = [
     "DIR_CUR", "DIR_NEW", "STATE_CURRENT", "STATE_NEW", "VDIRRegistry",
     "VKey", "VKeyManager",
     "DEFAULT_BLOCK_SIZE", "SecureStorageRegion",
+    "StorageBackend", "MemoryBackend", "FileBackend",
+    "FaultInjectingBackend",
+    "Journal", "Record", "scan_log",
+    "GENESIS_HEAD", "MAX_RECORD_SIZE", "SCHEMA_VERSION",
+    "KernelPersistence", "encode_node", "decode_node",
 ]

@@ -1,0 +1,172 @@
+"""Pluggable byte-level backends for the durable kernel log (WAL).
+
+The :mod:`repro.storage.wal` journal is format-aware but medium-blind:
+it speaks to one of these backends, which expose exactly the operations
+a log-structured store needs — append to the log, force it durable,
+read it back, atomically publish a snapshot, and reset/truncate the log.
+
+Two implementations ship:
+
+* :class:`MemoryBackend` — bytearrays; the unit-test and twin-kernel
+  medium (and what a crash image restores from);
+* :class:`FileBackend` — a directory holding ``wal.log`` plus a
+  snapshot published by the classic tmp + fsync + rename dance, so a
+  torn snapshot write can never shadow the previous good one.
+
+The fault-injecting wrapper lives in :mod:`repro.storage.faults`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import StorageError
+
+LOG_NAME = "wal.log"
+SNAPSHOT_NAME = "snapshot.json"
+
+
+class StorageBackend:
+    """The medium interface the journal writes through.
+
+    Appends are buffered by the medium until :meth:`sync`; a backend
+    that is always durable (like :class:`MemoryBackend`) may make
+    ``sync`` a no-op.  ``kind`` names the medium in ``storage_stats``.
+    """
+
+    kind = "abstract"
+
+    def append(self, data: bytes) -> None:
+        """Append raw bytes to the end of the log."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force every appended byte durable (fsync or equivalent)."""
+        raise NotImplementedError
+
+    def read_log(self) -> bytes:
+        """The entire log, durable and buffered bytes alike."""
+        raise NotImplementedError
+
+    def truncate_log(self, length: int) -> None:
+        """Cut the log to ``length`` bytes (torn-tail repair)."""
+        raise NotImplementedError
+
+    def reset_log(self) -> None:
+        """Empty the log (after a snapshot made its records redundant)."""
+        self.truncate_log(0)
+
+    def write_snapshot(self, data: bytes) -> None:
+        """Atomically publish a snapshot, replacing any previous one."""
+        raise NotImplementedError
+
+    def read_snapshot(self) -> Optional[bytes]:
+        """The current snapshot, or None if none was ever published."""
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        """True when the medium holds neither log bytes nor a snapshot."""
+        return not self.read_log() and self.read_snapshot() is None
+
+
+class MemoryBackend(StorageBackend):
+    """An in-memory medium: always durable, trivially inspectable."""
+
+    kind = "memory"
+
+    def __init__(self, log: bytes = b"",
+                 snapshot: Optional[bytes] = None):
+        self._log = bytearray(log)
+        self._snapshot = snapshot
+        self.syncs = 0
+
+    def append(self, data: bytes) -> None:
+        self._log += data
+
+    def sync(self) -> None:
+        self.syncs += 1
+
+    def read_log(self) -> bytes:
+        return bytes(self._log)
+
+    def truncate_log(self, length: int) -> None:
+        del self._log[length:]
+
+    def write_snapshot(self, data: bytes) -> None:
+        self._snapshot = bytes(data)
+
+    def read_snapshot(self) -> Optional[bytes]:
+        return self._snapshot
+
+
+class FileBackend(StorageBackend):
+    """A directory-backed medium: ``wal.log`` + an atomic snapshot file.
+
+    The log file handle is kept open in append mode; ``sync`` flushes
+    and fsyncs it.  Snapshots are written to a temporary name, fsynced,
+    then renamed over the published name — the POSIX guarantee that a
+    reader sees either the old snapshot or the new one, never a torn
+    hybrid.
+    """
+
+    kind = "file"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._log_path = os.path.join(directory, LOG_NAME)
+        self._snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+        self._log = open(self._log_path, "ab")
+
+    def append(self, data: bytes) -> None:
+        if self._log.closed:
+            raise StorageError("backend is closed")
+        self._log.write(data)
+
+    def sync(self) -> None:
+        self._log.flush()
+        os.fsync(self._log.fileno())
+
+    def read_log(self) -> bytes:
+        self._log.flush()
+        with open(self._log_path, "rb") as handle:
+            return handle.read()
+
+    def truncate_log(self, length: int) -> None:
+        self._log.flush()
+        os.truncate(self._log_path, length)
+        # Reopen so the append position tracks the new end.
+        self._log.close()
+        self._log = open(self._log_path, "ab")
+
+    def write_snapshot(self, data: bytes) -> None:
+        tmp_path = self._snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._snapshot_path)
+        self._sync_directory()
+
+    def read_snapshot(self) -> Optional[bytes]:
+        try:
+            with open(self._snapshot_path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def _sync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if not self._log.closed:
+            self._log.flush()
+            self._log.close()

@@ -1,0 +1,143 @@
+"""Fault injection for the WAL: crashes, tamper, lost fsync, reorder.
+
+:class:`FaultInjectingBackend` wraps any real
+:class:`~repro.storage.backend.StorageBackend` (a
+:class:`~repro.storage.backend.FileBackend` in the recovery suite) and
+models the distance between *written* and *durable*:
+
+* appends land in a volatile buffer and reach the wrapped medium only
+  at :meth:`sync` — exactly the page-cache window a real crash erases;
+* ``drop_fsync`` turns ``sync`` into a lie: the journal believes its
+  records are safe, the crash image says otherwise;
+* :meth:`fail_append_after` kills the N-th append mid-record, leaving
+  a torn frame (the torn-tail repair path);
+* :meth:`flip_byte` / :meth:`corrupt_snapshot` are the offline
+  attacker: targeted bit flips in durable data (the ``E_BAD_RECORD``
+  path);
+* ``lose_next_snapshot`` reorders snapshot/log visibility: the log
+  reset becomes durable while the snapshot write is dropped — the
+  un-recoverable ordering the journal is careful never to create
+  itself (the ``E_STORAGE`` path).  The benign converse,
+  ``keep_stale_log``, makes the snapshot durable but loses the reset,
+  leaving duplicate records for replay to skip.
+
+:meth:`crash` returns a :class:`~repro.storage.backend.MemoryBackend`
+image of what actually survived — restore from it to simulate a
+reboot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CrashError
+from repro.storage.backend import MemoryBackend, StorageBackend
+
+
+class FaultInjectingBackend(StorageBackend):
+    """A durability-modelling, fault-injecting backend wrapper."""
+
+    kind = "fault-injecting"
+
+    def __init__(self, inner: Optional[StorageBackend] = None,
+                 drop_fsync: bool = False):
+        self.inner = inner if inner is not None else MemoryBackend()
+        self.drop_fsync = drop_fsync
+        self._volatile = bytearray()
+        self._appends = 0
+        self._fail_after: Optional[int] = None
+        self._fail_keep_bytes = 0
+        self.lose_next_snapshot = False
+        self.keep_stale_log = False
+        self.crashed = False
+
+    # -- fault scheduling ------------------------------------------------
+
+    def fail_append_after(self, appends: int, keep_bytes: int = 7) -> None:
+        """Crash on the (``appends`` + 1)-th append from now, leaving
+        only the first ``keep_bytes`` of that record (a torn frame)."""
+        self._fail_after = self._appends + appends
+        self._fail_keep_bytes = keep_bytes
+
+    def flip_byte(self, offset: int) -> None:
+        """Flip one byte of the *durable* log — the offline attacker."""
+        raw = bytearray(self.inner.read_log())
+        if not raw:
+            return
+        raw[offset % len(raw)] ^= 0xFF
+        self.inner.truncate_log(0)
+        self.inner.append(bytes(raw))
+        self.inner.sync()
+
+    def corrupt_snapshot(self, offset: int = 0) -> None:
+        """Flip one byte of the durable snapshot document."""
+        raw = self.inner.read_snapshot()
+        if raw is None:
+            return
+        mutated = bytearray(raw)
+        mutated[offset % len(mutated)] ^= 0xFF
+        self.inner.write_snapshot(bytes(mutated))
+
+    def crash(self) -> MemoryBackend:
+        """Power off: everything volatile is gone; what the wrapped
+        medium holds is what a reboot finds."""
+        self.crashed = True
+        return MemoryBackend(log=self.inner.read_log(),
+                             snapshot=self.inner.read_snapshot())
+
+    # -- the backend interface ------------------------------------------
+
+    def append(self, data: bytes) -> None:
+        if self.crashed:
+            raise CrashError("backend lost power")
+        if self._fail_after is not None and self._appends >= self._fail_after:
+            self._fail_after = None
+            torn = data[:max(1, min(self._fail_keep_bytes, len(data) - 1))]
+            self._volatile += torn
+            # The torn fragment was mid-flush when power died: push what
+            # made it to the platter so the crash image shows the tear.
+            self.inner.append(bytes(self._volatile))
+            self._volatile.clear()
+            self.crashed = True
+            raise CrashError("simulated power failure mid-append")
+        self._appends += 1
+        self._volatile += data
+
+    def sync(self) -> None:
+        if self.crashed:
+            raise CrashError("backend lost power")
+        if self.drop_fsync:
+            return  # the lie: report durable, write nothing
+        if self._volatile:
+            self.inner.append(bytes(self._volatile))
+            self._volatile.clear()
+        self.inner.sync()
+
+    def read_log(self) -> bytes:
+        return self.inner.read_log() + bytes(self._volatile)
+
+    def truncate_log(self, length: int) -> None:
+        durable = len(self.inner.read_log())
+        if length <= durable:
+            self._volatile.clear()
+            self.inner.truncate_log(length)
+        else:
+            del self._volatile[length - durable:]
+
+    def reset_log(self) -> None:
+        self._volatile.clear()
+        if self.keep_stale_log:
+            self.keep_stale_log = False
+            return  # the reset never hit the platter; stale records stay
+        self.inner.reset_log()
+
+    def write_snapshot(self, data: bytes) -> None:
+        if self.crashed:
+            raise CrashError("backend lost power")
+        if self.lose_next_snapshot:
+            self.lose_next_snapshot = False
+            return  # reordered visibility: the reset will land, this won't
+        self.inner.write_snapshot(data)
+
+    def read_snapshot(self) -> Optional[bytes]:
+        return self.inner.read_snapshot()

@@ -1,0 +1,638 @@
+"""Kernel persistence: the write-ahead discipline over one journal.
+
+:class:`KernelPersistence` binds one
+:class:`~repro.kernel.kernel.NexusKernel` to one
+:class:`~repro.storage.wal.Journal`.  Three jobs:
+
+* **record** — every durable mutation appends a typed record *before*
+  the in-memory state changes: goal set/clear, policy put/apply,
+  process lifecycle, labelstore mutations, peer add/revoke, admissions,
+  revocation events.  Observers installed on the labelstore registry,
+  the resource table and the peer registry catch mutations that do not
+  flow through a kernel method; explicit hooks in the kernel cover the
+  rest.  Composite operations (peer revocation, admission teardown)
+  append one record and *suppress* the records their nested mutations
+  would emit, so replay applies each effect exactly once.
+* **serialize** — :meth:`serialize_state` captures the whole durable
+  kernel state as one JSON document (the snapshot payload); NAL
+  formulas and principals travel as their source text when that
+  round-trips (the cheap, common case) and otherwise in a *structural*
+  codec (one object per node), because text form is lossy for some
+  principal shapes the federation layer mints.
+* **replay** — :meth:`load_state` + :meth:`apply_record` rebuild a
+  kernel: snapshot first, then every live record in order.  Replay
+  reconstructs state directly (explicit pids, store ids, handles,
+  resource ids carried in every record) and never re-authorizes —
+  authorization happened before the record was written.
+
+Deliberately ephemeral (documented, not lost by accident): API
+sessions and their bearer tokens, IPC ports and their handlers,
+registered guards/authorities/syscalls (code, re-registered at boot),
+pre-registered proofs, and the decision cache — which restarts cold
+and refills lazily, as ``decision_cache.snapshot()['entries'] == 0``
+after a restore attests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.nal import formula as _formula
+from repro.nal import terms as _terms
+from repro.nal.formula import Formula
+from repro.nal.parser import parse, parse_principal
+from repro.nal.terms import Term
+from repro.storage.wal import Journal, Record
+
+# --------------------------------------------------------------------------
+# the structural NAL codec
+# --------------------------------------------------------------------------
+
+#: Every frozen-dataclass node a formula or principal can contain.
+_NODE_TYPES = {cls.__name__: cls for cls in (
+    _formula.TrueFormula, _formula.FalseFormula, _formula.Pred,
+    _formula.Compare, _formula.Says, _formula.Speaksfor, _formula.And,
+    _formula.Or, _formula.Implies, _formula.Not,
+    _terms.Const, _terms.Var, _terms.Name, _terms.SubPrincipal,
+    _terms.KeyPrincipal, _terms.Group)}
+
+#: Field names per node class, resolved once — ``dataclasses.fields``
+#: is too slow for the per-mutation encode path.
+_NODE_FIELDS = {cls: tuple(field.name for field in dataclasses.fields(cls))
+                for cls in _NODE_TYPES.values()}
+
+
+def encode_node(value: Any) -> Any:
+    """A formula/term as plain JSON: ``{"_": type, field: …}`` per node.
+
+    Structural, not textual: ``parse(str(f))`` is lossy for principals
+    whose tags contain the principal separator (federation mints them),
+    so the stored form mirrors the dataclass tree exactly.
+    """
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    fields = _NODE_FIELDS.get(type(value))
+    if fields is not None:
+        document: Dict[str, Any] = {"_": type(value).__name__}
+        for name in fields:
+            document[name] = encode_node(getattr(value, name))
+        return document
+    if isinstance(value, tuple):
+        return [encode_node(item) for item in value]
+    raise StorageError(f"cannot persist NAL node of type "
+                       f"{type(value).__name__}")
+
+
+def decode_node(document: Any) -> Any:
+    """Inverse of :func:`encode_node`."""
+    if document is None or isinstance(document, (str, int, bool)):
+        return document
+    if isinstance(document, list):
+        return tuple(decode_node(item) for item in document)
+    if isinstance(document, dict):
+        cls = _NODE_TYPES.get(document.get("_"))
+        if cls is None:
+            raise StorageError(f"unknown NAL node type "
+                               f"{document.get('_')!r} in stored state")
+        kwargs = {name: decode_node(document[name])
+                  for name in _NODE_FIELDS[cls]}
+        return cls(**kwargs)
+    raise StorageError(f"cannot decode NAL document of type "
+                       f"{type(document).__name__}")
+
+
+#: Text-fidelity verdicts per term value.  Keyed by the term itself
+#: (every node is a frozen dataclass, so hashable) because callers such
+#: as ``Process.principal`` mint a fresh-but-equal object per access:
+#: the live set of speakers/owners is small, so the per-mutation
+#: fidelity check is a dict hit instead of a parse.
+_TERM_TEXT_CACHE: Dict[Term, Optional[str]] = {}
+_TERM_TEXT_CAPACITY = 4096
+
+
+def encode_formula(value: Formula) -> Any:
+    """A formula as NAL text when that round-trips, else a node tree.
+
+    ``parse`` interns by canonical printed form, so for any formula the
+    parser produced the fidelity check is one dict hit.  Formulas whose
+    text form is lossy (federation-minted principals with separator
+    characters in their tags) fall back to :func:`encode_node`.
+    """
+    try:
+        text = str(value)
+        parsed = parse(text)
+        if parsed is value or parsed == value:
+            return text
+    except Exception:
+        pass
+    return encode_node(value)
+
+
+def decode_formula(document: Any) -> Formula:
+    """Inverse of :func:`encode_formula`."""
+    if isinstance(document, str):
+        return parse(document)
+    return decode_node(document)
+
+
+def encode_term(value: Term) -> Any:
+    """A principal/term as NAL text when that round-trips, else a tree."""
+    try:
+        text = _TERM_TEXT_CACHE[value]
+    except KeyError:
+        try:
+            text = str(value)
+            if parse_principal(text) != value:
+                text = None
+        except Exception:
+            text = None
+        if len(_TERM_TEXT_CACHE) >= _TERM_TEXT_CAPACITY:
+            _TERM_TEXT_CACHE.clear()
+        _TERM_TEXT_CACHE[value] = text
+    return text if text is not None else encode_node(value)
+
+
+def decode_term(document: Any) -> Term:
+    """Inverse of :func:`encode_term`."""
+    if isinstance(document, str):
+        return parse_principal(document)
+    return decode_node(document)
+
+
+def _encode_payload(payload: Any) -> Dict[str, Any]:
+    """A resource payload as JSON, degrading opaque objects to a marker.
+
+    Process payloads are re-linked by pid at load; primitive payloads
+    travel whole; anything else (a port handler, an app object) is
+    runtime state and restores as ``None``.
+    """
+    from repro.kernel.process import Process
+    if payload is None:
+        return {"k": "none"}
+    if isinstance(payload, Process):
+        return {"k": "process", "pid": payload.pid}
+    if isinstance(payload, bool):
+        return {"k": "bool", "v": payload}
+    if isinstance(payload, (str, int, float)):
+        return {"k": "value", "v": payload}
+    if isinstance(payload, (bytes, bytearray)):
+        return {"k": "bytes", "v": bytes(payload).hex()}
+    return {"k": "opaque"}
+
+
+def _json_safe(value: Any) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+class KernelPersistence:
+    """One kernel's write-ahead recorder and replayer."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.journal: Optional[Journal] = None
+        self._suppress = 0
+        self._suppress_lock = threading.RLock()
+        self.restored_from_snapshot = False
+        self.restored_records = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def suppressed(self):
+        """Mute nested records while a composite record covers them."""
+        with self._suppress_lock:
+            self._suppress += 1
+        try:
+            yield
+        finally:
+            with self._suppress_lock:
+                self._suppress -= 1
+
+    def record(self, type: str, data: Dict[str, Any]) -> None:
+        """Append one record unless a composite already covers it.
+
+        Raises whatever the backend raises (a crash here aborts the
+        mutation that was about to happen — the write-ahead contract).
+        """
+        journal = self.journal
+        if journal is None or self._suppress:
+            return
+        journal.append(type, data)
+
+    def attach(self, journal: Journal) -> None:
+        """Go live: bind the journal and install the mutation observers."""
+        self.journal = journal
+        kernel = self.kernel
+        kernel.labels.set_observer(self._on_label_event)
+        kernel.resources.observer = self._on_resource_event
+        kernel.peers.observer = self._on_peer_event
+
+    # -- observer callbacks ---------------------------------------------
+
+    def _on_label_event(self, event: str, store, payload) -> None:
+        if event == "store":
+            self.record("store", {"store_id": store.store_id,
+                                  "owner_pid": store.owner_pid})
+        elif event == "insert":
+            self.record("label", {
+                "store_id": store.store_id, "handle": payload.handle,
+                "speaker": encode_term(payload.speaker),
+                "statement": encode_formula(payload.statement)})
+        elif event == "delete":
+            self.record("label_del", {"store_id": store.store_id,
+                                      "handle": payload})
+
+    def _on_resource_event(self, event: str, resource) -> None:
+        if event == "create":
+            attributes = {key: value for key, value in
+                         resource.attributes.items() if _json_safe(value)}
+            self.record("resource", {
+                "resource_id": resource.resource_id,
+                "name": resource.name, "kind": resource.kind,
+                "owner": encode_term(resource.owner),
+                "payload": _encode_payload(resource.payload),
+                "attributes": attributes})
+        elif event == "destroy":
+            self.record("resource_del",
+                        {"resource_id": resource.resource_id})
+
+    def _on_peer_event(self, event: str, peer) -> None:
+        if event == "add":
+            self.record("peer_add", {
+                "name": peer.name, "root_key": peer.root_key.to_dict(),
+                "platform": peer.platform, "added_at": peer.added_at})
+
+    # ------------------------------------------------------------------
+    # snapshot serialization
+    # ------------------------------------------------------------------
+
+    def serialize_state(self) -> Dict[str, Any]:
+        """The whole durable kernel state as one JSON document.
+
+        Caller holds the kernel write lock (and the admission lock, per
+        the kernel's lock order) so the capture is a consistent cut.
+        """
+        kernel = self.kernel
+        processes = [{
+            "pid": process.pid, "name": process.name,
+            "image_hash": process.image_hash.hex(),
+            "parent_pid": process.parent_pid, "alive": process.alive,
+            "properties": {k: v for k, v in process.properties.items()
+                           if _json_safe(v)},
+        } for process in kernel.processes]
+        stores = [{
+            "store_id": store.store_id, "owner_pid": store.owner_pid,
+            "next_handle": store._next_handle,
+            "labels": [{"handle": label.handle,
+                        "speaker": encode_term(label.speaker),
+                        "statement": encode_formula(label.statement)}
+                       for label in sorted(store._labels.values(),
+                                           key=lambda l: l.handle)],
+        } for store in sorted(kernel.labels._stores.values(),
+                              key=lambda s: s.store_id)]
+        resources = [{
+            "resource_id": resource.resource_id, "name": resource.name,
+            "kind": resource.kind, "owner": encode_term(resource.owner),
+            "payload": _encode_payload(resource.payload),
+            "attributes": {k: v for k, v in resource.attributes.items()
+                           if _json_safe(v)},
+        } for resource in kernel.resources]
+        goals = [{
+            "resource_id": resource_id, "operation": operation,
+            "goal": encode_formula(entry.formula),
+            "guard_port": entry.guard_port,
+        } for (resource_id, operation), entry in
+            sorted(kernel.default_guard.goals.items())]
+        policies = {name: {
+            "versions": [policy_set.to_dict()
+                         for policy_set in record.versions],
+            "active_version": record.active_version,
+            "installed": sorted([rid, op] for rid, op in record.installed),
+        } for name, record in kernel.policies._records.items()}
+        peers = [{
+            "peer_id": peer.peer_id, "name": peer.name,
+            "root_key": peer.root_key.to_dict(),
+            "platform": peer.platform, "trusted": peer.trusted,
+            "added_at": peer.added_at, "admitted": peer.admitted,
+        } for peer in kernel.peers]
+        admissions = [{
+            "digest": entry.admission.digest,
+            "peer_id": entry.admission.peer_id,
+            "peer_name": entry.admission.peer_name,
+            "subject": entry.admission.subject,
+            "remote_principal": entry.admission.remote_principal,
+            "pid": entry.admission.pid,
+            "labels": entry.admission.labels,
+            "policy_epoch": entry.admission.policy_epoch,
+            "bundle": entry.bundle.to_dict(),
+        } for entry in kernel.federation._entries.values()]
+        return {
+            "next": {"pid": kernel.processes._next_pid,
+                     "store": kernel.labels._next_store,
+                     "resource": kernel.resources._next_id},
+            "default_stores": {str(pid): store.store_id for pid, store
+                               in kernel._default_store.items()},
+            "processes": processes,
+            "stores": stores,
+            "resources": resources,
+            "goals": goals,
+            "policies": policies,
+            "policy_epoch": kernel.decision_cache.policy_epoch,
+            "peers": peers,
+            "admissions": admissions,
+            "revocation_events": {port: list(events) for port, events
+                                  in kernel._revocation_events.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # snapshot load
+    # ------------------------------------------------------------------
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild a (fresh, empty) kernel from a snapshot document."""
+        from repro.crypto.rsa import RSAPublicKey
+        from repro.kernel.labelstore import Label, LabelStore
+        from repro.kernel.process import Process
+        from repro.kernel.resources import Resource
+        from repro.policy.engine import _PolicyRecord
+        from repro.policy.model import PolicySet
+
+        kernel = self.kernel
+        for doc in state.get("processes", []):
+            process = Process(pid=doc["pid"], name=doc["name"],
+                              image_hash=bytes.fromhex(doc["image_hash"]),
+                              parent_pid=doc["parent_pid"],
+                              alive=doc["alive"],
+                              properties=dict(doc.get("properties", {})))
+            kernel.processes._processes[process.pid] = process
+            if process.alive:
+                kernel.introspection.publish(f"{process.path}/name",
+                                             process.name)
+                kernel.introspection.publish(f"{process.path}/hash",
+                                             process.image_hash.hex())
+        for doc in state.get("stores", []):
+            store = LabelStore(doc["store_id"], doc["owner_pid"],
+                               lock=kernel.labels._lock)
+            store._next_handle = doc["next_handle"]
+            for label_doc in doc.get("labels", []):
+                label = Label(handle=label_doc["handle"],
+                              speaker=decode_term(label_doc["speaker"]),
+                              statement=decode_formula(
+                                  label_doc["statement"]))
+                store._labels[label.handle] = label
+            kernel.labels._stores[store.store_id] = store
+        for pid_text, store_id in state.get("default_stores", {}).items():
+            kernel._default_store[int(pid_text)] = \
+                kernel.labels._stores[store_id]
+        for doc in state.get("resources", []):
+            resource = Resource(
+                resource_id=doc["resource_id"], name=doc["name"],
+                kind=doc["kind"], owner=decode_term(doc["owner"]),
+                payload=self._decode_payload(doc.get("payload")),
+                attributes=dict(doc.get("attributes", {})))
+            kernel.resources._resources[resource.resource_id] = resource
+            kernel.resources._by_name[resource.name] = resource.resource_id
+        for doc in state.get("goals", []):
+            kernel.default_guard.goals.set_goal(
+                doc["resource_id"], doc["operation"],
+                decode_formula(doc["goal"]), doc.get("guard_port"))
+        for name, doc in state.get("policies", {}).items():
+            record = _PolicyRecord(
+                versions=[PolicySet.from_dict(version)
+                          for version in doc.get("versions", [])],
+                active_version=doc.get("active_version"),
+                installed={(rid, op)
+                           for rid, op in doc.get("installed", [])})
+            kernel.policies._records[name] = record
+        for doc in state.get("peers", []):
+            peer = kernel.peers.add(doc["name"],
+                                    RSAPublicKey.from_dict(
+                                        doc["root_key"]),
+                                    platform=doc.get("platform", ""),
+                                    added_at=doc.get("added_at", 0))
+            peer.trusted = doc.get("trusted", True)
+            peer.admitted = doc.get("admitted", 0)
+        for doc in state.get("admissions", []):
+            self._load_admission(doc, count=False)
+        for port, events in state.get("revocation_events", {}).items():
+            kernel._revocation_events.setdefault(port,
+                                                 []).extend(events)
+        kernel.decision_cache.restore_policy_epoch(
+            state.get("policy_epoch", 0))
+        nxt = state.get("next", {})
+        kernel.processes._next_pid = max(kernel.processes._next_pid,
+                                         nxt.get("pid", 1))
+        kernel.labels._next_store = max(kernel.labels._next_store,
+                                        nxt.get("store", 1))
+        kernel.resources._next_id = max(kernel.resources._next_id,
+                                        nxt.get("resource", 1))
+        self.restored_from_snapshot = True
+
+    def _decode_payload(self, document: Optional[Dict[str, Any]]) -> Any:
+        if not document:
+            return None
+        kind = document.get("k")
+        if kind == "process":
+            return self.kernel.processes._processes.get(document["pid"])
+        if kind in ("value", "bool"):
+            return document.get("v")
+        if kind == "bytes":
+            return bytes.fromhex(document["v"])
+        return None
+
+    def _load_admission(self, doc: Dict[str, Any], count: bool) -> None:
+        """Rebuild one digest-cache entry (no re-verification: the hash
+        chain already vouches for the record, and any staleness is
+        caught by the epoch check on next touch)."""
+        from repro.federation.admission import RemoteAdmission, _Entry
+        from repro.federation.bundle import CredentialBundle
+        kernel = self.kernel
+        admission = RemoteAdmission(
+            digest=doc["digest"], peer_id=doc["peer_id"],
+            peer_name=doc["peer_name"], subject=doc["subject"],
+            remote_principal=doc["remote_principal"],
+            principal=kernel.processes.get(doc["pid"]).principal,
+            pid=doc["pid"], labels=doc["labels"],
+            policy_epoch=doc["policy_epoch"])
+        kernel.federation._entries[admission.digest] = _Entry(
+            admission, CredentialBundle.from_dict(doc["bundle"]))
+        if count:
+            peer = kernel.peers.get(admission.peer_id)
+            if peer is not None:
+                peer.admitted += 1
+
+    # ------------------------------------------------------------------
+    # record replay
+    # ------------------------------------------------------------------
+
+    def apply_record(self, record: Record) -> None:
+        """Apply one live log record to the (still journal-less) kernel."""
+        handler = self._HANDLERS.get(record.type)
+        if handler is None:
+            raise StorageError(f"log record {record.seq} has unknown "
+                               f"type {record.type!r}")
+        handler(self, record.data)
+        self.restored_records += 1
+
+    def _replay_process(self, data: Dict[str, Any]) -> None:
+        from repro.kernel.process import Process
+        kernel = self.kernel
+        process = Process(pid=data["pid"], name=data["name"],
+                          image_hash=bytes.fromhex(data["image_hash"]),
+                          parent_pid=data["parent_pid"])
+        kernel.processes._processes[process.pid] = process
+        kernel.processes._next_pid = max(kernel.processes._next_pid,
+                                         process.pid + 1)
+        kernel.introspection.publish(f"{process.path}/name", process.name)
+        kernel.introspection.publish(f"{process.path}/hash",
+                                     process.image_hash.hex())
+
+    def _replay_process_exit(self, data: Dict[str, Any]) -> None:
+        kernel = self.kernel
+        process = kernel.processes.get(data["pid"])
+        kernel.processes.exit(process.pid)
+        kernel.introspection.unpublish(f"{process.path}/name")
+        kernel.introspection.unpublish(f"{process.path}/hash")
+
+    def _replay_store(self, data: Dict[str, Any]) -> None:
+        from repro.kernel.labelstore import LabelStore
+        kernel = self.kernel
+        store = LabelStore(data["store_id"], data["owner_pid"],
+                           lock=kernel.labels._lock)
+        kernel.labels._stores[store.store_id] = store
+        kernel.labels._next_store = max(kernel.labels._next_store,
+                                        store.store_id + 1)
+        kernel._default_store.setdefault(store.owner_pid, store)
+
+    def _replay_label(self, data: Dict[str, Any]) -> None:
+        from repro.kernel.labelstore import Label
+        store = self.kernel.labels.get_store(data["store_id"])
+        label = Label(handle=data["handle"],
+                      speaker=decode_term(data["speaker"]),
+                      statement=decode_formula(data["statement"]))
+        store._labels[label.handle] = label
+        store._next_handle = max(store._next_handle, label.handle + 1)
+
+    def _replay_label_del(self, data: Dict[str, Any]) -> None:
+        store = self.kernel.labels.get_store(data["store_id"])
+        store._labels.pop(data["handle"], None)
+
+    def _replay_resource(self, data: Dict[str, Any]) -> None:
+        from repro.kernel.resources import Resource
+        kernel = self.kernel
+        resource = Resource(
+            resource_id=data["resource_id"], name=data["name"],
+            kind=data["kind"], owner=decode_term(data["owner"]),
+            payload=self._decode_payload(data.get("payload")),
+            attributes=dict(data.get("attributes", {})))
+        kernel.resources._resources[resource.resource_id] = resource
+        kernel.resources._by_name[resource.name] = resource.resource_id
+        kernel.resources._next_id = max(kernel.resources._next_id,
+                                        resource.resource_id + 1)
+
+    def _replay_resource_del(self, data: Dict[str, Any]) -> None:
+        kernel = self.kernel
+        resource = kernel.resources.find_by_id(data["resource_id"])
+        if resource is not None:
+            kernel.resources._resources.pop(resource.resource_id, None)
+            kernel.resources._by_name.pop(resource.name, None)
+
+    def _replay_goal_set(self, data: Dict[str, Any]) -> None:
+        kernel = self.kernel
+        kernel.default_guard.goals.set_goal(
+            data["resource_id"], data["operation"],
+            decode_formula(data["goal"]), data.get("guard_port"))
+        kernel.decision_cache.invalidate_goal(data["operation"],
+                                              data["resource_id"])
+
+    def _replay_goal_clear(self, data: Dict[str, Any]) -> None:
+        kernel = self.kernel
+        kernel.default_guard.goals.clear_goal(data["resource_id"],
+                                              data["operation"])
+        kernel.decision_cache.invalidate_goal(data["operation"],
+                                              data["resource_id"])
+
+    def _replay_policy_apply(self, data: Dict[str, Any]) -> None:
+        kernel = self.kernel
+        for resource_id, operation, goal, guard_port in data["changes"]:
+            if goal is None:
+                kernel.default_guard.goals.clear_goal(resource_id,
+                                                      operation)
+            else:
+                kernel.default_guard.goals.set_goal(
+                    resource_id, operation, decode_formula(goal),
+                    guard_port)
+            kernel.decision_cache.invalidate_goal(operation, resource_id)
+
+    def _replay_policy_put(self, data: Dict[str, Any]) -> None:
+        from repro.policy.model import PolicySet
+        self.kernel.policies.put(PolicySet.from_dict(data["document"]))
+
+    def _replay_policy_state(self, data: Dict[str, Any]) -> None:
+        record = self.kernel.policies._records.get(data["name"])
+        if record is None:
+            raise StorageError(f"policy_state record for unknown set "
+                               f"{data['name']!r}")
+        record.active_version = data["active_version"]
+        record.installed = {(rid, op)
+                            for rid, op in data["installed"]}
+
+    def _replay_peer_add(self, data: Dict[str, Any]) -> None:
+        from repro.crypto.rsa import RSAPublicKey
+        self.kernel.peers.add(data["name"],
+                              RSAPublicKey.from_dict(data["root_key"]),
+                              platform=data.get("platform", ""),
+                              added_at=data.get("added_at", 0))
+
+    def _replay_peer_revoke(self, data: Dict[str, Any]) -> None:
+        self.kernel.revoke_peer(data["peer_id"])
+
+    def _replay_epoch_bump(self, _data: Dict[str, Any]) -> None:
+        self.kernel.decision_cache.bump_policy_epoch()
+
+    def _replay_revocation(self, data: Dict[str, Any]) -> None:
+        port = data["port"]
+        event = {key: value for key, value in data.items()
+                 if key != "port"}
+        self.kernel._revocation_events.setdefault(port, []).append(event)
+
+    def _replay_admission(self, data: Dict[str, Any]) -> None:
+        self._load_admission(data, count=True)
+
+    def _replay_admission_drop(self, data: Dict[str, Any]) -> None:
+        federation = self.kernel.federation
+        entry = federation._entries.get(data["digest"])
+        if entry is not None:
+            federation._drop(entry)
+
+    _HANDLERS = {
+        "process": _replay_process,
+        "process_exit": _replay_process_exit,
+        "store": _replay_store,
+        "label": _replay_label,
+        "label_del": _replay_label_del,
+        "resource": _replay_resource,
+        "resource_del": _replay_resource_del,
+        "goal_set": _replay_goal_set,
+        "goal_clear": _replay_goal_clear,
+        "policy_apply": _replay_policy_apply,
+        "policy_put": _replay_policy_put,
+        "policy_state": _replay_policy_state,
+        "peer_add": _replay_peer_add,
+        "peer_revoke": _replay_peer_revoke,
+        "epoch_bump": _replay_epoch_bump,
+        "revocation": _replay_revocation,
+        "admission": _replay_admission,
+        "admission_drop": _replay_admission_drop,
+    }

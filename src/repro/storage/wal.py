@@ -1,0 +1,408 @@
+"""The write-ahead log: checksummed, hash-chained, schema-versioned.
+
+One durable kernel is a snapshot plus a log of every mutation since.
+Records are framed for torn-tail detection and chained for tamper
+evidence:
+
+* **frame** — ``NXR1`` magic, a little-endian 4-byte body length, the
+  JSON body, and the body's SHA-256 digest.  A write cut off
+  anywhere inside a frame is recognizable as an incomplete *tail* and
+  repaired by truncation; a flipped byte anywhere fails the digest and
+  is a loud :class:`~repro.errors.BadRecord` — crash damage and
+  tampering are never confused.
+* **body** — ``{"v": schema, "seq": n, "type": t, "prev": h, "data": …}``.
+  ``prev`` is the SHA-256 of the previous record's body (the genesis
+  record points at 64 zeros), so records cannot be reordered, dropped
+  from the middle, or substituted without breaking the chain.
+* **snapshot** — the serialized state, the sequence number it covers,
+  and the chain ``head`` at that point, under one whole-document
+  checksum.  Replay starts from the snapshot and verifies the first
+  live record links to ``head`` — a log that "begins" anywhere else is
+  evidence of reordered snapshot/log visibility and refuses loudly.
+
+Failure taxonomy (stable ``E_*`` codes):
+
+========================================  ==========================
+an incomplete frame at the stream end     repaired (torn tail)
+bad magic / checksum / chain / body       ``E_BAD_RECORD`` (tamper)
+sequence gap, snapshot/log disagreement   ``E_STORAGE``
+unknown schema without a migration        ``E_STORAGE``
+==========================================  ==========================
+
+Schema versioning: every record and snapshot carries the writer's
+schema version.  A reader with a newer :data:`SCHEMA_VERSION` upgrades
+old documents through the ``migrations`` hook — a mapping from version
+``n`` to a function transforming an ``n``-shaped body into ``n+1`` —
+the same ratchet shape as an alembic migration chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BadRecord, StorageError
+from repro.storage.backend import StorageBackend
+
+#: The on-disk schema version this code writes.
+SCHEMA_VERSION = 1
+
+MAGIC = b"NXR1"
+_LEN = struct.Struct("<I")
+_HEADER_SIZE = len(MAGIC) + _LEN.size
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+#: Upper bound on a single record body; a "length" beyond this is
+#: corruption, not a record.
+MAX_RECORD_SIZE = 64 * 1024 * 1024
+
+#: What the genesis record chains back to.
+GENESIS_HEAD = "0" * 64
+
+#: A migration hook: version n → a function upgrading an n-shaped
+#: document (record body or snapshot) to version n+1.
+Migrations = Dict[int, Callable[[dict], dict]]
+
+
+def _canonical(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+#: ``json.dumps`` with non-default separators builds a fresh encoder
+#: per call; the append hot path reuses one.
+_ENCODE_COMPACT = json.JSONEncoder(separators=(",", ":")).encode
+
+# A C-accelerated JSON codec when the interpreter ships one.  Purely an
+# accelerator: the on-disk format is plain JSON either way, and record
+# data the fast encoder rejects (tuple values survive the observers'
+# _json_safe filter) falls back to the stdlib encoder.
+try:
+    import orjson as _orjson
+except ImportError:  # pragma: no cover - depends on the environment
+    _orjson = None
+
+if _orjson is not None:
+    _loads = _orjson.loads
+
+    def _encode_data(data: dict) -> bytes:
+        try:
+            return _orjson.dumps(data, option=_orjson.OPT_NON_STR_KEYS)
+        except TypeError:
+            return _ENCODE_COMPACT(data).encode()
+else:  # pragma: no cover - depends on the environment
+    _loads = json.loads
+
+    def _encode_data(data: dict) -> bytes:
+        return _ENCODE_COMPACT(data).encode()
+
+
+def _body_hash(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded WAL record."""
+
+    seq: int
+    type: str
+    data: dict
+    prev: str
+    #: SHA-256 of this record's body — what the next record's ``prev``
+    #: (or a snapshot's ``head``) must equal.
+    hash: str
+    schema: int = SCHEMA_VERSION
+
+
+def encode_record(seq: int, type: str, data: dict, prev: str) -> bytes:
+    """Frame one record: magic + length + body + digest."""
+    body = _canonical({"v": SCHEMA_VERSION, "seq": seq, "type": type,
+                       "prev": prev, "data": data})
+    return MAGIC + _LEN.pack(len(body)) + body + hashlib.sha256(body).digest()
+
+
+def _upgrade(document: dict, migrations: Optional[Migrations],
+             what: str) -> dict:
+    """Ratchet an old-schema document up to :data:`SCHEMA_VERSION`."""
+    version = document.get("v")
+    if not isinstance(version, int) or version < 1:
+        raise BadRecord(f"{what} carries no valid schema version")
+    while version < SCHEMA_VERSION:
+        step = (migrations or {}).get(version)
+        if step is None:
+            raise StorageError(
+                f"{what} has schema v{version} but no migration to "
+                f"v{version + 1} is registered")
+        document = step(document)
+        version += 1
+        document["v"] = version
+    if version > SCHEMA_VERSION:
+        raise StorageError(
+            f"{what} has schema v{version}, newer than this kernel's "
+            f"v{SCHEMA_VERSION}")
+    return document
+
+
+class ScanResult:
+    """What one pass over the raw log produced."""
+
+    def __init__(self):
+        self.records: List[Record] = []
+        self.torn_tail_repaired = False
+        #: Offset of the first byte past the last complete record — what
+        #: the log should be truncated to if the tail was torn.
+        self.valid_length = 0
+
+
+def scan_log(raw: bytes, migrations: Optional[Migrations] = None
+             ) -> ScanResult:
+    """Decode and chain-verify every record in a raw log image.
+
+    An incomplete frame at the very end is a torn tail (a crash mid
+    ``append``) and is dropped; anything else that fails to decode is
+    tampering and raises.  The internal ``prev`` chain is verified
+    record-to-record; linkage of the first record to a snapshot head is
+    the journal's job (the log alone cannot know it).
+    """
+    result = ScanResult()
+    offset = 0
+    prev_hash: Optional[str] = None
+    prev_seq: Optional[int] = None
+    while offset < len(raw):
+        if len(raw) - offset < _HEADER_SIZE:
+            result.torn_tail_repaired = True
+            break
+        if raw[offset:offset + len(MAGIC)] != MAGIC:
+            raise BadRecord(f"bad record magic at offset {offset}")
+        (length,) = _LEN.unpack_from(raw, offset + len(MAGIC))
+        if length > MAX_RECORD_SIZE:
+            raise BadRecord(f"record at offset {offset} claims "
+                            f"{length} bytes (corrupt length)")
+        frame_end = offset + _HEADER_SIZE + length + _DIGEST_SIZE
+        if frame_end > len(raw):
+            result.torn_tail_repaired = True
+            break
+        body = raw[offset + _HEADER_SIZE:offset + _HEADER_SIZE + length]
+        digest = raw[offset + _HEADER_SIZE + length:frame_end]
+        if hashlib.sha256(body).digest() != digest:
+            raise BadRecord(f"record at offset {offset} fails its "
+                            f"checksum")
+        try:
+            document = _loads(body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRecord(f"record at offset {offset} is not valid "
+                            f"JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise BadRecord(f"record at offset {offset} is not an object")
+        record_hash = _body_hash(body)
+        document = _upgrade(document, migrations,
+                            f"record at offset {offset}")
+        seq = document.get("seq")
+        rtype = document.get("type")
+        prev = document.get("prev")
+        data = document.get("data")
+        if (not isinstance(seq, int) or not isinstance(rtype, str)
+                or not isinstance(prev, str) or not isinstance(data, dict)):
+            raise BadRecord(f"record at offset {offset} is missing "
+                            f"required fields")
+        if prev_hash is not None:
+            if prev != prev_hash:
+                raise BadRecord(f"hash chain broken at seq {seq}: "
+                                f"prev does not match the preceding "
+                                f"record")
+            if seq != prev_seq + 1:
+                raise StorageError(f"sequence gap in log: {prev_seq} "
+                                   f"followed by {seq}")
+        result.records.append(Record(seq=seq, type=rtype, data=data,
+                                     prev=prev, hash=record_hash,
+                                     schema=SCHEMA_VERSION))
+        prev_hash = record_hash
+        prev_seq = seq
+        offset = frame_end
+        result.valid_length = offset
+    return result
+
+
+def encode_snapshot(seq: int, head: str, state: dict) -> bytes:
+    """Serialize a snapshot document under a whole-document checksum."""
+    core = {"v": SCHEMA_VERSION, "seq": seq, "head": head, "state": state}
+    checksum = _body_hash(_canonical(core))
+    return _canonical({**core, "checksum": checksum})
+
+
+def decode_snapshot(raw: bytes, migrations: Optional[Migrations] = None
+                    ) -> Tuple[int, str, dict]:
+    """Verify and decode a snapshot; returns ``(seq, head, state)``."""
+    try:
+        document = _loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRecord(f"snapshot is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise BadRecord("snapshot is not an object")
+    checksum = document.pop("checksum", None)
+    if checksum != _body_hash(_canonical(document)):
+        raise BadRecord("snapshot fails its checksum")
+    document = _upgrade(document, migrations, "snapshot")
+    seq = document.get("seq")
+    head = document.get("head")
+    state = document.get("state")
+    if (not isinstance(seq, int) or not isinstance(head, str)
+            or not isinstance(state, dict)):
+        raise BadRecord("snapshot is missing required fields")
+    return seq, head, state
+
+
+class Journal:
+    """One kernel's durable log over a :class:`StorageBackend`.
+
+    ``sync_every`` forces the backend durable every N appends (1 = every
+    record — the safe default); ``snapshot_every`` is the compaction
+    cadence the owner polls through :meth:`due_for_snapshot` (the
+    journal cannot snapshot by itself — it does not own the state).
+    """
+
+    def __init__(self, backend: StorageBackend, sync_every: int = 1,
+                 snapshot_every: Optional[int] = None,
+                 migrations: Optional[Migrations] = None):
+        self.backend = backend
+        self.sync_every = max(1, sync_every)
+        self.snapshot_every = snapshot_every
+        self.migrations = migrations
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._head = GENESIS_HEAD
+        self._since_sync = 0
+        self._since_snapshot = 0
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.snapshots_written = 0
+        self.last_snapshot_seq = 0
+        self.torn_tail_repairs = 0
+
+    # -- appending -------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    @property
+    def head(self) -> str:
+        return self._head
+
+    def append(self, type: str, data: dict) -> None:
+        """Chain, frame, and write one record.
+
+        This is the kernel's per-mutation hot path: the envelope is
+        laid out directly (record types are fixed identifiers, ``prev``
+        is hex) so the JSON encoder only visits ``data``, and nothing
+        is decoded back — replay re-reads the stored bytes.
+        """
+        with self._lock:
+            seq = self._seq + 1
+            body = (b'{"v":%d,"seq":%d,"type":"%s","prev":"%s","data":%s}'
+                    % (SCHEMA_VERSION, seq, type.encode(),
+                       self._head.encode(), _encode_data(data)))
+            digest = hashlib.sha256(body)
+            frame = MAGIC + _LEN.pack(len(body)) + body + digest.digest()
+            self.backend.append(frame)
+            self._since_sync += 1
+            if self._since_sync >= self.sync_every:
+                self.backend.sync()
+                self._since_sync = 0
+            self._seq = seq
+            self._head = digest.hexdigest()
+            self.records_appended += 1
+            self.bytes_appended += len(frame)
+            self._since_snapshot += 1
+
+    def due_for_snapshot(self) -> bool:
+        """True when ``snapshot_every`` records accumulated since the
+        last snapshot (always False without a cadence)."""
+        return (self.snapshot_every is not None
+                and self._since_snapshot >= self.snapshot_every)
+
+    def write_snapshot(self, state: dict) -> None:
+        """Publish a snapshot of ``state`` and compact the log.
+
+        Order matters for crash safety: the snapshot is made durable
+        *before* the log is reset.  A crash between the two leaves a
+        snapshot plus a stale log whose records replay as duplicates —
+        recognized by sequence number and skipped.  The reverse order
+        would leave a reset log with no snapshot: total state loss.
+        """
+        with self._lock:
+            self.backend.sync()
+            self.backend.write_snapshot(
+                encode_snapshot(self._seq, self._head, state))
+            self.backend.reset_log()
+            self.snapshots_written += 1
+            self.last_snapshot_seq = self._seq
+            self._since_snapshot = 0
+            self._since_sync = 0
+
+    # -- recovery --------------------------------------------------------
+
+    def load(self) -> Tuple[Optional[dict], List[Record]]:
+        """Read the medium back: ``(snapshot state or None, live records)``.
+
+        Verifies the snapshot checksum, scans and chain-verifies the
+        log (repairing a torn tail in place), drops records the
+        snapshot already covers, and checks the first live record
+        chains to the snapshot head.  Leaves the journal positioned to
+        continue appending where the log ends.
+        """
+        with self._lock:
+            state: Optional[dict] = None
+            base_seq = 0
+            base_head = GENESIS_HEAD
+            raw_snapshot = self.backend.read_snapshot()
+            if raw_snapshot is not None:
+                base_seq, base_head, state = decode_snapshot(
+                    raw_snapshot, self.migrations)
+                self.last_snapshot_seq = base_seq
+            raw_log = self.backend.read_log()
+            result = scan_log(raw_log, self.migrations)
+            if result.torn_tail_repaired:
+                self.backend.truncate_log(result.valid_length)
+                self.torn_tail_repairs += 1
+            live = [r for r in result.records if r.seq > base_seq]
+            stale = len(result.records) - len(live)
+            if live:
+                first = live[0]
+                if stale == 0 and first.seq != base_seq + 1:
+                    raise StorageError(
+                        f"log begins at seq {first.seq} but the "
+                        f"snapshot covers through {base_seq}: a "
+                        f"snapshot or log reset went missing")
+                if stale == 0 and first.prev != base_head:
+                    raise StorageError(
+                        f"log does not chain to the snapshot head at "
+                        f"seq {first.seq}")
+            self._seq = live[-1].seq if live else base_seq
+            self._head = live[-1].hash if live else base_head
+            self._since_snapshot = len(live)
+            return state, live
+
+    # -- accounting ------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Wire-safe counters for ``storage_stats`` introspection."""
+        return {
+            "backend": self.backend.kind,
+            "schema_version": SCHEMA_VERSION,
+            "seq": self._seq,
+            "head": self._head,
+            "records_appended": self.records_appended,
+            "bytes_appended": self.bytes_appended,
+            "snapshots_written": self.snapshots_written,
+            "last_snapshot_seq": self.last_snapshot_seq,
+            "records_since_snapshot": self._since_snapshot,
+            "torn_tail_repairs": self.torn_tail_repairs,
+            "sync_every": self.sync_every,
+            "snapshot_every": self.snapshot_every,
+        }

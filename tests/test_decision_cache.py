@@ -40,6 +40,24 @@ class TestAccounting:
             assert key in report
         assert report["hits"] == 1 and report["insertions"] == 1
 
+    def test_snapshot_reports_occupancy(self):
+        cache = DecisionCache(subregions=8)
+        empty = cache.snapshot()
+        assert empty["entries"] == 0
+        assert empty["occupied_shards"] == 0
+        assert empty["max_shard_entries"] == 0
+        assert empty["shards"] == 8
+        for subject in range(6):
+            cache.insert(subject, "read", subject * 7, True)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 6 == len(cache)
+        assert 1 <= snapshot["occupied_shards"] <= 8
+        assert snapshot["max_shard_entries"] == max(cache.shard_sizes())
+        assert snapshot["entries"] == sum(cache.shard_sizes())
+        # The occupancy keys ride along with the counters.
+        assert snapshot["insertions"] == 6
+        assert snapshot["policy_epoch"] == 0
+
     def test_disabled_cache_is_invisible(self):
         cache = DecisionCache(enabled=False)
         cache.insert(1, "read", 1, True)

@@ -9,6 +9,7 @@ tests drive real TCP connections end to end.
 """
 
 import socket
+import threading
 
 import pytest
 
@@ -191,6 +192,52 @@ class TestSocketServer:
             assert parse_response(conn.send(raw)).body == b"echo:hi"
             conn.close()
             server.stop()
+
+    def test_stop_drains_pipelined_keep_alive_requests(self):
+        # Regression: stop() during a pipelined burst used to abandon
+        # buffered frames — the serve loop was gated on the stop flag
+        # and the connection was closed outright, so requests the
+        # server had *already received* never got their framed
+        # responses.  The handler blocks on an event so the test can
+        # guarantee stop() lands while two frames sit buffered behind
+        # an in-flight request.
+        release = threading.Event()
+        started = threading.Event()
+        router = Router()
+
+        def slow(request):
+            started.set()
+            assert release.wait(5.0), "test never released the handler"
+            return HTTPResponse(200, b"ok:" + request.body)
+
+        router.add("POST", "/slow", slow, exact=True)
+        server = SocketServer(router, workers=1)
+        host, port = server.start()
+        burst = b"".join(
+            HTTPRequest("POST", "/slow", {}, f"r{i}".encode()).to_bytes()
+            for i in range(3))
+        with socket.create_connection((host, port)) as sock:
+            sock.sendall(burst)
+            assert started.wait(5.0)  # request 1 in flight, 2+3 queued
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            release.set()
+            buffer = b""
+            bodies = []
+            while len(bodies) < 3:
+                framed = split_frame(buffer)
+                if framed is None:
+                    chunk = sock.recv(65536)
+                    assert chunk, (f"server dropped responses after "
+                                   f"{bodies}")
+                    buffer += chunk
+                    continue
+                message, buffer = framed
+                bodies.append(parse_response(message).body)
+            stopper.join(timeout=5.0)
+            assert not stopper.is_alive()
+            assert bodies == [b"ok:r0", b"ok:r1", b"ok:r2"]
+            assert sock.recv(65536) == b""  # clean EOF after the drain
 
     def test_persistent_connection_survives_server_side_drop(self):
         with SocketServer(_echo_router(), workers=2) as server:

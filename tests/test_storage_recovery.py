@@ -1,0 +1,732 @@
+"""Durable attested persistence: WAL framing, snapshots, crash recovery.
+
+The heart of this suite is a seeded property: a kernel journalling
+every mutation write-ahead, crashed at *any* append (including mid
+record) and replayed from what actually reached the medium, must answer
+``explain``/``authorize`` exactly like a kernel that never crashed and
+executed exactly the operations that committed.  Around it sit targeted
+tests for the failure taxonomy — torn tails repair silently, flipped
+bytes and broken chains are loud ``E_BAD_RECORD``, reordered
+snapshot/log visibility is ``E_STORAGE`` — plus the deliberately
+ephemeral surfaces (the decision cache restarts cold) and the wire
+``storage_stats`` endpoint over both transports.
+"""
+
+import random
+import struct
+
+import pytest
+
+from harness import HOME_SEED, REMOTE_SEED, PEER_ALIAS
+from repro.api import NexusClient, NexusService
+from repro.core.attestation import kernel_wallet_bundle
+from repro.core.revocation import RevocationService
+from repro.errors import BadRecord, CrashError, StorageError
+from repro.kernel.kernel import NexusKernel
+from repro.storage import (FaultInjectingBackend, FileBackend, GENESIS_HEAD,
+                           Journal, MemoryBackend, decode_node, encode_node,
+                           scan_log)
+from repro.storage.wal import (SCHEMA_VERSION, decode_snapshot,
+                               encode_record, encode_snapshot)
+
+_HEADER = 8          # magic + length prefix
+_DIGEST = 32         # sha256 trailer
+
+
+# ==========================================================================
+# WAL framing and the failure taxonomy
+# ==========================================================================
+
+class TestWalFraming:
+    def test_records_round_trip_and_chain(self):
+        journal = Journal(MemoryBackend())
+        journal.append("a", {"x": 1})
+        journal.append("b", {"y": [1, 2]})
+        result = scan_log(journal.backend.read_log())
+        assert [r.type for r in result.records] == ["a", "b"]
+        assert [r.seq for r in result.records] == [1, 2]
+        assert result.records[0].prev == GENESIS_HEAD
+        assert result.records[1].prev == result.records[0].hash
+        assert not result.torn_tail_repaired
+
+    def test_torn_tail_is_repaired_not_fatal(self):
+        backend = MemoryBackend()
+        journal = Journal(backend)
+        journal.append("a", {"x": 1})
+        whole = backend.read_log()
+        for cut in (1, _HEADER - 1, _HEADER + 3, len(whole) - 1):
+            result = scan_log(whole + whole[:cut])
+            assert result.torn_tail_repaired
+            assert len(result.records) == 1
+            assert result.valid_length == len(whole)
+
+    def test_flipped_body_byte_is_bad_record(self):
+        backend = MemoryBackend()
+        Journal(backend).append("a", {"x": 1})
+        raw = bytearray(backend.read_log())
+        raw[_HEADER + 4] ^= 0xFF
+        with pytest.raises(BadRecord) as info:
+            scan_log(bytes(raw))
+        assert info.value.code == "E_BAD_RECORD"
+
+    def test_bad_magic_is_bad_record(self):
+        backend = MemoryBackend()
+        Journal(backend).append("a", {"x": 1})
+        raw = bytearray(backend.read_log())
+        raw[0] ^= 0xFF
+        with pytest.raises(BadRecord, match="magic"):
+            scan_log(bytes(raw))
+
+    def test_reordered_records_break_the_chain(self):
+        backend = MemoryBackend()
+        journal = Journal(backend)
+        journal.append("a", {"x": 1})
+        split = len(backend.read_log())
+        journal.append("b", {"x": 2})
+        raw = backend.read_log()
+        swapped = raw[split:] + raw[:split]
+        with pytest.raises(BadRecord, match="chain"):
+            scan_log(swapped)
+
+    def test_dropped_middle_record_breaks_the_chain(self):
+        backend = MemoryBackend()
+        journal = Journal(backend)
+        boundaries = [0]
+        for index in range(3):
+            journal.append("op", {"n": index})
+            boundaries.append(len(backend.read_log()))
+        raw = backend.read_log()
+        gutted = raw[:boundaries[1]] + raw[boundaries[2]:]
+        with pytest.raises(BadRecord, match="chain"):
+            scan_log(gutted)
+
+    def test_sequence_gap_with_valid_chain_is_storage_error(self):
+        # Hand-forge a chain-consistent log whose seqs jump: the prev
+        # hashes link but the numbering lies.
+        first = encode_record(1, "a", {}, GENESIS_HEAD)
+        body = first[_HEADER:-_DIGEST]
+        import hashlib
+        head = hashlib.sha256(body).hexdigest()
+        second = encode_record(3, "b", {}, head)
+        with pytest.raises(StorageError) as info:
+            scan_log(first + second)
+        assert info.value.code == "E_STORAGE"
+
+    def test_snapshot_checksum_round_trip(self):
+        raw = encode_snapshot(7, "ab" * 32, {"k": [1, 2]})
+        assert decode_snapshot(raw) == (7, "ab" * 32, {"k": [1, 2]})
+        mutated = bytearray(raw)
+        mutated[len(raw) // 2] ^= 0xFF
+        with pytest.raises(BadRecord):
+            decode_snapshot(bytes(mutated))
+
+    def test_newer_schema_refuses_loudly(self):
+        frame = encode_record(1, "a", {}, GENESIS_HEAD)
+        body = frame[_HEADER:-_DIGEST].replace(
+            f'"v":{SCHEMA_VERSION}'.encode(),
+            f'"v":{SCHEMA_VERSION + 1}'.encode())
+        import hashlib
+        reframed = (frame[:4] + struct.pack("<I", len(body)) + body
+                    + hashlib.sha256(body).digest())
+        with pytest.raises(StorageError, match="newer"):
+            scan_log(reframed)
+
+    def test_migration_hook_ratchets_old_records(self, monkeypatch):
+        frame = encode_record(1, "old_style", {"legacy": True},
+                              GENESIS_HEAD)
+        monkeypatch.setattr("repro.storage.wal.SCHEMA_VERSION",
+                            SCHEMA_VERSION + 1)
+
+        def upgrade(document):
+            document = dict(document)
+            document["type"] = "new_style"
+            return document
+
+        with pytest.raises(StorageError, match="no migration"):
+            scan_log(frame)
+        result = scan_log(frame, migrations={SCHEMA_VERSION: upgrade})
+        assert result.records[0].type == "new_style"
+        assert result.records[0].data == {"legacy": True}
+
+
+class TestFileBackend:
+    def test_log_and_snapshot_survive_reopen(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        assert backend.is_empty()
+        journal = Journal(backend)
+        journal.append("a", {"x": 1})
+        journal.write_snapshot({"s": 1})
+        journal.append("b", {"x": 2})
+        backend.close()
+        reopened = FileBackend(tmp_path / "store")
+        assert not reopened.is_empty()
+        state, live = Journal(reopened).load()
+        assert state == {"s": 1}
+        assert [r.type for r in live] == ["b"]
+        reopened.close()
+
+    def test_truncate_repairs_torn_tail_on_disk(self, tmp_path):
+        backend = FileBackend(tmp_path / "store")
+        journal = Journal(backend)
+        journal.append("a", {"x": 1})
+        good = len(backend.read_log())
+        backend.append(b"NXR1\x99")  # a torn frame, straight to disk
+        backend.sync()
+        backend.close()
+        reopened = FileBackend(tmp_path / "store")
+        fresh = Journal(reopened)
+        state, live = fresh.load()
+        assert state is None and [r.type for r in live] == ["a"]
+        assert fresh.torn_tail_repairs == 1
+        assert len(reopened.read_log()) == good
+        reopened.close()
+
+
+class TestJournal:
+    def test_load_positions_journal_to_continue(self):
+        backend = MemoryBackend()
+        journal = Journal(backend)
+        journal.append("a", {})
+        journal.append("b", {})
+        resumed = Journal(backend)
+        _state, live = resumed.load()
+        resumed.append("c", {})
+        result = scan_log(backend.read_log())
+        assert [r.seq for r in result.records] == [1, 2, 3]
+        assert result.records[2].prev == live[-1].hash
+
+    def test_stale_log_after_snapshot_is_skipped(self):
+        # The benign crash window: snapshot durable, log reset lost.
+        backend = FaultInjectingBackend()
+        journal = Journal(backend)
+        journal.append("a", {"n": 1})
+        journal.append("b", {"n": 2})
+        backend.sync()
+        backend.keep_stale_log = True
+        journal.write_snapshot({"covered": True})
+        journal.append("c", {"n": 3})
+        backend.sync()
+        state, live = Journal(backend.crash()).load()
+        assert state == {"covered": True}
+        assert [r.type for r in live] == ["c"]
+
+    def test_lost_snapshot_with_reset_log_refuses(self):
+        # The reordering the journal never creates itself: the log
+        # reset became durable, the snapshot write was dropped.
+        backend = FaultInjectingBackend()
+        journal = Journal(backend)
+        journal.append("a", {"n": 1})
+        backend.sync()
+        journal.write_snapshot({"base": True})  # snapshot one: fine
+        journal.append("b", {"n": 2})
+        backend.sync()
+        backend.lose_next_snapshot = True
+        journal.write_snapshot({"base": False})  # this one vanishes
+        journal.append("c", {"n": 3})
+        backend.sync()
+        with pytest.raises(StorageError) as info:
+            Journal(backend.crash()).load()
+        assert info.value.code == "E_STORAGE"
+
+
+# ==========================================================================
+# the kernel trace machine (shared by the properties below)
+# ==========================================================================
+
+class TraceMachine:
+    """Applies one deterministic op stream to one kernel.
+
+    Index operands resolve modulo the live subject/resource lists, so
+    any op sequence is valid on any kernel; symmetric failures (a
+    denied setgoal, say) are part of the trace and swallowed — only
+    :class:`CrashError` propagates, because on the durable kernel it
+    marks the crash point.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.pids = []
+        self.rids = []            # (resource_id, owner_pid)
+
+    def apply(self, op):
+        kernel = self.kernel
+        kind = op[0]
+        try:
+            if kind == "spawn":
+                process = kernel.create_process(f"subj{len(self.pids)}")
+                self.pids.append(process.pid)
+            elif kind == "say":
+                pid = self.pids[op[1] % len(self.pids)]
+                kernel.sys_say(pid, f"cap{op[2]}(unit)")
+            elif kind == "resource":
+                owner_pid = self.pids[op[1] % len(self.pids)]
+                owner = kernel.processes.get(owner_pid).principal
+                resource = kernel.resources.create(
+                    f"/res/{len(self.rids)}", "file", owner)
+                self.rids.append((resource.resource_id, owner_pid))
+            elif kind == "setgoal":
+                rid, owner_pid = self.rids[op[1] % len(self.rids)]
+                speaker_pid = self.pids[op[2] % len(self.pids)]
+                speaker = kernel.processes.get(speaker_pid).principal
+                kernel.sys_setgoal(owner_pid, rid, "read",
+                                   f"{speaker} says cap{op[3]}(unit)")
+            elif kind == "cleargoal":
+                rid, owner_pid = self.rids[op[1] % len(self.rids)]
+                kernel.sys_cleargoal(owner_pid, rid, "read")
+            elif kind == "authorize":
+                # No journal traffic — but it warms the decision cache,
+                # which recovery must NOT resurrect.
+                pid = self.pids[op[1] % len(self.pids)]
+                rid, _owner = self.rids[op[2] % len(self.rids)]
+                resource = kernel.resources.get(rid)
+                bundle = kernel_wallet_bundle(kernel, pid, "read", resource)
+                kernel.authorize(pid, "read", rid, bundle)
+            elif kind == "bump":
+                kernel.bump_policy_epoch()
+            elif kind == "exit":
+                owners = {owner for _rid, owner in self.rids}
+                victims = [pid for pid in self.pids if pid not in owners]
+                if victims:
+                    pid = victims[op[1] % len(victims)]
+                    kernel.exit_process(pid)
+                    self.pids.remove(pid)
+        except CrashError:
+            raise
+        except Exception:
+            pass  # deterministic on every kernel running this trace
+
+
+def build_trace(seed, length=16):
+    """A seeded op stream over the whole durable vocabulary."""
+    rng = random.Random(seed)
+    ops = [("spawn",), ("spawn",), ("resource", 0), ("say", 0, 1)]
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.15:
+            ops.append(("spawn",))
+        elif roll < 0.30:
+            ops.append(("say", rng.randrange(8), rng.randrange(4)))
+        elif roll < 0.42:
+            ops.append(("resource", rng.randrange(8)))
+        elif roll < 0.62:
+            ops.append(("setgoal", rng.randrange(8), rng.randrange(8),
+                        rng.randrange(4)))
+        elif roll < 0.70:
+            ops.append(("cleargoal", rng.randrange(8)))
+        elif roll < 0.88:
+            ops.append(("authorize", rng.randrange(8), rng.randrange(8)))
+        elif roll < 0.94:
+            ops.append(("bump",))
+        else:
+            ops.append(("exit", rng.randrange(8)))
+    return ops
+
+
+def probe(kernel, pids, rids):
+    """Every observable verdict: explain() for each (subject, resource).
+
+    ``explain`` re-runs the guard freshly (no cache), so two kernels
+    agreeing here agree on the full Figure-1 decision surface.
+    """
+    document = []
+    for rid, _owner in rids:
+        if kernel.resources.find_by_id(rid) is None:
+            continue
+        resource = kernel.resources.get(rid)
+        for pid in pids:
+            bundle = kernel_wallet_bundle(kernel, pid, "read", resource)
+            decision = kernel.explain(pid, "read", rid, bundle)
+            document.append({
+                "pid": pid, "rid": rid, "allow": decision.allow,
+                "explanation": decision.explanation.to_dict()})
+    return document
+
+
+def durable_kernel(snapshot_every=None):
+    backend = FaultInjectingBackend()
+    kernel = NexusKernel(key_seed=HOME_SEED)
+    kernel.attach_storage(backend, sync_every=1,
+                          snapshot_every=snapshot_every)
+    return backend, kernel
+
+
+# ==========================================================================
+# the crash-recovery properties
+# ==========================================================================
+
+class TestCrashRecoveryProperty:
+    """replay(crash(prefix)) == the state that actually committed."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_restore_matches_kernel_at_instant_of_power_loss(self, seed):
+        # Crash at a *random append* — possibly mid-operation, possibly
+        # mid-record.  Write-ahead means a record that never finished
+        # corresponds to a mutation that never committed, so the
+        # restored kernel must equal the crashed kernel's in-memory
+        # state at the moment the power died — which we still hold.
+        rng = random.Random(1000 + seed)
+        ops = build_trace(seed)
+        snapshot_every = rng.choice([None, 5])
+        backend, kernel = durable_kernel(snapshot_every)
+        backend.fail_append_after(rng.randrange(1, 26),
+                                  keep_bytes=rng.randrange(1, 40))
+        machine = TraceMachine(kernel)
+        for op in ops:
+            try:
+                machine.apply(op)
+            except CrashError:
+                break
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        assert (probe(restored, machine.pids, machine.rids)
+                == probe(kernel, machine.pids, machine.rids))
+        stats = restored.storage_stats()
+        assert stats["attached"] is True
+        if backend.crashed and snapshot_every is None:
+            # A torn tail was left behind whenever the crash hit
+            # mid-record; replay repaired it silently.
+            assert stats["torn_tail_repairs"] <= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_restore_matches_never_crashed_twin(self, seed):
+        # Crash at an *operation boundary* after K ops: the restored
+        # kernel must be indistinguishable from a fresh kernel (no
+        # storage at all) that simply executed ops[:K].
+        rng = random.Random(2000 + seed)
+        ops = build_trace(seed)
+        cut = rng.randrange(4, len(ops) + 1)
+        snapshot_every = rng.choice([None, 4])
+        backend, kernel = durable_kernel(snapshot_every)
+        machine = TraceMachine(kernel)
+        for op in ops[:cut]:
+            machine.apply(op)
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        twin = NexusKernel(key_seed=HOME_SEED)
+        twin_machine = TraceMachine(twin)
+        for op in ops[:cut]:
+            twin_machine.apply(op)
+        assert machine.pids == twin_machine.pids
+        assert machine.rids == twin_machine.rids
+        assert (probe(restored, machine.pids, machine.rids)
+                == probe(twin, machine.pids, machine.rids))
+        # Counters restored: the next minted identities line up too.
+        assert (restored.create_process("post").pid
+                == twin.create_process("post").pid)
+        assert (restored.resources.create("/post", "file",
+                                          twin.processes.get(
+                                              machine.pids[0]).principal)
+                .resource_id
+                == twin.resources.create("/post", "file",
+                                         twin.processes.get(
+                                             machine.pids[0]).principal)
+                .resource_id)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovered_kernel_survives_a_second_crash(self, seed):
+        # Restart continuity: restore, keep mutating, crash again — the
+        # journal continues the chain across generations.
+        ops = build_trace(seed, length=10)
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in ops:
+            machine.apply(op)
+        second_backend = FaultInjectingBackend(inner=backend.crash())
+        restored = NexusKernel.restore(second_backend,
+                                       key_seed=HOME_SEED)
+        machine2 = TraceMachine(restored)
+        machine2.pids = list(machine.pids)
+        machine2.rids = list(machine.rids)
+        for op in build_trace(seed + 100, length=8):
+            machine2.apply(op)
+        final = NexusKernel.restore(second_backend.crash(),
+                                    key_seed=HOME_SEED)
+        assert (probe(final, machine2.pids, machine2.rids)
+                == probe(restored, machine2.pids, machine2.rids))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tampered_log_is_loud_bad_record(self, seed):
+        rng = random.Random(3000 + seed)
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in build_trace(seed, length=8):
+            machine.apply(op)
+        image = backend.crash()
+        raw = bytearray(image.read_log())
+        assert raw, "trace journalled nothing"
+        # Flip one byte inside the first record's *body*: checksum must
+        # catch it (header/digest flips of later records are caught the
+        # same way; only a final-record length-field flip can masquerade
+        # as a torn tail, by design — crash damage, not tamper).
+        (length,) = struct.unpack_from("<I", raw, 4)
+        raw[_HEADER + rng.randrange(length)] ^= 0xFF
+        with pytest.raises(BadRecord) as info:
+            NexusKernel.restore(
+                MemoryBackend(log=bytes(raw),
+                              snapshot=image.read_snapshot()),
+                key_seed=HOME_SEED)
+        assert info.value.code == "E_BAD_RECORD"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tampered_snapshot_is_loud_bad_record(self, seed):
+        rng = random.Random(4000 + seed)
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in build_trace(seed, length=6):
+            machine.apply(op)
+        kernel.snapshot_now()
+        backend.corrupt_snapshot(rng.randrange(1, 500))
+        with pytest.raises(BadRecord) as info:
+            NexusKernel.restore(backend.crash(), key_seed=HOME_SEED)
+        assert info.value.code == "E_BAD_RECORD"
+
+    def test_lost_snapshot_reordering_is_storage_error(self):
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in build_trace(0, length=6):
+            machine.apply(op)
+        backend.lose_next_snapshot = True
+        kernel.snapshot_now()
+        machine.apply(("spawn",))
+        with pytest.raises(StorageError) as info:
+            NexusKernel.restore(backend.crash(), key_seed=HOME_SEED)
+        assert info.value.code == "E_STORAGE"
+
+    def test_dropped_fsync_loses_the_window_not_the_kernel(self):
+        # An fsync that lies: the journal believes its records are
+        # durable, the crash image holds only the attach-time snapshot.
+        backend = FaultInjectingBackend(drop_fsync=True)
+        kernel = NexusKernel(key_seed=HOME_SEED)
+        kernel.attach_storage(backend)
+        machine = TraceMachine(kernel)
+        for op in build_trace(1, length=8):
+            machine.apply(op)
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        assert restored.storage_stats()["restored_records"] == 0
+        # Recovery is total (the snapshot is intact) — only the
+        # unsynced window is gone: none of the trace's subjects exist.
+        for pid in machine.pids:
+            assert restored.processes._processes.get(pid) is None
+
+
+# ==========================================================================
+# what restore keeps and what it deliberately forgets
+# ==========================================================================
+
+class TestRestoreSemantics:
+    def test_attach_refuses_non_empty_backend(self):
+        backend, kernel = durable_kernel()
+        kernel.create_process("occupant")
+        image = backend.crash()
+        fresh = NexusKernel(key_seed=HOME_SEED)
+        with pytest.raises(StorageError, match="restore"):
+            fresh.attach_storage(image)
+
+    def test_decision_cache_restarts_cold(self):
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in [("spawn",), ("spawn",), ("resource", 0),
+                   ("say", 1, 1), ("setgoal", 0, 1, 1),
+                   ("authorize", 1, 0), ("authorize", 1, 0)]:
+            machine.apply(op)
+        assert kernel.decision_cache.snapshot()["entries"] > 0
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        cold = restored.decision_cache.snapshot()
+        assert cold["entries"] == 0
+        assert cold["hits"] == 0
+        # The policy epoch, by contrast, is durable — cached verdicts
+        # retired before the crash stay retired.
+        assert (restored.decision_cache.policy_epoch
+                == kernel.decision_cache.policy_epoch)
+        # ...and the cache *rebuilds* lazily on first use.
+        rid, _ = machine.rids[0]
+        pid = machine.pids[1]
+        resource = restored.resources.get(rid)
+        bundle = kernel_wallet_bundle(restored, pid, "read", resource)
+        assert restored.authorize(pid, "read", rid, bundle).allow
+        restored.authorize(pid, "read", rid, bundle)
+        assert restored.decision_cache.snapshot()["hits"] >= 1
+
+    def test_goal_and_policy_history_survive(self):
+        backend, kernel = durable_kernel()
+        owner = kernel.create_process("owner")
+        resource = kernel.resources.create("/gov", "file", owner.principal)
+        from repro.policy import PolicyRule, PolicySet, Selector
+        policy = PolicySet(name="gov", rules=(
+            PolicyRule(selector=Selector(kind="file"),
+                       operations=("read",),
+                       goal=f"{owner.principal} says open(doc)"),))
+        kernel.policies.put(policy)
+        kernel.policies.put(policy)  # v2: same document, new version
+        kernel.policies.apply(owner.pid, "gov", 1)
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        assert restored.policies.versions("gov") == [1, 2]
+        assert restored.policies.active_version("gov") == 1
+        entry = restored.default_guard.goals.get(resource.resource_id,
+                                                 "read")
+        assert entry is not None
+        assert "open(doc)" in str(entry.formula)
+
+    def test_revocation_service_rehydrates(self):
+        backend, kernel = durable_kernel()
+        revocation = RevocationService(kernel)
+        issuer = kernel.create_process("issuer")
+        wallet = revocation.issue(issuer, "deploy(app)")
+        assert revocation.is_valid(issuer, "deploy(app)")
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        service = RevocationService(restored)  # re-registered at boot
+        issuer_restored = restored.processes.get(issuer.pid)
+        assert service.is_valid(issuer_restored, "deploy(app)")
+        # Now revoke, crash again, and the revocation survives too.
+        service.revoke(issuer_restored, "deploy(app)")
+        backend2 = restored._persistence.journal.backend
+        final = NexusKernel.restore(
+            MemoryBackend(log=backend2.read_log(),
+                          snapshot=backend2.read_snapshot()),
+            key_seed=HOME_SEED)
+        final_service = RevocationService(final)
+        assert not final_service.is_valid(final.processes.get(issuer.pid),
+                                          "deploy(app)")
+        assert wallet is not None
+
+    def test_federated_admissions_survive_restore(self):
+        # Credentials minted on a remote kernel, admitted on a durable
+        # home kernel: after a crash the admission digest still replays
+        # (no bundle re-presentation) and the peer registry is intact.
+        remote_service = NexusService(NexusKernel(key_seed=REMOTE_SEED))
+        remote_client = NexusClient.over_http(remote_service)
+        subject = remote_client.open_session("fed-subject")
+        subject.say("clearance(high)")
+        exported = subject.export_credentials()
+
+        backend, kernel = durable_kernel()
+        identity = remote_client.info().platform
+        kernel.add_peer(PEER_ALIAS, identity["root_key"],
+                        platform=identity["platform"])
+        admission = kernel.admit_remote(exported.bundle)
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        replayed = restored.admit_remote(admission.digest)
+        assert replayed.digest == admission.digest
+        assert replayed.remote_principal == admission.remote_principal
+        assert [peer.name for peer in restored.peers] == [PEER_ALIAS]
+        # The admitted stand-in's labels replayed as first-class labels.
+        store = restored.default_labelstore(admission.pid)
+        assert any("clearance" in str(label.statement) for label in store)
+
+    def test_structural_codec_round_trips_federated_principals(self):
+        # The reason the codec exists: alias-qualified principals carry
+        # dotted tags that text round-tripping re-splits.
+        from repro.nal.terms import Name
+        principal = Name("TPM-abc").sub("NK-def.boot1").sub("worker")
+        assert decode_node(encode_node(principal)) == principal
+        from repro.nal.parser import parse
+        formula = parse("alice says ok(x) and bob says (p speaksfor q)")
+        assert decode_node(encode_node(formula)) == formula
+
+    def test_text_lossy_speaker_survives_crash_via_structural_codec(self):
+        # Labels journal their speaker as source text when that
+        # round-trips; a dotted-tag principal must take (and survive
+        # through) the structural fallback instead.
+        from repro.nal.terms import Name
+        backend, kernel = durable_kernel()
+        lossy = Name("TPM-abc").sub("NK-def.boot1").sub("worker")
+        kernel.say_as(lossy, "attests(worker)")
+        restored = NexusKernel.restore(backend.crash(), key_seed=HOME_SEED)
+        store = restored._kernel_store()
+        speakers = [label.speaker for label in store]
+        assert lossy in speakers
+
+
+# ==========================================================================
+# the wire surface
+# ==========================================================================
+
+class TestStorageStatsApi:
+    def test_unattached_kernel_reports_attached_false(self, api_world):
+        stats = api_world.client.storage_stats()
+        assert stats.attached is False
+
+    @pytest.mark.parametrize("transport", ["direct", "http"])
+    def test_durable_service_reports_journal_counters(self, transport):
+        backend, kernel = durable_kernel()
+        service = NexusService(kernel)
+        client = (NexusClient.in_process(service) if transport == "direct"
+                  else NexusClient.over_http(service))
+        session = client.open_session("watcher")
+        session.say("alive(yes)")
+        response = client.storage_stats()
+        assert response.attached is True
+        assert response.stats["backend"] == "fault-injecting"
+        assert response.stats["records_appended"] >= 2  # process + label
+        assert response.stats["seq"] >= 2
+        assert response.stats["restored_from_snapshot"] is False
+
+    def test_restored_kernel_reports_provenance_over_the_wire(self):
+        backend, kernel = durable_kernel()
+        machine = TraceMachine(kernel)
+        for op in build_trace(2, length=6):
+            machine.apply(op)
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        for factory in (NexusClient.in_process, NexusClient.over_http):
+            client = factory(NexusService(restored))
+            response = client.storage_stats()
+            assert response.attached is True
+            assert response.stats["restored_from_snapshot"] is True
+            assert (response.stats["restored_records"]
+                    == restored.storage_stats()["restored_records"])
+
+    def test_proc_node_publishes_storage_stats(self):
+        _backend, kernel = durable_kernel()
+        kernel.create_process("anyone")
+        node = kernel.introspection.read("/proc/kernel/storage")
+        assert "attached" in str(node)
+
+
+class TestDurableServiceAcrossTransports:
+    @pytest.mark.parametrize("transport", ["direct", "http"])
+    def test_verdicts_survive_crash_and_adoption(self, transport):
+        # The full stack: drive a durable service over the wire, crash
+        # the medium, restore, re-mount a service, re-adopt the pids
+        # (sessions are bearer state and deliberately die), and the
+        # verdicts must be unchanged.
+        backend, kernel = durable_kernel()
+        service = NexusService(kernel)
+        client = (NexusClient.in_process(service) if transport == "direct"
+                  else NexusClient.over_http(service))
+        owner = client.open_session("owner")
+        insider = client.open_session("insider")
+        insider.say("badge(blue)")
+        resource = owner.create_resource("/door", "file")
+        owner.set_goal(resource, "read",
+                       f"{insider.principal} says badge(blue)")
+        before = {
+            "insider": insider.authorize("read", resource,
+                                         wallet=True).allow,
+            "owner": owner.authorize("read", resource,
+                                     wallet=True).allow,
+        }
+        assert before == {"insider": True, "owner": False}
+
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        service2 = NexusService(restored)
+        client2 = (NexusClient.in_process(service2)
+                   if transport == "direct"
+                   else NexusClient.over_http(service2))
+        adopted_owner = client2.adopt_session(
+            service2.open_session("owner", pid=owner.pid))
+        adopted_insider = client2.adopt_session(
+            service2.open_session("insider", pid=insider.pid))
+        after = {
+            "insider": adopted_insider.authorize(
+                "read", "/door", wallet=True).allow,
+            "owner": adopted_owner.authorize(
+                "read", "/door", wallet=True).allow,
+        }
+        assert after == before
