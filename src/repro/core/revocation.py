@@ -150,7 +150,10 @@ class RevocationService:
             from repro.errors import UntrustedPeer
             raise UntrustedPeer(
                 f"no peer {peer_id[:16]}… to reinstate")
-        self.kernel.peers.add(name, peer.root_key, platform=peer.platform)
+        # Through kernel.add_peer, not the registry directly: re-trust
+        # is a durable mutation and must take the kernel write lock so
+        # its journal record cannot race a snapshot.
+        self.kernel.add_peer(name, peer.root_key, platform=peer.platform)
         self.kernel.bump_policy_epoch()
 
     def is_valid(self, issuer: Process,

@@ -228,11 +228,21 @@ class NexusKernel:
         if persistence is None or persistence.journal is None:
             raise StorageError("no storage attached")
         # Lock order as everywhere: admission lock outside kernel lock.
+        # The labels-registry and resource-table locks are taken too,
+        # because sys_say/say_as and introspection-resource creation
+        # journal-and-mutate under only those; with all four held no
+        # thread can append a record or be mid-mutation, so the
+        # serialized state and the sequence number the snapshot claims
+        # to cover are one consistent cut — no record can land between
+        # serializing and stamping the coverage seq, and no store can
+        # mutate while its labels are being iterated.
         with self.federation.lock:
             with self._state_lock.write_locked():
-                persistence.journal.write_snapshot(
-                    persistence.serialize_state())
-                return persistence.journal.last_snapshot_seq
+                with self.labels._lock.write_locked():
+                    with self.resources._lock:
+                        persistence.journal.write_snapshot(
+                            persistence.serialize_state())
+                        return persistence.journal.last_snapshot_seq
 
     def storage_stats(self) -> Dict[str, Any]:
         """The storage introspection surface: journal counters plus the
@@ -250,10 +260,14 @@ class NexusKernel:
         """Snapshot when the cadence says so — called by mutators *after*
         releasing their locks, never mid-composite (a snapshot taken
         while a composite record is suppressing its nested records would
-        compact away the composite and lose the suppressed tail)."""
+        compact away the composite and lose the suppressed tail).
+        ``suppressing`` is per-thread and covers this thread's own
+        composites; *another* thread's composite cannot interleave
+        because every composite holds the federation lock, which
+        :meth:`snapshot_now` takes first."""
         persistence = self._persistence
         if (persistence is None or persistence.journal is None
-                or persistence._suppress
+                or persistence.suppressing
                 or not persistence.journal.due_for_snapshot()):
             return
         self.snapshot_now()
@@ -261,21 +275,26 @@ class NexusKernel:
     def bump_policy_epoch(self) -> int:
         """Durable :meth:`DecisionCache.bump_policy_epoch`: services that
         retire cached verdicts (revocation) route through here so the
-        bump replays."""
-        persistence = self._persistence
-        if persistence is not None:
-            persistence.record("epoch_bump", {})
-        return self.decision_cache.bump_policy_epoch()
+        bump replays.  Under the kernel write lock so the record and the
+        bump are one atomic step with respect to :meth:`snapshot_now`."""
+        with self._state_lock.write_locked():
+            persistence = self._persistence
+            if persistence is not None:
+                persistence.record("epoch_bump", {})
+            return self.decision_cache.bump_policy_epoch()
 
     def note_revocation_event(self, port: str,
                               event: Dict[str, Any]) -> None:
         """Journal + stash one revocation-service event (issue / revoke /
         reinstate) so a restored kernel can rehydrate the service's
-        authority state when it re-registers on ``port``."""
-        persistence = self._persistence
-        if persistence is not None:
-            persistence.record("revocation", {"port": port, **event})
-        self._revocation_events.setdefault(port, []).append(dict(event))
+        authority state when it re-registers on ``port``.  Under the
+        kernel write lock: a snapshot must never cover this record's seq
+        without the stashed event (or vice versa)."""
+        with self._state_lock.write_locked():
+            persistence = self._persistence
+            if persistence is not None:
+                persistence.record("revocation", {"port": port, **event})
+            self._revocation_events.setdefault(port, []).append(dict(event))
 
     def revocation_events(self, port: str) -> List[Dict[str, Any]]:
         """The stashed revocation history for one authority port."""
@@ -288,16 +307,17 @@ class NexusKernel:
     def create_process(self, name: str, image: bytes = b"",
                        parent_pid: Optional[int] = None) -> Process:
         with self._state_lock.write_locked():
-            process = self.processes.create(name, image, parent_pid)
-            if self._persistence is not None:
-                self._persistence.record("process", {
-                    "pid": process.pid, "name": process.name,
-                    "image_hash": process.image_hash.hex(),
-                    "parent_pid": parent_pid})
-            store = self.labels.create_store(process.pid)
-            self._default_store[process.pid] = store
+            # Resolve the owner first: a bad parent pid must fail before
+            # anything is journalled or committed.  The "process" record
+            # itself is appended by the ProcessTable observer *inside*
+            # processes.create, before the pid is allocated and the
+            # process committed — write-ahead, so a storage failure
+            # leaves no half-created process in memory.
             owner = (self.processes.get(parent_pid).principal
                      if parent_pid is not None else KERNEL_PRINCIPAL)
+            process = self.processes.create(name, image, parent_pid)
+            store = self.labels.create_store(process.pid)
+            self._default_store[process.pid] = store
             self.resources.create(name=process.path, kind="process",
                                   owner=owner, payload=process)
             self.introspection.publish(f"{process.path}/name", process.name)
@@ -311,8 +331,8 @@ class NexusKernel:
         its introspection nodes disappear from the live view."""
         with self._state_lock.write_locked():
             process = self.processes.get(pid)
-            if self._persistence is not None:
-                self._persistence.record("process_exit", {"pid": pid})
+            # The "process_exit" record is appended by the ProcessTable
+            # observer before the alive flag flips.
             self.processes.exit(pid)
             for port in self.ports.ports_owned_by(pid):
                 port_resource = self.resources.find(f"/ipc/{port.port_id}")
@@ -364,9 +384,17 @@ class NexusKernel:
         return store.insert(parse_principal(speaker), parse(statement))
 
     def _kernel_store(self) -> LabelStore:
-        if 0 not in self._default_store:
-            self._default_store[0] = self.labels.create_store(0)
-        return self._default_store[0]
+        # Under the labels write lock (reentrant for create_store) so
+        # the store record, the registry commit and the default-store
+        # binding are one step: two concurrent say_as calls cannot mint
+        # duplicate kernel stores, and a snapshot (which holds this
+        # lock) can never cover the store's record without the binding.
+        with self.labels._lock.write_locked():
+            store = self._default_store.get(0)
+            if store is None:
+                store = self.labels.create_store(0)
+                self._default_store[0] = store
+        return store
 
     # ------------------------------------------------------------------
     # label externalization (§2.4)
@@ -825,8 +853,13 @@ class NexusKernel:
         from repro.crypto.rsa import RSAPublicKey
         if isinstance(root_key, dict):
             root_key = RSAPublicKey.from_dict(root_key)
-        peer = self.peers.add(name, root_key, platform=platform,
-                              added_at=self.now())
+        # Registration is a durable mutation (the registry observer
+        # journals it), so it takes the kernel write lock like every
+        # other record-emitting path — snapshot_now must be able to
+        # exclude it.
+        with self._state_lock.write_locked():
+            peer = self.peers.add(name, root_key, platform=platform,
+                                  added_at=self.now())
         self._maybe_compact()
         return peer
 

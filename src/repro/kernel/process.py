@@ -57,16 +57,22 @@ class ProcessTable:
         # Pid allocation must be race-free even when sessions are opened
         # from concurrent server workers.
         self._lock = threading.Lock()
+        #: Persistence hook: ``observer(event, process)`` fires before
+        #: the table commits, so the record precedes the mutation and a
+        #: storage failure aborts the create/exit (pid unallocated,
+        #: process still alive) instead of diverging from the WAL.
+        self.observer = None
 
     def create(self, name: str, image: bytes,
                parent_pid: Optional[int] = None) -> Process:
         with self._lock:
-            pid = self._next_pid
-            self._next_pid += 1
-            process = Process(pid=pid, name=name,
+            process = Process(pid=self._next_pid, name=name,
                               image_hash=hash_image(image),
                               parent_pid=parent_pid)
-            self._processes[pid] = process
+            if self.observer is not None:
+                self.observer("create", process)
+            self._next_pid += 1
+            self._processes[process.pid] = process
         return process
 
     def get(self, pid: int) -> Process:
@@ -78,6 +84,8 @@ class ProcessTable:
 
     def exit(self, pid: int) -> None:
         process = self.get(pid)
+        if self.observer is not None:
+            self.observer("exit", process)
         process.alive = False
 
     def alive_pids(self):

@@ -159,6 +159,7 @@ class SocketServer:
         self.backlog = backlog
         self._listener: Optional[socket.socket] = None
         self._threads: list = []
+        self._ephemeral: list = []
         self._accept_thread: Optional[threading.Thread] = None
         self._conn_queue: "Queue[Optional[socket.socket]]" = Queue()
         self._stopping = threading.Event()
@@ -216,6 +217,14 @@ class SocketServer:
         response, and only then reads EOF and closes — a ``close()``
         here instead used to abandon buffered frames and could tear a
         response off the wire mid-send.
+
+        The joins are unbounded on purpose: after ``SHUT_RD`` every
+        serve loop is guaranteed to reach EOF once its in-flight request
+        finishes, however slow that request is (a long proof check, a
+        snapshot compaction on the syscall path).  A join timeout here
+        used to cold-close such a connection out from under its worker,
+        tearing the response mid-send — the exact failure the drain
+        exists to prevent.
         """
         self._stopping.set()
         if self._listener is not None:
@@ -225,11 +234,14 @@ class SocketServer:
                 pass
             self._listener = None
         if self._accept_thread is not None:
-            # No new connections may join the live set after this.
+            # No new connections may join the live set after this (the
+            # closed listener makes accept() raise immediately).
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
         with self._live_lock:
             draining = list(self._live_conns)
+            ephemeral = list(self._ephemeral)
+            self._ephemeral = []
         for conn in draining:
             try:
                 conn.shutdown(socket.SHUT_RD)
@@ -237,11 +249,17 @@ class SocketServer:
                 pass
         for _ in self._threads:
             self._conn_queue.put(None)
+        # Pool workers first drain every queued connection (each one
+        # already half-closed above), then take their sentinel and exit;
+        # thread-per-request handlers finish their single request.
         for thread in self._threads:
-            thread.join(timeout=5.0)
+            thread.join()
         self._threads = []
-        # Whatever is still live was never picked up by a worker (or an
-        # ephemeral handler outlived the join window): close it cold.
+        for thread in ephemeral:
+            thread.join()
+        # Every connection was owned by a now-joined thread and closed
+        # in its serve loop; anything still here is a bookkeeping leak,
+        # not a live conversation — safe to close cold.
         with self._live_lock:
             leftovers = list(self._live_conns)
             self._live_conns.clear()
@@ -273,10 +291,17 @@ class SocketServer:
             with self._live_lock:
                 self._live_conns.add(conn)
             if self.thread_per_request:
-                threading.Thread(target=self._serve_connection,
-                                 args=(conn, True),
-                                 name="nexus-ephemeral",
-                                 daemon=True).start()
+                thread = threading.Thread(target=self._serve_connection,
+                                          args=(conn, True),
+                                          name="nexus-ephemeral",
+                                          daemon=True)
+                with self._live_lock:
+                    # Tracked so stop() can drain them like pool workers;
+                    # pruned as they finish so the list stays bounded.
+                    self._ephemeral = [t for t in self._ephemeral
+                                       if t.is_alive()]
+                    self._ephemeral.append(thread)
+                thread.start()
             else:
                 self._conn_queue.put(conn)
 

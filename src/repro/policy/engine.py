@@ -97,11 +97,17 @@ class PolicyEngine:
         draft.  Versions start at 1 and are append-only: history is the
         audit log, so nothing is ever overwritten or deleted.
         """
-        self._persist("policy_put", {"name": policy_set.name,
-                                     "document": policy_set.to_dict()})
-        record = self._records.setdefault(policy_set.name, _PolicyRecord())
-        record.versions.append(policy_set)
-        return len(record.versions)
+        # Record + append under the kernel write lock: the journal entry
+        # and the in-memory version list move together, so a concurrent
+        # snapshot can never cover the record's seq without the version
+        # (which replay would then drop as stale).
+        with self.kernel._state_lock.write_locked():
+            self._persist("policy_put", {"name": policy_set.name,
+                                         "document": policy_set.to_dict()})
+            record = self._records.setdefault(policy_set.name,
+                                              _PolicyRecord())
+            record.versions.append(policy_set)
+            return len(record.versions)
 
     def get(self, name: str, version: Optional[int] = None) -> PolicySet:
         """Fetch one stored version (default: the latest)."""
@@ -128,16 +134,23 @@ class PolicyEngine:
         if persistence is not None:
             persistence.record(type, data)
 
-    def _persist_state(self, name: str, record: _PolicyRecord) -> None:
-        """Journal the ownership state an apply/cover just produced.
+    def _commit_state(self, name: str, record: _PolicyRecord,
+                      active_version: Optional[int],
+                      installed) -> None:
+        """Journal + commit the ownership state an apply/cover produced.
 
         The goal installs themselves replay from the kernel's own
         ``policy_apply`` record; this one restores which version is
-        active and which pairs it owns."""
-        self._persist("policy_state", {
-            "name": name, "active_version": record.active_version,
-            "installed": sorted([rid, op]
-                                for rid, op in record.installed)})
+        active and which pairs it owns.  Write-ahead and under the
+        kernel write lock: record first, then mutate, atomically with
+        respect to ``snapshot_now``."""
+        installed = set(installed)
+        with self.kernel._state_lock.write_locked():
+            self._persist("policy_state", {
+                "name": name, "active_version": active_version,
+                "installed": sorted([rid, op] for rid, op in installed)})
+            record.active_version = active_version
+            record.installed = installed
 
     def _record(self, name: str) -> _PolicyRecord:
         record = self._records.get(name)
@@ -236,11 +249,9 @@ class PolicyEngine:
               None if a.action == CLEAR else a.goal, a.guard_port)
              for a in changes],
             bundle=bundle)
-        record.active_version = resolved
-        record.installed = {
-            (a.resource_id, a.operation) for a in actions
-            if a.action in (SET, KEEP)}
-        self._persist_state(name, record)
+        self._commit_state(name, record, resolved,
+                           {(a.resource_id, a.operation) for a in actions
+                            if a.action in (SET, KEEP)})
         return PolicyApplyResult(
             name=name, version=resolved,
             set_count=sum(1 for a in changes if a.action == SET),
@@ -291,10 +302,10 @@ class PolicyEngine:
               None if a.action == CLEAR else a.goal, a.guard_port)
              for a in changes],
             bundle=bundle)
-        record.installed |= {(a.resource_id, a.operation)
-                             for a in actions
-                             if a.action in (SET, KEEP)}
-        self._persist_state(name, record)
+        self._commit_state(name, record, record.active_version,
+                           record.installed
+                           | {(a.resource_id, a.operation) for a in actions
+                              if a.action in (SET, KEEP)})
         return PolicyApplyResult(
             name=name, version=record.active_version,
             set_count=sum(1 for a in changes if a.action == SET),

@@ -8,11 +8,13 @@
   the in-memory state changes: goal set/clear, policy put/apply,
   process lifecycle, labelstore mutations, peer add/revoke, admissions,
   revocation events.  Observers installed on the labelstore registry,
-  the resource table and the peer registry catch mutations that do not
-  flow through a kernel method; explicit hooks in the kernel cover the
-  rest.  Composite operations (peer revocation, admission teardown)
-  append one record and *suppress* the records their nested mutations
-  would emit, so replay applies each effect exactly once.
+  the process table, the resource table and the peer registry fire
+  *before* each mutation commits (so a storage failure aborts the
+  mutation); explicit hooks in the kernel cover the rest.  Composite
+  operations (peer revocation, admission teardown) append one record
+  and *suppress* — per thread — the records their nested mutations
+  would emit, so replay applies each effect exactly once while
+  concurrent unrelated mutations still journal theirs.
 * **serialize** — :meth:`serialize_state` captures the whole durable
   kernel state as one JSON document (the snapshot payload); NAL
   formulas and principals travel as their source text when that
@@ -199,8 +201,13 @@ class KernelPersistence:
     def __init__(self, kernel):
         self.kernel = kernel
         self.journal: Optional[Journal] = None
-        self._suppress = 0
-        self._suppress_lock = threading.RLock()
+        # Suppression depth is PER-THREAD: a composite only covers the
+        # nested mutations performed by the thread running it.  A shared
+        # counter would silently drop records from concurrent, unrelated
+        # mutations (e.g. a sys_say on another API thread) landing
+        # during the suppression window — state present in memory but
+        # absent from the WAL.
+        self._suppress = threading.local()
         self.restored_from_snapshot = False
         self.restored_records = 0
 
@@ -208,16 +215,20 @@ class KernelPersistence:
     # recording
     # ------------------------------------------------------------------
 
+    @property
+    def suppressing(self) -> bool:
+        """Is the *calling thread* inside a suppressed composite?"""
+        return getattr(self._suppress, "depth", 0) > 0
+
     @contextmanager
     def suppressed(self):
-        """Mute nested records while a composite record covers them."""
-        with self._suppress_lock:
-            self._suppress += 1
+        """Mute nested records emitted by this thread while a composite
+        record covers them."""
+        self._suppress.depth = getattr(self._suppress, "depth", 0) + 1
         try:
             yield
         finally:
-            with self._suppress_lock:
-                self._suppress -= 1
+            self._suppress.depth -= 1
 
     def record(self, type: str, data: Dict[str, Any]) -> None:
         """Append one record unless a composite already covers it.
@@ -226,7 +237,7 @@ class KernelPersistence:
         mutation that was about to happen — the write-ahead contract).
         """
         journal = self.journal
-        if journal is None or self._suppress:
+        if journal is None or self.suppressing:
             return
         journal.append(type, data)
 
@@ -235,6 +246,7 @@ class KernelPersistence:
         self.journal = journal
         kernel = self.kernel
         kernel.labels.set_observer(self._on_label_event)
+        kernel.processes.observer = self._on_process_event
         kernel.resources.observer = self._on_resource_event
         kernel.peers.observer = self._on_peer_event
 
@@ -252,6 +264,15 @@ class KernelPersistence:
         elif event == "delete":
             self.record("label_del", {"store_id": store.store_id,
                                       "handle": payload})
+
+    def _on_process_event(self, event: str, process) -> None:
+        if event == "create":
+            self.record("process", {
+                "pid": process.pid, "name": process.name,
+                "image_hash": process.image_hash.hex(),
+                "parent_pid": process.parent_pid})
+        elif event == "exit":
+            self.record("process_exit", {"pid": process.pid})
 
     def _on_resource_event(self, event: str, resource) -> None:
         if event == "create":
@@ -280,8 +301,11 @@ class KernelPersistence:
     def serialize_state(self) -> Dict[str, Any]:
         """The whole durable kernel state as one JSON document.
 
-        Caller holds the kernel write lock (and the admission lock, per
-        the kernel's lock order) so the capture is a consistent cut.
+        Caller holds the admission lock, the kernel write lock, the
+        labels-registry write lock and the resource-table lock (in that
+        order — see :meth:`NexusKernel.snapshot_now`), so the capture is
+        a consistent cut: no record-emitting mutation can be in flight
+        anywhere while this runs.
         """
         kernel = self.kernel
         processes = [{

@@ -239,6 +239,51 @@ class TestSocketServer:
             assert bodies == [b"ok:r0", b"ok:r1", b"ok:r2"]
             assert sock.recv(65536) == b""  # clean EOF after the drain
 
+    def test_stop_waits_for_slow_in_flight_request(self):
+        # Regression: stop() used to join workers with a timeout and
+        # then cold-close whatever connections remained — a request
+        # that was merely *slow* (a long proof check) had its response
+        # torn off the wire.  In thread-per-request mode the handler
+        # threads weren't joined at all, so the cold-close landed
+        # immediately.  The drain must outwait the handler, however
+        # slow, and deliver the complete framed response.
+        for thread_per_request in (False, True):
+            release = threading.Event()
+            started = threading.Event()
+            router = Router()
+
+            def slow(request, release=release, started=started):
+                started.set()
+                assert release.wait(5.0), "test never released the handler"
+                return HTTPResponse(200, b"slow:" + request.body)
+
+            router.add("POST", "/slow", slow, exact=True)
+            server = SocketServer(router, workers=1,
+                                  thread_per_request=thread_per_request)
+            host, port = server.start()
+            raw = HTTPRequest("POST", "/slow", {}, b"req").to_bytes()
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(raw)
+                assert started.wait(5.0)  # request is in flight
+                stopper = threading.Thread(target=server.stop)
+                stopper.start()
+                # Give stop() time to reach its joins while the
+                # handler still holds the request open.
+                stopper.join(timeout=0.3)
+                assert stopper.is_alive()  # draining, not dropping
+                release.set()
+                buffer = b""
+                while split_frame(buffer) is None:
+                    chunk = sock.recv(65536)
+                    assert chunk, "server tore the in-flight response"
+                    buffer += chunk
+                message, rest = split_frame(buffer)
+                assert parse_response(message).body == b"slow:req"
+                assert rest == b""
+                stopper.join(timeout=5.0)
+                assert not stopper.is_alive()
+                assert sock.recv(65536) == b""  # clean EOF
+
     def test_persistent_connection_survives_server_side_drop(self):
         with SocketServer(_echo_router(), workers=2) as server:
             host, port = server.address

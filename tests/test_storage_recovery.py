@@ -14,6 +14,7 @@ ephemeral surfaces (the decision cache restarts cold) and the wire
 
 import random
 import struct
+import threading
 
 import pytest
 
@@ -640,6 +641,101 @@ class TestRestoreSemantics:
         store = restored._kernel_store()
         speakers = [label.speaker for label in store]
         assert lossy in speakers
+
+
+# ==========================================================================
+# concurrency: suppression scope, write-ahead aborts, the snapshot cut
+# ==========================================================================
+
+class TestPersistenceConcurrency:
+    def test_composite_suppression_is_thread_local(self):
+        # Regression: the suppression depth used to be one shared
+        # counter, so while any thread ran a suppressed composite an
+        # unrelated mutation on *another* thread was silently not
+        # journalled — a durably lost label with no error anywhere.
+        backend, kernel = durable_kernel()
+        speaker = kernel.create_process("speaker")
+        persistence = kernel._persistence
+        with persistence.suppressed():
+            crosser = threading.Thread(
+                target=kernel.sys_say, args=(speaker.pid, "cross(thread)"))
+            crosser.start()
+            crosser.join()
+            # The suppressing thread's own records stay muted...
+            before = persistence.journal.seq
+            kernel.sys_say(speaker.pid, "muted(here)")
+            assert persistence.journal.seq == before
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        statements = [str(label.statement) for label
+                      in restored.default_labelstore(speaker.pid)]
+        # ...but the other thread's label survived the crash.
+        assert any("cross" in s for s in statements)
+        assert not any("muted" in s for s in statements)
+
+    def test_create_process_aborts_cleanly_when_append_fails(self):
+        # Write-ahead: the "process" record precedes the table commit,
+        # so a storage failure must leave no half-created process and
+        # no burned pid.
+        backend, kernel = durable_kernel()
+        survivor = kernel.create_process("survivor")
+        next_pid = kernel.processes._next_pid
+        backend.fail_append_after(0)  # the very next append tears
+        with pytest.raises(CrashError):
+            kernel.create_process("phantom")
+        assert kernel.processes.alive_pids() == [survivor.pid]
+        assert kernel.processes._next_pid == next_pid
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        assert restored.processes.alive_pids() == [survivor.pid]
+
+    def test_exit_process_aborts_cleanly_when_append_fails(self):
+        backend, kernel = durable_kernel()
+        victim = kernel.create_process("victim")
+        backend.fail_append_after(0)
+        with pytest.raises(CrashError):
+            kernel.exit_process(victim.pid)
+        assert victim.pid in kernel.processes  # still alive in memory
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        assert restored.processes.alive_pids() == [victim.pid]
+
+    def test_snapshot_is_a_consistent_cut_under_concurrent_says(self):
+        # Regression: snapshot_now used to serialize state without the
+        # labels-registry lock and read the journal seq *after* the
+        # state cut, so a record landing in the window was covered by
+        # the snapshot without its mutation — replay then skipped it as
+        # stale and the label was permanently lost.
+        backend, kernel = durable_kernel()
+        pids = [kernel.create_process(f"writer{i}").pid for i in range(3)]
+        errors = []
+
+        def writer(pid):
+            try:
+                for n in range(120):
+                    kernel.sys_say(pid, f"fact{n}(p{pid})")
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(pid,))
+                   for pid in pids]
+        for thread in threads:
+            thread.start()
+        while any(thread.is_alive() for thread in threads):
+            kernel.snapshot_now()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        kernel.snapshot_now()
+        restored = NexusKernel.restore(backend.crash(),
+                                       key_seed=HOME_SEED)
+        for pid in pids:
+            live = sorted(str(label.statement) for label
+                          in kernel.default_labelstore(pid))
+            replayed = sorted(str(label.statement) for label
+                              in restored.default_labelstore(pid))
+            assert replayed == live
+            assert len(replayed) == 120
 
 
 # ==========================================================================
