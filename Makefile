@@ -3,8 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-storage docs-check lint coverage \
-	coverage-storage check
+.PHONY: test bench bench-smoke bench-storage bench-cluster docs-check \
+	lint coverage coverage-storage coverage-cluster check
 
 ## tier-1: every test and benchmark, fail-fast (the CI gate)
 test:
@@ -24,16 +24,22 @@ bench-smoke:
 bench-storage:
 	$(PYTHON) -m pytest -q benchmarks/test_fig12a_storage.py
 
+## the cluster scale-out experiment alone (forked fleets at 1/2/4
+## workers, guard-heavy authorize); emits BENCH_cluster.json
+bench-cluster:
+	$(PYTHON) -m pytest -q benchmarks/test_fig12b_cluster.py
+
 ## execute every python snippet in the documentation
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
 	    docs/api.md docs/nal.md docs/policy.md docs/federation.md \
-	    docs/storage.md
+	    docs/storage.md docs/cluster.md
 
 ## docstring coverage for the trusted packages + the service boundary
 lint:
 	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal \
-	    src/repro/api src/repro/policy src/repro/federation
+	    src/repro/api src/repro/policy src/repro/federation \
+	    src/repro/cluster
 
 ## line-coverage floor for the federation subsystem (stdlib tracer)
 coverage:
@@ -46,6 +52,13 @@ coverage:
 coverage-storage:
 	$(PYTHON) tools/check_coverage.py --target src/repro/storage \
 	    --floor 85 -- -q tests/test_storage_recovery.py \
-	    tests/test_storage.py
+	    tests/test_storage.py tests/test_storage_inspect.py
 
-check: lint docs-check coverage coverage-storage test
+## line-coverage floor for the cluster runtime (supervisor, replicas,
+## epoch bus, sharding); the forked-fleet tests exercise the
+## parent-side supervisor paths the tracer can see
+coverage-cluster:
+	$(PYTHON) tools/check_coverage.py --target src/repro/cluster \
+	    --floor 85 -- -q tests/test_cluster.py
+
+check: lint docs-check coverage coverage-storage coverage-cluster test

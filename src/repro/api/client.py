@@ -484,6 +484,13 @@ class ClientSession:
                               msg.PeerListResponse)
         return response.peers
 
+    def revoke(self, peer: Optional[str] = None) -> msg.RevokeResponse:
+        """Revoke a peer's root key (``peer`` is an id or local alias),
+        or with no argument bump the global policy epoch so every
+        cached verdict is retired."""
+        return self._call(msg.RevokeRequest(session=self.token, peer=peer),
+                          msg.RevokeResponse)
+
     def export_credentials(self) -> msg.BundleResponse:
         """Export my credential set as a signed, self-contained bundle
         another kernel can admit; the response carries the bundle

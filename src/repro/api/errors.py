@@ -48,6 +48,7 @@ HTTP_STATUS = {
     "E_FEDERATION": 400,
     "E_BAD_CHAIN": 400,
     "E_UNTRUSTED_PEER": 403,
+    "E_CLUSTER": 503,
 }
 
 

@@ -912,6 +912,31 @@ class StorageStatsRequest(ApiRequest):
         return cls()
 
 
+@dataclass
+class RevokeRequest(ApiRequest):
+    """Retire credentials kernel-wide.
+
+    With ``peer`` (a peer id or local alias) the named peer's root key
+    is revoked: every principal it sponsored is dropped and the
+    decision-cache policy epoch is bumped.  Without ``peer`` the epoch
+    alone is bumped — the blunt instrument that retires *every* cached
+    verdict (e.g. after an out-of-band trust change).
+    """
+
+    session: str
+    peer: Optional[str] = None
+
+    KIND = "revoke"
+
+    def payload(self):
+        return {"session": self.session, "peer": self.peer}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   peer=_get(payload, "peer", (str,), required=False))
+
+
 # --------------------------------------------------------------------------
 # responses
 # --------------------------------------------------------------------------
@@ -1269,6 +1294,30 @@ class StorageStatsResponse(ApiResponse):
 
 
 @dataclass
+class RevokeResponse(ApiResponse):
+    """Outcome of a revocation: the new policy epoch (every cached
+    verdict from earlier epochs is now unservable) and, for peer
+    revocations, how many admitted principals were dropped."""
+
+    policy_epoch: int
+    dropped: int = 0
+    peer: Optional[str] = None
+
+    KIND = "revoke_result"
+
+    def payload(self):
+        return {"policy_epoch": self.policy_epoch, "dropped": self.dropped,
+                "peer": self.peer}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(policy_epoch=_get(payload, "policy_epoch", (int,)),
+                   dropped=_get(payload, "dropped", (int,),
+                                required=False, default=0),
+                   peer=_get(payload, "peer", (str,), required=False))
+
+
+@dataclass
 class IndexResponse(ApiResponse):
     """The discovery document: API version and mounted request kinds."""
 
@@ -1552,7 +1601,8 @@ REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
         PolicyRollbackRequest, PolicyGetRequest, PolicyVersionsRequest,
         ExplainRequest, PeerAddRequest, PeerListRequest,
         FederationExportRequest, FederationAdmitRequest, IndexRequest,
-        SessionStatsRequest, InfoRequest, StorageStatsRequest)}
+        SessionStatsRequest, InfoRequest, StorageStatsRequest,
+        RevokeRequest)}
 
 RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
     cls.KIND: cls for cls in (
@@ -1563,7 +1613,7 @@ RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
         IndexResponse, PolicyVersionResponse, PolicyPlanResponse,
         PolicyApplyResponse, PolicyDocResponse, PolicyVersionsResponse,
         ExplainResponse, PeerResponse, PeerListResponse, BundleResponse,
-        AdmissionResponse, StorageStatsResponse)}
+        AdmissionResponse, StorageStatsResponse, RevokeResponse)}
 
 
 def _decode_envelope(data: Union[bytes, str, Dict[str, Any]]

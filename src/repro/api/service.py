@@ -32,6 +32,7 @@ from repro.api.errors import (ApiError, E_NO_SUCH_SESSION, bad_request,
                               from_exception)
 from repro.core.attestation import kernel_wallet_bundle
 from repro.core.credentials import CredentialSet
+from repro.errors import UntrustedPeer
 from repro.kernel.guard import Explanation, GuardDecision
 from repro.kernel.kernel import NexusKernel
 from repro.kernel.resources import Resource
@@ -132,6 +133,7 @@ class NexusService:
             msg.SessionStatsRequest.KIND: self._session_stats,
             msg.InfoRequest.KIND: self._info,
             msg.StorageStatsRequest.KIND: self._storage_stats,
+            msg.RevokeRequest.KIND: self._revoke,
         }
 
     # ------------------------------------------------------------------
@@ -612,6 +614,21 @@ class NexusService:
         stats = self.kernel.storage_stats()
         return msg.StorageStatsResponse(
             attached=bool(stats.get("attached")), stats=stats)
+
+    def _revoke(self, _session: Session,
+                request: msg.RevokeRequest) -> msg.RevokeResponse:
+        if request.peer is not None:
+            peer = (self.kernel.peers.get(request.peer)
+                    or self.kernel.peers.by_name(request.peer))
+            if peer is None:
+                raise UntrustedPeer(
+                    f"cannot revoke unknown peer {request.peer!r}")
+            dropped = self.kernel.revoke_peer(peer.peer_id)
+            return msg.RevokeResponse(
+                policy_epoch=self.kernel.decision_cache.policy_epoch,
+                dropped=dropped, peer=peer.peer_id)
+        return msg.RevokeResponse(
+            policy_epoch=self.kernel.bump_policy_epoch())
 
 
 def _verdict(decision: GuardDecision) -> msg.Verdict:

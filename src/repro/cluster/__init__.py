@@ -1,0 +1,36 @@
+"""The cluster runtime: pre-fork workers over one shared WAL.
+
+Scale-out for the attestation service along two axes:
+
+* **replication** — a :class:`~repro.cluster.supervisor.Supervisor`
+  forks N :class:`~repro.cluster.worker.ClusterWorker` processes that
+  all serve one address (``SO_REUSEPORT``).  Worker 0 is the single
+  writer (exclusive WAL lock); every other worker tails the shared log
+  into a :class:`~repro.cluster.replica.KernelReplica` and forwards
+  mutations to the writer over the ordinary wire protocol, nudged by
+  the UDP :mod:`~repro.cluster.bus` so revocations and policy changes
+  reach every sibling's decision cache promptly;
+* **partitioning** — :class:`~repro.cluster.shard.ShardedCluster`
+  consistent-hashes principals across N federated kernels, with
+  credential bundles as inter-shard trust and signed revocation
+  evidence propagated between shards.
+"""
+
+from repro.cluster.bus import BusPublisher, BusSubscriber
+from repro.cluster.config import ClusterConfig, WRITER_INDEX
+from repro.cluster.replica import KernelReplica
+from repro.cluster.service import (ClusterService, FORWARDED_KINDS,
+                                   read_writer_address)
+from repro.cluster.shard import HashRing, ShardedCluster, ShardPrincipal
+from repro.cluster.supervisor import Supervisor, bootstrap_directory
+from repro.cluster.worker import ClusterWorker, run_worker
+
+__all__ = [
+    "BusPublisher", "BusSubscriber",
+    "ClusterConfig", "WRITER_INDEX",
+    "KernelReplica",
+    "ClusterService", "FORWARDED_KINDS", "read_writer_address",
+    "HashRing", "ShardedCluster", "ShardPrincipal",
+    "Supervisor", "bootstrap_directory",
+    "ClusterWorker", "run_worker",
+]

@@ -1,0 +1,159 @@
+"""The epoch bus: how the writer nudges follower replicas.
+
+Followers discover new WAL records by tailing the shared log, but a
+pure poll loop trades propagation latency against wasted wakeups.  The
+bus removes the trade: every follower binds a loopback UDP socket and
+registers its port as a file under ``<directory>/bus/``; the writer's
+journal ``on_append`` hook sends a tiny datagram — ``NXB1 <seq>`` — to
+every registered port after each record lands.  A follower sleeping in
+:meth:`BusSubscriber.wait` wakes immediately and polls the log.
+
+The bus is an *accelerator*, never a correctness dependency: datagrams
+are unacknowledged and may be lost (a dead follower's stale
+registration just swallows sends), so followers keep their fallback
+poll timeout.  Everything durable travels through the WAL; the bus
+carries only "look now" and the sequence number that prompted it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import List, Optional
+
+#: Datagram magic; anything else received on the bus port is ignored.
+BUS_MAGIC = b"NXB1"
+
+#: Registry directory under the shared storage directory.
+BUS_DIR = "bus"
+
+#: How long a publisher trusts its cached registry listing before
+#: re-reading the directory (seconds).
+REGISTRY_TTL = 0.5
+
+#: Generous upper bound for one bus datagram.
+_MAX_DATAGRAM = 64
+
+
+def _bus_dir(directory: str) -> str:
+    path = os.path.join(directory, BUS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+class BusSubscriber:
+    """One follower's end of the bus: a bound UDP socket plus its
+    registration file.
+
+    ``name`` distinguishes this subscriber's registration (workers use
+    their fleet index + pid, so a restarted worker's fresh registration
+    replaces its predecessor's).
+    """
+
+    def __init__(self, directory: str, name: str):
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.bind(("127.0.0.1", 0))
+        self.port = self._socket.getsockname()[1]
+        self._path = os.path.join(_bus_dir(directory), f"{name}.port")
+        tmp_path = self._path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(f"{self.port}\n")
+        os.replace(tmp_path, self._path)
+
+    def wait(self, timeout: float) -> Optional[int]:
+        """Block until a nudge arrives (or ``timeout`` elapses).
+
+        Drains every queued datagram and returns the highest sequence
+        number seen, or None on timeout/garbage — either way the caller
+        polls the log next, so a lost or mangled nudge only costs
+        latency.
+        """
+        self._socket.settimeout(timeout)
+        best: Optional[int] = None
+        try:
+            data, _ = self._socket.recvfrom(_MAX_DATAGRAM)
+            best = self._decode(data)
+        except (socket.timeout, OSError):
+            return best
+        # Drain whatever else queued while we slept — one wakeup, one
+        # poll, however many appends happened.
+        self._socket.settimeout(0)
+        while True:
+            try:
+                data, _ = self._socket.recvfrom(_MAX_DATAGRAM)
+            except (BlockingIOError, socket.timeout, OSError):
+                break
+            seq = self._decode(data)
+            if seq is not None and (best is None or seq > best):
+                best = seq
+        return best
+
+    @staticmethod
+    def _decode(data: bytes) -> Optional[int]:
+        if not data.startswith(BUS_MAGIC + b" "):
+            return None
+        try:
+            return int(data[len(BUS_MAGIC) + 1:])
+        except ValueError:
+            return None
+
+    def close(self) -> None:
+        """Deregister and release the socket."""
+        try:
+            os.unlink(self._path)
+        except OSError:
+            pass
+        self._socket.close()
+
+
+class BusPublisher:
+    """The writer's end: fan one ``append`` out to every subscriber.
+
+    Wired to :attr:`repro.storage.wal.Journal.on_append`, so it runs on
+    the writer's mutation path — the registry listing is cached for
+    :data:`REGISTRY_TTL` to keep that path to one ``sendto`` per
+    follower, and every send failure is swallowed (the WAL is the
+    source of truth; the bus only shortens the follower's nap).
+    """
+
+    def __init__(self, directory: str):
+        self._dir = _bus_dir(directory)
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._ports: List[int] = []
+        self._listed_at = 0.0
+        self.published = 0
+
+    def _refresh(self) -> None:
+        now = time.monotonic()
+        if now - self._listed_at < REGISTRY_TTL:
+            return
+        ports: List[int] = []
+        try:
+            names = os.listdir(self._dir)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".port"):
+                continue
+            try:
+                with open(os.path.join(self._dir, name)) as handle:
+                    ports.append(int(handle.read().strip()))
+            except (OSError, ValueError):
+                continue
+        self._ports = ports
+        self._listed_at = now
+
+    def publish(self, seq: int) -> None:
+        """Nudge every registered subscriber that ``seq`` just landed."""
+        self._refresh()
+        payload = BUS_MAGIC + b" " + str(seq).encode()
+        for port in self._ports:
+            try:
+                self._socket.sendto(payload, ("127.0.0.1", port))
+            except OSError:
+                continue
+        self.published += 1
+
+    def close(self) -> None:
+        self._socket.close()

@@ -1,0 +1,91 @@
+"""Cluster configuration: one picklable document for the whole fleet.
+
+A :class:`ClusterConfig` is everything a worker process needs to boot —
+the shared storage directory, the shared serving address, the kernel
+construction parameters (which must match across every replica for
+attested identities to line up), and the tuning knobs of the runtime
+(poll cadence, heartbeat cadence, restart backoff).
+
+It is deliberately a flat dataclass of primitives so it crosses a
+``multiprocessing`` *spawn* boundary by ordinary pickling — no open
+sockets, kernels, or callables ride along.  Anything non-picklable
+(the bootstrap callback, bus sockets, the kernels themselves) lives in
+the supervisor or the worker, never here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+#: The writer is always the fleet's worker 0: the one process holding
+#: the exclusive WAL lock.  Every other index is a follower.
+WRITER_INDEX = 0
+
+#: Where workers publish their private (per-process) addresses inside
+#: the shared directory, and where the writer publishes its own.
+WORKERS_DIR = "workers"
+WRITER_ADDR = "writer.addr"
+
+
+@dataclass
+class ClusterConfig:
+    """The fleet's shared, spawn-safe configuration document."""
+
+    #: Shared storage directory: one WAL + snapshot every worker reads,
+    #: the writer's lockfile, the bus registry, and the address files.
+    directory: str
+    #: Total worker processes (writer included).  1 is a valid fleet.
+    workers: int = 2
+    host: str = "127.0.0.1"
+    #: The shared ``SO_REUSEPORT`` serving port; 0 lets the supervisor
+    #: reserve an ephemeral port and rewrite this field before forking.
+    port: int = 0
+    #: Threads per worker's socket server.
+    server_workers: int = 8
+
+    # -- kernel construction (must match across every replica) ---------
+    key_seed: Optional[int] = 1001
+    key_bits: int = 512
+    #: False disables every worker's decision cache — the guard-heavy
+    #: mode the Figure 12b benchmark uses so the *server* dominates.
+    decision_cache: bool = True
+
+    # -- journal / tailing ----------------------------------------------
+    sync_every: int = 1
+    #: Compaction cadence for the writer.  The cluster default is None
+    #: (no compaction): a log reset while a follower lags would force a
+    #: full replica rebuild, so compaction is an explicit operator
+    #: choice in cluster mode.
+    snapshot_every: Optional[int] = None
+    #: Follower fallback poll interval (seconds) when no bus nudge
+    #: arrives; nudges make the common-case propagation much faster.
+    poll_interval: float = 0.05
+
+    # -- supervision -----------------------------------------------------
+    #: ``multiprocessing`` start method: "spawn" is the safe default
+    #: (no inherited locks/threads); "fork" is faster to boot and fine
+    #: for short-lived test fleets.
+    start_method: str = "spawn"
+    heartbeat_interval: float = 0.25
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    #: How long a worker must stay alive for its backoff to reset.
+    backoff_reset_after: float = 5.0
+    #: Request coalescing in each worker's service front-end.
+    coalesce: bool = False
+
+    def kernel_kwargs(self) -> Dict[str, Any]:
+        """The :class:`~repro.kernel.kernel.NexusKernel` construction
+        kwargs every worker must share."""
+        return {"key_seed": self.key_seed, "key_bits": self.key_bits}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dump (docs, logs, test assertions)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "ClusterConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**document)

@@ -1,0 +1,242 @@
+"""A follower's kernel replica: restore once, then tail the shared WAL.
+
+A replica is a journal-less kernel built from the shared medium the
+same way :meth:`~repro.kernel.kernel.NexusKernel.restore` builds one —
+snapshot state loaded, live records replayed — except nothing is ever
+*attached*: the replica's kernel has no persistence observers, so its
+own (ephemeral) mutations never try to append to a log it may only
+read.  Durable state arrives exclusively by replaying the writer's
+records.
+
+Tailing is incremental: the replica remembers the byte offset of the
+last consumed record and scans only the log's new suffix, verifying
+that the suffix chains to the consumed head and continues the sequence
+— the same tamper/torn-tail taxonomy a cold restore enforces, applied
+record-by-record while the log grows.
+
+Replay and the serving path share the kernel, so every record is
+applied under the same four-lock order ``snapshot_now`` uses
+(federation → kernel state → labels → resources) — a request thread
+never observes a half-applied record.  The two *composite* record
+types (``peer_revoke``, ``epoch_bump``) replay through kernel methods
+that take their own locks, so they are applied bare.
+
+Compaction (a writer ``write_snapshot`` resetting the log) shrinks the
+file; the tailer detects that, rewinds to offset zero, and — because
+the journal's head/sequence continue across compaction — verifies the
+reset log still chains to what it already consumed.  Only a replica
+that *lagged across* a compaction (its next record was compacted away)
+is unrecoverable incrementally; that raises
+:class:`~repro.errors.ClusterError` and the owner rebuilds.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ClusterError, StorageError
+from repro.kernel.kernel import NexusKernel
+from repro.storage.backend import FileBackend, LOG_NAME
+from repro.storage.persist import KernelPersistence
+from repro.storage.wal import GENESIS_HEAD, decode_snapshot, scan_log
+
+#: Record types whose replay handlers take their own kernel locks
+#: (composites routed through kernel methods); wrapping them in the
+#: four-lock order would deadlock on the federation lock they re-take.
+_SELF_LOCKING = frozenset({"peer_revoke", "epoch_bump"})
+
+#: Boot retries: a new replica can race the writer's snapshot/reset
+#: pair and transiently read an old snapshot with a fresh log.
+_BOOT_ATTEMPTS = 3
+
+
+class KernelReplica:
+    """One process's read-only, continuously-replayed kernel."""
+
+    def __init__(self, directory: str, *, migrations=None,
+                 **kernel_kwargs: Any):
+        self.directory = directory
+        self._log_path = os.path.join(directory, LOG_NAME)
+        self._migrations = migrations
+        self._kernel_kwargs = dict(kernel_kwargs)
+        #: Serializes catch-up: poll() may be called from the tail
+        #: thread and from request threads doing read-your-writes.
+        self._lock = threading.Lock()
+        self.kernel: NexusKernel = None  # set by _boot
+        self.records_replayed = 0
+        self.rebuilds = 0
+        self._boot_with_retry()
+
+    # -- boot ------------------------------------------------------------
+
+    def _boot_with_retry(self) -> None:
+        last: Optional[Exception] = None
+        for attempt in range(_BOOT_ATTEMPTS):
+            try:
+                self._boot()
+                return
+            except StorageError as exc:
+                last = exc
+                time.sleep(0.05 * (attempt + 1))
+        raise ClusterError(
+            f"replica failed to boot from {self.directory!r} after "
+            f"{_BOOT_ATTEMPTS} attempts: {last}") from last
+
+    def _boot(self) -> None:
+        """Cold restore into a fresh kernel (mirrors ``Journal.load``'s
+        linkage checks, plus tracking the consumed byte offset)."""
+        backend = FileBackend(self.directory, read_only=True)
+        raw_snapshot = backend.read_snapshot()
+        base_seq, base_head, state = 0, GENESIS_HEAD, None
+        if raw_snapshot is not None:
+            base_seq, base_head, state = decode_snapshot(
+                raw_snapshot, self._migrations)
+        raw_log = backend.read_log()
+        result = scan_log(raw_log, self._migrations)
+        live = [r for r in result.records if r.seq > base_seq]
+        stale = len(result.records) - len(live)
+        if live and stale == 0:
+            if live[0].seq != base_seq + 1:
+                raise StorageError(
+                    f"log begins at seq {live[0].seq} but the snapshot "
+                    f"covers through {base_seq}")
+            if live[0].prev != base_head:
+                raise StorageError(
+                    "log does not chain to the snapshot head")
+        kernel = NexusKernel(**self._kernel_kwargs)
+        persistence = KernelPersistence(kernel)
+        if state is not None:
+            persistence.load_state(state)
+        for record in live:
+            persistence.apply_record(record)
+        self.kernel = kernel
+        self._persistence = persistence
+        self._seq = live[-1].seq if live else base_seq
+        self._head = live[-1].hash if live else base_head
+        self._offset = result.valid_length
+
+    # -- tailing ---------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last record applied to this replica."""
+        return self._seq
+
+    def poll(self) -> int:
+        """Consume whatever the writer appended since the last poll.
+
+        Returns the number of records applied.  Thread-safe; callers
+        race benignly (one wins the lock and consumes, the rest see an
+        up-to-date replica).
+        """
+        with self._lock:
+            return self._consume()
+
+    def _consume(self) -> int:
+        try:
+            size = os.path.getsize(self._log_path)
+        except OSError:
+            size = 0
+        if size < self._offset:
+            # The writer compacted: snapshot published, log reset.  The
+            # chain head continues across the reset, so start over at
+            # offset zero and let the chain checks prove continuity.
+            return self._resync_from_start()
+        if size == self._offset:
+            return 0
+        try:
+            with open(self._log_path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return 0
+        try:
+            result = scan_log(chunk, self._migrations)
+        except StorageError:
+            # A reset-then-regrown log (compaction raced two polls):
+            # the remembered offset now points mid-record.  Distinguish
+            # that from tampering by rescanning from the top — a clean
+            # full scan that chains to our state is a compaction, and
+            # anything else raises from there with the true story.
+            return self._resync_from_start()
+        return self._apply_suffix(result, self._offset)
+
+    def _resync_from_start(self) -> int:
+        try:
+            with open(self._log_path, "rb") as handle:
+                chunk = handle.read()
+        except OSError:
+            return 0
+        result = scan_log(chunk, self._migrations)
+        return self._apply_suffix(result, 0)
+
+    def _apply_suffix(self, result, base_offset: int) -> int:
+        applied = 0
+        for record in result.records:
+            if record.seq <= self._seq:
+                # Stale records below a fresh snapshot's coverage (the
+                # writer crashed between snapshot and reset): already
+                # part of this replica's state.
+                continue
+            if record.seq != self._seq + 1:
+                raise ClusterError(
+                    f"replica lagged across a compaction: next log "
+                    f"record is seq {record.seq} but the replica is at "
+                    f"{self._seq}; a full rebuild is required")
+            if record.prev != self._head:
+                raise ClusterError(
+                    f"log suffix does not chain to the replica head at "
+                    f"seq {record.seq}")
+            self._apply(record)
+            self._seq = record.seq
+            self._head = record.hash
+            applied += 1
+        self._offset = base_offset + result.valid_length
+        self.records_replayed += applied
+        return applied
+
+    def _apply(self, record) -> None:
+        kernel = self.kernel
+        if record.type in _SELF_LOCKING:
+            self._persistence.apply_record(record)
+            return
+        # Same order as NexusKernel.snapshot_now: with all four held no
+        # request thread is mid-read on the structures replay mutates.
+        with kernel.federation.lock:
+            with kernel._state_lock.write_locked():
+                with kernel.labels._lock.write_locked():
+                    with kernel.resources._lock:
+                        self._persistence.apply_record(record)
+
+    def wait_for_seq(self, target: int, timeout: float = 5.0) -> bool:
+        """Poll until the replica has applied ``target`` (read-your-
+        writes after forwarding a mutation).  True on success."""
+        deadline = time.monotonic() + timeout
+        while self._seq < target:
+            self.poll()
+            if self._seq >= target:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+        return True
+
+    def rebuild(self) -> None:
+        """Full re-restore (after lagging across a compaction).
+
+        The fresh kernel replaces :attr:`kernel` in place; sessions and
+        other ephemeral state die with the old one, exactly as they
+        would across a process restart.
+        """
+        with self._lock:
+            self.rebuilds += 1
+            self._boot_with_retry()
+
+    def stats(self) -> Dict[str, Any]:
+        """Wire-safe tailer counters."""
+        return {"seq": self._seq, "offset": self._offset,
+                "records_replayed": self.records_replayed,
+                "rebuilds": self.rebuilds}

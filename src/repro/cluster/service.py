@@ -1,0 +1,276 @@
+"""Single-writer discipline at the service boundary.
+
+Every worker in the fleet serves the full API on the shared address,
+but only worker 0 — the writer, holder of the exclusive WAL lock — may
+mutate durable state.  A :class:`ClusterService` on a follower
+therefore routes by request kind:
+
+* **reads** (authorize, explain, prove, introspection, …) are answered
+  from the local replica — the scale-out path;
+* **durable mutations** (say, create_resource, goal changes, policy
+  changes, federation changes, revoke) are forwarded over the ordinary
+  wire protocol to the writer's private address, and the reply is
+  withheld until the local replica has replayed the writer's log up to
+  the sequence the mutation produced — read-your-writes for the very
+  client that mutated;
+* **sessions** are brokered: ``open_session`` is forwarded (the writer
+  owns the canonical session and the subject's process), then the same
+  token is installed locally so this follower can serve the session's
+  reads without another hop.  A request bearing a token this worker
+  has never seen (the client reconnected to a different worker) is
+  forwarded wholesale — the writer knows every token.
+
+The forwarding transport is the same canonical JSON + HTTP framing
+clients speak; there is no privileged side channel, so the writer
+applies exactly the checks it would to any client.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Optional
+
+from repro.api import messages as msg
+from repro.api.client import HttpTransport
+from repro.api.errors import (ApiError, E_NO_SUCH_SESSION,
+                              from_exception)
+from repro.api.service import NexusService, Session
+from repro.cluster.config import WRITER_ADDR
+from repro.cluster.replica import KernelReplica
+from repro.errors import ClusterError, ReproError
+
+#: Request kinds that mutate durable (journaled) state — the ones a
+#: follower must route to the writer.  Ephemeral operations (ports,
+#: IPC, chain import/export, proving) and all reads stay local.
+FORWARDED_KINDS = frozenset({
+    msg.SayRequest.KIND,
+    msg.CreateResourceRequest.KIND,
+    msg.SetGoalRequest.KIND,
+    msg.ClearGoalRequest.KIND,
+    msg.PolicyPutRequest.KIND,
+    msg.PolicyApplyRequest.KIND,
+    msg.PolicyRollbackRequest.KIND,
+    msg.PeerAddRequest.KIND,
+    msg.FederationAdmitRequest.KIND,
+    msg.RevokeRequest.KIND,
+})
+
+
+def read_writer_address(directory: str) -> tuple:
+    """The writer's private ``(host, port)`` from its address file."""
+    path = os.path.join(directory, WRITER_ADDR)
+    try:
+        with open(path) as handle:
+            host, port, _pid = handle.read().split()
+    except (OSError, ValueError) as exc:
+        raise ClusterError(
+            f"no writer address published under {directory!r} "
+            f"(is the writer worker running?)") from exc
+    return host, int(port)
+
+
+def write_address_file(path: str, host: str, port: int) -> None:
+    """Atomically publish ``host port pid`` at ``path``."""
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(f"{host} {port} {os.getpid()}\n")
+    os.replace(tmp_path, path)
+
+
+class ClusterService(NexusService):
+    """A :class:`NexusService` that knows its place in the fleet."""
+
+    def __init__(self, kernel=None, *, replica: Optional[KernelReplica]
+                 = None, role: str = "writer", directory: Optional[str]
+                 = None, worker_index: int = 0, coalesce: bool = False):
+        if (role == "follower") != (replica is not None):
+            raise ClusterError("followers serve a KernelReplica; the "
+                               "writer serves its own kernel")
+        self._replica = replica
+        if replica is not None:
+            kernel = replica.kernel
+        super().__init__(kernel, coalesce=coalesce)
+        self.role = role
+        self.directory = directory
+        self.worker_index = worker_index
+        self._upstream: Optional[HttpTransport] = None
+        self._upstream_lock = threading.Lock()
+        self.forwarded = 0
+
+    # The replica may rebuild (swapping its kernel object), so resolve
+    # the kernel through it on every access instead of pinning the
+    # object the constructor saw.
+    @property
+    def kernel(self):
+        if self._replica is not None:
+            return self._replica.kernel
+        return self._kernel
+
+    @kernel.setter
+    def kernel(self, value):
+        self._kernel = value
+
+    # -- follower routing ------------------------------------------------
+
+    def dispatch(self, request: msg.ApiRequest) -> msg.ApiMessage:
+        """Route by kind, then fall through to normal dispatch."""
+        if self.role == "follower":
+            kind = request.KIND
+            if kind == msg.OpenSessionRequest.KIND:
+                return self._forward_open_session(request)
+            token = getattr(request, "session", None)
+            if token is not None and not self._knows(token):
+                return self._forward(request, sync=kind in FORWARDED_KINDS
+                                     or kind == msg.CloseSessionRequest.KIND)
+            if kind == msg.CloseSessionRequest.KIND:
+                return self._forward_close_session(request)
+            if kind in FORWARDED_KINDS:
+                return self._forward_mutation(request)
+        return super().dispatch(request)
+
+    def _knows(self, token: str) -> bool:
+        with self._session_lock:
+            return token in self._sessions
+
+    def _forward_open_session(self, request) -> msg.ApiMessage:
+        response = self._forward(request, sync=True)
+        if isinstance(response, msg.SessionResponse):
+            # Adopt the writer's session: the replica has replayed the
+            # subject's process by now (sync above), so this follower
+            # serves the token's reads locally from here on.  The
+            # adopted copy never owns the process — closing it here
+            # must not exit a process the writer's copy still owns.
+            session = Session(token=response.session, pid=response.pid,
+                              principal=response.principal,
+                              opened_at=self.kernel.now(),
+                              owns_process=False)
+            with self._session_lock:
+                self._sessions[session.token] = session
+        return response
+
+    def _forward_close_session(self, request) -> msg.ApiMessage:
+        with self._session_lock:
+            self._sessions.pop(request.session, None)
+        return self._forward(request, sync=True)
+
+    def _forward_mutation(self, request) -> msg.ApiMessage:
+        try:
+            session = self.session(request.session)
+        except ApiError as exc:
+            return msg.ErrorResponse.from_error(exc)
+        session.record(request.KIND)
+        response = self._forward(request, sync=True)
+        if isinstance(response, msg.ErrorResponse):
+            session.record_error()
+            if response.code == E_NO_SUCH_SESSION:
+                # The writer disowned the token (it restarted and its
+                # ephemeral session table died).  Evict the adopted
+                # copy so this follower converges with the fleet: the
+                # client reopens its session, as after any restart.
+                with self._session_lock:
+                    self._sessions.pop(request.session, None)
+        return response
+
+    def _forward(self, request, sync: bool = False) -> msg.ApiMessage:
+        """One round trip to the writer; never raises (dispatch
+        contract).  ``sync`` holds the reply until the local replica
+        has replayed up to the writer's resulting log position."""
+        try:
+            response = self._roundtrip(request)
+        except Exception as exc:  # noqa: BLE001 — boundary maps all
+            return msg.ErrorResponse.from_error(from_exception(exc))
+        self.forwarded += 1
+        if sync and self._replica is not None and not isinstance(
+                response, msg.ErrorResponse):
+            try:
+                self._sync_replica()
+            except Exception as exc:  # noqa: BLE001
+                return msg.ErrorResponse.from_error(from_exception(exc))
+        return response
+
+    def _roundtrip(self, request) -> msg.ApiMessage:
+        """Forward one typed request over the (serialized, persistent)
+        upstream connection, re-resolving the writer's address once if
+        the connection is dead (the writer may have been restarted on a
+        fresh port)."""
+        with self._upstream_lock:
+            for attempt in (0, 1):
+                transport = self._ensure_upstream()
+                try:
+                    return transport.roundtrip(request)
+                except (OSError, ReproError):
+                    self._drop_upstream()
+                    if attempt:
+                        raise
+        raise ClusterError("unreachable")  # pragma: no cover
+
+    def _ensure_upstream(self) -> HttpTransport:
+        if self._upstream is None:
+            if self.directory is None:
+                raise ClusterError("follower has no cluster directory "
+                                   "to find the writer through")
+            host, port = read_writer_address(self.directory)
+            self._upstream = HttpTransport.over_socket(host, port)
+        return self._upstream
+
+    def _drop_upstream(self) -> None:
+        if self._upstream is not None:
+            connection = getattr(self._upstream, "connection", None)
+            if connection is not None:
+                connection.close()
+            self._upstream = None
+
+    def _sync_replica(self) -> None:
+        """Read-your-writes: wait until the replica has replayed the
+        writer's current log position."""
+        response = self._roundtrip(msg.StorageStatsRequest())
+        if isinstance(response, msg.StorageStatsResponse) \
+                and response.attached:
+            target = int(response.stats.get("seq", 0))
+            if not self._replica.wait_for_seq(target):
+                raise ClusterError(
+                    f"replica did not catch up to writer seq {target}")
+
+    # -- identity --------------------------------------------------------
+
+    def worker_document(self) -> dict:
+        """Who is serving: fleet index, role, OS pid, replay position.
+
+        Served as ``GET /cluster/worker`` — *outside* the versioned API
+        surface, so the wire schema (and the differential harness's
+        byte-for-byte guarantees) are untouched by clustering.
+        """
+        if self._replica is not None:
+            seq = self._replica.seq
+        else:
+            stats = self.kernel.storage_stats()
+            seq = int(stats.get("seq", 0)) if stats.get("attached") else 0
+        return {"worker": self.worker_index, "role": self.role,
+                "pid": os.getpid(), "seq": seq,
+                "boot_id": self.kernel.boot.boot_id()}
+
+    def install_cluster_routes(self, router) -> None:
+        """Mount the (non-API) cluster introspection route."""
+        from repro.net.http import HTTPResponse
+
+        def worker_info(_request) -> HTTPResponse:
+            body = json.dumps(self.worker_document(),
+                              sort_keys=True).encode()
+            return HTTPResponse(200, body,
+                                {"Content-Type": "application/json"})
+
+        router.add("GET", "/cluster/worker", worker_info, exact=True)
+
+    def cluster_router(self, prefix: Optional[str] = None):
+        """A Router serving the full API plus the cluster routes."""
+        from repro.api.service import API_PREFIX
+        router = self.router(prefix if prefix is not None else API_PREFIX)
+        self.install_cluster_routes(router)
+        return router
+
+    def close(self) -> None:
+        """Release the upstream connection (follower side)."""
+        with self._upstream_lock:
+            self._drop_upstream()

@@ -1,0 +1,260 @@
+"""Consistent-hash sharding of principals across federated kernels.
+
+Scale-out along the second axis: where the worker fleet replicates
+*one* kernel's state, a shard set **partitions** principals across N
+independent kernels, federated pairwise through the credential-bundle
+machinery (§2.4 applied between machines):
+
+* a :class:`HashRing` (vnode consistent hashing) maps each principal
+  name to its **home shard** — the kernel that mints and stores its
+  credentials.  Adding or removing a shard remaps only the keys on the
+  affected arcs, never the whole population;
+* access to a resource on a *different* shard travels as a signed
+  credential bundle: exported at home, admitted at the target against
+  the home shard's pinned root key, authorized there like any local
+  principal — inter-shard trust is exactly PR-4's federation, never a
+  shared secret;
+* **revocation evidence** propagates: the shard that revokes a peer
+  externalizes an NK-signed ``revoked("<peer_id>")`` label and hands
+  the chain to its siblings, each of which verifies it against the
+  announcing shard's pinned root key before dropping the peer locally
+  — no shard trusts an unsigned "please revoke" message.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.crypto.certs import CertificateChain
+from repro.errors import ClusterError, SignatureError, UntrustedPeer
+from repro.kernel.kernel import NexusKernel
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Each node is hashed ``vnodes`` times onto a 64-bit circle; a key
+    lands on the first vnode clockwise of its own hash.  More vnodes
+    mean a smoother split (at ring-build cost).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ClusterError("a ring needs at least one vnode per node")
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        digest = hashlib.sha256(value.encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _rebuild(self) -> None:
+        self._ring.sort()
+        self._keys = [point for point, _ in self._ring]
+
+    def add(self, node: str) -> None:
+        """Place a node's vnodes on the ring."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.vnodes):
+            self._ring.append((self._hash(f"{node}#{index}"), node))
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Withdraw a node; its arcs fall to the clockwise successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [(point, owner) for point, owner in self._ring
+                      if owner != node]
+        self._rebuild()
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``'s arc."""
+        if not self._ring:
+            raise ClusterError("the ring has no nodes")
+        point = self._hash(key)
+        index = bisect.bisect_right(self._keys, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+
+class ShardPrincipal:
+    """One principal, pinned to its home shard."""
+
+    def __init__(self, name: str, shard: str, pid: int, principal: str):
+        self.name = name
+        self.shard = shard
+        self.pid = pid
+        self.principal = principal
+
+
+class ShardedCluster:
+    """N federated kernels behind one principal-routing ring.
+
+    ``shards`` maps shard names to kernels (typically built with
+    distinct ``key_seed`` values so their platform identities differ).
+    Construction cross-registers every pair's platform root key — each
+    shard pins every sibling under the sibling's shard name.
+    """
+
+    def __init__(self, shards: Dict[str, NexusKernel], vnodes: int = 64):
+        if not shards:
+            raise ClusterError("a sharded cluster needs at least one "
+                               "shard")
+        self.shards = dict(shards)
+        self.ring = HashRing(self.shards, vnodes=vnodes)
+        self._admins: Dict[str, int] = {}
+        for name, kernel in self.shards.items():
+            self._admins[name] = kernel.create_process(
+                f"shard-admin-{name}").pid
+            for other_name, other in self.shards.items():
+                if other_name == name:
+                    continue
+                identity = other.platform_identity()
+                kernel.add_peer(other_name, identity["root_key"],
+                                platform=identity["platform"])
+
+    # -- routing ---------------------------------------------------------
+
+    def home_of(self, principal_name: str) -> str:
+        """The shard a principal's credentials live on."""
+        return self.ring.node_for(principal_name)
+
+    def kernel_of(self, shard: str) -> NexusKernel:
+        try:
+            return self.shards[shard]
+        except KeyError:
+            raise ClusterError(f"no shard named {shard!r}") from None
+
+    def create_principal(self, name: str,
+                         statements: Iterable[str] = ()
+                         ) -> ShardPrincipal:
+        """Mint a principal on its ring-assigned home shard and say its
+        credentials there."""
+        shard = self.home_of(name)
+        kernel = self.shards[shard]
+        process = kernel.create_process(name)
+        for statement in statements:
+            kernel.sys_say(process.pid, statement)
+        return ShardPrincipal(name, shard, process.pid,
+                              str(process.principal))
+
+    # -- cross-shard authorization --------------------------------------
+
+    def authorize(self, subject: ShardPrincipal, operation: str,
+                  shard: str, resource: Any, proof=None):
+        """Authorize ``subject`` against a resource on ``shard``.
+
+        Same-shard requests go straight to the guard; cross-shard
+        requests export the subject's credential bundle at home and
+        admit it at the target (idempotently — warm admissions replay
+        from the digest cache) before authorizing there.
+        """
+        target = self.kernel_of(shard)
+        resource_id = self._resolve(target, resource)
+        if shard == subject.shard:
+            from repro.core.attestation import kernel_wallet_bundle
+            bundle = proof
+            if bundle is None:
+                bundle = kernel_wallet_bundle(
+                    target, subject.pid, operation,
+                    target.resources.get(resource_id))
+            return target.authorize(subject.pid, operation, resource_id,
+                                    bundle)
+        home = self.kernel_of(subject.shard)
+        bundle = home.export_credentials(subject.pid)
+        return target.authorize_remote(bundle, operation, resource_id,
+                                       proof)
+
+    @staticmethod
+    def _resolve(kernel: NexusKernel, resource: Any) -> int:
+        if isinstance(resource, int):
+            return resource
+        if isinstance(resource, str):
+            return kernel.resources.lookup(resource).resource_id
+        return resource.resource_id
+
+    # -- revocation-evidence propagation --------------------------------
+
+    def revoke_peer(self, announcer: str, peer_id: str
+                    ) -> Dict[str, Any]:
+        """Revoke a peer on the announcing shard and build the signed
+        evidence its siblings will demand.
+
+        Returns the notice document: the announcer's name, the revoked
+        peer id, and the NK-signed certificate chain for the
+        ``revoked("<peer_id>")`` label.  Pass it to
+        :meth:`apply_revocation` on the siblings (or let
+        :meth:`revoke_everywhere` do both steps).
+        """
+        kernel = self.kernel_of(announcer)
+        label = kernel.sys_say(self._admins[announcer],
+                               f'revoked("{peer_id}")')
+        chain = kernel.externalize_label(label)
+        kernel.revoke_peer(peer_id)
+        return {"announcer": announcer, "peer_id": peer_id,
+                "chain": chain.to_document()}
+
+    def apply_revocation(self, shard: str, notice: Dict[str, Any]
+                         ) -> bool:
+        """Verify one revocation notice and apply it to ``shard``.
+
+        The chain must verify and be rooted at the *pinned* root key of
+        the announcing shard — evidence signed by anyone else (or by an
+        unregistered platform) is refused.  Returns True when the peer
+        was known and dropped, False when this shard never trusted it
+        (nothing to do).
+        """
+        kernel = self.kernel_of(shard)
+        announcer = notice["announcer"]
+        if announcer == shard:
+            return False
+        pinned = kernel.peers.by_name(announcer)
+        if pinned is None:
+            raise UntrustedPeer(
+                f"shard {shard!r} has no pinned key for announcer "
+                f"{announcer!r}")
+        chain = CertificateChain.from_document(notice["chain"])
+        chain.verify()
+        if chain.root_key != pinned.root_key:
+            raise SignatureError(
+                f"revocation notice from {announcer!r} is not rooted "
+                f"at that shard's pinned platform key")
+        peer_id = notice["peer_id"]
+        if f'revoked("{peer_id}")' not in chain.leaf().statement:
+            raise SignatureError(
+                "revocation notice chain does not attest the claimed "
+                "peer id")
+        if kernel.peers.get(peer_id) is None:
+            return False
+        kernel.revoke_peer(peer_id)
+        return True
+
+    def revoke_everywhere(self, announcer: str, peer_id: str
+                          ) -> Dict[str, bool]:
+        """Announce once, propagate to every sibling; returns which
+        shards dropped the peer."""
+        notice = self.revoke_peer(announcer, peer_id)
+        applied = {announcer: True}
+        for shard in self.shards:
+            if shard == announcer:
+                continue
+            try:
+                applied[shard] = self.apply_revocation(shard, notice)
+            except UntrustedPeer:
+                applied[shard] = False
+        return applied

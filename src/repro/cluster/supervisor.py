@@ -1,0 +1,270 @@
+"""The pre-fork supervisor: reserve, bootstrap, fork, heartbeat, restart.
+
+The supervisor is the fleet's parent process.  Its lifecycle:
+
+1. **reserve** — when the config asks for an ephemeral shared port, it
+   binds (without listening) an ``SO_REUSEPORT`` socket and keeps it,
+   so the port number is fixed before any worker exists and stays
+   reserved across worker restarts;
+2. **bootstrap** — if the shared directory is empty and a bootstrap
+   callback was given, it runs the callback against a temporary
+   exclusive-writer kernel (seed principals, resources, goals), then
+   releases the WAL lock.  This happens *in the parent, before any
+   fork*, so the callback can be any closure — nothing is pickled;
+3. **fork** — one :func:`~repro.cluster.worker.run_worker` process per
+   fleet index through the configured ``multiprocessing`` start method
+   (``spawn`` by default: no inherited locks or threads);
+4. **heartbeat** — a monitor thread probes each worker's private
+   address with a real HTTP request on a cadence; a dead process (or a
+   wedged one that stops answering) is killed and restarted with
+   exponential backoff, which resets once a worker stays up.
+
+The writer's exclusive ``flock`` is released by the OS the instant a
+writer dies, so a restarted writer acquires the lock, restores from
+the shared WAL, and the fleet heals without operator action.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig, WORKERS_DIR
+from repro.cluster.worker import run_worker
+from repro.errors import ClusterError
+from repro.kernel.kernel import NexusKernel
+from repro.storage.backend import FileBackend
+
+#: How long :meth:`Supervisor.start` waits for the fleet to answer.
+READY_TIMEOUT = 30.0
+
+_HEARTBEAT_REQUEST = (b"GET /cluster/worker HTTP/1.1\r\n"
+                      b"Host: cluster\r\nContent-Length: 0\r\n\r\n")
+
+
+def bootstrap_directory(config: ClusterConfig,
+                        bootstrap: Callable[[NexusKernel], None]) -> None:
+    """Seed an empty shared directory through a temporary writer kernel.
+
+    No-op when the directory already holds state (a restarted fleet
+    must not re-seed).  The temporary kernel takes and releases the
+    exclusive WAL lock, so it must run before the real writer starts.
+    """
+    probe = FileBackend(config.directory, read_only=True)
+    empty = probe.is_empty()
+    probe.close()
+    if not empty:
+        return
+    backend = FileBackend(config.directory, exclusive=True)
+    try:
+        kernel = NexusKernel(**config.kernel_kwargs())
+        kernel.attach_storage(backend, sync_every=config.sync_every,
+                              snapshot_every=config.snapshot_every)
+        bootstrap(kernel)
+    finally:
+        backend.close()
+
+
+class Supervisor:
+    """Owns the fleet: N worker processes over one shared directory."""
+
+    def __init__(self, config: ClusterConfig, *,
+                 bootstrap: Optional[Callable[[NexusKernel], None]]
+                 = None):
+        self.config = config
+        self._bootstrap = bootstrap
+        self._reservation: Optional[socket.socket] = None
+        self._processes: Dict[int, multiprocessing.Process] = {}
+        self._failures: Dict[int, int] = {}
+        self._started_at: Dict[int, float] = {}
+        self._restart_due: Dict[int, float] = {}
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self.restarts = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, ready_timeout: float = READY_TIMEOUT
+              ) -> Tuple[str, int]:
+        """Reserve, bootstrap, fork the fleet, wait until every worker
+        answers; returns the shared (host, port)."""
+        config = self.config
+        if config.port == 0:
+            config.port = self._reserve_port()
+        if self._bootstrap is not None:
+            bootstrap_directory(config, self._bootstrap)
+        context = multiprocessing.get_context(config.start_method)
+        # The writer first: followers restore from the medium the
+        # writer initializes, and forward to the address it publishes.
+        for index in range(config.workers):
+            self._spawn(context, index)
+            if index == 0:
+                self._wait_ready(index, ready_timeout)
+        for index in range(1, config.workers):
+            self._wait_ready(index, ready_timeout)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="nexus-supervisor",
+                                         daemon=True)
+        self._monitor.start()
+        return (config.host, config.port)
+
+    def _reserve_port(self) -> int:
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise ClusterError("SO_REUSEPORT is not available on this "
+                               "platform")
+        reservation = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        reservation.bind((self.config.host, 0))
+        # Deliberately never listens: a bound, non-listening socket
+        # keeps the port out of the ephemeral pool but receives no
+        # connections — the workers' listeners get them all.
+        self._reservation = reservation
+        return reservation.getsockname()[1]
+
+    def _spawn(self, context, index: int) -> None:
+        process = context.Process(target=run_worker,
+                                  args=(self.config, index),
+                                  name=f"nexus-worker-{index}",
+                                  daemon=True)
+        process.start()
+        with self._lock:
+            self._processes[index] = process
+            self._started_at[index] = time.monotonic()
+            self._restart_due.pop(index, None)
+
+    # -- health ----------------------------------------------------------
+
+    def worker_address(self, index: int) -> Tuple[str, int]:
+        """A worker's private (host, port) from its address file."""
+        path = os.path.join(self.config.directory, WORKERS_DIR,
+                            f"{index}.addr")
+        try:
+            with open(path) as handle:
+                host, port, _pid = handle.read().split()
+        except (OSError, ValueError) as exc:
+            raise ClusterError(
+                f"worker {index} has not published an address") from exc
+        return host, int(port)
+
+    def worker_pid(self, index: int) -> int:
+        """The OS pid of a worker process (fault-injection handle)."""
+        with self._lock:
+            process = self._processes.get(index)
+        if process is None or process.pid is None:
+            raise ClusterError(f"worker {index} is not running")
+        return process.pid
+
+    def _heartbeat(self, index: int) -> bool:
+        """One real request against the worker's private server."""
+        try:
+            host, port = self.worker_address(index)
+        except ClusterError:
+            return False
+        try:
+            with socket.create_connection((host, port), timeout=1.0
+                                          ) as conn:
+                conn.sendall(_HEARTBEAT_REQUEST)
+                conn.settimeout(1.0)
+                return bool(conn.recv(1))
+        except OSError:
+            return False
+
+    def _wait_ready(self, index: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._heartbeat(index):
+                return
+            with self._lock:
+                process = self._processes.get(index)
+            if process is not None and not process.is_alive():
+                raise ClusterError(
+                    f"worker {index} exited during startup (exit code "
+                    f"{process.exitcode})")
+            time.sleep(0.02)
+        raise ClusterError(f"worker {index} did not become ready "
+                           f"within {timeout:.0f}s")
+
+    # -- supervision -----------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        config = self.config
+        context = multiprocessing.get_context(config.start_method)
+        while not self._stopping.wait(config.heartbeat_interval):
+            now = time.monotonic()
+            for index in range(config.workers):
+                with self._lock:
+                    process = self._processes.get(index)
+                    due = self._restart_due.get(index)
+                if due is not None:
+                    # In backoff: restart when the clock says so.
+                    if now >= due and not self._stopping.is_set():
+                        self._spawn(context, index)
+                        self.restarts += 1
+                    continue
+                if process is not None and process.is_alive():
+                    # Long-stable workers earn their backoff back.
+                    with self._lock:
+                        started = self._started_at.get(index, now)
+                        if (self._failures.get(index)
+                                and now - started
+                                >= config.backoff_reset_after):
+                            self._failures[index] = 0
+                    continue
+                # Dead: schedule the restart with exponential backoff.
+                with self._lock:
+                    failures = self._failures.get(index, 0)
+                    self._failures[index] = failures + 1
+                    delay = min(config.backoff_cap,
+                                config.backoff_base
+                                * (config.backoff_factor ** failures))
+                    self._restart_due[index] = now + delay
+
+    def wait_worker_ready(self, index: int,
+                          timeout: float = READY_TIMEOUT) -> None:
+        """Block until worker ``index`` answers its heartbeat — what a
+        fault-injection test calls after killing it."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                process = self._processes.get(index)
+            if (process is not None and process.is_alive()
+                    and self._heartbeat(index)):
+                return
+            time.sleep(0.02)
+        raise ClusterError(f"worker {index} was not restarted within "
+                           f"{timeout:.0f}s")
+
+    # -- teardown --------------------------------------------------------
+
+    def stop(self) -> None:
+        """Terminate the fleet and release the reservation."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        with self._lock:
+            processes = list(self._processes.values())
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + 5.0
+        for process in processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+
+    def __enter__(self) -> "Supervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

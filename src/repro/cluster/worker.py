@@ -1,0 +1,211 @@
+"""One cluster worker: a kernel (writer or replica) behind two servers.
+
+A :class:`ClusterWorker` composes the whole per-process stack:
+
+* **writer** (fleet index 0) — opens the shared directory with the
+  exclusive WAL lock (attaching fresh storage if the directory is
+  empty, restoring otherwise), wires the journal's ``on_append`` hook
+  to a :class:`~repro.cluster.bus.BusPublisher`, and publishes its
+  private address at ``<directory>/writer.addr`` for followers to
+  forward mutations to;
+* **follower** — boots a :class:`~repro.cluster.replica.KernelReplica`
+  from the same directory (read-only), registers a
+  :class:`~repro.cluster.bus.BusSubscriber`, and runs a tail thread
+  that replays new WAL records on every nudge (or poll timeout);
+* both roles serve the full API on the **shared address** with
+  ``SO_REUSEPORT`` (the OS load-balances client connections across the
+  fleet) *and* on a **private ephemeral address** published under
+  ``<directory>/workers/<index>.addr`` — the supervisor heartbeats it,
+  tests target specific workers through it, and the writer's copy is
+  what followers forward to.
+
+The worker runs equally well inside a thread (in-process tests, where
+the coverage tracer can see it) or as the body of a spawned process
+(:func:`run_worker`, the supervisor's target).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Optional
+
+from repro.cluster.bus import BusPublisher, BusSubscriber
+from repro.cluster.config import (ClusterConfig, WORKERS_DIR, WRITER_ADDR,
+                                  WRITER_INDEX)
+from repro.cluster.replica import KernelReplica
+from repro.cluster.service import ClusterService, write_address_file
+from repro.errors import ClusterError
+from repro.kernel.kernel import NexusKernel
+from repro.net.server import SocketServer
+from repro.storage.backend import FileBackend
+
+
+class ClusterWorker:
+    """One member of the fleet, ready to :meth:`start`/:meth:`stop`."""
+
+    def __init__(self, config: ClusterConfig, index: int):
+        self.config = config
+        self.index = index
+        self.role = "writer" if index == WRITER_INDEX else "follower"
+        self.service: Optional[ClusterService] = None
+        self.replica: Optional[KernelReplica] = None
+        self.server: Optional[SocketServer] = None
+        self.private_server: Optional[SocketServer] = None
+        self._backend: Optional[FileBackend] = None
+        self._publisher: Optional[BusPublisher] = None
+        self._subscriber: Optional[BusSubscriber] = None
+        self._tail_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- construction ----------------------------------------------------
+
+    def _build_writer(self) -> ClusterService:
+        config = self.config
+        backend = FileBackend(config.directory, exclusive=True)
+        self._backend = backend
+        if backend.is_empty():
+            kernel = NexusKernel(**config.kernel_kwargs())
+            kernel.attach_storage(backend,
+                                  sync_every=config.sync_every,
+                                  snapshot_every=config.snapshot_every)
+        else:
+            kernel = NexusKernel.restore(
+                backend, sync_every=config.sync_every,
+                snapshot_every=config.snapshot_every,
+                **config.kernel_kwargs())
+        self._publisher = BusPublisher(config.directory)
+        kernel._persistence.journal.on_append = self._publisher.publish
+        if not config.decision_cache:
+            kernel.decision_cache.enabled = False
+        return ClusterService(kernel, role="writer",
+                              directory=config.directory,
+                              worker_index=self.index,
+                              coalesce=config.coalesce)
+
+    def _build_follower(self) -> ClusterService:
+        config = self.config
+        replica = KernelReplica(config.directory,
+                                **config.kernel_kwargs())
+        if not config.decision_cache:
+            replica.kernel.decision_cache.enabled = False
+        self.replica = replica
+        self._subscriber = BusSubscriber(
+            config.directory, f"worker-{self.index}-{os.getpid()}")
+        return ClusterService(replica=replica, role="follower",
+                              directory=config.directory,
+                              worker_index=self.index,
+                              coalesce=config.coalesce)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> tuple:
+        """Boot the kernel side, start both servers, publish addresses;
+        returns the shared (host, port)."""
+        config = self.config
+        if config.port <= 0:
+            raise ClusterError("a cluster worker needs a concrete "
+                               "shared port (the supervisor reserves "
+                               "one when config.port is 0)")
+        if self.role == "writer":
+            self.service = self._build_writer()
+        else:
+            self.service = self._build_follower()
+        router = self.service.cluster_router()
+        # Private server first: followers need the writer's address
+        # file before the shared address accepts any mutation.
+        self.private_server = SocketServer(router, host=config.host,
+                                           port=0,
+                                           workers=config.server_workers)
+        private_host, private_port = self.private_server.start()
+        workers_dir = os.path.join(config.directory, WORKERS_DIR)
+        os.makedirs(workers_dir, exist_ok=True)
+        write_address_file(os.path.join(workers_dir, f"{self.index}.addr"),
+                           private_host, private_port)
+        if self.role == "writer":
+            write_address_file(os.path.join(config.directory, WRITER_ADDR),
+                               private_host, private_port)
+        else:
+            self._tail_thread = threading.Thread(
+                target=self._tail_loop,
+                name=f"nexus-tail-{self.index}", daemon=True)
+            self._tail_thread.start()
+        self.server = SocketServer(router, host=config.host,
+                                   port=config.port,
+                                   workers=config.server_workers,
+                                   reuse_port=True)
+        return self.server.start()
+
+    def _tail_loop(self) -> None:
+        config = self.config
+        while not self._stopping.is_set():
+            self._subscriber.wait(config.poll_interval)
+            if self._stopping.is_set():
+                break
+            try:
+                self.replica.poll()
+            except ClusterError:
+                # Fell across a compaction: rebuild the replica whole.
+                # Sessions die with the old kernel — the same contract
+                # as a worker restart.
+                self.replica.rebuild()
+            except Exception:  # noqa: BLE001 — the loop must survive
+                # A transient read race (writer mid-truncate); the
+                # next nudge retries.
+                continue
+
+    @property
+    def private_address(self) -> tuple:
+        """The worker's own (host, port) — heartbeats and tests."""
+        if self.private_server is None:
+            raise ClusterError("worker is not started")
+        return self.private_server.address
+
+    def stop(self) -> None:
+        """Stop serving, stop tailing, release the medium and the bus."""
+        self._stopping.set()
+        if self.server is not None:
+            self.server.stop()
+        if self.private_server is not None:
+            self.private_server.stop()
+        if self._tail_thread is not None:
+            self._tail_thread.join(timeout=2.0)
+        if self.service is not None:
+            self.service.close()
+        if self._subscriber is not None:
+            self._subscriber.close()
+        if self._publisher is not None:
+            self._publisher.close()
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "ClusterWorker":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def run_worker(config: ClusterConfig, index: int) -> None:
+    """Process entry point: boot one worker and serve until terminated.
+
+    This is the supervisor's ``multiprocessing`` target.  It is
+    spawn-safe by construction: everything it needs arrives in the
+    picklable ``config``, and all sockets, kernels and threads are
+    created *after* the process boundary.
+    """
+    worker = ClusterWorker(config, index)
+    done = threading.Event()
+
+    def _terminate(_signum, _frame):
+        done.set()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    worker.start()
+    try:
+        done.wait()
+    finally:
+        worker.stop()

@@ -220,6 +220,14 @@ class BadChain(FederationError):
     code = "E_BAD_CHAIN"
 
 
+class ClusterError(ReproError):
+    """A cluster-runtime failure: a worker that cannot reach the writer,
+    a replica that fell unrecoverably behind the shared log, or a
+    supervisor that cannot keep the fleet alive."""
+
+    code = "E_CLUSTER"
+
+
 # --------------------------------------------------------------------------
 # Application-layer errors
 # --------------------------------------------------------------------------

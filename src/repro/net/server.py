@@ -150,13 +150,19 @@ class SocketServer:
 
     def __init__(self, router: Router, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 8,
-                 thread_per_request: bool = False, backlog: int = 128):
+                 thread_per_request: bool = False, backlog: int = 128,
+                 reuse_port: bool = False):
         self.router = router
         self.host = host
         self.port = port
         self.workers = workers
         self.thread_per_request = thread_per_request
         self.backlog = backlog
+        #: ``SO_REUSEPORT``: let several processes bind the same
+        #: address, with the kernel load-balancing accepted connections
+        #: between their listeners — the cluster runtime's pre-fork
+        #: serving mode (see :mod:`repro.cluster`).
+        self.reuse_port = reuse_port
         self._listener: Optional[socket.socket] = None
         self._threads: list = []
         self._ephemeral: list = []
@@ -183,6 +189,11 @@ class SocketServer:
         bound address."""
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise AppError("SO_REUSEPORT is not available on this "
+                               "platform")
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         listener.bind((self.host, self.port))
         listener.listen(self.backlog)
         self._listener = listener
@@ -391,17 +402,20 @@ class SocketServer:
 
 def serve_api(service, host: str = "127.0.0.1", port: int = 0,
               workers: int = 8, coalesce: bool = True,
-              prefix: Optional[str] = None) -> SocketServer:
+              prefix: Optional[str] = None,
+              reuse_port: bool = False) -> SocketServer:
     """Convenience: mount a ``NexusService`` and start serving it.
 
     Returns the started :class:`SocketServer`; the caller owns
     :meth:`~SocketServer.stop`.  ``coalesce`` turns on the service's
-    request-coalescing front-end (see :mod:`repro.net.coalesce`).
+    request-coalescing front-end (see :mod:`repro.net.coalesce`);
+    ``reuse_port`` lets sibling worker processes share the address.
     """
     from repro.api.service import API_PREFIX
     if coalesce:
         service.enable_coalescing()
     router = service.router(prefix if prefix is not None else API_PREFIX)
-    server = SocketServer(router, host=host, port=port, workers=workers)
+    server = SocketServer(router, host=host, port=port, workers=workers,
+                          reuse_port=reuse_port)
     server.start()
     return server

@@ -11,6 +11,7 @@ from repro.storage.faults import FaultInjectingBackend
 from repro.storage.wal import (GENESIS_HEAD, MAX_RECORD_SIZE, SCHEMA_VERSION,
                                Journal, Record, scan_log)
 from repro.storage.persist import KernelPersistence, decode_node, encode_node
+from repro.storage.inspect import inspect_directory
 
 __all__ = [
     "Disk",
@@ -23,4 +24,5 @@ __all__ = [
     "Journal", "Record", "scan_log",
     "GENESIS_HEAD", "MAX_RECORD_SIZE", "SCHEMA_VERSION",
     "KernelPersistence", "encode_node", "decode_node",
+    "inspect_directory",
 ]

@@ -21,10 +21,16 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 from repro.errors import StorageError
 
 LOG_NAME = "wal.log"
 SNAPSHOT_NAME = "snapshot.json"
+LOCK_NAME = "wal.lock"
 
 
 class StorageBackend:
@@ -36,6 +42,10 @@ class StorageBackend:
     """
 
     kind = "abstract"
+
+    #: True for follower replicas that may only read the medium; every
+    #: mutating operation must raise :class:`~repro.errors.StorageError`.
+    read_only = False
 
     def append(self, data: bytes) -> None:
         """Append raw bytes to the end of the log."""
@@ -108,39 +118,94 @@ class FileBackend(StorageBackend):
     then renamed over the published name — the POSIX guarantee that a
     reader sees either the old snapshot or the new one, never a torn
     hybrid.
+
+    ``exclusive`` takes an advisory ``flock`` on ``wal.lock`` so a
+    second *writer* opening the same directory fails fast with
+    ``E_STORAGE`` instead of silently interleaving WAL appends (the
+    single-writer discipline the cluster runtime depends on).
+    ``read_only`` is the follower mode: the log and snapshot are
+    readable, every mutation raises, no write handle is held, and no
+    lock is taken — any number of replicas may tail one writer's log.
     """
 
     kind = "file"
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, *, exclusive: bool = False,
+                 read_only: bool = False):
+        if exclusive and read_only:
+            raise StorageError("a backend cannot be both the exclusive "
+                               "writer and read-only")
         self.directory = directory
+        self.read_only = read_only
         os.makedirs(directory, exist_ok=True)
         self._log_path = os.path.join(directory, LOG_NAME)
         self._snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
-        self._log = open(self._log_path, "ab")
+        self._lock_fd: Optional[int] = None
+        if exclusive:
+            self._acquire_lock()
+        self._log = None if read_only else open(self._log_path, "ab")
+
+    def _acquire_lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        lock_path = os.path.join(self.directory, LOCK_NAME)
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise StorageError(
+                f"another writer holds the WAL lock on "
+                f"{self.directory!r}; open read_only to tail it")
+        self._lock_fd = fd
+
+    def _refuse_read_only(self, what: str) -> None:
+        if self.read_only:
+            raise StorageError(f"backend is read-only: cannot {what}")
 
     def append(self, data: bytes) -> None:
+        self._refuse_read_only("append")
         if self._log.closed:
             raise StorageError("backend is closed")
         self._log.write(data)
 
     def sync(self) -> None:
+        self._refuse_read_only("sync")
         self._log.flush()
         os.fsync(self._log.fileno())
 
     def read_log(self) -> bytes:
-        self._log.flush()
-        with open(self._log_path, "rb") as handle:
-            return handle.read()
+        if self._log is not None:
+            self._log.flush()
+        try:
+            with open(self._log_path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return b""
 
     def truncate_log(self, length: int) -> None:
+        """Cut the log and make the cut durable.
+
+        The fsyncs matter: a repaired torn tail that is truncated but
+        never forced to the medium can resurrect after power loss —
+        the journal would then be positioned *before* bytes that still
+        exist on disk, and the next append would corrupt the chain.
+        """
+        self._refuse_read_only("truncate the log")
         self._log.flush()
-        os.truncate(self._log_path, length)
-        # Reopen so the append position tracks the new end.
         self._log.close()
+        os.truncate(self._log_path, length)
+        fd = os.open(self._log_path, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        # Reopen so the append position tracks the new end.
         self._log = open(self._log_path, "ab")
+        self._sync_directory()
 
     def write_snapshot(self, data: bytes) -> None:
+        self._refuse_read_only("write a snapshot")
         tmp_path = self._snapshot_path + ".tmp"
         with open(tmp_path, "wb") as handle:
             handle.write(data)
@@ -167,6 +232,14 @@ class FileBackend(StorageBackend):
             os.close(fd)
 
     def close(self) -> None:
-        if not self._log.closed:
+        if self._log is not None and not self._log.closed:
             self._log.flush()
             self._log.close()
+        if self._lock_fd is not None:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(self._lock_fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - unlock is advisory
+                    pass
+            os.close(self._lock_fd)
+            self._lock_fd = None

@@ -283,6 +283,10 @@ class Journal:
         self.snapshots_written = 0
         self.last_snapshot_seq = 0
         self.torn_tail_repairs = 0
+        #: Optional hook ``on_append(seq)`` fired after each record is
+        #: written (outside the journal lock) — the cluster runtime's
+        #: epoch bus nudges follower replicas from here.
+        self.on_append: Optional[Callable[[int], None]] = None
 
     # -- appending -------------------------------------------------------
 
@@ -319,6 +323,9 @@ class Journal:
             self.records_appended += 1
             self.bytes_appended += len(frame)
             self._since_snapshot += 1
+        hook = self.on_append
+        if hook is not None:
+            hook(seq)
 
     def due_for_snapshot(self) -> bool:
         """True when ``snapshot_every`` records accumulated since the
@@ -368,8 +375,12 @@ class Journal:
             raw_log = self.backend.read_log()
             result = scan_log(raw_log, self.migrations)
             if result.torn_tail_repaired:
-                self.backend.truncate_log(result.valid_length)
-                self.torn_tail_repairs += 1
+                # A read-only follower cannot repair the medium (the
+                # writer will, or is mid-append right now); the torn
+                # bytes are simply not consumed yet.
+                if not self.backend.read_only:
+                    self.backend.truncate_log(result.valid_length)
+                    self.torn_tail_repairs += 1
             live = [r for r in result.records if r.seq > base_seq]
             stale = len(result.records) - len(live)
             if live:

@@ -23,9 +23,17 @@ Scenarios that want to run differentially should keep goals
 subject-independent (no ``?Subject``): a subject variable would bake the
 local pid into the goal text, which is exactly the coupling federation
 removes.
+
+A fourth, opt-in leg covers the cluster runtime:
+:func:`run_cluster_differential` replays a wire-only scenario against a
+forked worker fleet (one shared WAL, mutations forwarded to the writer,
+reads served from a follower's replica) and requires the resulting
+document to be byte-identical to the direct world's.
 """
 
 import json
+import shutil
+import tempfile
 
 from repro.api import NexusClient, NexusService
 from repro.core.attestation import kernel_wallet_bundle
@@ -205,6 +213,57 @@ class CrossKernelWorld(World):
                         receipt.pid)
 
 
+class ClusterWorld(World):
+    """A forked worker fleet over one shared WAL, spoken to through a
+    *follower*'s private address.
+
+    Mutations forward to the writer process; reads are answered from
+    the follower's replayed replica — so holding this world to the
+    direct world's bytes proves the whole replication pipeline (WAL
+    tail, epoch bus, session brokering, read-your-writes) adds nothing
+    and loses nothing.  Scenarios must stay wire-only: the kernels live
+    in other processes, so :attr:`World.kernel` (and
+    :meth:`Identity.kernel_explain`) are unreachable here.
+    """
+
+    kind = "cluster"
+
+    def __init__(self, workers=2, start_method="fork"):
+        super().__init__()
+        from repro.cluster import ClusterConfig, Supervisor
+        self._directory = tempfile.mkdtemp(prefix="nexus-cluster-world-")
+        self.supervisor = Supervisor(ClusterConfig(
+            directory=self._directory, workers=workers,
+            start_method=start_method, key_seed=HOME_SEED,
+            heartbeat_interval=0.1))
+        self.supervisor.start()
+        # The last worker is always a follower; targeting its private
+        # address pins every request to the replica path instead of
+        # letting SO_REUSEPORT sometimes hand us the writer.
+        host, port = self.supervisor.worker_address(workers - 1)
+        self.client = NexusClient.connect(host, port)
+
+    @property
+    def kernel(self):
+        raise RuntimeError("cluster worlds are wire-only: the kernels "
+                           "live in forked worker processes")
+
+    def identity(self, name, statements):
+        """A subject whose session rides the follower→writer path."""
+        session = self.open(name)
+        for statement in statements:
+            session.say(statement)
+        return Identity(self, name, session.principal, session,
+                        session.pid)
+
+    def close(self):
+        try:
+            self.client.close()
+        finally:
+            self.supervisor.stop()
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+
 def make_world(kind) -> World:
     """Build one world by kind name."""
     worlds = {"direct": DirectWorld, "http": HttpWorld,
@@ -233,3 +292,23 @@ def run_differential(scenario):
     assert normalized["direct"] == normalized["http"] == \
         normalized["cross-kernel"], "cross-kernel path disagrees"
     return documents["direct"]
+
+
+def run_cluster_differential(scenario, workers=2, start_method="fork"):
+    """Run a wire-only scenario in-process and against a forked fleet.
+
+    The cluster world speaks to a *follower*, so every observable in
+    the scenario's document crossed fork, WAL replay and forwarding —
+    and must still be **byte-identical** to the direct world (same
+    ``key_seed``, same pid allocation order, same principal strings).
+    Returns the direct document.
+    """
+    direct = scenario(make_world("direct"))
+    world = ClusterWorld(workers=workers, start_method=start_method)
+    try:
+        clustered = scenario(world)
+    finally:
+        world.close()
+    assert direct == clustered, (
+        "forked cluster disagrees with the in-process kernel")
+    return direct

@@ -1,0 +1,809 @@
+"""The cluster runtime, end to end.
+
+Three rings of scrutiny:
+
+* **components in-process** — ring math, the UDP epoch bus, WAL
+  tailing into a :class:`~repro.cluster.replica.KernelReplica`
+  (including compaction resync), and a whole worker fleet running as
+  *threads* in this process (``SO_REUSEPORT`` makes that legal), which
+  keeps every line visible to the coverage tracer;
+* **forked fleets** — a real :class:`~repro.cluster.supervisor.Supervisor`
+  with worker *processes*, exercised through real sockets, including
+  ``kill -9`` fault injection against both a follower and the writer;
+* **sharding** — consistent-hash partitioning across federated
+  kernels with credential-bundle trust and signed revocation evidence.
+"""
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.api import messages as msg
+from repro.api.client import ClientSession, NexusClient
+from repro.api.service import NexusService
+from repro.cluster import (BusPublisher, BusSubscriber, ClusterConfig,
+                           ClusterService, ClusterWorker, FORWARDED_KINDS,
+                           HashRing, KernelReplica, ShardedCluster,
+                           Supervisor, WRITER_INDEX, bootstrap_directory,
+                           read_writer_address)
+from repro.errors import ClusterError, ReproError, SignatureError
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+from repro.nal.proof import Assume, ProofBundle
+from repro.storage.backend import FileBackend
+
+KEYS = {"key_seed": 1001, "key_bits": 512}
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _reserve_port(host="127.0.0.1"):
+    """A bound, never-listening SO_REUSEPORT socket: fixes the shared
+    port for in-process fleets the way the supervisor does."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, 0))
+    return sock
+
+
+class fleet_in_process:
+    """N :class:`ClusterWorker` threads over one directory — the
+    coverage-visible way to run a whole fleet."""
+
+    def __init__(self, directory, workers=3, **overrides):
+        self._reservation = _reserve_port()
+        overrides.setdefault("poll_interval", 0.02)
+        self.config = ClusterConfig(
+            directory=str(directory), workers=workers,
+            port=self._reservation.getsockname()[1], **overrides)
+        self.workers = []
+
+    def __enter__(self):
+        try:
+            for index in range(self.config.workers):
+                worker = ClusterWorker(self.config, index)
+                worker.start()
+                self.workers.append(worker)
+        except BaseException:
+            self.__exit__()
+            raise
+        return self
+
+    def __exit__(self, *_exc):
+        for worker in reversed(self.workers):
+            worker.stop()
+        self._reservation.close()
+
+    def client(self, index):
+        """A client pinned to one worker's private address."""
+        return NexusClient.connect(*self.workers[index].private_address)
+
+
+def _allow_setup(owner, reader, resource_name="/files/box"):
+    """Owner-granted access with an explicit proof bundle; returns
+    (resource, proof_document) such that ``reader`` is allowed."""
+    resource = owner.create_resource(resource_name, "file")
+    owner.set_goal(resource, "read",
+                   f"{owner.principal} says ok({reader.pid})")
+    credential = owner.say(f"ok({reader.pid})")
+    concrete = parse(credential.formula)
+    bundle = ProofBundle(Assume(concrete), credentials=(concrete,))
+    from repro.api import codec
+    return resource, codec.encode_bundle(bundle)
+
+
+# --------------------------------------------------------------------------
+# the ring
+# --------------------------------------------------------------------------
+
+class TestHashRing:
+    def test_deterministic_and_total(self):
+        ring = HashRing(["a", "b", "c"], vnodes=32)
+        names = [f"user-{i}" for i in range(200)]
+        homes = {name: ring.node_for(name) for name in names}
+        assert homes == {name: ring.node_for(name) for name in names}
+        assert set(homes.values()) == {"a", "b", "c"}
+
+    def test_add_remaps_minimally(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        names = [f"user-{i}" for i in range(500)]
+        before = {name: ring.node_for(name) for name in names}
+        ring.add("d")
+        moved = [name for name in names
+                 if ring.node_for(name) != before[name]]
+        # Only keys on arcs "d" captured move, and they move *to* d.
+        assert all(ring.node_for(name) == "d" for name in moved)
+        assert 0 < len(moved) < len(names) / 2
+
+    def test_remove_falls_to_successors(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        names = [f"user-{i}" for i in range(300)]
+        before = {name: ring.node_for(name) for name in names}
+        ring.remove("b")
+        assert "b" not in ring.nodes
+        for name in names:
+            after = ring.node_for(name)
+            assert after != "b"
+            if before[name] != "b":
+                assert after == before[name]
+
+    def test_add_twice_and_remove_absent_are_noops(self):
+        ring = HashRing(["a"], vnodes=8)
+        points = list(ring._ring)
+        ring.add("a")
+        ring.remove("ghost")
+        assert ring._ring == points
+
+    def test_errors(self):
+        with pytest.raises(ClusterError):
+            HashRing(vnodes=0)
+        with pytest.raises(ClusterError):
+            HashRing().node_for("anyone")
+
+
+class TestClusterConfig:
+    def test_roundtrip(self):
+        config = ClusterConfig(directory="/tmp/x", workers=4, port=1234,
+                               decision_cache=False, **KEYS)
+        clone = ClusterConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.kernel_kwargs() == KEYS
+
+
+# --------------------------------------------------------------------------
+# the epoch bus
+# --------------------------------------------------------------------------
+
+class TestBus:
+    def test_nudge_reaches_subscriber(self, tmp_path):
+        directory = str(tmp_path)
+        subscriber = BusSubscriber(directory, "w1")
+        publisher = BusPublisher(directory)
+        try:
+            publisher.publish(7)
+            assert subscriber.wait(2.0) == 7
+        finally:
+            publisher.close()
+            subscriber.close()
+
+    def test_wait_drains_to_max_seq(self, tmp_path):
+        directory = str(tmp_path)
+        subscriber = BusSubscriber(directory, "w1")
+        publisher = BusPublisher(directory)
+        try:
+            for seq in (1, 2, 9, 5):
+                publisher.publish(seq)
+            assert subscriber.wait(2.0) == 9
+        finally:
+            publisher.close()
+            subscriber.close()
+
+    def test_garbage_datagrams_ignored(self, tmp_path):
+        directory = str(tmp_path)
+        subscriber = BusSubscriber(directory, "w1")
+        try:
+            port = subscriber.port
+            probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            probe.sendto(b"not-the-bus", ("127.0.0.1", port))
+            probe.sendto(b"NXB1 not-a-number", ("127.0.0.1", port))
+            probe.close()
+            assert subscriber.wait(0.2) is None
+        finally:
+            subscriber.close()
+
+    def test_publisher_survives_dead_subscribers(self, tmp_path):
+        directory = str(tmp_path)
+        subscriber = BusSubscriber(directory, "dead")
+        port_file = subscriber._path
+        subscriber._socket.close()  # dead socket, port file left behind
+        publisher = BusPublisher(directory)
+        try:
+            publisher.publish(1)  # must not raise
+            assert os.path.exists(port_file)
+        finally:
+            publisher.close()
+            os.unlink(port_file)
+
+    def test_close_unregisters(self, tmp_path):
+        subscriber = BusSubscriber(str(tmp_path), "w1")
+        port_file = subscriber._path
+        assert os.path.exists(port_file)
+        subscriber.close()
+        assert not os.path.exists(port_file)
+
+
+# --------------------------------------------------------------------------
+# the replica
+# --------------------------------------------------------------------------
+
+class _Writer:
+    """An exclusive-lock writer kernel over a directory, for driving
+    replicas by hand."""
+
+    def __init__(self, directory, snapshot_every=None):
+        self.backend = FileBackend(str(directory), exclusive=True)
+        self.kernel = NexusKernel(**KEYS)
+        self.kernel.attach_storage(self.backend, sync_every=1,
+                                   snapshot_every=snapshot_every)
+
+    def close(self):
+        self.backend.close()
+
+
+class TestKernelReplica:
+    def test_boot_restores_existing_state(self, tmp_path):
+        writer = _Writer(tmp_path)
+        process = writer.kernel.create_process("alice")
+        writer.kernel.sys_say(process.pid, "likes(pie)")
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            twin = replica.kernel.processes.get(process.pid)
+            assert str(twin.principal) == str(process.principal)
+            assert replica.seq == writer.kernel.storage_stats()["seq"]
+        finally:
+            writer.close()
+
+    def test_poll_tails_incrementally(self, tmp_path):
+        writer = _Writer(tmp_path)
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            process = writer.kernel.create_process("alice")
+            writer.kernel.sys_say(process.pid, "likes(pie)")
+            applied = replica.poll()
+            assert applied > 0
+            assert replica.kernel.processes.get(process.pid) is not None
+            assert replica.poll() == 0  # nothing new
+            assert replica.seq == writer.kernel.storage_stats()["seq"]
+        finally:
+            writer.close()
+
+    def test_replica_survives_compaction(self, tmp_path):
+        writer = _Writer(tmp_path)
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            process = writer.kernel.create_process("alice")
+            replica.poll()
+            writer.kernel.snapshot_now()  # log truncated under us
+            writer.kernel.sys_say(process.pid, "likes(pie)")
+            replica.poll()
+            assert replica.seq == writer.kernel.storage_stats()["seq"]
+            assert replica.kernel.labels.holds(
+                parse(f"{process.principal} says likes(pie)"))
+        finally:
+            writer.close()
+
+    def test_wait_for_seq(self, tmp_path):
+        writer = _Writer(tmp_path)
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            writer.kernel.create_process("alice")
+            target = writer.kernel.storage_stats()["seq"]
+            assert replica.wait_for_seq(target, timeout=2.0)
+            assert not replica.wait_for_seq(target + 50, timeout=0.1)
+        finally:
+            writer.close()
+
+    def test_rebuild_recovers_everything(self, tmp_path):
+        writer = _Writer(tmp_path)
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            process = writer.kernel.create_process("alice")
+            replica.rebuild()
+            assert replica.rebuilds == 1
+            assert replica.kernel.processes.get(process.pid) is not None
+            assert replica.seq == writer.kernel.storage_stats()["seq"]
+        finally:
+            writer.close()
+
+    def test_replica_mutations_never_journal(self, tmp_path):
+        writer = _Writer(tmp_path)
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        try:
+            before = os.path.getsize(
+                os.path.join(str(tmp_path), "wal.log"))
+            replica.kernel.create_process("local-ghost")
+            assert os.path.getsize(
+                os.path.join(str(tmp_path), "wal.log")) == before
+        finally:
+            writer.close()
+
+
+# --------------------------------------------------------------------------
+# the revoke endpoint (plain service, no cluster required)
+# --------------------------------------------------------------------------
+
+class TestRevokeEndpoint:
+    def test_global_revoke_bumps_policy_epoch(self):
+        service = NexusService(NexusKernel(**KEYS))
+        client = NexusClient.in_process(service)
+        session = client.open_session("admin")
+        before = client.info().cache["policy_epoch"]
+        response = session.revoke()
+        assert response.policy_epoch == before + 1
+        assert response.peer is None and response.dropped == 0
+
+    def test_peer_revoke_by_alias(self):
+        service = NexusService(NexusKernel(**KEYS))
+        other = NexusKernel(key_seed=2002, key_bits=512)
+        identity = other.platform_identity()
+        peer = service.kernel.add_peer("site-b", identity["root_key"],
+                                       platform=identity["platform"])
+        client = NexusClient.in_process(service)
+        session = client.open_session("admin")
+        response = session.revoke(peer="site-b")
+        assert response.peer == peer.peer_id
+        assert service.kernel.peers.get(peer.peer_id).trusted is False
+
+    def test_unknown_peer_is_an_error(self):
+        service = NexusService(NexusKernel(**KEYS))
+        client = NexusClient.in_process(service)
+        session = client.open_session("admin")
+        with pytest.raises(ReproError):
+            session.revoke(peer="nobody")
+
+
+# --------------------------------------------------------------------------
+# a fleet of threads (coverage-visible)
+# --------------------------------------------------------------------------
+
+class TestFleetInProcess:
+    def test_follower_serves_writer_state(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=2, **KEYS) as fleet:
+            writer_client = fleet.client(WRITER_INDEX)
+            follower_client = fleet.client(1)
+            alice = writer_client.open_session("alice")
+            alice.create_resource("/doc/a", "file")
+            # A brand-new session opened *through the follower* is
+            # brokered to the writer and adopted locally.
+            bob = follower_client.open_session("bob")
+            resource = bob.create_resource("/doc/b", "file")
+            # Read-your-writes: the follower answers its own reads.
+            assert bob.goal_for(resource, "read") is None
+            verdict = bob.authorize("read", "/doc/a")
+            assert verdict.allow is False  # not the owner — but *seen*
+            writer_client.close()
+            follower_client.close()
+
+    def test_forwarded_mutation_lands_once(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=2, **KEYS) as fleet:
+            follower_client = fleet.client(1)
+            session = follower_client.open_session("alice")
+            session.say("likes(pie)")
+            follower = fleet.workers[1]
+            assert follower.service.forwarded >= 2  # open + say
+            # Read-your-writes already held the reply until the replica
+            # replayed the writer's log position.
+            writer_client = fleet.client(WRITER_INDEX)
+            assert follower.replica.seq \
+                == writer_client.storage_stats().stats["seq"]
+            writer_client.close()
+            follower_client.close()
+
+    def test_unknown_token_forwarded_wholesale(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=3, **KEYS) as fleet:
+            first = fleet.client(1)
+            session = first.open_session("alice")
+            resource = session.create_resource("/doc/a", "file")
+            # Same token presented to a sibling that never saw it:
+            second = fleet.client(2)
+            moved = ClientSession(second, session.token, session.pid,
+                                  session.principal)
+            verdict = moved.authorize("write", resource.resource_id)
+            assert verdict.allow is True  # owner, via wholesale forward
+            first.close()
+            second.close()
+
+    def test_no_stale_allow_after_goal_change(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=3, **KEYS) as fleet:
+            clients = [fleet.client(i) for i in range(3)]
+            owner = clients[0].open_session("owner")
+            reader = clients[1].open_session("reader")
+            resource, proof = _allow_setup(owner, reader)
+            # Warm an allow into every worker's decision cache.
+            sessions = [reader] + [
+                ClientSession(c, reader.token, reader.pid,
+                              reader.principal) for c in clients[1:]]
+            for session in sessions:
+                assert session.authorize("read", resource.resource_id,
+                                         proof=proof).allow is True
+            # The owner slams the door -- through a *follower*.
+            follower_owner = ClientSession(clients[2], owner.token,
+                                           owner.pid, owner.principal)
+            follower_owner.set_goal(resource.resource_id, "read",
+                                    f"{owner.principal} says never()")
+            # Every worker must now deny: no stale allow anywhere.
+            for session in sessions:
+                assert session.authorize("read", resource.resource_id,
+                                         proof=proof).allow is False
+            for client in clients:
+                client.close()
+
+    def test_revoke_epoch_reaches_every_worker(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=3, **KEYS) as fleet:
+            clients = [fleet.client(i) for i in range(3)]
+            session = clients[2].open_session("admin")
+            before = [c.info().cache["policy_epoch"] for c in clients]
+            assert before == [0, 0, 0]
+            response = session.revoke()  # via follower 2 -> writer
+            assert response.policy_epoch == 1
+            # Read-your-writes already synced follower 2; the other
+            # follower hears it over the bus within a poll interval.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                epochs = [c.info().cache["policy_epoch"] for c in clients]
+                if epochs == [1, 1, 1]:
+                    break
+                time.sleep(0.02)
+            assert epochs == [1, 1, 1]
+            for client in clients:
+                client.close()
+
+    def test_close_session_everywhere(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=2, **KEYS) as fleet:
+            follower_client = fleet.client(1)
+            session = follower_client.open_session("alice")
+            follower_client.call(
+                msg.CloseSessionRequest(session=session.token),
+                msg.AckResponse)
+            with pytest.raises(ReproError):
+                session.say("anything")
+            follower_client.close()
+
+    def test_worker_documents(self, tmp_path):
+        with fleet_in_process(tmp_path, workers=2, **KEYS) as fleet:
+            writer_doc = fleet.workers[0].service.worker_document()
+            follower_doc = fleet.workers[1].service.worker_document()
+            assert writer_doc["role"] == "writer"
+            assert follower_doc["role"] == "follower"
+            assert writer_doc["boot_id"] == follower_doc["boot_id"]
+            assert writer_doc["seq"] == follower_doc["seq"]
+
+    def test_worker_requires_concrete_port(self, tmp_path):
+        worker = ClusterWorker(ClusterConfig(directory=str(tmp_path),
+                                             **KEYS), 0)
+        with pytest.raises(ClusterError):
+            worker.start()
+
+    def test_follower_without_writer_reports_errors(self, tmp_path):
+        # A replica can boot from a bare directory only after a writer
+        # created the medium; and with no writer.addr a forwarded
+        # mutation must come back as a clean wire error, not a hang.
+        writer = _Writer(tmp_path)
+        writer.close()
+        replica = KernelReplica(str(tmp_path), **KEYS)
+        service = ClusterService(replica=replica, role="follower",
+                                 directory=str(tmp_path))
+        client = NexusClient.in_process(service)
+        with pytest.raises(ReproError):
+            client.open_session("alice")
+        with pytest.raises(ClusterError):
+            read_writer_address(str(tmp_path))
+
+    def test_service_role_replica_mismatch(self, tmp_path):
+        with pytest.raises(ClusterError):
+            ClusterService(NexusKernel(**KEYS), role="follower")
+
+
+# --------------------------------------------------------------------------
+# forked fleets: the real thing
+# --------------------------------------------------------------------------
+
+def _forked_fleet(tmp_path, workers=3, start_method="fork"):
+    return Supervisor(ClusterConfig(
+        directory=str(tmp_path), workers=workers,
+        start_method=start_method, heartbeat_interval=0.1, **KEYS))
+
+
+def _worker_serving(client):
+    """Which worker answers this client's TCP connection — asked over
+    the *same* keep-alive connection the API calls ride."""
+    import json
+    connection = client.transport.connection
+    raw = connection.send(b"GET /cluster/worker HTTP/1.1\r\n"
+                          b"Host: t\r\nContent-Length: 0\r\n\r\n")
+    return json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+
+class TestForkedFleet:
+    def test_kill_follower_reconnect_same_verdicts(self, tmp_path):
+        supervisor = _forked_fleet(tmp_path, workers=3)
+        host, port = supervisor.start()
+        try:
+            # Land a connection on a follower (retry the lottery the
+            # shared port runs; two of three workers are followers).
+            for _ in range(40):
+                client = NexusClient.connect(host, port)
+                serving = _worker_serving(client)
+                if serving["role"] == "follower":
+                    break
+                client.close()
+            else:
+                pytest.fail("never reached a follower via SO_REUSEPORT")
+            owner = client.open_session("owner")
+            reader = client.open_session("reader")
+            resource, proof = _allow_setup(owner, reader)
+            before = reader.authorize("read", resource.resource_id,
+                                      proof=proof)
+            assert before.allow is True
+
+            victim = serving["worker"]
+            os.kill(supervisor.worker_pid(victim), signal.SIGKILL)
+            # The PersistentConnection notices the reset, reconnects to
+            # the shared port, lands on a surviving worker (which may
+            # not know the token — wholesale forward covers that), and
+            # the verdict must not change.
+            deadline = time.monotonic() + 10.0
+            after = None
+            while time.monotonic() < deadline:
+                try:
+                    after = reader.authorize("read", resource.resource_id,
+                                             proof=proof)
+                    break
+                except ReproError:
+                    time.sleep(0.1)
+            assert after is not None, "client never got an answer back"
+            assert (after.allow, after.reason) \
+                == (before.allow, before.reason)
+            assert client.transport.connection.reconnects >= 2
+
+            # The supervisor restarts the victim; the reborn worker
+            # must serve the same verdict from the shared WAL.
+            supervisor.wait_worker_ready(victim, timeout=20)
+            assert supervisor.restarts >= 1
+            reborn = NexusClient.connect(
+                *supervisor.worker_address(victim))
+            moved = ClientSession(reborn, reader.token, reader.pid,
+                                  reader.principal)
+            verdict = moved.authorize("read", resource.resource_id,
+                                      proof=proof)
+            assert verdict.allow is before.allow
+            # The unknown token forwards to the writer, whose decision
+            # cache is warm by now — either surface is a legal reason.
+            assert verdict.reason in (before.reason, "decision cache")
+            reborn.close()
+            client.close()
+        finally:
+            supervisor.stop()
+
+    def test_kill_writer_fleet_heals(self, tmp_path):
+        supervisor = _forked_fleet(tmp_path, workers=2)
+        supervisor.start()
+        try:
+            follower_client = NexusClient.connect(
+                *supervisor.worker_address(1))
+            session = follower_client.open_session("alice")
+            session.create_resource("/doc/pre", "file")
+
+            os.kill(supervisor.worker_pid(WRITER_INDEX), signal.SIGKILL)
+            supervisor.wait_worker_ready(WRITER_INDEX, timeout=20)
+
+            # Sessions died with the writer: the stale token must be
+            # refused (and evicted follower-side), then a fresh session
+            # sees the durable pre-kill state.
+            deadline = time.monotonic() + 10.0
+            fresh = None
+            while time.monotonic() < deadline:
+                try:
+                    session.say("anything")
+                    pytest.fail("stale session survived a writer restart")
+                except ReproError:
+                    pass
+                try:
+                    fresh = follower_client.open_session("bob")
+                    break
+                except ReproError:
+                    time.sleep(0.1)
+            assert fresh is not None, "fleet never healed"
+            resource = fresh.create_resource("/doc/post", "file")
+            assert resource.name == "/doc/post"
+            assert fresh.authorize("read", "/doc/pre").allow is False
+            follower_client.close()
+        finally:
+            supervisor.stop()
+
+    def test_bootstrap_runs_once(self, tmp_path):
+        seeded = []
+
+        def bootstrap(kernel):
+            seeded.append(kernel.create_process("seeded").pid)
+
+        config = ClusterConfig(directory=str(tmp_path), workers=1,
+                               **KEYS)
+        bootstrap_directory(config, bootstrap)
+        bootstrap_directory(config, bootstrap)  # directory non-empty now
+        assert len(seeded) == 1
+
+        supervisor = Supervisor(config, bootstrap=bootstrap)
+        host, port = supervisor.start()
+        try:
+            assert len(seeded) == 1  # still once
+            client = NexusClient.connect(host, port)
+            session = client.open_session("probe")
+            # The seeded process survived into the served fleet.
+            assert session.pid > seeded[0]
+            client.close()
+        finally:
+            supervisor.stop()
+
+
+
+class TestSpawnedFleet:
+    def test_spawn_context_round_trip(self, tmp_path):
+        supervisor = _forked_fleet(tmp_path, workers=2,
+                                   start_method="spawn")
+        host, port = supervisor.start()
+        try:
+            client = NexusClient.connect(host, port)
+            session = client.open_session("alice")
+            resource = session.create_resource("/doc/a", "file")
+            assert session.authorize("write",
+                                     resource.resource_id).allow is True
+            client.close()
+        finally:
+            supervisor.stop()
+
+
+# --------------------------------------------------------------------------
+# sharding
+# --------------------------------------------------------------------------
+
+def _shards(n=3):
+    return ShardedCluster({
+        f"shard-{i}": NexusKernel(key_seed=3000 + i, key_bits=512)
+        for i in range(n)})
+
+
+class TestShardedCluster:
+    def test_principals_pin_to_ring_homes(self):
+        cluster = _shards()
+        for name in ("alice", "bob", "carol", "dave"):
+            principal = cluster.create_principal(name)
+            assert principal.shard == cluster.home_of(name)
+            kernel = cluster.kernel_of(principal.shard)
+            assert kernel.processes.get(principal.pid) is not None
+
+    def test_same_shard_authorization(self):
+        cluster = _shards()
+        alice = cluster.create_principal("alice", ["ok(box)"])
+        kernel = cluster.kernel_of(alice.shard)
+        owner = kernel.create_process("owner")
+        resource = kernel.resources.create("/files/box", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{alice.principal} says ok(box)")
+        decision = cluster.authorize(alice, "read", alice.shard,
+                                     resource.resource_id)
+        assert decision.allow is True
+
+    def test_cross_shard_travels_as_bundle(self):
+        cluster = _shards()
+        alice = cluster.create_principal("alice", ["ok(box)"])
+        # A resource on a *different* shard than alice's home.
+        target_name = next(name for name in cluster.shards
+                           if name != alice.shard)
+        target = cluster.kernel_of(target_name)
+        owner = target.create_process("owner")
+        resource = target.resources.create("/files/box", "file",
+                                           owner.principal)
+        # The goal names the alias-qualified speaker admission mints
+        # (idempotent: cluster.authorize re-admits from the digest
+        # cache).
+        home = cluster.kernel_of(alice.shard)
+        admission = target.admit_remote(home.export_credentials(alice.pid))
+        target.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{admission.remote_principal} says ok(box)")
+        decision = cluster.authorize(alice, "read", target_name,
+                                     resource.resource_id)
+        assert decision.allow is True, decision.reason
+
+    def test_revocation_evidence_propagates(self):
+        cluster = _shards()
+        victim = cluster.kernel_of("shard-2").platform_identity()
+        applied = cluster.revoke_everywhere(
+            "shard-0", victim["peer_id"])
+        assert applied["shard-0"] is True
+        assert applied["shard-1"] is True
+        # shard-2 is the victim itself: it never pinned its own key.
+        assert cluster.kernel_of("shard-1").peers.get(
+            victim["peer_id"]).trusted is False
+
+    def test_forged_evidence_refused(self):
+        cluster = _shards()
+        victim = cluster.kernel_of("shard-2").platform_identity()
+        notice = cluster.revoke_peer("shard-0", victim["peer_id"])
+        # Claiming a different announcer: the chain no longer matches
+        # that shard's pinned root key.
+        notice["announcer"] = "shard-1"
+        with pytest.raises(SignatureError):
+            cluster.apply_revocation("shard-2", notice)
+
+    def test_evidence_for_wrong_peer_refused(self):
+        cluster = _shards()
+        victim = cluster.kernel_of("shard-2").platform_identity()
+        other = cluster.kernel_of("shard-1").platform_identity()
+        notice = cluster.revoke_peer("shard-0", victim["peer_id"])
+        notice["peer_id"] = other["peer_id"]  # chain attests the victim
+        with pytest.raises(SignatureError):
+            cluster.apply_revocation("shard-1", notice)
+
+    def test_unknown_announcer_refused(self):
+        cluster = _shards()
+        victim = cluster.kernel_of("shard-2").platform_identity()
+        notice = cluster.revoke_peer("shard-0", victim["peer_id"])
+        notice["announcer"] = "shard-x"
+        from repro.errors import UntrustedPeer
+        with pytest.raises(UntrustedPeer):
+            cluster.apply_revocation("shard-1", notice)
+
+    def test_unknown_peer_is_a_noop(self):
+        # A peer only shard-0 ever pinned: the notice verifies on
+        # shard-1, but there is nothing there to drop.
+        cluster = _shards()
+        outsider = NexusKernel(key_seed=4004,
+                               key_bits=512).platform_identity()
+        cluster.kernel_of("shard-0").add_peer(
+            "outsider", outsider["root_key"],
+            platform=outsider["platform"])
+        notice = cluster.revoke_peer("shard-0", outsider["peer_id"])
+        assert cluster.apply_revocation("shard-1", notice) is False
+
+    def test_forwarded_kinds_are_the_journaled_ones(self):
+        # Every forwarded kind is a durable mutation; authorize (the
+        # scale-out read) must *never* be forwarded.
+        assert msg.AuthorizeRequest.KIND not in FORWARDED_KINDS
+        assert msg.SayRequest.KIND in FORWARDED_KINDS
+        assert msg.RevokeRequest.KIND in FORWARDED_KINDS
+
+
+# --------------------------------------------------------------------------
+# the differential leg: a forked fleet must be invisible
+# --------------------------------------------------------------------------
+
+class TestClusterDifferential:
+    def test_verdicts_byte_identical_to_in_process(self):
+        from harness import run_cluster_differential
+        from repro.api import codec
+
+        def scenario(world):
+            admin = world.admin()
+            box = admin.create_resource("/files/box", "file")
+            alice = world.identity("alice", ["ok(box)"])
+            admin.set_goal(box, "read",
+                           f"{alice.speaker} says ok(box)")
+            concrete = parse(f"{alice.speaker} says ok(box)")
+            proof = codec.encode_bundle(
+                ProofBundle(Assume(concrete), credentials=(concrete,)))
+
+            def verdict(v):
+                return {"allow": v.allow, "cacheable": v.cacheable,
+                        "reason": v.reason}
+
+            explained = alice.explain("read", box, proof=proof)
+            return {
+                "goal": alice.session.goal_for(box, "read"),
+                "deny_no_proof": verdict(
+                    alice.authorize("read", box)),
+                "allow_proof": verdict(
+                    alice.authorize("read", box, proof=proof)),
+                "allow_cached": verdict(
+                    alice.authorize("read", box, proof=proof)),
+                "allow_wallet": verdict(
+                    alice.authorize("read", box, wallet=True)),
+                "explain": {
+                    "verdict": verdict(explained.verdict),
+                    "explanation": explained.explanation.to_dict(),
+                },
+            }
+
+        document = run_cluster_differential(scenario, workers=3)
+        assert document["deny_no_proof"]["allow"] is False
+        assert document["allow_proof"]["allow"] is True
+        assert document["allow_cached"]["reason"] == "decision cache"
+        assert document["explain"]["verdict"]["allow"] is True

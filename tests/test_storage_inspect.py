@@ -1,0 +1,130 @@
+"""The ``python -m repro.storage.inspect`` operator tool."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel.kernel import NexusKernel
+from repro.storage import inspect_directory
+from repro.storage.backend import FileBackend
+from repro.storage.inspect import main
+
+KEYS = {"key_seed": 1001, "key_bits": 512}
+
+
+def _populated(directory, snapshot=False):
+    backend = FileBackend(str(directory), exclusive=True)
+    kernel = NexusKernel(**KEYS)
+    kernel.attach_storage(backend, sync_every=1)
+    process = kernel.create_process("alice")
+    kernel.sys_say(process.pid, "likes(pie)")
+    if snapshot:
+        kernel.snapshot_now()
+        kernel.sys_say(process.pid, "likes(cake)")
+    stats = kernel.storage_stats()
+    backend.close()
+    return stats
+
+
+class TestInspectDirectory:
+    def test_fresh_history(self, tmp_path):
+        stats = _populated(tmp_path)
+        summary = inspect_directory(str(tmp_path))
+        assert summary["chain_ok"] is True
+        # attach_storage stamps an initial (seq 0) snapshot.
+        assert summary["snapshot"]["present"] is True
+        assert summary["snapshot"]["seq"] == 0
+        assert summary["seq"] == stats["seq"]
+        assert summary["log"]["records"] == stats["seq"]
+        assert summary["log"]["unconsumed_tail_bytes"] == 0
+        assert "label" in summary["log"]["types"]
+
+    def test_snapshot_plus_live_tail(self, tmp_path):
+        stats = _populated(tmp_path, snapshot=True)
+        summary = inspect_directory(str(tmp_path))
+        assert summary["snapshot"]["present"] is True
+        assert summary["snapshot"]["checksum_ok"] is True
+        assert summary["seq"] == stats["seq"]
+        assert summary["log"]["live_records"] \
+            == stats["seq"] - summary["snapshot"]["seq"]
+
+    def test_inspection_never_mutates(self, tmp_path):
+        import os
+        _populated(tmp_path)
+        log_path = tmp_path / "wal.log"
+        before = (os.path.getsize(log_path), log_path.read_bytes())
+        inspect_directory(str(tmp_path))
+        assert (os.path.getsize(log_path), log_path.read_bytes()) \
+            == before
+
+    def test_corrupted_log_raises(self, tmp_path):
+        _populated(tmp_path)
+        log_path = tmp_path / "wal.log"
+        raw = bytearray(log_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        log_path.write_bytes(bytes(raw))
+        with pytest.raises(ReproError):
+            inspect_directory(str(tmp_path))
+
+
+class TestInspectCli:
+    def test_human_output(self, tmp_path, capsys):
+        _populated(tmp_path, snapshot=True)
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot: seq" in out
+        assert "verdict:  chain ok, snapshot ok" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        _populated(tmp_path)
+        assert main([str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["chain_ok"] is True
+
+    def test_records_dump(self, tmp_path, capsys):
+        _populated(tmp_path)
+        assert main([str(tmp_path), "--records"]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "label" in out
+
+    def test_records_dump_json_lines(self, tmp_path, capsys):
+        _populated(tmp_path)
+        assert main([str(tmp_path), "--records", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        summary = json.loads(lines[0])
+        assert summary["ok"] is True
+        records = [json.loads(line) for line in lines[1:]]
+        assert records and all("seq" in r and "type" in r
+                               for r in records)
+
+    def test_corruption_exits_one_with_code(self, tmp_path, capsys):
+        _populated(tmp_path)
+        log_path = tmp_path / "wal.log"
+        raw = bytearray(log_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        log_path.write_bytes(bytes(raw))
+        assert main([str(tmp_path), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["code"].startswith("E_")
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main([missing]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+        _populated(tmp_path)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.storage.inspect",
+             str(tmp_path), "--json"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo")
+        assert completed.returncode == 0
+        assert json.loads(completed.stdout)["ok"] is True
