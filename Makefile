@@ -3,8 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-storage bench-cluster docs-check \
-	lint coverage coverage-storage coverage-cluster check
+.PHONY: test bench bench-smoke bench-storage bench-cluster bench-iam \
+	docs-check lint coverage coverage-storage coverage-cluster \
+	coverage-iam check
 
 ## tier-1: every test and benchmark, fail-fast (the CI gate)
 test:
@@ -29,17 +30,25 @@ bench-storage:
 bench-cluster:
 	$(PYTHON) -m pytest -q benchmarks/test_fig12b_cluster.py
 
+## the IAM experiments at smoke budget: fig13 (authority-backed vs
+## cached static proofs) and fig14 (tenants x zipf x policy churn);
+## emits BENCH_authority.json and BENCH_iam.json
+bench-iam:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest -q \
+	    benchmarks/test_fig13_authority.py \
+	    benchmarks/test_fig14_iam_macro.py
+
 ## execute every python snippet in the documentation
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md docs/architecture.md \
-	    docs/api.md docs/nal.md docs/policy.md docs/federation.md \
-	    docs/storage.md docs/cluster.md
+	    docs/api.md docs/nal.md docs/policy.md docs/iam.md \
+	    docs/federation.md docs/storage.md docs/cluster.md
 
 ## docstring coverage for the trusted packages + the service boundary
 lint:
 	$(PYTHON) tools/lint_docstrings.py src/repro/kernel src/repro/nal \
-	    src/repro/api src/repro/policy src/repro/federation \
-	    src/repro/cluster
+	    src/repro/api src/repro/policy src/repro/iam \
+	    src/repro/federation src/repro/cluster
 
 ## line-coverage floor for the federation subsystem (stdlib tracer)
 coverage:
@@ -61,4 +70,11 @@ coverage-cluster:
 	$(PYTHON) tools/check_coverage.py --target src/repro/cluster \
 	    --floor 85 -- -q tests/test_cluster.py
 
-check: lint docs-check coverage coverage-storage coverage-cluster test
+## line-coverage floor for the IAM compiler (model, engine, deny
+## table, condition authorities)
+coverage-iam:
+	$(PYTHON) tools/check_coverage.py --target src/repro/iam \
+	    --floor 85 -- -q tests/test_iam.py tests/test_iam_properties.py
+
+check: lint docs-check coverage coverage-storage coverage-cluster \
+	coverage-iam bench-iam test

@@ -93,10 +93,24 @@ def test_guard_cache_amortizes_proof_checking(benchmark):
             authorize()
         return (time.perf_counter() - start) / n * 1e6
 
-    with_cache = measure()
-    kernel.default_guard.cache.capacity = 0
-    kernel.default_guard.cache.invalidate_all()
-    without_cache = measure()
+    # Interleave cache-on and cache-off rounds and keep each side's best:
+    # the proof-check memo already absorbs most of the re-check cost, so
+    # the guard-cache margin is small and one-shot ordering noise (the
+    # second loop runs on a warmer interpreter) can flip the comparison.
+    cache = kernel.default_guard.cache
+    capacity = cache.capacity
+    with_cache = without_cache = None
+    for _ in range(3):
+        cache.capacity = capacity
+        authorize()                    # repopulate the guard cache
+        round_on = measure()
+        if with_cache is None or round_on < with_cache:
+            with_cache = round_on
+        cache.capacity = 0
+        cache.invalidate_all()
+        round_off = measure()
+        if without_cache is None or round_off < without_cache:
+            without_cache = round_off
     reporting.record(EXP, "guard authorize w/ proof cache", with_cache, "us")
     reporting.record(EXP, "guard authorize w/o proof cache", without_cache,
                      "us")

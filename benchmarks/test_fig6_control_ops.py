@@ -126,25 +126,36 @@ def test_crypto_avoidance_gap(bench_us):
     importer = kernel.create_process("importer2")
     label = kernel.sys_say(owner.pid, "gap(PGM)")
 
-    n = 300
-    start = time.perf_counter()
-    for i in range(n):
-        kernel.sys_say(owner.pid, f"gapStmt({i})")
-    pid_cost = (time.perf_counter() - start) / n
-
     from repro.crypto.certs import clear_chain_memo
     from repro.crypto.rsa import clear_verify_memo
-    n = 10
-    start = time.perf_counter()
-    for _ in range(n):
-        # Cold-path crypto is what the figure compares; clear the
-        # serving runtime's verification memos each round (warm
-        # re-verification is measured by fig10's re-admission row).
-        clear_chain_memo()
-        clear_verify_memo()
-        chain = kernel.externalize_label(label)
-        kernel.import_label_chain(chain, importer.pid)
-    key_cost = (time.perf_counter() - start) / n
+
+    # Interleave the two cost loops and keep each side's best round, so
+    # load drift on a shared host hits both alike — this is a *ratio*
+    # experiment and a one-shot measurement of either side is noisy.
+    pid_cost = key_cost = None
+    said = itertools.count()
+    for _ in range(3):
+        n = 100
+        start = time.perf_counter()
+        for _ in range(n):
+            kernel.sys_say(owner.pid, f"gapStmt({next(said)})")
+        round_pid = (time.perf_counter() - start) / n
+        if pid_cost is None or round_pid < pid_cost:
+            pid_cost = round_pid
+
+        n = 4
+        start = time.perf_counter()
+        for _ in range(n):
+            # Cold-path crypto is what the figure compares; clear the
+            # serving runtime's verification memos each round (warm
+            # re-verification is measured by fig10's re-admission row).
+            clear_chain_memo()
+            clear_verify_memo()
+            chain = kernel.externalize_label(label)
+            kernel.import_label_chain(chain, importer.pid)
+        round_key = (time.perf_counter() - start) / n
+        if key_cost is None or round_key < key_cost:
+            key_cost = round_key
 
     ratio = key_cost / pid_cost
     reporting.record(EXP, "key/pid cost ratio", ratio, "x",

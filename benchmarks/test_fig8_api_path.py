@@ -41,25 +41,12 @@ def _world(client):
     return reader, resource, bundle
 
 
-def _measure(fn, n=200, warmup=25, rounds=3):
-    # Warm the decision cache, codec/wire memos, and route table until
-    # the path is in steady state — fig8 compares transports, not
-    # first-call population costs.
-    for _ in range(warmup):
-        fn()
-    best = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        for _ in range(n):
-            fn()
-        elapsed = (time.perf_counter() - start) / n * 1e6
-        best = elapsed if best is None or elapsed < best else best
-    return best
-
-
 def _measure_pair(fn_a, fn_b, n=200, warmup=25, rounds=5):
     """Best-of-N for two paths with interleaved rounds, so clock and
     load drift hit both alike — this is a *ratio* experiment."""
+    # Warm the decision cache, codec/wire memos, and route table until
+    # the path is in steady state — fig8 compares transports, not
+    # first-call population costs.
     for _ in range(warmup):
         fn_a()
         fn_b()
@@ -121,8 +108,8 @@ def test_batched_wire_beats_sequential_wire(benchmark):
 
     assert ([v.allow for v in batched()]
             == [v.allow for v in sequential()])
-    sequential_us = _measure(sequential, n=20)
-    batched_us = _measure(batched, n=20)
+    sequential_us, batched_us = _measure_pair(sequential, batched, n=20,
+                                              warmup=5)
     reporting.record(EXP, f"{BATCH} sequential wire calls",
                      sequential_us, "us/batch")
     reporting.record(EXP, f"{BATCH}-dup batch, one wire call",

@@ -456,6 +456,51 @@ class ClientSession:
         return self._call(msg.PolicyVersionsRequest(
             session=self.token, name=name), msg.PolicyVersionsResponse)
 
+    # -- the IAM control plane -------------------------------------------
+
+    def put_role(self, document) -> msg.IamRoleVersionResponse:
+        """Store a new version of an IAM role (a
+        :class:`~repro.iam.model.Role` or its dict form).  A draft
+        until :meth:`iam_apply` compiles and installs it."""
+        return self._call(msg.IamPutRoleRequest(
+            session=self.token, document=self._policy_doc(document)),
+            msg.IamRoleVersionResponse)
+
+    def bind_role(self, principal: str,
+                  role: str) -> msg.IamRoleVersionResponse:
+        """Attach a principal to a role (effective at the next apply)."""
+        return self._call(msg.IamBindRequest(
+            session=self.token, principal=principal, role=role,
+            bound=True), msg.IamRoleVersionResponse)
+
+    def unbind_role(self, principal: str,
+                    role: str) -> msg.IamRoleVersionResponse:
+        """Detach a principal from a role (effective at the next apply)."""
+        return self._call(msg.IamBindRequest(
+            session=self.token, principal=principal, role=role,
+            bound=False), msg.IamRoleVersionResponse)
+
+    def iam_plan(self) -> msg.IamPlanResponse:
+        """Dry run: compile the current IAM documents and diff the
+        result against live goals, without installing anything."""
+        return self._call(msg.IamPlanRequest(session=self.token),
+                          msg.IamPlanResponse)
+
+    def iam_apply(self, proof: ProofLike = None) -> msg.IamApplyResponse:
+        """Compile and atomically install the current IAM configuration
+        (goals through the policy plane, deny table at the guard)."""
+        return self._call(msg.IamApplyRequest(
+            session=self.token, proof=self._proof_doc(proof)),
+            msg.IamApplyResponse)
+
+    def iam_simulate(self, principal: str, action: str,
+                     resource: str) -> msg.IamSimulateResponse:
+        """Pure preview of the IAM verdict for one triple: explicit
+        Deny first, then the first matching Allow, else Default."""
+        return self._call(msg.IamSimulateRequest(
+            session=self.token, principal=principal, action=action,
+            resource=resource), msg.IamSimulateResponse)
+
     def explain(self, operation: str, resource: ResourceLike,
                 proof: ProofLike = None,
                 wallet: bool = False) -> msg.ExplainResponse:

@@ -44,6 +44,8 @@ HTTP_STATUS = {
     "E_UNKNOWN_SYSCALL": 404,
     "E_POLICY": 400,
     "E_NO_SUCH_POLICY": 404,
+    "E_IAM": 400,
+    "E_NO_SUCH_ROLE": 404,
     "E_QUOTA_EXCEEDED": 429,
     "E_FEDERATION": 400,
     "E_BAD_CHAIN": 400,

@@ -145,7 +145,7 @@ class Verdict:
 #: with :data:`repro.kernel.guard.EXPLANATION_KINDS` by a test.
 EXPLANATION_KINDS = (
     "allowed", "default-policy", "no-proof", "proof-rejected",
-    "missing-credential", "authority-denied")
+    "missing-credential", "authority-denied", "iam-deny")
 
 
 @dataclass
@@ -739,6 +739,109 @@ class PolicyVersionsRequest(ApiRequest):
     def from_payload(cls, payload):
         return cls(session=_get(payload, "session", (str,)),
                    name=_get(payload, "name", (str,)))
+
+
+# -- the IAM control plane (/api/v1/iam/*) ---------------------------------
+
+@dataclass
+class IamPutRoleRequest(ApiRequest):
+    """Store a new version of an IAM role document (a draft until the
+    next iam/apply)."""
+
+    session: str
+    document: Dict[str, Any]
+
+    KIND = "iam/put-role"
+
+    def payload(self):
+        return {"session": self.session, "document": self.document}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   document=_get(payload, "document", (dict,)))
+
+
+@dataclass
+class IamBindRequest(ApiRequest):
+    """Attach (bound=True) or detach a principal from a role."""
+
+    session: str
+    principal: str
+    role: str
+    bound: bool = True
+
+    KIND = "iam/bind"
+
+    def payload(self):
+        return {"session": self.session, "principal": self.principal,
+                "role": self.role, "bound": self.bound}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   principal=_get(payload, "principal", (str,)),
+                   role=_get(payload, "role", (str,)),
+                   bound=bool(_get(payload, "bound", (bool,),
+                                   required=False, default=True)))
+
+
+@dataclass
+class IamPlanRequest(ApiRequest):
+    """Dry run: compile the current documents and diff against live
+    state without storing or installing anything."""
+
+    session: str
+
+    KIND = "iam/plan"
+
+    def payload(self):
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)))
+
+
+@dataclass
+class IamApplyRequest(ApiRequest):
+    """Compile and atomically install the current IAM configuration."""
+
+    session: str
+    proof: Optional[Dict[str, Any]] = None
+
+    KIND = "iam/apply"
+
+    def payload(self):
+        return {"session": self.session, "proof": self.proof}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   proof=_get(payload, "proof", (dict,), required=False))
+
+
+@dataclass
+class IamSimulateRequest(ApiRequest):
+    """Pure preview: what would the documents decide for this triple?"""
+
+    session: str
+    principal: str
+    action: str
+    resource: str
+
+    KIND = "iam/simulate"
+
+    def payload(self):
+        return {"session": self.session, "principal": self.principal,
+                "action": self.action, "resource": self.resource}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(session=_get(payload, "session", (str,)),
+                   principal=_get(payload, "principal", (str,)),
+                   action=_get(payload, "action", (str,)),
+                   resource=_get(payload, "resource", (str,)))
 
 
 @dataclass
@@ -1462,6 +1565,134 @@ class PolicyVersionsResponse(ApiResponse):
 
 
 @dataclass
+class IamRoleVersionResponse(ApiResponse):
+    """Acknowledges a stored role version (put-role) or binding count
+    change (bind)."""
+
+    role: str
+    version: int
+    bindings: int = 0
+
+    KIND = "iam_role_version"
+
+    def payload(self):
+        return {"role": self.role, "version": self.version,
+                "bindings": self.bindings}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(role=_get(payload, "role", (str,)),
+                   version=_get(payload, "version", (int,)),
+                   bindings=_get(payload, "bindings", (int,),
+                                 required=False, default=0))
+
+
+@dataclass
+class IamPlanResponse(ApiResponse):
+    """The compiled configuration plus the goal-level dry-run diff."""
+
+    roles: Dict[str, int] = field(default_factory=dict)
+    denies: int = 0
+    goals: int = 0
+    actions: List[PlanAction] = field(default_factory=list)
+
+    KIND = "iam_plan"
+
+    def payload(self):
+        return {"roles": dict(self.roles), "denies": self.denies,
+                "goals": self.goals,
+                "actions": [action.to_dict() for action in self.actions]}
+
+    @classmethod
+    def from_payload(cls, payload):
+        raw = _get(payload, "actions", (list,))
+        roles = _get(payload, "roles", (dict,))
+        for role, version in roles.items():
+            if isinstance(version, bool) or not isinstance(version, int):
+                raise bad_request("role versions must be integers")
+        return cls(roles={str(role): version
+                          for role, version in roles.items()},
+                   denies=_get(payload, "denies", (int,),
+                               required=False, default=0),
+                   goals=_get(payload, "goals", (int,),
+                              required=False, default=0),
+                   actions=[PlanAction.from_dict(a) for a in raw])
+
+
+@dataclass
+class IamApplyResponse(ApiResponse):
+    """The audit record of one IAM apply."""
+
+    version: int
+    roles: Dict[str, int] = field(default_factory=dict)
+    denies: int = 0
+    set_count: int = 0
+    cleared: int = 0
+    unchanged: int = 0
+    epoch_bumps: int = 0
+
+    KIND = "iam_apply_result"
+
+    def payload(self):
+        return {"version": self.version, "roles": dict(self.roles),
+                "denies": self.denies, "set_count": self.set_count,
+                "cleared": self.cleared, "unchanged": self.unchanged,
+                "epoch_bumps": self.epoch_bumps}
+
+    @classmethod
+    def from_payload(cls, payload):
+        roles = _get(payload, "roles", (dict,))
+        for role, version in roles.items():
+            if isinstance(version, bool) or not isinstance(version, int):
+                raise bad_request("role versions must be integers")
+        return cls(version=_get(payload, "version", (int,)),
+                   roles={str(role): version
+                          for role, version in roles.items()},
+                   denies=_get(payload, "denies", (int,),
+                               required=False, default=0),
+                   set_count=_get(payload, "set_count", (int,),
+                                  required=False, default=0),
+                   cleared=_get(payload, "cleared", (int,),
+                                required=False, default=0),
+                   unchanged=_get(payload, "unchanged", (int,),
+                                  required=False, default=0),
+                   epoch_bumps=_get(payload, "epoch_bumps", (int,),
+                                    required=False, default=0))
+
+
+@dataclass
+class IamSimulateResponse(ApiResponse):
+    """The IAM-level dry verdict for one (principal, action, resource)."""
+
+    effect: str
+    role: Optional[str] = None
+    sid: Optional[str] = None
+    conditions_hold: Optional[bool] = None
+    reason: str = ""
+
+    KIND = "iam_simulation"
+
+    def payload(self):
+        return {"effect": self.effect, "role": self.role,
+                "sid": self.sid,
+                "conditions_hold": self.conditions_hold,
+                "reason": self.reason}
+
+    @classmethod
+    def from_payload(cls, payload):
+        effect = _get(payload, "effect", (str,))
+        if effect not in ("Allow", "Deny", "Default"):
+            raise bad_request(f"unknown simulation effect {effect!r}")
+        return cls(effect=effect,
+                   role=_get(payload, "role", (str,), required=False),
+                   sid=_get(payload, "sid", (str,), required=False),
+                   conditions_hold=_get(payload, "conditions_hold",
+                                        (bool,), required=False),
+                   reason=_get(payload, "reason", (str,),
+                               required=False, default=""))
+
+
+@dataclass
 class PeerResponse(ApiResponse):
     """One registered peer: id, alias, trust state, admission count."""
 
@@ -1599,6 +1830,8 @@ REQUEST_TYPES: Dict[str, Type[ApiRequest]] = {
         ExternalizeRequest, ImportChainRequest, ProveRequest,
         PolicyPutRequest, PolicyPlanRequest, PolicyApplyRequest,
         PolicyRollbackRequest, PolicyGetRequest, PolicyVersionsRequest,
+        IamPutRoleRequest, IamBindRequest, IamPlanRequest,
+        IamApplyRequest, IamSimulateRequest,
         ExplainRequest, PeerAddRequest, PeerListRequest,
         FederationExportRequest, FederationAdmitRequest, IndexRequest,
         SessionStatsRequest, InfoRequest, StorageStatsRequest,
@@ -1612,6 +1845,8 @@ RESPONSE_TYPES: Dict[str, Type[ApiMessage]] = {
         ChainResponse, ProveResponse, SessionStatsResponse, InfoResponse,
         IndexResponse, PolicyVersionResponse, PolicyPlanResponse,
         PolicyApplyResponse, PolicyDocResponse, PolicyVersionsResponse,
+        IamRoleVersionResponse, IamPlanResponse, IamApplyResponse,
+        IamSimulateResponse,
         ExplainResponse, PeerResponse, PeerListResponse, BundleResponse,
         AdmissionResponse, StorageStatsResponse, RevokeResponse)}
 

@@ -33,6 +33,7 @@ from repro.api.errors import (ApiError, E_NO_SUCH_SESSION, bad_request,
 from repro.core.attestation import kernel_wallet_bundle
 from repro.core.credentials import CredentialSet
 from repro.errors import UntrustedPeer
+from repro.iam.model import Role
 from repro.kernel.guard import Explanation, GuardDecision
 from repro.kernel.kernel import NexusKernel
 from repro.kernel.resources import Resource
@@ -124,6 +125,11 @@ class NexusService:
             msg.PolicyRollbackRequest.KIND: self._policy_rollback,
             msg.PolicyGetRequest.KIND: self._policy_get,
             msg.PolicyVersionsRequest.KIND: self._policy_versions,
+            msg.IamPutRoleRequest.KIND: self._iam_put_role,
+            msg.IamBindRequest.KIND: self._iam_bind,
+            msg.IamPlanRequest.KIND: self._iam_plan,
+            msg.IamApplyRequest.KIND: self._iam_apply,
+            msg.IamSimulateRequest.KIND: self._iam_simulate,
             msg.ExplainRequest.KIND: self._explain,
             msg.PeerAddRequest.KIND: self._peer_add,
             msg.PeerListRequest.KIND: self._peer_list,
@@ -461,7 +467,9 @@ class NexusService:
                request: msg.ProveRequest) -> msg.ProveResponse:
         goal = codec.decode_formula(request.goal)
         store = self.kernel.default_labelstore(session.pid)
-        wallet = CredentialSet(store.formulas())
+        wallet = CredentialSet(store.formulas(),
+                               authorities=self.kernel
+                               .wallet_authority_hints())
         return msg.ProveResponse(
             proved=wallet.try_bundle_for(goal) is not None)
 
@@ -530,6 +538,57 @@ class NexusService:
         return msg.PolicyVersionsResponse(
             name=request.name, versions=engine.versions(request.name),
             active=engine.active_version(request.name))
+
+    # -- the IAM control plane -------------------------------------------
+
+    def _iam_put_role(self, _session: Session,
+                      request: msg.IamPutRoleRequest
+                      ) -> msg.IamRoleVersionResponse:
+        role = Role.from_dict(request.document)
+        version = self.kernel.iam.put_role(role)
+        return msg.IamRoleVersionResponse(
+            role=role.name, version=version,
+            bindings=len(self.kernel.iam.bindings()))
+
+    def _iam_bind(self, _session: Session,
+                  request: msg.IamBindRequest
+                  ) -> msg.IamRoleVersionResponse:
+        bindings = self.kernel.iam.bind(request.principal, request.role,
+                                        bound=request.bound)
+        return msg.IamRoleVersionResponse(
+            role=request.role,
+            version=len(self.kernel.iam.versions(request.role)),
+            bindings=bindings)
+
+    def _iam_plan(self, _session: Session,
+                  _request: msg.IamPlanRequest) -> msg.IamPlanResponse:
+        compiled, actions = self.kernel.iam.plan()
+        return msg.IamPlanResponse(
+            roles=dict(compiled.versions), denies=len(compiled.deny),
+            goals=compiled.goal_count,
+            actions=[msg.PlanAction(**action.to_dict())
+                     for action in actions])
+
+    def _iam_apply(self, session: Session,
+                   request: msg.IamApplyRequest) -> msg.IamApplyResponse:
+        bundle = codec.maybe_decode_bundle(request.proof)
+        result = self.kernel.iam.apply(session.pid, bundle=bundle)
+        return msg.IamApplyResponse(
+            version=result.version, roles=dict(result.roles),
+            denies=result.denies, set_count=result.set_count,
+            cleared=result.cleared, unchanged=result.unchanged,
+            epoch_bumps=result.epoch_bumps)
+
+    def _iam_simulate(self, _session: Session,
+                      request: msg.IamSimulateRequest
+                      ) -> msg.IamSimulateResponse:
+        verdict = self.kernel.iam.simulate(request.principal,
+                                           request.action,
+                                           request.resource)
+        return msg.IamSimulateResponse(
+            effect=verdict.effect, role=verdict.role, sid=verdict.sid,
+            conditions_hold=verdict.conditions_hold,
+            reason=verdict.reason)
 
     def _explain(self, session: Session,
                  request: msg.ExplainRequest) -> msg.ExplainResponse:

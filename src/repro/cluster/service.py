@@ -52,6 +52,9 @@ FORWARDED_KINDS = frozenset({
     msg.PolicyPutRequest.KIND,
     msg.PolicyApplyRequest.KIND,
     msg.PolicyRollbackRequest.KIND,
+    msg.IamPutRoleRequest.KIND,
+    msg.IamBindRequest.KIND,
+    msg.IamApplyRequest.KIND,
     msg.PeerAddRequest.KIND,
     msg.FederationAdmitRequest.KIND,
     msg.RevokeRequest.KIND,

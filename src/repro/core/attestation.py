@@ -177,8 +177,10 @@ def kernel_wallet_bundle(kernel, pid: int, operation: str,
         return None
     subject = kernel.processes.get(pid).principal
     store = kernel.default_labelstore(pid)
+    hints = getattr(kernel, "wallet_authority_hints", lambda: {})()
     return wallet_bundle(entry.formula, subject, resource,
-                         CredentialSet(store.formulas()))
+                         CredentialSet(store.formulas(),
+                                       authorities=hints))
 
 
 def export_credential_bundle(kernel, pid: int):

@@ -196,6 +196,18 @@ class QuotaExceeded(KernelError):
     code = "E_QUOTA_EXCEEDED"
 
 
+class IamError(PolicyError):
+    """An IAM role/statement document is malformed or cannot compile."""
+
+    code = "E_IAM"
+
+
+class NoSuchRole(IamError):
+    """Referenced IAM role (or version of one) does not exist."""
+
+    code = "E_NO_SUCH_ROLE"
+
+
 # --------------------------------------------------------------------------
 # Federation errors (cross-kernel credential exchange)
 # --------------------------------------------------------------------------

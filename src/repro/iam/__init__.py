@@ -1,0 +1,21 @@
+"""IAM-style documents compiled onto the NAL authorization stack.
+
+``repro.iam.model`` defines the document layer (roles, statements,
+conditions, bindings); ``repro.iam.engine`` compiles those documents
+down to policy-plane goal versions, a guard-level deny table, and
+authority-backed condition leaves.  See ``docs/iam.md``.
+"""
+
+from repro.iam.engine import (CLOCK_PORT, POLICY_SET, QUOTA_PORT,
+                              CompiledIam, DenyEntry, IamApplyResult,
+                              IamEngine, SimulationResult,
+                              derive_enforcement, use_statement)
+from repro.iam.model import (ANY_ACTION, CONDITION_KINDS, EFFECTS,
+                             Condition, Role, Statement)
+
+__all__ = [
+    "ANY_ACTION", "CLOCK_PORT", "CONDITION_KINDS", "EFFECTS",
+    "POLICY_SET", "QUOTA_PORT", "CompiledIam", "Condition", "DenyEntry",
+    "IamApplyResult", "IamEngine", "Role", "SimulationResult",
+    "Statement", "derive_enforcement", "use_statement",
+]

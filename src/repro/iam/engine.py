@@ -1,0 +1,585 @@
+"""The IAM engine: compile role/statement documents onto the NAL stack.
+
+One :class:`IamEngine` rides on each kernel (``kernel.iam``), owning
+
+* the versioned store of :class:`~repro.iam.model.Role` documents and
+  the ordered principal→role *bindings*;
+* the **compiler** from those documents down to the policy plane: Allow
+  statements become per-(resource, operation) NAL goals — a balanced
+  OR-tree over each bound principal's ``use_role`` assertion, conjoined
+  with any condition leaves — installed through the
+  :class:`~repro.policy.engine.PolicyEngine` as versions of one policy
+  set named ``"iam"`` (plan/apply/rollback and journaling come free);
+* the guard-level **deny table**: constructive NAL cannot prove a
+  negative, so Deny statements compile to a precedence check the guard
+  runs before any goal lookup or proof search (see
+  ``Guard.deny_hook``), and :meth:`NexusKernel.explain` reports such
+  denials as structured ``iam-deny`` explanations naming ``role/sid``;
+* the **authority hints** that make conditions work end to end: time
+  windows become :class:`~repro.kernel.authority.ClockAuthority` leaves
+  and rate tiers per-principal
+  :class:`~repro.kernel.authority.QuotaAuthority` leaves, so the
+  service-side wallet can emit the matching ``AuthorityQuery`` proof
+  leaves and the resulting verdicts are correctly non-cacheable.
+
+Durability: ``put_role`` / ``bind`` / ``apply`` journal write-ahead
+records (``iam_role`` / ``iam_bind`` / ``iam_state``) so roles,
+bindings and the applied configuration survive restart and replicate
+across cluster workers; the installed goals themselves replay from the
+policy plane's own records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import IamError, NoSuchRole
+from repro.iam.model import Condition, Role, Statement
+from repro.kernel.authority import ClockAuthority, QuotaAuthority
+from repro.nal.formula import Formula
+from repro.nal.parser import parse
+from repro.policy.model import PolicyRule, PolicySet, Selector
+
+#: The policy-set name every compiled IAM configuration versions into.
+POLICY_SET = "iam"
+
+#: Authority ports the engine registers for condition leaves.
+CLOCK_PORT = "iam-ntp"
+QUOTA_PORT = "iam-quota"
+
+#: The predicate a bound principal asserts to exercise a role.
+USE_PREDICATE = "use_role"
+
+
+def use_statement(role_name: str) -> str:
+    """The statement a bound principal must ``say`` to exercise a role
+    (its disjunct of every compiled goal assumes this credential)."""
+    return f"{USE_PREDICATE}({role_name})"
+
+
+@dataclass(frozen=True)
+class DenyEntry:
+    """One compiled Deny statement: the guard's precedence table row."""
+
+    role: str
+    sid: str
+    actions: Tuple[str, ...]
+    resources: Tuple[str, ...]
+    principals: frozenset
+
+    def matches(self, subject: str, action: str,
+                resource_name: str) -> bool:
+        """Does this row deny (subject, action, resource name)?"""
+        from fnmatch import fnmatchcase
+        if subject not in self.principals:
+            return False
+        if action not in self.actions and "*" not in self.actions:
+            return False
+        return any(fnmatchcase(resource_name, glob)
+                   for glob in self.resources)
+
+
+@dataclass(frozen=True)
+class CompiledIam:
+    """Everything one compilation pass produced."""
+
+    policy_set: PolicySet
+    deny: Tuple[DenyEntry, ...]
+    hints: Dict[Formula, str]
+    tiers: Dict[str, Tuple[int, float]]
+    versions: Dict[str, int]
+    bindings: Tuple[Tuple[str, str], ...]
+    goal_count: int
+
+
+@dataclass
+class IamApplyResult:
+    """Audit record of one IAM apply (wraps the policy-plane result)."""
+
+    version: int
+    roles: Dict[str, int]
+    denies: int
+    set_count: int = 0
+    cleared: int = 0
+    unchanged: int = 0
+    epoch_bumps: int = 0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The IAM-level dry verdict for one (principal, action, resource).
+
+    ``effect`` is ``Deny`` / ``Allow`` / ``Default`` (no statement
+    matched — the kernel's owner default applies); ``conditions_hold``
+    is None for unconditioned matches, else whether every condition
+    leaf would currently be confirmed (evaluated without spending quota
+    tokens)."""
+
+    effect: str
+    role: Optional[str] = None
+    sid: Optional[str] = None
+    conditions_hold: Optional[bool] = None
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form of the simulation verdict."""
+        return {"effect": self.effect, "role": self.role, "sid": self.sid,
+                "conditions_hold": self.conditions_hold,
+                "reason": self.reason}
+
+
+def _conjoin(parts: Sequence[str]) -> str:
+    """Right-nested conjunction text over ``parts`` (len >= 1)."""
+    if len(parts) == 1:
+        return parts[0]
+    return f"({parts[0]} and {_conjoin(parts[1:])})"
+
+
+def _or_tree(parts: Sequence[str]) -> str:
+    """Balanced disjunction text over ``parts`` (len >= 1).
+
+    Balanced rather than a linear chain so a goal over *n* bound
+    principals stays within the prover's depth budget: the proof of any
+    one disjunct is ``log2(n)`` or-introductions, not ``n``.
+    """
+    parts = list(parts)
+    while len(parts) > 1:
+        merged = [f"({parts[i]} or {parts[i + 1]})"
+                  for i in range(0, len(parts) - 1, 2)]
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    return parts[0]
+
+
+def _condition_texts(condition: Condition, principal: str,
+                     role: str) -> Tuple[str, str]:
+    """(formula text, authority port) for one condition leaf."""
+    if condition.kind == "time-before":
+        return f"NTP says TimeNow < {condition.at}", CLOCK_PORT
+    if condition.kind == "time-after":
+        return f"NTP says TimeNow > {condition.at}", CLOCK_PORT
+    return (f"QuotaMeter says within_quota({principal}, "
+            f"{condition.tier})", QUOTA_PORT)
+
+
+def derive_enforcement(roles: Dict[str, Role],
+                       bindings: Sequence[Tuple[str, str]],
+                       ) -> Tuple[Tuple[DenyEntry, ...],
+                                  Dict[Formula, str],
+                                  Dict[str, Tuple[int, float]]]:
+    """The resource-independent half of compilation.
+
+    From role documents and bindings alone: the deny table, the
+    condition-leaf authority hints the wallet needs, and the quota tier
+    definitions.  Shared by live compilation and by journal replay /
+    snapshot load (which must rebuild enforcement without re-running
+    the policy plane).
+    """
+    deny: List[DenyEntry] = []
+    hints: Dict[Formula, str] = {}
+    tiers: Dict[str, Tuple[int, float]] = {}
+    bound: Dict[str, List[str]] = {}
+    for principal, role_name in bindings:
+        bound.setdefault(role_name, []).append(principal)
+    for role_name in sorted(roles):
+        role = roles[role_name]
+        principals = bound.get(role_name, [])
+        for statement in role.statements:
+            if statement.effect == "Deny":
+                if principals:
+                    deny.append(DenyEntry(
+                        role=role.name, sid=statement.sid,
+                        actions=statement.actions,
+                        resources=statement.resources,
+                        principals=frozenset(principals)))
+                continue
+            for condition in statement.conditions:
+                if condition.kind == "rate-tier":
+                    tiers[condition.tier] = (condition.capacity,
+                                             float(condition.refill_rate))
+                    for principal in principals:
+                        text, port = _condition_texts(condition, principal,
+                                                      role.name)
+                        hints[parse(text)] = port
+                else:
+                    text, port = _condition_texts(condition, "", role.name)
+                    hints[parse(text)] = port
+    return tuple(deny), hints, tiers
+
+
+class IamEngine:
+    """Compiler + control plane for IAM documents over one kernel."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        #: role name → append-only version list of Role objects.
+        self._roles: Dict[str, List[Role]] = {}
+        #: ordered (principal, role) pairs; order is goal-text order.
+        self._bindings: List[Tuple[str, str]] = []
+        #: role → version in force (set by apply / replay / load).
+        self._applied: Dict[str, int] = {}
+        #: the bindings the applied configuration was compiled with.
+        self._applied_bindings: Tuple[Tuple[str, str], ...] = ()
+        self._deny: Tuple[DenyEntry, ...] = ()
+        self._hints: Dict[Formula, str] = {}
+        self._clock_authority: Optional[ClockAuthority] = None
+        self._quota_authority: Optional[QuotaAuthority] = None
+
+    # ------------------------------------------------------------------
+    # versioned storage + bindings
+    # ------------------------------------------------------------------
+
+    def put_role(self, document: Union[Role, Dict]) -> int:
+        """Store a new version of a role; returns its version number.
+
+        Like the policy plane's ``put``: a draft until the next
+        :meth:`apply`, append-only, write-ahead journaled."""
+        role = (document if isinstance(document, Role)
+                else Role.from_dict(document))
+        with self.kernel._state_lock.write_locked():
+            self._persist("iam_role", {"name": role.name,
+                                       "document": role.to_dict()})
+            versions = self._roles.setdefault(role.name, [])
+            versions.append(role)
+            return len(versions)
+
+    def bind(self, principal: str, role: str, bound: bool = True) -> int:
+        """Attach (or detach) a principal to a role; returns the total
+        binding count.  Takes effect at the next :meth:`apply` — for
+        the Allow goals *and* the Deny table alike, so a plan always
+        previews exactly what enforcement will change to."""
+        if role not in self._roles:
+            raise NoSuchRole(f"no IAM role named {role!r}")
+        if not isinstance(principal, str) or not principal:
+            raise IamError("binding principal must be a non-empty string")
+        pair = (principal, role)
+        with self.kernel._state_lock.write_locked():
+            if bound == (pair in self._bindings):
+                return len(self._bindings)  # idempotent no-op
+            self._persist("iam_bind", {"principal": principal,
+                                       "role": role, "bound": bound})
+            if bound:
+                self._bindings.append(pair)
+            else:
+                self._bindings.remove(pair)
+            return len(self._bindings)
+
+    def role(self, name: str, version: Optional[int] = None) -> Role:
+        """Fetch one stored role version (default: the latest)."""
+        versions = self._roles.get(name)
+        if not versions:
+            raise NoSuchRole(f"no IAM role named {name!r}")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise NoSuchRole(f"IAM role {name!r} has no version "
+                             f"{version} (have 1..{len(versions)})")
+        return versions[version - 1]
+
+    def names(self) -> List[str]:
+        """Every role name the engine has seen, sorted."""
+        return sorted(self._roles)
+
+    def versions(self, name: str) -> List[int]:
+        """All stored versions of the named role, oldest first."""
+        if name not in self._roles:
+            raise NoSuchRole(f"no IAM role named {name!r}")
+        return list(range(1, len(self._roles[name]) + 1))
+
+    def bindings(self) -> List[Tuple[str, str]]:
+        """The current (principal, role) bindings, in bind order."""
+        return list(self._bindings)
+
+    def applied_versions(self) -> Dict[str, int]:
+        """role → version currently in force (empty before any apply)."""
+        return dict(self._applied)
+
+    def authority_hints(self) -> Dict[Formula, str]:
+        """Condition-leaf formula → authority port, for the *applied*
+        configuration — what the service-side wallet feeds the prover."""
+        return dict(self._hints)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompiledIam:
+        """Compile the latest version of every role + current bindings.
+
+        Pure: reads the live resource table (goals install per concrete
+        resource, exactly like a policy apply enumerates resources) and
+        produces the policy document, deny table, hints and tiers.
+        """
+        roles = {name: versions[-1]
+                 for name, versions in self._roles.items() if versions}
+        bindings = tuple(self._bindings)
+        deny, hints, tiers = derive_enforcement(roles, bindings)
+        bound: Dict[str, List[str]] = {}
+        for principal, role_name in bindings:
+            bound.setdefault(role_name, []).append(principal)
+
+        rules: List[PolicyRule] = []
+        goal_count = 0
+        resources = sorted(self.kernel.resources,
+                           key=lambda r: r.resource_id)
+        actions = sorted({action
+                          for role in roles.values()
+                          for statement in role.statements
+                          if statement.effect == "Allow"
+                          for action in statement.actions})
+        for resource in resources:
+            for action in actions:
+                disjuncts: List[str] = []
+                for role_name in sorted(roles):
+                    role = roles[role_name]
+                    principals = bound.get(role_name)
+                    if not principals:
+                        continue
+                    for statement in role.statements:
+                        if (statement.effect != "Allow"
+                                or not statement.matches(action,
+                                                         resource.name)):
+                            continue
+                        for principal in principals:
+                            parts = [_condition_texts(c, principal,
+                                                      role.name)[0]
+                                     for c in statement.conditions]
+                            parts.append(f"{principal} says "
+                                         f"{use_statement(role.name)}")
+                            disjuncts.append(_conjoin(parts))
+                if disjuncts:
+                    goal_count += 1
+                    rules.append(PolicyRule(Selector(name=resource.name),
+                                            (action,),
+                                            _or_tree(disjuncts)))
+        if not rules:
+            # PolicySet insists on >= 1 rule; a rule that matches no
+            # resource compiles to "clear everything previously owned".
+            rules.append(PolicyRule(Selector(name="/iam/unbound"),
+                                    ("none",), None))
+        policy_set = PolicySet(
+            POLICY_SET, tuple(rules),
+            description="compiled from IAM roles "
+                        + ", ".join(f"{name}@v{len(self._roles[name])}"
+                                    for name in sorted(roles)))
+        return CompiledIam(policy_set=policy_set, deny=deny, hints=hints,
+                           tiers=tiers,
+                           versions={name: len(self._roles[name])
+                                     for name in sorted(roles)},
+                           bindings=bindings, goal_count=goal_count)
+
+    def plan(self):
+        """Dry run: ``(compiled, plan actions)`` for the current
+        documents — what :meth:`apply` would install, purely."""
+        compiled = self.compile()
+        return compiled, self.kernel.policies.plan_document(
+            compiled.policy_set)
+
+    # ------------------------------------------------------------------
+    # apply (the only mutation of live enforcement)
+    # ------------------------------------------------------------------
+
+    def apply(self, pid: int, bundle=None) -> IamApplyResult:
+        """Compile and atomically install the current configuration.
+
+        Goal changes route through the policy plane (one stored version
+        of set ``"iam"``, batch-authorized for ``pid``, one epoch bump
+        per changed pair); then the deny table, authority hints and
+        quota tiers swap in under the kernel write lock and a global
+        policy-epoch bump retires every decision-cache entry that
+        predates the new deny table.
+        """
+        compiled = self.compile()
+        version = self.kernel.policies.put(compiled.policy_set)
+        result = self.kernel.policies.apply(pid, POLICY_SET, version,
+                                            bundle=bundle)
+        with self.kernel._state_lock.write_locked():
+            self._persist("iam_state", {
+                "applied": {name: compiled.versions[name]
+                            for name in sorted(compiled.versions)},
+                "bindings": [[p, r] for p, r in compiled.bindings]})
+            self._applied = dict(compiled.versions)
+            self._applied_bindings = compiled.bindings
+            self._install_enforcement(compiled.deny, compiled.hints,
+                                      compiled.tiers)
+        self.kernel.bump_policy_epoch()
+        return IamApplyResult(
+            version=version, roles=dict(compiled.versions),
+            denies=len(compiled.deny), set_count=result.set_count,
+            cleared=result.cleared, unchanged=result.unchanged,
+            epoch_bumps=result.epoch_bumps)
+
+    def _install_enforcement(self, deny, hints, tiers) -> None:
+        """Swap in the derived tables; caller holds the write lock."""
+        if hints or tiers:
+            self._ensure_authorities()
+        if tiers and self._quota_authority is not None:
+            for tier, (capacity, refill_rate) in tiers.items():
+                self._quota_authority.define_tier(tier, capacity,
+                                                  refill_rate)
+        self._deny = tuple(deny)
+        self._hints = dict(hints)
+
+    def _ensure_authorities(self) -> None:
+        """Register the clock/quota authorities on first conditioned use.
+
+        The clock authority answers against the kernel clock; the quota
+        authority meters per (principal, tier).  Ports are engine-owned:
+        a foreign authority already on one of them is a configuration
+        error, not something to silently shadow.
+        """
+        registry = self.kernel.authorities
+        if self._clock_authority is None:
+            if CLOCK_PORT in registry:
+                raise IamError(f"authority port {CLOCK_PORT!r} is already "
+                               f"taken by a non-IAM authority")
+            self._clock_authority = ClockAuthority(self.kernel.now)
+            registry.register(CLOCK_PORT, self._clock_authority)
+        if self._quota_authority is None:
+            if QUOTA_PORT in registry:
+                raise IamError(f"authority port {QUOTA_PORT!r} is already "
+                               f"taken by a non-IAM authority")
+            self._quota_authority = QuotaAuthority()
+            registry.register(QUOTA_PORT, self._quota_authority)
+
+    @property
+    def quota_authority(self) -> Optional[QuotaAuthority]:
+        """The engine's quota meter (None until a condition needed it)."""
+        return self._quota_authority
+
+    # ------------------------------------------------------------------
+    # the guard hook (deny precedence)
+    # ------------------------------------------------------------------
+
+    def guard_deny(self, subject, operation: str,
+                   resource) -> Optional[Tuple[str, str]]:
+        """The ``Guard.deny_hook``: first applied Deny row matching
+        (subject, operation, resource name), as ``(role, sid)``.
+
+        Runs on every guard upcall under the kernel read lock; the deny
+        tuple swaps atomically at apply, so no extra locking."""
+        deny = self._deny
+        if not deny:
+            return None
+        subject_name = str(subject)
+        for entry in deny:
+            if entry.matches(subject_name, operation, resource.name):
+                return entry.role, entry.sid
+        return None
+
+    # ------------------------------------------------------------------
+    # simulation (pure preview)
+    # ------------------------------------------------------------------
+
+    def simulate(self, principal: str, action: str,
+                 resource_name: str) -> SimulationResult:
+        """What would the *latest* documents + current bindings decide?
+
+        Deny precedence first, then the first matching Allow statement
+        (roles in sorted order, statements in document order); condition
+        leaves are evaluated against the live authorities without
+        spending quota tokens.  The resource need not exist — simulation
+        is glob matching, not goal lookup.
+        """
+        with self.kernel._state_lock.read_locked():
+            roles = {name: versions[-1]
+                     for name, versions in self._roles.items() if versions}
+            bound_roles = sorted({r for p, r in self._bindings
+                                  if p == principal and r in roles})
+            for role_name in bound_roles:
+                for statement in roles[role_name].statements:
+                    if (statement.effect == "Deny"
+                            and statement.matches(action, resource_name)):
+                        return SimulationResult(
+                            effect="Deny", role=role_name,
+                            sid=statement.sid,
+                            reason=f"explicit Deny statement "
+                                   f"{role_name}/{statement.sid} matches")
+            for role_name in bound_roles:
+                for statement in roles[role_name].statements:
+                    if (statement.effect == "Allow"
+                            and statement.matches(action, resource_name)):
+                        holds: Optional[bool] = None
+                        if statement.conditions:
+                            holds = all(
+                                self._condition_holds(c, principal)
+                                for c in statement.conditions)
+                        return SimulationResult(
+                            effect="Allow", role=role_name,
+                            sid=statement.sid, conditions_hold=holds,
+                            reason=f"Allow statement "
+                                   f"{role_name}/{statement.sid} matches")
+            return SimulationResult(
+                effect="Default",
+                reason="no bound statement matches; the kernel default "
+                       "owner policy applies")
+
+    def _condition_holds(self, condition: Condition,
+                         principal: str) -> bool:
+        """Peek one condition leaf (never consumes quota tokens)."""
+        self._ensure_authorities()
+        text, port = _condition_texts(condition, principal, "")
+        formula = parse(text)
+        if port == CLOCK_PORT:
+            return bool(self._clock_authority.decides(formula))
+        answer = self._quota_authority.peek(formula)
+        return bool(answer)
+
+    # ------------------------------------------------------------------
+    # durability (journal replay + snapshot state)
+    # ------------------------------------------------------------------
+
+    def _persist(self, type: str, data: Dict[str, object]) -> None:
+        """Journal one engine-level event (no-op without storage)."""
+        persistence = getattr(self.kernel, "_persistence", None)
+        if persistence is not None:
+            persistence.record(type, data)
+
+    def restore_applied(self, data: Dict[str, object]) -> None:
+        """Replay one ``iam_state`` record: reinstate which versions are
+        in force and rebuild enforcement from the stored documents (the
+        goals themselves replay from the policy plane's records)."""
+        applied = {str(name): int(version)
+                   for name, version in dict(data["applied"]).items()}
+        bindings = tuple((str(p), str(r)) for p, r in data["bindings"])
+        roles = {name: self.role(name, version)
+                 for name, version in applied.items()}
+        deny, hints, tiers = derive_enforcement(roles, bindings)
+        self._applied = applied
+        self._applied_bindings = bindings
+        self._install_enforcement(deny, hints, tiers)
+
+    def serialize(self) -> Dict[str, object]:
+        """Snapshot form of the engine (documents + bindings + applied
+        markers; enforcement is derived again on load)."""
+        return {
+            "roles": {name: [role.to_dict() for role in versions]
+                      for name, versions in sorted(self._roles.items())},
+            "bindings": [[p, r] for p, r in self._bindings],
+            "applied": {name: version
+                        for name, version in sorted(self._applied.items())},
+            "applied_bindings": [[p, r]
+                                 for p, r in self._applied_bindings],
+        }
+
+    def load(self, state: Dict[str, object]) -> None:
+        """Restore from :meth:`serialize` output (snapshot load)."""
+        self._roles = {
+            str(name): [Role.from_dict(doc) for doc in versions]
+            for name, versions in dict(state.get("roles", {})).items()}
+        self._bindings = [(str(p), str(r))
+                          for p, r in state.get("bindings", [])]
+        applied = {str(name): int(version)
+                   for name, version in
+                   dict(state.get("applied", {})).items()}
+        if applied:
+            self.restore_applied({
+                "applied": applied,
+                "bindings": state.get("applied_bindings", [])})
+        else:
+            self._applied = {}
+            self._applied_bindings = ()
+            self._deny = ()
+            self._hints = {}

@@ -1,0 +1,273 @@
+"""IAM-style authorization documents: roles, statements, bindings.
+
+This is the lingua franca layer on top of NAL: a :class:`Role` is a list
+of :class:`Statement` objects (``effect`` Allow or Deny, action names,
+resource globs, optional :class:`Condition` list), and a *binding*
+attaches a principal to a role.  The documents deliberately mirror what
+industry control planes speak (AWS/GCP-style role/statement JSON) so
+that downstream services never have to author NAL goals directly — the
+:mod:`repro.iam.engine` compiles these documents down to the PR 3 policy
+plane.
+
+Semantics worth spelling out, because NAL is constructive:
+
+* **Allow** statements compile to goal formulas (an OR-tree over the
+  bound principals' ``use_role`` assertions, conjoined with any
+  condition leaves), installed through the versioned policy engine.
+* **Deny** statements cannot be expressed as goals — constructive NAL
+  has no way to *prove a negative* — so they compile to a guard-level
+  deny table consulted before proof search.  An explicit Deny therefore
+  wins over any Allow, and carries no conditions: a deny that sometimes
+  does not apply would reintroduce the non-constructive reasoning the
+  logic forbids, so validation rejects conditioned Deny statements.
+* ``actions`` must be concrete operation names for Allow statements
+  (goals are installed per (resource, operation) pair); Deny statements
+  may use ``"*"`` to match every operation.
+* :class:`Condition` leaves (time windows, per-principal rate tiers)
+  compile to authority-backed dynamic proof leaves, which makes the
+  resulting verdicts correctly non-cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.errors import IamError
+
+#: The two statement effects, exactly as industry documents spell them.
+EFFECTS = ("Allow", "Deny")
+
+#: The closed set of condition kinds the compiler understands.
+CONDITION_KINDS = ("time-before", "time-after", "rate-tier")
+
+#: The wildcard action a Deny statement may use.
+ANY_ACTION = "*"
+
+
+def _require(value: Any, types, what: str):
+    """Validate one field's type; raise :class:`IamError` otherwise."""
+    if not isinstance(value, types):
+        raise IamError(f"{what} must be "
+                       f"{' or '.join(t.__name__ for t in types)}, "
+                       f"got {type(value).__name__}")
+    return value
+
+
+def _string_tuple(value: Any, what: str) -> Tuple[str, ...]:
+    """Validate a non-empty list of non-empty strings."""
+    _require(value, (list, tuple), what)
+    if not value:
+        raise IamError(f"{what} must not be empty")
+    out = []
+    for item in value:
+        _require(item, (str,), f"every entry of {what}")
+        if not item:
+            raise IamError(f"entries of {what} must be non-empty strings")
+        out.append(item)
+    return tuple(out)
+
+
+def _reject_unknown(data: Dict[str, Any], allowed, what: str) -> None:
+    """Strict decoding: unknown document fields are an error."""
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise IamError(f"unknown {what} field(s): "
+                       f"{', '.join(sorted(unknown))}")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One dynamic constraint on an Allow statement.
+
+    ``kind`` selects the shape:
+
+    * ``time-before`` / ``time-after`` — the statement only grants while
+      the kernel clock is below / above ``at``; compiles to a
+      :class:`~repro.kernel.authority.ClockAuthority` leaf.
+    * ``rate-tier`` — per-principal token-bucket metering: the statement
+      only grants while the subject's bucket in tier ``tier`` (capacity
+      ``capacity`` tokens, refilling at ``refill_rate`` tokens/second)
+      has a token to spend; compiles to a
+      :class:`~repro.kernel.authority.QuotaAuthority` leaf.
+    """
+
+    kind: str
+    at: int = 0
+    tier: str = ""
+    capacity: int = 0
+    refill_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in CONDITION_KINDS:
+            raise IamError(f"unknown condition kind {self.kind!r} "
+                           f"(expected one of {CONDITION_KINDS})")
+        if self.kind in ("time-before", "time-after"):
+            _require(self.at, (int,), "condition 'at'")
+        else:
+            _require(self.tier, (str,), "condition 'tier'")
+            if not self.tier:
+                raise IamError("rate-tier condition needs a tier name")
+            _require(self.capacity, (int,), "condition 'capacity'")
+            if self.capacity < 1:
+                raise IamError("rate-tier capacity must be >= 1")
+            _require(self.refill_rate, (int, float),
+                     "condition 'refill_rate'")
+            if self.refill_rate < 0:
+                raise IamError("rate-tier refill_rate must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire/document form; only the fields the kind uses."""
+        if self.kind in ("time-before", "time-after"):
+            return {"kind": self.kind, "at": self.at}
+        return {"kind": self.kind, "tier": self.tier,
+                "capacity": self.capacity,
+                "refill_rate": self.refill_rate}
+
+    @staticmethod
+    def from_dict(data: Any) -> "Condition":
+        """Strictly decode one condition object."""
+        _require(data, (dict,), "condition")
+        kind = _require(data.get("kind"), (str,), "condition 'kind'")
+        if kind in ("time-before", "time-after"):
+            _reject_unknown(data, ("kind", "at"), "condition")
+            return Condition(kind=kind,
+                             at=_require(data.get("at"), (int,),
+                                         "condition 'at'"))
+        _reject_unknown(data, ("kind", "tier", "capacity", "refill_rate"),
+                        "condition")
+        return Condition(kind=kind,
+                         tier=_require(data.get("tier", ""), (str,),
+                                       "condition 'tier'"),
+                         capacity=_require(data.get("capacity", 0), (int,),
+                                           "condition 'capacity'"),
+                         refill_rate=data.get("refill_rate", 0.0))
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One Allow/Deny clause of a role.
+
+    ``sid`` is the statement id, unique within its role — structured
+    ``iam-deny`` explanations name the denying statement by
+    ``role/sid``.  ``resources`` are shell-style globs matched against
+    resource names (``fnmatchcase``, same matcher the policy plane's
+    selectors use).
+    """
+
+    sid: str
+    effect: str
+    actions: Tuple[str, ...]
+    resources: Tuple[str, ...]
+    conditions: Tuple[Condition, ...] = ()
+
+    def __post_init__(self):
+        _require(self.sid, (str,), "statement 'sid'")
+        if not self.sid:
+            raise IamError("statement 'sid' must be a non-empty string")
+        if self.effect not in EFFECTS:
+            raise IamError(f"statement effect must be one of {EFFECTS}, "
+                           f"got {self.effect!r}")
+        object.__setattr__(self, "actions",
+                           _string_tuple(self.actions, "statement actions"))
+        object.__setattr__(self, "resources",
+                           _string_tuple(self.resources,
+                                         "statement resources"))
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if self.effect == "Deny":
+            if self.conditions:
+                raise IamError(
+                    "Deny statements cannot carry conditions: constructive "
+                    "NAL admits no conditional negative, so denies are "
+                    "unconditional guard-level precedence")
+        else:
+            if ANY_ACTION in self.actions:
+                raise IamError(
+                    "Allow statements need concrete action names (goals "
+                    "install per operation); '*' is only valid on Deny")
+        for condition in self.conditions:
+            if not isinstance(condition, Condition):
+                raise IamError("statement conditions must be Condition "
+                               "objects")
+
+    def matches(self, action: str, resource_name: str) -> bool:
+        """Does this statement cover (action, resource name)?"""
+        from fnmatch import fnmatchcase
+        if action not in self.actions and ANY_ACTION not in self.actions:
+            return False
+        return any(fnmatchcase(resource_name, glob)
+                   for glob in self.resources)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire/document form of the statement."""
+        return {"sid": self.sid, "effect": self.effect,
+                "actions": list(self.actions),
+                "resources": list(self.resources),
+                "conditions": [c.to_dict() for c in self.conditions]}
+
+    @staticmethod
+    def from_dict(data: Any) -> "Statement":
+        """Strictly decode one statement object."""
+        _require(data, (dict,), "statement")
+        _reject_unknown(data, ("sid", "effect", "actions", "resources",
+                               "conditions"), "statement")
+        raw_conditions = data.get("conditions", [])
+        _require(raw_conditions, (list, tuple), "statement conditions")
+        return Statement(
+            sid=_require(data.get("sid"), (str,), "statement 'sid'"),
+            effect=_require(data.get("effect"), (str,),
+                            "statement 'effect'"),
+            actions=_string_tuple(data.get("actions"), "statement actions"),
+            resources=_string_tuple(data.get("resources"),
+                                    "statement resources"),
+            conditions=tuple(Condition.from_dict(c)
+                             for c in raw_conditions))
+
+
+@dataclass(frozen=True)
+class Role:
+    """A named, ordered list of statements — the unit of binding.
+
+    Roles are versioned by the :class:`~repro.iam.engine.IamEngine`
+    exactly like policy sets: ``put_role`` appends an immutable version,
+    ``apply`` compiles and installs the latest of every role.
+    """
+
+    name: str
+    statements: Tuple[Statement, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        _require(self.name, (str,), "role 'name'")
+        if not self.name:
+            raise IamError("role 'name' must be a non-empty string")
+        _require(self.description, (str,), "role 'description'")
+        object.__setattr__(self, "statements", tuple(self.statements))
+        if not self.statements:
+            raise IamError("a role needs at least one statement")
+        seen = set()
+        for statement in self.statements:
+            if not isinstance(statement, Statement):
+                raise IamError("role statements must be Statement objects")
+            if statement.sid in seen:
+                raise IamError(f"duplicate statement sid {statement.sid!r} "
+                               f"in role {self.name!r}")
+            seen.add(statement.sid)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire/document form of the role."""
+        return {"name": self.name, "description": self.description,
+                "statements": [s.to_dict() for s in self.statements]}
+
+    @staticmethod
+    def from_dict(data: Any) -> "Role":
+        """Strictly decode one role document."""
+        _require(data, (dict,), "role document")
+        _reject_unknown(data, ("name", "description", "statements"),
+                        "role document")
+        raw = _require(data.get("statements"), (list, tuple),
+                       "role statements")
+        return Role(name=_require(data.get("name"), (str,), "role 'name'"),
+                    description=_require(data.get("description", ""),
+                                         (str,), "role 'description'"),
+                    statements=tuple(Statement.from_dict(s) for s in raw))

@@ -11,7 +11,9 @@ Nexus drop a revocation infrastructure entirely.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import NoSuchPort
 from repro.nal.formula import Compare, Formula, Not, Pred, Says
@@ -79,6 +81,165 @@ class StatementSetAuthority(Authority):
 
     def decides(self, formula: Formula) -> Optional[bool]:
         return formula in self._held
+
+
+class QuotaAuthority(Authority):
+    """Per-principal token-bucket rate metering behind an authority port.
+
+    Confirms statements of the form ``QuotaMeter says
+    within_quota(principal, tier)``: each (principal, tier) pair owns a
+    token bucket (capacity and refill rate defined per *tier*), one
+    token is spent per confirmed query, and an empty bucket — or a
+    retracted grant — is a denial.  Because answers ride an authority
+    port they are observed at query instant and never cached, which is
+    exactly what makes metered tiers sound (§2.7: no transferable
+    statement can outlive its validity).
+
+    Thread safety: one lock covers tier definitions, buckets and the
+    retraction set — guards on concurrent serving threads share one
+    instance through the kernel's :class:`AuthorityRegistry`.
+    """
+
+    #: The predicate name this authority understands.
+    PREDICATE = "within_quota"
+
+    def __init__(self, speaker: Principal = Name("QuotaMeter"),
+                 clock: Optional[Callable[[], float]] = None):
+        self.speaker = speaker
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        #: tier → (capacity, refill_rate tokens/second)
+        self._tiers: Dict[str, Tuple[int, float]] = {}
+        #: (principal, tier) → [tokens, last refill timestamp]
+        self._buckets: Dict[Tuple[str, str], list] = {}
+        #: explicitly revoked grants; deny until re-granted
+        self._retracted: set = set()
+
+    # -- configuration ---------------------------------------------------
+
+    def define_tier(self, tier: str, capacity: int,
+                    refill_rate: float = 0.0) -> None:
+        """Create or update a tier. Existing buckets keep their spent
+        tokens but are clamped to the new capacity."""
+        if capacity < 1:
+            raise ValueError("tier capacity must be >= 1")
+        if refill_rate < 0:
+            raise ValueError("tier refill_rate must be >= 0")
+        with self._lock:
+            self._tiers[tier] = (capacity, float(refill_rate))
+            for (_, bucket_tier), bucket in self._buckets.items():
+                if bucket_tier == tier:
+                    bucket[0] = min(bucket[0], float(capacity))
+
+    def tiers(self) -> Dict[str, Tuple[int, float]]:
+        """The defined tiers (a copy)."""
+        with self._lock:
+            return dict(self._tiers)
+
+    # -- retraction / refill --------------------------------------------
+
+    def retract(self, principal: str, tier: str) -> None:
+        """Revoke a grant: queries for (principal, tier) deny until
+        :meth:`grant` re-admits it. Takes effect on the *next* query —
+        past answers were observations, not transferable statements."""
+        with self._lock:
+            self._retracted.add((str(principal), tier))
+
+    def grant(self, principal: str, tier: str) -> None:
+        """(Re-)admit a principal to a tier with a full fresh bucket."""
+        key = (str(principal), tier)
+        with self._lock:
+            self._retracted.discard(key)
+            self._buckets.pop(key, None)
+
+    def refill(self, principal: str, tier: str) -> None:
+        """Reset the bucket to full capacity (manual top-up)."""
+        key = (str(principal), tier)
+        with self._lock:
+            self._buckets.pop(key, None)
+
+    def remaining(self, principal: str, tier: str) -> Optional[float]:
+        """Tokens currently available, or None for an undefined tier."""
+        with self._lock:
+            return self._peek_locked(str(principal), tier)
+
+    # -- queries ---------------------------------------------------------
+
+    def _parse(self, formula: Formula
+               ) -> Optional[Tuple[str, str]]:
+        """Extract (principal, tier) from a within_quota statement this
+        authority speaks for; None for anything else."""
+        body = formula
+        if isinstance(formula, Says):
+            if formula.speaker != self.speaker:
+                return None
+            body = formula.body
+        if not isinstance(body, Pred) or body.name != self.PREDICATE:
+            return None
+        if len(body.args) != 2:
+            return None
+        principal, tier = body.args
+        return (str(getattr(principal, "name", principal)),
+                str(getattr(tier, "name", tier)))
+
+    def _refill_locked(self, key: Tuple[str, str]) -> Optional[list]:
+        """Bring the bucket for ``key`` up to date; None if undefined."""
+        tier_def = self._tiers.get(key[1])
+        if tier_def is None:
+            return None
+        capacity, rate = tier_def
+        now = self._clock()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = [float(capacity), now]
+            self._buckets[key] = bucket
+        elif rate > 0:
+            bucket[0] = min(float(capacity),
+                            bucket[0] + (now - bucket[1]) * rate)
+            bucket[1] = now
+        else:
+            bucket[1] = now
+        return bucket
+
+    def _peek_locked(self, principal: str,
+                     tier: str) -> Optional[float]:
+        key = (principal, tier)
+        if key in self._retracted:
+            return 0.0
+        bucket = self._refill_locked(key)
+        if bucket is None:
+            return None
+        return bucket[0]
+
+    def peek(self, formula: Formula) -> Optional[bool]:
+        """Would :meth:`decides` confirm this statement right now,
+        *without* spending a token?  (Simulation/dry-run path.)"""
+        parsed = self._parse(formula)
+        if parsed is None:
+            return None
+        with self._lock:
+            tokens = self._peek_locked(*parsed)
+        if tokens is None:
+            return None
+        return tokens >= 1.0
+
+    def decides(self, formula: Formula) -> Optional[bool]:
+        """Confirm and meter: spends one token on a confirmed answer."""
+        parsed = self._parse(formula)
+        if parsed is None:
+            return None
+        principal, tier = parsed
+        key = (principal, tier)
+        with self._lock:
+            if key in self._retracted:
+                return False
+            bucket = self._refill_locked(key)
+            if bucket is None:
+                return None
+            if bucket[0] >= 1.0:
+                bucket[0] -= 1.0
+                return True
+            return False
 
 
 class AuthorityRegistry:

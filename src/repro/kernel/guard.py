@@ -19,7 +19,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Hashable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.errors import ProofError, UnificationError
 from repro.nal.checker import (CheckResult, CompiledProof, check,
@@ -77,6 +78,7 @@ EXPLANATION_KINDS = (
     "proof-rejected",      # proof unsound or does not discharge the goal
     "missing-credential",  # a premise was not presented or not authentic
     "authority-denied",    # a dynamic leaf's authority declined
+    "iam-deny",            # an explicit IAM Deny statement matched
 )
 
 
@@ -233,11 +235,19 @@ class Guard:
     goalstore."""
 
     def __init__(self, labels: LabelRegistry, authorities: AuthorityRegistry,
-                 cache: Optional[GuardCache] = None):
+                 cache: Optional[GuardCache] = None,
+                 deny_hook: Optional[Callable] = None):
         self.goals = GoalStore()
         self.labels = labels
         self.authorities = authorities
         self.cache = cache if cache is not None else GuardCache()
+        #: Guard-level deny precedence (the IAM compiler's Deny table):
+        #: called with (subject, operation, resource) before any goal
+        #: lookup or proof search; a non-None ``(role, sid)`` return is
+        #: an immediate, non-cacheable denial.  Constructive NAL cannot
+        #: express "prove this is forbidden", so explicit Deny lives
+        #: here, ahead of the whole proof pipeline.
+        self.deny_hook = deny_hook
         self._counter_lock = threading.Lock()
         self.upcalls = 0
         self.batch_calls = 0
@@ -251,6 +261,22 @@ class Guard:
         """Figure 1 step (2): evaluate proof and labels against the goal."""
         with self._counter_lock:
             self.upcalls += 1
+        if self.deny_hook is not None:
+            denied = self.deny_hook(subject, operation, resource)
+            if denied is not None:
+                role, sid = denied
+                # Never cacheable: the deny table is consulted fresh on
+                # every request so retracting a Deny statement takes
+                # effect immediately, mirroring authority answers.
+                return GuardDecision(
+                    allow=False, cacheable=False,
+                    reason=f"iam deny: {role}/{sid}",
+                    explanation=Explanation(
+                        "iam-deny", operation, resource.name,
+                        premise=f"{role}/{sid}",
+                        detail=f"explicit Deny: statement {sid!r} of "
+                               f"role {role!r} matches this operation "
+                               f"and resource"))
         entry = self.goals.get(resource.resource_id, operation)
         if entry is None:
             return self._default_policy(subject, operation, resource)

@@ -107,6 +107,14 @@ class NexusKernel:
         from repro.federation.registry import PeerRegistry
         self.peers = PeerRegistry()
         self.federation = AdmissionControl(self)
+        # IAM: role/statement documents compiled down onto the policy
+        # plane (again above the kernel in layering).  The guard
+        # consults the engine's deny table before any proof search —
+        # explicit Deny precedence that constructive NAL goals cannot
+        # express.
+        from repro.iam.engine import IamEngine
+        self.iam = IamEngine(self)
+        self.default_guard.deny_hook = self.iam.guard_deny
 
         # The serving runtime's concurrency discipline (see
         # repro/kernel/sync.py): authorization is a read of the
@@ -480,6 +488,11 @@ class NexusKernel:
         return self.default_guard
 
     def register_guard(self, port_name: str, guard: Guard) -> None:
+        # Every guard mounted on this kernel observes the same IAM deny
+        # table — Deny precedence must not depend on which guard a
+        # goal's guard_port routed the check to.
+        if guard.deny_hook is None:
+            guard.deny_hook = self.iam.guard_deny
         self._guards[port_name] = guard
 
     def sys_setgoal(self, pid: int, resource_id: int, operation: str,
@@ -962,6 +975,13 @@ class NexusKernel:
                            authority: Authority) -> None:
         self.authorities.register(port_name, authority)
 
+    def wallet_authority_hints(self) -> Dict[Formula, str]:
+        """Formula → authority-port hints the service wallet should hand
+        the prover, so dynamic proof leaves (IAM condition leaves today)
+        resolve to ``AuthorityQuery`` steps — and the resulting verdicts
+        stay non-cacheable."""
+        return self.iam.authority_hints()
+
     # ------------------------------------------------------------------
     # basic syscalls (Table 1 microbenchmarks)
     # ------------------------------------------------------------------
@@ -1101,6 +1121,10 @@ class NexusKernel:
                    lambda: str(self.decision_cache.policy_epoch))
         fs.publish("/proc/kernel/policy_sets",
                    lambda: ",".join(self.policies.names()))
+        fs.publish("/proc/kernel/iam_roles",
+                   lambda: ",".join(
+                       f"{name}@v{version}" for name, version in
+                       sorted(self.iam.applied_versions().items())))
         fs.publish("/proc/kernel/peers",
                    lambda: ",".join(
                        f"{p.name}={'trusted' if p.trusted else 'revoked'}"

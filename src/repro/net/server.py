@@ -387,9 +387,11 @@ class SocketServer:
         keep = not request.wants_close()
         if not keep:
             response.headers["Connection"] = "close"
-        self._send_safely(conn, response)
+        # Count before flushing the response: a client that synchronizes
+        # on receiving the reply must never observe a stale counter.
         with self._stats_lock:
             self.requests_served += 1
+        self._send_safely(conn, response)
         return keep
 
     @staticmethod

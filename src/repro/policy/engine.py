@@ -183,7 +183,25 @@ class PolicyEngine:
         """
         record = self._record(name)
         resolved = self._resolve_version(record, name, version)
-        policy_set = record.versions[resolved - 1]
+        return self._diff(record.versions[resolved - 1], record.installed)
+
+    def plan_document(self, policy_set: PolicySet) -> List[PlanAction]:
+        """Diff an *unstored* document against live state, purely.
+
+        Same contract as :meth:`plan` but for an in-memory
+        :class:`~repro.policy.model.PolicySet` that no ``put`` has
+        journaled yet — compilers (the IAM engine) preview their output
+        this way without burning a version on every dry run.  Abandoned
+        -pair clears come from the record of the same *name*; a name
+        that was never applied contributes none.
+        """
+        record = self._records.get(policy_set.name)
+        installed = record.installed if record is not None else set()
+        return self._diff(policy_set, installed)
+
+    def _diff(self, policy_set: PolicySet,
+              installed: Set[Tuple[int, str]]) -> List[PlanAction]:
+        """Shared plan body: desired goals vs live goalstore."""
         desired = policy_set.desired_goals(self.kernel.resources)
         goals = self.kernel.default_guard.goals
 
@@ -214,7 +232,7 @@ class PolicyEngine:
         # Pairs the active version installed but this version abandons:
         # they revert to the default owner policy.
         covered = set(desired)
-        for resource_id, operation in sorted(record.installed - covered):
+        for resource_id, operation in sorted(installed - covered):
             live = goals.get(resource_id, operation)
             if live is None:
                 continue

@@ -372,6 +372,7 @@ class KernelPersistence:
             "resources": resources,
             "goals": goals,
             "policies": policies,
+            "iam": kernel.iam.serialize(),
             "policy_epoch": kernel.decision_cache.policy_epoch,
             "peers": peers,
             "admissions": admissions,
@@ -439,6 +440,7 @@ class KernelPersistence:
                 installed={(rid, op)
                            for rid, op in doc.get("installed", [])})
             kernel.policies._records[name] = record
+        kernel.iam.load(state.get("iam", {}))
         for doc in state.get("peers", []):
             peer = kernel.peers.add(doc["name"],
                                     RSAPublicKey.from_dict(
@@ -612,6 +614,20 @@ class KernelPersistence:
         record.installed = {(rid, op)
                             for rid, op in data["installed"]}
 
+    def _replay_iam_role(self, data: Dict[str, Any]) -> None:
+        from repro.iam.model import Role
+        self.kernel.iam.put_role(Role.from_dict(data["document"]))
+
+    def _replay_iam_bind(self, data: Dict[str, Any]) -> None:
+        self.kernel.iam.bind(data["principal"], data["role"],
+                             bound=data.get("bound", True))
+
+    def _replay_iam_state(self, data: Dict[str, Any]) -> None:
+        # Only the applied-version markers and the derived enforcement
+        # tables: the compiled goals themselves replay from the policy
+        # plane's own policy_put / policy_apply / policy_state records.
+        self.kernel.iam.restore_applied(data)
+
     def _replay_peer_add(self, data: Dict[str, Any]) -> None:
         from repro.crypto.rsa import RSAPublicKey
         self.kernel.peers.add(data["name"],
@@ -653,6 +669,9 @@ class KernelPersistence:
         "policy_apply": _replay_policy_apply,
         "policy_put": _replay_policy_put,
         "policy_state": _replay_policy_state,
+        "iam_role": _replay_iam_role,
+        "iam_bind": _replay_iam_bind,
+        "iam_state": _replay_iam_state,
         "peer_add": _replay_peer_add,
         "peer_revoke": _replay_peer_revoke,
         "epoch_bump": _replay_epoch_bump,

@@ -59,14 +59,21 @@ class Identity:
     principal locally; the alias-qualified remote principal after
     admission); ``session`` speaks *as* the subject over the world's
     transport; ``pid`` is the subject's process on the home kernel.
+    ``subject`` is the principal the home kernel *acts as* when this
+    identity makes a request — locally the same string as ``speaker``,
+    but after federation it is the admitted stand-in process, not the
+    remote speaker.  Goals (IAM Allow bindings) should name ``speaker``;
+    guard-level matching (IAM Deny bindings) should name ``subject``.
+    Both normalize to the same ``«id:name»`` token.
     """
 
-    def __init__(self, world, name, speaker, session, pid):
+    def __init__(self, world, name, speaker, session, pid, subject=None):
         self.world = world
         self.name = name
         self.speaker = speaker
         self.session = session
         self.pid = pid
+        self.subject = subject if subject is not None else speaker
 
     def authorize(self, operation, resource, proof=None, wallet=False):
         """One wire Figure-1 round trip as this subject."""
@@ -125,6 +132,18 @@ class World:
         if self._admin is None:
             self._admin = self.open("admin")
         return self._admin
+
+    def install_iam(self, roles, bindings):
+        """Install an IAM configuration through the admin session:
+        put every role document (:class:`repro.iam.model.Role` or dict
+        form), attach every ``(principal, role)`` binding, then compile
+        and apply.  Returns the wire apply response."""
+        admin = self.admin()
+        for role in roles:
+            admin.put_role(role)
+        for principal, role in bindings:
+            admin.bind_role(principal, role)
+        return admin.iam_apply()
 
     def normalize(self, document) -> bytes:
         """Canonical bytes of ``document`` with every registered
@@ -210,7 +229,7 @@ class CrossKernelWorld(World):
         self.remember(admission.remote_principal, f"id:{name}")
         self.remember(str(receipt.principal), f"id:{name}")
         return Identity(self, name, admission.remote_principal, session,
-                        receipt.pid)
+                        receipt.pid, subject=str(receipt.principal))
 
 
 class ClusterWorld(World):

@@ -151,12 +151,40 @@ class TestExplanationKindsDifferential:
         _assert_kind(document, "authority-denied", False)
         assert document["kernel"]["explanation"]["authority"] == "oracle"
 
+    def test_iam_deny(self):
+        def scenario(world):
+            alice = world.identity("alice", ["use_role(reader)"])
+            admin = world.admin()
+            admin.create_resource("/files/box", "file")
+            world.install_iam(
+                roles=[
+                    {"name": "reader", "statements": [
+                        {"sid": "r1", "effect": "Allow",
+                         "actions": ["read"],
+                         "resources": ["/files/*"]}]},
+                    {"name": "lockdown", "statements": [
+                        {"sid": "d1", "effect": "Deny", "actions": ["*"],
+                         "resources": ["/files/box"]}]},
+                ],
+                # Allow goals name the *speaker* (whose labelstore holds
+                # use_role); the deny table matches the acting *subject*.
+                bindings=[(alice.speaker, "reader"),
+                          (alice.subject, "lockdown")])
+            return _capture(alice, "read", "/files/box", wallet=True)
+
+        document = run_differential(scenario)
+        _assert_kind(document, "iam-deny", False)
+        assert document["kernel"]["explanation"]["premise"] == \
+            "lockdown/d1"
+        # Deny-table answers are observations, never cached verdicts.
+        assert document["authorize"]["cacheable"] is False
+
     def test_every_kind_is_covered_here(self):
         """This class must keep one scenario per guard explanation kind:
         a new kind without a differential scenario is a test gap."""
         covered = {"allowed", "no-proof", "proof-rejected",
                    "missing-credential", "default-policy",
-                   "authority-denied"}
+                   "authority-denied", "iam-deny"}
         assert covered == set(EXPLANATION_KINDS)
 
 

@@ -1,0 +1,583 @@
+"""The IAM subsystem: documents → NAL goals + deny table + authorities.
+
+Four layers of coverage:
+
+* the document model's strict validation;
+* the engine: versioned roles, bindings, compilation (balanced OR-tree
+  goals, sentinel rule, authority hints), apply, deny precedence and
+  simulation against a raw kernel;
+* the :class:`~repro.kernel.authority.QuotaAuthority` token-bucket
+  semantics (retraction, refill, thread safety);
+* durability (WAL replay + snapshot restore) and the differential
+  transports — IAM verdicts must be byte-identical across direct, HTTP
+  and the forked cluster fleet.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import ApiError, NexusClient, NexusService
+from repro.core.attestation import kernel_wallet_bundle
+from repro.errors import IamError, NoSuchRole
+from repro.iam import (CLOCK_PORT, POLICY_SET, QUOTA_PORT, Condition,
+                       IamEngine, Role, Statement, use_statement)
+from repro.kernel.authority import QuotaAuthority
+from repro.kernel.kernel import NexusKernel
+from repro.nal.parser import parse
+from repro.storage.backend import MemoryBackend
+
+from harness import run_cluster_differential, run_differential
+
+
+def _kernel():
+    return NexusKernel(key_seed=42)
+
+
+def _reader_role(name="reader", resources=("/files/*",),
+                 conditions=()):
+    return Role(name, (Statement("s1", "Allow", ("read",), resources,
+                                 conditions),))
+
+
+def _deny_role(name="lockdown", resources=("/secrets/*",)):
+    return Role(name, (Statement("d1", "Deny", ("*",), resources),))
+
+
+def _setup(kernel, roles, bindings, resources=("/files/a", "/secrets/k")):
+    """Admin + subject processes, resources, and an applied IAM config.
+
+    Returns (admin process, subject process, {name: resource}).
+    """
+    admin = kernel.create_process("admin")
+    subject = kernel.create_process("alice")
+    made = {name: kernel.resources.create(name, "file", admin.principal)
+            for name in resources}
+    for role in roles:
+        kernel.iam.put_role(role)
+    for role_name in bindings:
+        kernel.iam.bind(str(subject.principal), role_name)
+    kernel.iam.apply(admin.pid)
+    return admin, subject, made
+
+
+def _wallet_verdict(kernel, subject, operation, resource):
+    bundle = kernel_wallet_bundle(kernel, subject.pid, operation,
+                                  resource)
+    return kernel.authorize(subject.pid, operation, resource.resource_id,
+                            bundle)
+
+
+# --------------------------------------------------------------------------
+# the document model
+# --------------------------------------------------------------------------
+
+class TestModelValidation:
+    def test_role_round_trips_through_dict_form(self):
+        role = Role("dev", (
+            Statement("s1", "Allow", ("read", "write"), ("/files/*",),
+                      (Condition("time-before", at=99),
+                       Condition("rate-tier", tier="gold", capacity=5,
+                                 refill_rate=0.5))),
+            Statement("s2", "Deny", ("*",), ("/vault/*",)),
+        ), description="a developer")
+        assert Role.from_dict(role.to_dict()) == role
+
+    def test_deny_rejects_conditions(self):
+        with pytest.raises(IamError, match="no conditional negative"):
+            Statement("d", "Deny", ("*",), ("/x",),
+                      (Condition("time-before", at=5),))
+
+    def test_allow_rejects_wildcard_action(self):
+        with pytest.raises(IamError, match="concrete action"):
+            Statement("s", "Allow", ("*",), ("/x",))
+
+    def test_unknown_effect_and_fields_rejected(self):
+        with pytest.raises(IamError, match="effect"):
+            Statement("s", "Maybe", ("read",), ("/x",))
+        with pytest.raises(IamError, match="unknown"):
+            Role.from_dict({"name": "r", "statements": [
+                {"sid": "s", "effect": "Allow", "actions": ["read"],
+                 "resources": ["/x"]}], "extra": 1})
+
+    def test_duplicate_sids_rejected(self):
+        statement = Statement("s1", "Allow", ("read",), ("/x",))
+        with pytest.raises(IamError, match="duplicate"):
+            Role("r", (statement, statement))
+
+    def test_condition_kinds_are_closed(self):
+        with pytest.raises(IamError, match="condition kind"):
+            Condition("ip-range")
+        with pytest.raises(IamError, match="capacity"):
+            Condition("rate-tier", tier="gold", capacity=0)
+
+    def test_statement_matching_globs_and_wildcard(self):
+        deny = Statement("d", "Deny", ("*",), ("/secrets/*",))
+        assert deny.matches("anything", "/secrets/key")
+        assert not deny.matches("read", "/files/a")
+        allow = Statement("s", "Allow", ("read",), ("/files/*",))
+        assert not allow.matches("write", "/files/a")
+
+
+# --------------------------------------------------------------------------
+# the engine against a raw kernel
+# --------------------------------------------------------------------------
+
+class TestEngine:
+    def test_roles_are_versioned_and_bindings_validated(self):
+        kernel = _kernel()
+        assert kernel.iam.put_role(_reader_role()) == 1
+        assert kernel.iam.put_role(_reader_role()) == 2
+        assert kernel.iam.versions("reader") == [1, 2]
+        with pytest.raises(NoSuchRole):
+            kernel.iam.role("ghost")
+        with pytest.raises(NoSuchRole):
+            kernel.iam.role("reader", 3)
+        with pytest.raises(NoSuchRole):
+            kernel.iam.bind("p", "ghost")
+        kernel.iam.bind("p", "reader")
+        # idempotent: re-binding and re-unbinding are no-ops
+        assert kernel.iam.bind("p", "reader") == 1
+        assert kernel.iam.bind("p", "reader", bound=False) == 0
+        assert kernel.iam.bind("p", "reader", bound=False) == 0
+
+    def test_allow_path_and_deny_precedence(self):
+        kernel = _kernel()
+        _admin, alice, resources = _setup(
+            kernel, [_reader_role(), _deny_role()],
+            ["reader", "lockdown"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        allowed = _wallet_verdict(kernel, alice, "read",
+                                  resources["/files/a"])
+        assert allowed.allow and allowed.cacheable
+        # The deny table wins without any proof search, non-cacheable.
+        denied = kernel.authorize(
+            alice.pid, "read", resources["/secrets/k"].resource_id)
+        assert not denied.allow and not denied.cacheable
+        assert "lockdown/d1" in denied.reason
+        explained = kernel.explain(
+            alice.pid, "read", resources["/secrets/k"].resource_id)
+        assert explained.explanation.kind == "iam-deny"
+        assert explained.explanation.premise == "lockdown/d1"
+
+    def test_deny_beats_any_allow_on_the_same_pair(self):
+        kernel = _kernel()
+        _admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(resources=("/secrets/*",)),
+             _deny_role(resources=("/secrets/*",))],
+            ["reader", "lockdown"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        resource = resources["/secrets/k"]
+        # The Allow goal is installed and provable...
+        bundle = kernel_wallet_bundle(kernel, alice.pid, "read", resource)
+        assert bundle is not None
+        # ...and the explicit Deny still wins.
+        verdict = kernel.authorize(alice.pid, "read",
+                                   resource.resource_id, bundle)
+        assert not verdict.allow
+        assert "lockdown/d1" in verdict.reason
+
+    def test_unbinding_and_reapplying_lifts_the_deny(self):
+        kernel = _kernel()
+        admin, alice, resources = _setup(
+            kernel, [_reader_role(), _deny_role()],
+            ["reader", "lockdown"])
+        resource = resources["/secrets/k"]
+        assert not kernel.authorize(alice.pid, "read",
+                                    resource.resource_id).allow
+        kernel.iam.bind(str(alice.principal), "lockdown", bound=False)
+        kernel.iam.apply(admin.pid)
+        verdict = kernel.authorize(alice.pid, "read",
+                                   resource.resource_id)
+        assert verdict.explanation.kind == "default-policy"
+
+    def test_goals_compile_as_balanced_or_tree_over_principals(self):
+        kernel = _kernel()
+        admin = kernel.create_process("admin")
+        resource = kernel.resources.create("/files/a", "file",
+                                           admin.principal)
+        kernel.iam.put_role(_reader_role())
+        principals = []
+        for index in range(64):
+            process = kernel.create_process(f"user-{index}")
+            principals.append(process)
+            kernel.iam.bind(str(process.principal), "reader")
+        kernel.iam.apply(admin.pid)
+        # Every bound principal can discharge the goal despite the
+        # prover's bounded search depth (a linear chain could not).
+        for process in (principals[0], principals[31], principals[63]):
+            kernel.sys_say(process.pid, use_statement("reader"))
+            assert _wallet_verdict(kernel, process, "read",
+                                   resource).allow
+
+    def test_empty_compile_clears_previous_goals(self):
+        kernel = _kernel()
+        admin, alice, resources = _setup(kernel, [_reader_role()],
+                                         ["reader"])
+        resource = resources["/files/a"]
+        goals = kernel.default_guard.goals
+        assert goals.get(resource.resource_id, "read") is not None
+        kernel.iam.bind(str(alice.principal), "reader", bound=False)
+        result = kernel.iam.apply(admin.pid)
+        assert result.cleared == 1
+        assert goals.get(resource.resource_id, "read") is None
+        assert kernel.policies.active_version(POLICY_SET) == 2
+
+    def test_apply_flushes_stale_cached_allows(self):
+        kernel = _kernel()
+        admin, alice, resources = _setup(kernel, [_reader_role()],
+                                         ["reader"])
+        resource = resources["/files/a"]
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        assert _wallet_verdict(kernel, alice, "read", resource).allow
+        # The allow verdict is now cached; an apply that introduces a
+        # Deny must retire it, not serve it.
+        kernel.iam.put_role(_deny_role(resources=("/files/*",)))
+        kernel.iam.bind(str(alice.principal), "lockdown")
+        kernel.iam.apply(admin.pid)
+        verdict = _wallet_verdict(kernel, alice, "read", resource)
+        assert not verdict.allow
+        assert "lockdown/d1" in verdict.reason
+
+    def test_time_window_condition_is_dynamic(self):
+        kernel = _kernel()
+        _admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(conditions=(
+                Condition("time-before", at=10**9),))],
+            ["reader"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        verdict = _wallet_verdict(kernel, alice, "read",
+                                  resources["/files/a"])
+        assert verdict.allow and not verdict.cacheable
+        simulated = kernel.iam.simulate(str(alice.principal), "read",
+                                        "/files/a")
+        assert simulated.effect == "Allow"
+        assert simulated.conditions_hold is True
+
+    def test_expired_time_window_denies(self):
+        kernel = _kernel()
+        _admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(conditions=(Condition("time-after",
+                                                at=10**9),))],
+            ["reader"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        verdict = _wallet_verdict(kernel, alice, "read",
+                                  resources["/files/a"])
+        assert not verdict.allow
+        assert verdict.explanation.kind == "authority-denied"
+        assert verdict.explanation.authority == CLOCK_PORT
+
+    def test_rate_tier_meters_and_exhausts(self):
+        kernel = _kernel()
+        _admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(conditions=(
+                Condition("rate-tier", tier="gold", capacity=3),))],
+            ["reader"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        resource = resources["/files/a"]
+        outcomes = [_wallet_verdict(kernel, alice, "read", resource)
+                    for _ in range(5)]
+        assert [v.allow for v in outcomes] == [True] * 3 + [False] * 2
+        assert all(not v.cacheable for v in outcomes)
+        assert outcomes[-1].explanation.authority == QUOTA_PORT
+        # Simulation peeks without spending what is left.
+        simulated = kernel.iam.simulate(str(alice.principal), "read",
+                                        "/files/a")
+        assert simulated.conditions_hold is False
+
+    def test_engine_owns_its_authority_ports(self):
+        kernel = _kernel()
+        kernel.register_authority(QUOTA_PORT, QuotaAuthority())
+        _admin = kernel.create_process("admin")
+        kernel.iam.put_role(_reader_role(conditions=(
+            Condition("rate-tier", tier="gold", capacity=1),)))
+        kernel.iam.bind("p", "reader")
+        with pytest.raises(IamError, match="already"):
+            kernel.iam.apply(_admin.pid)
+
+    def test_simulate_needs_no_live_resource(self):
+        kernel = _kernel()
+        kernel.iam.put_role(_deny_role())
+        kernel.iam.bind("p", "lockdown")
+        verdict = kernel.iam.simulate("p", "write", "/secrets/future")
+        assert verdict.effect == "Deny"
+        assert kernel.iam.simulate("q", "write",
+                                   "/secrets/future").effect == "Default"
+
+
+# --------------------------------------------------------------------------
+# the quota authority on its own
+# --------------------------------------------------------------------------
+
+class TestQuotaAuthority:
+    def _statement(self, principal="p", tier="gold"):
+        return parse(f"QuotaMeter says within_quota({principal}, {tier})")
+
+    def test_spend_exhaust_refill(self):
+        quota = QuotaAuthority()
+        quota.define_tier("gold", capacity=2)
+        statement = self._statement()
+        assert quota.decides(statement) is True
+        assert quota.decides(statement) is True
+        assert quota.decides(statement) is False
+        quota.refill("p", "gold")
+        assert quota.decides(statement) is True
+
+    def test_peek_never_spends(self):
+        quota = QuotaAuthority()
+        quota.define_tier("gold", capacity=1)
+        statement = self._statement()
+        for _ in range(3):
+            assert quota.peek(statement) is True
+        assert quota.remaining("p", "gold") == 1.0
+
+    def test_retraction_denies_until_regrant(self):
+        quota = QuotaAuthority()
+        quota.define_tier("gold", capacity=5)
+        statement = self._statement()
+        assert quota.decides(statement) is True
+        quota.retract("p", "gold")
+        assert quota.decides(statement) is False
+        assert quota.peek(statement) is False
+        quota.grant("p", "gold")
+        assert quota.decides(statement) is True
+        assert quota.remaining("p", "gold") == 4.0
+
+    def test_elapsed_time_refills_at_tier_rate(self):
+        clock = [0.0]
+        quota = QuotaAuthority(clock=lambda: clock[0])
+        quota.define_tier("gold", capacity=2, refill_rate=1.0)
+        statement = self._statement()
+        assert quota.decides(statement) is True
+        assert quota.decides(statement) is True
+        assert quota.decides(statement) is False
+        clock[0] = 1.5
+        assert quota.decides(statement) is True
+        assert quota.remaining("p", "gold") == 0.5
+
+    def test_foreign_statements_and_undefined_tiers_decline(self):
+        quota = QuotaAuthority()
+        quota.define_tier("gold", capacity=1)
+        assert quota.decides(parse("NTP says TimeNow < 5")) is None
+        assert quota.decides(self._statement(tier="iron")) is None
+        assert quota.remaining("p", "iron") is None
+
+    def test_redefining_a_tier_clamps_existing_buckets(self):
+        quota = QuotaAuthority()
+        quota.define_tier("gold", capacity=10)
+        statement = self._statement()
+        assert quota.decides(statement) is True
+        quota.define_tier("gold", capacity=2)
+        assert quota.remaining("p", "gold") == 2.0
+
+    def test_concurrent_spend_never_overspends(self):
+        quota = QuotaAuthority()
+        capacity = 64
+        quota.define_tier("gold", capacity=capacity)
+        statement = self._statement()
+        grants = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def spend():
+            barrier.wait()
+            mine = sum(1 for _ in range(32)
+                       if quota.decides(statement))
+            with lock:
+                grants.append(mine)
+
+        threads = [threading.Thread(target=spend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(grants) == capacity
+        assert quota.remaining("p", "gold") == 0.0
+
+
+# --------------------------------------------------------------------------
+# durability: WAL replay and snapshot restore
+# --------------------------------------------------------------------------
+
+class TestDurability:
+    def _configured(self, backend):
+        kernel = _kernel()
+        kernel.attach_storage(backend, sync_every=1)
+        admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(conditions=(
+                Condition("rate-tier", tier="gold", capacity=10),)),
+             _deny_role()],
+            ["reader", "lockdown"])
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        return kernel, admin, alice, resources
+
+    def _assert_enforced(self, kernel, alice, resources):
+        allowed = _wallet_verdict(kernel, alice, "read",
+                                  resources["/files/a"])
+        assert allowed.allow and not allowed.cacheable
+        denied = kernel.explain(alice.pid, "read",
+                                resources["/secrets/k"].resource_id)
+        assert denied.explanation.kind == "iam-deny"
+
+    def test_wal_replay_restores_roles_denies_and_tiers(self):
+        backend = MemoryBackend()
+        kernel, _admin, alice, resources = self._configured(backend)
+        restored = NexusKernel.restore(backend, key_seed=42)
+        assert restored.iam.names() == ["lockdown", "reader"]
+        assert restored.iam.applied_versions() == {"lockdown": 1,
+                                                   "reader": 1}
+        assert restored.iam.bindings() == kernel.iam.bindings()
+        assert restored.iam.quota_authority.tiers() == {"gold": (10, 0.0)}
+        self._assert_enforced(restored, alice, resources)
+
+    def test_snapshot_restores_the_same_state(self):
+        backend = MemoryBackend()
+        kernel, _admin, alice, resources = self._configured(backend)
+        kernel.snapshot_now()
+        restored = NexusKernel.restore(backend, key_seed=42)
+        assert restored.storage_stats()["restored_records"] == 0
+        assert restored.iam.applied_versions() == {"lockdown": 1,
+                                                   "reader": 1}
+        self._assert_enforced(restored, alice, resources)
+
+    def test_unapplied_drafts_survive_without_enforcement(self):
+        backend = MemoryBackend()
+        kernel = _kernel()
+        kernel.attach_storage(backend, sync_every=1)
+        kernel.iam.put_role(_deny_role())
+        kernel.iam.bind("p", "lockdown")
+        restored = NexusKernel.restore(backend, key_seed=42)
+        assert restored.iam.names() == ["lockdown"]
+        assert restored.iam.bindings() == [("p", "lockdown")]
+        assert restored.iam.applied_versions() == {}
+        # Not applied → no deny table.
+        assert restored.iam.guard_deny("p", "read",
+                                       type("R", (), {"name":
+                                            "/secrets/k"})()) is None
+
+    def test_restore_uses_apply_time_bindings_not_later_edits(self):
+        backend = MemoryBackend()
+        kernel, admin, alice, resources = self._configured(backend)
+        # Unbind after the apply: the draft changes, enforcement of the
+        # *applied* configuration must not.
+        kernel.iam.bind(str(alice.principal), "lockdown", bound=False)
+        restored = NexusKernel.restore(backend, key_seed=42)
+        denied = restored.explain(alice.pid, "read",
+                                  resources["/secrets/k"].resource_id)
+        assert denied.explanation.kind == "iam-deny"
+
+
+# --------------------------------------------------------------------------
+# the wire API
+# --------------------------------------------------------------------------
+
+class TestWireApi:
+    def test_full_lifecycle_over_any_transport(self, api_world):
+        admin = api_world.admin()
+        alice = api_world.open("alice")
+        admin.create_resource("/files/a", "file")
+        admin.create_resource("/secrets/k", "file")
+        put = admin.put_role(_reader_role())
+        assert (put.role, put.version) == ("reader", 1)
+        admin.put_role(_deny_role())
+        bind = admin.bind_role(alice.principal, "reader")
+        assert bind.bindings == 1
+        admin.bind_role(alice.principal, "lockdown")
+        plan = admin.iam_plan()
+        assert plan.roles == {"reader": 1, "lockdown": 1}
+        assert plan.denies == 1 and plan.goals == 1
+        assert [a.action for a in plan.actions] == ["set"]
+        applied = admin.iam_apply()
+        assert applied.set_count == 1 and applied.denies == 1
+        alice.say(use_statement("reader"))
+        assert alice.authorize("read", "/files/a", wallet=True).allow
+        denied = alice.explain("read", "/secrets/k")
+        assert denied.explanation.kind == "iam-deny"
+        assert denied.explanation.premise == "lockdown/d1"
+        simulated = admin.iam_simulate(alice.principal, "read",
+                                       "/secrets/k")
+        assert (simulated.effect, simulated.sid) == ("Deny", "d1")
+
+    def test_error_codes_are_stable(self, api_world):
+        admin = api_world.admin()
+        with pytest.raises(ApiError) as no_role:
+            admin.bind_role("p", "ghost")
+        assert no_role.value.code == "E_NO_SUCH_ROLE"
+        with pytest.raises(ApiError) as bad_doc:
+            admin.put_role({"name": "x", "statements": [
+                {"sid": "s", "effect": "Sometimes",
+                 "actions": ["read"], "resources": ["/x"]}]})
+        assert bad_doc.value.code == "E_IAM"
+
+    def test_introspection_lists_applied_roles(self, api_world):
+        admin = api_world.admin()
+        admin.create_resource("/files/a", "file")
+        api_world.install_iam([_reader_role()], [("p", "reader")])
+        assert api_world.kernel.introspection.read(
+            "/proc/kernel/iam_roles") == "reader@v1"
+
+
+# --------------------------------------------------------------------------
+# differential: one answer on every transport
+# --------------------------------------------------------------------------
+
+def _wire_capture(identity, operation, resource_name, wallet=True):
+    """Wire-only observation (cluster worlds cannot reach the kernel)."""
+    verdict = identity.authorize(operation, resource_name, wallet=wallet)
+    explained = identity.explain(operation, resource_name, wallet=wallet)
+    return {
+        "authorize": {"allow": verdict.allow,
+                      "cacheable": verdict.cacheable,
+                      "reason": verdict.reason},
+        "explanation": explained.explanation.to_dict(),
+    }
+
+
+def _iam_scenario(world):
+    """Deny precedence + a metered condition leaf, wire-observable."""
+    alice = world.identity("alice", [use_statement("reader")])
+    admin = world.admin()
+    admin.create_resource("/files/a", "file")
+    admin.create_resource("/secrets/k", "file")
+    applied = world.install_iam(
+        roles=[
+            _reader_role(conditions=(
+                Condition("rate-tier", tier="gold", capacity=2),)),
+            _deny_role(),
+        ],
+        bindings=[(alice.speaker, "reader"),
+                  (alice.subject, "lockdown")])
+    # Each capture spends two tokens (authorize + explain are separate
+    # authority queries): capacity 2 confirms the first capture and
+    # leaves the second an empty bucket.
+    fresh = _wire_capture(alice, "read", "/files/a")
+    exhausted = _wire_capture(alice, "read", "/files/a")
+    denied = _wire_capture(alice, "read", "/secrets/k")
+    return {"applied": {"roles": applied.roles, "denies": applied.denies,
+                        "set": applied.set_count},
+            "fresh": fresh, "exhausted": exhausted, "denied": denied}
+
+
+def _assert_iam_document(document):
+    assert document["applied"]["denies"] == 1
+    assert document["fresh"]["authorize"]["allow"] is True
+    assert document["fresh"]["authorize"]["cacheable"] is False
+    assert document["exhausted"]["authorize"]["allow"] is False
+    assert document["exhausted"]["explanation"]["kind"] == \
+        "authority-denied"
+    assert document["denied"]["authorize"]["allow"] is False
+    assert document["denied"]["explanation"]["kind"] == "iam-deny"
+    assert document["denied"]["explanation"]["premise"] == "lockdown/d1"
+
+
+class TestIamDifferential:
+    def test_verdicts_identical_across_transports(self):
+        _assert_iam_document(run_differential(_iam_scenario))
+
+    def test_verdicts_identical_across_the_cluster(self):
+        _assert_iam_document(run_cluster_differential(_iam_scenario))
