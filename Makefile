@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-storage bench-cluster bench-iam \
-	docs-check lint coverage coverage-storage coverage-cluster \
-	coverage-iam check
+.PHONY: test bench bench-smoke bench-serving bench-storage \
+	bench-cluster bench-iam docs-check lint coverage coverage-storage \
+	coverage-cluster coverage-iam check
 
 ## tier-1: every test and benchmark, fail-fast (the CI gate)
 test:
@@ -19,6 +19,15 @@ bench:
 ## benchmark code paths and emits the BENCH_*.json artifacts cheaply
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -q benchmarks
+
+## the serving-path experiments alone: fig8 transport rows (in-process
+## vs HTTP-JSON vs binary codec, with the <= 1.2x binary gate) and
+## fig11 socket-server models (JSON vs binary columns, adaptive
+## coalescing gated >= pooled on both workloads); emits BENCH_api.json
+## and BENCH_serving.json
+bench-serving:
+	$(PYTHON) -m pytest -q benchmarks/test_fig8_api_path.py \
+	    benchmarks/test_fig11_serving.py
 
 ## the durable-journal experiment alone (WAL overhead, replay
 ## throughput, warm restart); emits BENCH_storage.json

@@ -53,22 +53,40 @@ class DirectTransport(Transport):
 
 
 class HttpTransport(Transport):
-    """Wire transport: canonical JSON over HTTP through a Router.
+    """Wire transport: canonical JSON over HTTP through a Router, with
+    an optional negotiated binary codec.
 
-    ``send`` is the wire: bytes of an HTTP request in, bytes of an HTTP
-    response out.  The default constructors wrap a Router (or a service's
-    own router) in an in-memory wire, which keeps the byte-level framing
-    honest without sockets.
+    ``send`` is the wire: bytes of one framed request in, bytes of one
+    framed response out.  The default constructors wrap a Router (or a
+    service's own router) in an in-memory wire, which keeps the
+    byte-level framing honest without sockets.
+
+    ``codec="binary"`` makes the transport *offer* the length-prefixed
+    binary framing (:mod:`repro.net.codec`): the first request goes out
+    as JSON/HTTP with an ``X-Nexus-Codec: binary`` header, and only
+    after the server acks does the connection switch to binary frames.
+    A server that ignores the header (an older, JSON-only build) simply
+    keeps a correct JSON conversation — the offer costs one header.
+    Negotiated state is scoped to the underlying connection generation:
+    a transparent reconnect voids it and the next request re-offers.
     """
 
     def __init__(self, send: Callable[[bytes], bytes],
-                 prefix: Optional[str] = None):
+                 prefix: Optional[str] = None, codec: str = "json"):
         from repro.api.service import API_PREFIX
+        if codec not in ("json", "binary"):
+            raise ApiError("E_BAD_REQUEST",
+                           f"unknown wire codec {codec!r}")
         self.send = send
         self.prefix = prefix if prefix is not None else API_PREFIX
+        self.codec = codec
         self.requests_sent = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Connection generation at the moment the server acked the
+        #: binary offer; ``None`` until then (and again after any
+        #: reconnect invalidates it).
+        self._negotiated_generation: Optional[int] = None
         #: (kind, body length) → ready HTTP head bytes.  The head of a
         #: POST to a fixed endpoint depends on the body only through
         #: Content-Length, so the hot path splices head + body instead
@@ -97,36 +115,76 @@ class HttpTransport(Transport):
     @classmethod
     def over_socket(cls, host: str, port: int,
                     prefix: Optional[str] = None,
-                    timeout: float = 30.0) -> "HttpTransport":
+                    timeout: float = 30.0,
+                    codec: str = "json") -> "HttpTransport":
         """A wire over one real TCP connection, reused across requests.
 
         The transport holds a
         :class:`~repro.net.server.PersistentConnection`: the connection
         is opened lazily, kept alive between calls (the socket server's
-        worker pool keeps its end open too), and transparently
+        event loop keeps its end open too), and transparently
         re-established if the server dropped it.  Close it via
-        :attr:`connection` when done.
+        :attr:`connection` when done.  ``codec="binary"`` negotiates
+        the binary framing per connection (see the class docstring).
         """
         from repro.net.server import PersistentConnection
         connection = PersistentConnection(host, port, timeout=timeout)
-        transport = cls(connection.send, prefix=prefix)
+        transport = cls(connection.send, prefix=prefix, codec=codec)
         transport.connection = connection
+        return transport
+
+    @classmethod
+    def binary_for_service(cls, service,
+                           prefix: Optional[str] = None) -> "HttpTransport":
+        """An in-memory *binary* wire straight onto a service.
+
+        Round-trips real binary frames (framing validated both ways)
+        without sockets; negotiation is skipped — in memory there is no
+        older server to fall back to.
+        """
+        transport = cls(service.handle_binary_frame, prefix=prefix,
+                        codec="binary")
+        transport._negotiated_generation = 0
         return transport
 
     #: The underlying persistent connection when built by
     #: :meth:`over_socket`; ``None`` for in-memory wires.
     connection = None
 
+    def _binary_active(self) -> bool:
+        """Did this connection generation ack the binary offer?"""
+        generation = self._negotiated_generation
+        if generation is None:
+            return False
+        connection = self.connection
+        if connection is None or connection.generation == generation:
+            return True
+        self._negotiated_generation = None  # reconnected: offer again
+        return False
+
     def roundtrip(self, request: msg.ApiRequest) -> msg.ApiMessage:
         """Encode, frame, send, parse, decode — the full wire path."""
-        from repro.net.http import HTTPRequest, split_response
+        if self.codec == "binary":
+            # _binary_active() inlined: this branch sits on the hot
+            # authorize path and the method call is measurable there.
+            generation = self._negotiated_generation
+            if generation is not None:
+                connection = self.connection
+                if connection is None or connection.generation == generation:
+                    return self._roundtrip_binary(request)
+                self._negotiated_generation = None  # reconnected
+        from repro.net.http import HTTPRequest, parse_response, \
+            split_response
+        offer = self.codec == "binary"
         body = request.to_bytes()
         head_key = (request.KIND, len(body))
         head = self._head_memo.get(head_key)
         if head is None:
+            headers = {"Content-Type": "application/json"}
+            if offer:
+                headers["X-Nexus-Codec"] = "binary"
             raw = HTTPRequest("POST", f"{self.prefix}/{request.KIND}",
-                              {"Content-Type": "application/json"},
-                              body).to_bytes()
+                              headers, body).to_bytes()
             head = raw[:len(raw) - len(body)]
             if len(self._head_memo) >= 512:
                 self._head_memo.clear()
@@ -137,7 +195,17 @@ class HttpTransport(Transport):
         self.bytes_sent += len(raw)
         raw_response = self.send(raw)
         self.bytes_received += len(raw_response)
-        status, response_body = split_response(raw_response)
+        if offer:
+            response = parse_response(raw_response)
+            if response.headers.get("X-Nexus-Codec") == "binary":
+                # Ack: this connection speaks binary from the next
+                # request on, until a reconnect voids the agreement.
+                connection = self.connection
+                self._negotiated_generation = (
+                    connection.generation if connection is not None else 0)
+            status, response_body = response.status, response.body
+        else:
+            status, response_body = split_response(raw_response)
         try:
             return msg.decode_response(response_body)
         except ApiError as exc:
@@ -150,6 +218,22 @@ class HttpTransport(Transport):
                 E_BAD_RESPONSE,
                 f"HTTP {status} with non-API body from "
                 f"{self.prefix}/{request.KIND}: {snippet!r}") from exc
+
+    def _roundtrip_binary(self, request: msg.ApiRequest) -> msg.ApiMessage:
+        """The negotiated fast path: one binary frame each way."""
+        raw = msg.encode_request_frame(request)
+        self.requests_sent += 1
+        self.bytes_sent += len(raw)
+        raw_response = self.send(raw)
+        self.bytes_received += len(raw_response)
+        try:
+            return msg.decode_response_frame(raw_response)
+        except ApiError as exc:
+            snippet = raw_response[:80]
+            raise ApiError(
+                E_BAD_RESPONSE,
+                f"undecodable binary response to "
+                f"{request.KIND!r}: {snippet!r}") from exc
 
 
 class NexusClient:
@@ -179,12 +263,24 @@ class NexusClient:
                                              prefix=prefix))
 
     @classmethod
+    def over_binary(cls, service) -> "NexusClient":
+        """A client over the in-memory binary wire (real frames, no
+        sockets) — the codec-differential counterpart of
+        :meth:`over_http`."""
+        return cls(HttpTransport.binary_for_service(service))
+
+    @classmethod
     def connect(cls, host: str, port: int,
-                prefix: Optional[str] = None) -> "NexusClient":
+                prefix: Optional[str] = None,
+                codec: str = "json") -> "NexusClient":
         """A client over a real TCP connection to a running
         :class:`~repro.net.server.SocketServer`, with connection reuse
-        (keep-alive) across every call."""
-        return cls(HttpTransport.over_socket(host, port, prefix=prefix))
+        (keep-alive) across every call.  ``codec="binary"`` offers the
+        binary framing on the first request and switches once the
+        server acks (a JSON-only server leaves the conversation on
+        canonical JSON)."""
+        return cls(HttpTransport.over_socket(host, port, prefix=prefix,
+                                             codec=codec))
 
     def close(self) -> None:
         """Release transport resources (the TCP connection, if any)."""

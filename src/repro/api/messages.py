@@ -26,6 +26,8 @@ from typing import Any, Dict, List, Optional, Tuple, Type, Union
 
 from repro.api.errors import (ApiError, E_BAD_VERSION, E_UNKNOWN_KIND,
                               bad_request)
+from repro.errors import AppError
+from repro.net import codec as binwire
 
 API_VERSION = "v1"
 
@@ -1948,4 +1950,138 @@ def decode_response(data: Union[bytes, str, Dict[str, Any]]) -> ApiMessage:
         if len(_decoded_responses) >= _DECODE_MEMO_CAPACITY:
             _decoded_responses.clear()
         _decoded_responses[key] = response
+    return response
+
+
+# --------------------------------------------------------------------------
+# binary wire form (see repro.net.codec)
+# --------------------------------------------------------------------------
+#
+# The binary codec spells the *same* envelope dict as a length-prefixed
+# tagged frame.  Both directions mirror the JSON path's memo discipline:
+# requests memoize on value identity (the client resends equal
+# authorize envelopes), decodes memoize on exact payload bytes (the
+# server re-sees identical frames), responses memoize by verdict value.
+
+_binary_request_frames: Dict[tuple, tuple] = {}
+_binary_response_frames: Dict[tuple, bytes] = {}
+_decoded_binary_requests: Dict[bytes, ApiRequest] = {}
+_decoded_binary_responses: Dict[bytes, ApiMessage] = {}
+
+
+def encode_request_frame(request: ApiRequest) -> bytes:
+    """One complete binary frame for a request envelope."""
+    if isinstance(request, AuthorizeRequest):
+        key = (request.session, request.operation, request.resource,
+               request.wallet,
+               None if request.proof is None else id(request.proof))
+        entry = _binary_request_frames.get(key)
+        if entry is not None and entry[0] is request.proof:
+            return entry[1]
+        raw = binwire.frame(binwire.encode_value(request.to_dict()))
+        if len(_binary_request_frames) >= AuthorizeRequest._WIRE_MEMO_CAPACITY:
+            _binary_request_frames.clear()
+        _binary_request_frames[key] = (request.proof, raw)
+        return raw
+    return binwire.frame(binwire.encode_value(request.to_dict()))
+
+
+def encode_response_frame(response: ApiMessage) -> bytes:
+    """One complete binary frame for a response envelope."""
+    if isinstance(response, AuthorizeResponse):
+        verdict = response.verdict
+        key = (verdict.allow, verdict.cacheable, verdict.reason)
+        raw = _binary_response_frames.get(key)
+        if raw is None:
+            raw = binwire.frame(binwire.encode_value(response.to_dict()))
+            if (len(_binary_response_frames)
+                    >= AuthorizeResponse._WIRE_MEMO_CAPACITY):
+                _binary_response_frames.clear()
+            _binary_response_frames[key] = raw
+        return raw
+    return binwire.frame(binwire.encode_value(response.to_dict()))
+
+
+def _decode_binary_envelope(payload: bytes) -> Dict[str, Any]:
+    try:
+        document = binwire.decode_value(payload)
+    except AppError as exc:
+        raise bad_request(f"body is not a valid binary envelope: "
+                          f"{exc}") from exc
+    if not isinstance(document, dict):
+        raise bad_request("binary message must encode an object")
+    return document
+
+
+def decode_request_binary(payload: bytes,
+                          expect_kind: Optional[str] = None) -> ApiRequest:
+    """Decode a binary request payload; same strictness, same memo
+    semantics as :func:`decode_request`."""
+    cached = _decoded_binary_requests.get(payload)
+    if cached is not None:
+        if expect_kind is not None and cached.KIND != expect_kind:
+            raise bad_request(
+                f"request kind {cached.KIND!r} does not match "
+                f"endpoint {expect_kind!r}")
+        return cached
+    request = decode_request(_decode_binary_envelope(payload),
+                             expect_kind=expect_kind)
+    if len(_decoded_binary_requests) >= _DECODE_MEMO_CAPACITY:
+        _decoded_binary_requests.clear()
+    _decoded_binary_requests[payload] = request
+    return request
+
+
+def decode_response_binary(payload: bytes) -> ApiMessage:
+    """Decode a binary response payload (success or error)."""
+    cached = _decoded_binary_responses.get(payload)
+    if cached is not None:
+        return cached
+    response = decode_response(_decode_binary_envelope(payload))
+    if len(_decoded_binary_responses) >= _DECODE_MEMO_CAPACITY:
+        _decoded_binary_responses.clear()
+    _decoded_binary_responses[payload] = response
+    return response
+
+
+# Whole-frame decode memos: the hot authorize path re-sees the *exact*
+# frame bytes (header included), so keying on them skips even the
+# header validation and payload slice on repeats.
+_decoded_request_frames: Dict[bytes, ApiRequest] = {}
+_decoded_response_frames: Dict[bytes, ApiMessage] = {}
+
+
+def decode_request_frame(raw: bytes) -> ApiRequest:
+    """Decode one complete binary request frame (header + payload).
+
+    Framing defects surface as ``E_BAD_REQUEST`` :class:`ApiError`, the
+    same taxonomy :func:`decode_request_binary` reports for payload
+    defects."""
+    cached = _decoded_request_frames.get(raw)
+    if cached is not None:
+        return cached
+    try:
+        payload = binwire.frame_payload(raw)
+    except AppError as exc:
+        raise bad_request(f"bad binary frame: {exc}") from exc
+    request = decode_request_binary(payload)
+    if len(_decoded_request_frames) >= _DECODE_MEMO_CAPACITY:
+        _decoded_request_frames.clear()
+    _decoded_request_frames[raw] = request
+    return request
+
+
+def decode_response_frame(raw: bytes) -> ApiMessage:
+    """Decode one complete binary response frame (header + payload)."""
+    cached = _decoded_response_frames.get(raw)
+    if cached is not None:
+        return cached
+    try:
+        payload = binwire.frame_payload(raw)
+    except AppError as exc:
+        raise bad_request(f"bad binary frame: {exc}") from exc
+    response = decode_response_binary(payload)
+    if len(_decoded_response_frames) >= _DECODE_MEMO_CAPACITY:
+        _decoded_response_frames.clear()
+    _decoded_response_frames[raw] = response
     return response

@@ -177,15 +177,18 @@ class NexusService:
             raise ApiError(E_NO_SUCH_SESSION, f"no session {token!r}")
         return session
 
-    def enable_coalescing(self, max_batch: int = 256) -> None:
+    def enable_coalescing(self, max_batch: int = 256,
+                          adaptive: bool = True) -> None:
         """Route concurrent ``authorize`` requests through a
         group-commit :class:`~repro.net.coalesce.CoalescingAuthorizer`,
         so in-flight requests merge into single ``authorize_many``
-        batches (idempotent; see :mod:`repro.net.coalesce`)."""
+        batches (idempotent; see :mod:`repro.net.coalesce`).
+        ``adaptive`` lets measured-cheap routes bypass group commit."""
         if self._coalescer is None:
             from repro.net.coalesce import CoalescingAuthorizer
             self._coalescer = CoalescingAuthorizer(self.kernel,
-                                                   max_batch=max_batch)
+                                                   max_batch=max_batch,
+                                                   adaptive=adaptive)
 
     @property
     def coalescer(self):
@@ -230,6 +233,33 @@ class NexusService:
     def handle_bytes(self, raw: bytes) -> bytes:
         """Bytes in, canonical bytes out — the transport-free core."""
         return self.dispatch_dict(raw).to_bytes()
+
+    def handle_binary(self, payload: bytes) -> bytes:
+        """Binary-codec entry: one frame payload in, one complete
+        ready-to-send response *frame* out (the hot path returns the
+        memoized frame bytes with zero copies).  Never raises: decode
+        failures come back as structured errors in the same codec, so a
+        binary client sees the identical ``E_*`` taxonomy the JSON wire
+        reports."""
+        try:
+            request = msg.decode_request_binary(payload)
+        except ApiError as exc:
+            response: msg.ApiMessage = msg.ErrorResponse.from_error(exc)
+        else:
+            response = self.dispatch(request)
+        return msg.encode_response_frame(response)
+
+    def handle_binary_frame(self, raw: bytes) -> bytes:
+        """Like :meth:`handle_binary` but over one *complete* frame
+        (header + payload): the whole-frame decode memo makes a repeated
+        hot request two dict lookups end to end."""
+        try:
+            request = msg.decode_request_frame(raw)
+        except ApiError as exc:
+            response: msg.ApiMessage = msg.ErrorResponse.from_error(exc)
+        else:
+            response = self.dispatch(request)
+        return msg.encode_response_frame(response)
 
     # ------------------------------------------------------------------
     # HTTP mounting

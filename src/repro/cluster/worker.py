@@ -117,7 +117,8 @@ class ClusterWorker:
         # file before the shared address accepts any mutation.
         self.private_server = SocketServer(router, host=config.host,
                                            port=0,
-                                           workers=config.server_workers)
+                                           workers=config.server_workers,
+                                           binary=self.service.handle_binary)
         private_host, private_port = self.private_server.start()
         workers_dir = os.path.join(config.directory, WORKERS_DIR)
         os.makedirs(workers_dir, exist_ok=True)
@@ -134,7 +135,8 @@ class ClusterWorker:
         self.server = SocketServer(router, host=config.host,
                                    port=config.port,
                                    workers=config.server_workers,
-                                   reuse_port=True)
+                                   reuse_port=True,
+                                   binary=self.service.handle_binary)
         return self.server.start()
 
     def _tail_loop(self) -> None:

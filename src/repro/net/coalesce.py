@@ -1,4 +1,4 @@
-"""Request coalescing — group-commit for the authorization fast path.
+"""Request coalescing — adaptive group-commit for the authorization path.
 
 Under concurrent serving, many ``authorize`` requests are in flight at
 once.  Submitting each one individually fights the GIL and pays the
@@ -18,13 +18,26 @@ follower wakes as the next leader with the next accumulated batch.  An
 idle service therefore degenerates to exactly one kernel call per
 request (no waiting, no batching tax), while a loaded one amortizes —
 batch size tracks concurrency automatically.
+
+**Adaptivity** (the fig11 lesson): group commit only pays when the
+per-request guard work is worth amortizing.  A decision-cache hit costs
+~15µs; routing it through leader election, a GIL yield, and a condvar
+wake *costs more than the request itself*, which is how blind
+coalescing managed to lose to a plain worker pool on cheap workloads.
+The authorizer therefore tracks a per-route (operation, resource) EWMA
+of measured guard cost and the live queue depth, and merges a call into
+the group-commit path only when the modelled batch win —
+``cost × (queue depth + 1)`` — exceeds the leader/follower latency
+price.  Cheap requests bypass straight to ``kernel.authorize`` (still
+measured, so a route that turns expensive after a policy change swings
+back to batching); expensive ones coalesce exactly as before.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 class _Pending:
@@ -41,14 +54,28 @@ class _Pending:
 
 class CoalescingAuthorizer:
     """Merge concurrent ``authorize`` calls into ``authorize_many``
-    batches against one kernel.
+    batches against one kernel — when measurement says it pays.
 
     ``max_batch`` bounds how many requests one leader drains at a time
     (keeping worst-case leader latency bounded under extreme load).
+    ``adaptive`` enables the per-route cost model; with it off, every
+    call takes the group-commit path (the pre-adaptive behavior, kept
+    for comparison benchmarks).  ``latency_price_us`` is the modelled
+    cost of riding group commit instead of calling the kernel directly
+    — leader election, one scheduler hop, a condvar wake — which the
+    modelled batch win must beat.
     """
 
+    #: Routes tracked before the cost table resets wholesale (a pure
+    #: accelerator: losing it only means re-measuring).
+    ROUTE_CAPACITY = 4096
+    #: EWMA smoothing: one observation moves the estimate 30% of the way.
+    ALPHA = 0.3
+
     def __init__(self, kernel, max_batch: int = 256,
-                 yield_before_drive: bool = True):
+                 yield_before_drive: bool = True,
+                 adaptive: bool = True,
+                 latency_price_us: float = 100.0):
         self.kernel = kernel
         self.max_batch = max_batch
         #: Let the batch *form*: a pure-Python guard check never
@@ -62,6 +89,8 @@ class CoalescingAuthorizer:
         #: batch was a singleton) skips it, so coalescing costs nothing
         #: when there is nothing to coalesce.
         self.yield_before_drive = yield_before_drive
+        self.adaptive = adaptive
+        self.latency_price_us = latency_price_us
         #: Decaying evidence of concurrency: armed whenever a caller
         #: actually waits behind a leader or a batch of more than one
         #: forms, counted down by singleton batches.  While armed,
@@ -80,10 +109,15 @@ class CoalescingAuthorizer:
         self._cond = threading.Condition()
         self._pending: List[_Pending] = []
         self._busy = False
-        # Counters (read under no lock; they are diagnostics).
+        #: Per-route mean guard cost in µs (EWMA), guarded by _cond.
+        self._route_cost: Dict[Tuple[str, int], float] = {}
+        # Counters — mutated *and snapshotted* under _cond (stats()
+        # takes the lock too; lockless reads used to produce torn views
+        # like coalesced > calls - batches).
         self.calls = 0
         self.batches = 0
         self.coalesced = 0
+        self.bypassed = 0
         self.largest_batch = 0
 
     def authorize(self, subject_pid: int, operation: str, resource_id: int,
@@ -96,10 +130,39 @@ class CoalescingAuthorizer:
         any exception the kernel would have raised is re-raised in the
         submitting caller.
         """
-        entry = _Pending((subject_pid, operation, resource_id, bundle))
+        route = (operation, resource_id)
+        entry = None
         with self._cond:
             self.calls += 1
-            self._pending.append(entry)
+            if self.adaptive:
+                cost = self._route_cost.get(route)
+                if (cost is not None
+                        and cost * (len(self._pending) + 1)
+                        < self.latency_price_us):
+                    # The whole queued batch, merged, would amortize
+                    # less than group commit's latency price: serve
+                    # this call directly, off the group-commit path.
+                    self.bypassed += 1
+                    bypass = True
+                else:
+                    bypass = False
+            else:
+                bypass = False
+            if not bypass:
+                entry = _Pending((subject_pid, operation, resource_id,
+                                  bundle))
+                self._pending.append(entry)
+        if entry is None:
+            start = time.perf_counter()
+            result = self.kernel.authorize(subject_pid, operation,
+                                           resource_id, bundle)
+            elapsed_us = (time.perf_counter() - start) * 1e6
+            # Observed without re-taking _cond: the EWMA table is only
+            # dict get/set (atomic under the GIL), and a lost update is
+            # one dropped sample of a heuristic — not worth a second
+            # lock handoff per bypassed request at 16 workers.
+            self._observe(route, elapsed_us)
+            return result
         while True:
             with self._cond:
                 if self._busy:
@@ -132,9 +195,24 @@ class CoalescingAuthorizer:
 
     # ------------------------------------------------------------------
 
+    def _observe(self, route: Tuple[str, int], cost_us: float) -> None:
+        """Fold one measured per-request guard cost into the route's
+        EWMA.  Leaders call this under ``_cond``; bypassers call it
+        bare — the table only sees GIL-atomic dict operations, and a
+        racing update merely drops one sample."""
+        table = self._route_cost
+        prior = table.get(route)
+        if prior is None:
+            if len(table) >= self.ROUTE_CAPACITY:
+                table.clear()
+            table[route] = cost_us
+        else:
+            table[route] = prior + self.ALPHA * (cost_us - prior)
+
     def _drive(self, batch: List[_Pending]) -> None:
         """Run one batch through the kernel and publish the verdicts."""
         fell_back = False
+        start = time.perf_counter()
         try:
             results: Sequence = self.kernel.authorize_many(
                 [entry.request for entry in batch])
@@ -151,11 +229,18 @@ class CoalescingAuthorizer:
                     entry.result = self.kernel.authorize(*entry.request)
                 except BaseException as exc:  # noqa: BLE001
                     entry.error = exc
+        per_request_us = ((time.perf_counter() - start) * 1e6
+                          / max(len(batch), 1))
         with self._cond:
             self.batches += 1
             if not fell_back:
                 self.coalesced += len(batch) - 1
             self.largest_batch = max(self.largest_batch, len(batch))
+            for entry in batch:
+                # One drive shares its wall clock across the batch —
+                # exactly the amortized cost the bypass decision needs.
+                self._observe((entry.request[1], entry.request[2]),
+                              per_request_us)
             if len(batch) > 1:
                 self._concurrency_seen = 64
             elif self._concurrency_seen > 0:
@@ -175,9 +260,19 @@ class CoalescingAuthorizer:
 
     def stats(self) -> dict:
         """Diagnostics: calls, batches driven, requests that rode along
-        with a leader, and the largest batch observed."""
-        batches = self.batches or 1
-        return {"calls": self.calls, "batches": self.batches,
-                "coalesced": self.coalesced,
-                "largest_batch": self.largest_batch,
-                "mean_batch": round(self.calls / batches, 3)}
+        with a leader, adaptive bypasses, and the largest batch seen.
+
+        Taken under ``_cond`` so the snapshot is consistent — every
+        snapshot satisfies ``coalesced <= calls - bypassed - batches``
+        (each completed batch of size n contributes at most n-1 to
+        ``coalesced`` and 1 to ``batches``, out of ``calls`` arrivals).
+        """
+        with self._cond:
+            batches = self.batches or 1
+            batched_calls = self.calls - self.bypassed
+            return {"calls": self.calls, "batches": self.batches,
+                    "coalesced": self.coalesced,
+                    "bypassed": self.bypassed,
+                    "largest_batch": self.largest_batch,
+                    "routes": len(self._route_cost),
+                    "mean_batch": round(batched_calls / batches, 3)}

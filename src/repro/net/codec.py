@@ -1,0 +1,262 @@
+"""The binary wire codec: length-prefixed frames beside canonical JSON.
+
+Canonical JSON (see :mod:`repro.api.messages`) stays the compatibility
+and debugging form — every envelope remains reproducible with ``curl``
+and readable in a packet capture.  This module adds the *fast* form: a
+length-prefixed binary frame whose payload is a tagged, deterministic
+encoding of exactly the JSON-safe value tree the envelope already is.
+Nothing new is expressible — the two codecs are alternative spellings of
+the same envelope, which is what makes the differential guarantee
+("byte-identical decoded verdicts") checkable.
+
+Frame layout::
+
+    +------+----------------+------------------+
+    | NXW1 | u32 LE length  | payload (tagged) |
+    +------+----------------+------------------+
+
+The 4-byte magic is deliberate: no HTTP request line starts with
+``NXW1``, so a server can *sniff* each incoming frame and serve HTTP and
+binary traffic interleaved on one connection.  That makes negotiation
+(:mod:`repro.api.client` offers ``X-Nexus-Codec: binary`` on its first
+request) purely advisory — a client only switches after the server acks,
+and a server never needs per-connection codec state to stay correct.
+
+Value encoding is a minimal tagged scheme (think msgpack without the
+bit-packing cleverness — this is pure Python, so fewer branches beat
+denser bytes):
+
+    ``N`` None · ``T``/``F`` bool · ``I`` i64 · ``J`` big int (decimal)
+    ``D`` f64 · ``S`` str (u32 len + UTF-8) · ``B`` bytes (u32 len)
+    ``L`` list (u32 count) · ``M`` map (u32 count, sorted str keys)
+
+Map keys are sorted, mirroring canonical JSON: one value tree has one
+binary spelling, so byte-keyed memos upstream stay effective.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional, Tuple
+
+from repro.errors import AppError
+
+MAGIC = b"NXW1"
+HEADER_BYTES = 8  # magic + u32 LE payload length
+#: Same ceiling as the HTTP layer's MAX_BODY_BYTES — one misbehaving
+#: peer must not make the front end buffer without bound.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+
+class BinaryFramingError(AppError):
+    """The byte stream no longer aligns on binary frame boundaries."""
+
+
+# --------------------------------------------------------------------------
+# value codec
+# --------------------------------------------------------------------------
+
+def encode_value(value: Any) -> bytes:
+    """Deterministic tagged encoding of a JSON-safe value tree."""
+    out: list = []
+    _encode_into(value, out.append)
+    return b"".join(out)
+
+
+def _encode_into(value: Any, emit) -> None:
+    # Ordered by hot-path frequency: strings and ints dominate payloads.
+    if value is None:
+        emit(b"N")
+    elif value is True:
+        emit(b"T")
+    elif value is False:
+        emit(b"F")
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        emit(b"S")
+        emit(_U32.pack(len(data)))
+        emit(data)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            emit(b"I")
+            emit(_I64.pack(value))
+        else:
+            data = str(value).encode("ascii")
+            emit(b"J")
+            emit(_U32.pack(len(data)))
+            emit(data)
+    elif isinstance(value, float):
+        emit(b"D")
+        emit(_F64.pack(value))
+    elif isinstance(value, dict):
+        emit(b"M")
+        emit(_U32.pack(len(value)))
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise AppError(f"binary codec: map keys must be str, "
+                               f"got {type(key).__name__}")
+            data = key.encode("utf-8")
+            emit(b"S")
+            emit(_U32.pack(len(data)))
+            emit(data)
+            _encode_into(value[key], emit)
+    elif isinstance(value, (list, tuple)):
+        emit(b"L")
+        emit(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(item, emit)
+    elif isinstance(value, (bytes, bytearray)):
+        emit(b"B")
+        emit(_U32.pack(len(value)))
+        emit(bytes(value))
+    else:
+        raise AppError(f"binary codec: unencodable type "
+                       f"{type(value).__name__}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value tree; rejects trailing bytes."""
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise AppError(f"binary codec: {len(data) - offset} trailing "
+                       f"bytes after value")
+    return value
+
+
+def _decode_at(data: bytes, offset: int) -> Tuple[Any, int]:
+    try:
+        tag = data[offset:offset + 1]
+        if tag == b"S":
+            (length,) = _U32.unpack_from(data, offset + 1)
+            end = offset + 5 + length
+            if end > len(data):
+                raise AppError("binary codec: truncated string")
+            return data[offset + 5:end].decode("utf-8"), end
+        if tag == b"I":
+            (value,) = _I64.unpack_from(data, offset + 1)
+            return value, offset + 9
+        if tag == b"N":
+            return None, offset + 1
+        if tag == b"T":
+            return True, offset + 1
+        if tag == b"F":
+            return False, offset + 1
+        if tag == b"M":
+            (count,) = _U32.unpack_from(data, offset + 1)
+            offset += 5
+            mapping = {}
+            for _ in range(count):
+                key, offset = _decode_at(data, offset)
+                if not isinstance(key, str):
+                    raise AppError("binary codec: map key must be str")
+                mapping[key], offset = _decode_at(data, offset)
+            return mapping, offset
+        if tag == b"L":
+            (count,) = _U32.unpack_from(data, offset + 1)
+            if count > len(data):  # cheap bomb guard: 1 byte per item min
+                raise AppError("binary codec: list count exceeds payload")
+            offset += 5
+            items = []
+            for _ in range(count):
+                item, offset = _decode_at(data, offset)
+                items.append(item)
+            return items, offset
+        if tag == b"D":
+            (value,) = _F64.unpack_from(data, offset + 1)
+            return value, offset + 9
+        if tag == b"J":
+            (length,) = _U32.unpack_from(data, offset + 1)
+            end = offset + 5 + length
+            if end > len(data):
+                raise AppError("binary codec: truncated bigint")
+            return int(data[offset + 5:end].decode("ascii")), end
+        if tag == b"B":
+            (length,) = _U32.unpack_from(data, offset + 1)
+            end = offset + 5 + length
+            if end > len(data):
+                raise AppError("binary codec: truncated bytes")
+            return data[offset + 5:end], end
+    except struct.error as exc:
+        raise AppError(f"binary codec: truncated value: {exc}") from exc
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise AppError(f"binary codec: malformed value: {exc}") from exc
+    raise AppError(f"binary codec: unknown tag {tag!r} at byte {offset}")
+
+
+# --------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------
+
+def frame(payload: bytes) -> bytes:
+    """Wrap an encoded payload in the length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise BinaryFramingError(
+            f"binary frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    return MAGIC + _U32.pack(len(payload)) + payload
+
+
+def frame_length(buffer: bytes) -> Optional[int]:
+    """Total byte length of the first frame, or ``None`` if incomplete.
+
+    Raises :class:`BinaryFramingError` for a wrong magic or an oversized
+    declared length — the stream can no longer be trusted to align.
+    """
+    have = len(buffer)
+    if have < HEADER_BYTES:
+        probe = min(have, 4)
+        if buffer[:probe] != MAGIC[:probe]:
+            raise BinaryFramingError("bad binary frame magic")
+        return None
+    if buffer[:4] != MAGIC:
+        raise BinaryFramingError("bad binary frame magic")
+    (length,) = _U32.unpack_from(buffer, 4)
+    if length > MAX_FRAME_BYTES:
+        raise BinaryFramingError(
+            f"binary frame declares {length} bytes "
+            f"(cap {MAX_FRAME_BYTES})")
+    total = HEADER_BYTES + length
+    return total if have >= total else None
+
+
+def split_frame(buffer: bytes) -> Optional[Tuple[bytes, bytes]]:
+    """``(payload, rest)`` of the first complete frame, else ``None``."""
+    total = frame_length(buffer)
+    if total is None:
+        return None
+    return buffer[HEADER_BYTES:total], buffer[total:]
+
+
+def frame_payload(raw: bytes) -> bytes:
+    """Validate exactly one complete frame and return its payload."""
+    split = split_frame(raw)
+    if split is None:
+        raise BinaryFramingError(
+            f"incomplete binary frame ({len(raw)} bytes)")
+    payload, rest = split
+    if rest:
+        raise BinaryFramingError(
+            f"{len(rest)} trailing bytes after binary frame")
+    return payload
+
+
+def sniff(buffer: bytes) -> Optional[str]:
+    """Which framing starts this buffer: ``"binary"``, ``"http"``, or
+    ``None`` when the first bytes could still become the magic.
+
+    HTTP request lines start with a method token (``GET``, ``POST``,
+    ...) and responses with ``HTTP/``; none shares a prefix with
+    ``NXW1``, so four bytes always decide.
+    """
+    if not buffer:
+        return None
+    probe = min(len(buffer), 4)
+    if buffer[:probe] == MAGIC[:probe]:
+        return "binary" if probe == 4 else None
+    return "http"

@@ -1,26 +1,36 @@
-"""The socket serving runtime: a real stdlib HTTP server for the API.
+"""The socket serving runtime: an event-loop front end over a worker pool.
 
-Everything below is plain ``socket`` + ``threading`` — no asyncio, no
-third-party server — because the point is architectural, not
-exotic I/O: the paper's guard is "fast enough to interpose on every
+Everything below is plain ``socket`` + ``selectors`` + ``threading`` —
+no asyncio, no third-party server — because the point is architectural,
+not exotic I/O: the paper's guard is "fast enough to interpose on every
 operation", so the service boundary must hold up under many concurrent
 callers.  The runtime has two halves:
 
-* :class:`SocketServer` — accepts TCP connections and serves
-  ``Content-Length``-framed HTTP requests through an existing
-  :class:`~repro.net.http.Router` (normally one with a
-  :class:`~repro.api.service.NexusService` mounted).  Two execution
-  models, selectable per instance, exist *so the serving benchmark can
-  compare them*:
+* :class:`SocketServer` — accepts TCP connections and serves framed
+  requests through an existing :class:`~repro.net.http.Router`
+  (normally one with a :class:`~repro.api.service.NexusService`
+  mounted).  Two execution models, selectable per instance, exist *so
+  the serving benchmark can compare them*:
 
-  - **pool** (default): a fixed worker pool; each worker owns one
-    keep-alive connection at a time and serves requests off it until
-    the peer closes.  Framing via :func:`~repro.net.http.split_frame`
-    makes pipelined requests on one connection work by construction.
+  - **event loop + pool** (default): one front-end thread owns every
+    socket in a ``selectors`` loop — it accepts, reads, and splits the
+    byte stream into complete frames — and hands each frame to a fixed
+    worker pool.  Workers never block on idle sockets, so N workers
+    serve far more than N keep-alive connections (the old pool pinned
+    one worker per connection for its whole lifetime).  Frames from one
+    connection are dispatched strictly one at a time, so pipelined
+    requests still get their responses in order.
   - **thread-per-request**: the naive baseline — every connection gets
     a freshly spawned thread, one request is served, the connection is
     closed.  This is what "just add threads" buys, and what fig11
-    measures the pool + coalescing stack against.
+    measures the event-loop stack against.
+
+  The front end speaks two framings on the same port: Content-Length
+  HTTP (canonical JSON envelopes) and the length-prefixed binary frames
+  of :mod:`repro.net.codec`.  Each frame is sniffed by its first bytes
+  (no HTTP method starts with the binary magic), so a connection may
+  switch to binary mid-stream — which is exactly what a client does
+  after its ``X-Nexus-Codec: binary`` offer is acknowledged.
 
 * :class:`PersistentConnection` — the client half of connection reuse:
   one TCP connection, serially reused across requests, reconnecting
@@ -31,16 +41,22 @@ callers.  The runtime has two halves:
 
 from __future__ import annotations
 
+import selectors
 import socket
 import threading
-from queue import Empty, Queue
-from typing import Optional, Tuple
+from collections import deque
+from queue import Queue
+from typing import Callable, Optional, Tuple
 
 from repro.errors import AppError
+from repro.net import codec as binwire
 from repro.net.http import (HTTPResponse, Router, parse_request_cached,
                             split_frame)
 
 _RECV_CHUNK = 65536
+
+#: The per-connection codec negotiation header (offer and ack).
+CODEC_HEADER = "X-Nexus-Codec"
 
 
 class PersistentConnection:
@@ -51,6 +67,13 @@ class PersistentConnection:
     opened lazily, kept alive across calls, and re-established once per
     call if the server closed it in between (normal against a
     thread-per-request server, or after a server-side idle drop).
+
+    ``generation`` counts established connections (0 until the first
+    connect); ``reconnects`` counts *re*-establishments only, so a
+    healthy keep-alive run reports 0.  Transports use the generation to
+    scope per-connection negotiated state (a reconnect silently lands
+    on a fresh server conversation, so anything negotiated on the old
+    one is void).
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0):
@@ -62,19 +85,21 @@ class PersistentConnection:
         self._lock = threading.Lock()
         self.requests_sent = 0
         self.reconnects = 0
+        self.generation = 0
 
     # -- plumbing --------------------------------------------------------
 
-    def _ensure(self) -> tuple:
-        """The live socket, plus whether this call just opened it."""
+    def _ensure(self) -> socket.socket:
+        """The live socket, connecting if there is none."""
         if self._sock is None:
             self._sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout)
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._buffer = b""
-            self.reconnects += 1
-            return self._sock, True
-        return self._sock, False
+            if self.generation:
+                self.reconnects += 1
+            self.generation += 1
+        return self._sock
 
     def _teardown(self) -> None:
         if self._sock is not None:
@@ -85,9 +110,27 @@ class PersistentConnection:
             self._sock = None
         self._buffer = b""
 
+    def _split_any(self) -> Optional[Tuple[bytes, bytes]]:
+        """The first complete frame in either framing, else ``None``.
+
+        The server answers in the framing the request used, so the
+        client sniffs each response the same way the server sniffs each
+        request — no per-connection mode flag that a reconnect could
+        leave stale.
+        """
+        kind = binwire.sniff(self._buffer)
+        if kind is None:
+            return None
+        if kind == "binary":
+            total = binwire.frame_length(self._buffer)
+            if total is None:
+                return None
+            return self._buffer[:total], self._buffer[total:]
+        return split_frame(self._buffer)
+
     def _read_frame(self, sock: socket.socket) -> bytes:
         while True:
-            framed = split_frame(self._buffer)
+            framed = self._split_any()
             if framed is not None:
                 message, self._buffer = framed
                 return message
@@ -99,22 +142,25 @@ class PersistentConnection:
     # -- the wire --------------------------------------------------------
 
     def send(self, raw: bytes) -> bytes:
-        """One framed HTTP message out, one framed message back.
+        """One framed message out, one framed message back.
 
         Retries exactly once, and only when the failed attempt rode a
         *reused* connection and saw *no* response bytes — the classic
         stale keep-alive (the server dropped us between requests and
-        never saw this message).  A failure on a fresh connection, or
-        after response bytes arrived, is reported rather than retried:
-        the server may already have executed the request, and API
-        requests are not idempotent.
+        never saw this message).  A failure on a fresh connection
+        (including a refused reconnect), or after response bytes
+        arrived, is reported rather than retried: the server may
+        already have executed the request, and API requests are not
+        idempotent.
         """
         with self._lock:
             for _attempt in range(2):
-                fresh = False
+                # Decided before _ensure so a refused connect inside it
+                # is still attributed to a fresh connection.
+                fresh = self._sock is None
                 buffered = 0
                 try:
-                    sock, fresh = self._ensure()
+                    sock = self._ensure()
                     buffered = len(self._buffer)
                     sock.sendall(raw)
                     message = self._read_frame(sock)
@@ -136,12 +182,41 @@ class PersistentConnection:
             self._teardown()
 
 
+class _Connection:
+    """Front-end state for one event-loop-owned socket."""
+
+    __slots__ = ("sock", "fd", "buffer", "pending", "busy", "eof",
+                 "closing", "lock")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.buffer = b""
+        #: Complete frames (mode, payload) waiting for a worker, plus
+        #: at most one trailing ("…-error", exc) item when the stream
+        #: stopped framing.
+        self.pending: deque = deque()
+        #: True while a worker owns this connection (serving one frame).
+        #: The busy flag is the pipelining order guarantee: the next
+        #: frame is dispatched only after the previous response was
+        #: flushed.
+        self.busy = False
+        self.eof = False
+        self.closing = False
+        self.lock = threading.Lock()
+
+
 class SocketServer:
-    """A threaded HTTP server over one :class:`~repro.net.http.Router`.
+    """An event-loop HTTP/binary server over one
+    :class:`~repro.net.http.Router`.
 
     ``port=0`` binds an ephemeral port (read it back from
-    :attr:`address` after :meth:`start`).  Use as a context manager in
-    tests and benchmarks::
+    :attr:`address` after :meth:`start`).  ``binary`` is the optional
+    binary-codec dispatcher (frame payload bytes in, a complete
+    ready-to-send response frame out — normally
+    :meth:`repro.api.service.NexusService.handle_binary`);
+    without one the server is JSON-only and never acks a codec offer.
+    Use as a context manager in tests and benchmarks::
 
         with SocketServer(service.router()) as server:
             host, port = server.address
@@ -151,7 +226,8 @@ class SocketServer:
     def __init__(self, router: Router, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 8,
                  thread_per_request: bool = False, backlog: int = 128,
-                 reuse_port: bool = False):
+                 reuse_port: bool = False,
+                 binary: Optional[Callable[[bytes], bytes]] = None):
         self.router = router
         self.host = host
         self.port = port
@@ -163,16 +239,25 @@ class SocketServer:
         #: between their listeners — the cluster runtime's pre-fork
         #: serving mode (see :mod:`repro.cluster`).
         self.reuse_port = reuse_port
+        self.binary = binary
         self._listener: Optional[socket.socket] = None
         self._threads: list = []
         self._ephemeral: list = []
-        self._accept_thread: Optional[threading.Thread] = None
-        self._conn_queue: "Queue[Optional[socket.socket]]" = Queue()
+        self._loop_thread: Optional[threading.Thread] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._waker_r: Optional[socket.socket] = None
+        self._waker_w: Optional[socket.socket] = None
+        self._work_queue: "Queue[Optional[tuple]]" = Queue()
+        #: Loop-thread mailbox: connections whose registration state
+        #: must change (close, or re-pump after a worker finished).
+        self._notes: deque = deque()
+        self._conns: dict = {}
         self._stopping = threading.Event()
         self._live_lock = threading.Lock()
         self._live_conns: set = set()
         self.connections_accepted = 0
         self.requests_served = 0
+        self.binary_served = 0
         self._stats_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
@@ -198,24 +283,34 @@ class SocketServer:
         listener.listen(self.backlog)
         self._listener = listener
         self._stopping.clear()
-        # A previous stop() may have left unconsumed shutdown sentinels
-        # (workers that exited via the stop-flag path never took
-        # theirs); drain them or they would kill the fresh pool.
-        while True:
-            try:
-                self._conn_queue.get_nowait()
-            except Empty:
-                break
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="nexus-accept", daemon=True)
-        self._accept_thread.start()
+        self._work_queue = Queue()
+        self._notes = deque()
+        self._conns = {}
         if not self.thread_per_request:
+            # Non-blocking: a peer that resets between readiness and
+            # accept() must not stall the whole front end.
+            listener.setblocking(False)
+            self._selector = selectors.DefaultSelector()
+            self._waker_r, self._waker_w = socket.socketpair()
+            self._waker_r.setblocking(False)
+            self._waker_w.setblocking(False)
+            self._selector.register(self._waker_r, selectors.EVENT_READ,
+                                    "waker")
+            self._selector.register(listener, selectors.EVENT_READ,
+                                    "listener")
+            self._loop_thread = threading.Thread(
+                target=self._event_loop, name="nexus-loop", daemon=True)
+            self._loop_thread.start()
             for index in range(self.workers):
                 thread = threading.Thread(
                     target=self._worker_loop,
                     name=f"nexus-worker-{index}", daemon=True)
                 thread.start()
                 self._threads.append(thread)
+        else:
+            self._loop_thread = threading.Thread(
+                target=self._accept_loop, name="nexus-accept", daemon=True)
+            self._loop_thread.start()
         return self.address
 
     def stop(self) -> None:
@@ -223,60 +318,80 @@ class SocketServer:
 
         Draining, not dropping: live connections get a read-side
         half-close (``SHUT_RD``), which leaves already-received bytes
-        readable and the write side open.  A worker mid-burst therefore
-        serves every pipelined frame it has buffered, sends every framed
-        response, and only then reads EOF and closes — a ``close()``
-        here instead used to abandon buffered frames and could tear a
-        response off the wire mid-send.
+        readable and the write side open.  The event loop therefore
+        reads every pipelined frame a peer managed to send before the
+        stop, workers serve all of them in order, and each connection
+        closes only once its last response is flushed and its stream
+        reads EOF — a ``close()`` here instead used to abandon buffered
+        frames and could tear a response off the wire mid-send.
 
         The joins are unbounded on purpose: after ``SHUT_RD`` every
-        serve loop is guaranteed to reach EOF once its in-flight request
-        finishes, however slow that request is (a long proof check, a
-        snapshot compaction on the syscall path).  A join timeout here
-        used to cold-close such a connection out from under its worker,
-        tearing the response mid-send — the exact failure the drain
-        exists to prevent.
+        connection is guaranteed to reach EOF once its in-flight
+        request finishes, however slow that request is (a long proof
+        check, a snapshot compaction on the syscall path).  A join
+        timeout here used to cold-close such a connection out from
+        under its worker, tearing the response mid-send — the exact
+        failure the drain exists to prevent.
         """
         self._stopping.set()
         if self._listener is not None:
+            try:
+                # shutdown() before close(): closing an fd does not
+                # wake a thread already blocked in accept() (the
+                # thread-per-request accept loop), a half-close does.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
             self._listener = None
-        if self._accept_thread is not None:
-            # No new connections may join the live set after this (the
-            # closed listener makes accept() raise immediately).
-            self._accept_thread.join(timeout=2.0)
-            self._accept_thread = None
         with self._live_lock:
             draining = list(self._live_conns)
             ephemeral = list(self._ephemeral)
             self._ephemeral = []
-        for conn in draining:
+        for sock in draining:
             try:
-                conn.shutdown(socket.SHUT_RD)
+                sock.shutdown(socket.SHUT_RD)
             except OSError:
                 pass
+        self._wake()
+        if self._loop_thread is not None:
+            # The event loop exits once every connection has drained to
+            # EOF and closed; the accept loop exits on the closed
+            # listener.  Unbounded for the drain-contract reason above.
+            self._loop_thread.join()
+            self._loop_thread = None
         for _ in self._threads:
-            self._conn_queue.put(None)
-        # Pool workers first drain every queued connection (each one
-        # already half-closed above), then take their sentinel and exit;
-        # thread-per-request handlers finish their single request.
+            self._work_queue.put(None)
         for thread in self._threads:
             thread.join()
         self._threads = []
         for thread in ephemeral:
             thread.join()
-        # Every connection was owned by a now-joined thread and closed
-        # in its serve loop; anything still here is a bookkeeping leak,
-        # not a live conversation — safe to close cold.
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            self._selector = None
+        for waker in (self._waker_r, self._waker_w):
+            if waker is not None:
+                try:
+                    waker.close()
+                except OSError:
+                    pass
+        self._waker_r = self._waker_w = None
+        # Every connection was drained and closed by the loop/workers;
+        # anything still here is a bookkeeping leak, not a live
+        # conversation — safe to close cold.
         with self._live_lock:
             leftovers = list(self._live_conns)
             self._live_conns.clear()
-        for conn in leftovers:
+        for sock in leftovers:
             try:
-                conn.close()
+                sock.close()
             except OSError:
                 pass
 
@@ -287,7 +402,301 @@ class SocketServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # -- accept / dispatch ----------------------------------------------
+    # -- the event loop (front-end thread) -------------------------------
+
+    def _wake(self) -> None:
+        waker = self._waker_w
+        if waker is not None:
+            try:
+                waker.send(b"\x01")
+            except (OSError, ValueError):
+                pass
+
+    def _event_loop(self) -> None:
+        """Own every socket: accept, read, frame-split, dispatch.
+
+        Only this thread touches the selector and only this thread
+        reads from connection sockets, so reads can stay blocking —
+        the selector already proved each ``recv`` will not block.
+        Workers write responses from their own threads (the busy flag
+        makes them the sole writer per connection at any moment).
+        """
+        selector = self._selector
+        while True:
+            try:
+                events = selector.select(timeout=0.5)
+            except OSError:
+                # A fd closed out from under the selector (stop() closed
+                # the listener, or a test dropped a live socket); retire
+                # dead registrations and carry on.
+                self._prune_dead()
+                events = []
+            for key, _mask in events:
+                if key.data == "waker":
+                    self._drain_waker()
+                elif key.data == "listener":
+                    self._on_accept()
+                else:
+                    self._on_readable(key.data)
+            if not events and self._conns:
+                # Idle tick: retire sockets that died without an event
+                # (closed out from under the loop — epoll silently drops
+                # such fds, so nothing else would ever notice).
+                self._prune_dead()
+            self._process_notes()
+            if self._stopping.is_set() and not self._conns:
+                return
+
+    def _prune_dead(self) -> None:
+        selector = self._selector
+        for key in list(selector.get_map().values()):
+            fileobj = key.fileobj
+            try:
+                dead = fileobj.fileno() < 0
+            except (OSError, ValueError):
+                dead = True
+            if dead:
+                try:
+                    selector.unregister(fileobj)
+                except (KeyError, ValueError, OSError):
+                    pass
+                if isinstance(key.data, _Connection):
+                    key.data.eof = True
+                    self._pump(key.data)
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._waker_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _on_accept(self) -> None:
+        listener = self._listener
+        if listener is None:
+            return
+        try:
+            sock, _peer = listener.accept()
+        except OSError:
+            return  # nothing actually pending, or closed by stop()
+        sock.setblocking(True)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._stats_lock:
+            self.connections_accepted += 1
+        conn = _Connection(sock)
+        self._conns[conn.fd] = conn
+        with self._live_lock:
+            self._live_conns.add(sock)
+        try:
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+        except (KeyError, ValueError, OSError):
+            self._close_conn(conn)
+
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_CHUNK)
+        except OSError:
+            chunk = b""
+        if not chunk:
+            conn.eof = True
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            self._pump(conn)
+            return
+        conn.buffer += chunk
+        self._split_frames(conn)
+        self._pump(conn)
+
+    def _split_frames(self, conn: _Connection) -> None:
+        """Move every complete frame out of the byte buffer.
+
+        Each frame is sniffed independently: HTTP and binary frames may
+        interleave on one connection (that is how the codec switch after
+        a negotiation ack works without per-connection mode state).  A
+        stream that stops framing queues one terminal error item — the
+        worker chain reports it *after* the responses it still owes,
+        then closes.
+        """
+        while True:
+            kind = binwire.sniff(conn.buffer)
+            if kind is None:
+                return
+            try:
+                if kind == "binary":
+                    if self.binary is None:
+                        raise AppError("binary framing is not enabled "
+                                       "on this server")
+                    framed = binwire.split_frame(conn.buffer)
+                    mode = "binary"
+                else:
+                    framed = split_frame(conn.buffer)
+                    mode = "http"
+            except AppError as exc:
+                conn.pending.append(
+                    ("binary-error" if kind == "binary" else "http-error",
+                     exc))
+                conn.buffer = b""
+                return
+            if framed is None:
+                return
+            payload, conn.buffer = framed
+            conn.pending.append((mode, payload))
+
+    def _pump(self, conn: _Connection) -> None:
+        """Dispatch the next pending frame unless a worker is active."""
+        with conn.lock:
+            if conn.busy or conn.closing:
+                return
+            if not conn.pending:
+                if conn.eof:
+                    conn.closing = True
+                else:
+                    return
+            else:
+                conn.busy = True
+                item = conn.pending.popleft()
+                self._work_queue.put((conn, item))
+                return
+        self._note(("close", conn))
+
+    def _note(self, note: tuple) -> None:
+        self._notes.append(note)
+        if threading.current_thread() is not self._loop_thread:
+            self._wake()
+
+    def _process_notes(self) -> None:
+        while True:
+            try:
+                action, conn = self._notes.popleft()
+            except IndexError:
+                return
+            if action == "close":
+                self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._conns.pop(conn.fd, None)
+        with self._live_lock:
+            self._live_conns.discard(conn.sock)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # -- workers ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._work_queue.get()
+            if task is None:
+                return
+            conn, item = task
+            self._handle_item(conn, item)
+
+    def _handle_item(self, conn: _Connection, item: tuple) -> None:
+        mode, payload = item
+        keep = True
+        try:
+            if mode == "http":
+                keep = self._serve_http(conn, payload)
+            elif mode == "binary":
+                keep = self._serve_binary(conn, payload)
+            elif mode == "http-error":
+                self._send_safely(conn.sock, HTTPResponse(
+                    status=400, body=str(payload).encode(),
+                    headers={"Connection": "close"}))
+                keep = False
+            else:  # binary-error
+                self._send_binary_error(conn.sock, payload)
+                keep = False
+        except AppError as exc:
+            # Broken framing or an unparseable head: report once, then
+            # drop the connection — the stream can no longer be trusted
+            # to align on message boundaries.
+            self._send_safely(conn.sock, HTTPResponse(
+                status=400, body=str(exc).encode(),
+                headers={"Connection": "close"}))
+            keep = False
+        except Exception as exc:  # noqa: BLE001 — workers must survive
+            self._send_safely(conn.sock, HTTPResponse(
+                status=500, body=f"internal error: {exc}".encode(),
+                headers={"Connection": "close"}))
+            keep = False
+        with conn.lock:
+            conn.busy = False
+            if not keep:
+                conn.closing = True
+                close_now = True
+            else:
+                close_now = False
+        if close_now:
+            self._note(("close", conn))
+        else:
+            # Chain the next pipelined frame directly — the loop
+            # already split everything it read while we were busy.
+            self._pump(conn)
+
+    def _serve_http(self, conn: _Connection, message: bytes) -> bool:
+        """Parse, dispatch, respond; True to keep the connection open."""
+        request = parse_request_cached(message)
+        try:
+            response = self.router.dispatch(request)
+        except Exception as exc:  # noqa: BLE001 — the connection must live
+            response = HTTPResponse(status=500,
+                                    body=f"internal error: {exc}".encode())
+        if (self.binary is not None
+                and request.headers.get(CODEC_HEADER) == "binary"):
+            # Ack the codec offer: the client may switch this
+            # connection to binary frames from its next request on.
+            response.headers[CODEC_HEADER] = "binary"
+        keep = not request.wants_close()
+        if not keep:
+            response.headers["Connection"] = "close"
+        # Count before flushing the response: a client that synchronizes
+        # on receiving the reply must never observe a stale counter.
+        with self._stats_lock:
+            self.requests_served += 1
+        self._send_safely(conn.sock, response)
+        return keep
+
+    def _serve_binary(self, conn: _Connection, payload: bytes) -> bool:
+        try:
+            out = self.binary(payload)
+        except Exception as exc:  # noqa: BLE001 — answer in-framing
+            self._send_binary_error(conn.sock, exc)
+            return False
+        with self._stats_lock:
+            self.requests_served += 1
+            self.binary_served += 1
+        try:
+            conn.sock.sendall(out)
+        except OSError:
+            return False
+        return True
+
+    def _send_binary_error(self, sock: socket.socket, exc: Exception) -> None:
+        """A last-gasp structured error in binary framing."""
+        from repro.api import messages as msg
+        from repro.api.errors import bad_request
+        response = msg.ErrorResponse.from_error(bad_request(str(exc)))
+        try:
+            sock.sendall(msg.encode_response_frame(response))
+        except OSError:
+            pass
+
+    @staticmethod
+    def _send_safely(sock: socket.socket, response: HTTPResponse) -> None:
+        try:
+            sock.sendall(response.to_bytes())
+        except OSError:
+            pass
+
+    # -- thread-per-request (the naive baseline) --------------------------
 
     def _accept_loop(self) -> None:
         listener = self._listener
@@ -301,70 +710,44 @@ class SocketServer:
                 self.connections_accepted += 1
             with self._live_lock:
                 self._live_conns.add(conn)
-            if self.thread_per_request:
-                thread = threading.Thread(target=self._serve_connection,
-                                          args=(conn, True),
-                                          name="nexus-ephemeral",
-                                          daemon=True)
-                with self._live_lock:
-                    # Tracked so stop() can drain them like pool workers;
-                    # pruned as they finish so the list stays bounded.
-                    self._ephemeral = [t for t in self._ephemeral
-                                       if t.is_alive()]
-                    self._ephemeral.append(thread)
-                thread.start()
-            else:
-                self._conn_queue.put(conn)
+            thread = threading.Thread(target=self._serve_one_shot,
+                                      args=(conn,),
+                                      name="nexus-ephemeral",
+                                      daemon=True)
+            with self._live_lock:
+                # Tracked so stop() can drain them like pool workers;
+                # pruned as they finish so the list stays bounded.
+                self._ephemeral = [t for t in self._ephemeral
+                                   if t.is_alive()]
+                self._ephemeral.append(thread)
+            thread.start()
 
-    def _worker_loop(self) -> None:
-        while True:
-            try:
-                conn = self._conn_queue.get(timeout=0.5)
-            except Empty:
-                if self._stopping.is_set():
-                    return
-                continue
-            if conn is None:
-                return
-            self._serve_connection(conn, one_shot=False)
-
-    # -- the per-connection serve loop -----------------------------------
-
-    def _serve_connection(self, conn: socket.socket,
-                          one_shot: bool) -> None:
-        """Serve framed requests off one connection until it drains.
-
-        ``one_shot`` is the thread-per-request model: exactly one
-        request, then close — no keep-alive, the way a naive server
-        treats every connection as disposable.
-
-        Shutdown is EOF-driven, not flag-driven: :meth:`stop` half-closes
-        the read side, so this loop keeps serving every complete frame
-        it can still read (pipelined bursts drain fully) and exits when
-        ``recv`` returns empty.  Gating the loop on the stop flag used
-        to abandon buffered frames whose requests had already arrived.
-        """
+    def _serve_one_shot(self, conn: socket.socket) -> None:
+        """Exactly one HTTP request, then close — no keep-alive, the way
+        a naive server treats every connection as disposable."""
         buffer = b""
         try:
-            while True:
-                framed = split_frame(buffer)
-                while framed is None:
-                    try:
-                        chunk = conn.recv(_RECV_CHUNK)
-                    except OSError:
-                        return
-                    if not chunk:
-                        return  # peer closed (or stop() half-closed us)
-                    buffer += chunk
-                    framed = split_frame(buffer)
-                message, buffer = framed
-                keep = self._serve_one(conn, message)
-                if one_shot or not keep:
+            framed = split_frame(buffer)
+            while framed is None:
+                try:
+                    chunk = conn.recv(_RECV_CHUNK)
+                except OSError:
                     return
+                if not chunk:
+                    return  # peer closed (or stop() half-closed us)
+                buffer += chunk
+                framed = split_frame(buffer)
+            message, buffer = framed
+            request = parse_request_cached(message)
+            try:
+                response = self.router.dispatch(request)
+            except Exception as exc:  # noqa: BLE001
+                response = HTTPResponse(
+                    status=500, body=f"internal error: {exc}".encode())
+            with self._stats_lock:
+                self.requests_served += 1
+            self._send_safely(conn, response)
         except AppError as exc:
-            # Broken framing (bad Content-Length, trailing garbage):
-            # report once, then drop the connection — the stream can no
-            # longer be trusted to align on message boundaries.
             self._send_safely(conn, HTTPResponse(
                 status=400, body=str(exc).encode(),
                 headers={"Connection": "close"}))
@@ -376,31 +759,6 @@ class SocketServer:
             except OSError:
                 pass
 
-    def _serve_one(self, conn: socket.socket, message: bytes) -> bool:
-        """Parse, dispatch, respond; True to keep the connection open."""
-        request = parse_request_cached(message)
-        try:
-            response = self.router.dispatch(request)
-        except Exception as exc:  # noqa: BLE001 — the connection must live
-            response = HTTPResponse(status=500,
-                                    body=f"internal error: {exc}".encode())
-        keep = not request.wants_close()
-        if not keep:
-            response.headers["Connection"] = "close"
-        # Count before flushing the response: a client that synchronizes
-        # on receiving the reply must never observe a stale counter.
-        with self._stats_lock:
-            self.requests_served += 1
-        self._send_safely(conn, response)
-        return keep
-
-    @staticmethod
-    def _send_safely(conn: socket.socket, response: HTTPResponse) -> None:
-        try:
-            conn.sendall(response.to_bytes())
-        except OSError:
-            pass
-
 
 def serve_api(service, host: str = "127.0.0.1", port: int = 0,
               workers: int = 8, coalesce: bool = True,
@@ -410,14 +768,17 @@ def serve_api(service, host: str = "127.0.0.1", port: int = 0,
 
     Returns the started :class:`SocketServer`; the caller owns
     :meth:`~SocketServer.stop`.  ``coalesce`` turns on the service's
-    request-coalescing front-end (see :mod:`repro.net.coalesce`);
-    ``reuse_port`` lets sibling worker processes share the address.
+    adaptive request-coalescing front-end (see
+    :mod:`repro.net.coalesce`); ``reuse_port`` lets sibling worker
+    processes share the address.  The server accepts both wire codecs:
+    canonical JSON over HTTP and the negotiated binary framing.
     """
     from repro.api.service import API_PREFIX
     if coalesce:
         service.enable_coalescing()
     router = service.router(prefix if prefix is not None else API_PREFIX)
     server = SocketServer(router, host=host, port=port, workers=workers,
-                          reuse_port=reuse_port)
+                          reuse_port=reuse_port,
+                          binary=service.handle_binary)
     server.start()
     return server

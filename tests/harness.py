@@ -49,7 +49,7 @@ REMOTE_SEED = 6006
 #: peer under.
 PEER_ALIAS = "site-a"
 
-WORLD_KINDS = ("direct", "http", "cross-kernel")
+WORLD_KINDS = ("direct", "http", "http-binary", "cross-kernel")
 
 
 class Identity:
@@ -185,6 +185,24 @@ class HttpWorld(DirectWorld):
         self.client = NexusClient.over_http(self.service)
 
 
+class HttpBinaryWorld(DirectWorld):
+    """The same service behind the length-prefixed binary codec.
+
+    Every request is encoded as a binary frame, decoded by the
+    service's binary entry point, and the response frame decoded back —
+    so holding this world to the direct/http worlds' bytes proves the
+    binary codec is a pure re-framing: same typed messages, same
+    verdicts, nothing gained or lost relative to canonical JSON.
+    """
+
+    kind = "http-binary"
+
+    def __init__(self):
+        World.__init__(self)
+        self.service = NexusService(NexusKernel(key_seed=HOME_SEED))
+        self.client = NexusClient.over_binary(self.service)
+
+
 class CrossKernelWorld(World):
     """Two federated kernels: credentials are minted remotely.
 
@@ -286,18 +304,20 @@ class ClusterWorld(World):
 def make_world(kind) -> World:
     """Build one world by kind name."""
     worlds = {"direct": DirectWorld, "http": HttpWorld,
+              "http-binary": HttpBinaryWorld,
               "cross-kernel": CrossKernelWorld}
     return worlds[kind]()
 
 
 def run_differential(scenario):
-    """Run a scenario in all three worlds and hold them to one answer.
+    """Run a scenario in every world and hold them to one answer.
 
     ``scenario(world)`` must return a JSON-safe document of everything
-    observable (verdicts, explanations, counters).  Asserts the direct
-    and http documents are equal *raw* (byte-identical wire behaviour)
-    and all three are equal after principal normalization; returns the
-    direct document for further scenario-specific assertions.
+    observable (verdicts, explanations, counters).  Asserts the direct,
+    http and http-binary documents are equal *raw* (byte-identical
+    decoded wire behaviour across both codecs) and all worlds are equal
+    after principal normalization; returns the direct document for
+    further scenario-specific assertions.
     """
     documents = {}
     normalized = {}
@@ -308,8 +328,11 @@ def run_differential(scenario):
         normalized[kind] = world.normalize(document)
     assert documents["direct"] == documents["http"], (
         "direct and http transports disagree")
+    assert documents["direct"] == documents["http-binary"], (
+        "the binary codec changed decoded wire behaviour")
     assert normalized["direct"] == normalized["http"] == \
-        normalized["cross-kernel"], "cross-kernel path disagrees"
+        normalized["http-binary"] == normalized["cross-kernel"], \
+        "cross-kernel path disagrees"
     return documents["direct"]
 
 

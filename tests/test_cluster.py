@@ -551,7 +551,9 @@ class TestForkedFleet:
             assert after is not None, "client never got an answer back"
             assert (after.allow, after.reason) \
                 == (before.allow, before.reason)
-            assert client.transport.connection.reconnects >= 2
+            # At least one genuine *re*-establishment (the first
+            # connect no longer counts as a reconnect).
+            assert client.transport.connection.reconnects >= 1
 
             # The supervisor restarts the victim; the reborn worker
             # must serve the same verdict from the shared WAL.

@@ -19,7 +19,9 @@ quantity is interleaving-independent by construction.
 """
 
 import random
+import sys
 import threading
+import time
 
 import pytest
 
@@ -343,6 +345,184 @@ class TestServiceSessionStress:
         assert outcomes[0] == "raised"  # the bad request still fails
         for index in range(1, 4):
             assert outcomes[index] is True  # batchmates keep verdicts
+
+    def test_coalescer_stats_snapshots_are_consistent(self):
+        """Regression (this PR's bugfix): ``stats()`` used to read the
+        counters without the lock, so a snapshot taken mid-batch could
+        tear — ``calls`` from before a burst, ``coalesced`` from after
+        it — and report impossibilities like
+        ``coalesced > calls - batches``.  Snapshots are now taken under
+        ``_cond``, so every one satisfies the conservation law: each
+        completed batch of size n contributes n to ``calls``, 1 to
+        ``batches`` and at most n-1 to ``coalesced``, and bypasses
+        contribute to ``calls`` and ``bypassed`` only."""
+        from repro.net.coalesce import CoalescingAuthorizer
+        kernel = NexusKernel()
+        owner = kernel.create_process("owner")
+        readers = [kernel.create_process(f"s{i}") for i in range(THREADS)]
+        resource = kernel.resources.create("/coal/snap", "file",
+                                           owner.principal)
+        kernel.sys_setgoal(owner.pid, resource.resource_id, "read",
+                           f"{owner.path} says ok(?Subject)")
+        coalescer = CoalescingAuthorizer(kernel)
+        stop = threading.Event()
+        violations = []
+        # Shrink the GIL quantum so the snapshot reads interleave with
+        # counter updates aggressively — pre-fix, this tears a snapshot
+        # within milliseconds instead of needing a lucky preemption.
+        switch_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-4)
+
+        def snapshotter():
+            # .get: the pre-fix stats had no bypass counter — the laws
+            # below must fail there for the torn read, not a KeyError.
+            while not stop.is_set():
+                stats = coalescer.stats()
+                bypassed = stats.get("bypassed", 0)
+                budget = stats["calls"] - bypassed - stats["batches"]
+                if stats["coalesced"] > budget:
+                    violations.append(("conservation", stats))
+                    return
+                # Internal consistency: the derived mean must be
+                # computed from the *same* counter values the snapshot
+                # reports — a torn read shows as a mean built from a
+                # fresher calls count than the one in the dict.
+                expected = round((stats["calls"] - bypassed)
+                                 / (stats["batches"] or 1), 3)
+                if stats["mean_batch"] != expected:
+                    violations.append(("mean", stats))
+                    return
+
+        watcher = threading.Thread(target=snapshotter)
+        watcher.start()
+        try:
+            def work(index):
+                reader = readers[index]
+                for _ in range(OPS):
+                    coalescer.authorize(reader.pid, "read",
+                                        resource.resource_id, None)
+
+            _spawn(THREADS, work)
+        finally:
+            stop.set()
+            watcher.join()
+            sys.setswitchinterval(switch_interval)
+        assert not violations, f"torn stats snapshot: {violations[0]}"
+        final = coalescer.stats()
+        assert final["calls"] == THREADS * OPS
+        assert (final["coalesced"] <= final["calls"]
+                - final.get("bypassed", 0) - final["batches"])
+
+    def test_stats_never_reads_a_half_applied_update(self):
+        """The deterministic face of the same bug: a leader updates the
+        counters *under* ``_cond``, so a snapshot taken while that
+        update is half-applied must wait for the lock, not return the
+        inconsistent intermediate state (pre-fix, ``stats()`` read the
+        fields lockless and happily reported ``coalesced > calls``)."""
+        from repro.net.coalesce import CoalescingAuthorizer
+        coalescer = CoalescingAuthorizer(NexusKernel())
+        coalescer._cond.acquire()
+        try:
+            # A writer mid-batch: calls not yet counted up to the
+            # coalesced total it is about to publish.
+            coalescer.calls = 10
+            coalescer.batches = 1
+            coalescer.coalesced = 50
+            snapshots = []
+            reader = threading.Thread(
+                target=lambda: snapshots.append(coalescer.stats()))
+            reader.start()
+            reader.join(timeout=0.3)
+            blocked = reader.is_alive()
+            # The "batch" completes: the counters are consistent again.
+            coalescer.calls = 60
+            coalescer.coalesced = 50
+        finally:
+            coalescer._cond.release()
+        reader.join(timeout=5.0)
+        assert not reader.is_alive()
+        assert blocked, "stats() read the counters without the lock"
+        assert snapshots[0]["calls"] == 60
+        assert snapshots[0]["coalesced"] == 50
+
+
+class _MeteredKernel:
+    """A kernel stand-in with a dialable per-request guard cost —
+    deterministic raw material for the adaptive-coalescing tests."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+        self.single_calls = 0
+        self.batch_calls = 0
+
+    def _work(self):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return True
+
+    def authorize(self, _pid, _operation, _resource_id, _bundle=None):
+        self.single_calls += 1
+        return self._work()
+
+    def authorize_many(self, requests):
+        self.batch_calls += 1
+        return [self._work() for _ in requests]
+
+
+class TestAdaptiveCoalescing:
+    def test_cheap_route_bypasses_group_commit(self):
+        from repro.net.coalesce import CoalescingAuthorizer
+        kernel = _MeteredKernel(delay_s=0.0)  # a decision-cache hit
+        coalescer = CoalescingAuthorizer(kernel, latency_price_us=100.0)
+        for _ in range(50):
+            assert coalescer.authorize(1, "read", 7) is True
+        stats = coalescer.stats()
+        # The first call pays the batch path (no cost estimate yet);
+        # once the route measures far below the latency price, serial
+        # cheap traffic goes straight to the kernel.
+        assert stats["bypassed"] >= 40
+        assert stats["calls"] == 50
+        assert stats["routes"] == 1
+
+    def test_expensive_route_stays_on_group_commit(self):
+        from repro.net.coalesce import CoalescingAuthorizer
+        kernel = _MeteredKernel(delay_s=0.0005)  # a real guard proof
+        coalescer = CoalescingAuthorizer(kernel, latency_price_us=100.0)
+        for _ in range(30):
+            assert coalescer.authorize(1, "read", 7) is True
+        stats = coalescer.stats()
+        assert stats["bypassed"] == 0  # 500µs never beats the price
+        assert stats["batches"] == 30  # serial → singleton batches
+
+    def test_route_that_turns_expensive_swings_back_to_batching(self):
+        from repro.net.coalesce import CoalescingAuthorizer
+        kernel = _MeteredKernel(delay_s=0.0)
+        coalescer = CoalescingAuthorizer(kernel, latency_price_us=100.0)
+        for _ in range(20):
+            coalescer.authorize(1, "read", 7)
+        assert coalescer.stats()["bypassed"] > 0
+        # A policy change makes the route's guard genuinely slow; the
+        # bypass path keeps measuring, so the EWMA climbs back over
+        # the price and traffic returns to group commit.
+        kernel.delay_s = 0.0005
+        before = coalescer.stats()["batches"]
+        for _ in range(20):
+            coalescer.authorize(1, "read", 7)
+        after = coalescer.stats()
+        assert after["batches"] > before
+        # Only the few EWMA-lag calls right after the flip still
+        # bypassed; the rest of the slow traffic batched.
+        assert after["bypassed"] <= 25
+
+    def test_adaptive_off_batches_everything(self):
+        from repro.net.coalesce import CoalescingAuthorizer
+        kernel = _MeteredKernel(delay_s=0.0)
+        coalescer = CoalescingAuthorizer(kernel, adaptive=False)
+        for _ in range(25):
+            coalescer.authorize(1, "read", 7)
+        stats = coalescer.stats()
+        assert stats["bypassed"] == 0
+        assert stats["batches"] == 25
 
     def test_transfer_is_atomic_under_racing_threads(self):
         """A label can end up in exactly one store, never two, when

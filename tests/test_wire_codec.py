@@ -1,0 +1,316 @@
+"""The binary wire codec and its negotiation with the JSON wire.
+
+Three layers under test:
+
+* the **value codec** (`repro.net.codec`) — a deterministic tagged
+  encoding of the same JSON-safe envelope trees canonical JSON
+  carries, with loud failures for anything mis-framed;
+* the **envelope fast path** (`repro.api.messages`) — frame-level
+  encode/decode with memoization that must never change decoded
+  results;
+* the **negotiation matrix** over real sockets — a JSON client against
+  a binary-capable server, a binary client against a JSON-only server,
+  and mid-connection garbage in each framing, all ending in the same
+  stable ``E_*`` taxonomy / HTTP status behaviour.
+
+The differential harness (`tests/harness.py`) separately holds the
+http-binary world to byte-identical decoded documents across whole
+scenarios; the tests here pin the mechanics those guarantees rest on.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.api import NexusClient, NexusService, messages as msg
+from repro.api.errors import ApiError, E_BAD_REQUEST, E_NO_SUCH_SESSION
+from repro.errors import AppError
+from repro.net import codec as binwire
+from repro.net.http import HTTPRequest, parse_response
+from repro.net.server import SocketServer, serve_api
+
+
+class TestValueCodec:
+    CASES = [
+        None, True, False, 0, -1, 7, 2**63 - 1, -(2**63),
+        2**80, -(2**90),  # beyond i64: decimal bigint spelling
+        0.0, -1.5, 3.141592653589793,
+        "", "hello", "ünïcødé ✓", "a" * 10_000,
+        b"", b"\x00\xffraw", bytearray(b"ba"),
+        [], [1, "two", None, [3.5, True]],
+        {}, {"k": "v"}, {"nested": {"list": [1, {"deep": None}]}},
+    ]
+
+    def test_round_trips_everything_json_can_say(self):
+        for value in self.CASES:
+            encoded = binwire.encode_value(value)
+            decoded = binwire.decode_value(encoded)
+            if isinstance(value, bytearray):
+                assert decoded == bytes(value)
+            elif isinstance(value, tuple):
+                assert decoded == list(value)
+            else:
+                assert decoded == value
+                assert type(decoded) is type(value) or isinstance(
+                    value, bool)
+
+    def test_encoding_is_deterministic_with_sorted_keys(self):
+        a = binwire.encode_value({"b": 1, "a": 2, "c": 3})
+        b = binwire.encode_value({"c": 3, "a": 2, "b": 1})
+        assert a == b  # one tree, one spelling — memos rely on this
+
+    def test_tuple_spells_like_list(self):
+        assert (binwire.encode_value((1, 2))
+                == binwire.encode_value([1, 2]))
+
+    def test_non_string_map_keys_are_rejected(self):
+        with pytest.raises(AppError, match="keys must be str"):
+            binwire.encode_value({1: "x"})
+
+    def test_unencodable_types_are_rejected(self):
+        with pytest.raises(AppError, match="unencodable"):
+            binwire.encode_value(object())
+
+    def test_trailing_bytes_are_rejected(self):
+        encoded = binwire.encode_value(42)
+        with pytest.raises(AppError, match="trailing"):
+            binwire.decode_value(encoded + b"X")
+
+    def test_unknown_tag_is_loud(self):
+        with pytest.raises(AppError, match="unknown tag"):
+            binwire.decode_value(b"Z")
+
+    def test_truncations_are_loud_at_every_cut(self):
+        encoded = binwire.encode_value(
+            {"s": "text", "n": [1, 2.5, None], "big": 2**70})
+        for cut in range(len(encoded)):
+            with pytest.raises(AppError):
+                binwire.decode_value(encoded[:cut])
+
+    def test_list_count_bomb_is_rejected(self):
+        # A tiny payload claiming four billion items must fail before
+        # allocating anything.
+        bomb = b"L" + struct.pack("<I", 2**32 - 1)
+        with pytest.raises(AppError, match="count exceeds"):
+            binwire.decode_value(bomb)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = binwire.encode_value({"x": 1})
+        raw = binwire.frame(payload)
+        assert raw.startswith(binwire.MAGIC)
+        assert binwire.frame_length(raw) == len(raw)
+        assert binwire.frame_payload(raw) == payload
+
+    def test_incomplete_frames_return_none(self):
+        raw = binwire.frame(binwire.encode_value([1, 2, 3]))
+        for cut in (1, 4, binwire.HEADER_BYTES, len(raw) - 1):
+            assert binwire.frame_length(raw[:cut]) is None
+            assert binwire.split_frame(raw[:cut]) is None
+
+    def test_pipelined_frames_split_cleanly(self):
+        first = binwire.frame(binwire.encode_value("one"))
+        second = binwire.frame(binwire.encode_value("two"))
+        payload, rest = binwire.split_frame(first + second)
+        assert payload == binwire.encode_value("one")
+        assert rest == second
+
+    def test_bad_magic_is_loud_even_on_partial_buffers(self):
+        with pytest.raises(binwire.BinaryFramingError, match="magic"):
+            binwire.frame_length(b"NXWOOPS")
+        with pytest.raises(binwire.BinaryFramingError, match="magic"):
+            binwire.frame_length(b"XY")
+
+    def test_oversized_declared_length_is_loud(self):
+        huge = binwire.MAGIC + struct.pack(
+            "<I", binwire.MAX_FRAME_BYTES + 1)
+        with pytest.raises(binwire.BinaryFramingError, match="cap"):
+            binwire.frame_length(huge)
+
+    def test_frame_payload_rejects_trailing_garbage(self):
+        raw = binwire.frame(b"ok")
+        with pytest.raises(binwire.BinaryFramingError, match="trailing"):
+            binwire.frame_payload(raw + b"!")
+
+    def test_sniff_decides_on_four_bytes(self):
+        assert binwire.sniff(b"") is None
+        assert binwire.sniff(b"N") is None      # could become the magic
+        assert binwire.sniff(b"NXW") is None
+        assert binwire.sniff(b"NXW1") == "binary"
+        assert binwire.sniff(b"POST /x") == "http"
+        assert binwire.sniff(b"G") == "http"    # can't become NXW1
+        assert binwire.sniff(b"HTTP/1.1 200") == "http"
+
+
+class TestEnvelopeFastPath:
+    def test_request_frame_decodes_to_equal_request(self):
+        request = msg.AuthorizeRequest(
+            session="tok", operation="read", resource=7, proof=None,
+            wallet=False)
+        raw = msg.encode_request_frame(request)
+        decoded = msg.decode_request_binary(binwire.frame_payload(raw))
+        assert decoded.to_dict() == request.to_dict()
+        # The memoized hot path returns identical bytes.
+        assert msg.encode_request_frame(request) == raw
+
+    def test_response_frame_decodes_to_equal_response(self):
+        response = msg.AuthorizeResponse(
+            verdict=msg.Verdict(allow=True, cacheable=True,
+                                reason="allow"))
+        raw = msg.encode_response_frame(response)
+        decoded = msg.decode_response_binary(binwire.frame_payload(raw))
+        assert decoded.to_dict() == response.to_dict()
+
+    def test_decode_rejects_non_envelope_payloads(self):
+        with pytest.raises(ApiError) as excinfo:
+            msg.decode_request_binary(binwire.encode_value([1, 2]))
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_error_response_rides_binary_frames(self):
+        from repro.api.errors import bad_request
+        response = msg.ErrorResponse.from_error(bad_request("nope"))
+        raw = msg.encode_response_frame(response)
+        decoded = msg.decode_response_binary(binwire.frame_payload(raw))
+        assert isinstance(decoded, msg.ErrorResponse)
+        assert decoded.code == E_BAD_REQUEST
+
+
+def _drive_session(client):
+    """One allow + one deny + one error, returned as a document."""
+    session = client.open_session("owner")
+    resource = session.create_resource("/codec/obj")
+    session.set_goal(resource, "read",
+                     f"{session.principal} says ok(?Subject)")
+    allowed = session.authorize("write", resource)   # owner default
+    denied = session.authorize("read", resource)     # no proof
+    try:
+        client.call(msg.SessionStatsRequest(session="bogus"),
+                    msg.SessionStatsResponse)
+        error_code = None
+    except ApiError as exc:
+        error_code = exc.code
+    return {"allow": (allowed.allow, allowed.reason),
+            "deny": (denied.allow, denied.reason),
+            "error": error_code}
+
+
+class TestNegotiationMatrix:
+    def test_binary_client_upgrades_on_binary_server(self):
+        service = NexusService()
+        server = serve_api(service, workers=2, coalesce=False)
+        try:
+            host, port = server.address
+            json_doc = _drive_session(
+                NexusClient.connect(host, port, codec="json"))
+            served_before = server.binary_served
+            assert served_before == 0  # JSON client never offered
+            binary_doc = _drive_session(
+                NexusClient.connect(host, port, codec="binary"))
+            assert binary_doc == json_doc
+            assert server.binary_served > served_before
+        finally:
+            server.stop()
+
+    def test_binary_client_falls_back_on_json_only_server(self):
+        # A server that never enabled the binary codec: the offer
+        # header is ignored, no ack comes back, and the client keeps
+        # speaking canonical JSON — same verdicts, zero binary frames.
+        service = NexusService()
+        server = SocketServer(service.router(), workers=2)
+        assert server.binary is None
+        host, port = server.start()
+        try:
+            doc = _drive_session(
+                NexusClient.connect(host, port, codec="binary"))
+            assert doc["allow"][0] is True
+            assert doc["deny"][0] is False
+            assert doc["error"] == E_NO_SUCH_SESSION
+            assert server.binary_served == 0
+        finally:
+            server.stop()
+
+    def test_error_codes_match_across_codecs(self):
+        service = NexusService()
+        json_doc = _drive_session(NexusClient.over_http(service))
+        binary_doc = _drive_session(
+            NexusClient.over_binary(NexusService()))
+        assert json_doc["error"] == binary_doc["error"] \
+            == E_NO_SUCH_SESSION
+
+    def test_garbage_in_http_framing_gets_400_and_close(self):
+        service = NexusService()
+        server = serve_api(service, workers=1, coalesce=False)
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(b"POST /x HTTP/1.1\r\n"
+                             b"Content-Length: zz\r\n\r\n")
+                response = parse_response(sock.recv(65536))
+                assert response.status == 400
+                assert sock.recv(65536) == b""  # hung up
+        finally:
+            server.stop()
+
+    def test_garbage_after_binary_magic_gets_error_frame_and_close(self):
+        service = NexusService()
+        server = serve_api(service, workers=1, coalesce=False)
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port)) as sock:
+                # Valid magic, absurd declared length: framing is dead.
+                sock.sendall(binwire.MAGIC
+                             + struct.pack("<I",
+                                           binwire.MAX_FRAME_BYTES + 9))
+                raw = sock.recv(65536)
+                payload = binwire.frame_payload(raw)
+                decoded = msg.decode_response_binary(payload)
+                assert isinstance(decoded, msg.ErrorResponse)
+                assert decoded.code == E_BAD_REQUEST
+                assert sock.recv(65536) == b""  # hung up
+        finally:
+            server.stop()
+
+    def test_undecodable_binary_payload_keeps_connection(self):
+        # A well-framed frame whose payload is not an envelope: the
+        # stream still aligns, so the server answers the stable error
+        # and keeps serving the connection.
+        service = NexusService()
+        server = serve_api(service, workers=1, coalesce=False)
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(binwire.frame(binwire.encode_value("junk")))
+                buffer = b""
+                while binwire.frame_length(buffer) is None:
+                    chunk = sock.recv(65536)
+                    assert chunk
+                    buffer += chunk
+                decoded = msg.decode_response_binary(
+                    binwire.frame_payload(buffer))
+                assert isinstance(decoded, msg.ErrorResponse)
+                assert decoded.code == E_BAD_REQUEST
+                # Still alive: a well-formed HTTP request round-trips.
+                probe = HTTPRequest("GET", "/api/v1/", {}).to_bytes()
+                sock.sendall(probe)
+                assert parse_response(sock.recv(65536)).status == 200
+        finally:
+            server.stop()
+
+    def test_binary_frame_to_json_only_server_is_refused_loudly(self):
+        service = NexusService()
+        server = SocketServer(service.router(), workers=1)
+        host, port = server.start()
+        try:
+            with socket.create_connection((host, port)) as sock:
+                sock.sendall(binwire.frame(binwire.encode_value({})))
+                raw = sock.recv(65536)
+                decoded = msg.decode_response_binary(
+                    binwire.frame_payload(raw))
+                assert isinstance(decoded, msg.ErrorResponse)
+                assert decoded.code == E_BAD_REQUEST
+                assert "not enabled" in decoded.message
+                assert sock.recv(65536) == b""
+        finally:
+            server.stop()
