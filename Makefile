@@ -41,11 +41,14 @@ bench-cluster:
 
 ## the IAM experiments at smoke budget: fig13 (authority-backed vs
 ## cached static proofs) and fig14 (tenants x zipf x policy churn);
-## emits BENCH_authority.json and BENCH_iam.json
+## emits BENCH_authority.json and BENCH_iam.json, then proves the
+## incremental-compilation row landed with a >1x speedup
 bench-iam:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -q \
 	    benchmarks/test_fig13_authority.py \
 	    benchmarks/test_fig14_iam_macro.py
+	$(PYTHON) tools/check_bench_row.py BENCH_iam.json \
+	    "incremental recompile ratio" --min 1.0
 
 ## execute every python snippet in the documentation
 docs-check:

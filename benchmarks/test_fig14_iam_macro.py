@@ -18,10 +18,21 @@ verdicts.  A side measurement prices the alternative — rebuilding the
 wallet proof on every call — to show why proof caching is the macro
 regime worth gating.
 
-Gated (full mode): p99 latency under churn stays bounded, and the
-decision-cache hit rate under churn stays above the floor — zipf skew
-means the hot tenants re-warm the cache faster than churn can flush
-it.  Rows land in ``BENCH_iam.json``.
+Each churn iteration re-puts one role document (a new version) and
+re-applies.  With incremental compilation only that role recompiles —
+the other ROLES-1 are digest-reused — and its goals come out
+byte-identical, so nothing installs, no goal epoch moves, and the
+global policy epoch (which the monolithic compiler flushed on every
+apply) never bumps: cached verdicts and cached proofs survive churn.
+A dedicated measurement prices the tentpole directly: one single-role
+apply (a genuinely edited role this time) versus a forced full
+recompile at the same binding count.
+
+Gated (full mode): p99 latency under churn stays within a small factor
+of steady-state, the decision-cache hit rate under churn stays above
+the floor (only the toggled shard's tenants ever re-miss), and the
+full/single recompile ratio clears its floor.  Rows land in
+``BENCH_iam.json``.
 """
 
 import os
@@ -49,27 +60,44 @@ WALLET_OPS = 8 if SMOKE else 60
 CHURN_PAUSE_S = 0.02
 ZIPF_S = 1.1
 
+RATIO_SAMPLES = 3 if SMOKE else 5
+
 #: Full-mode acceptance bars (skipped in smoke, rows still recorded).
-#: The churn tail is apply-bound: requests queue briefly behind each
-#: recompile of the full role set (~1000 bindings), so the p99 ceiling
-#: bounds compile+install latency as seen by a tenant mid-churn.
-P99_CHURN_CEILING_US = 250_000.0
-HIT_RATE_CHURN_FLOOR = 0.5
+#: With incremental compilation the churn tail is no longer
+#: apply-bound: a churn apply recompiles one role and touches one
+#: goal epoch, so tenant-visible p99 must stay within a small factor
+#: of the quiescent run, the cache must stay warm (only the toggled
+#: shard re-misses), and a single-role apply must beat a forced full
+#: recompile of all ROLES roles by a wide margin.
+P99_CHURN_FACTOR = 2.0
+HIT_RATE_CHURN_FLOOR = 0.8
+RATIO_FLOOR = 5.0
 
 reporting.experiment(
     EXP, "IAM macro: tenants x zipf x policy churn (socket server)",
-    "repro-original experiment; cached proofs + zipf-hot tenants keep "
-    "the decision cache warm even while role churn flushes it every "
-    "apply; p99 stays bounded under churn")
+    "repro-original experiment; incremental compilation keeps role "
+    "churn cheap — each apply recompiles one role and touches one "
+    "goal epoch, cached verdicts survive, p99 stays near steady and "
+    "a single-role apply beats a full recompile by the gated ratio")
 
 _RESULTS = {}
 
 
-def _role_document(index: int) -> dict:
-    """Role ``index`` grants read over its own resource shard."""
-    return {"name": f"tier-{index:02d}", "statements": [
-        {"sid": "s1", "effect": "Allow", "actions": ["read"],
-         "resources": [f"/fig14/shard-{index:02d}/*"]}]}
+def _role_document(index: int, churn: bool = False) -> dict:
+    """Role ``index`` grants read over its own resource shard.
+
+    ``churn=True`` adds a duplicate Allow statement (the recompile
+    ratio measurement uses it): the compiled goal text changes (one
+    more disjunct per principal), so an apply must recompile this role
+    and reinstall its pair — a genuine single-role edit, not a no-op
+    re-put."""
+    statements = [{"sid": "s1", "effect": "Allow", "actions": ["read"],
+                   "resources": [f"/fig14/shard-{index:02d}/*"]}]
+    if churn:
+        statements.append(
+            {"sid": "churn", "effect": "Allow", "actions": ["read"],
+             "resources": [f"/fig14/shard-{index:02d}/*"]})
+    return {"name": f"tier-{index:02d}", "statements": statements}
 
 
 class _TenantWorld:
@@ -143,6 +171,10 @@ def _drive(world: _TenantWorld, label: str, churn: bool):
     latencies, lock = [], threading.Lock()
     stop_churn = threading.Event()
     applies = [0]
+    apply_samples = []
+
+    kernel = world.service.kernel
+    rebuilds = [0]
 
     def run(seed: int):
         client = NexusClient.connect(host, port)
@@ -150,6 +182,7 @@ def _drive(world: _TenantWorld, label: str, churn: bool):
             rng = random.Random(seed)
             sessions = {}
             mine = []
+            my_rebuilds = 0
             picks = _zipf_ranks(rng, len(world.tenants), OPS_PER_DRIVER)
             barrier.wait()
             for pick in picks:
@@ -161,21 +194,46 @@ def _drive(world: _TenantWorld, label: str, churn: bool):
                     sessions[token] = session
                 start = time.perf_counter()
                 verdict = session.authorize("read", resource, proof=proof)
+                # The paper's deployment model: a cached proof is
+                # replayed until the goal underneath it moves (churn
+                # widened this shard's goal text), then rebuilt once
+                # and re-cached.  The rebuild is part of the latency a
+                # tenant really sees mid-churn.
+                attempts = 0
+                while not verdict.allow and attempts < 3:
+                    res_obj = kernel.resources.lookup(resource)
+                    bundle = kernel_wallet_bundle(kernel, pid, "read",
+                                                  res_obj)
+                    proof = codec.encode_bundle(bundle)
+                    world.tenants[pick][4] = proof
+                    verdict = session.authorize("read", resource,
+                                                proof=proof)
+                    my_rebuilds += 1
+                    attempts += 1
                 mine.append((time.perf_counter() - start) * 1e6)
                 assert verdict.allow, verdict.reason
             with lock:
                 latencies.extend(mine)
+                rebuilds[0] += my_rebuilds
         finally:
             client.close()
 
     def churn_loop():
-        # Policy churn: re-put and re-apply role documents round-robin.
-        # Every apply recompiles the whole role set and bumps the
-        # policy epoch — the decision cache starts cold each time.
+        # Policy churn, the control-plane refresh pattern: re-put and
+        # re-apply role documents round-robin (same shape the seed
+        # benchmark drove).  Every put is a new role version, so each
+        # apply must recompile that role — but the other ROLES-1 are
+        # digest-reused, the recompiled goals come out byte-identical
+        # (KEEP: no install, no epoch movement), and the global policy
+        # epoch never bumps.  Cached verdicts and cached proofs all
+        # survive; the apply cost a tenant can observe is one role's
+        # compile.  Each apply is timed as the wire sees it.
         index = 0
         while not stop_churn.is_set():
             world.admin.put_role(_role_document(index % ROLES))
+            start = time.perf_counter()
             world.admin.iam_apply()
+            apply_samples.append((time.perf_counter() - start) * 1e6)
             applies[0] += 1
             index += 1
             stop_churn.wait(CHURN_PAUSE_S)
@@ -209,6 +267,11 @@ def _drive(world: _TenantWorld, label: str, churn: bool):
         "p99": _percentile(latencies, 0.99),
         "hit_rate": hit_rate,
         "applies": applies[0],
+        "rebuilds": rebuilds[0],
+        "apply_p50": (_percentile(apply_samples, 0.50)
+                      if apply_samples else 0.0),
+        "apply_p99": (_percentile(apply_samples, 0.99)
+                      if apply_samples else 0.0),
     }
     return _RESULTS[label]
 
@@ -263,6 +326,14 @@ def test_under_churn(world):
                      "fraction")
     reporting.record(EXP, "policy applies during drive",
                      result["applies"], "applies")
+    reporting.record(EXP, "apply p50 under churn", result["apply_p50"],
+                     "us", note="wire-observed single-role applies")
+    reporting.record(EXP, "apply p99 under churn", result["apply_p99"],
+                     "us")
+    reporting.record(EXP, "proof rebuilds under churn",
+                     result["rebuilds"], "rebuilds",
+                     note="goal texts are stable across re-applies, so "
+                          "cached proofs should never go stale")
     assert result["applies"] >= 1, "churn loop never applied"
 
 
@@ -294,24 +365,79 @@ def test_wallet_rebuild_comparison(world):
                           "proofs amortize away")
 
 
+def test_recompile_ratio(world):
+    """Price the tentpole directly: a single-role apply versus a forced
+    full recompile of all ROLES roles, at the same binding count.
+
+    Measured kernel-side (the server is in-process) so the ratio is
+    compile+plan+install cost, not wire overhead.  Each sample edits
+    role 0 first — both modes always have one genuinely changed role
+    to install, the difference is purely how much *recompiles*."""
+    from repro.iam import Role
+
+    kernel = world.service.kernel
+    single, full = [], []
+    for sample in range(RATIO_SAMPLES):
+        kernel.iam.put_role(
+            Role.from_dict(_role_document(0, churn=sample % 2 == 0)))
+        start = time.perf_counter()
+        result = kernel.iam.apply(world.admin.pid)
+        single.append((time.perf_counter() - start) * 1e6)
+        assert result.roles_compiled == 1
+        assert result.roles_reused == ROLES - 1
+
+        kernel.iam.put_role(
+            Role.from_dict(_role_document(0, churn=sample % 2 == 1)))
+        start = time.perf_counter()
+        result = kernel.iam.apply(world.admin.pid, force_full=True)
+        full.append((time.perf_counter() - start) * 1e6)
+        assert result.roles_compiled == ROLES
+
+    ratio = _percentile(full, 0.50) / _percentile(single, 0.50)
+    _RESULTS["ratio"] = ratio
+    reporting.record(EXP, "single-role apply",
+                     _percentile(single, 0.50), "us",
+                     note=f"{TENANTS} bindings, 1/{ROLES} roles "
+                          "recompiled")
+    reporting.record(EXP, "full recompile apply",
+                     _percentile(full, 0.50), "us",
+                     note=f"forced cold compile of all {ROLES} roles")
+    reporting.record(EXP, "incremental recompile ratio", ratio, "x",
+                     note="full / single-role apply time")
+    assert ratio > 0
+
+
 def test_iam_macro_acceptance_bars(world):
-    """Gate p99 latency and cache hit rate under churn (full mode)."""
+    """Gate churn p99 (vs steady), cache hit rate under churn, and the
+    full/single recompile ratio (full mode)."""
+    steady = _RESULTS.get("steady")
     churn = _RESULTS.get("churn")
-    assert churn is not None, "run after test_under_churn"
+    ratio = _RESULTS.get("ratio")
+    assert steady is not None and churn is not None, \
+        "run after test_steady_state and test_under_churn"
+    assert ratio is not None, "run after test_recompile_ratio"
+    p99_bar = P99_CHURN_FACTOR * steady["p99"]
     reporting.record(
-        EXP, "p99-under-churn bar", P99_CHURN_CEILING_US, "us",
-        note=f"observed {churn['p99']:,.0f}")
+        EXP, "p99-under-churn bar", p99_bar, "us",
+        note=f"{P99_CHURN_FACTOR}x steady p99; observed "
+             f"{churn['p99']:,.0f}")
     reporting.record(
         EXP, "hit-rate-under-churn bar", HIT_RATE_CHURN_FLOOR,
         "fraction", note=f"observed {churn['hit_rate']:.3f}")
+    reporting.record(
+        EXP, "incremental-ratio bar", RATIO_FLOOR, "x",
+        note=f"observed {ratio:.1f}")
     if SMOKE:
         pytest.skip("smoke mode: bars recorded, not gated")
-    assert churn["p99"] < P99_CHURN_CEILING_US, (
-        f"p99 under churn {churn['p99']:,.0f}us exceeds the "
-        f"{P99_CHURN_CEILING_US:,.0f}us ceiling")
+    assert churn["p99"] < p99_bar, (
+        f"p99 under churn {churn['p99']:,.0f}us exceeds "
+        f"{P99_CHURN_FACTOR}x steady p99 ({p99_bar:,.0f}us)")
     assert churn["hit_rate"] >= HIT_RATE_CHURN_FLOOR, (
         f"cache hit rate under churn {churn['hit_rate']:.3f} below "
         f"the {HIT_RATE_CHURN_FLOOR} floor")
+    assert ratio >= RATIO_FLOOR, (
+        f"full/single recompile ratio {ratio:.1f}x below the "
+        f"{RATIO_FLOOR}x floor")
 
 
 def test_emit_bench_artifact():

@@ -1317,13 +1317,15 @@ class SessionStatsResponse(ApiResponse):
     denied: int = 0
     errors: int = 0
     cache: Dict[str, Any] = field(default_factory=dict)
+    iam: Dict[str, Any] = field(default_factory=dict)
 
     KIND = "session_stats_result"
 
     def payload(self):
         return {"session": self.session, "requests": dict(self.requests),
                 "allowed": self.allowed, "denied": self.denied,
-                "errors": self.errors, "cache": dict(self.cache)}
+                "errors": self.errors, "cache": dict(self.cache),
+                "iam": dict(self.iam)}
 
     @classmethod
     def from_payload(cls, payload):
@@ -1337,7 +1339,9 @@ class SessionStatsResponse(ApiResponse):
                    errors=_get(payload, "errors", (int,),
                                required=False, default=0),
                    cache=_get(payload, "cache", (dict,),
-                              required=False, default={}))
+                              required=False, default={}),
+                   iam=_get(payload, "iam", (dict,),
+                            required=False, default={}))
 
 
 @dataclass
@@ -1355,13 +1359,14 @@ class InfoResponse(ApiResponse):
     sessions: int
     cache: Dict[str, Any] = field(default_factory=dict)
     platform: Dict[str, Any] = field(default_factory=dict)
+    iam: Dict[str, Any] = field(default_factory=dict)
 
     KIND = "info_result"
 
     def payload(self):
         return {"version": self.version, "boot_id": self.boot_id,
                 "sessions": self.sessions, "cache": dict(self.cache),
-                "platform": dict(self.platform)}
+                "platform": dict(self.platform), "iam": dict(self.iam)}
 
     @classmethod
     def from_payload(cls, payload):
@@ -1371,7 +1376,9 @@ class InfoResponse(ApiResponse):
                    cache=_get(payload, "cache", (dict,),
                               required=False, default={}),
                    platform=_get(payload, "platform", (dict,),
-                                 required=False, default={}))
+                                 required=False, default={}),
+                   iam=_get(payload, "iam", (dict,),
+                            required=False, default={}))
 
 
 @dataclass
@@ -1632,6 +1639,10 @@ class IamApplyResponse(ApiResponse):
     cleared: int = 0
     unchanged: int = 0
     epoch_bumps: int = 0
+    roles_compiled: int = 0
+    roles_reused: int = 0
+    sets_changed: int = 0
+    lock_hold_us: int = 0
 
     KIND = "iam_apply_result"
 
@@ -1639,7 +1650,11 @@ class IamApplyResponse(ApiResponse):
         return {"version": self.version, "roles": dict(self.roles),
                 "denies": self.denies, "set_count": self.set_count,
                 "cleared": self.cleared, "unchanged": self.unchanged,
-                "epoch_bumps": self.epoch_bumps}
+                "epoch_bumps": self.epoch_bumps,
+                "roles_compiled": self.roles_compiled,
+                "roles_reused": self.roles_reused,
+                "sets_changed": self.sets_changed,
+                "lock_hold_us": self.lock_hold_us}
 
     @classmethod
     def from_payload(cls, payload):
@@ -1659,7 +1674,15 @@ class IamApplyResponse(ApiResponse):
                    unchanged=_get(payload, "unchanged", (int,),
                                   required=False, default=0),
                    epoch_bumps=_get(payload, "epoch_bumps", (int,),
-                                    required=False, default=0))
+                                    required=False, default=0),
+                   roles_compiled=_get(payload, "roles_compiled", (int,),
+                                       required=False, default=0),
+                   roles_reused=_get(payload, "roles_reused", (int,),
+                                     required=False, default=0),
+                   sets_changed=_get(payload, "sets_changed", (int,),
+                                     required=False, default=0),
+                   lock_hold_us=_get(payload, "lock_hold_us", (int,),
+                                     required=False, default=0))
 
 
 @dataclass

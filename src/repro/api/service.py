@@ -607,7 +607,11 @@ class NexusService:
             version=result.version, roles=dict(result.roles),
             denies=result.denies, set_count=result.set_count,
             cleared=result.cleared, unchanged=result.unchanged,
-            epoch_bumps=result.epoch_bumps)
+            epoch_bumps=result.epoch_bumps,
+            roles_compiled=result.roles_compiled,
+            roles_reused=result.roles_reused,
+            sets_changed=result.sets_changed,
+            lock_hold_us=result.lock_hold_us)
 
     def _iam_simulate(self, _session: Session,
                       request: msg.IamSimulateRequest
@@ -689,14 +693,16 @@ class NexusService:
         return msg.SessionStatsResponse(
             session=session.token, requests=dict(session.stats),
             allowed=session.allowed, denied=session.denied,
-            errors=session.errors, cache=self._cache_snapshot())
+            errors=session.errors, cache=self._cache_snapshot(),
+            iam=self.kernel.iam.stats())
 
     def _info(self, _session, _request: msg.InfoRequest) -> msg.InfoResponse:
         return msg.InfoResponse(version=self.VERSION,
                                 boot_id=self.kernel.boot.boot_id(),
                                 sessions=len(self._sessions),
                                 cache=self._cache_snapshot(),
-                                platform=self.kernel.platform_identity())
+                                platform=self.kernel.platform_identity(),
+                                iam=self.kernel.iam.stats())
 
     def _storage_stats(self, _session, _request: msg.StorageStatsRequest
                        ) -> msg.StorageStatsResponse:

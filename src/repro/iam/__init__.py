@@ -7,15 +7,17 @@ authority-backed condition leaves.  See ``docs/iam.md``.
 """
 
 from repro.iam.engine import (CLOCK_PORT, POLICY_SET, QUOTA_PORT,
-                              CompiledIam, DenyEntry, IamApplyResult,
-                              IamEngine, SimulationResult,
-                              derive_enforcement, use_statement)
+                              ROLE_SET_PREFIX, SHARED_SET, CompiledIam,
+                              DenyEntry, IamApplyResult, IamEngine,
+                              SimulationResult, derive_enforcement,
+                              role_set_name, use_statement)
 from repro.iam.model import (ANY_ACTION, CONDITION_KINDS, EFFECTS,
                              Condition, Role, Statement)
 
 __all__ = [
     "ANY_ACTION", "CLOCK_PORT", "CONDITION_KINDS", "EFFECTS",
-    "POLICY_SET", "QUOTA_PORT", "CompiledIam", "Condition", "DenyEntry",
-    "IamApplyResult", "IamEngine", "Role", "SimulationResult",
-    "Statement", "derive_enforcement", "use_statement",
+    "POLICY_SET", "QUOTA_PORT", "ROLE_SET_PREFIX", "SHARED_SET",
+    "CompiledIam", "Condition", "DenyEntry", "IamApplyResult",
+    "IamEngine", "Role", "SimulationResult", "Statement",
+    "derive_enforcement", "role_set_name", "use_statement",
 ]

@@ -4,17 +4,29 @@ One :class:`IamEngine` rides on each kernel (``kernel.iam``), owning
 
 * the versioned store of :class:`~repro.iam.model.Role` documents and
   the ordered principal→role *bindings*;
-* the **compiler** from those documents down to the policy plane: Allow
-  statements become per-(resource, operation) NAL goals — a balanced
-  OR-tree over each bound principal's ``use_role`` assertion, conjoined
-  with any condition leaves — installed through the
-  :class:`~repro.policy.engine.PolicyEngine` as versions of one policy
-  set named ``"iam"`` (plan/apply/rollback and journaling come free);
+* the **incremental compiler** from those documents down to the policy
+  plane: Allow statements become per-(resource, operation) NAL goals —
+  a balanced OR-tree over each bound principal's ``use_role``
+  assertion, conjoined with any condition leaves.  Compilation is
+  keyed *per role* on a digest of the role's inputs (document version,
+  bound principals, the concrete resource set), so an apply recompiles
+  only roles whose digest changed and reuses the interned formula
+  trees of everything else;
+* the **per-role policy sets**: each role's single-owner goals install
+  as one :class:`~repro.policy.engine.PolicyEngine` set named
+  ``iam/<role>``; pairs several roles contribute to land in the shared
+  set ``iam/~shared``.  An apply therefore plans and installs only the
+  touched role's goals and bumps only that role's (op, resource)
+  epochs — tenants bound to untouched roles keep their cached
+  verdicts.  (PR 8..9 installed one monolithic set named ``iam``; an
+  active monolith is migrated in place on the first apply: its pairs
+  are adopted by the per-role sets via KEEP actions, with zero epoch
+  bumps when the goal texts are unchanged.)
 * the guard-level **deny table**: constructive NAL cannot prove a
   negative, so Deny statements compile to a precedence check the guard
   runs before any goal lookup or proof search (see
-  ``Guard.deny_hook``), and :meth:`NexusKernel.explain` reports such
-  denials as structured ``iam-deny`` explanations naming ``role/sid``;
+  ``Guard.deny_hook``), indexed by principal so a check costs the
+  subject's own rows, not the table;
 * the **authority hints** that make conditions work end to end: time
   windows become :class:`~repro.kernel.authority.ClockAuthority` leaves
   and rate tiers per-principal
@@ -22,16 +34,31 @@ One :class:`IamEngine` rides on each kernel (``kernel.iam``), owning
   service-side wallet can emit the matching ``AuthorityQuery`` proof
   leaves and the resulting verdicts are correctly non-cacheable.
 
+The apply path is optimistic: compile and plan run *outside* the
+kernel write lock against a snapshot (an edit sequence number plus the
+resource-table fingerprint); the write lock is taken only to validate
+the snapshot is still current and install the diff, retrying from a
+fresh snapshot on conflict.  The global policy epoch — which retires
+every cached verdict — is bumped only when the deny table actually
+changed, since allow-goal changes invalidate narrowly per pair.
+
 Durability: ``put_role`` / ``bind`` / ``apply`` journal write-ahead
-records (``iam_role`` / ``iam_bind`` / ``iam_state``) so roles,
-bindings and the applied configuration survive restart and replicate
-across cluster workers; the installed goals themselves replay from the
-policy plane's own records.
+records (``iam_role`` / ``iam_bind`` / per-role ``iam_state``) so
+roles, bindings and the applied configuration survive restart and
+replicate across cluster workers; the installed goals themselves
+replay from the policy plane's own records.  Old-format monolithic
+``iam_state`` records (one ``{"applied": …, "bindings": …}`` blob)
+still replay: :meth:`IamEngine.restore_applied` accepts both shapes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import IamError, NoSuchRole
@@ -39,10 +66,21 @@ from repro.iam.model import Condition, Role, Statement
 from repro.kernel.authority import ClockAuthority, QuotaAuthority
 from repro.nal.formula import Formula
 from repro.nal.parser import parse
+from repro.policy.engine import CLEAR, KEEP, PlanAction, SET
 from repro.policy.model import PolicyRule, PolicySet, Selector
 
-#: The policy-set name every compiled IAM configuration versions into.
+#: The legacy monolithic policy-set name (PR 8..9 compiled everything
+#: into one set called ``iam``); kept for in-place migration.
 POLICY_SET = "iam"
+
+#: Per-role policy sets are named ``iam/<role>``.
+ROLE_SET_PREFIX = "iam/"
+
+#: Pairs more than one role contributes disjuncts to live here (the
+#: goalstore holds one goal per (resource, operation) pair, so
+#: overlapping roles must share a set).  ``~`` is reserved in role
+#: names, so this can never collide with ``iam/<role>``.
+SHARED_SET = "iam/~shared"
 
 #: Authority ports the engine registers for condition leaves.
 CLOCK_PORT = "iam-ntp"
@@ -50,6 +88,15 @@ QUOTA_PORT = "iam-quota"
 
 #: The predicate a bound principal asserts to exercise a role.
 USE_PREDICATE = "use_role"
+
+#: Optimistic applies retry this many times before the final attempt
+#: compiles under the write lock for guaranteed progress.
+_APPLY_ATTEMPTS = 8
+
+
+def role_set_name(role_name: str) -> str:
+    """The policy-set name a role's single-owner goals install under."""
+    return ROLE_SET_PREFIX + role_name
 
 
 def use_statement(role_name: str) -> str:
@@ -71,26 +118,67 @@ class DenyEntry:
     def matches(self, subject: str, action: str,
                 resource_name: str) -> bool:
         """Does this row deny (subject, action, resource name)?"""
-        from fnmatch import fnmatchcase
         if subject not in self.principals:
             return False
+        return self.matches_action_resource(action, resource_name)
+
+    def matches_action_resource(self, action: str,
+                                resource_name: str) -> bool:
+        """The principal-independent half of :meth:`matches` — what the
+        guard hook checks after the per-principal index already
+        narrowed the rows to this subject's."""
+        from fnmatch import fnmatchcase
         if action not in self.actions and "*" not in self.actions:
             return False
         return any(fnmatchcase(resource_name, glob)
                    for glob in self.resources)
 
 
+@dataclass
+class _RoleCompile:
+    """One role's cached compilation: everything derived from (document
+    version, bound principals, concrete resource set), keyed by a
+    digest of exactly those inputs.
+
+    ``contributions`` maps (resource_id, resource name, action) to the
+    role's disjunct texts for that pair, in statement/bind order — the
+    unit the assembler ORs into per-role or shared goals.  The
+    assembled per-role :class:`PolicySet` is memoized too
+    (``policy_set`` / ``rules_sig``) so an unchanged role's document is
+    pointer-identical across applies."""
+
+    digest: str
+    version: int
+    principals: Tuple[str, ...]
+    contributions: Dict[Tuple[int, str, str], Tuple[str, ...]]
+    deny: Tuple[DenyEntry, ...]
+    hints: Dict[Formula, str]
+    tiers: Dict[str, Tuple[int, float]]
+    rules_sig: Optional[Tuple] = None
+    policy_set: Optional[PolicySet] = None
+
+
 @dataclass(frozen=True)
 class CompiledIam:
-    """Everything one compilation pass produced."""
+    """Everything one compilation pass produced.
 
-    policy_set: PolicySet
+    ``policy_sets`` holds the full assembled configuration (one
+    document per live ``iam/*`` set); ``changed`` names the subset an
+    apply must put/plan/install — the rest are byte-identical to what
+    is already active."""
+
+    policy_sets: Tuple[PolicySet, ...]
+    changed: Tuple[str, ...]
     deny: Tuple[DenyEntry, ...]
     hints: Dict[Formula, str]
     tiers: Dict[str, Tuple[int, float]]
     versions: Dict[str, int]
     bindings: Tuple[Tuple[str, str], ...]
+    principals: Dict[str, Tuple[str, ...]]
     goal_count: int
+    roles_compiled: int
+    roles_reused: int
+    migrate_legacy: bool
 
 
 @dataclass
@@ -104,6 +192,11 @@ class IamApplyResult:
     cleared: int = 0
     unchanged: int = 0
     epoch_bumps: int = 0
+    roles_compiled: int = 0
+    roles_reused: int = 0
+    sets_changed: int = 0
+    lock_hold_us: int = 0
+    attempts: int = 1
 
 
 @dataclass(frozen=True)
@@ -173,9 +266,9 @@ def derive_enforcement(roles: Dict[str, Role],
 
     From role documents and bindings alone: the deny table, the
     condition-leaf authority hints the wallet needs, and the quota tier
-    definitions.  Shared by live compilation and by journal replay /
-    snapshot load (which must rebuild enforcement without re-running
-    the policy plane).
+    definitions.  Shared by live compilation (one role at a time) and
+    by journal replay / snapshot load (which must rebuild enforcement
+    without re-running the policy plane).
     """
     deny: List[DenyEntry] = []
     hints: Dict[Formula, str] = {}
@@ -209,6 +302,23 @@ def derive_enforcement(roles: Dict[str, Role],
     return tuple(deny), hints, tiers
 
 
+def _role_digest(role: Role, version: int, principals: Sequence[str],
+                 resource_sig) -> str:
+    """The compile-cache key: a digest of everything one role's goals
+    depend on — the document (via its version and content), the bound
+    principals in bind order, and the concrete resource set."""
+    payload = json.dumps([version, role.to_dict(), list(principals),
+                          resource_sig],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: The rule a set with nothing to install carries: PolicySet insists on
+#: >= 1 rule, and a rule matching no resource compiles to "clear
+#: everything this set previously owned".
+_SENTINEL_RULE = PolicyRule(Selector(name="/iam/unbound"), ("none",), None)
+
+
 class IamEngine:
     """Compiler + control plane for IAM documents over one kernel."""
 
@@ -218,14 +328,38 @@ class IamEngine:
         self._roles: Dict[str, List[Role]] = {}
         #: ordered (principal, role) pairs; order is goal-text order.
         self._bindings: List[Tuple[str, str]] = []
-        #: role → version in force (set by apply / replay / load).
-        self._applied: Dict[str, int] = {}
-        #: the bindings the applied configuration was compiled with.
-        self._applied_bindings: Tuple[Tuple[str, str], ...] = ()
+        #: principal → bound role names in bind order (the simulate /
+        #: guard-deny index; rebuilt on load, maintained by bind).
+        self._bindings_by_principal: Dict[str, List[str]] = {}
+        #: role → (version, bound principals) in force, set by apply /
+        #: replay / load.
+        self._applied_roles: Dict[str, Tuple[int, Tuple[str, ...]]] = {}
+        #: set name → the PolicySet document the active version holds
+        #: (the change detector; rebuilt lazily from the policy plane
+        #: after restart).
+        self._applied_sets: Dict[str, PolicySet] = {}
         self._deny: Tuple[DenyEntry, ...] = ()
+        #: principal → its deny rows in table order (guard fast path).
+        self._deny_index: Dict[str, Tuple[DenyEntry, ...]] = {}
         self._hints: Dict[Formula, str] = {}
         self._clock_authority: Optional[ClockAuthority] = None
         self._quota_authority: Optional[QuotaAuthority] = None
+        #: Bumped by every put_role / bind / apply commit; the
+        #: optimistic apply validates it under the write lock.
+        self._edit_seq = 0
+        self._apply_seq = 0
+        #: role name → cached compilation (leaf lock; never acquire
+        #: kernel locks while holding it).
+        self._role_cache: Dict[str, _RoleCompile] = {}
+        self._compile_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "applies": 0, "apply_conflicts": 0,
+            "roles_compiled": 0, "roles_reused": 0,
+            "last_roles_compiled": 0, "last_roles_reused": 0,
+            "goals_installed": 0, "goals_kept": 0, "goals_cleared": 0,
+            "sets_changed": 0, "deny_epoch_bumps": 0,
+            "last_lock_hold_us": 0, "max_lock_hold_us": 0,
+        }
 
     # ------------------------------------------------------------------
     # versioned storage + bindings
@@ -238,11 +372,15 @@ class IamEngine:
         :meth:`apply`, append-only, write-ahead journaled."""
         role = (document if isinstance(document, Role)
                 else Role.from_dict(document))
+        if role.name.startswith("~"):
+            raise IamError("role names starting with '~' are reserved "
+                           "for the IAM compiler")
         with self.kernel._state_lock.write_locked():
             self._persist("iam_role", {"name": role.name,
                                        "document": role.to_dict()})
             versions = self._roles.setdefault(role.name, [])
             versions.append(role)
+            self._edit_seq += 1
             return len(versions)
 
     def bind(self, principal: str, role: str, bound: bool = True) -> int:
@@ -260,10 +398,14 @@ class IamEngine:
                 return len(self._bindings)  # idempotent no-op
             self._persist("iam_bind", {"principal": principal,
                                        "role": role, "bound": bound})
+            by_principal = self._bindings_by_principal
             if bound:
                 self._bindings.append(pair)
+                by_principal.setdefault(principal, []).append(role)
             else:
                 self._bindings.remove(pair)
+                by_principal.get(principal, []).remove(role)
+            self._edit_seq += 1
             return len(self._bindings)
 
     def role(self, name: str, version: Optional[int] = None) -> Role:
@@ -294,49 +436,149 @@ class IamEngine:
 
     def applied_versions(self) -> Dict[str, int]:
         """role → version currently in force (empty before any apply)."""
-        return dict(self._applied)
+        return {name: version
+                for name, (version, _) in self._applied_roles.items()}
 
     def authority_hints(self) -> Dict[Formula, str]:
         """Condition-leaf formula → authority port, for the *applied*
         configuration — what the service-side wallet feeds the prover."""
         return dict(self._hints)
 
+    def stats(self) -> Dict[str, int]:
+        """Compile-cache and apply-path counters, JSON-able.
+
+        ``roles_compiled`` / ``roles_reused`` are cumulative across
+        applies (``last_*`` for the most recent one); ``goals_installed``
+        / ``goals_kept`` / ``goals_cleared`` count plan actions taken vs
+        avoided; ``*_lock_hold_us`` is time spent holding the kernel
+        write lock inside apply."""
+        report = dict(self._stats)
+        report["roles"] = len(self._roles)
+        report["bindings"] = len(self._bindings)
+        report["cached_roles"] = len(self._role_cache)
+        report["policy_sets"] = len(self._applied_sets)
+        return report
+
+    def describe(self) -> str:
+        """The ``/proc/kernel/iam_roles`` text: the applied ``name@vN``
+        list on the first line (the PR-8 format), stats lines after."""
+        roles = ",".join(f"{name}@v{version}" for name, version in
+                         sorted(self.applied_versions().items()))
+        lines = [roles]
+        lines.extend(f"{key}={value}"
+                     for key, value in sorted(self.stats().items()))
+        return "\n".join(lines)
+
+    def drop_compile_cache(self) -> None:
+        """Forget every cached role compilation (benchmark / test hook:
+        the next apply recompiles from scratch, as a cold engine would).
+        """
+        with self._compile_lock:
+            for entry in self._role_cache.values():
+                entry.policy_set = None
+                entry.rules_sig = None
+            self._role_cache.clear()
+
     # ------------------------------------------------------------------
-    # compilation
+    # compilation (incremental, outside the kernel write lock)
     # ------------------------------------------------------------------
 
-    def compile(self) -> CompiledIam:
+    def compile(self, force_full: bool = False) -> CompiledIam:
         """Compile the latest version of every role + current bindings.
 
-        Pure: reads the live resource table (goals install per concrete
-        resource, exactly like a policy apply enumerates resources) and
-        produces the policy document, deny table, hints and tiers.
-        """
-        roles = {name: versions[-1]
-                 for name, versions in self._roles.items() if versions}
-        bindings = tuple(self._bindings)
-        deny, hints, tiers = derive_enforcement(roles, bindings)
-        bound: Dict[str, List[str]] = {}
-        for principal, role_name in bindings:
-            bound.setdefault(role_name, []).append(principal)
+        Pure with respect to kernel state: reads the live resource
+        table (goals install per concrete resource, exactly like a
+        policy apply enumerates resources) and produces the per-role
+        policy documents, deny table, hints and tiers.  Roles whose
+        input digest is unchanged since the last compile are *reused*,
+        not recompiled; ``force_full=True`` drops the cache first and
+        treats every document as changed (the cold path, kept for
+        benchmarking the incremental win)."""
+        snapshot = self._snapshot_documents()
+        resource_sig = self.kernel.resources.fingerprint()
+        resources = list(self.kernel.resources)
+        return self._compile_snapshot(snapshot, resources, resource_sig,
+                                      force_full)
 
-        rules: List[PolicyRule] = []
-        goal_count = 0
-        resources = sorted(self.kernel.resources,
-                           key=lambda r: r.resource_id)
-        actions = sorted({action
-                          for role in roles.values()
-                          for statement in role.statements
-                          if statement.effect == "Allow"
-                          for action in statement.actions})
-        for resource in resources:
-            for action in actions:
-                disjuncts: List[str] = []
-                for role_name in sorted(roles):
-                    role = roles[role_name]
-                    principals = bound.get(role_name)
-                    if not principals:
-                        continue
+    def _snapshot_documents(self):
+        """(roles, versions, bound-principals, bindings, edit seq) under
+        the read lock — the immutable input of one compile attempt."""
+        with self.kernel._state_lock.read_locked():
+            roles = {name: versions[-1]
+                     for name, versions in self._roles.items() if versions}
+            versions = {name: len(vs)
+                        for name, vs in self._roles.items() if vs}
+            bound: Dict[str, List[str]] = {}
+            for principal, role_name in self._bindings:
+                bound.setdefault(role_name, []).append(principal)
+            return (roles, versions, bound, tuple(self._bindings),
+                    self._edit_seq)
+
+    def _compile_snapshot(self, snapshot, resources, resource_sig,
+                          force_full: bool) -> CompiledIam:
+        roles, versions, bound, bindings, _seq = snapshot
+        compiled_roles: Dict[str, _RoleCompile] = {}
+        n_compiled = n_reused = 0
+        with self._compile_lock:
+            if force_full:
+                self._role_cache.clear()
+            for name in sorted(roles):
+                principals = tuple(bound.get(name, ()))
+                digest = _role_digest(roles[name], versions[name],
+                                      principals, resource_sig)
+                cached = self._role_cache.get(name)
+                if cached is not None and cached.digest == digest:
+                    compiled_roles[name] = cached
+                    n_reused += 1
+                    continue
+                entry = self._compile_role(roles[name], versions[name],
+                                           principals, resources, digest)
+                self._role_cache[name] = compiled_roles[name] = entry
+                n_compiled += 1
+            documents, goal_count = self._assemble(compiled_roles)
+
+        deny: List[DenyEntry] = []
+        hints: Dict[Formula, str] = {}
+        tiers: Dict[str, Tuple[int, float]] = {}
+        for name in sorted(compiled_roles):
+            entry = compiled_roles[name]
+            deny.extend(entry.deny)
+            hints.update(entry.hints)
+            tiers.update(entry.tiers)
+
+        changed: List[str] = []
+        for set_name in sorted(documents):
+            document = documents[set_name]
+            previous = (None if force_full
+                        else self._previous_document(set_name))
+            if previous is None or (previous is not document
+                                    and previous != document):
+                changed.append(set_name)
+        return CompiledIam(
+            policy_sets=tuple(documents[name]
+                              for name in sorted(documents)),
+            changed=tuple(changed), deny=tuple(deny), hints=hints,
+            tiers=tiers, versions=dict(versions), bindings=bindings,
+            principals={name: tuple(bound.get(name, ()))
+                        for name in roles},
+            goal_count=goal_count, roles_compiled=n_compiled,
+            roles_reused=n_reused,
+            migrate_legacy=(self.kernel.policies.active_version(POLICY_SET)
+                            is not None))
+
+    def _compile_role(self, role: Role, version: int,
+                      principals: Tuple[str, ...], resources,
+                      digest: str) -> _RoleCompile:
+        """Compile one role in isolation: its per-pair disjunct texts
+        plus its slice of the deny table / hints / tiers."""
+        contributions: Dict[Tuple[int, str, str], Tuple[str, ...]] = {}
+        if principals:
+            actions = sorted({action for statement in role.statements
+                              if statement.effect == "Allow"
+                              for action in statement.actions})
+            for resource in resources:
+                for action in actions:
+                    disjuncts: List[str] = []
                     for statement in role.statements:
                         if (statement.effect != "Allow"
                                 or not statement.matches(action,
@@ -349,67 +591,266 @@ class IamEngine:
                             parts.append(f"{principal} says "
                                          f"{use_statement(role.name)}")
                             disjuncts.append(_conjoin(parts))
-                if disjuncts:
-                    goal_count += 1
-                    rules.append(PolicyRule(Selector(name=resource.name),
-                                            (action,),
-                                            _or_tree(disjuncts)))
-        if not rules:
-            # PolicySet insists on >= 1 rule; a rule that matches no
-            # resource compiles to "clear everything previously owned".
-            rules.append(PolicyRule(Selector(name="/iam/unbound"),
-                                    ("none",), None))
-        policy_set = PolicySet(
-            POLICY_SET, tuple(rules),
-            description="compiled from IAM roles "
-                        + ", ".join(f"{name}@v{len(self._roles[name])}"
-                                    for name in sorted(roles)))
-        return CompiledIam(policy_set=policy_set, deny=deny, hints=hints,
-                           tiers=tiers,
-                           versions={name: len(self._roles[name])
-                                     for name in sorted(roles)},
-                           bindings=bindings, goal_count=goal_count)
+                    if disjuncts:
+                        contributions[(resource.resource_id,
+                                       resource.name,
+                                       action)] = tuple(disjuncts)
+        deny, hints, tiers = derive_enforcement(
+            {role.name: role}, [(p, role.name) for p in principals])
+        return _RoleCompile(digest=digest, version=version,
+                            principals=principals,
+                            contributions=contributions, deny=deny,
+                            hints=hints, tiers=tiers)
+
+    def _assemble(self, compiled_roles: Dict[str, _RoleCompile]):
+        """Distribute per-role contributions into policy documents.
+
+        Pairs exactly one role contributes to go to that role's
+        ``iam/<role>`` set; pairs with several owners go to
+        ``iam/~shared`` with the disjuncts concatenated in sorted role
+        order — byte-identical to what the monolithic compiler
+        produced, so migration adopts live goals via KEEP.  Sets that
+        would be empty are emitted (with the clear-all sentinel rule)
+        only while they still own live goals."""
+        owners: Dict[Tuple[int, str, str], List[str]] = {}
+        for name in sorted(compiled_roles):
+            for key in compiled_roles[name].contributions:
+                owners.setdefault(key, []).append(name)
+        solo: Dict[str, List[Tuple[int, str, str]]] = {}
+        shared_keys: List[Tuple[int, str, str]] = []
+        for key in sorted(owners, key=lambda k: (k[0], k[2])):
+            who = owners[key]
+            if len(who) == 1:
+                solo.setdefault(who[0], []).append(key)
+            else:
+                shared_keys.append(key)
+
+        documents: Dict[str, PolicySet] = {}
+        for name, entry in compiled_roles.items():
+            set_name = role_set_name(name)
+            keys = tuple(solo.get(name, ()))
+            if not keys and not self._set_known(set_name):
+                continue
+            if entry.policy_set is None or entry.rules_sig != keys:
+                rules = tuple(
+                    PolicyRule(Selector(name=rname), (action,),
+                               _or_tree(entry.contributions[key]))
+                    for key in keys
+                    for rid, rname, action in (key,)) or (_SENTINEL_RULE,)
+                entry.policy_set = PolicySet(
+                    set_name, rules,
+                    description=f"compiled from IAM role {name!r}")
+                entry.rules_sig = keys
+            documents[set_name] = entry.policy_set
+
+        if shared_keys or self._set_known(SHARED_SET):
+            rules = tuple(
+                PolicyRule(
+                    Selector(name=rname), (action,),
+                    _or_tree([d for owner in owners[key]
+                              for d in
+                              compiled_roles[owner].contributions[key]]))
+                for key in shared_keys
+                for rid, rname, action in (key,)) or (_SENTINEL_RULE,)
+            documents[SHARED_SET] = PolicySet(
+                SHARED_SET, rules,
+                description="compiled from IAM roles (multi-role pairs)")
+        return documents, len(owners)
+
+    def _set_known(self, name: str) -> bool:
+        """Does this set already exist with an active version (so an
+        empty recompile must still emit a clearing document for it)?"""
+        return (name in self._applied_sets
+                or self.kernel.policies.active_version(name) is not None)
+
+    def _previous_document(self, name: str) -> Optional[PolicySet]:
+        """The document the active version of ``name`` holds — from the
+        in-memory record, or (after a restart) from the policy plane's
+        replayed version store."""
+        document = self._applied_sets.get(name)
+        if document is not None:
+            return document
+        policies = self.kernel.policies
+        active = policies.active_version(name)
+        if active is None:
+            return None
+        document = policies.get(name, active)
+        self._applied_sets[name] = document
+        return document
 
     def plan(self):
         """Dry run: ``(compiled, plan actions)`` for the current
-        documents — what :meth:`apply` would install, purely."""
+        documents — what :meth:`apply` would install, purely.  Covers
+        every live set (unchanged ones contribute ``keep`` actions), so
+        the wire plan still lists the whole configuration."""
         compiled = self.compile()
-        return compiled, self.kernel.policies.plan_document(
-            compiled.policy_set)
+        policies = self.kernel.policies
+        plans = {document.name: policies.plan_document(document)
+                 for document in compiled.policy_sets}
+        adopted = {(action.resource_id, action.operation)
+                   for actions in plans.values() for action in actions
+                   if action.action in (SET, KEEP)}
+        actions = [action for actions in plans.values()
+                   for action in actions
+                   if not (action.action == CLEAR
+                           and (action.resource_id,
+                                action.operation) in adopted)]
+        if compiled.migrate_legacy:
+            actions.extend(self._legacy_clears(adopted))
+        actions.sort(key=lambda a: (a.resource_id, a.operation, a.action))
+        return compiled, actions
 
     # ------------------------------------------------------------------
     # apply (the only mutation of live enforcement)
     # ------------------------------------------------------------------
 
-    def apply(self, pid: int, bundle=None) -> IamApplyResult:
+    def apply(self, pid: int, bundle=None,
+              force_full: bool = False) -> IamApplyResult:
         """Compile and atomically install the current configuration.
 
-        Goal changes route through the policy plane (one stored version
-        of set ``"iam"``, batch-authorized for ``pid``, one epoch bump
-        per changed pair); then the deny table, authority hints and
-        quota tiers swap in under the kernel write lock and a global
-        policy-epoch bump retires every decision-cache entry that
-        predates the new deny table.
-        """
-        compiled = self.compile()
-        version = self.kernel.policies.put(compiled.policy_set)
-        result = self.kernel.policies.apply(pid, POLICY_SET, version,
-                                            bundle=bundle)
-        with self.kernel._state_lock.write_locked():
-            self._persist("iam_state", {
-                "applied": {name: compiled.versions[name]
-                            for name in sorted(compiled.versions)},
-                "bindings": [[p, r] for p, r in compiled.bindings]})
-            self._applied = dict(compiled.versions)
-            self._applied_bindings = compiled.bindings
-            self._install_enforcement(compiled.deny, compiled.hints,
-                                      compiled.tiers)
-        self.kernel.bump_policy_epoch()
+        Optimistic concurrency: compile + plan run outside the kernel
+        write lock against a snapshot (edit sequence + resource-table
+        fingerprint); the lock is taken only to validate the snapshot
+        and install the diff.  A conflicting concurrent edit retries
+        from a fresh snapshot; the final attempt compiles entirely
+        under the lock for guaranteed progress.
+
+        Only *changed* sets are stored/planned/installed (one epoch
+        bump per changed pair, none for unchanged roles), and the
+        global policy epoch — which retires every cached verdict — is
+        bumped only when the deny table changed."""
+        for attempt in range(1, _APPLY_ATTEMPTS + 1):
+            result = self._try_apply(pid, bundle, force_full,
+                                     locked=attempt == _APPLY_ATTEMPTS)
+            if result is not None:
+                result.attempts = attempt
+                return result
+            self._stats["apply_conflicts"] += 1
+        raise IamError("iam apply could not commit")  # pragma: no cover
+
+    def _try_apply(self, pid: int, bundle, force_full: bool,
+                   locked: bool) -> Optional[IamApplyResult]:
+        """One apply attempt; None means the snapshot went stale.
+
+        ``locked=True`` (the last attempt) holds the write lock across
+        compile + plan + install — no concurrent edit can invalidate
+        it, so it always commits.  The write lock is reentrant, so the
+        nested acquisitions below are safe either way."""
+        kernel = self.kernel
+        outer = (kernel._state_lock.write_locked() if locked
+                 else nullcontext())
+        with outer:
+            snapshot = self._snapshot_documents()
+            seq = snapshot[-1]
+            fingerprint = kernel.resources.fingerprint()
+            resources = list(kernel.resources)
+            compiled = self._compile_snapshot(snapshot, resources,
+                                              fingerprint, force_full)
+            policies = kernel.policies
+            documents = {document.name: document
+                         for document in compiled.policy_sets}
+            plans = {name: policies.plan_document(documents[name])
+                     for name in compiled.changed}
+
+            # Pairs any current document wants installed: clears from
+            # sets abandoning a pair another set adopts must be
+            # dropped, or install order could wipe a freshly-set goal.
+            adopted = {(action.resource_id, action.operation)
+                       for actions in plans.values() for action in actions
+                       if action.action in (SET, KEEP)}
+            changed_names = set(compiled.changed)
+            for document in compiled.policy_sets:
+                if document.name not in changed_names:
+                    adopted |= policies.installed_pairs(document.name)
+            installs = []
+            for name in compiled.changed:
+                actions = [action for action in plans[name]
+                           if not (action.action == CLEAR
+                                   and (action.resource_id,
+                                        action.operation) in adopted)]
+                installs.append((documents[name], actions))
+            retire = []
+            if compiled.migrate_legacy:
+                retire.append((POLICY_SET, self._legacy_clears(adopted)))
+
+            with kernel._state_lock.write_locked():
+                lock_start = perf_counter()
+                if not locked and (self._edit_seq != seq
+                                   or kernel.resources.fingerprint()
+                                   != fingerprint):
+                    return None
+                batch = policies.apply_planned(pid, installs,
+                                               bundle=bundle,
+                                               retire=retire)
+                applied_roles = {
+                    name: (compiled.versions[name],
+                           compiled.principals[name])
+                    for name in compiled.versions}
+                for name in sorted(applied_roles):
+                    if self._applied_roles.get(name) != applied_roles[name]:
+                        version, principals = applied_roles[name]
+                        self._persist("iam_state", {
+                            "role": name, "version": version,
+                            "principals": list(principals)})
+                self._applied_roles = applied_roles
+                for name in compiled.changed:
+                    self._applied_sets[name] = documents[name]
+                deny_changed = compiled.deny != self._deny
+                self._install_enforcement(compiled.deny, compiled.hints,
+                                          compiled.tiers)
+                self._apply_seq += 1
+                self._edit_seq += 1
+                if deny_changed:
+                    # Cached allow verdicts are served before the deny
+                    # hook runs, so a new/retracted Deny must retire
+                    # them all; pure allow-goal changes invalidated
+                    # narrowly above and skip this.
+                    kernel.bump_policy_epoch()
+                lock_hold_us = int((perf_counter() - lock_start) * 1e6)
+                set_count = batch["goals_set"]
+                cleared = batch["goals_cleared"]
+                kept = compiled.goal_count - set_count
+                stats = self._stats
+                stats["applies"] += 1
+                stats["roles_compiled"] += compiled.roles_compiled
+                stats["roles_reused"] += compiled.roles_reused
+                stats["last_roles_compiled"] = compiled.roles_compiled
+                stats["last_roles_reused"] = compiled.roles_reused
+                stats["goals_installed"] += set_count
+                stats["goals_kept"] += kept
+                stats["goals_cleared"] += cleared
+                stats["sets_changed"] += len(compiled.changed)
+                stats["deny_epoch_bumps"] += 1 if deny_changed else 0
+                stats["last_lock_hold_us"] = lock_hold_us
+                stats["max_lock_hold_us"] = max(
+                    stats["max_lock_hold_us"], lock_hold_us)
+                version = self._apply_seq
         return IamApplyResult(
             version=version, roles=dict(compiled.versions),
-            denies=len(compiled.deny), set_count=result.set_count,
-            cleared=result.cleared, unchanged=result.unchanged,
-            epoch_bumps=result.epoch_bumps)
+            denies=len(compiled.deny), set_count=set_count,
+            cleared=cleared, unchanged=kept,
+            epoch_bumps=batch["epoch_bumps"],
+            roles_compiled=compiled.roles_compiled,
+            roles_reused=compiled.roles_reused,
+            sets_changed=len(compiled.changed),
+            lock_hold_us=lock_hold_us)
+
+    def _legacy_clears(self, adopted) -> List[PlanAction]:
+        """Clear actions for pairs the retired monolithic ``iam`` set
+        still owns and no per-role document adopted."""
+        goals = self.kernel.default_guard.goals
+        actions: List[PlanAction] = []
+        owned = self.kernel.policies.installed_pairs(POLICY_SET)
+        for resource_id, operation in sorted(owned - adopted):
+            live = goals.get(resource_id, operation)
+            if live is None:
+                continue
+            resource = self.kernel.resources.find_by_id(resource_id)
+            actions.append(PlanAction(
+                CLEAR, resource_id,
+                resource.name if resource is not None else str(resource_id),
+                operation, previous=str(live.formula)))
+        return actions
 
     def _install_enforcement(self, deny, hints, tiers) -> None:
         """Swap in the derived tables; caller holds the write lock."""
@@ -419,7 +860,13 @@ class IamEngine:
             for tier, (capacity, refill_rate) in tiers.items():
                 self._quota_authority.define_tier(tier, capacity,
                                                   refill_rate)
+        index: Dict[str, List[DenyEntry]] = {}
+        for entry in deny:
+            for principal in entry.principals:
+                index.setdefault(principal, []).append(entry)
         self._deny = tuple(deny)
+        self._deny_index = {principal: tuple(entries)
+                            for principal, entries in index.items()}
         self._hints = dict(hints)
 
     def _ensure_authorities(self) -> None:
@@ -458,14 +905,19 @@ class IamEngine:
         """The ``Guard.deny_hook``: first applied Deny row matching
         (subject, operation, resource name), as ``(role, sid)``.
 
-        Runs on every guard upcall under the kernel read lock; the deny
-        tuple swaps atomically at apply, so no extra locking."""
-        deny = self._deny
-        if not deny:
+        Runs on every guard upcall under the kernel read lock; the
+        per-principal index swaps atomically at apply, so no extra
+        locking — and a check scans only the subject's own rows, not
+        the whole table."""
+        index = self._deny_index
+        if not index:
             return None
-        subject_name = str(subject)
-        for entry in deny:
-            if entry.matches(subject_name, operation, resource.name):
+        entries = index.get(str(subject))
+        if not entries:
+            return None
+        name = resource.name
+        for entry in entries:
+            if entry.matches_action_resource(operation, name):
                 return entry.role, entry.sid
         return None
 
@@ -486,8 +938,10 @@ class IamEngine:
         with self.kernel._state_lock.read_locked():
             roles = {name: versions[-1]
                      for name, versions in self._roles.items() if versions}
-            bound_roles = sorted({r for p, r in self._bindings
-                                  if p == principal and r in roles})
+            bound_roles = sorted(
+                {name for name in
+                 self._bindings_by_principal.get(principal, ())
+                 if name in roles})
             for role_name in bound_roles:
                 for statement in roles[role_name].statements:
                     if (statement.effect == "Deny"
@@ -540,15 +994,39 @@ class IamEngine:
     def restore_applied(self, data: Dict[str, object]) -> None:
         """Replay one ``iam_state`` record: reinstate which versions are
         in force and rebuild enforcement from the stored documents (the
-        goals themselves replay from the policy plane's records)."""
-        applied = {str(name): int(version)
-                   for name, version in dict(data["applied"]).items()}
-        bindings = tuple((str(p), str(r)) for p, r in data["bindings"])
+        goals themselves replay from the policy plane's records).
+
+        Two record shapes replay: the current per-role
+        ``{"role", "version", "principals"}`` record updates one role's
+        applied marker; the legacy monolithic
+        ``{"applied": …, "bindings": …}`` record (written before the
+        per-role split) rebuilds the whole applied map, so old journals
+        migrate into the per-role layout transparently."""
+        if "role" in data:
+            principals = tuple(str(p)
+                               for p in data.get("principals", []))
+            self._applied_roles[str(data["role"])] = (int(data["version"]),
+                                                      principals)
+        else:
+            applied = {str(name): int(version)
+                       for name, version in dict(data["applied"]).items()}
+            bound: Dict[str, List[str]] = {}
+            for principal, role_name in data["bindings"]:
+                bound.setdefault(str(role_name), []).append(str(principal))
+            self._applied_roles = {
+                name: (version, tuple(bound.get(name, ())))
+                for name, version in applied.items()}
+        self._rebuild_enforcement()
+
+    def _rebuild_enforcement(self) -> None:
+        """Re-derive deny/hints/tiers from the applied role markers."""
         roles = {name: self.role(name, version)
-                 for name, version in applied.items()}
+                 for name, (version, _) in self._applied_roles.items()}
+        bindings = [(principal, name)
+                    for name, (_, principals)
+                    in sorted(self._applied_roles.items())
+                    for principal in principals]
         deny, hints, tiers = derive_enforcement(roles, bindings)
-        self._applied = applied
-        self._applied_bindings = bindings
         self._install_enforcement(deny, hints, tiers)
 
     def serialize(self) -> Dict[str, object]:
@@ -558,28 +1036,52 @@ class IamEngine:
             "roles": {name: [role.to_dict() for role in versions]
                       for name, versions in sorted(self._roles.items())},
             "bindings": [[p, r] for p, r in self._bindings],
-            "applied": {name: version
-                        for name, version in sorted(self._applied.items())},
-            "applied_bindings": [[p, r]
-                                 for p, r in self._applied_bindings],
+            "applied_roles": {
+                name: {"version": version,
+                       "principals": list(principals)}
+                for name, (version, principals)
+                in sorted(self._applied_roles.items())},
         }
 
     def load(self, state: Dict[str, object]) -> None:
-        """Restore from :meth:`serialize` output (snapshot load)."""
+        """Restore from :meth:`serialize` output (snapshot load).
+
+        Accepts the current ``applied_roles`` shape and the legacy
+        ``applied`` + ``applied_bindings`` pair of pre-split
+        snapshots."""
         self._roles = {
             str(name): [Role.from_dict(doc) for doc in versions]
             for name, versions in dict(state.get("roles", {})).items()}
         self._bindings = [(str(p), str(r))
                           for p, r in state.get("bindings", [])]
-        applied = {str(name): int(version)
-                   for name, version in
-                   dict(state.get("applied", {})).items()}
-        if applied:
-            self.restore_applied({
-                "applied": applied,
-                "bindings": state.get("applied_bindings", [])})
+        by_principal: Dict[str, List[str]] = {}
+        for principal, role_name in self._bindings:
+            by_principal.setdefault(principal, []).append(role_name)
+        self._bindings_by_principal = by_principal
+        with self._compile_lock:
+            self._role_cache.clear()
+        self._applied_sets = {}
+        self._edit_seq += 1
+        applied_roles = state.get("applied_roles")
+        if applied_roles is not None:
+            self._applied_roles = {
+                str(name): (int(info["version"]),
+                            tuple(str(p)
+                                  for p in info.get("principals", [])))
+                for name, info in dict(applied_roles).items()}
+            if self._applied_roles:
+                self._rebuild_enforcement()
+                return
         else:
-            self._applied = {}
-            self._applied_bindings = ()
-            self._deny = ()
-            self._hints = {}
+            applied = {str(name): int(version)
+                       for name, version in
+                       dict(state.get("applied", {})).items()}
+            if applied:
+                self.restore_applied({
+                    "applied": applied,
+                    "bindings": state.get("applied_bindings", [])})
+                return
+        self._applied_roles = {}
+        self._deny = ()
+        self._deny_index = {}
+        self._hints = {}

@@ -1122,9 +1122,7 @@ class NexusKernel:
         fs.publish("/proc/kernel/policy_sets",
                    lambda: ",".join(self.policies.names()))
         fs.publish("/proc/kernel/iam_roles",
-                   lambda: ",".join(
-                       f"{name}@v{version}" for name, version in
-                       sorted(self.iam.applied_versions().items())))
+                   lambda: self.iam.describe())
         fs.publish("/proc/kernel/peers",
                    lambda: ",".join(
                        f"{p.name}={'trusted' if p.trusted else 'revoked'}"

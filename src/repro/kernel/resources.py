@@ -92,6 +92,16 @@ class ResourceTable:
     def owned_by(self, owner: Principal):
         return [r for r in self._resources.values() if r.owner == owner]
 
+    def fingerprint(self) -> tuple:
+        """A cheap content signature of the table: the next id plus the
+        sorted live ids.  Creates advance the next id and destroys
+        shrink the id set, so any change between two observations makes
+        the fingerprints differ — which is all optimistic-concurrency
+        validation (and compile-cache keying, since names are immutable
+        per id) needs."""
+        with self._lock:
+            return (self._next_id, tuple(sorted(self._resources)))
+
     def __iter__(self):
         return iter(sorted(self._resources.values(),
                            key=lambda r: r.resource_id))

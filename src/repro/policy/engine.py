@@ -128,6 +128,12 @@ class PolicyEngine:
         """Every policy-set name the engine has seen."""
         return sorted(self._records)
 
+    def installed_pairs(self, name: str) -> Set[Tuple[int, str]]:
+        """The (resource_id, operation) pairs the active version of the
+        named set owns (empty for unknown or never-applied sets)."""
+        record = self._records.get(name)
+        return set(record.installed) if record is not None else set()
+
     def _persist(self, type: str, data: Dict[str, object]) -> None:
         """Journal one engine-level event (no-op without storage)."""
         persistence = getattr(self.kernel, "_persistence", None)
@@ -276,6 +282,53 @@ class PolicyEngine:
             cleared=sum(1 for a in changes if a.action == CLEAR),
             unchanged=len(actions) - len(changes),
             epoch_bumps=stats["epoch_bumps"], actions=actions)
+
+    def apply_planned(self, pid: int, installs, bundle=None,
+                      retire=()) -> Dict[str, int]:
+        """Install precomputed plans for several sets as one atomic step.
+
+        The compiler fast path (the IAM engine): documents and their
+        plan actions were produced outside the kernel write lock;
+        under the lock the caller validated its snapshot is still
+        current, so the plans install as-is — no replanning.
+
+        ``installs`` is a sequence of ``(policy_set, actions)`` pairs:
+        each document is stored (``put``) and becomes the set's active
+        version with exactly its plan's SET/KEEP pairs as ownership.
+        ``retire`` is a sequence of ``(name, clear_actions)`` pairs:
+        sets to deactivate (active version → None, ownership emptied),
+        their leftover clears joining the same batch — the migration
+        path from a superseded set layout.
+
+        Every SET/CLEAR across all sets lands in **one**
+        :meth:`NexusKernel.apply_policy` batch, so authorization is
+        all-or-nothing and each affected pair costs one epoch bump
+        however many sets touched it.  Returns that batch's counters.
+        """
+        with self.kernel._state_lock.write_locked():
+            staged = [(policy_set, self.put(policy_set), actions)
+                      for policy_set, actions in installs]
+            changes = [(a.resource_id, a.operation,
+                        None if a.action == CLEAR else a.goal,
+                        a.guard_port)
+                       for _, _, actions in staged for a in actions
+                       if a.action in (SET, CLEAR)]
+            for _name, clear_actions in retire:
+                changes.extend((a.resource_id, a.operation, None,
+                                a.guard_port) for a in clear_actions
+                               if a.action == CLEAR)
+            stats = self.kernel.apply_policy(pid, changes, bundle=bundle)
+            for policy_set, version, actions in staged:
+                record = self._records[policy_set.name]
+                self._commit_state(
+                    policy_set.name, record, version,
+                    {(a.resource_id, a.operation) for a in actions
+                     if a.action in (SET, KEEP)})
+            for name, _clear_actions in retire:
+                record = self._records.get(name)
+                if record is not None:
+                    self._commit_state(name, record, None, set())
+            return stats
 
     def cover(self, pid: int, name: str, resource,
               bundle=None) -> PolicyApplyResult:

@@ -21,10 +21,12 @@ from repro.api import ApiError, NexusClient, NexusService
 from repro.core.attestation import kernel_wallet_bundle
 from repro.errors import IamError, NoSuchRole
 from repro.iam import (CLOCK_PORT, POLICY_SET, QUOTA_PORT, Condition,
-                       IamEngine, Role, Statement, use_statement)
+                       IamEngine, Role, Statement, role_set_name,
+                       use_statement)
 from repro.kernel.authority import QuotaAuthority
 from repro.kernel.kernel import NexusKernel
 from repro.nal.parser import parse
+from repro.policy import PolicySet
 from repro.storage.backend import MemoryBackend
 
 from harness import run_cluster_differential, run_differential
@@ -222,7 +224,10 @@ class TestEngine:
         result = kernel.iam.apply(admin.pid)
         assert result.cleared == 1
         assert goals.get(resource.resource_id, "read") is None
-        assert kernel.policies.active_version(POLICY_SET) == 2
+        # Per-role layout: the role's own set advanced to a clearing
+        # version; no monolithic "iam" set was ever created.
+        assert kernel.policies.active_version(role_set_name("reader")) == 2
+        assert kernel.policies.active_version(POLICY_SET) is None
 
     def test_apply_flushes_stale_cached_allows(self):
         kernel = _kernel()
@@ -307,6 +312,120 @@ class TestEngine:
         assert verdict.effect == "Deny"
         assert kernel.iam.simulate("q", "write",
                                    "/secrets/future").effect == "Default"
+
+    def test_tilde_role_names_are_reserved(self):
+        kernel = _kernel()
+        with pytest.raises(IamError, match="reserved"):
+            kernel.iam.put_role(Role("~shared", (
+                Statement("s1", "Allow", ("read",), ("/files/*",)),)))
+
+    def test_incremental_apply_recompiles_only_changed_roles(self):
+        kernel = _kernel()
+
+        def writer(resources=("/files/*",)):
+            return Role("writer", (
+                Statement("s1", "Allow", ("write",), resources),))
+
+        admin, alice, resources = _setup(
+            kernel, [_reader_role(), writer()], ["reader", "writer"])
+        # Second apply with nothing edited: everything reused, nothing
+        # installed, and no goal epochs touched.
+        result = kernel.iam.apply(admin.pid)
+        assert result.roles_compiled == 0
+        assert result.roles_reused == 2
+        assert result.sets_changed == 0
+        assert result.set_count == 0 and result.epoch_bumps == 0
+        # Touch one role: only it recompiles, only its set reinstalls.
+        kernel.iam.put_role(writer(resources=("/files/*", "/secrets/*")))
+        result = kernel.iam.apply(admin.pid)
+        assert result.roles_compiled == 1
+        assert result.roles_reused == 1
+        assert result.sets_changed == 1
+        assert kernel.policies.active_version(role_set_name("writer")) == 2
+        assert kernel.policies.active_version(role_set_name("reader")) == 1
+
+    def test_untouched_roles_keep_cached_verdicts_across_apply(self):
+        kernel = _kernel()
+        admin, alice, resources = _setup(
+            kernel, [_reader_role(), _reader_role("writer")], ["reader"])
+        resource = resources["/files/a"]
+        kernel.sys_say(alice.pid, use_statement("reader"))
+        assert _wallet_verdict(kernel, alice, "read", resource).allow
+        hits_before = kernel.decision_cache.stats.hits
+        # Rebinding a different role must not retire reader's verdict.
+        kernel.iam.bind("someone-else", "writer")
+        kernel.iam.apply(admin.pid)
+        assert _wallet_verdict(kernel, alice, "read", resource).allow
+        assert kernel.decision_cache.stats.hits > hits_before
+
+    def test_overlapping_roles_share_one_goal(self):
+        kernel = _kernel()
+        admin, alice, resources = _setup(
+            kernel,
+            [_reader_role(), _reader_role("auditor")],
+            ["reader", "auditor"])
+        shared = kernel.policies.active_version("iam/~shared")
+        assert shared == 1
+        resource = resources["/files/a"]
+        entry = kernel.default_guard.goals.get(resource.resource_id,
+                                               "read")
+        text = str(entry.formula)
+        assert use_statement("reader") in text
+        assert use_statement("auditor") in text
+        # Unbinding one role moves the pair back to the other's set.
+        kernel.iam.bind(str(alice.principal), "auditor", bound=False)
+        kernel.iam.apply(admin.pid)
+        entry = kernel.default_guard.goals.get(resource.resource_id,
+                                               "read")
+        assert use_statement("auditor") not in str(entry.formula)
+        assert (resource.resource_id, "read") in \
+            kernel.policies.installed_pairs(role_set_name("reader"))
+        assert kernel.policies.installed_pairs("iam/~shared") == set()
+
+    def test_deny_and_binding_index_match_linear_scan(self):
+        """The per-principal indexes answer exactly like the pre-index
+        linear scans over the whole deny table / binding list."""
+        kernel = _kernel()
+        admin = kernel.create_process("admin")
+        roles = [
+            _reader_role(),
+            _deny_role(),
+            _deny_role("quarantine", resources=("/files/*", "/tmp/*")),
+            Role("mixed", (
+                Statement("a1", "Allow", ("write",), ("/files/*",)),
+                Statement("d9", "Deny", ("read",), ("/files/b",)),
+            )),
+        ]
+        for role in roles:
+            kernel.iam.put_role(role)
+        bindings = [("p1", "reader"), ("p1", "lockdown"),
+                    ("p2", "quarantine"), ("p2", "mixed"),
+                    ("p3", "mixed"), ("p1", "quarantine")]
+        for principal, role_name in bindings:
+            kernel.iam.bind(principal, role_name)
+        kernel.iam.bind("p1", "quarantine", bound=False)
+        kernel.iam.apply(admin.pid)
+
+        stub = lambda name: type("R", (), {"name": name})()
+        subjects = ("p1", "p2", "p3", "stranger")
+        cases = [(a, n) for a in ("read", "write", "poke")
+                 for n in ("/files/a", "/files/b", "/secrets/k",
+                           "/tmp/x", "/elsewhere")]
+        for subject in subjects:
+            for action, name in cases:
+                reference = next(
+                    ((e.role, e.sid) for e in kernel.iam._deny
+                     if e.matches(subject, action, name)), None)
+                assert kernel.iam.guard_deny(subject, action,
+                                             stub(name)) == reference
+                bound = sorted({r for p, r in kernel.iam.bindings()
+                                if p == subject})
+                simulated = kernel.iam.simulate(subject, action, name)
+                expected_roles = {r for r in bound}
+                if simulated.role is not None:
+                    assert simulated.role in expected_roles
+                if not bound:
+                    assert simulated.effect == "Default"
 
 
 # --------------------------------------------------------------------------
@@ -460,6 +579,79 @@ class TestDurability:
                                        type("R", (), {"name":
                                             "/secrets/k"})()) is None
 
+    def test_legacy_monolithic_journal_migrates_to_per_role_sets(self):
+        """Journals written before the per-role split (one monolithic
+        ``iam`` set + one blob-shaped ``iam_state`` record) must replay
+        correctly, and the first apply afterwards must migrate in place
+        — per-role sets adopt every pair without touching a goal."""
+        backend = MemoryBackend()
+        kernel = _kernel()
+        kernel.attach_storage(backend, sync_every=1)
+        admin = kernel.create_process("admin")
+        alice = kernel.create_process("alice")
+        resources = {name: kernel.resources.create(name, "file",
+                                                   admin.principal)
+                     for name in ("/files/a", "/secrets/k")}
+        kernel.iam.put_role(_reader_role())
+        kernel.iam.put_role(_deny_role())
+        kernel.iam.bind(str(alice.principal), "reader")
+        kernel.iam.bind(str(alice.principal), "lockdown")
+        kernel.sys_say(alice.pid, use_statement("reader"))
+
+        # Emulate the pre-split apply: every compiled rule in one
+        # monolithic set, journalled with the old blob record shape.
+        compiled = kernel.iam.compile()
+        rules = tuple(rule for document in compiled.policy_sets
+                      for rule in document.rules if rule.goal is not None)
+        version = kernel.policies.put(PolicySet(POLICY_SET, rules))
+        kernel.policies.apply(admin.pid, POLICY_SET, version)
+        legacy = {"applied": {"reader": 1, "lockdown": 1},
+                  "bindings": [[str(alice.principal), "reader"],
+                               [str(alice.principal), "lockdown"]]}
+        with kernel._state_lock.write_locked():
+            kernel.iam._persist("iam_state", legacy)
+            kernel.iam.restore_applied(legacy)
+        kernel.bump_policy_epoch()
+
+        def enforced(node):
+            allowed = _wallet_verdict(node, alice, "read",
+                                      resources["/files/a"])
+            assert allowed.allow
+            denied = node.explain(alice.pid, "read",
+                                  resources["/secrets/k"].resource_id)
+            assert denied.explanation.kind == "iam-deny"
+
+        restored = NexusKernel.restore(backend, key_seed=42)
+        assert restored.policies.active_version(POLICY_SET) == 1
+        assert restored.iam.applied_versions() == {"lockdown": 1,
+                                                   "reader": 1}
+        enforced(restored)
+
+        # First apply migrates: per-role sets adopt the pairs with
+        # byte-identical goals (KEEP), the monolith retires, and no
+        # goal epoch or cached verdict is disturbed.
+        epoch = restored.decision_cache.policy_epoch
+        result = restored.iam.apply(admin.pid)
+        assert result.set_count == 0 and result.cleared == 0
+        assert result.epoch_bumps == 0
+        assert restored.decision_cache.policy_epoch == epoch
+        assert restored.policies.active_version(POLICY_SET) is None
+        assert restored.policies.installed_pairs(POLICY_SET) == set()
+        assert restored.policies.active_version(
+            role_set_name("reader")) == 1
+        pair = (resources["/files/a"].resource_id, "read")
+        assert pair in restored.policies.installed_pairs(
+            role_set_name("reader"))
+        enforced(restored)
+
+        # The journal now carries per-role records on top of the blob;
+        # a further restore lands on the migrated layout directly.
+        migrated = NexusKernel.restore(backend, key_seed=42)
+        assert migrated.iam.applied_versions() == {"lockdown": 1,
+                                                   "reader": 1}
+        assert migrated.policies.active_version(POLICY_SET) is None
+        enforced(migrated)
+
     def test_restore_uses_apply_time_bindings_not_later_edits(self):
         backend = MemoryBackend()
         kernel, admin, alice, resources = self._configured(backend)
@@ -518,8 +710,12 @@ class TestWireApi:
         admin = api_world.admin()
         admin.create_resource("/files/a", "file")
         api_world.install_iam([_reader_role()], [("p", "reader")])
-        assert api_world.kernel.introspection.read(
-            "/proc/kernel/iam_roles") == "reader@v1"
+        text = api_world.kernel.introspection.read(
+            "/proc/kernel/iam_roles")
+        assert text.splitlines()[0] == "reader@v1"
+        stats = dict(line.split("=", 1) for line in text.splitlines()[1:])
+        assert stats["applies"] == "1"
+        assert stats["roles_compiled"] == "1"
 
 
 # --------------------------------------------------------------------------
@@ -575,9 +771,66 @@ def _assert_iam_document(document):
     assert document["denied"]["explanation"]["premise"] == "lockdown/d1"
 
 
+def _incremental_scenario(world):
+    """A second apply after touching one role: the compile-reuse
+    counters, the all-keep follow-up plan and the resulting verdicts
+    must be wire-identical on every transport."""
+    alice = world.identity("alice", [use_statement("reader"),
+                                     use_statement("writer")])
+    admin = world.admin()
+    admin.create_resource("/files/a", "file")
+    admin.create_resource("/docs/x", "file")
+    first = world.install_iam(
+        roles=[_reader_role(),
+               Role("writer", (Statement("s1", "Allow", ("write",),
+                                         ("/files/*",)),))],
+        bindings=[(alice.speaker, "reader"), (alice.speaker, "writer")])
+    admin.put_role(Role("writer", (
+        Statement("s1", "Allow", ("write",), ("/files/*", "/docs/*")),)))
+    second = admin.iam_apply()
+    plan = admin.iam_plan()
+    return {
+        "first": {"set": first.set_count,
+                  "roles_compiled": first.roles_compiled,
+                  "roles_reused": first.roles_reused},
+        "second": {"set": second.set_count,
+                   "unchanged": second.unchanged,
+                   "roles_compiled": second.roles_compiled,
+                   "roles_reused": second.roles_reused,
+                   "sets_changed": second.sets_changed,
+                   "epoch_bumps": second.epoch_bumps},
+        "plan_after": [a.action for a in plan.actions],
+        "read": _wire_capture(alice, "read", "/files/a"),
+        "write_new": _wire_capture(alice, "write", "/docs/x"),
+    }
+
+
+def _assert_incremental_document(document):
+    assert document["first"]["roles_compiled"] == 2
+    assert document["second"]["roles_compiled"] == 1
+    assert document["second"]["roles_reused"] == 1
+    assert document["second"]["sets_changed"] == 1
+    # Only the new (/docs/x, write) pair installs; the two existing
+    # goals are kept, so exactly one goal epoch moves.
+    assert document["second"]["set"] == 1
+    assert document["second"]["unchanged"] == 2
+    assert document["second"]["epoch_bumps"] == 1
+    assert document["plan_after"] == ["keep", "keep", "keep"]
+    assert document["read"]["authorize"]["allow"] is True
+    assert document["write_new"]["authorize"]["allow"] is True
+
+
 class TestIamDifferential:
     def test_verdicts_identical_across_transports(self):
         _assert_iam_document(run_differential(_iam_scenario))
 
     def test_verdicts_identical_across_the_cluster(self):
         _assert_iam_document(run_cluster_differential(_iam_scenario))
+
+    def test_incremental_apply_identical_across_transports(self):
+        _assert_incremental_document(
+            run_differential(_incremental_scenario))
+
+    def test_incremental_apply_identical_across_the_cluster(self):
+        _assert_incremental_document(
+            run_cluster_differential(_incremental_scenario))

@@ -1,6 +1,6 @@
 """Property fuzz for the IAM layer.
 
-Two invariant families, driven by seeded (deterministic) generation:
+Three invariant families, driven by seeded (deterministic) generation:
 
 * **codec round-trips** — any generatable :class:`Role` survives
   ``Role.from_dict(role.to_dict())`` exactly;
@@ -9,7 +9,12 @@ Two invariant families, driven by seeded (deterministic) generation:
   the kernel's real authorize path) agrees with the document-level
   reference semantics: an explicit Deny wins over every Allow, an Allow
   grants exactly when some bound Allow statement matches, and anything
-  else falls to the kernel's default owner policy.
+  else falls to the kernel's default owner policy;
+* **incremental ≡ full** — replaying any edit script with incremental
+  applies (digest-keyed role reuse, per-role policy sets) lands on
+  byte-identical enforcement — goal texts, deny table, applied
+  versions, authority hints and live verdicts — to a cold kernel that
+  force-recompiles everything at each apply point.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -136,3 +141,92 @@ def test_enforcement_matches_reference_semantics(roles, bound, action,
         assert not verdict.allow
         assert verdict.explanation.kind == "default-policy"
         assert simulated.effect == "Default"
+
+
+# --------------------------------------------------------------------------
+# incremental apply ≡ cold full recompile
+# --------------------------------------------------------------------------
+
+ROLE_NAMES = ("reader", "writer", "auditor")
+SUBJECTS = ("alice", "bob")
+
+_edit_ops = st.one_of(
+    _roles(with_conditions=False).map(lambda role: ("put", role)),
+    st.tuples(st.just("bind"), st.sampled_from(SUBJECTS),
+              st.sampled_from(ROLE_NAMES), st.booleans()),
+    st.just(("apply",)),
+)
+
+
+def _replay(script, force_full):
+    """Run one edit script against a fresh kernel, applying at every
+    ``apply`` marker (and once at the end) with the given mode."""
+    kernel = NexusKernel(key_seed=11)
+    admin = kernel.create_process("admin")
+    subjects = {name: kernel.create_process(name) for name in SUBJECTS}
+    for name in RESOURCES:
+        kernel.resources.create(name, "file", admin.principal)
+    for name in ROLE_NAMES:
+        kernel.iam.put_role(Role(name, (
+            Statement("a1", "Allow", ("read",), ("/files/a",)),)))
+    for op in script:
+        if op[0] == "put":
+            kernel.iam.put_role(op[1])
+        elif op[0] == "bind":
+            kernel.iam.bind(str(subjects[op[1]].principal), op[2],
+                            bound=op[3])
+        else:
+            kernel.iam.apply(admin.pid, force_full=force_full)
+    kernel.iam.apply(admin.pid, force_full=force_full)
+    return kernel, admin, subjects
+
+
+def _enforcement_fingerprint(kernel):
+    """Everything enforcement-visible, in comparable form."""
+    return {
+        "goals": sorted((key, str(entry.formula))
+                        for key, entry in
+                        kernel.default_guard.goals.items()),
+        "deny": kernel.iam._deny,
+        "applied": kernel.iam.applied_versions(),
+        "hints": sorted((str(formula), port) for formula, port in
+                        kernel.iam.authority_hints().items()),
+    }
+
+
+@given(st.lists(_edit_ops, min_size=3, max_size=12))
+@settings(max_examples=20, deadline=None)
+def test_incremental_apply_equals_cold_full_recompile(script):
+    """Digest-keyed reuse and per-role sets are pure optimisation: the
+    incremental kernel and a force-full kernel replaying the same
+    script agree byte-for-byte on goals, denies and verdicts."""
+    warm, warm_admin, warm_subjects = _replay(script, force_full=False)
+    cold, _cold_admin, cold_subjects = _replay(script, force_full=True)
+
+    assert _enforcement_fingerprint(warm) == _enforcement_fingerprint(cold)
+
+    from repro.core.attestation import kernel_wallet_bundle
+
+    def verdicts(kernel, subjects):
+        observed = []
+        for name in SUBJECTS:
+            process = subjects[name]
+            for role_name in ROLE_NAMES:
+                kernel.sys_say(process.pid, use_statement(role_name))
+            for action in ACTIONS:
+                for resource_name in RESOURCES:
+                    resource = kernel.resources.lookup(resource_name)
+                    bundle = kernel_wallet_bundle(kernel, process.pid,
+                                                  action, resource)
+                    verdict = kernel.authorize(process.pid, action,
+                                               resource.resource_id,
+                                               bundle)
+                    simulated = kernel.iam.simulate(
+                        str(process.principal), action, resource_name)
+                    observed.append((
+                        name, action, resource_name, verdict.allow,
+                        verdict.explanation.kind, simulated.effect,
+                        simulated.role, simulated.sid))
+        return observed
+
+    assert verdicts(warm, warm_subjects) == verdicts(cold, cold_subjects)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Assert a benchmark artifact carries a named row above a floor.
+
+Usage::
+
+    python tools/check_bench_row.py BENCH_iam.json \
+        "incremental recompile ratio" --min 1.0
+
+Exits non-zero (with a one-line diagnosis) when the artifact is
+missing, the row is absent, or its value does not clear ``--min``.
+``make bench-iam`` uses this to prove the smoke run really produced
+the incremental-compilation row — a benchmark that silently stopped
+emitting it would otherwise keep passing.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", type=Path,
+                        help="BENCH_*.json file to inspect")
+    parser.add_argument("label", help="row label that must be present")
+    parser.add_argument("--min", type=float, default=None,
+                        dest="floor", metavar="VALUE",
+                        help="the row's value must be strictly greater")
+    args = parser.parse_args(argv)
+
+    if not args.artifact.exists():
+        print(f"check_bench_row: {args.artifact} does not exist "
+              "(run the benchmark first)", file=sys.stderr)
+        return 1
+    document = json.loads(args.artifact.read_text())
+    rows = {row["label"]: row for row in document.get("rows", ())}
+    row = rows.get(args.label)
+    if row is None:
+        print(f"check_bench_row: no row {args.label!r} in "
+              f"{args.artifact} (has: {', '.join(sorted(rows))})",
+              file=sys.stderr)
+        return 1
+    value = row["value"]
+    if args.floor is not None and not value > args.floor:
+        print(f"check_bench_row: {args.label!r} = {value} is not "
+              f"> {args.floor} in {args.artifact}", file=sys.stderr)
+        return 1
+    unit = row.get("unit", "")
+    print(f"check_bench_row: {args.label} = {value:g} {unit} ok"
+          + (f" (> {args.floor:g})" if args.floor is not None else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
